@@ -1,0 +1,21 @@
+"""Benchmark-suite configuration.
+
+Every benchmark here regenerates one of the paper's evaluation artifacts
+(see DESIGN.md §4) and asserts its *shape* — who wins and by roughly what
+factor — rather than absolute numbers.  Timing measured by
+pytest-benchmark is real CPU time of the simulation; the mediator-level
+milliseconds inside the results are simulated.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run an expensive experiment exactly once under the benchmark timer."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return runner

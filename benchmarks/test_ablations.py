@@ -1,0 +1,149 @@
+"""Ablation benchmarks for the design choices DESIGN.md §5 calls out.
+
+Each test toggles one mechanism and asserts the direction of the effect:
+
+* CIM completion policies (serial / parallel / partial-only),
+* invariants on vs off,
+* cache eviction policy under a skewed workload (LRU vs LFU),
+* recency-weighted statistics after a source cost-regime change,
+* predicate-level first-answer statistics (the §8 remedy).
+"""
+
+import pytest
+
+from repro.cim.cache import POLICY_LFU, POLICY_LRU, ResultCache
+from repro.cim.manager import CacheInvariantManager, CimPolicy
+from repro.core.model import GroundCall
+from repro.core.parser import parse_invariant
+from repro.dcsm.module import DCSM
+from repro.dcsm.patterns import CallPattern
+from repro.domains.base import CallResult, simple_domain
+from repro.domains.registry import DomainRegistry
+from repro.net.clock import SimClock
+from repro.workloads.generators import CallWorkload
+
+
+def make_span_cim(policy: CimPolicy) -> CacheInvariantManager:
+    def span_impl(a, b):
+        values = list(range(a, b + 1))
+        return values, 40.0, 40.0 + len(values)
+
+    domain = simple_domain("d", {"span": span_impl})
+    registry = DomainRegistry([domain])
+    invariant = parse_invariant(
+        "A1 <= A2 & B2 <= B1 => d:span(A1, B1) >= d:span(A2, B2)."
+    )
+    return CacheInvariantManager(
+        registry, SimClock(), invariants=[invariant], policy=policy
+    )
+
+
+class TestCimPolicyAblation:
+    def run_policy(self, policy: CimPolicy):
+        cim = make_span_cim(policy)
+        cim.lookup(GroundCall("d", "span", (1, 10)))  # warm
+        return cim.lookup(GroundCall("d", "span", (1, 30)))
+
+    def test_policies_order_total_time(self, benchmark):
+        serial = self.run_policy(CimPolicy.SERIAL)
+        parallel = self.run_policy(CimPolicy.PARALLEL)
+        partial = benchmark.pedantic(
+            self.run_policy, args=(CimPolicy.PARTIAL_ONLY,),
+            rounds=1, iterations=1,
+        )
+        # partial-only never calls the source; parallel overlaps; serial adds up
+        assert partial.t_all_ms < parallel.t_all_ms <= serial.t_all_ms
+        assert not partial.complete
+        assert parallel.complete and serial.complete
+
+    def test_all_policies_share_fast_first_answer(self):
+        for policy in (CimPolicy.SERIAL, CimPolicy.PARALLEL, CimPolicy.PARTIAL_ONLY):
+            result = self.run_policy(policy)
+            assert result.t_first_ms < 5.0, policy
+
+
+class TestInvariantAblation:
+    def test_invariants_save_source_calls(self, benchmark):
+        def measure(with_invariants: bool):
+            cim = make_span_cim(CimPolicy.PARTIAL_ONLY)
+            if not with_invariants:
+                cim.invariants = type(cim.invariants)()  # empty index
+            cim.lookup(GroundCall("d", "span", (1, 10)))
+            result = cim.lookup(GroundCall("d", "span", (1, 30)))
+            return result, cim.stats.real_calls
+
+        with_inv, calls_with = measure(True)
+        without_inv, calls_without = benchmark.pedantic(
+            measure, args=(False,), rounds=1, iterations=1
+        )
+        assert calls_with == 1  # warm-up only; invariant served the rest
+        assert calls_without == 2
+        assert with_inv.t_all_ms < without_inv.t_all_ms / 10
+
+
+class TestEvictionAblation:
+    def hit_rate(self, policy: str, draws: int = 400) -> float:
+        """Zipf-skewed exact re-asks: LFU should protect the hot head."""
+        domain = simple_domain("d", {"f": lambda x: [x]})
+        registry = DomainRegistry([domain])
+        cache = ResultCache(max_entries=8, policy=policy)
+        cim = CacheInvariantManager(registry, SimClock(), cache=cache)
+        workload = CallWorkload("d", "f", (list(range(100)),), skew=1.3, seed=11)
+        for call in workload.draws(draws):
+            cim.lookup(call)
+        return cache.stats.hit_rate
+
+    def test_lfu_beats_lru_under_heavy_skew(self, benchmark):
+        lru = self.hit_rate(POLICY_LRU)
+        lfu = benchmark.pedantic(
+            self.hit_rate, args=(POLICY_LFU,), rounds=1, iterations=1
+        )
+        assert lfu > lru
+        assert lfu > 0.3
+
+
+class TestRecencyAblation:
+    def test_decay_adapts_to_cost_regime_change(self, benchmark):
+        """A source that got 10x slower: flat averages lag, decayed ones
+        follow (paper §6.2.2: 'giving precedence to more recent
+        statistics')."""
+
+        def build(decay_tau_ms):
+            clock = SimClock()
+            dcsm = DCSM(clock=clock, decay_tau_ms=decay_tau_ms)
+            call = GroundCall("d", "f", (1,))
+            for __ in range(20):  # old, fast era
+                dcsm.record(CallResult(call=call, answers=(1,),
+                                       t_first_ms=5.0, t_all_ms=10.0))
+                clock.advance(100)
+            clock.advance(20_000)
+            for __ in range(5):  # recent, slow era
+                dcsm.record(CallResult(call=call, answers=(1,),
+                                       t_first_ms=50.0, t_all_ms=100.0))
+                clock.advance(100)
+            return dcsm.cost(CallPattern("d", "f", (1,))).t_all_ms
+
+        flat = build(None)
+        decayed = benchmark.pedantic(
+            build, args=(2_000.0,), rounds=1, iterations=1
+        )
+        assert flat < 40.0  # dominated by the 20 old observations
+        assert decayed > 80.0  # tracks the new regime
+
+
+class TestPredicateFirstAblation:
+    def test_section8_remedy_reduces_first_answer_error(self, benchmark):
+        from tests.test_extensions import backtracking_mediator
+
+        def first_error(use_stats: bool) -> float:
+            mediator = backtracking_mediator(use_stats)
+            mediator.query("?- q(X, Y).")
+            result = mediator.query("?- q(X, Y).")
+            predicted, actual = result.predicted_vs_actual()["t_first_ms"]
+            return abs(predicted - actual) / actual
+
+        plain = first_error(False)
+        remedied = benchmark.pedantic(
+            first_error, args=(True,), rounds=1, iterations=1
+        )
+        assert remedied < plain / 2

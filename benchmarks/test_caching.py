@@ -1,0 +1,79 @@
+"""E6 — result caching under bounded capacity: shape-asserting benchmark.
+
+Shape targets: hit rate grows with capacity; skewed workloads cache
+better at equal capacity; invariants add assisted hits on top of exact
+hits and cut mean first-answer time; mean per-call time falls as hit
+rate rises.
+"""
+
+import pytest
+
+from repro.cim.cache import POLICY_LFU, POLICY_LRU
+from repro.experiments import caching
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return caching.run()
+
+
+def _cell(rows, capacity, skew, policy=POLICY_LRU, with_invariants=True):
+    for row in rows:
+        if (
+            row.capacity == capacity
+            and row.skew == skew
+            and row.policy == policy
+            and row.with_invariants == with_invariants
+        ):
+            return row
+    raise LookupError((capacity, skew, policy, with_invariants))
+
+
+class TestCachingShape:
+    def test_hit_rate_monotone_in_capacity(self, rows):
+        for skew in (0.0, 1.0):
+            rates = [
+                _cell(rows, capacity, skew).hit_rate
+                for capacity in (4, 8, 16, 32)
+            ]
+            assert rates == sorted(rates)
+            assert rates[-1] > rates[0] + 0.2
+
+    def test_skew_improves_hit_rate_at_small_capacity(self, rows):
+        uniform = _cell(rows, 4, 0.0)
+        skewed = _cell(rows, 4, 1.0)
+        assert skewed.hit_rate > uniform.hit_rate + 0.1
+
+    def test_invariants_add_assisted_hits(self, rows):
+        for skew in (0.0, 1.0):
+            with_inv = _cell(rows, 16, skew)
+            without = _cell(rows, 16, skew, with_invariants=False)
+            assert with_inv.assisted_rate > with_inv.hit_rate + 0.1
+            assert without.assisted_rate == pytest.approx(without.hit_rate)
+
+    def test_invariants_cut_first_answer_time(self, rows):
+        with_inv = _cell(rows, 16, 0.0)
+        without = _cell(rows, 16, 0.0, with_invariants=False)
+        assert with_inv.mean_first_ms < without.mean_first_ms
+
+    def test_time_falls_with_hit_rate(self, rows):
+        small = _cell(rows, 4, 1.0)
+        large = _cell(rows, 32, 1.0)
+        assert large.mean_call_ms < small.mean_call_ms
+
+
+def test_benchmark_caching(once):
+    rows = once(caching.run, capacities=(4, 16), skews=(0.0, 1.0))
+    assert rows
+    # inline shape asserts for --benchmark-only runs
+    by_key = {
+        (r.capacity, r.skew, r.policy, r.with_invariants): r for r in rows
+    }
+    assert (
+        by_key[(16, 1.0, POLICY_LRU, True)].hit_rate
+        > by_key[(4, 1.0, POLICY_LRU, True)].hit_rate
+    )
+    assert (
+        by_key[(16, 1.0, POLICY_LRU, True)].mean_call_ms
+        < by_key[(4, 1.0, POLICY_LRU, True)].mean_call_ms
+    )

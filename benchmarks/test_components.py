@@ -1,0 +1,126 @@
+"""Component micro-benchmarks (ablations for DESIGN.md §5 design choices).
+
+Real CPU time of the building blocks the experiments lean on: cache
+lookup vs invariant matching vs real execution, parsing, plan
+enumeration, and DCSM estimation under each summarization mode.
+"""
+
+import pytest
+
+from repro.cim.cache import ResultCache
+from repro.cim.invariants import InvariantIndex, match_invariants
+from repro.cim.manager import CacheInvariantManager
+from repro.core.mediator import Mediator
+from repro.core.model import GroundCall
+from repro.core.parser import parse_invariant, parse_program, parse_query
+from repro.core.rewriter import Rewriter
+from repro.dcsm.module import DCSM
+from repro.dcsm.patterns import BOUND, CallPattern
+from repro.domains.base import CallResult, simple_domain
+from repro.domains.registry import DomainRegistry
+from repro.net.clock import SimClock
+
+M1_TEXT = """
+m(A, C) :- p(A, B) & q(B, C).
+p(A, B) :- in(Ans, d1:p_ff()), =($Ans.1, A), =($Ans.2, B).
+p(A, B) :- in(A, d1:p_fb(B)).
+p(A, B) :- in(X, d1:p_bb(A, B)).
+q(B, C) :- in(Ans, d2:q_ff()), =($Ans.1, B), =($Ans.2, C).
+q(B, C) :- in(C, d2:q_bf(B)).
+"""
+
+
+def test_bench_parser(benchmark):
+    program = benchmark(parse_program, M1_TEXT)
+    assert len(program) == 6
+
+
+def test_bench_rewriter(benchmark):
+    program = parse_program(M1_TEXT)
+    rewriter = Rewriter(program)
+    query = parse_query("?- m(a, C).")
+    plans = benchmark(rewriter.plans, query)
+    assert len(plans) >= 4
+
+
+def test_bench_cache_exact_hit(benchmark):
+    cache = ResultCache()
+    call = GroundCall("d", "f", (1, 2))
+    cache.put(call, tuple(range(50)))
+    entry = benchmark(cache.get, call)
+    assert entry is not None
+
+
+def test_bench_invariant_containment_scan(benchmark):
+    """Containment matching scans the function's cache bucket — measure it
+    against a 200-entry bucket."""
+    cache = ResultCache()
+    invariant = parse_invariant(
+        "A1 <= A2 & B2 <= B1 => d:span(A1, B1) >= d:span(A2, B2)."
+    )
+    index = InvariantIndex([invariant])
+    for i in range(200):
+        cache.put(GroundCall("d", "span", (i, i + 5)), (i,))
+    request = GroundCall("d", "span", (0, 500))
+    match = benchmark(match_invariants, index, request, cache)
+    assert match is not None
+
+
+def test_bench_cim_lookup_cascade(benchmark):
+    domain = simple_domain("d", {"f": lambda x: [x]})
+    registry = DomainRegistry([domain])
+    cim = CacheInvariantManager(registry, SimClock())
+    cim.lookup(GroundCall("d", "f", (1,)))
+    result = benchmark(cim.lookup, GroundCall("d", "f", (1,)))
+    assert result.provenance == "cache"
+
+
+@pytest.mark.parametrize("mode", ["raw", "lossless", "lossy"])
+def test_bench_dcsm_estimate(benchmark, mode):
+    dcsm = DCSM(mode=mode)
+    for i in range(500):
+        dcsm.record(
+            CallResult(
+                call=GroundCall("d", "f", (i % 25, i % 7)),
+                answers=tuple(range(i % 5)),
+                t_first_ms=1.0,
+                t_all_ms=2.0 + i % 3,
+            )
+        )
+    if mode == "lossy":
+        dcsm.configure_lossy_drop_all()
+    dcsm.summarize()
+    pattern = CallPattern("d", "f", (3, BOUND))
+    vector = benchmark(dcsm.cost, pattern)
+    assert vector.t_all_ms is not None
+
+
+def test_bench_end_to_end_query(benchmark):
+    # NB: the alternative rules for p/q are alternative *access paths* to
+    # the same relations (the paper's model), so every source function
+    # must describe consistent content
+    p_pairs = [("a", i) for i in range(10)]
+    q_pairs = [(i, i * 2) for i in range(10)]
+    mediator = Mediator()
+    mediator.register_domain(
+        simple_domain(
+            "d1",
+            {
+                "p_ff": lambda: list(p_pairs),
+                "p_fb": lambda b: [a for a, bb in p_pairs if bb == b],
+                "p_bb": lambda a, b: [True] if (a, b) in p_pairs else [],
+            },
+        )
+    )
+    mediator.register_domain(
+        simple_domain(
+            "d2",
+            {
+                "q_ff": lambda: list(q_pairs),
+                "q_bf": lambda b: [c for bb, c in q_pairs if bb == b],
+            },
+        )
+    )
+    mediator.load_program(M1_TEXT)
+    result = benchmark(mediator.query, "?- m(a, C).")
+    assert result.cardinality == 10

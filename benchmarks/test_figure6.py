@@ -1,0 +1,71 @@
+"""E2 — regenerate Figure 6 (utility of the DCSM) and assert its shape.
+
+Paper shape targets:
+
+* lossless all-answers predictions track actual times closely (the paper
+  errs both ways; ours stays within ~2× per query and much tighter in
+  aggregate),
+* lossy (drop-all-attributes) predictions are distinctly worse, the gap
+  coming mainly from cardinality error,
+* query pairs (1,1′) and (2,2′) keep their actual ordering in the
+  lossless predictions — the optimizer would pick the right variant.
+"""
+
+import pytest
+
+from repro.experiments import figure6
+
+
+@pytest.fixture(scope="module")
+def fig6_rows():
+    return figure6.run()
+
+
+def _row(rows, label):
+    for row in rows:
+        if row.query == label:
+            return row
+    raise LookupError(label)
+
+
+class TestFigure6Shape:
+    def test_all_variants_measured(self, fig6_rows):
+        assert {row.query for row in fig6_rows} == {
+            "query1", "query1'", "query2", "query2'", "query3", "query4"
+        }
+
+    def test_lossless_tracks_actual_per_query(self, fig6_rows):
+        for row in fig6_rows:
+            assert row.lossless_t_all_ms is not None
+            ratio = row.lossless_t_all_ms / row.actual_t_all_ms
+            assert 0.4 < ratio < 2.5, (row.query, ratio)
+
+    def test_lossless_beats_lossy_in_aggregate(self, fig6_rows):
+        errors = figure6.prediction_errors(fig6_rows)
+        assert errors["lossless"] < errors["lossy"]
+
+    def test_prediction_orders_variants_correctly(self, fig6_rows):
+        for a, b in (("query1", "query1'"), ("query2'", "query2")):
+            fast, slow = _row(fig6_rows, a), _row(fig6_rows, b)
+            if fast.actual_t_all_ms > slow.actual_t_all_ms:
+                fast, slow = slow, fast
+            assert fast.lossless_t_all_ms < slow.lossless_t_all_ms
+
+    def test_actual_variant_gap_is_real(self, fig6_rows):
+        """The primed/unprimed orderings genuinely differ at runtime."""
+        q1, q1p = _row(fig6_rows, "query1"), _row(fig6_rows, "query1'")
+        assert max(q1.actual_t_all_ms, q1p.actual_t_all_ms) > 2 * min(
+            q1.actual_t_all_ms, q1p.actual_t_all_ms
+        )
+
+
+def test_benchmark_figure6(once):
+    """Timed regeneration of Figure 6 with the headline shape asserts
+    inline for ``--benchmark-only`` runs."""
+    rows = once(figure6.run)
+    assert len(rows) == 6
+    for row in rows:
+        ratio = row.lossless_t_all_ms / row.actual_t_all_ms
+        assert 0.4 < ratio < 2.5, (row.query, ratio)
+    errors = figure6.prediction_errors(rows)
+    assert errors["lossless"] < errors["lossy"]

@@ -1,0 +1,44 @@
+"""E7 — cost-based join ordering: shape-asserting benchmark.
+
+Shape targets: the small-relation-first plan wins, the win grows with
+the large table's size, the DCSM-trained optimizer always identifies the
+winner, and its predictions sit close to the measured times.
+"""
+
+import pytest
+
+from repro.experiments import join_order
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return join_order.run(order_counts=(100, 400, 1600))
+
+
+class TestJoinOrderShape:
+    def test_small_first_always_wins(self, rows):
+        for row in rows:
+            assert row.small_first_ms < row.large_first_ms
+
+    def test_speedup_grows_with_table_size(self, rows):
+        speedups = [row.speedup for row in rows]
+        assert speedups == sorted(speedups)
+        assert speedups[-1] > 5 * speedups[0]
+
+    def test_optimizer_always_correct(self, rows):
+        assert all(row.optimizer_correct for row in rows)
+
+    def test_predictions_track_measurements(self, rows):
+        for row in rows:
+            assert row.predicted_small_ms == pytest.approx(
+                row.small_first_ms, rel=0.35
+            )
+            assert row.predicted_large_ms == pytest.approx(
+                row.large_first_ms, rel=0.35
+            )
+
+
+def test_benchmark_join_order(once):
+    rows = once(join_order.run, order_counts=(100, 800))
+    assert all(row.optimizer_correct for row in rows)
+    assert rows[1].speedup > rows[0].speedup

@@ -1,0 +1,76 @@
+"""E4 — regenerate the summarization tradeoff study.
+
+Paper shape targets (§6.2): summaries shrink storage and replace
+aggregation work with lookups; the program-analysis lossy tables stay
+accurate for probes the program can actually pose; drop-everything lossy
+tables are tiny and fast but pay estimation error that grows with data
+diversity.
+"""
+
+import pytest
+
+from repro.experiments import summarization
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return summarization.run(sizes=(10, 40, 160))
+
+
+def _pick(rows, observations, mode):
+    for row in rows:
+        if row.observations == observations and row.mode == mode:
+            return row
+    raise LookupError((observations, mode))
+
+
+class TestSummarizationShape:
+    def test_lossless_is_exact(self, rows):
+        for row in rows:
+            if row.mode == "lossless":
+                assert row.mean_rel_error_t_all == pytest.approx(0.0, abs=1e-9)
+                assert row.mean_rel_error_card == pytest.approx(0.0, abs=1e-9)
+
+    def test_global_tables_constant_size(self, rows):
+        sizes = {row.storage_cells for row in rows if row.mode == "lossy-global"}
+        assert len(sizes) == 1  # independent of observation count
+
+    def test_global_tables_pay_error_at_scale(self, rows):
+        big = _pick(rows, 160, "lossy-global")
+        assert big.mean_rel_error_t_all > 0.02
+
+    def test_program_analysis_smaller_than_lossless(self, rows):
+        big_lossless = _pick(rows, 160, "lossless")
+        big_program = _pick(rows, 160, "lossy-program")
+        assert big_program.storage_cells < big_lossless.storage_cells
+
+    def test_raw_mode_scans_observations(self, rows):
+        big = _pick(rows, 160, "raw")
+        assert big.raw_obs_scanned_per_estimate > 10
+        assert big.rows_scanned_per_estimate == 0
+
+    def test_summary_modes_avoid_raw_scans(self, rows):
+        for row in rows:
+            if row.mode != "raw":
+                assert row.raw_obs_scanned_per_estimate == 0
+
+    def test_lookup_work_ordering(self, rows):
+        """Global tables answer in O(1); lossless may scan groups."""
+        big_lossless = _pick(rows, 160, "lossless")
+        big_global = _pick(rows, 160, "lossy-global")
+        assert big_global.rows_scanned_per_estimate < big_lossless.rows_scanned_per_estimate
+
+
+def test_benchmark_summarization(once):
+    """Timed regeneration of the summarization study with the headline
+    shape asserts inline for ``--benchmark-only`` runs."""
+    rows = once(summarization.run, sizes=(10, 40))
+    assert rows
+    for row in rows:
+        if row.mode == "lossless":
+            assert row.mean_rel_error_t_all == pytest.approx(0.0, abs=1e-9)
+        if row.mode != "raw":
+            assert row.raw_obs_scanned_per_estimate == 0
+    lossless_cells = max(r.storage_cells for r in rows if r.mode == "lossless")
+    global_cells = max(r.storage_cells for r in rows if r.mode == "lossy-global")
+    assert global_cells < lossless_cells

@@ -1,0 +1,139 @@
+"""A full HERMES-style federation: six heterogeneous sources, one query
+language.
+
+Mirrors the paper's §8 testbed breadth (relational + video + spatial +
+terrain + text + face recognition) and shows cross-source joins the
+mediator plans and optimizes end to end, the cursor API, and EXPLAIN.
+
+Run:  python examples/federation.py
+"""
+
+from repro import Mediator
+from repro.core.explain import explain
+from repro.domains.faces import (
+    FACE_THRESHOLD_INVARIANT,
+    FaceDomain,
+)
+from repro.domains.relational import RelationalEngine
+from repro.domains.text import (
+    TEXT_CONJUNCTION_INVARIANT,
+    TextDomain,
+    sample_newswire,
+)
+from repro.workloads.datasets import (
+    ROPE_CAST,
+    build_logistics_terrain,
+    build_rope_avis,
+)
+
+
+def build_federation() -> Mediator:
+    mediator = Mediator()
+
+    # 1. relational cast + personnel data (INGRES stand-in), local
+    engine = RelationalEngine("relation")
+    engine.create_table("cast", ["name", "role"], list(ROPE_CAST), index_on=["role"])
+    engine.create_table(
+        "personnel",
+        ["name", "unit"],
+        [("stewart", "alpha"), ("dall", "bravo"), ("granger", "alpha"),
+         ("chandler", "charlie"), ("hogan", "bravo"), ("collier", "alpha")],
+        index_on=["name"],
+    )
+    mediator.register_domain(engine, site="maryland")
+    # the DCSM can use the engine's own analytic cost model (paper §6)
+    mediator.dcsm.external_estimators["relation"] = engine.make_cost_estimator()
+
+    # 2. AVIS video store, far away
+    mediator.register_domain(build_rope_avis(), site="italy")
+
+    # 3. face gallery: one enrolled face per cast member, cornell
+    faces = FaceDomain("faces", dimensions=16)
+    faces.enroll_random([name for name, __ in ROPE_CAST], seed=5, spread=0.7)
+    mediator.register_domain(faces, site="cornell")
+
+    # 4. news-wire text corpus, bucknell
+    corpus = TextDomain("text")
+    corpus.add_documents(sample_newswire())
+    mediator.register_domain(corpus, site="bucknell")
+
+    # 5. terrain planner, bucknell
+    mediator.register_domain(build_logistics_terrain(), site="bucknell")
+
+    mediator.load_program(
+        """
+        % who appears in a frame interval, via AVIS + the cast relation
+        on_screen(First, Last, Actor) :-
+            in(Obj, video:frames_to_objects('rope', First, Last)) &
+            in(T, relation:equal('cast', 'role', Obj)) &
+            =(T.name, Actor).
+
+        % faces similar to an actor's enrolled face, with their units
+        lookalike_unit(Actor, Match, Unit) :-
+            in(M, faces:match(Actor, 0.6)) &
+            =(M.name, Match) &
+            in(P, relation:equal('personnel', 'name', Match)) &
+            =(P.unit, Unit).
+
+        % news mentioning a keyword plus the story count
+        coverage(Keyword, Doc, Headline) :-
+            in(Doc, text:search(Keyword)) &
+            in(Headline, text:headline(Doc)).
+
+        % the grand tour: actors on screen early whose lookalikes serve
+        % in a given unit
+        screen_unit(First, Last, Actor, Unit) :-
+            on_screen(First, Last, Actor) &
+            in(P, relation:equal('personnel', 'name', Actor)) &
+            =(P.unit, Unit).
+        """
+    )
+    mediator.add_invariant(FACE_THRESHOLD_INVARIANT)
+    mediator.add_invariant(TEXT_CONJUNCTION_INVARIANT)
+    return mediator
+
+
+def main() -> None:
+    mediator = build_federation()
+
+    print("=== cross-source join: who is on screen in frames 4..47? ===")
+    result = mediator.query("?- on_screen(4, 47, Actor).")
+    print(" ", ", ".join(sorted(result.column("Actor"))))
+    print(f"  T_all={result.t_all_ms:.0f}ms across "
+          f"{result.execution.calls} source calls")
+
+    print("\n=== three-source chain: actors -> units ===")
+    result = mediator.query("?- screen_unit(4, 47, Actor, Unit).")
+    for row in result.rows():
+        print(f"  {row['Actor']:10s} unit {row['Unit']}")
+
+    print("\n=== face matching with threshold invariant ===")
+    warm = mediator.query("?- lookalike_unit(stewart, M, U).", use_cim=True)
+    print(f"  cold: {warm.cardinality} matches, {warm.t_all_ms:.0f}ms")
+    # a looser threshold reuses the cached tighter match as partial answers
+    mediator.add_rule(
+        "lookalike_loose(Actor, Match) :- in(M, faces:match(Actor, 0.3)) "
+        "& =(M.name, Match)."
+    )
+    loose = mediator.query("?- lookalike_loose(stewart, M).", use_cim=True)
+    print(f"  looser threshold: {loose.cardinality} matches, "
+          f"T_first={loose.t_first_ms:.2f}ms "
+          f"({dict(loose.execution.provenance)})")
+
+    print("\n=== text search ===")
+    result = mediator.query("?- coverage(video, D, H).")
+    for row in result.rows():
+        print(f"  [{row['D']}] {row['H']}")
+
+    print("\n=== cursor: peek at the first route answers only ===")
+    with mediator.cursor("?- on_screen(1, 240, Actor).") as cursor:
+        first_two = cursor.fetch(2)
+        print(f"  first two: {[a[-1] for a in first_two]} "
+              f"after {cursor.elapsed_ms:.0f}ms; abandoning the rest")
+
+    print("\n=== EXPLAIN ===")
+    print(explain(mediator, "?- screen_unit(4, 47, Actor, Unit)."))
+
+
+if __name__ == "__main__":
+    main()

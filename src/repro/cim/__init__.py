@@ -1,0 +1,30 @@
+"""Cache and Invariant Manager (CIM) — paper §4.
+
+The CIM stores ``(ground domain call → answer set)`` pairs and answers
+calls without touching the source when it can:
+
+1. exact cache hit,
+2. *equality invariant* hit — another cached call whose answer set an
+   invariant proves identical,
+3. *containment invariant* hit — a cached call whose answers an invariant
+   proves to be a subset of the requested call's answers (a partial
+   answer, optionally completed by the real call serially or in
+   parallel),
+4. otherwise, the real call (whose result is then cached).
+
+At run time the CIM behaves like any other domain endpoint, so the
+execution engine needs no special operators — exactly as the paper
+prescribes.
+"""
+
+from repro.cim.cache import CacheEntry, ResultCache
+from repro.cim.invariants import InvariantIndex
+from repro.cim.manager import CacheInvariantManager, CimPolicy
+
+__all__ = [
+    "CacheEntry",
+    "ResultCache",
+    "InvariantIndex",
+    "CacheInvariantManager",
+    "CimPolicy",
+]

@@ -1,0 +1,245 @@
+"""The query-result cache: ground domain calls mapped to answer sets.
+
+Entries are indexed two ways: by the full ground call (exact lookup) and
+by ``domain:function`` (the invariant matcher scans only the entries that
+could possibly match a candidate call).  The cache supports bounded
+capacity in entries and/or bytes with LRU or LFU eviction, and optional
+TTL expiry against the simulated clock.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.core.model import GroundCall
+from repro.core.terms import Value, value_bytes
+from repro.errors import CacheError
+
+POLICY_LRU = "lru"
+POLICY_LFU = "lfu"
+
+
+@dataclass
+class CacheEntry:
+    """One cached call with its answers and bookkeeping."""
+
+    call: GroundCall
+    answers: tuple[Value, ...]
+    complete: bool
+    stored_at_ms: float
+    answer_bytes: int
+    hits: int = 0
+    last_used_ms: float = field(default=0.0)
+
+    @property
+    def cardinality(self) -> int:
+        return len(self.answers)
+
+
+@dataclass
+class CacheStats:
+    """Observability counters (reset with the cache)."""
+
+    lookups: int = 0
+    exact_hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    expirations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.exact_hits / self.lookups if self.lookups else 0.0
+
+
+class ResultCache:
+    """Bounded (answer-set) cache keyed by ground domain calls."""
+
+    def __init__(
+        self,
+        max_entries: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+        policy: str = POLICY_LRU,
+        ttl_ms: Optional[float] = None,
+    ):
+        if policy not in (POLICY_LRU, POLICY_LFU):
+            raise CacheError(f"unknown eviction policy {policy!r}")
+        if max_entries is not None and max_entries < 1:
+            raise CacheError("max_entries must be at least 1")
+        if max_bytes is not None and max_bytes < 1:
+            raise CacheError("max_bytes must be at least 1")
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.policy = policy
+        self.ttl_ms = ttl_ms
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[GroundCall, CacheEntry]" = OrderedDict()
+        self._by_function: dict[str, dict[GroundCall, CacheEntry]] = {}
+        self._total_bytes = 0
+
+    # -- core operations ---------------------------------------------------
+
+    def get(self, call: GroundCall, now_ms: float = 0.0) -> Optional[CacheEntry]:
+        """Exact lookup; honours TTL; updates recency/frequency."""
+        self.stats.lookups += 1
+        entry = self._entries.get(call)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        if self._expired(entry, now_ms):
+            self._remove(call)
+            self.stats.expirations += 1
+            self.stats.misses += 1
+            return None
+        entry.hits += 1
+        entry.last_used_ms = now_ms
+        self._entries.move_to_end(call)
+        self.stats.exact_hits += 1
+        return entry
+
+    def peek(self, call: GroundCall, now_ms: float = 0.0) -> Optional[CacheEntry]:
+        """Lookup without recency/stats side effects (used by the invariant
+        matcher and by stale-serving, which has its own bookkeeping)."""
+        entry = self._entries.get(call)
+        if entry is None or self._expired(entry, now_ms):
+            return None
+        return entry
+
+    def put(
+        self,
+        call: GroundCall,
+        answers: tuple[Value, ...],
+        now_ms: float = 0.0,
+        complete: bool = True,
+    ) -> CacheEntry:
+        """Insert or replace an entry, then evict down to capacity.
+
+        A complete result always replaces an incomplete one; an incomplete
+        result never downgrades a cached complete one.
+        """
+        existing = self._entries.get(call)
+        if existing is not None:
+            if existing.complete and not complete:
+                return existing
+            self._remove(call)
+        answer_bytes = sum(value_bytes(a) for a in answers)
+        entry = CacheEntry(
+            call=call,
+            answers=tuple(answers),
+            complete=complete,
+            stored_at_ms=now_ms,
+            answer_bytes=answer_bytes,
+            last_used_ms=now_ms,
+        )
+        self._entries[call] = entry
+        self._by_function.setdefault(call.qualified_name, {})[call] = entry
+        self._total_bytes += answer_bytes
+        self.stats.insertions += 1
+        self._evict(now_ms, protect=call)
+        return entry
+
+    def invalidate(self, call: GroundCall) -> bool:
+        """Drop one entry; True if it existed."""
+        if call in self._entries:
+            self._remove(call)
+            return True
+        return False
+
+    def invalidate_function(self, domain: str, function: str) -> int:
+        """Drop every entry of ``domain:function`` (e.g. after a source
+        update notification); returns the number removed."""
+        key = f"{domain}:{function}"
+        calls = list(self._by_function.get(key, ()))
+        for call in calls:
+            self._remove(call)
+        return len(calls)
+
+    def invalidate_domain(self, domain: str) -> int:
+        """Drop every entry of every function of ``domain``; returns the
+        number removed."""
+        removed = 0
+        prefix = f"{domain}:"
+        for key in [k for k in self._by_function if k.startswith(prefix)]:
+            for call in list(self._by_function.get(key, ())):
+                self._remove(call)
+                removed += 1
+        return removed
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._by_function.clear()
+        self._total_bytes = 0
+        self.stats = CacheStats()
+
+    # -- scanning (for invariants) ---------------------------------------------
+
+    def entries_for(self, domain: str, function: str, now_ms: float = 0.0) -> Iterator[CacheEntry]:
+        """All live entries of one source function."""
+        bucket = self._by_function.get(f"{domain}:{function}", {})
+        for call in list(bucket):
+            entry = bucket.get(call)
+            if entry is not None and not self._expired(entry, now_ms):
+                yield entry
+
+    def __iter__(self) -> Iterator[CacheEntry]:
+        return iter(list(self._entries.values()))
+
+    # -- introspection ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, call: GroundCall) -> bool:
+        return call in self._entries
+
+    @property
+    def total_bytes(self) -> int:
+        return self._total_bytes
+
+    # -- internals -----------------------------------------------------------------
+
+    def _expired(self, entry: CacheEntry, now_ms: float) -> bool:
+        return self.ttl_ms is not None and now_ms - entry.stored_at_ms >= self.ttl_ms
+
+    def _remove(self, call: GroundCall) -> None:
+        entry = self._entries.pop(call)
+        self._total_bytes -= entry.answer_bytes
+        bucket = self._by_function.get(call.qualified_name)
+        if bucket is not None:
+            bucket.pop(call, None)
+            if not bucket:
+                del self._by_function[call.qualified_name]
+
+    def _evict(self, now_ms: float, protect: Optional[GroundCall] = None) -> None:
+        def over_capacity() -> bool:
+            if self.max_entries is not None and len(self._entries) > self.max_entries:
+                return True
+            if self.max_bytes is not None and self._total_bytes > self.max_bytes:
+                return True
+            return False
+
+        while over_capacity() and len(self._entries) > 1:
+            victim = self._pick_victim(protect)
+            if victim is None:
+                break
+            self._remove(victim)
+            self.stats.evictions += 1
+
+    def _pick_victim(self, protect: Optional[GroundCall]) -> Optional[GroundCall]:
+        if self.policy == POLICY_LRU:
+            for call in self._entries:  # OrderedDict: oldest first
+                if call != protect:
+                    return call
+            return None
+        # LFU: fewest hits, ties broken by age (iteration order)
+        victim: Optional[GroundCall] = None
+        fewest = None
+        for call, entry in self._entries.items():
+            if call == protect:
+                continue
+            if fewest is None or entry.hits < fewest:
+                fewest = entry.hits
+                victim = call
+        return victim

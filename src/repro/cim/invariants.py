@@ -1,0 +1,175 @@
+"""Invariant matching against the result cache (paper §4.1).
+
+Given a ground call ``C`` and an invariant ``Cond ⇒ L R R'``, the matcher:
+
+1. unifies ``L`` with ``C`` (θ);
+2. resolves the right-hand call ``R'θ``;
+3. if ``R'θ`` is ground, checks the (now ground) condition and probes the
+   cache for ``R'θ``;
+4. if ``R'θ`` still has free variables (typical for containment
+   invariants: ``V1 ≤ V2 ⇒ select_lt(T,A,V2) ⊇ select_lt(T,A,V1)`` leaves
+   ``V1`` free), scans the cache bucket of that source function, unifying
+   each cached call with ``R'θ`` and keeping candidates whose fully-ground
+   condition evaluates to true.
+
+Soundness rule: a candidate is used only when the condition is *ground and
+true* after both unifications — an unevaluable condition never matches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.cim.cache import CacheEntry, ResultCache
+from repro.core.model import (
+    DomainCall,
+    GroundCall,
+    Invariant,
+    INVARIANT_EQ,
+    INVARIANT_SUPSET,
+)
+from repro.core.terms import Constant, Term, Variable
+from repro.core.unify import Substitution, resolve, unify_sequences
+from repro.errors import NotGroundError
+
+
+@dataclass(frozen=True, slots=True)
+class InvariantMatch:
+    """A successful invariant-based cache hit."""
+
+    invariant: Invariant
+    entry: CacheEntry
+    relation: str  # INVARIANT_EQ or INVARIANT_SUPSET
+    invariants_checked: int = 0
+    entries_scanned: int = 0
+
+    @property
+    def is_equality(self) -> bool:
+        return self.relation == INVARIANT_EQ
+
+
+class InvariantIndex:
+    """Invariants indexed by the source function of their *left* call."""
+
+    def __init__(self, invariants: "tuple[Invariant, ...] | list[Invariant]" = ()):
+        self._by_left: dict[str, list[Invariant]] = {}
+        self._all: list[Invariant] = []
+        for invariant in invariants:
+            self.add(invariant)
+
+    def add(self, invariant: Invariant) -> None:
+        invariant.validate()
+        key = invariant.left.qualified_name
+        self._by_left.setdefault(key, []).append(invariant)
+        self._all.append(invariant)
+
+    def candidates_for(self, call: GroundCall) -> tuple[Invariant, ...]:
+        return tuple(self._by_left.get(call.qualified_name, ()))
+
+    def __len__(self) -> int:
+        return len(self._all)
+
+    def __iter__(self) -> Iterator[Invariant]:
+        return iter(self._all)
+
+
+def _unify_with_ground(
+    pattern: DomainCall, call: GroundCall, subst: Substitution = ()
+) -> Optional[dict[Variable, Term]]:
+    """Unify a (possibly variable-bearing) call pattern with a ground call,
+    starting from ``subst`` so variables shared with an earlier unification
+    stay consistent."""
+    if (pattern.domain, pattern.function) != (call.domain, call.function):
+        return None
+    ground_terms = tuple(Constant(v) for v in call.args)
+    return unify_sequences(pattern.args, ground_terms, dict(subst))
+
+
+def _condition_holds(invariant: Invariant, subst: Substitution) -> Optional[bool]:
+    """True/False when the condition is ground; None when unevaluable."""
+    try:
+        return all(comparison.evaluate(subst) for comparison in invariant.condition)
+    except NotGroundError:
+        return None
+
+
+def _ground_right(invariant: Invariant, subst: Substitution) -> Optional[GroundCall]:
+    """The right call under ``subst`` if fully ground, else None."""
+    values = []
+    for arg in invariant.right.args:
+        resolved = resolve(arg, subst)
+        if not isinstance(resolved, Constant):
+            return None
+        values.append(resolved.value)
+    return GroundCall(invariant.right.domain, invariant.right.function, tuple(values))
+
+
+def match_invariants(
+    index: InvariantIndex,
+    call: GroundCall,
+    cache: ResultCache,
+    now_ms: float = 0.0,
+    relations: tuple[str, ...] = (INVARIANT_EQ, INVARIANT_SUPSET),
+) -> Optional[InvariantMatch]:
+    """Find the best invariant-based cache hit for ``call``.
+
+    Equality matches are preferred over containment matches (they answer
+    the call outright).  Among containment matches, the candidate with the
+    most cached answers wins (biggest partial answer — the paper notes the
+    partial answer's size "plays a significant role").
+
+    Only *complete* cache entries participate: an invariant relates full
+    answer sets, so applying it to a partial entry would be unsound for
+    equality and weaker than advertised for containment.
+    """
+    best_partial: Optional[InvariantMatch] = None
+    invariants_checked = 0
+    entries_scanned = 0
+    for invariant in index.candidates_for(call):
+        if invariant.relation not in relations:
+            continue
+        invariants_checked += 1
+        theta = _unify_with_ground(invariant.left, call)
+        if theta is None:
+            continue
+        right = _ground_right(invariant, theta)
+        if right is not None:
+            holds = _condition_holds(invariant, theta)
+            if not holds:
+                continue
+            entry = cache.peek(right, now_ms)
+            entries_scanned += 1
+            if entry is None or not entry.complete:
+                continue
+            match = InvariantMatch(
+                invariant, entry, invariant.relation,
+                invariants_checked, entries_scanned,
+            )
+            if invariant.relation == INVARIANT_EQ:
+                return match
+            if best_partial is None or entry.cardinality > best_partial.entry.cardinality:
+                best_partial = match
+            continue
+        # right call not ground: scan the cache bucket for that function
+        for entry in cache.entries_for(
+            invariant.right.domain, invariant.right.function, now_ms
+        ):
+            entries_scanned += 1
+            if not entry.complete:
+                continue
+            merged = _unify_with_ground(invariant.right, entry.call, theta)
+            if merged is None:
+                continue
+            holds = _condition_holds(invariant, merged)
+            if not holds:
+                continue
+            match = InvariantMatch(
+                invariant, entry, invariant.relation,
+                invariants_checked, entries_scanned,
+            )
+            if invariant.relation == INVARIANT_EQ:
+                return match
+            if best_partial is None or entry.cardinality > best_partial.entry.cardinality:
+                best_partial = match
+    return best_partial

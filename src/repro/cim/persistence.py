@@ -1,0 +1,67 @@
+"""Persistence of the CIM result cache.
+
+A warm cache is valuable across mediator sessions (the paper's whole
+point is that source calls are expensive); this module snapshots cache
+entries to versioned JSON and restores them.  Eviction configuration is
+not persisted — it belongs to the cache you load into.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.cim.cache import ResultCache
+from repro.errors import ReproError
+from repro.serialization import decode_call, decode_value, encode_call, encode_value
+
+FORMAT_VERSION = 1
+
+
+def save_cache(cache: ResultCache, path: Union[str, Path]) -> int:
+    """Snapshot every live entry; returns the count written."""
+    entries = []
+    for entry in cache:
+        entries.append(
+            {
+                "call": encode_call(entry.call),
+                "answers": [encode_value(a) for a in entry.answers],
+                "complete": entry.complete,
+                "stored_at_ms": entry.stored_at_ms,
+                "hits": entry.hits,
+            }
+        )
+    payload = {"version": FORMAT_VERSION, "entries": entries}
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+    return len(entries)
+
+
+def load_cache(
+    cache: ResultCache, path: Union[str, Path], now_ms: float = 0.0
+) -> int:
+    """Load entries from ``path`` into ``cache``; returns the count.
+
+    Entries are re-inserted through the normal ``put`` path, so the
+    receiving cache's capacity limits and eviction policy apply.
+    ``stored_at_ms`` is preserved (TTL caches may immediately expire very
+    old entries — that is the point of a TTL).
+    """
+    with open(path) as handle:
+        payload = json.load(handle)
+    if payload.get("version") != FORMAT_VERSION:
+        raise ReproError(
+            f"unsupported cache format version {payload.get('version')!r}"
+        )
+    count = 0
+    for item in payload["entries"]:
+        entry = cache.put(
+            decode_call(item["call"]),
+            tuple(decode_value(a) for a in item["answers"]),
+            now_ms=item["stored_at_ms"],
+            complete=item["complete"],
+        )
+        entry.hits = item.get("hits", 0)
+        count += 1
+    return count

@@ -1,0 +1,194 @@
+"""An interactive mediator shell.
+
+Run ``python -m repro`` for a REPL over a mediator; load one of the
+built-in demo testbeds or your own program files, then type queries.
+
+Commands (everything else is parsed as a rule or a query):
+
+    :demo rope|logistics      load a wired demo testbed
+    :load FILE                load a mediator program file
+    :invariant TEXT.          add an invariant
+    :plans ?- q(...).         list candidate plans
+    :explain ?- q(...).       plans + cost estimates
+    :cim on|off               route queries through the cache manager
+    :validate                 static checks of rules vs registered domains
+    :stats                    DCSM / CIM counters
+    :save-stats FILE          persist DCSM statistics
+    :load-stats FILE          restore DCSM statistics
+    :domains                  registered domains and their functions
+    :help                     this text
+    :quit                     leave
+
+Queries start with ``?-``; bare rules (``head :- body.``) extend the
+program.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import IO, Optional
+
+from repro.core.explain import explain, explain_last_execution
+from repro.core.mediator import Mediator
+from repro.errors import ReproError
+
+_HELP = __doc__.split("Commands", 1)[1]
+
+
+def _build_demo(name: str) -> Mediator:
+    if name == "rope":
+        from repro.workloads.datasets import build_rope_testbed
+
+        return build_rope_testbed()
+    if name == "logistics":
+        from repro.workloads.datasets import (
+            build_inventory_engine,
+            build_logistics_terrain,
+        )
+
+        mediator = Mediator()
+        mediator.register_domain(build_inventory_engine(), site="maryland")
+        mediator.register_domain(build_logistics_terrain(), site="bucknell")
+        mediator.load_program(
+            """
+            routetosupplies(From, Item, To, Cost) :-
+                in(T, ingres:select_eq('inventory', 'item', Item)) &
+                =(T.loc, To) &
+                in(R, terraindb:findrte(From, To)) &
+                =(R.cost, Cost).
+            """
+        )
+        return mediator
+    raise ReproError(f"unknown demo {name!r} (try: rope, logistics)")
+
+
+class MediatorShell:
+    """A line-oriented shell around one Mediator."""
+
+    def __init__(
+        self,
+        mediator: Optional[Mediator] = None,
+        stdin: Optional[IO[str]] = None,
+        stdout: Optional[IO[str]] = None,
+    ):
+        self.mediator = mediator if mediator is not None else Mediator()
+        self.stdin = stdin if stdin is not None else sys.stdin
+        self.stdout = stdout if stdout is not None else sys.stdout
+        self.use_cim = False
+        self.running = False
+
+    # -- plumbing ---------------------------------------------------------
+
+    def write(self, text: str = "") -> None:
+        self.stdout.write(text + "\n")
+
+    def run(self) -> None:
+        """Read-eval-print until :quit or EOF."""
+        self.running = True
+        self.write("repro mediator shell — :help for commands")
+        while self.running:
+            self.stdout.write("hermes> ")
+            self.stdout.flush()
+            line = self.stdin.readline()
+            if not line:
+                break
+            self.handle(line.strip())
+
+    def handle(self, line: str) -> None:
+        """Process one input line (public so tests can drive it)."""
+        if not line or line.startswith("%") or line.startswith("#"):
+            return
+        try:
+            if line.startswith(":"):
+                self._command(line)
+            elif line.startswith("?-"):
+                self._query(line)
+            else:
+                self.mediator.add_rule(line)
+                self.write("rule added.")
+        except ReproError as exc:
+            self.write(f"error: {exc}")
+        except LookupError as exc:
+            self.write(f"error: {exc}")
+
+    # -- commands ------------------------------------------------------------
+
+    def _command(self, line: str) -> None:
+        parts = line.split(None, 1)
+        command = parts[0]
+        argument = parts[1].strip() if len(parts) > 1 else ""
+        if command in (":quit", ":q", ":exit"):
+            self.running = False
+            self.write("bye.")
+        elif command == ":help":
+            self.write("Commands" + _HELP)
+        elif command == ":demo":
+            self.mediator = _build_demo(argument)
+            self.write(f"demo '{argument}' loaded "
+                       f"({len(self.mediator.program)} rules, "
+                       f"domains: {', '.join(self.mediator.registry.names())})")
+        elif command == ":load":
+            with open(argument) as handle:
+                self.mediator.load_program(handle.read())
+            self.write(f"loaded {argument} ({len(self.mediator.program)} rules total)")
+        elif command == ":invariant":
+            self.mediator.add_invariant(argument)
+            self.write("invariant added.")
+        elif command == ":plans":
+            for i, plan in enumerate(self.mediator.plans(argument), start=1):
+                self.write(f"{i}. {plan}")
+        elif command == ":explain":
+            self.write(explain(self.mediator, argument, use_cim=self.use_cim or None))
+        elif command == ":cim":
+            self.use_cim = argument == "on"
+            self.write(f"CIM routing {'on' if self.use_cim else 'off'}.")
+        elif command == ":validate":
+            issues = self.mediator.validate_program()
+            if not issues:
+                self.write("program OK: no issues found.")
+            for issue in issues:
+                self.write(str(issue))
+        elif command == ":stats":
+            self.write(f"clock: {self.mediator.clock.now_ms:.1f} simulated ms")
+            self.write(f"DCSM:  {self.mediator.dcsm.observation_count()} observations")
+            self.write(f"CIM:   {self.mediator.cim.stats}")
+            self.write(f"cache: {len(self.mediator.cim.cache)} entries, "
+                       f"{self.mediator.cim.cache.total_bytes} bytes")
+        elif command == ":save-stats":
+            from repro.dcsm.persistence import save_statistics
+
+            count = save_statistics(self.mediator.dcsm, argument)
+            self.write(f"saved {count} observations to {argument}")
+        elif command == ":load-stats":
+            from repro.dcsm.persistence import load_statistics
+
+            count = load_statistics(self.mediator.dcsm, argument)
+            self.write(f"loaded {count} observations from {argument}")
+        elif command == ":domains":
+            for endpoint in self.mediator.registry:
+                domain = getattr(endpoint, "domain", endpoint)
+                functions = ", ".join(sorted(domain.functions))
+                site = getattr(getattr(endpoint, "site", None), "name", "local")
+                self.write(f"{endpoint.name} @ {site}: {functions}")
+        else:
+            self.write(f"unknown command {command} — :help for help")
+
+    def _query(self, line: str) -> None:
+        result = self.mediator.query(line, use_cim=self.use_cim or None)
+        self.write(str(result))
+        self.write(explain_last_execution(result))
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """CLI entry point: ``python -m repro [--demo NAME] [program.med ...]``."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    shell = MediatorShell()
+    while argv:
+        arg = argv.pop(0)
+        if arg == "--demo":
+            shell.mediator = _build_demo(argv.pop(0))
+        else:
+            with open(arg) as handle:
+                shell.mediator.load_program(handle.read())
+    shell.run()
+    return 0

@@ -1,0 +1,62 @@
+"""Core of the mediator: rule language, rewriter, optimizer, executor."""
+
+from repro.core.answers import QueryResult
+from repro.core.estimator import PlanEstimate, RuleCostEstimator, StepEstimate
+from repro.core.executor import ExecutionResult, Executor, MODE_ALL, MODE_INTERACTIVE
+from repro.core.mediator import Mediator
+from repro.core.model import (
+    Comparison,
+    DomainCall,
+    GroundCall,
+    InAtom,
+    Invariant,
+    Predicate,
+    Program,
+    Query,
+    Rule,
+)
+from repro.core.parser import (
+    parse_invariant,
+    parse_invariants,
+    parse_program,
+    parse_query,
+    parse_rule,
+)
+from repro.core.plans import CallStep, CompareStep, Plan
+from repro.core.rewriter import Rewriter, RewriterConfig
+from repro.core.terms import AttrPath, Constant, Row, Variable
+
+__all__ = [
+    "QueryResult",
+    "PlanEstimate",
+    "RuleCostEstimator",
+    "StepEstimate",
+    "ExecutionResult",
+    "Executor",
+    "MODE_ALL",
+    "MODE_INTERACTIVE",
+    "Mediator",
+    "Comparison",
+    "DomainCall",
+    "GroundCall",
+    "InAtom",
+    "Invariant",
+    "Predicate",
+    "Program",
+    "Query",
+    "Rule",
+    "parse_invariant",
+    "parse_invariants",
+    "parse_program",
+    "parse_query",
+    "parse_rule",
+    "CallStep",
+    "CompareStep",
+    "Plan",
+    "Rewriter",
+    "RewriterConfig",
+    "AttrPath",
+    "Constant",
+    "Row",
+    "Variable",
+]

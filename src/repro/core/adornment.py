@@ -1,0 +1,98 @@
+"""Adornments and executability of subgoal orderings (paper §3, §5).
+
+An *adornment* annotates each argument position of a literal with ``b``
+(bound at evaluation time) or ``f`` (free).  Domain calls are only
+executable when every call argument is bound — the paper's ground-call
+requirement — so the legal subgoal orderings of a rule body are exactly
+those where each literal's inputs are bound by the query constants plus
+the outputs of earlier literals.
+
+This module provides the single-step dataflow function used by both the
+rewriter (to enumerate legal orderings) and the cost estimator (to build
+``$b`` call patterns).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.model import Comparison, InAtom, Literal
+from repro.core.terms import AttrPath, Constant, Term, Variable
+
+
+def term_is_bound(term: Term, bound: frozenset[Variable]) -> bool:
+    """Is ``term`` evaluable given the bound-variable set?"""
+    if isinstance(term, Constant):
+        return True
+    if isinstance(term, Variable):
+        return term in bound
+    if isinstance(term, AttrPath):
+        return term.base in bound
+    return False
+
+
+def step(literal: Literal, bound: frozenset[Variable]) -> Optional[frozenset[Variable]]:
+    """If ``literal`` is executable with ``bound`` variables, return the
+    bound set after it; otherwise ``None``.
+
+    * ``InAtom``: every call argument must be bound (ground at call time);
+      the output term's variables become bound (a ground output is a
+      membership test and binds nothing new).
+    * ``Comparison``: both sides bound → a filter; an ``=`` with exactly
+      one side bound and the other a bare variable → a binding assignment
+      (this is how ``=($ans.1, A)`` projections and pushed selections
+      execute).
+    * ``Predicate``: IDB literals are not executable directly — the
+      rewriter unfolds them away first; reaching one here is an error in
+      the caller, signalled by ``None``.
+    """
+    if isinstance(literal, InAtom):
+        for arg in literal.call.args:
+            if not term_is_bound(arg, bound):
+                return None
+        return bound | literal.output.variables()
+    if isinstance(literal, Comparison):
+        left_ok = term_is_bound(literal.left, bound)
+        right_ok = term_is_bound(literal.right, bound)
+        if left_ok and right_ok:
+            return bound
+        if literal.op in ("=", "=="):
+            if left_ok and isinstance(literal.right, Variable):
+                return bound | {literal.right}
+            if right_ok and isinstance(literal.left, Variable):
+                return bound | {literal.left}
+        return None
+    return None
+
+
+def is_binding_assignment(literal: Literal, bound: frozenset[Variable]) -> bool:
+    """True when the comparison will *bind* a variable rather than filter."""
+    if not isinstance(literal, Comparison) or literal.op not in ("=", "=="):
+        return False
+    left_ok = term_is_bound(literal.left, bound)
+    right_ok = term_is_bound(literal.right, bound)
+    if left_ok and right_ok:
+        return False
+    return (left_ok and isinstance(literal.right, Variable)) or (
+        right_ok and isinstance(literal.left, Variable)
+    )
+
+
+def adornment_of(args: tuple[Term, ...], bound: frozenset[Variable]) -> str:
+    """The paper's ``bf``-style adornment string for an argument list.
+
+    Constants are rendered as ``b`` (they are trivially bound); variables
+    as ``b`` or ``f``.
+    """
+    letters = []
+    for arg in args:
+        letters.append("b" if term_is_bound(arg, bound) else "f")
+    return "".join(letters)
+
+
+def call_adornment(atom: InAtom, bound: frozenset[Variable]) -> str:
+    """Adornment of a domain call's arguments plus its output, e.g. the
+    paper's ``d1:p_bf`` (bound input, free output) naming convention."""
+    input_part = adornment_of(atom.call.args, bound)
+    output_part = "b" if term_is_bound(atom.output, bound) else "f"
+    return input_part + output_part

@@ -1,0 +1,97 @@
+"""Query results: answers plus the optimizer's working."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.estimator import PlanEstimate
+from repro.core.executor import ExecutionResult
+from repro.core.model import Query
+from repro.core.plans import Plan
+from repro.core.terms import Value
+
+
+@dataclass
+class QueryResult:
+    """Everything a mediator query returns.
+
+    ``execution`` holds the answers and measured (simulated) timings;
+    ``chosen`` / ``estimates`` expose what the optimizer considered, so
+    experiments can compare predicted against actual cost.
+    """
+
+    query: Query
+    execution: ExecutionResult
+    chosen: Plan
+    chosen_estimate: Optional[PlanEstimate]
+    candidate_plans: tuple[Plan, ...]
+    estimates: tuple[Optional[PlanEstimate], ...]
+
+    @property
+    def answers(self) -> tuple[tuple[Value, ...], ...]:
+        return self.execution.answers
+
+    @property
+    def variables(self) -> tuple[str, ...]:
+        return tuple(var.name for var in self.execution.answer_vars)
+
+    @property
+    def t_first_ms(self) -> Optional[float]:
+        return self.execution.t_first_ms
+
+    @property
+    def t_all_ms(self) -> float:
+        return self.execution.t_all_ms
+
+    @property
+    def cardinality(self) -> int:
+        return self.execution.cardinality
+
+    @property
+    def complete(self) -> bool:
+        return self.execution.complete
+
+    def rows(self) -> list[dict[str, Value]]:
+        return self.execution.rows()
+
+    def first(self) -> Optional[tuple[Value, ...]]:
+        return self.answers[0] if self.answers else None
+
+    def column(self, name: str) -> list[Value]:
+        """All values of one answer variable."""
+        names = self.variables
+        try:
+            index = names.index(name)
+        except ValueError:
+            raise KeyError(
+                f"no answer variable {name!r}; variables: {names}"
+            ) from None
+        return [answer[index] for answer in self.answers]
+
+    def predicted_vs_actual(self) -> dict[str, tuple[Optional[float], float]]:
+        """(predicted, actual) for T_first and T_all — the Figure 6 rows."""
+        predicted_first = (
+            self.chosen_estimate.t_first_ms if self.chosen_estimate else None
+        )
+        predicted_all = (
+            self.chosen_estimate.t_all_ms if self.chosen_estimate else None
+        )
+        return {
+            "t_first_ms": (predicted_first, self.t_first_ms or 0.0),
+            "t_all_ms": (predicted_all, self.t_all_ms),
+        }
+
+    def __str__(self) -> str:
+        header = " | ".join(self.variables)
+        lines = [header, "-" * len(header)]
+        for answer in self.answers:
+            lines.append(" | ".join(str(v) for v in answer))
+        t_first = f"{self.t_first_ms:.1f}" if self.t_first_ms is not None else "n/a"
+        lines.append(
+            f"({self.cardinality} answers, T_first={t_first}ms, "
+            f"T_all={self.t_all_ms:.1f}ms"
+            + ("" if self.complete else ", INCOMPLETE")
+            + ")"
+        )
+        return "\n".join(lines)

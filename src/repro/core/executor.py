@@ -1,0 +1,372 @@
+"""The execution engine: pipelined nested-loop evaluation of plans.
+
+Evaluation is generator-based and *streaming*: a domain call's answers are
+consumed one at a time, and simulated time is charged per answer (the
+first answer costs the call's ``T_first``, the rest spread evenly up to
+``T_all``).  Consequences that match the paper's observations:
+
+* the query's time-to-first-answer accumulates genuine *backtracking*
+  cost — if early branches of the outer call yield no inner matches, the
+  clock keeps running, which is exactly why the paper found first-answer
+  times hard to predict (§8);
+* stopping early (interactive mode, ``max_answers``) leaves the remaining
+  simulated work uncharged, like HERMES killing still-running external
+  programs.
+
+Two answer modes (paper §3): ``all`` computes everything; ``interactive``
+delivers answers in batches and asks a callback whether to continue.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional
+
+from repro.cim.manager import CacheInvariantManager
+from repro.core.model import Comparison, GroundCall
+from repro.core.plans import CallStep, CompareStep, Plan
+from repro.core.terms import Constant, Term, Value, Variable
+from repro.core.unify import Substitution, resolve, resolve_ground, unify
+from repro.dcsm.module import DCSM
+from repro.domains.base import CallResult
+from repro.domains.registry import DomainRegistry
+from repro.errors import NotGroundError, ReproError
+from repro.net.clock import SimClock
+
+MODE_ALL = "all"
+MODE_INTERACTIVE = "interactive"
+
+#: Decides after each interactive batch whether to fetch more answers.
+ContinueCallback = Callable[[list[tuple[Value, ...]], int], bool]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One dispatched source call, as recorded by ``run(..., trace=True)``."""
+
+    call: GroundCall
+    provenance: str
+    cardinality: int
+    t_first_ms: float
+    t_all_ms: float
+    at_ms: float  # simulated instant the call was issued
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.at_ms:9.2f}ms] {self.call} -> {self.cardinality} answers "
+            f"({self.provenance}, Tf={self.t_first_ms:.2f} Ta={self.t_all_ms:.2f})"
+        )
+
+
+@dataclass
+class _RunStats:
+    """Mutable per-run counters threaded through the recursive solver."""
+
+    calls: int = 0
+    incomplete_results: int = 0
+    memo: dict = field(default_factory=dict)
+    trace: "Optional[list[TraceEvent]]" = None
+
+
+@dataclass
+class ExecutionResult:
+    """What one plan execution produced and cost.
+
+    ``complete`` is False when the consumer stopped early (interactive /
+    ``max_answers``) *or* when any source served an incomplete answer set
+    (a CIM partial-only hit or stale answers during an outage).
+    """
+
+    answers: tuple[tuple[Value, ...], ...]
+    answer_vars: tuple[Variable, ...]
+    t_first_ms: Optional[float]
+    t_all_ms: float
+    complete: bool
+    calls: int
+    provenance: Counter = field(default_factory=Counter)
+    trace: tuple[TraceEvent, ...] = ()
+
+    @property
+    def cardinality(self) -> int:
+        return len(self.answers)
+
+    def rows(self) -> list[dict[str, Value]]:
+        """Answers as dicts keyed by variable name."""
+        names = [var.name for var in self.answer_vars]
+        return [dict(zip(names, answer)) for answer in self.answers]
+
+
+class Executor:
+    """Runs plans against the domain registry and/or the CIM."""
+
+    def __init__(
+        self,
+        registry: DomainRegistry,
+        clock: SimClock,
+        cim: Optional[CacheInvariantManager] = None,
+        dcsm: Optional[DCSM] = None,
+        record_statistics: bool = True,
+        init_overhead_ms: float = 5.0,
+        display_cost_ms: float = 0.05,
+        memoize_calls: bool = False,
+        memo_hit_cost_ms: float = 0.01,
+    ):
+        self.registry = registry
+        self.clock = clock
+        self.cim = cim
+        self.dcsm = dcsm
+        self.record_statistics = record_statistics
+        self.init_overhead_ms = init_overhead_ms
+        self.display_cost_ms = display_cost_ms
+        # the paper (§7 footnote 2) executes nested loops with NO duplicate
+        # elimination, so the same ground call may be issued repeatedly;
+        # "caching gets around the disadvantages".  memoize_calls=True is
+        # the lightweight in-query version of that remark: identical calls
+        # within ONE plan execution are answered from a per-run memo.
+        self.memoize_calls = memoize_calls
+        self.memo_hit_cost_ms = memo_hit_cost_ms
+
+    # -- public API -----------------------------------------------------------
+
+    def run(
+        self,
+        plan: Plan,
+        mode: str = MODE_ALL,
+        max_answers: Optional[int] = None,
+        batch_size: int = 10,
+        continue_callback: Optional[ContinueCallback] = None,
+        initial_subst: Optional[dict[Variable, Term]] = None,
+        max_time_ms: Optional[float] = None,
+        trace: bool = False,
+    ) -> ExecutionResult:
+        """Execute ``plan`` and collect its answers with timing.
+
+        ``mode="interactive"`` delivers batches of ``batch_size`` and
+        consults ``continue_callback(batch, total_so_far)`` between them —
+        a ``False`` stops execution (the result is flagged incomplete).
+
+        ``max_time_ms`` is a simulated-time budget: execution stops (and
+        the result is flagged incomplete) once the budget is exhausted,
+        checked between answers — like a user abandoning a slow query.
+        """
+        if mode not in (MODE_ALL, MODE_INTERACTIVE):
+            raise ReproError(f"unknown execution mode {mode!r}")
+        provenance: Counter = Counter()
+        stats = _RunStats(trace=[] if trace else None)
+        start_ms = self.clock.now_ms
+        self.clock.advance(self.init_overhead_ms)
+        answers: list[tuple[Value, ...]] = []
+        t_first: Optional[float] = None
+        complete = True
+        batch: list[tuple[Value, ...]] = []
+        stream = self._solve(plan.steps, 0, dict(initial_subst or {}), provenance, stats)
+        for subst in stream:
+            answer = self._project(plan.answer_vars, subst)
+            self.clock.advance(self.display_cost_ms)
+            if t_first is None:
+                t_first = self.clock.now_ms - start_ms
+            answers.append(answer)
+            if max_answers is not None and len(answers) >= max_answers:
+                complete = False
+                break
+            if (
+                max_time_ms is not None
+                and self.clock.now_ms - start_ms >= max_time_ms
+            ):
+                complete = False
+                break
+            if mode == MODE_INTERACTIVE:
+                batch.append(answer)
+                if len(batch) >= batch_size:
+                    keep_going = (
+                        continue_callback(batch, len(answers))
+                        if continue_callback is not None
+                        else True
+                    )
+                    batch = []
+                    if not keep_going:
+                        complete = False
+                        break
+        else:
+            complete = True
+        t_all = self.clock.now_ms - start_ms
+        return ExecutionResult(
+            answers=tuple(answers),
+            answer_vars=plan.answer_vars,
+            t_first_ms=t_first,
+            t_all_ms=t_all,
+            complete=complete and stats.incomplete_results == 0,
+            calls=stats.calls,
+            provenance=provenance,
+            trace=tuple(stats.trace) if stats.trace is not None else (),
+        )
+
+    def stream(
+        self,
+        plan: Plan,
+        initial_subst: Optional[dict[Variable, Term]] = None,
+    ) -> "Iterator[tuple[Value, ...]]":
+        """Lazily yield projected answers, charging simulated time as the
+        consumer pulls.  Abandoning the iterator abandons the remaining
+        (uncharged) work — the cursor/interactive building block."""
+        provenance: Counter = Counter()
+        stats = _RunStats()
+        self.clock.advance(self.init_overhead_ms)
+        for subst in self._solve(
+            plan.steps, 0, dict(initial_subst or {}), provenance, stats
+        ):
+            self.clock.advance(self.display_cost_ms)
+            yield self._project(plan.answer_vars, subst)
+
+    # -- evaluation core -----------------------------------------------------------
+
+    def _solve(
+        self,
+        steps: tuple,
+        index: int,
+        subst: dict[Variable, Term],
+        provenance: Counter,
+        stats: _RunStats,
+    ) -> Iterator[dict[Variable, Term]]:
+        if index == len(steps):
+            yield subst
+            return
+        step = steps[index]
+        if isinstance(step, CompareStep):
+            yield from self._eval_comparison(
+                step.comparison, steps, index, subst, provenance, stats
+            )
+            return
+        assert isinstance(step, CallStep)
+        ground = step.atom.call.ground(subst)
+        memo_key = (ground, step.via_cim)
+        if self.memoize_calls and memo_key in stats.memo:
+            cached: CallResult = stats.memo[memo_key]
+            result = CallResult(
+                call=ground,
+                answers=cached.answers,
+                t_first_ms=self.memo_hit_cost_ms,
+                t_all_ms=self.memo_hit_cost_ms
+                + self.memo_hit_cost_ms * 0.1 * len(cached.answers),
+                provenance="memo",
+                complete=cached.complete,
+            )
+        else:
+            result = self._dispatch(ground, step.via_cim)
+            if self.memoize_calls:
+                stats.memo[memo_key] = result
+        provenance[result.provenance] += 1
+        stats.calls += 1
+        if not result.complete:
+            stats.incomplete_results += 1
+        if stats.trace is not None:
+            stats.trace.append(
+                TraceEvent(
+                    call=ground,
+                    provenance=result.provenance,
+                    cardinality=result.cardinality,
+                    t_first_ms=result.t_first_ms,
+                    t_all_ms=result.t_all_ms,
+                    at_ms=self.clock.now_ms,
+                )
+            )
+        yield from self._consume(
+            result, step, steps, index, subst, provenance, stats
+        )
+
+    def _consume(
+        self,
+        result: CallResult,
+        step: CallStep,
+        steps: tuple,
+        index: int,
+        subst: dict[Variable, Term],
+        provenance: Counter,
+        stats: _RunStats,
+    ) -> Iterator[dict[Variable, Term]]:
+        """Stream a call's answers, charging simulated time per answer."""
+        n = len(result.answers)
+        if n == 0:
+            self.clock.advance(result.t_all_ms)
+            return
+        gap = (result.t_all_ms - result.t_first_ms) / (n - 1) if n > 1 else 0.0
+        output = step.atom.output
+        try:
+            membership_value = resolve_ground(output, subst)
+            is_test = True
+        except NotGroundError:
+            membership_value = None
+            is_test = False
+        charged = 0.0
+        for k, answer in enumerate(result.answers):
+            delta = result.t_first_ms if k == 0 else gap
+            self.clock.advance(delta)
+            charged += delta
+            if is_test:
+                if answer == membership_value:
+                    # membership confirmed; the rest of the stream is moot
+                    yield from self._solve(
+                        steps, index + 1, subst, provenance, stats
+                    )
+                    return
+                continue
+            extended = unify(output, Constant(answer), subst)
+            if extended is None:
+                continue
+            yield from self._solve(steps, index + 1, extended, provenance, stats)
+        # single-answer calls carry their full duration on the one answer
+        if n == 1 and result.t_all_ms > charged:
+            self.clock.advance(result.t_all_ms - charged)
+
+    def _eval_comparison(
+        self,
+        comparison: Comparison,
+        steps: tuple,
+        index: int,
+        subst: dict[Variable, Term],
+        provenance: Counter,
+        stats: _RunStats,
+    ) -> Iterator[dict[Variable, Term]]:
+        left = resolve(comparison.left, subst)
+        right = resolve(comparison.right, subst)
+        if isinstance(left, Constant) and isinstance(right, Constant):
+            if comparison.evaluate(subst):
+                yield from self._solve(steps, index + 1, subst, provenance, stats)
+            return
+        if comparison.op in ("=", "=="):
+            extended = unify(left, right, subst)
+            if extended is not None and (
+                isinstance(left, Constant)
+                or isinstance(right, Constant)
+                or isinstance(left, Variable)
+                or isinstance(right, Variable)
+            ):
+                yield from self._solve(steps, index + 1, extended, provenance, stats)
+                return
+        raise NotGroundError(
+            f"comparison {comparison} is not evaluable at execution time "
+            f"(plan ordering bug)"
+        )
+
+    # -- dispatch ------------------------------------------------------------------
+
+    def _dispatch(self, call: GroundCall, via_cim: bool) -> CallResult:
+        if via_cim and self.cim is not None:
+            return self.cim.execute(call)
+        result = self.registry.execute(call)
+        if self.record_statistics and self.dcsm is not None:
+            self.dcsm.record(result)
+        return result
+
+    @staticmethod
+    def _project(
+        answer_vars: tuple[Variable, ...], subst: Substitution
+    ) -> tuple[Value, ...]:
+        values: list[Value] = []
+        for var in answer_vars:
+            try:
+                values.append(resolve_ground(var, subst))
+            except NotGroundError:
+                values.append(None)  # variable genuinely unconstrained
+        return tuple(values)

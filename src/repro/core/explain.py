@@ -1,0 +1,97 @@
+"""EXPLAIN for mediator queries: show every candidate plan, its
+adornments, and the DCSM's pricing — without executing anything.
+
+The paper's optimizer picks silently; a production library should show
+its working.  :func:`explain` renders the candidates the rewriter found,
+the cost vectors the rule cost estimator assigned (or why it could not),
+and which plan would run for each objective.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.estimator import PlanEstimate, RuleCostEstimator
+from repro.core.model import Query
+from repro.core.plans import Plan
+
+def explain(
+    mediator,
+    query: "str | Query",
+    use_cim=None,
+    objective: str = "all",
+) -> str:
+    """A human-readable plan report for ``query``.
+
+    ``objective`` is ``"all"`` or ``"first"`` — which time the optimizer
+    minimises (matching the all-answers / interactive modes).
+    """
+    from repro.core.parser import parse_query
+
+    if isinstance(query, str):
+        query = parse_query(query)
+    plans = mediator.plans(query, use_cim=use_cim)
+    estimator: RuleCostEstimator = mediator.cost_estimator
+    winner, estimates = estimator.choose(plans, objective=objective)
+
+    lines = [f"EXPLAIN {query}"]
+    lines.append(
+        f"{len(plans)} candidate plan(s); objective: "
+        f"{'time to all answers' if objective == 'all' else 'time to first answer'}"
+    )
+    for index, (plan, estimate) in enumerate(zip(plans, estimates), start=1):
+        marker = " <== chosen" if winner is not None and plan is winner.plan else ""
+        lines.append("")
+        lines.append(f"Plan {index}{marker}")
+        if plan.origin:
+            lines.append(f"  rules: {plan.origin}")
+        lines.append(f"  adornments: {', '.join(plan.adornments()) or '(no calls)'}")
+        for step in plan.steps:
+            lines.append(f"    {step}")
+        lines.append(f"  {_render_estimate(estimate)}")
+    if winner is None:
+        lines.append("")
+        lines.append(
+            "no plan could be priced (statistics cache is empty for these "
+            "calls); the first plan would run and seed the statistics"
+        )
+    return "\n".join(lines)
+
+
+def _render_estimate(estimate: Optional[PlanEstimate]) -> str:
+    if estimate is None:
+        return "estimate: unavailable (no statistics for some call)"
+    parts = [f"estimate: {estimate.vector}"]
+    for step_estimate in estimate.steps:
+        if step_estimate.pattern is not None:
+            parts.append(
+                f"    cost({step_estimate.pattern}) = {step_estimate.vector} "
+                f"x{step_estimate.invocations:.1f} invocations"
+            )
+    return "\n  ".join(parts)
+
+
+def explain_last_execution(result) -> str:
+    """Post-mortem of an executed QueryResult: predicted vs measured."""
+    lines = [f"EXECUTED {result.query}"]
+    lines.append(f"plan: {result.chosen}")
+    comparison = result.predicted_vs_actual()
+    predicted_first, actual_first = comparison["t_first_ms"]
+    predicted_all, actual_all = comparison["t_all_ms"]
+
+    def fmt(value: Optional[float]) -> str:
+        return "n/a" if value is None else f"{value:.1f}ms"
+
+    lines.append(
+        f"T_first: predicted {fmt(predicted_first)}, measured {fmt(actual_first)}"
+    )
+    lines.append(
+        f"T_all:   predicted {fmt(predicted_all)}, measured {fmt(actual_all)}"
+    )
+    lines.append(
+        f"{result.cardinality} answers"
+        + ("" if result.complete else " (incomplete)")
+        + f"; {result.execution.calls} source call(s); "
+        f"provenance {dict(result.execution.provenance) or '{}'}"
+    )
+    return "\n".join(lines)

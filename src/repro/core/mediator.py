@@ -1,0 +1,481 @@
+"""The mediator façade — the library's main entry point.
+
+Wires together every subsystem of the paper's Figure 1 architecture:
+
+* the **rule rewriter** (plan enumeration),
+* the **rule cost estimator** (plan pricing via DCSM),
+* the **DCSM** (statistics cache of actual call costs),
+* the **CIM** (result cache + invariants),
+* the **execution engine** (pipelined nested loops on a simulated clock),
+* the **domain registry** (local substrates, optionally behind simulated
+  remote sites).
+
+Typical use::
+
+    med = Mediator()
+    med.register_domain(relational_engine, site="maryland")
+    med.register_domain(avis, site="italy")
+    med.load_program('''
+        actors(A) :- in(Obj, video:actors_in('rope'))
+                   & in(Row, relation:equal('cast', 'role', Obj))
+                   & =(Row.name, A).
+    ''')
+    med.add_invariant("F1 <= F2 & L2 <= L1 => "
+                      "video:frames_to_objects(V, F1, L1) >= "
+                      "video:frames_to_objects(V, F2, L2).")
+    result = med.query("?- actors(A).")
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Union
+
+from repro.cim.manager import CacheInvariantManager, CimPolicy
+from repro.core.answers import QueryResult
+from repro.core.estimator import PlanEstimate, RuleCostEstimator
+from repro.core.executor import ContinueCallback, Executor, MODE_ALL, MODE_INTERACTIVE
+from repro.core.model import Invariant, Program, Query, Rule
+from repro.core.parser import parse_invariant, parse_program, parse_query
+from repro.core.plans import Plan
+from repro.core.rewriter import Rewriter, RewriterConfig
+from repro.dcsm.module import DCSM
+from repro.domains.base import Domain
+from repro.domains.registry import DomainRegistry
+from repro.errors import PlanningError
+from repro.net.clock import SimClock
+from repro.net.remote import RemoteDomain
+from repro.net.sites import Site, make_site
+
+#: use_cim values: route nothing, everything, or a chosen set of domains.
+CimRouting = Union[bool, set, frozenset, None]
+
+
+class Mediator:
+    """A HERMES-style mediator with cost-based optimization and caching."""
+
+    def __init__(
+        self,
+        clock: Optional[SimClock] = None,
+        dcsm: Optional[DCSM] = None,
+        cim: Optional[CacheInvariantManager] = None,
+        rewriter_config: Optional[RewriterConfig] = None,
+        cim_policy: CimPolicy = CimPolicy.SERIAL,
+        record_statistics: bool = True,
+        comparison_selectivity: float = 1.0,
+        init_overhead_ms: float = 5.0,
+        display_cost_ms: float = 0.05,
+        use_predicate_first_stats: bool = False,
+        memoize_calls: bool = False,
+    ):
+        self.clock = clock if clock is not None else SimClock()
+        self.registry = DomainRegistry()
+        self.dcsm = dcsm if dcsm is not None else DCSM(clock=self.clock)
+        self.cim = (
+            cim
+            if cim is not None
+            else CacheInvariantManager(
+                self.registry,
+                self.clock,
+                policy=cim_policy,
+                observer=self.dcsm.record if record_statistics else None,
+            )
+        )
+        self.program = Program()
+        self.rewriter_config = (
+            rewriter_config if rewriter_config is not None else RewriterConfig()
+        )
+        self.cost_estimator = RuleCostEstimator(
+            self.dcsm, comparison_selectivity=comparison_selectivity
+        )
+        self.executor = Executor(
+            self.registry,
+            self.clock,
+            cim=self.cim,
+            dcsm=self.dcsm,
+            record_statistics=record_statistics,
+            init_overhead_ms=init_overhead_ms,
+            display_cost_ms=display_cost_ms,
+            memoize_calls=memoize_calls,
+        )
+        self._rewriter: Optional[Rewriter] = None
+        # paper §8's proposed remedy for first-answer underprediction:
+        # "cache ... the time for the first answer of predicates in the
+        # same way we cache statistics for domain calls".  When enabled,
+        # single-predicate queries record their measured T_first, and
+        # later predictions for that predicate are floored by the
+        # historical average (backtracking makes reality slower than the
+        # Σ T_firstᵢ formula, never faster).
+        self.use_predicate_first_stats = use_predicate_first_stats
+
+    # -- registration -------------------------------------------------------------
+
+    def register_domain(
+        self,
+        domain: Domain,
+        site: "str | Site | None" = None,
+        seed: int = 0,
+    ) -> None:
+        """Register a source; with ``site`` it is reached through the
+        simulated network (by catalog name or an explicit ``Site``)."""
+        if site is None:
+            self.registry.add(domain)
+            return
+        if isinstance(site, str):
+            site = make_site(site, seed=seed)
+        self.registry.add(RemoteDomain(domain, site, self.clock))
+
+    def load_program(self, program: "str | Program") -> None:
+        """Add rules (text or a parsed Program) to the mediator."""
+        if isinstance(program, str):
+            program = parse_program(program)
+        for rule in program:
+            self.program.add(rule)
+        self._rewriter = None
+
+    def add_rule(self, rule: "str | Rule") -> None:
+        if isinstance(rule, str):
+            program = parse_program(rule)
+            for parsed in program:
+                self.program.add(parsed)
+        else:
+            self.program.add(rule)
+        self._rewriter = None
+
+    def add_invariant(self, invariant: "str | Invariant") -> None:
+        if isinstance(invariant, str):
+            invariant = parse_invariant(invariant)
+        self.cim.add_invariant(invariant)
+
+    def notify_source_changed(self, domain: str, function: Optional[str] = None) -> int:
+        """Tell the mediator a source's data changed; drops the affected
+        cached results so stale answers are not served.  Returns the
+        number of cache entries dropped."""
+        return self.cim.notify_source_changed(domain, function)
+
+    def validate_program(self) -> list:
+        """Static pre-flight checks of the loaded rules against the
+        registered domains (unknown domains/functions, arity mismatches,
+        undefined predicates, unorderable bodies, recursion).  Returns a
+        list of :class:`repro.core.validation.Issue`."""
+        from repro.core.validation import validate_program
+
+        return validate_program(self.program, self.registry)
+
+    # -- planning -------------------------------------------------------------------
+
+    @property
+    def rewriter(self) -> Rewriter:
+        if self._rewriter is None:
+            self._rewriter = Rewriter(self.program, self.rewriter_config)
+        return self._rewriter
+
+    def plans(
+        self,
+        query: "str | Query",
+        use_cim: CimRouting = None,
+        bindings: Optional[dict] = None,
+    ) -> tuple[Plan, ...]:
+        """The executable plans for a query, with CIM routing applied.
+
+        ``bindings`` pre-binds query variables by name (parameterised
+        queries): bound variables count as bound for adornment purposes,
+        enabling orderings a free variable would forbid.
+        """
+        if isinstance(query, str):
+            query = parse_query(query)
+        bound_vars = frozenset(self._bindings_subst(bindings))
+        plans = self.rewriter.plans(query, bound_vars=bound_vars)
+        return tuple(self._route(plan, use_cim) for plan in plans)
+
+    @staticmethod
+    def _bindings_subst(bindings: Optional[dict]) -> dict:
+        """{"Name": value} → {Variable("Name"): Constant(value)}."""
+        from repro.core.terms import Constant, Variable
+
+        if not bindings:
+            return {}
+        return {
+            Variable(name): Constant(value) for name, value in bindings.items()
+        }
+
+    def _route(self, plan: Plan, use_cim: CimRouting) -> Plan:
+        if use_cim is True:
+            return plan.with_cim(None)
+        if isinstance(use_cim, (set, frozenset)) and use_cim:
+            return plan.with_cim(set(use_cim))
+        return plan
+
+    # -- querying --------------------------------------------------------------------
+
+    def query(
+        self,
+        query: "str | Query",
+        mode: str = MODE_ALL,
+        use_cim: CimRouting = None,
+        optimize: bool = True,
+        plan: Optional[Plan] = None,
+        max_answers: Optional[int] = None,
+        batch_size: int = 10,
+        continue_callback: Optional[ContinueCallback] = None,
+        semantics: str = "access-paths",
+        deduplicate: bool = False,
+        bindings: Optional[dict] = None,
+        max_time_ms: Optional[float] = None,
+        trace: bool = False,
+    ) -> QueryResult:
+        """Plan, optimize, and execute a query.
+
+        * ``optimize=True`` prices every candidate plan through the DCSM
+          and runs the cheapest (T_all for ``mode="all"``, T_first for
+          ``mode="interactive"``); plans the DCSM cannot price (no
+          statistics yet) lose ties to priced ones, and when *nothing* can
+          be priced the first plan runs (and its measured costs seed the
+          statistics cache for next time).
+        * ``plan=`` bypasses planning and runs exactly that plan (used by
+          the experiments to execute a specific rewriting).
+        * ``use_cim`` routes calls through the Cache and Invariant
+          Manager: ``True`` for all domains, a set of names for some.
+        * ``semantics`` — ``"access-paths"`` (the paper's model: multiple
+          rules per predicate are equivalent ways to reach the *same*
+          relation, so exactly one rewriting runs) or ``"union"`` (datalog
+          union: one best ordering per distinct rule-choice combination
+          runs, answers concatenated; ``deduplicate=True`` removes
+          duplicate answer tuples across branches).
+        """
+        if isinstance(query, str):
+            query = parse_query(query)
+        if semantics not in ("access-paths", "union"):
+            raise PlanningError(f"unknown query semantics {semantics!r}")
+        if semantics == "union" and plan is None:
+            return self._query_union(
+                query, mode, use_cim, optimize, max_answers, deduplicate
+            )
+        initial_subst = self._bindings_subst(bindings)
+        bound_vars = frozenset(initial_subst)
+        candidates: tuple[Plan, ...]
+        if plan is not None:
+            candidates = (plan,)
+            chosen = plan
+            chosen_estimate: Optional[PlanEstimate] = None
+            estimates: tuple[Optional[PlanEstimate], ...] = (None,)
+            try:
+                chosen_estimate = self.cost_estimator.estimate(plan)
+                estimates = (chosen_estimate,)
+            except Exception:
+                pass
+        else:
+            candidates = self.plans(query, use_cim, bindings=bindings)
+            if optimize and len(candidates) > 1:
+                objective = "first" if mode == MODE_INTERACTIVE else "all"
+                winner, estimates = self.cost_estimator.choose(
+                    candidates, objective=objective, bound_vars=bound_vars
+                )
+                if winner is not None:
+                    chosen = winner.plan
+                    chosen_estimate = winner
+                else:
+                    chosen = candidates[0]
+                    chosen_estimate = None
+            else:
+                chosen = candidates[0]
+                estimates = tuple(None for _ in candidates)
+                chosen_estimate = None
+                try:
+                    chosen_estimate = self.cost_estimator.estimate(chosen)
+                    estimates = (chosen_estimate,) + tuple(
+                        None for _ in candidates[1:]
+                    )
+                except Exception:
+                    pass
+
+        chosen_estimate = self._apply_predicate_first(query, chosen_estimate)
+        execution = self.executor.run(
+            chosen,
+            mode=mode,
+            max_answers=max_answers,
+            batch_size=batch_size,
+            continue_callback=continue_callback,
+            initial_subst=initial_subst,
+            max_time_ms=max_time_ms,
+            trace=trace,
+        )
+        self._record_predicate_first(query, execution)
+        return QueryResult(
+            query=query,
+            execution=execution,
+            chosen=chosen,
+            chosen_estimate=chosen_estimate,
+            candidate_plans=candidates,
+            estimates=estimates,
+        )
+
+    def cursor(
+        self,
+        query: "str | Query",
+        use_cim: CimRouting = None,
+        optimize: bool = True,
+        plan: Optional[Plan] = None,
+        bindings: Optional[dict] = None,
+    ):
+        """Open a lazy cursor over the query (paper §3's interactive
+        mode as an API): ``fetch(n)`` pulls batches, ``close()`` abandons
+        the remaining simulated work."""
+        from repro.core.cursor import QueryCursor
+
+        if isinstance(query, str):
+            query = parse_query(query)
+        if plan is None:
+            candidates = self.plans(query, use_cim, bindings=bindings)
+            if optimize and len(candidates) > 1:
+                winner, __ = self.cost_estimator.choose(
+                    candidates,
+                    objective="first",
+                    bound_vars=frozenset(self._bindings_subst(bindings)),
+                )
+                plan = winner.plan if winner is not None else candidates[0]
+            else:
+                plan = candidates[0]
+        cursor = QueryCursor(self.executor, plan, self.clock)
+        if bindings:
+            # rebuild the stream with the initial substitution applied
+            cursor._stream = self.executor.stream(
+                plan, initial_subst=self._bindings_subst(bindings)
+            )
+        return cursor
+
+    # -- predicate-level first-answer statistics (paper §8 remedy) -----------------
+
+    @staticmethod
+    def _query_predicate_key(query: Query) -> Optional[tuple[str, int]]:
+        from repro.core.model import Predicate
+
+        if len(query.goals) == 1 and isinstance(query.goals[0], Predicate):
+            goal = query.goals[0]
+            return (goal.name, goal.arity)
+        return None
+
+    def _record_predicate_first(self, query: Query, execution) -> None:
+        if not self.use_predicate_first_stats:
+            return
+        key = self._query_predicate_key(query)
+        if key is not None and execution.t_first_ms is not None:
+            self.dcsm.record_predicate_first(key[0], key[1], execution.t_first_ms)
+
+    def _apply_predicate_first(self, query: Query, estimate):
+        """Floor the formula's T_first with the predicate's history."""
+        if not self.use_predicate_first_stats or estimate is None:
+            return estimate
+        key = self._query_predicate_key(query)
+        if key is None:
+            return estimate
+        historical = self.dcsm.predicate_first_estimate(*key)
+        if historical is None or estimate.t_first_ms >= historical:
+            return estimate
+        from dataclasses import replace
+
+        from repro.dcsm.vectors import CostVector
+
+        corrected = CostVector(
+            t_first_ms=historical,
+            t_all_ms=estimate.vector.t_all_ms,
+            cardinality=estimate.vector.cardinality,
+        )
+        return replace(estimate, vector=corrected)
+
+    def _query_union(
+        self,
+        query: Query,
+        mode: str,
+        use_cim: CimRouting,
+        optimize: bool,
+        max_answers: Optional[int],
+        deduplicate: bool,
+    ) -> QueryResult:
+        """Union semantics: run one best ordering per rule-choice branch
+        and merge the answers."""
+        from collections import Counter
+
+        from repro.core.executor import ExecutionResult
+
+        candidates = self.plans(query, use_cim)
+        branches: dict[str, list[Plan]] = {}
+        for candidate in candidates:
+            branches.setdefault(candidate.origin, []).append(candidate)
+
+        chosen_plans: list[Plan] = []
+        chosen_estimates: list[Optional[PlanEstimate]] = []
+        for plans in branches.values():
+            if optimize and len(plans) > 1:
+                objective = "first" if mode == MODE_INTERACTIVE else "all"
+                winner, __ = self.cost_estimator.choose(plans, objective=objective)
+                chosen_plans.append(winner.plan if winner else plans[0])
+                chosen_estimates.append(winner)
+            else:
+                chosen_plans.append(plans[0])
+                try:
+                    chosen_estimates.append(self.cost_estimator.estimate(plans[0]))
+                except Exception:
+                    chosen_estimates.append(None)
+
+        answers: list[tuple] = []
+        seen: set[tuple] = set()
+        provenance: Counter = Counter()
+        calls = 0
+        t_first: Optional[float] = None
+        start_ms = self.clock.now_ms
+        complete = True
+        answer_vars = query.answer_vars
+        for branch_plan in chosen_plans:
+            remaining = (
+                None if max_answers is None else max_answers - len(answers)
+            )
+            if remaining is not None and remaining <= 0:
+                complete = False
+                break
+            execution = self.executor.run(
+                branch_plan, mode=mode, max_answers=remaining
+            )
+            provenance.update(execution.provenance)
+            calls += execution.calls
+            complete = complete and execution.complete
+            elapsed_before_branch = (
+                self.clock.now_ms - start_ms - execution.t_all_ms
+            )
+            for answer in execution.answers:
+                if deduplicate:
+                    if answer in seen:
+                        continue
+                    seen.add(answer)
+                answers.append(answer)
+            if (
+                t_first is None
+                and execution.answers
+                and execution.t_first_ms is not None
+            ):
+                t_first = elapsed_before_branch + execution.t_first_ms
+        merged = ExecutionResult(
+            answers=tuple(answers),
+            answer_vars=answer_vars,
+            t_first_ms=t_first,
+            t_all_ms=self.clock.now_ms - start_ms,
+            complete=complete,
+            calls=calls,
+            provenance=provenance,
+        )
+        return QueryResult(
+            query=query,
+            execution=merged,
+            chosen=chosen_plans[0],
+            chosen_estimate=chosen_estimates[0] if chosen_estimates else None,
+            candidate_plans=candidates,
+            estimates=tuple(chosen_estimates),
+        )
+
+    # -- training helpers (experiments) ----------------------------------------------
+
+    def train(self, queries: Iterable["str | Query"], **kwargs) -> int:
+        """Run queries purely to populate the statistics cache; returns
+        how many observations DCSM now holds."""
+        for q in queries:
+            self.query(q, optimize=False, **kwargs)
+        return self.dcsm.observation_count()

@@ -1,0 +1,513 @@
+"""Parser for the mediator rule language.
+
+Grammar (paper §2, §4, §5 syntax, plus the appendix queries)::
+
+    program    := rule*
+    rule       := predicate (":-" | "<-") body "."  |  predicate "."
+    body       := literal (("&" | ",") literal)*
+    literal    := in_atom | comparison | predicate
+    in_atom    := "in" "(" term "," domaincall ")"
+    domaincall := ident ":" ident "(" terms? ")"
+    predicate  := ident "(" terms? ")"
+    comparison := relop "(" term "," term ")"      # prefix:  =($ans.1, A)
+                | term relop term                  # infix:   V1 <= V2
+    relop      := "=" | "==" | "!=" | "<" | "<=" | ">" | ">="
+    term       := variable path? | constant
+    variable   := UpperIdent | "_" ident | "$" ident
+    path       := ("." (ident | integer))+         # only after variables
+    constant   := lowerIdent | 'quoted string' | "quoted string" | number
+                | "true" | "false"
+    query      := "?-" body "."
+    invariant  := (body "=>")? domaincall ("=" | ">=" | "<=") domaincall "."
+
+Notes
+-----
+* Lowercase bare identifiers are symbolic constants (their string value),
+  following the paper's Prolog-ish examples (``m(a, c)``).
+* ``$ans`` is a variable (the paper uses ``$ans.1`` for column access).
+* Attribute paths attach only to variables; a clause-final ``.`` must be
+  followed by whitespace or end of input when the previous token is a
+  variable (``... X > Y.``), which all sane formatting satisfies.
+* An invariant with relation ``<=`` (⊆) is normalised by swapping sides
+  into a ``>=`` (⊇) invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.model import (
+    COMPARISON_OPS,
+    NAMED_COMPARISON_OPS,
+    Comparison,
+    DomainCall,
+    InAtom,
+    Invariant,
+    INVARIANT_EQ,
+    INVARIANT_SUPSET,
+    Literal,
+    Predicate,
+    Program,
+    Query,
+    Rule,
+)
+from repro.core.terms import AttrPath, Constant, Term, Variable
+from repro.errors import ParseError
+
+# ---------------------------------------------------------------------------
+# Lexer
+# ---------------------------------------------------------------------------
+
+_PUNCT2 = (":-", "<-", "?-", "=>", "<=", ">=", "!=", "==")
+_PUNCT1 = "():,.&=<>"
+
+
+@dataclass(frozen=True, slots=True)
+class _Token:
+    kind: str  # 'ident' | 'var' | 'string' | 'number' | 'punct' | 'eof'
+    text: str
+    value: object
+    pos: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch in " \t\r\n":
+            i += 1
+            continue
+        if ch == "%" or (ch == "/" and text[i : i + 2] == "//"):
+            # comment to end of line (% Prolog-style, // C-style)
+            j = text.find("\n", i)
+            i = n if j < 0 else j + 1
+            continue
+        if ch == "#":
+            j = text.find("\n", i)
+            i = n if j < 0 else j + 1
+            continue
+        start = i
+        if text[i : i + 2] in _PUNCT2:
+            tokens.append(_Token("punct", text[i : i + 2], None, start))
+            i += 2
+            continue
+        if ch in "'\"":
+            quote = ch
+            j = i + 1
+            buf: list[str] = []
+            while j < n and text[j] != quote:
+                if text[j] == "\\" and j + 1 < n:
+                    buf.append(text[j + 1])
+                    j += 2
+                else:
+                    buf.append(text[j])
+                    j += 1
+            if j >= n:
+                raise ParseError("unterminated string literal", text, start)
+            tokens.append(_Token("string", text[start : j + 1], "".join(buf), start))
+            i = j + 1
+            continue
+        if ch.isdigit() or (
+            ch == "-" and i + 1 < n and text[i + 1].isdigit() and _number_context(tokens)
+        ):
+            j = i + 1 if ch == "-" else i
+            while j < n and text[j].isdigit():
+                j += 1
+            is_float = False
+            if j < n - 0 and text[j : j + 1] == "." and j + 1 < n and text[j + 1].isdigit():
+                is_float = True
+                j += 1
+                while j < n and text[j].isdigit():
+                    j += 1
+            raw = text[start:j]
+            tokens.append(
+                _Token("number", raw, float(raw) if is_float else int(raw), start)
+            )
+            i = j
+            continue
+        if ch.isalpha() or ch in "_$":
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[start:j]
+            if word[0].isupper() or word[0] in "_$":
+                kind = "var"
+                if word[0] == "$":
+                    # "$" marks variable access on structured answers in the
+                    # paper's syntax ($ans.1); it is not part of the name, so
+                    # $Ans and Ans denote the same variable.
+                    word = word[1:]
+                    if not word:
+                        raise ParseError("bare '$' is not a variable", text, start)
+            else:
+                kind = "ident"
+            # attribute path: only for variables; consume ".component"+
+            path: list[object] = []
+            while (
+                kind == "var"
+                and j < n
+                and text[j] == "."
+                and j + 1 < n
+                and (text[j + 1].isalnum() or text[j + 1] == "_")
+            ):
+                j += 1
+                k = j
+                while k < n and (text[k].isalnum() or text[k] == "_"):
+                    k += 1
+                component = text[j:k]
+                path.append(int(component) if component.isdigit() else component)
+                j = k
+            if path:
+                # token text is the cleaned base variable name; the path is
+                # carried in the token value
+                tokens.append(_Token("var", word, tuple(path), start))
+            else:
+                tokens.append(_Token(kind, word, None, start))
+            i = j
+            continue
+        if ch in _PUNCT1:
+            tokens.append(_Token("punct", ch, None, start))
+            i += 1
+            continue
+        raise ParseError(f"unexpected character {ch!r}", text, i)
+    tokens.append(_Token("eof", "", None, n))
+    return tokens
+
+
+def _number_context(tokens: list[_Token]) -> bool:
+    """A '-' starts a negative number only where a term may begin."""
+    if not tokens:
+        return True
+    last = tokens[-1]
+    return last.kind == "punct" and last.text in (
+        ("(", ",", "&") + _PUNCT2 + ("=", "<", ">")
+    )
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    # -- token plumbing ----------------------------------------------------
+
+    @property
+    def current(self) -> _Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> _Token:
+        token = self.tokens[self.index]
+        if token.kind != "eof":
+            self.index += 1
+        return token
+
+    def expect(self, kind: str, text: Optional[str] = None) -> _Token:
+        token = self.current
+        if token.kind != kind or (text is not None and token.text != text):
+            want = text if text is not None else kind
+            raise ParseError(
+                f"expected {want!r}, found {token.text or 'end of input'!r}",
+                self.text,
+                token.pos,
+            )
+        return self.advance()
+
+    def at_punct(self, *texts: str) -> bool:
+        token = self.current
+        return token.kind == "punct" and token.text in texts
+
+    def take_punct(self, *texts: str) -> Optional[str]:
+        if self.at_punct(*texts):
+            return self.advance().text
+        return None
+
+    # -- terms ---------------------------------------------------------------
+
+    def parse_term(self) -> Term:
+        token = self.current
+        if token.kind == "var":
+            self.advance()
+            if token.value:  # attribute path captured by the lexer
+                return AttrPath(Variable(token.text), tuple(token.value))
+            return Variable(token.text)
+        if token.kind == "string":
+            self.advance()
+            return Constant(token.value)
+        if token.kind == "number":
+            self.advance()
+            return Constant(token.value)
+        if token.kind == "ident":
+            if token.text == "true":
+                self.advance()
+                return Constant(True)
+            if token.text == "false":
+                self.advance()
+                return Constant(False)
+            # bare lowercase identifier = symbolic constant, unless it is a
+            # functor (handled by callers before reaching here)
+            self.advance()
+            return Constant(token.text)
+        raise ParseError(
+            f"expected a term, found {token.text or 'end of input'!r}",
+            self.text,
+            token.pos,
+        )
+
+    def parse_term_list(self) -> tuple[Term, ...]:
+        self.expect("punct", "(")
+        if self.take_punct(")"):
+            return ()
+        terms = [self.parse_term()]
+        while self.take_punct(","):
+            terms.append(self.parse_term())
+        self.expect("punct", ")")
+        return tuple(terms)
+
+    # -- literals ------------------------------------------------------------
+
+    def parse_domain_call(self) -> DomainCall:
+        domain = self.expect("ident").text
+        self.expect("punct", ":")
+        function = self.expect("ident").text
+        args = self.parse_term_list()
+        return DomainCall(domain, function, args)
+
+    def parse_literal(self) -> Literal:
+        token = self.current
+        # prefix comparison:  =(X, Y)  <=(A, B)  ...
+        if token.kind == "punct" and token.text in COMPARISON_OPS:
+            op = self.advance().text
+            self.expect("punct", "(")
+            left = self.parse_term()
+            self.expect("punct", ",")
+            right = self.parse_term()
+            self.expect("punct", ")")
+            return Comparison(op, left, right)
+        if token.kind == "ident" and token.text in ("true", "false"):
+            nxt = self.tokens[self.index + 1]
+            is_call = nxt.kind == "punct" and nxt.text == "("
+            is_infix_operand = nxt.kind == "punct" and nxt.text in COMPARISON_OPS
+            if not is_call and not is_infix_operand:
+                self.advance()
+                value = token.text == "true"
+                # uniform representation: a trivially true/false comparison
+                return Comparison("=", Constant(True), Constant(value))
+        if token.kind == "ident" and token.text in NAMED_COMPARISON_OPS:
+            nxt = self.tokens[self.index + 1]
+            if nxt.kind == "punct" and nxt.text == "(":
+                op = self.advance().text
+                self.advance()
+                left = self.parse_term()
+                self.expect("punct", ",")
+                right = self.parse_term()
+                self.expect("punct", ")")
+                return Comparison(op, left, right)
+        if token.kind == "ident" and token.text == "in":
+            nxt = self.tokens[self.index + 1]
+            if nxt.kind == "punct" and nxt.text == "(":
+                self.advance()
+                self.advance()
+                output = self.parse_term()
+                self.expect("punct", ",")
+                call = self.parse_domain_call()
+                self.expect("punct", ")")
+                return InAtom(output, call)
+        if token.kind == "ident":
+            nxt = self.tokens[self.index + 1]
+            if nxt.kind == "punct" and nxt.text == "(":
+                name = self.advance().text
+                args = self.parse_term_list()
+                return self._maybe_infix(Predicate(name, args))
+        # otherwise it must start an infix comparison term
+        left = self.parse_term()
+        op_token = self.current
+        if op_token.kind == "punct" and op_token.text in COMPARISON_OPS:
+            self.advance()
+            right = self.parse_term()
+            return Comparison(op_token.text, left, right)
+        raise ParseError(
+            f"expected a comparison operator after term, found "
+            f"{op_token.text or 'end of input'!r}",
+            self.text,
+            op_token.pos,
+        )
+
+    def _maybe_infix(self, literal: Literal) -> Literal:
+        return literal
+
+    def parse_body(self) -> tuple[Literal, ...]:
+        literals = [self.parse_literal()]
+        while self.take_punct("&", ","):
+            literals.append(self.parse_literal())
+        return tuple(literals)
+
+    # -- clauses -------------------------------------------------------------
+
+    def parse_rule(self) -> Rule:
+        name = self.expect("ident").text
+        args = self.parse_term_list()
+        head = Predicate(name, args)
+        if self.take_punct(":-", "<-"):
+            body = self.parse_body()
+        else:
+            body = ()
+        self.expect("punct", ".")
+        return Rule(head, body)
+
+    def parse_program(self) -> Program:
+        program = Program()
+        while self.current.kind != "eof":
+            program.add(self.parse_rule())
+        return program
+
+    def parse_query(self) -> Query:
+        self.take_punct("?-")
+        goals = self.parse_body()
+        self.take_punct(".")
+        self.expect("eof")
+        return Query(goals)
+
+    def parse_invariant(self) -> Invariant:
+        # Either "cond => call R call." or "call R call." (unconditional).
+        # Disambiguate by scanning for "=>" before the terminating ".".
+        has_condition = self._scan_for_arrow()
+        condition: tuple[Comparison, ...] = ()
+        if has_condition:
+            body = self.parse_body()
+            self.expect("punct", "=>")
+            condition = _normalize_condition(body, self.text, self.current.pos)
+        left = self.parse_domain_call()
+        rel_token = self.current
+        rel = self.take_punct("=", "==", ">=", "<=")
+        if rel is None:
+            raise ParseError(
+                "expected '=', '>=' or '<=' between invariant calls",
+                self.text,
+                rel_token.pos,
+            )
+        right = self.parse_domain_call()
+        self.take_punct(".")
+        if rel in ("=", "=="):
+            invariant = Invariant(condition, left, INVARIANT_EQ, right)
+        elif rel == ">=":
+            invariant = Invariant(condition, left, INVARIANT_SUPSET, right)
+        else:  # "<=" : left ⊆ right  ==  right ⊇ left
+            invariant = Invariant(condition, right, INVARIANT_SUPSET, left)
+        invariant.validate()
+        return invariant
+
+    def parse_invariants(self) -> tuple[Invariant, ...]:
+        out = []
+        while self.current.kind != "eof":
+            out.append(self.parse_invariant())
+        return tuple(out)
+
+    def _scan_for_arrow(self) -> bool:
+        depth = 0
+        for token in self.tokens[self.index :]:
+            if token.kind == "punct":
+                if token.text == "(":
+                    depth += 1
+                elif token.text == ")":
+                    depth -= 1
+                elif token.text == "=>" and depth == 0:
+                    return True
+                elif token.text == "." and depth == 0:
+                    return False
+            if token.kind == "eof":
+                return False
+        return False
+
+
+def _normalize_condition(
+    body: tuple[Literal, ...], text: str, pos: int
+) -> tuple[Comparison, ...]:
+    """Invariant conditions are conjunctions of comparisons; the keyword
+    ``true`` (parsed as the constant True in a degenerate comparison-free
+    body) denotes the empty condition."""
+    out: list[Comparison] = []
+    for literal in body:
+        if isinstance(literal, Comparison):
+            if literal == Comparison("=", Constant(True), Constant(True)):
+                continue  # the 'true' keyword: empty condition
+            out.append(literal)
+        elif (
+            isinstance(literal, Predicate)
+            and literal.name == "true"
+            and not literal.args
+        ):
+            continue
+        else:
+            raise ParseError(
+                f"invariant conditions must be comparisons, found {literal}",
+                text,
+                pos,
+            )
+    return tuple(out)
+
+
+# ---------------------------------------------------------------------------
+# Public API
+# ---------------------------------------------------------------------------
+
+
+def parse_program(text: str) -> Program:
+    """Parse a whole mediator program (zero or more rules)."""
+    return _Parser(text).parse_program()
+
+
+def parse_rule(text: str) -> Rule:
+    """Parse exactly one rule."""
+    parser = _Parser(text)
+    rule = parser.parse_rule()
+    parser.expect("eof")
+    return rule
+
+
+def parse_query(text: str) -> Query:
+    """Parse a query, with or without the leading ``?-``."""
+    return _Parser(text).parse_query()
+
+
+def parse_literal(text: str) -> Literal:
+    """Parse a single body literal (used in tests and interactive tools)."""
+    parser = _Parser(text)
+    literal = parser.parse_literal()
+    parser.take_punct(".")
+    parser.expect("eof")
+    return literal
+
+
+def parse_term(text: str) -> Term:
+    parser = _Parser(text)
+    term = parser.parse_term()
+    parser.expect("eof")
+    return term
+
+
+def parse_invariant(text: str) -> Invariant:
+    """Parse one invariant, e.g.
+    ``V1 <= V2 => rel:select_lt(T, A, V2) >= rel:select_lt(T, A, V1).``"""
+    parser = _Parser(text)
+    invariant = parser.parse_invariant()
+    parser.expect("eof")
+    return invariant
+
+
+def parse_invariants(text: str) -> tuple[Invariant, ...]:
+    """Parse a sequence of invariants."""
+    return _Parser(text).parse_invariants()
+
+
+def _tokenize_for_tests(text: str) -> list[tuple[str, str]]:
+    """Expose the token stream (kind, text) for white-box lexer tests."""
+    return [(t.kind, t.text) for t in _tokenize(text) if t.kind != "eof"]

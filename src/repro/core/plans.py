@@ -1,0 +1,108 @@
+"""Execution plans: ordered, executable rewritings of a query.
+
+A :class:`Plan` is what the rule rewriter produces and the cost estimator
+prices: a flattened sequence of steps over *source calls only* (IDB
+predicates have been unfolded away), in an order where every domain call
+is ground when reached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Union
+
+from repro.core.adornment import call_adornment, step as adorn_step
+from repro.core.model import Comparison, InAtom
+from repro.core.terms import Variable
+
+
+@dataclass(frozen=True, slots=True)
+class CallStep:
+    """Execute a domain call (possibly routed through the CIM)."""
+
+    atom: InAtom
+    via_cim: bool = False
+
+    def __str__(self) -> str:
+        prefix = "cim!" if self.via_cim else ""
+        return f"{prefix}{self.atom}"
+
+
+@dataclass(frozen=True, slots=True)
+class CompareStep:
+    """Evaluate a comparison: a filter, or a binding ``=`` assignment."""
+
+    comparison: Comparison
+
+    def __str__(self) -> str:
+        return str(self.comparison)
+
+
+PlanStep = Union[CallStep, CompareStep]
+
+
+@dataclass(frozen=True)
+class Plan:
+    """One executable rewriting of a query."""
+
+    steps: tuple[PlanStep, ...]
+    answer_vars: tuple[Variable, ...]
+    origin: str = ""  # human-readable provenance ("rules R3,R5; order 2,1")
+
+    def call_steps(self) -> tuple[CallStep, ...]:
+        return tuple(s for s in self.steps if isinstance(s, CallStep))
+
+    def num_calls(self) -> int:
+        return sum(1 for s in self.steps if isinstance(s, CallStep))
+
+    def with_cim(self, domains: "set[str] | frozenset[str] | None" = None) -> "Plan":
+        """A copy with calls routed through the CIM.
+
+        ``domains=None`` routes every call; otherwise only calls into the
+        named domains.
+        """
+        steps: list[PlanStep] = []
+        for s in self.steps:
+            if isinstance(s, CallStep) and (
+                domains is None or s.atom.call.domain in domains
+            ):
+                steps.append(CallStep(s.atom, via_cim=True))
+            else:
+                steps.append(s)
+        return Plan(tuple(steps), self.answer_vars, self.origin)
+
+    def adornments(self) -> tuple[str, ...]:
+        """Per-call adornment strings in execution order (``bbf`` etc.),
+        for display and tests."""
+        bound: frozenset[Variable] = frozenset()
+        out: list[str] = []
+        for s in self.steps:
+            if isinstance(s, CallStep):
+                out.append(
+                    f"{s.atom.call.qualified_name}^{call_adornment(s.atom, bound)}"
+                )
+                next_bound = adorn_step(s.atom, bound)
+            else:
+                next_bound = adorn_step(s.comparison, bound)
+            if next_bound is not None:
+                bound = next_bound
+        return tuple(out)
+
+    def signature(self) -> tuple:
+        """Structural identity for deduplication across derivations."""
+        return tuple(
+            (s.atom.output, s.atom.call, s.via_cim)
+            if isinstance(s, CallStep)
+            else ("cmp", s.comparison)
+            for s in self.steps
+        )
+
+    def __iter__(self) -> Iterator[PlanStep]:
+        return iter(self.steps)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __str__(self) -> str:
+        body = " -> ".join(str(s) for s in self.steps)
+        return f"Plan[{body}]"

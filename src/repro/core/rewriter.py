@@ -1,0 +1,310 @@
+"""The rule rewriter (paper §5): from a query + mediator program to the
+set of executable plans.
+
+Three transformations, exactly the paper's list:
+
+1. **Unfolding / selection pushdown** — IDB predicates are resolved away
+   against the program's rules; unification pushes the query's constants
+   into the source calls (the paper's ``p^{a,$f}`` specialisation), and
+   constant-folding drops comparisons that become trivially true (or kills
+   rewritings that become trivially false).
+2. **Subgoal reordering under permissible adornments** — every ordering of
+   the source calls where each call is ground when reached; comparisons
+   are interleaved greedily as early as they can execute (filters never
+   hurt; binding ``=`` assignments may enable later calls).
+3. **CIM substitution** — each plan can be re-routed through the Cache and
+   Invariant Manager (``Plan.with_cim``); the mediator decides per query
+   or per domain.
+
+The rewriter handles the nonrecursive fragment; the paper defers
+recursion to its reference [33], and we raise
+:class:`~repro.errors.RecursionNotSupportedError` for recursive programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.core.adornment import is_binding_assignment, step as adorn_step
+from repro.core.model import (
+    Comparison,
+    Constant,
+    DomainCall,
+    InAtom,
+    Literal,
+    Predicate,
+    Program,
+    Query,
+)
+from repro.core.plans import CallStep, CompareStep, Plan, PlanStep
+from repro.core.terms import Term, Variable
+from repro.core.unify import (
+    Substitution,
+    rename_apart,
+    resolve,
+    unify_sequences,
+)
+from repro.errors import NotGroundError, PlanningError, RecursionNotSupportedError
+
+
+@dataclass
+class RewriterConfig:
+    """Knobs bounding the rewriting search."""
+
+    max_plans: int = 64  # orderings kept per query
+    max_expansions: int = 256  # rule-choice combinations explored
+    max_depth: int = 16  # unfolding depth
+
+
+# ---------------------------------------------------------------------------
+# Substitution over literals
+# ---------------------------------------------------------------------------
+
+
+def substitute_term(term: Term, subst: Substitution) -> Term:
+    return resolve(term, subst)
+
+
+def substitute_literal(literal: Literal, subst: Substitution) -> Literal:
+    if isinstance(literal, Predicate):
+        return Predicate(
+            literal.name, tuple(resolve(a, subst) for a in literal.args)
+        )
+    if isinstance(literal, InAtom):
+        call = literal.call
+        return InAtom(
+            resolve(literal.output, subst),
+            DomainCall(
+                call.domain,
+                call.function,
+                tuple(resolve(a, subst) for a in call.args),
+            ),
+        )
+    return Comparison(
+        literal.op, resolve(literal.left, subst), resolve(literal.right, subst)
+    )
+
+
+def rename_literal(literal: Literal, renaming: Substitution) -> Literal:
+    return substitute_literal(literal, renaming)
+
+
+# ---------------------------------------------------------------------------
+# Unfolding
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Expansion:
+    """A flattened conjunction (source calls + comparisons only) together
+    with the rule choices that produced it."""
+
+    literals: tuple[Literal, ...]
+    rules_used: tuple[str, ...]
+
+
+class Rewriter:
+    """Enumerates executable plans for queries over a mediator program."""
+
+    def __init__(self, program: Program, config: Optional[RewriterConfig] = None):
+        if program.is_recursive():
+            raise RecursionNotSupportedError(
+                "the program is recursive; this optimizer implements the "
+                "paper's nonrecursive fragment"
+            )
+        self.program = program
+        self.config = config if config is not None else RewriterConfig()
+
+    # -- public API ----------------------------------------------------------
+
+    def plans(
+        self,
+        query: Query,
+        bound_vars: frozenset[Variable] = frozenset(),
+    ) -> tuple[Plan, ...]:
+        """All executable plans for ``query`` (deduplicated, bounded).
+
+        ``bound_vars`` may pre-bind query variables (parameterised
+        queries).  Raises :class:`PlanningError` when no executable
+        ordering exists.
+        """
+        expansions = self._expand(query)
+        if not expansions:
+            raise PlanningError(
+                f"every rewriting of the query is unsatisfiable: {query}"
+            )
+        plans: list[Plan] = []
+        seen: set[tuple] = set()
+        for expansion in expansions:
+            for plan in self._orderings(expansion, query.answer_vars, bound_vars):
+                key = plan.signature()
+                if key in seen:
+                    continue
+                seen.add(key)
+                plans.append(plan)
+                if len(plans) >= self.config.max_plans:
+                    return tuple(plans)
+        if not plans:
+            raise PlanningError(
+                f"no executable subgoal ordering exists for: {query} "
+                f"(a domain call's inputs can never all be bound)"
+            )
+        return tuple(plans)
+
+    # -- unfolding --------------------------------------------------------------
+
+    def _expand(self, query: Query) -> list[Expansion]:
+        expansions: list[Expansion] = []
+        budget = [self.config.max_expansions]
+
+        def recurse(
+            goals: tuple[Literal, ...],
+            subst: dict[Variable, Term],
+            rules_used: tuple[str, ...],
+            depth: int,
+        ) -> None:
+            if budget[0] <= 0:
+                return
+            if depth > self.config.max_depth:
+                return
+            # find the first IDB predicate to unfold
+            for index, literal in enumerate(goals):
+                if isinstance(literal, Predicate):
+                    resolved = substitute_literal(literal, subst)
+                    assert isinstance(resolved, Predicate)
+                    rules = self.program.rules_for(resolved.name, resolved.arity)
+                    if not rules:
+                        raise PlanningError(
+                            f"predicate {resolved.name}/{resolved.arity} has no "
+                            f"defining rules and is not a domain call"
+                        )
+                    for rule in rules:
+                        renaming = rename_apart(rule.variables())
+                        head = rename_literal(rule.head, renaming)
+                        assert isinstance(head, Predicate)
+                        unified = unify_sequences(
+                            head.args, resolved.args, subst
+                        )
+                        if unified is None:
+                            continue
+                        body = tuple(
+                            rename_literal(lit, renaming) for lit in rule.body
+                        )
+                        new_goals = goals[:index] + body + goals[index + 1 :]
+                        recurse(
+                            new_goals,
+                            unified,
+                            # full rule text: distinct alternative rules must
+                            # yield distinct plan origins (union branches)
+                            rules_used + (str(rule),),
+                            depth + 1,
+                        )
+                    return
+            # no IDB predicates left: ground out and simplify
+            budget[0] -= 1
+            literals = tuple(substitute_literal(lit, subst) for lit in goals)
+            # a query answer variable may have been unified away to a
+            # representative term; re-introduce it with a binding equality
+            # so execution can project it
+            extras: list[Literal] = []
+            for var in query.answer_vars:
+                representative = resolve(var, subst)
+                if representative != var:
+                    extras.append(Comparison("=", var, representative))
+            simplified = _simplify(literals + tuple(extras))
+            if simplified is not None:
+                expansions.append(Expansion(simplified, rules_used))
+
+        recurse(tuple(query.goals), {}, (), 0)
+        return expansions
+
+    # -- ordering enumeration ------------------------------------------------------
+
+    def _orderings(
+        self,
+        expansion: Expansion,
+        answer_vars: tuple[Variable, ...],
+        bound_vars: frozenset[Variable],
+    ) -> Iterator[Plan]:
+        calls = [lit for lit in expansion.literals if isinstance(lit, InAtom)]
+        comparisons = [
+            lit for lit in expansion.literals if isinstance(lit, Comparison)
+        ]
+
+        def place_comparisons(
+            steps: list[PlanStep],
+            bound: frozenset[Variable],
+            pending: list[Comparison],
+        ) -> tuple[frozenset[Variable], list[Comparison]]:
+            """Greedily append every comparison that can already execute.
+
+            Binding assignments are placed before filters at each round so
+            a ``=`` that makes a filter evaluable runs first.
+            """
+            remaining = list(pending)
+            progress = True
+            while progress:
+                progress = False
+                remaining.sort(
+                    key=lambda c: 0 if is_binding_assignment(c, bound) else 1
+                )
+                for comparison in list(remaining):
+                    after = adorn_step(comparison, bound)
+                    if after is not None:
+                        steps.append(CompareStep(comparison))
+                        bound = after
+                        remaining.remove(comparison)
+                        progress = True
+            return bound, remaining
+
+        emitted = 0
+
+        def recurse(
+            remaining_calls: list[InAtom],
+            steps: list[PlanStep],
+            bound: frozenset[Variable],
+            pending: list[Comparison],
+        ) -> Iterator[Plan]:
+            nonlocal emitted
+            if emitted >= self.config.max_plans:
+                return
+            bound, pending = place_comparisons(steps, bound, pending)
+            if not remaining_calls:
+                if pending:
+                    return  # some comparison never became evaluable
+                yield Plan(
+                    steps=tuple(steps),
+                    answer_vars=answer_vars,
+                    origin="; ".join(expansion.rules_used),
+                )
+                emitted += 1
+                return
+            for i, atom in enumerate(remaining_calls):
+                after = adorn_step(atom, bound)
+                if after is None:
+                    continue
+                next_steps = steps + [CallStep(atom)]
+                rest = remaining_calls[:i] + remaining_calls[i + 1 :]
+                yield from recurse(rest, next_steps, after, list(pending))
+
+        yield from recurse(calls, [], bound_vars, comparisons)
+
+
+def _simplify(literals: tuple[Literal, ...]) -> Optional[tuple[Literal, ...]]:
+    """Constant-fold ground comparisons.  Returns ``None`` when the
+    conjunction is unsatisfiable (a ground comparison is false)."""
+    out: list[Literal] = []
+    for literal in literals:
+        if isinstance(literal, Comparison):
+            if isinstance(literal.left, Constant) and isinstance(
+                literal.right, Constant
+            ):
+                try:
+                    if literal.evaluate({}):
+                        continue  # trivially true: drop
+                    return None  # trivially false: dead rewriting
+                except (TypeError, NotGroundError):
+                    return None
+        out.append(literal)
+    return tuple(out)

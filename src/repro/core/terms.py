@@ -1,0 +1,245 @@
+"""Terms of the mediator rule language.
+
+The language has three kinds of terms:
+
+* :class:`Constant` — wraps an immutable Python value (string, number,
+  boolean, tuple, or a :class:`Row` record returned by a source).
+* :class:`Variable` — a logic variable; bound by unification during
+  planning and by answer streams during execution.
+* :class:`AttrPath` — a projection ``X.name`` / ``$ans.1`` applied to a
+  variable that will be bound to a structured value (a :class:`Row` or a
+  plain tuple).  Paths may be chained: ``X.address.city``.
+
+Values flowing out of sources are either scalars or :class:`Row` records.
+``Row`` is an immutable, hashable, ordered mapping that supports both
+attribute access (``row.name``) and 1-based positional access (``row[1]``
+— the paper writes ``$ans.1`` for the first column).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Union
+
+from repro.errors import NotGroundError
+
+#: Values a Constant may carry and sources may return.
+Value = Union[str, int, float, bool, tuple, "Row", None]
+
+
+class Row:
+    """An immutable record with named, ordered fields.
+
+    Rows are what relational/AVIS/flat-file sources return for multi-column
+    answers.  They hash and compare by their field tuples, so they can be
+    cached, stored in sets, and used as constants inside terms.
+
+    >>> r = Row([("name", "stewart"), ("role", "brandon")])
+    >>> r.name
+    'stewart'
+    >>> r[1]
+    'stewart'
+    >>> r.project("role")
+    'brandon'
+    """
+
+    __slots__ = ("_names", "_values", "_hash")
+
+    def __init__(self, fields: "list[tuple[str, Value]] | dict[str, Value]"):
+        if isinstance(fields, dict):
+            items = list(fields.items())
+        else:
+            items = list(fields)
+        self._names: tuple[str, ...] = tuple(name for name, _ in items)
+        self._values: tuple[Value, ...] = tuple(value for _, value in items)
+        self._hash = hash((self._names, self._values))
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return self._names
+
+    @property
+    def values(self) -> tuple[Value, ...]:
+        return self._values
+
+    def project(self, key: "str | int") -> Value:
+        """Select one field by name or by 1-based position."""
+        if isinstance(key, int):
+            if not 1 <= key <= len(self._values):
+                raise KeyError(f"row has {len(self._values)} columns, asked for {key}")
+            return self._values[key - 1]
+        try:
+            return self._values[self._names.index(key)]
+        except ValueError:
+            raise KeyError(f"row has no field {key!r}; fields: {self._names}") from None
+
+    def __getattr__(self, name: str) -> Value:
+        # __getattr__ is only consulted for names not found normally, so the
+        # slots above are safe.
+        try:
+            return self.project(name)
+        except KeyError as exc:
+            raise AttributeError(str(exc)) from None
+
+    def __getitem__(self, key: "str | int") -> Value:
+        return self.project(key)
+
+    def __iter__(self) -> Iterator[Value]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Row):
+            return self._names == other._names and self._values == other._values
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{n}={v!r}" for n, v in zip(self._names, self._values))
+        return f"Row({inner})"
+
+    def as_dict(self) -> dict[str, Value]:
+        return dict(zip(self._names, self._values))
+
+
+class Term:
+    """Base class for terms; exists for isinstance checks and typing."""
+
+    __slots__ = ()
+
+    def is_ground(self) -> bool:
+        raise NotImplementedError
+
+    def variables(self) -> "frozenset[Variable]":
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, slots=True)
+class Constant(Term):
+    """A ground value."""
+
+    value: Value
+
+    def is_ground(self) -> bool:
+        return True
+
+    def variables(self) -> "frozenset[Variable]":
+        return frozenset()
+
+    def __repr__(self) -> str:
+        return f"Constant({self.value!r})"
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return f"'{self.value}'"
+        if self.value is True:
+            return "true"  # parser keywords, not Python reprs
+        if self.value is False:
+            return "false"
+        return str(self.value)
+
+
+@dataclass(frozen=True, slots=True)
+class Variable(Term):
+    """A logic variable, identified by its name within one rule/query."""
+
+    name: str
+
+    def is_ground(self) -> bool:
+        return False
+
+    def variables(self) -> "frozenset[Variable]":
+        return frozenset((self,))
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class AttrPath(Term):
+    """A projection ``base.p1.p2...`` over a structured value.
+
+    ``path`` components are field names (``str``) or 1-based positions
+    (``int``).  The base is a variable; once it is bound to a ``Row`` (or a
+    tuple, for positional components) the path can be evaluated with
+    :func:`select_path`.
+    """
+
+    base: Variable
+    path: tuple["str | int", ...]
+
+    def is_ground(self) -> bool:
+        return False
+
+    def variables(self) -> "frozenset[Variable]":
+        return frozenset((self.base,))
+
+    def __str__(self) -> str:
+        return ".".join([self.base.name, *map(str, self.path)])
+
+
+def select_path(value: Value, path: tuple["str | int", ...]) -> Value:
+    """Evaluate an attribute path against a structured ``value``.
+
+    Supports :class:`Row` (by name or 1-based index) and plain tuples
+    (1-based index only).
+    """
+    current = value
+    for component in path:
+        if isinstance(current, Row):
+            current = current.project(component)
+        elif isinstance(current, tuple) and isinstance(component, int):
+            if not 1 <= component <= len(current):
+                raise KeyError(
+                    f"tuple has {len(current)} elements, asked for {component}"
+                )
+            current = current[component - 1]
+        else:
+            raise NotGroundError(
+                f"cannot select {component!r} from non-record value {current!r}"
+            )
+    return current
+
+
+def term_from(value: "Term | Value") -> Term:
+    """Coerce a raw Python value into a term; terms pass through."""
+    if isinstance(value, Term):
+        return value
+    return Constant(value)
+
+
+def format_value(value: Value) -> str:
+    """Render a value the way the parser would accept it back."""
+    if isinstance(value, str):
+        return f"'{value}'"
+    if isinstance(value, Row):
+        return repr(value)
+    return str(value)
+
+
+def value_bytes(value: Value) -> int:
+    """Rough size in bytes of a source answer, used by the simulated
+    network's transfer-time model and by the paper-style table footers
+    ("6 tuples (421 bytes)")."""
+    if value is None:
+        return 1
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, int):
+        return 8
+    if isinstance(value, float):
+        return 8
+    if isinstance(value, str):
+        return len(value.encode("utf-8"))
+    if isinstance(value, Row):
+        return sum(value_bytes(v) for v in value.values) + 2 * len(value)
+    if isinstance(value, tuple):
+        return sum(value_bytes(v) for v in value) + 2 * len(value)
+    return 16

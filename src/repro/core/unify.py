@@ -1,0 +1,132 @@
+"""Substitutions and unification over mediator-language terms.
+
+A substitution maps :class:`~repro.core.terms.Variable` to terms.  The
+planner works with possibly-nonground substitutions (variable-to-variable
+bindings produced by rule unfolding); the executor works with ground
+substitutions (every bound variable maps to a :class:`Constant`).
+
+The functions here are purely functional: they never mutate an input
+substitution, they return a new one (or ``None`` on failure), which keeps
+backtracking in the planner and executor trivially correct.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional
+
+from repro.core.terms import AttrPath, Constant, Term, Variable, select_path
+from repro.errors import NotGroundError
+
+#: A substitution: immutable by convention (treat as read-only).
+Substitution = Mapping[Variable, Term]
+
+
+def walk(term: Term, subst: Substitution) -> Term:
+    """Follow variable bindings until a non-variable or unbound variable."""
+    while isinstance(term, Variable):
+        bound = subst.get(term)
+        if bound is None:
+            return term
+        term = bound
+    return term
+
+
+def resolve(term: Term, subst: Substitution) -> Term:
+    """Fully resolve ``term`` under ``subst``.
+
+    Attribute paths whose base is bound to a structured constant are
+    evaluated to the selected constant; paths over unbound bases stay
+    symbolic.
+    """
+    term = walk(term, subst)
+    if isinstance(term, AttrPath):
+        base = walk(term.base, subst)
+        if isinstance(base, Constant):
+            return Constant(select_path(base.value, term.path))
+        if isinstance(base, Variable):
+            if base is term.base:
+                return term
+            return AttrPath(base, term.path)
+        raise NotGroundError(f"attribute path base resolved to {base!r}")
+    return term
+
+
+def resolve_ground(term: Term, subst: Substitution):
+    """Resolve ``term`` and return its Python value; raise if not ground."""
+    resolved = resolve(term, subst)
+    if isinstance(resolved, Constant):
+        return resolved.value
+    raise NotGroundError(f"term {resolved} is not ground under the substitution")
+
+
+def is_bound(term: Term, subst: Substitution) -> bool:
+    """True when ``term`` resolves to a constant under ``subst``."""
+    return isinstance(resolve(term, subst), Constant)
+
+
+def unify(left: Term, right: Term, subst: Substitution) -> Optional[dict[Variable, Term]]:
+    """Unify two terms under ``subst``; return an extended substitution or
+    ``None`` if they do not unify.
+
+    Attribute paths unify only with constants/variables when their base is
+    already bound (they are then resolved first); two syntactically equal
+    paths unify as well.
+    """
+    left = resolve(left, subst)
+    right = resolve(right, subst)
+    if left == right:
+        return dict(subst)
+    if isinstance(left, Variable):
+        new = dict(subst)
+        new[left] = right
+        return new
+    if isinstance(right, Variable):
+        new = dict(subst)
+        new[right] = left
+        return new
+    if isinstance(left, Constant) and isinstance(right, Constant):
+        return dict(subst) if left.value == right.value else None
+    # AttrPath vs anything non-identical: cannot decide at unification time.
+    return None
+
+
+def unify_sequences(
+    lefts: Iterable[Term], rights: Iterable[Term], subst: Substitution
+) -> Optional[dict[Variable, Term]]:
+    """Unify two equal-length term sequences pairwise."""
+    lefts = list(lefts)
+    rights = list(rights)
+    if len(lefts) != len(rights):
+        return None
+    current: Optional[dict[Variable, Term]] = dict(subst)
+    for left, right in zip(lefts, rights):
+        current = unify(left, right, current)
+        if current is None:
+            return None
+    return current
+
+
+def compose(outer: Substitution, inner: Substitution) -> dict[Variable, Term]:
+    """Compose substitutions: apply ``inner`` first, then ``outer``."""
+    result: dict[Variable, Term] = {}
+    for var, term in inner.items():
+        result[var] = resolve(term, outer)
+    for var, term in outer.items():
+        result.setdefault(var, term)
+    return result
+
+
+_RENAME_COUNTER = 0
+
+
+def fresh_variable(base: str) -> Variable:
+    """A variable guaranteed not to clash with parser-produced names
+    (parser names never contain ``#``)."""
+    global _RENAME_COUNTER
+    _RENAME_COUNTER += 1
+    return Variable(f"{base}#{_RENAME_COUNTER}")
+
+
+def rename_apart(variables: Iterable[Variable]) -> dict[Variable, Term]:
+    """A substitution renaming every given variable to a fresh one."""
+    return {var: fresh_variable(var.name.split("#", 1)[0]) for var in variables}

@@ -1,0 +1,191 @@
+"""Materialized mediated views (paper §9).
+
+The paper's related-work section observes that "a materialized mediated
+view may be viewed as a domain cache and hence, all the algorithms in
+this paper deal with how to effectively use such caches".  This module
+closes that loop: :class:`ViewManager` materializes a mediator query's
+answer set as a *local view domain function*, and installs a rule so the
+view predicate is planned like any other source — which means the DCSM
+prices it (it is nearly free) and the optimizer naturally prefers it over
+re-deriving from remote sources.
+
+Views track staleness: refresh re-runs the defining query;
+``invalidate`` drops the materialization (queries fall back to the
+defining rules if they still exist).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.model import Comparison, InAtom, DomainCall, Predicate, Query, Rule
+from repro.core.terms import AttrPath, Row, Variable
+from repro.domains.base import Domain
+from repro.errors import ReproError
+
+
+@dataclass
+class MaterializedView:
+    """One materialized query with its bookkeeping."""
+
+    name: str
+    query: Query
+    columns: tuple[str, ...]
+    rows: tuple[Row, ...]
+    materialized_at_ms: float
+    refreshes: int = 0
+
+    @property
+    def cardinality(self) -> int:
+        return len(self.rows)
+
+
+class ViewDomain(Domain):
+    """The local domain serving materialized view extents.
+
+    Exports one nullary function per view, returning its rows; reads are
+    nearly free (they are local memory scans).
+    """
+
+    def __init__(self, name: str = "views", row_cost_ms: float = 0.002):
+        super().__init__(name, base_cost_ms=0.05, per_answer_cost_ms=row_cost_ms)
+        self._views: dict[str, MaterializedView] = {}
+
+    def install(self, view: MaterializedView) -> None:
+        self._views[view.name] = view
+        if not self.has_function(view.name):
+            self.register(
+                view.name,
+                self._make_reader(view.name),
+                arity=0,
+                doc=f"materialized view over: {view.query}",
+            )
+
+    def drop(self, name: str) -> None:
+        self._views.pop(name, None)
+        self._functions.pop(name, None)
+
+    def view(self, name: str) -> MaterializedView:
+        try:
+            return self._views[name]
+        except KeyError:
+            known = ", ".join(sorted(self._views)) or "(none)"
+            raise ReproError(f"no view {name!r}; views: {known}") from None
+
+    def view_names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._views))
+
+    def _make_reader(self, name: str):
+        def reader():
+            view = self._views.get(name)
+            if view is None:
+                raise ReproError(f"view {name!r} has been dropped")
+            return list(view.rows)
+
+        return reader
+
+
+class ViewManager:
+    """Materializes queries and wires the view into the mediator."""
+
+    def __init__(self, mediator, domain_name: str = "views"):
+        self.mediator = mediator
+        self.domain = ViewDomain(domain_name)
+        mediator.registry.add(self.domain)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def materialize(
+        self,
+        name: str,
+        query: "str | Query",
+        use_cim=None,
+    ) -> MaterializedView:
+        """Run ``query``, store its answers as view ``name``, and add the
+        rule ``name(V1,…,Vn) :- in(Ans, views:name()) & =(Ans.i, Vi)…`` so
+        the view is queryable (and plannable) like any predicate."""
+        from repro.core.parser import parse_query
+
+        if isinstance(query, str):
+            query = parse_query(query)
+        if not name.isidentifier() or name[0].isupper():
+            raise ReproError(
+                f"view name {name!r} must be a lowercase identifier"
+            )
+        result = self.mediator.query(query, use_cim=use_cim)
+        columns = tuple(var.name for var in query.answer_vars)
+        rows = tuple(
+            Row(list(zip(columns, answer))) for answer in result.answers
+        )
+        view = MaterializedView(
+            name=name,
+            query=query,
+            columns=columns,
+            rows=rows,
+            materialized_at_ms=self.mediator.clock.now_ms,
+        )
+        first_install = name not in self.domain.view_names()
+        self.domain.install(view)
+        if first_install:
+            self.mediator.program.add(self._view_rule(view))
+            self.mediator._rewriter = None
+        return view
+
+    def refresh(self, name: str) -> MaterializedView:
+        """Re-run the defining query and swap in the new extent."""
+        old = self.domain.view(name)
+        result = self.mediator.query(old.query)
+        rows = tuple(
+            Row(list(zip(old.columns, answer))) for answer in result.answers
+        )
+        new = MaterializedView(
+            name=name,
+            query=old.query,
+            columns=old.columns,
+            rows=rows,
+            materialized_at_ms=self.mediator.clock.now_ms,
+            refreshes=old.refreshes + 1,
+        )
+        self.domain.install(new)
+        return new
+
+    def drop(self, name: str) -> None:
+        """Drop the materialization (the installed rule is removed too)."""
+        self.domain.drop(name)
+        # rebuild the program without the view rule
+        from repro.core.model import Program
+
+        fresh = Program()
+        for rule in self.mediator.program:
+            if not self._is_view_rule(rule, name):
+                fresh.add(rule)
+        self.mediator.program = fresh
+        self.mediator._rewriter = None
+
+    def staleness_ms(self, name: str) -> float:
+        view = self.domain.view(name)
+        return self.mediator.clock.now_ms - view.materialized_at_ms
+
+    # -- internals ------------------------------------------------------------
+
+    def _view_rule(self, view: MaterializedView) -> Rule:
+        answer_var = Variable("Ans#view")
+        head_vars = tuple(Variable(column) for column in view.columns)
+        body: list = [
+            InAtom(answer_var, DomainCall(self.domain.name, view.name, ()))
+        ]
+        for column, var in zip(view.columns, head_vars):
+            body.append(
+                Comparison("=", AttrPath(answer_var, (column,)), var)
+            )
+        return Rule(Predicate(view.name, head_vars), tuple(body))
+
+    def _is_view_rule(self, rule: Rule, name: str) -> bool:
+        if rule.head.name != name:
+            return False
+        return any(
+            isinstance(lit, InAtom)
+            and lit.call.domain == self.domain.name
+            and lit.call.function == name
+            for lit in rule.body
+        )

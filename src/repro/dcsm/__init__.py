@@ -1,0 +1,31 @@
+"""Domain Cost and Statistics Module (DCSM) — paper §6.
+
+The DCSM answers one question — ``cost(call_pattern) → [T_first, T_all,
+Card]`` — without assuming anything about source internals.  It records
+the cost vectors of *actual past calls* in a cost-vector database,
+optionally compacts them into lossless and lossy summary tables, and
+estimates new calls by table lookup with recursive relaxation of known
+constants to ``$b``.
+"""
+
+from repro.dcsm.vectors import CostVector, Observation
+from repro.dcsm.patterns import BOUND, Bound, CallPattern
+from repro.dcsm.database import CostVectorDatabase
+from repro.dcsm.summary import AggCell, SummaryTable, instantiable_positions
+from repro.dcsm.estimation import CostEstimator, Estimate
+from repro.dcsm.module import DCSM
+
+__all__ = [
+    "CostVector",
+    "Observation",
+    "BOUND",
+    "Bound",
+    "CallPattern",
+    "CostVectorDatabase",
+    "AggCell",
+    "SummaryTable",
+    "instantiable_positions",
+    "CostEstimator",
+    "Estimate",
+    "DCSM",
+]

@@ -1,0 +1,141 @@
+"""Domain-call patterns (paper §6): calls with some arguments known only
+to be *bound* (``$b``) rather than to a specific constant.
+
+``DCSM:cost(d:f(5, $b))`` asks for the cost of ``d:f`` where the first
+argument is 5 and the second is some yet-unknown constant.  The set of
+positions carrying real constants (the pattern's *mask*) forms a lattice
+under relaxation (constant → ``$b``); the estimation algorithm walks down
+this lattice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Union
+
+from repro.core.model import GroundCall
+from repro.core.terms import Value
+
+
+class Bound:
+    """The ``$b`` placeholder — a singleton."""
+
+    _instance: "Bound | None" = None
+
+    def __new__(cls) -> "Bound":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "$b"
+
+    def __reduce__(self):
+        return (Bound, ())
+
+
+BOUND = Bound()
+
+PatternArg = Union[Value, Bound]
+
+
+@dataclass(frozen=True, slots=True)
+class CallPattern:
+    """``domain:function(arg₁, …, argₙ)`` where each arg is a constant or $b."""
+
+    domain: str
+    function: str
+    args: tuple[PatternArg, ...]
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    @property
+    def qualified_name(self) -> str:
+        return f"{self.domain}:{self.function}"
+
+    @property
+    def mask(self) -> tuple[int, ...]:
+        """Positions (0-based) holding known constants."""
+        return tuple(i for i, arg in enumerate(self.args) if arg is not BOUND)
+
+    @property
+    def num_constants(self) -> int:
+        return len(self.mask)
+
+    def key_for(self, positions: tuple[int, ...]) -> tuple[Value, ...]:
+        """The constant values at ``positions`` (which must be ⊆ mask)."""
+        return tuple(self.args[i] for i in positions)  # type: ignore[misc]
+
+    def matches(self, call: GroundCall) -> bool:
+        """Does a ground call instantiate this pattern?"""
+        if (call.domain, call.function) != (self.domain, self.function):
+            return False
+        if len(call.args) != len(self.args):
+            return False
+        return all(
+            arg is BOUND or arg == value for arg, value in zip(self.args, call.args)
+        )
+
+    def relax(self, position: int) -> "CallPattern":
+        """Replace the constant at ``position`` with ``$b``."""
+        if self.args[position] is BOUND:
+            raise ValueError(f"position {position} of {self} is already $b")
+        args = list(self.args)
+        args[position] = BOUND
+        return CallPattern(self.domain, self.function, tuple(args))
+
+    def relaxations(self) -> Iterator["CallPattern"]:
+        """Every pattern one relaxation step below this one.
+
+        Yields in descending position order — rightmost constants are
+        dropped first, a deterministic rendering of the paper's
+        "nondeterministically replace one of the constants".
+        """
+        for position in reversed(self.mask):
+            yield self.relax(position)
+
+    def restrict_to(self, positions: tuple[int, ...]) -> "CallPattern":
+        """Keep only the constants at ``positions`` (the rest become $b)."""
+        args = [
+            arg if i in positions and arg is not BOUND else BOUND
+            for i, arg in enumerate(self.args)
+        ]
+        return CallPattern(self.domain, self.function, tuple(args))
+
+    def generalizes(self, other: "CallPattern") -> bool:
+        """True when every call matching ``other`` also matches ``self``."""
+        if (self.domain, self.function, self.arity) != (
+            other.domain,
+            other.function,
+            other.arity,
+        ):
+            return False
+        for mine, theirs in zip(self.args, other.args):
+            if mine is BOUND:
+                continue
+            if theirs is BOUND or mine != theirs:
+                return False
+        return True
+
+    @classmethod
+    def from_call(cls, call: GroundCall) -> "CallPattern":
+        """All-constant pattern of a ground call."""
+        return cls(call.domain, call.function, tuple(call.args))
+
+    @classmethod
+    def all_bound(cls, domain: str, function: str, arity: int) -> "CallPattern":
+        """``d:f($b, …, $b)`` — the fully relaxed pattern."""
+        return cls(domain, function, (BOUND,) * arity)
+
+    def __str__(self) -> str:
+        parts = []
+        for arg in self.args:
+            if arg is BOUND:
+                parts.append("$b")
+            elif isinstance(arg, str):
+                parts.append(f"'{arg}'")
+            else:
+                parts.append(str(arg))
+        return f"{self.domain}:{self.function}({', '.join(parts)})"

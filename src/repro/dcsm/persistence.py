@@ -1,0 +1,76 @@
+"""Persistence of the DCSM statistics cache.
+
+The cost-vector database is the DCSM's source of truth (summary tables
+are derived), so persisting the observation log is enough to restore any
+mode.  The format is versioned JSON; unknown versions are rejected
+loudly rather than mis-read.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.dcsm.module import DCSM
+from repro.dcsm.vectors import CostVector, Observation
+from repro.errors import ReproError
+from repro.serialization import decode_call, encode_call
+
+FORMAT_VERSION = 1
+
+
+def save_statistics(dcsm: DCSM, path: Union[str, Path]) -> int:
+    """Write every observation to ``path``; returns the count written."""
+    observations = []
+    for domain, function in dcsm.database.functions():
+        for obs in dcsm.database.observations(domain, function):
+            observations.append(
+                {
+                    "call": encode_call(obs.call),
+                    "t_first_ms": obs.vector.t_first_ms,
+                    "t_all_ms": obs.vector.t_all_ms,
+                    "cardinality": obs.vector.cardinality,
+                    "record_time_ms": obs.record_time_ms,
+                    "complete": obs.complete,
+                }
+            )
+    payload = {"version": FORMAT_VERSION, "observations": observations}
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+    return len(observations)
+
+
+def load_statistics(dcsm: DCSM, path: Union[str, Path]) -> int:
+    """Load observations from ``path`` into ``dcsm``; returns the count.
+
+    Loaded observations are appended to whatever the DCSM already holds;
+    summary tables are rebuilt lazily on the next estimate.
+    """
+    with open(path) as handle:
+        payload = json.load(handle)
+    if payload.get("version") != FORMAT_VERSION:
+        raise ReproError(
+            f"unsupported statistics format version {payload.get('version')!r}"
+        )
+    count = 0
+    for item in payload["observations"]:
+        observation = Observation(
+            call=decode_call(item["call"]),
+            vector=CostVector(
+                t_first_ms=item["t_first_ms"],
+                t_all_ms=item["t_all_ms"],
+                cardinality=item["cardinality"],
+            ),
+            record_time_ms=item["record_time_ms"],
+            complete=item["complete"],
+        )
+        dcsm.database.record(observation)
+        key = (observation.domain, observation.function)
+        if key not in dcsm._functions:
+            from repro.dcsm.module import _FunctionInfo
+
+            dcsm._functions[key] = _FunctionInfo(arity=observation.call.arity)
+        count += 1
+    dcsm._summaries_stale = True
+    return count

@@ -1,0 +1,88 @@
+"""Cost vectors and statistics observations (paper §6, §6.1).
+
+A cost estimate is a vector ``[T_first, T_all, Card]``: time to the first
+answer, time to all answers, and answer-set cardinality.  Components may
+be missing (``None``) — e.g. a call stopped in interactive mode has no
+reliable ``T_all``/``Card`` (paper §6.1: "Some of this information may
+not be available ... since all answers may not have been obtained").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.model import GroundCall
+
+
+@dataclass(frozen=True, slots=True)
+class CostVector:
+    """``[T_first, T_all, Card]`` with possibly-missing components."""
+
+    t_first_ms: Optional[float]
+    t_all_ms: Optional[float]
+    cardinality: Optional[float]
+
+    def is_full(self) -> bool:
+        return (
+            self.t_first_ms is not None
+            and self.t_all_ms is not None
+            and self.cardinality is not None
+        )
+
+    def is_empty(self) -> bool:
+        return (
+            self.t_first_ms is None
+            and self.t_all_ms is None
+            and self.cardinality is None
+        )
+
+    def fill_missing_from(self, other: "CostVector") -> "CostVector":
+        """Components absent here taken from ``other`` (paper §6: a better
+        per-domain estimator may supply some parameters, DCSM the rest)."""
+        return CostVector(
+            t_first_ms=self.t_first_ms if self.t_first_ms is not None else other.t_first_ms,
+            t_all_ms=self.t_all_ms if self.t_all_ms is not None else other.t_all_ms,
+            cardinality=self.cardinality if self.cardinality is not None else other.cardinality,
+        )
+
+    def require_full(self) -> "CostVector":
+        from repro.errors import EstimationError
+
+        if not self.is_full():
+            raise EstimationError(f"incomplete cost vector {self}")
+        return self
+
+    def __str__(self) -> str:
+        def fmt(x: Optional[float]) -> str:
+            return "?" if x is None else f"{x:.2f}"
+
+        return f"[Tf={fmt(self.t_first_ms)}, Ta={fmt(self.t_all_ms)}, Card={fmt(self.cardinality)}]"
+
+
+EMPTY_VECTOR = CostVector(None, None, None)
+
+
+@dataclass(frozen=True, slots=True)
+class Observation:
+    """One recorded execution of a ground call.
+
+    ``record_time_ms`` is the simulated instant the call completed — the
+    paper's ``record.time`` column, used for recency-weighted aggregation.
+    ``complete`` is False when the call was cut short, in which case
+    ``t_all_ms``/``cardinality`` are lower bounds and are excluded from
+    those aggregates.
+    """
+
+    call: GroundCall
+    vector: CostVector
+    record_time_ms: float = 0.0
+    complete: bool = True
+
+    @property
+    def domain(self) -> str:
+        return self.call.domain
+
+    @property
+    def function(self) -> str:
+        return self.call.function

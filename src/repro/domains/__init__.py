@@ -1,0 +1,13 @@
+"""External source substrates and the domain abstraction.
+
+The mediator sees every external package — relational engine, flat files,
+the AVIS video store, the spatial index, the terrain path planner —
+through one narrow interface: a named :class:`~repro.domains.base.Domain`
+exporting ground-call functions that return answer sets plus a simulated
+compute-cost.  See DESIGN.md §2 for what each substrate substitutes for.
+"""
+
+from repro.domains.base import CallResult, Domain, SourceFunction
+from repro.domains.registry import DomainRegistry
+
+__all__ = ["CallResult", "Domain", "SourceFunction", "DomainRegistry"]

@@ -1,0 +1,13 @@
+"""AVIS — a content-based video information substrate.
+
+The paper's experiments query a third-party video retrieval package
+(AVIS) whose cost behaviour has "no well-understood cost estimation
+policies".  We reproduce that character: query cost is driven by the
+number of *frames scanned*, which the mediator cannot see, rather than by
+answer cardinality.
+"""
+
+from repro.domains.avis.model import Appearance, Video
+from repro.domains.avis.store import AvisDomain
+
+__all__ = ["Appearance", "Video", "AvisDomain"]

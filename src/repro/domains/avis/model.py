@@ -1,0 +1,77 @@
+"""Data model of the AVIS video store.
+
+A :class:`Video` is a named sequence of frames; *objects* (characters,
+props — the paper's AVIS example uses movie roles) appear over frame
+intervals.  ``Appearance`` intervals are closed ``[first, last]`` in frame
+numbers, 1-based, matching the paper's "objects that appear between frames
+4 and 47" phrasing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.errors import BadCallError
+
+
+@dataclass(frozen=True, slots=True)
+class Appearance:
+    """One object's presence over a closed frame interval."""
+
+    first: int
+    last: int
+
+    def __post_init__(self) -> None:
+        if self.first < 1 or self.last < self.first:
+            raise BadCallError(f"bad appearance interval [{self.first}, {self.last}]")
+
+    def intersects(self, first: int, last: int) -> bool:
+        return self.first <= last and first <= self.last
+
+    @property
+    def length(self) -> int:
+        return self.last - self.first + 1
+
+
+@dataclass
+class Video:
+    """A video with its per-object appearance intervals."""
+
+    name: str
+    num_frames: int
+    bytes_per_frame: int = 4096
+    appearances: dict[str, tuple[Appearance, ...]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.num_frames < 1:
+            raise BadCallError(f"video {self.name!r} needs at least one frame")
+
+    @property
+    def size_bytes(self) -> int:
+        return self.num_frames * self.bytes_per_frame
+
+    def add_object(self, obj: str, intervals: Iterable[tuple[int, int]]) -> None:
+        spans = tuple(Appearance(first, last) for first, last in intervals)
+        for span in spans:
+            if span.last > self.num_frames:
+                raise BadCallError(
+                    f"appearance {span} exceeds video {self.name!r} "
+                    f"({self.num_frames} frames)"
+                )
+        existing = self.appearances.get(obj, ())
+        self.appearances[obj] = existing + spans
+
+    def objects(self) -> tuple[str, ...]:
+        return tuple(self.appearances)
+
+    def objects_between(self, first: int, last: int) -> tuple[str, ...]:
+        """Objects with at least one appearance intersecting [first, last]."""
+        out = []
+        for obj, spans in self.appearances.items():
+            if any(span.intersects(first, last) for span in spans):
+                out.append(obj)
+        return tuple(out)
+
+    def frames_of(self, obj: str) -> tuple[Appearance, ...]:
+        return self.appearances.get(obj, ())

@@ -1,0 +1,238 @@
+"""The domain abstraction: what the mediator knows about a source.
+
+Per the paper (§2, §6), the mediator knows, for each domain, only a set of
+functions, their arities, and how to call them with ground arguments; it
+does *not* know their internals or cost characteristics.  A function call
+returns a set of answers.  Our substrates additionally report a simulated
+compute time so the network layer and the executor can charge the
+:class:`~repro.net.clock.SimClock`.
+
+Concrete substrates subclass :class:`Domain` and register functions with
+:meth:`Domain.register`.  An implementation returns either
+
+* a plain list/tuple of answers — the domain's default cost model
+  (``base_ms + per_answer_ms × n``) supplies timings, or
+* an ``(answers, t_first_ms, t_all_ms)`` triple for functions with their
+  own cost shape (e.g. AVIS charges per frame scanned, not per answer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, Optional, Sequence
+
+from repro.core.model import GroundCall
+from repro.core.terms import Value, value_bytes
+from repro.errors import BadCallError, UnknownFunctionError
+
+#: How a CallResult was produced; used by reports and by CIM bookkeeping.
+SOURCE_DOMAIN = "domain"
+SOURCE_CACHE = "cache"
+SOURCE_INVARIANT_EQ = "invariant-eq"
+SOURCE_INVARIANT_PARTIAL = "invariant-partial"
+
+
+@dataclass(frozen=True, slots=True)
+class CallResult:
+    """The outcome of executing one ground domain call.
+
+    ``t_first_ms``/``t_all_ms`` are measured from the start of the call on
+    the simulated clock; ``answers`` is the full (ordered, duplicate-free)
+    answer set; ``complete`` is False when the result is a *partial* answer
+    set obtained through a containment invariant (paper §4.1).
+    """
+
+    call: GroundCall
+    answers: tuple[Value, ...]
+    t_first_ms: float
+    t_all_ms: float
+    provenance: str = SOURCE_DOMAIN
+    complete: bool = True
+
+    @property
+    def cardinality(self) -> int:
+        return len(self.answers)
+
+    @property
+    def answer_bytes(self) -> int:
+        return sum(value_bytes(a) for a in self.answers)
+
+    def __post_init__(self) -> None:
+        if self.t_all_ms < self.t_first_ms:
+            raise BadCallError(
+                f"t_all ({self.t_all_ms}) < t_first ({self.t_first_ms}) for {self.call}"
+            )
+
+
+@dataclass(slots=True)
+class SourceFunction:
+    """A callable exported by a domain."""
+
+    name: str
+    arity: int
+    implementation: Callable[..., object]
+    doc: str = ""
+
+    def __post_init__(self) -> None:
+        if self.arity < 0:
+            raise BadCallError(f"negative arity for function {self.name!r}")
+
+
+def _dedup(answers: Iterable[Value]) -> tuple[Value, ...]:
+    """Answer sets are sets: preserve first-seen order, drop duplicates."""
+    seen: set[Value] = set()
+    out: list[Value] = []
+    for answer in answers:
+        if answer not in seen:
+            seen.add(answer)
+            out.append(answer)
+    return tuple(out)
+
+
+class Domain:
+    """A source package: a name plus a registry of ground-call functions.
+
+    Parameters
+    ----------
+    name:
+        The domain name used in rules (``in(X, name:fn(...))``).
+    base_cost_ms / per_answer_cost_ms:
+        Default compute-cost model for functions that do not report their
+        own timings.
+    cost_estimator:
+        Optional callable ``(CallPattern) -> CostVector | None``.  When a
+        source has a well-understood cost model (the paper's "domains with
+        good cost-estimation functions"), DCSM delegates to it instead of
+        (or in addition to) the statistics cache — see §6.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        base_cost_ms: float = 1.0,
+        per_answer_cost_ms: float = 0.05,
+        cost_estimator: Optional[Callable[..., object]] = None,
+    ):
+        self.name = name
+        self.base_cost_ms = base_cost_ms
+        self.per_answer_cost_ms = per_answer_cost_ms
+        self.cost_estimator = cost_estimator
+        self._functions: dict[str, SourceFunction] = {}
+        self.calls_made = 0  # observability: number of real executions
+
+    # -- function registry ---------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        implementation: Callable[..., object],
+        arity: Optional[int] = None,
+        doc: str = "",
+    ) -> SourceFunction:
+        """Export ``implementation`` as ``self.name:name``."""
+        if arity is None:
+            arity = implementation.__code__.co_argcount
+            if arity and implementation.__code__.co_varnames[0] in ("self", "cls"):
+                arity -= 1
+        fn = SourceFunction(name=name, arity=arity, implementation=implementation,
+                            doc=doc or (implementation.__doc__ or "").strip())
+        self._functions[name] = fn
+        return fn
+
+    @property
+    def functions(self) -> Mapping[str, SourceFunction]:
+        return dict(self._functions)
+
+    def has_function(self, name: str) -> bool:
+        return name in self._functions
+
+    def function(self, name: str) -> SourceFunction:
+        try:
+            return self._functions[name]
+        except KeyError:
+            exported = ", ".join(sorted(self._functions)) or "(none)"
+            raise UnknownFunctionError(
+                f"domain '{self.name}' has no function '{name}'; exports: {exported}"
+            ) from None
+
+    # -- execution -------------------------------------------------------------
+
+    def execute(self, call: GroundCall) -> CallResult:
+        """Run a ground call locally (no network cost).
+
+        The returned timings are the *source compute* times only; wrappers
+        (:class:`~repro.net.remote.RemoteDomain`) add network costs on top.
+        """
+        if call.domain != self.name:
+            raise BadCallError(
+                f"call {call} routed to domain '{self.name}'"
+            )
+        fn = self.function(call.function)
+        if len(call.args) != fn.arity:
+            raise BadCallError(
+                f"{call.qualified_name} expects {fn.arity} args, got {len(call.args)}"
+            )
+        raw = fn.implementation(*call.args)
+        answers, t_first, t_all = self._interpret(raw)
+        self.calls_made += 1
+        return CallResult(
+            call=call,
+            answers=answers,
+            t_first_ms=t_first,
+            t_all_ms=t_all,
+            provenance=SOURCE_DOMAIN,
+            complete=True,
+        )
+
+    def _interpret(
+        self, raw: object
+    ) -> tuple[tuple[Value, ...], float, float]:
+        """Normalise an implementation's return value."""
+        if (
+            isinstance(raw, tuple)
+            and len(raw) == 3
+            and isinstance(raw[0], (list, tuple))
+            and isinstance(raw[1], (int, float))
+            and isinstance(raw[2], (int, float))
+        ):
+            answers = _dedup(raw[0])
+            t_first = float(raw[1])
+            t_all = float(raw[2])
+            if t_all < t_first:
+                t_all = t_first
+            return answers, t_first, t_all
+        if isinstance(raw, (list, tuple)):
+            answers = _dedup(raw)
+            return answers, *self.default_cost(len(answers))
+        raise BadCallError(
+            f"function implementations must return a sequence of answers or "
+            f"(answers, t_first, t_all); got {type(raw).__name__}"
+        )
+
+    def default_cost(self, cardinality: int) -> tuple[float, float]:
+        """(t_first, t_all) under the domain's default cost model."""
+        t_first = self.base_cost_ms + (self.per_answer_cost_ms if cardinality else 0.0)
+        t_all = self.base_cost_ms + self.per_answer_cost_ms * cardinality
+        return t_first, max(t_first, t_all)
+
+    def __repr__(self) -> str:
+        return f"<Domain {self.name!r} fns={sorted(self._functions)}>"
+
+
+def simple_domain(
+    name: str,
+    functions: Mapping[str, Callable[..., Sequence[Value]]],
+    base_cost_ms: float = 1.0,
+    per_answer_cost_ms: float = 0.05,
+) -> Domain:
+    """Build a domain from a mapping of plain Python callables.
+
+    Handy in tests and examples::
+
+        d = simple_domain("d1", {"p_ff": lambda: [("a", "b")]})
+    """
+    domain = Domain(name, base_cost_ms=base_cost_ms,
+                    per_answer_cost_ms=per_answer_cost_ms)
+    for fn_name, impl in functions.items():
+        domain.register(fn_name, impl)
+    return domain

@@ -1,0 +1,167 @@
+"""Face-recognition substrate.
+
+HERMES integrated "a face recognition system" — the paper's canonical
+example of a source for which "it is extremely difficult to develop a
+reasonable cost model" (§1): matching cost depends on gallery size and
+feature dimensionality, invisible to the mediator.
+
+We model faces as unit feature vectors (pure Python, no numpy needed at
+this scale); ``match`` does a full gallery scan with cosine similarity.
+
+Functions:
+
+* ``match(face_id, threshold)`` — ``Row(name, score)`` for every gallery
+  face whose cosine similarity to ``face_id`` is ≥ ``threshold``
+  (including the probe itself at 1.0).
+* ``best_match(face_id)`` — singleton best non-self match.
+* ``similarity(face_a, face_b)`` — singleton score.
+* ``gallery()`` — all face ids.
+
+Natural invariants (threshold containment / clipping)::
+
+    T1 <= T2 => faces:match(F, T1) >= faces:match(F, T2).
+    T <= -1  => faces:match(F, T) = faces:match(F, -1).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Iterable, Sequence
+
+from repro.core.terms import Row
+from repro.domains.base import Domain
+from repro.errors import BadCallError
+
+
+def _normalize(vector: Sequence[float]) -> tuple[float, ...]:
+    norm = math.sqrt(sum(x * x for x in vector))
+    if norm == 0:
+        raise BadCallError("zero feature vector")
+    return tuple(x / norm for x in vector)
+
+
+def cosine(a: Sequence[float], b: Sequence[float]) -> float:
+    return sum(x * y for x, y in zip(a, b))
+
+
+class FaceDomain(Domain):
+    """A gallery of face feature vectors with similarity matching."""
+
+    def __init__(
+        self,
+        name: str = "faces",
+        dimensions: int = 32,
+        compare_cost_ms: float = 1.5,
+        base_cost_ms: float = 25.0,
+    ):
+        super().__init__(name, base_cost_ms=base_cost_ms)
+        if dimensions < 2:
+            raise BadCallError("need at least 2 feature dimensions")
+        self.dimensions = dimensions
+        self.compare_cost_ms = compare_cost_ms
+        self._gallery: dict[str, tuple[float, ...]] = {}
+        self.register("match", self._fn_match, arity=2)
+        self.register("best_match", self._fn_best_match, arity=1)
+        self.register("similarity", self._fn_similarity, arity=2)
+        self.register("gallery", self._fn_gallery, arity=0)
+
+    # -- loading -------------------------------------------------------------
+
+    def add_face(self, face_id: str, features: Sequence[float]) -> None:
+        if face_id in self._gallery:
+            raise BadCallError(f"face {face_id!r} already enrolled")
+        if len(features) != self.dimensions:
+            raise BadCallError(
+                f"face {face_id!r} has {len(features)} features, "
+                f"gallery uses {self.dimensions}"
+            )
+        self._gallery[face_id] = _normalize(features)
+
+    def enroll_random(
+        self,
+        face_ids: Iterable[str],
+        seed: int = 0,
+        clusters: int = 4,
+        spread: float = 0.25,
+    ) -> None:
+        """Enroll synthetic faces around ``clusters`` prototype vectors —
+        clustered galleries make thresholds meaningful."""
+        rng = random.Random(seed)
+        prototypes = [
+            [rng.gauss(0, 1) for _ in range(self.dimensions)]
+            for _ in range(max(clusters, 1))
+        ]
+        for i, face_id in enumerate(face_ids):
+            base = prototypes[i % len(prototypes)]
+            vector = [x + rng.gauss(0, spread) for x in base]
+            self.add_face(face_id, vector)
+
+    def features(self, face_id: str) -> tuple[float, ...]:
+        try:
+            return self._gallery[face_id]
+        except KeyError:
+            known = ", ".join(sorted(self._gallery)[:8]) or "(none)"
+            raise BadCallError(
+                f"no face {face_id!r} in gallery; e.g.: {known}"
+            ) from None
+
+    def face_ids(self) -> tuple[str, ...]:
+        return tuple(sorted(self._gallery))
+
+    # -- source functions ------------------------------------------------------
+
+    def _scan_cost(self) -> tuple[float, float]:
+        t_all = self.base_cost_ms + self.compare_cost_ms * len(self._gallery)
+        t_first = self.base_cost_ms + self.compare_cost_ms * min(len(self._gallery), 3)
+        return min(t_first, t_all), t_all
+
+    def _fn_match(self, face_id: str, threshold: float):
+        if not isinstance(threshold, (int, float)):
+            raise BadCallError("match threshold must be numeric")
+        probe = self.features(face_id)
+        answers = []
+        for other_id, other in sorted(self._gallery.items()):
+            score = cosine(probe, other)
+            if score >= threshold:
+                answers.append(Row([("name", other_id), ("score", round(score, 6))]))
+        t_first, t_all = self._scan_cost()
+        return answers, t_first, t_all
+
+    def _fn_best_match(self, face_id: str):
+        probe = self.features(face_id)
+        best_id = None
+        best_score = -2.0
+        for other_id, other in self._gallery.items():
+            if other_id == face_id:
+                continue
+            score = cosine(probe, other)
+            if score > best_score:
+                best_id, best_score = other_id, score
+        t_first, t_all = self._scan_cost()
+        if best_id is None:
+            return [], t_first, t_all
+        return (
+            [Row([("name", best_id), ("score", round(best_score, 6))])],
+            t_all,  # best-match cannot stream: full scan before any answer
+            t_all,
+        )
+
+    def _fn_similarity(self, face_a: str, face_b: str):
+        score = cosine(self.features(face_a), self.features(face_b))
+        t = self.base_cost_ms + self.compare_cost_ms
+        return [round(score, 6)], t, t
+
+    def _fn_gallery(self):
+        answers = list(self.face_ids())
+        t = self.base_cost_ms + 0.05 * len(answers)
+        return answers, t, t
+
+
+#: Ready-made invariants for a FaceDomain named ``faces``.
+FACE_THRESHOLD_INVARIANT = (
+    "T1 <= T2 => faces:match(F, T1) >= faces:match(F, T2)."
+)
+FACE_FLOOR_INVARIANT = (
+    "T <= -1 => faces:match(F, T) = faces:match(F, -1)."
+)

@@ -1,0 +1,116 @@
+"""Flat-file substrate: named files of delimited text records.
+
+The cheapest, dumbest source in the testbed (the paper integrates "flat
+file data" alongside INGRES and AVIS).  Every operation is a sequential
+scan; there are no indexes, so cost is linear in file length regardless of
+selectivity.
+
+Functions:
+
+* ``lines(file)`` — every record (line) of the file.
+* ``grep(file, substring)`` — records containing ``substring``.
+* ``field_eq(file, position, value)`` — records whose 1-based
+  ``position``-th delimited field equals ``value`` (string compare).
+* ``field(file, position)`` — distinct values of a field.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Union
+
+from repro.domains.base import Domain
+from repro.errors import BadCallError
+
+
+class FlatFileDomain(Domain):
+    """Named text files with scan-only access."""
+
+    def __init__(
+        self,
+        name: str = "flatfile",
+        delimiter: str = "|",
+        line_cost_ms: float = 0.01,
+        base_cost_ms: float = 0.3,
+    ):
+        super().__init__(name, base_cost_ms=base_cost_ms)
+        self.delimiter = delimiter
+        self.line_cost_ms = line_cost_ms
+        self._files: dict[str, tuple[str, ...]] = {}
+        self.register("lines", self._fn_lines, arity=1)
+        self.register("grep", self._fn_grep, arity=2)
+        self.register("field_eq", self._fn_field_eq, arity=3)
+        self.register("field", self._fn_field, arity=2)
+
+    # -- loading ---------------------------------------------------------------
+
+    def add_file(self, name: str, lines: Iterable[str]) -> int:
+        if name in self._files:
+            raise BadCallError(f"flat file {name!r} already loaded")
+        records = tuple(line.rstrip("\n") for line in lines)
+        self._files[name] = records
+        return len(records)
+
+    def load_path(self, name: str, path: Union[str, Path]) -> int:
+        with open(path) as handle:
+            return self.add_file(name, handle)
+
+    def file(self, name: str) -> tuple[str, ...]:
+        try:
+            return self._files[name]
+        except KeyError:
+            known = ", ".join(sorted(self._files)) or "(none)"
+            raise BadCallError(
+                f"flat-file domain has no file {name!r}; files: {known}"
+            ) from None
+
+    # -- scans -------------------------------------------------------------------
+
+    def _scan_cost(self, total_lines: int, first_match_at: int) -> tuple[float, float]:
+        t_all = self.base_cost_ms + self.line_cost_ms * max(total_lines, 1)
+        t_first = self.base_cost_ms + self.line_cost_ms * (first_match_at + 1)
+        return min(t_first, t_all), t_all
+
+    def _fn_lines(self, name: str):
+        records = self.file(name)
+        t_first, t_all = self._scan_cost(len(records), 0)
+        return list(records), t_first, t_all
+
+    def _fn_grep(self, name: str, needle: str):
+        records = self.file(name)
+        matches = []
+        first_at = len(records)
+        for i, record in enumerate(records):
+            if str(needle) in record:
+                if not matches:
+                    first_at = i
+                matches.append(record)
+        t_first, t_all = self._scan_cost(len(records), first_at)
+        return matches, t_first, t_all
+
+    def _fn_field_eq(self, name: str, position: int, value: str):
+        if not isinstance(position, int) or position < 1:
+            raise BadCallError("field position is 1-based")
+        records = self.file(name)
+        matches = []
+        first_at = len(records)
+        for i, record in enumerate(records):
+            fields = record.split(self.delimiter)
+            if len(fields) >= position and fields[position - 1] == str(value):
+                if not matches:
+                    first_at = i
+                matches.append(record)
+        t_first, t_all = self._scan_cost(len(records), first_at)
+        return matches, t_first, t_all
+
+    def _fn_field(self, name: str, position: int):
+        if not isinstance(position, int) or position < 1:
+            raise BadCallError("field position is 1-based")
+        records = self.file(name)
+        values = []
+        for record in records:
+            fields = record.split(self.delimiter)
+            if len(fields) >= position:
+                values.append(fields[position - 1])
+        t_first, t_all = self._scan_cost(len(records), 0)
+        return values, t_first, t_all

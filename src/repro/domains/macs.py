@@ -1,0 +1,152 @@
+"""MACS — a media asset classification substrate.
+
+HERMES integrated "multimedia packages (MACS and AVIS)" (§8).  Where
+AVIS answers content queries *within* one video, MACS catalogs assets
+*across* a library: every asset sits in a hierarchical category (a dotted
+path such as ``media.video.film.thriller``) and carries free-form tags.
+
+Functions:
+
+* ``in_category(prefix)`` — asset ids whose category path starts with
+  ``prefix`` (subtree retrieval).
+* ``asset(asset_id)`` — singleton ``Row(asset_id, category, title)``.
+* ``tagged(tag)`` — asset ids carrying a tag.
+* ``categories()`` — the distinct category paths in use.
+
+The natural invariant uses the component-aware ``subpath_of`` condition
+operator: a category subtree's assets contain every deeper subtree's
+assets::
+
+    subpath_of(P1, P2) => macs:in_category(P1) >= macs:in_category(P2).
+
+so a cached narrower retrieval (``media.video.film``) serves partial
+answers for any enclosing one (``media.video``) — and the equality case
+(identical paths) is the exact-hit fast path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.terms import Row
+from repro.domains.base import Domain
+from repro.errors import BadCallError
+
+
+@dataclass(frozen=True, slots=True)
+class MediaAsset:
+    asset_id: str
+    category: str  # dotted path, e.g. "media.video.film.thriller"
+    title: str
+    tags: tuple[str, ...] = ()
+
+
+class MacsDomain(Domain):
+    """Hierarchically categorised media assets."""
+
+    def __init__(
+        self,
+        name: str = "macs",
+        asset_cost_ms: float = 0.08,
+        base_cost_ms: float = 6.0,
+    ):
+        super().__init__(name, base_cost_ms=base_cost_ms)
+        self.asset_cost_ms = asset_cost_ms
+        self._assets: dict[str, MediaAsset] = {}
+        self._by_tag: dict[str, list[str]] = {}
+        self.register("in_category", self._fn_in_category, arity=1)
+        self.register("asset", self._fn_asset, arity=1)
+        self.register("tagged", self._fn_tagged, arity=1)
+        self.register("categories", self._fn_categories, arity=0)
+
+    # -- loading -----------------------------------------------------------------
+
+    def add_asset(self, asset: MediaAsset) -> None:
+        if asset.asset_id in self._assets:
+            raise BadCallError(f"asset {asset.asset_id!r} already cataloged")
+        if not asset.category or asset.category.startswith(".") or ".." in asset.category:
+            raise BadCallError(f"malformed category path {asset.category!r}")
+        self._assets[asset.asset_id] = asset
+        for tag in asset.tags:
+            self._by_tag.setdefault(tag, []).append(asset.asset_id)
+
+    def add_assets(self, assets: Iterable[MediaAsset]) -> int:
+        count = 0
+        for asset in assets:
+            self.add_asset(asset)
+            count += 1
+        return count
+
+    def asset_count(self) -> int:
+        return len(self._assets)
+
+    # -- source functions -----------------------------------------------------------
+
+    def _category_matches(self, category: str, prefix: str) -> bool:
+        """Subtree membership along path components: 'a.b' covers 'a.b'
+        and 'a.b.c' but NOT 'a.bc'."""
+        return category == prefix or category.startswith(prefix + ".")
+
+    def _fn_in_category(self, prefix: str):
+        if not isinstance(prefix, str) or not prefix:
+            raise BadCallError("category prefix must be a non-empty string")
+        matches = [
+            asset_id
+            for asset_id, asset in sorted(self._assets.items())
+            if self._category_matches(asset.category, prefix)
+        ]
+        t_all = self.base_cost_ms + self.asset_cost_ms * max(len(self._assets), 1)
+        t_first = self.base_cost_ms + self.asset_cost_ms
+        return matches, min(t_first, t_all), t_all
+
+    def _fn_asset(self, asset_id: str):
+        asset = self._assets.get(asset_id)
+        if asset is None:
+            raise BadCallError(f"no asset {asset_id!r}")
+        row = Row(
+            [
+                ("asset_id", asset.asset_id),
+                ("category", asset.category),
+                ("title", asset.title),
+            ]
+        )
+        t = self.base_cost_ms + self.asset_cost_ms
+        return [row], t, t
+
+    def _fn_tagged(self, tag: str):
+        matches = self._by_tag.get(tag, [])
+        t_all = self.base_cost_ms + self.asset_cost_ms * max(len(matches), 1)
+        t_first = self.base_cost_ms + self.asset_cost_ms
+        return list(matches), min(t_first, t_all), t_all
+
+    def _fn_categories(self):
+        paths = sorted({asset.category for asset in self._assets.values()})
+        t = self.base_cost_ms + self.asset_cost_ms * max(len(paths), 1)
+        return paths, t, t
+
+
+#: Subtree containment via the component-aware subpath_of condition.
+#: NB raw prefix_of would be UNSOUND here ('media.video' is a raw prefix
+#: of 'media.videoessay', but that category is NOT in its subtree) —
+#: subpath_of only fires at '.' component boundaries, matching the
+#: domain's own retrieval semantics.
+MACS_SUBTREE_INVARIANT = (
+    "subpath_of(P1, P2) => macs:in_category(P1) >= macs:in_category(P2)."
+)
+
+
+def sample_catalog() -> list[MediaAsset]:
+    """A deterministic media catalog for tests and examples."""
+    return [
+        MediaAsset("A001", "media.video.film.thriller", "Rope", ("hitchcock", "1948")),
+        MediaAsset("A002", "media.video.film.thriller", "Vertigo", ("hitchcock",)),
+        MediaAsset("A003", "media.video.film.noir", "The Third Man", ()),
+        MediaAsset("A004", "media.video.documentary", "Night Mail", ()),
+        MediaAsset("A005", "media.audio.radio", "War of the Worlds", ("welles",)),
+        MediaAsset("A006", "media.audio.music", "Symphony No. 5", ()),
+        MediaAsset("A007", "media.video.film.thriller", "The 39 Steps", ("hitchcock",)),
+        MediaAsset("A008", "media.image.poster", "Rope One-Sheet", ("1948",)),
+        MediaAsset("A009", "media.video.newsreel", "VE Day", ()),
+        MediaAsset("A010", "media.videoessay", "Cutting Rope", ()),  # NOT under media.video
+    ]

@@ -1,0 +1,208 @@
+"""Object-oriented database substrate (ObjectStore stand-in).
+
+HERMES "integrates ... one object-oriented DBMS (ObjectStore)" (§8).
+This substrate models a typed object graph: classes with attributes and
+named relationships; objects identified by ``(class, oid)``; traversal by
+relationship following.
+
+Functions:
+
+* ``get(class, oid)`` — singleton ``Row`` of the object's attributes
+  (plus ``oid``); index lookup, cheap.
+* ``instances(class)`` — every oid of a class.
+* ``attr_eq(class, attr, value)`` — oids whose attribute equals a value
+  (class-extent scan).
+* ``follow(class, oid, relationship)`` — oids reachable over one
+  relationship edge.
+* ``path(class, oid, rel1, rel2)`` — two-hop traversal (the classic OODB
+  path expression), deduplicated.
+
+Answers carry oids (strings), with ``get`` exposing attribute Rows, so
+mediator rules join object data against any other source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional
+
+from repro.core.terms import Row, Value
+from repro.domains.base import Domain
+from repro.errors import BadCallError, SchemaError
+
+
+@dataclass
+class ObjectClass:
+    """Schema of one class: attribute names and relationship targets."""
+
+    name: str
+    attributes: tuple[str, ...]
+    relationships: dict[str, str] = field(default_factory=dict)  # name → target class
+
+    def __post_init__(self) -> None:
+        if "oid" in self.attributes:
+            raise SchemaError("'oid' is implicit; do not declare it")
+        if len(set(self.attributes)) != len(self.attributes):
+            raise SchemaError(f"duplicate attributes in class {self.name!r}")
+
+
+@dataclass
+class StoredObject:
+    oid: str
+    cls: str
+    attributes: dict[str, Value]
+    links: dict[str, list[str]] = field(default_factory=dict)  # rel → target oids
+
+
+class ObjectStoreDomain(Domain):
+    """A small object-oriented database."""
+
+    def __init__(
+        self,
+        name: str = "objects",
+        lookup_cost_ms: float = 0.3,
+        scan_cost_ms: float = 0.02,
+        base_cost_ms: float = 1.0,
+    ):
+        super().__init__(name, base_cost_ms=base_cost_ms)
+        self.lookup_cost_ms = lookup_cost_ms
+        self.scan_cost_ms = scan_cost_ms
+        self._classes: dict[str, ObjectClass] = {}
+        self._objects: dict[tuple[str, str], StoredObject] = {}
+        self._extents: dict[str, list[str]] = {}
+        self.register("get", self._fn_get, arity=2)
+        self.register("instances", self._fn_instances, arity=1)
+        self.register("attr_eq", self._fn_attr_eq, arity=3)
+        self.register("follow", self._fn_follow, arity=3)
+        self.register("path", self._fn_path, arity=4)
+
+    # -- schema & loading -------------------------------------------------------
+
+    def define_class(
+        self,
+        name: str,
+        attributes: Iterable[str],
+        relationships: Optional[Mapping[str, str]] = None,
+    ) -> ObjectClass:
+        if name in self._classes:
+            raise SchemaError(f"class {name!r} already defined")
+        cls = ObjectClass(name, tuple(attributes), dict(relationships or {}))
+        self._classes[name] = cls
+        self._extents[name] = []
+        return cls
+
+    def create(self, cls_name: str, oid: str, **attributes: Value) -> StoredObject:
+        cls = self._class(cls_name)
+        if (cls_name, oid) in self._objects:
+            raise SchemaError(f"object {cls_name}:{oid} already exists")
+        unknown = set(attributes) - set(cls.attributes)
+        if unknown:
+            raise SchemaError(
+                f"class {cls_name!r} has no attributes {sorted(unknown)}"
+            )
+        obj = StoredObject(oid=oid, cls=cls_name, attributes=dict(attributes))
+        self._objects[(cls_name, oid)] = obj
+        self._extents[cls_name].append(oid)
+        return obj
+
+    def link(self, cls_name: str, oid: str, relationship: str, target_oid: str) -> None:
+        cls = self._class(cls_name)
+        if relationship not in cls.relationships:
+            raise SchemaError(
+                f"class {cls_name!r} has no relationship {relationship!r}"
+            )
+        target_cls = cls.relationships[relationship]
+        if (target_cls, target_oid) not in self._objects:
+            raise BadCallError(
+                f"link target {target_cls}:{target_oid} does not exist"
+            )
+        obj = self._object(cls_name, oid)
+        obj.links.setdefault(relationship, []).append(target_oid)
+
+    # -- internals -----------------------------------------------------------------
+
+    def _class(self, name: str) -> ObjectClass:
+        try:
+            return self._classes[name]
+        except KeyError:
+            known = ", ".join(sorted(self._classes)) or "(none)"
+            raise BadCallError(
+                f"object store has no class {name!r}; classes: {known}"
+            ) from None
+
+    def _object(self, cls_name: str, oid: str) -> StoredObject:
+        self._class(cls_name)
+        try:
+            return self._objects[(cls_name, oid)]
+        except KeyError:
+            raise BadCallError(f"no object {cls_name}:{oid}") from None
+
+    def _as_row(self, obj: StoredObject) -> Row:
+        cls = self._classes[obj.cls]
+        fields: list[tuple[str, Value]] = [("oid", obj.oid)]
+        for attr in cls.attributes:
+            fields.append((attr, obj.attributes.get(attr)))
+        return Row(fields)
+
+    # -- source functions -------------------------------------------------------------
+
+    def _fn_get(self, cls_name: str, oid: str):
+        obj = self._object(cls_name, oid)
+        t = self.base_cost_ms + self.lookup_cost_ms
+        return [self._as_row(obj)], t, t
+
+    def _fn_instances(self, cls_name: str):
+        extent = self._extents.get(cls_name)
+        if extent is None:
+            raise BadCallError(f"object store has no class {cls_name!r}")
+        t_all = self.base_cost_ms + self.scan_cost_ms * max(len(extent), 1)
+        t_first = self.base_cost_ms + self.scan_cost_ms
+        return list(extent), min(t_first, t_all), t_all
+
+    def _fn_attr_eq(self, cls_name: str, attr: str, value: Value):
+        cls = self._class(cls_name)
+        if attr not in cls.attributes:
+            raise BadCallError(f"class {cls_name!r} has no attribute {attr!r}")
+        matches = []
+        first_at = len(self._extents[cls_name])
+        for i, oid in enumerate(self._extents[cls_name]):
+            obj = self._objects[(cls_name, oid)]
+            if obj.attributes.get(attr) == value:
+                if not matches:
+                    first_at = i
+                matches.append(oid)
+        total = len(self._extents[cls_name])
+        t_all = self.base_cost_ms + self.scan_cost_ms * max(total, 1)
+        t_first = self.base_cost_ms + self.scan_cost_ms * (first_at + 1)
+        return matches, min(t_first, t_all), t_all
+
+    def _fn_follow(self, cls_name: str, oid: str, relationship: str):
+        obj = self._object(cls_name, oid)
+        cls = self._classes[cls_name]
+        if relationship not in cls.relationships:
+            raise BadCallError(
+                f"class {cls_name!r} has no relationship {relationship!r}"
+            )
+        targets = obj.links.get(relationship, [])
+        t = self.base_cost_ms + self.lookup_cost_ms + self.scan_cost_ms * len(targets)
+        return list(targets), t, t
+
+    def _fn_path(self, cls_name: str, oid: str, rel1: str, rel2: str):
+        first_hop, __, __ = self._fn_follow(cls_name, oid, rel1)
+        mid_cls = self._classes[cls_name].relationships[rel1]
+        reached: list[str] = []
+        seen: set[str] = set()
+        hops = 0
+        for mid in first_hop:
+            targets, __, __ = self._fn_follow(mid_cls, mid, rel2)
+            hops += 1
+            for target in targets:
+                if target not in seen:
+                    seen.add(target)
+                    reached.append(target)
+        t = (
+            self.base_cost_ms
+            + self.lookup_cost_ms * (1 + hops)
+            + self.scan_cost_ms * max(len(reached), 1)
+        )
+        return reached, t, t

@@ -1,0 +1,61 @@
+"""Registry mapping domain names to callable endpoints.
+
+The registry is what the executor, CIM, and DCSM share: it resolves a
+:class:`~repro.core.model.GroundCall` to the object that can execute it —
+either a bare :class:`~repro.domains.base.Domain` (local) or a
+:class:`~repro.net.remote.RemoteDomain` (adds simulated network cost).
+Both expose ``execute(call) -> CallResult`` and a ``name``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Protocol
+
+from repro.core.model import GroundCall
+from repro.domains.base import CallResult
+from repro.errors import UnknownDomainError
+
+
+class Endpoint(Protocol):
+    """Anything that can execute ground calls for a named domain."""
+
+    name: str
+
+    def execute(self, call: GroundCall) -> CallResult: ...
+
+
+class DomainRegistry:
+    """Name → endpoint table with helpful failure messages."""
+
+    def __init__(self, endpoints: Iterable[Endpoint] = ()):
+        self._endpoints: dict[str, Endpoint] = {}
+        for endpoint in endpoints:
+            self.add(endpoint)
+
+    def add(self, endpoint: Endpoint) -> None:
+        self._endpoints[endpoint.name] = endpoint
+
+    def get(self, name: str) -> Endpoint:
+        try:
+            return self._endpoints[name]
+        except KeyError:
+            known = ", ".join(sorted(self._endpoints)) or "(none)"
+            raise UnknownDomainError(
+                f"no domain registered under '{name}'; registered: {known}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._endpoints
+
+    def __iter__(self) -> Iterator[Endpoint]:
+        return iter(self._endpoints.values())
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._endpoints))
+
+    def execute(self, call: GroundCall) -> CallResult:
+        """Resolve and run a ground call."""
+        return self.get(call.domain).execute(call)
+
+    def __len__(self) -> int:
+        return len(self._endpoints)

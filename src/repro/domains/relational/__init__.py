@@ -1,0 +1,13 @@
+"""A from-scratch mini relational engine (stand-in for INGRES/Paradox/DBase).
+
+The engine stores heap tables of :class:`~repro.core.terms.Row` records,
+optionally hash-indexed per column, and exports the source functions the
+paper's rules use (``select_eq``/``equal``, ``select_lt`` …, ``all``,
+``project``, ``select_range``, ``count``) with a scan-based simulated cost
+model.
+"""
+
+from repro.domains.relational.table import Schema, Table
+from repro.domains.relational.engine import RelationalEngine
+
+__all__ = ["Schema", "Table", "RelationalEngine"]

@@ -1,0 +1,74 @@
+"""CSV import/export for the relational engine.
+
+Values are type-inferred on load: ints, then floats, then strings
+(quoting in the CSV forces string).  This mirrors how the original HERMES
+testbed pulled flat exports of INGRES relations into experiments.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Iterable, Union
+
+from repro.core.terms import Value
+from repro.domains.relational.table import Schema, Table
+from repro.errors import SchemaError
+
+
+def _coerce(text: str) -> Value:
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def load_table_csv(
+    source: Union[str, Path, io.TextIOBase],
+    name: str,
+    has_header: bool = True,
+    columns: Iterable[str] = (),
+) -> Table:
+    """Load a table from a CSV file, path, or open text stream.
+
+    With ``has_header`` the first row names the columns; otherwise pass
+    ``columns`` explicitly.
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, newline="") as handle:
+            return load_table_csv(handle, name, has_header, columns)
+    reader = csv.reader(source)
+    rows = list(reader)
+    if has_header:
+        if not rows:
+            raise SchemaError(f"CSV for table {name!r} is empty (no header)")
+        header, data = rows[0], rows[1:]
+    else:
+        header = list(columns)
+        data = rows
+        if not header:
+            raise SchemaError("columns are required when the CSV has no header")
+    table = Table(name, Schema(tuple(header)))
+    for record in data:
+        if not record:
+            continue
+        table.insert([_coerce(cell) for cell in record])
+    return table
+
+
+def dump_table_csv(table: Table, destination: Union[str, Path, io.TextIOBase]) -> int:
+    """Write a table (with header) to CSV; returns the row count."""
+    if isinstance(destination, (str, Path)):
+        with open(destination, "w", newline="") as handle:
+            return dump_table_csv(table, handle)
+    writer = csv.writer(destination)
+    writer.writerow(table.schema.columns)
+    for row in table:
+        writer.writerow(list(row.values))
+    return len(table)

@@ -1,0 +1,245 @@
+"""The relational engine domain.
+
+Exports the source functions the paper's examples call on INGRES-like
+sources.  All functions take the table name as their first argument so a
+single engine domain serves many relations (matching the paper's
+``relation:select_lt(Table, Attr, V)`` signatures).
+
+Cost model (simulated ms):
+
+* index-probe selects: ``probe_cost_ms + row_cost_ms × matches``
+* scanning selects: ``row_cost_ms × rows_scanned``, with time-to-first
+  proportional to the position of the first matching row — so a query
+  whose answer lives at the end of the heap has a genuinely slow first
+  answer, which is what makes the paper's T_first numbers interesting.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Iterable, Sequence
+
+from repro.core.terms import Value
+from repro.domains.base import Domain
+from repro.domains.relational.table import ScanResult, Schema, Table
+from repro.errors import BadCallError, SchemaError
+
+
+class RelationalEngine(Domain):
+    """A multi-table relational source (INGRES/Paradox/DBase stand-in)."""
+
+    def __init__(
+        self,
+        name: str = "relation",
+        row_cost_ms: float = 0.02,
+        probe_cost_ms: float = 0.2,
+        base_cost_ms: float = 0.5,
+    ):
+        super().__init__(name, base_cost_ms=base_cost_ms)
+        self.row_cost_ms = row_cost_ms
+        self.probe_cost_ms = probe_cost_ms
+        self._tables: dict[str, Table] = {}
+        self.register("all", self._fn_all, arity=1,
+                      doc="all(table): every row of the table")
+        self.register("equal", self._fn_equal, arity=3,
+                      doc="equal(table, attr, value): rows where attr = value")
+        self.register("select_eq", self._fn_equal, arity=3,
+                      doc="alias of equal")
+        self.register("select_lt", self._fn_select_lt, arity=3,
+                      doc="select_lt(table, attr, v): rows where attr < v")
+        self.register("select_le", self._fn_select_le, arity=3,
+                      doc="select_le(table, attr, v): rows where attr <= v")
+        self.register("select_gt", self._fn_select_gt, arity=3,
+                      doc="select_gt(table, attr, v): rows where attr > v")
+        self.register("select_ge", self._fn_select_ge, arity=3,
+                      doc="select_ge(table, attr, v): rows where attr >= v")
+        self.register("select_ne", self._fn_select_ne, arity=3,
+                      doc="select_ne(table, attr, v): rows where attr != v")
+        self.register("select_range", self._fn_select_range, arity=4,
+                      doc="select_range(table, attr, lo, hi): lo <= attr <= hi")
+        self.register("project", self._fn_project, arity=2,
+                      doc="project(table, attr): distinct values of a column")
+        self.register("count", self._fn_count, arity=1,
+                      doc="count(table): singleton row count")
+
+    # -- data definition ---------------------------------------------------------
+
+    def create_table(
+        self,
+        name: str,
+        columns: Sequence[str],
+        rows: Iterable[Sequence[Value]] = (),
+        index_on: Sequence[str] = (),
+    ) -> Table:
+        """Create (and optionally populate and index) a table."""
+        if name in self._tables:
+            raise SchemaError(f"table {name!r} already exists in '{self.name}'")
+        table = Table(name, Schema(tuple(columns)))
+        table.insert_many(rows)
+        for column in index_on:
+            table.create_index(column)
+        self._tables[name] = table
+        return table
+
+    def add_table(self, table: Table) -> Table:
+        if table.name in self._tables:
+            raise SchemaError(f"table {table.name!r} already exists in '{self.name}'")
+        self._tables[table.name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            known = ", ".join(sorted(self._tables)) or "(none)"
+            raise BadCallError(
+                f"domain '{self.name}' has no table {name!r}; tables: {known}"
+            ) from None
+
+    def table_names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._tables))
+
+    # -- analytic cost estimation (paper §6: extensible DCSM) ---------------------
+
+    def make_cost_estimator(self):
+        """An analytic ``CallPattern -> CostVector`` estimator built from
+        the engine's own table statistics — the paper's "domains with good
+        cost-estimation functions", pluggable into
+        ``DCSM(external_estimators={engine.name: engine.make_cost_estimator()})``.
+
+        Returns ``None`` for patterns it cannot price (unknown table,
+        table name still ``$b``), letting the DCSM fall back to its
+        statistics cache.  Selectivity of range selects is unknown without
+        histograms, so their cardinality is left missing (``None``) for
+        the statistics cache to fill — exercising the paper's
+        missing-parameter merging.
+        """
+        from repro.dcsm.patterns import BOUND
+        from repro.dcsm.vectors import CostVector
+
+        def estimate(pattern):
+            if pattern.domain != self.name or not pattern.args:
+                return None
+            table_name = pattern.args[0]
+            if table_name is BOUND or not isinstance(table_name, str):
+                return None
+            if table_name not in self._tables:
+                return None
+            table = self._tables[table_name]
+            n = len(table)
+            full_scan = self.base_cost_ms + self.row_cost_ms * max(n, 1)
+            first_row = self.base_cost_ms + self.row_cost_ms
+
+            if pattern.function == "all":
+                return CostVector(first_row, full_scan, float(n))
+            if pattern.function == "count":
+                return CostVector(full_scan, full_scan, 1.0)
+            if pattern.function == "project" and pattern.arity == 2:
+                attr = pattern.args[1]
+                if isinstance(attr, str):
+                    try:
+                        distinct = len(set(table.project(attr)))
+                    except Exception:
+                        return None
+                    return CostVector(first_row, full_scan, float(distinct))
+                return CostVector(first_row, full_scan, None)
+            if pattern.function in ("equal", "select_eq") and pattern.arity == 3:
+                attr = pattern.args[1]
+                if not isinstance(attr, str) or attr is BOUND:
+                    return CostVector(first_row, full_scan, None)
+                indexed = table.has_index(attr)
+                value = pattern.args[2]
+                if value is not BOUND:
+                    card = float(table.select_eq(attr, value).cardinality)
+                else:
+                    try:
+                        distinct = max(len(set(table.project(attr))), 1)
+                    except Exception:
+                        return None
+                    card = n / distinct
+                if indexed:
+                    t_first = self.base_cost_ms + self.probe_cost_ms
+                    t_all = t_first + self.row_cost_ms * card
+                    return CostVector(t_first, t_all, card)
+                return CostVector(None, full_scan, card)
+            if pattern.function in (
+                "select_lt", "select_le", "select_gt", "select_ge",
+                "select_ne", "select_range",
+            ):
+                # scans with data-dependent selectivity: time is known
+                # (full scan), cardinality is not — leave it for the
+                # statistics cache
+                return CostVector(None, full_scan, None)
+            return None
+
+        return estimate
+
+    # -- cost helpers -------------------------------------------------------------
+
+    def _scan_timings(self, scan: ScanResult, indexed: bool) -> tuple[float, float]:
+        if indexed:
+            t_first = self.base_cost_ms + self.probe_cost_ms
+            t_all = t_first + self.row_cost_ms * scan.cardinality
+            return t_first, t_all
+        t_first = self.base_cost_ms + self.row_cost_ms * (scan.first_match_position + 1)
+        t_all = self.base_cost_ms + self.row_cost_ms * max(scan.rows_scanned, 1)
+        return min(t_first, t_all), t_all
+
+    def _result(self, scan: ScanResult, indexed: bool):
+        t_first, t_all = self._scan_timings(scan, indexed)
+        return list(scan.rows), t_first, t_all
+
+    # -- source functions -----------------------------------------------------------
+
+    def _fn_all(self, table_name: str):
+        table = self.table(table_name)
+        scan = table.scan()
+        return self._result(scan, indexed=False)
+
+    def _fn_equal(self, table_name: str, attr: str, value: Value):
+        table = self.table(table_name)
+        indexed = table.has_index(attr)
+        scan = table.select_eq(attr, value)
+        return self._result(scan, indexed)
+
+    def _fn_select_lt(self, table_name: str, attr: str, value: Value):
+        scan = self.table(table_name).select_cmp(attr, operator.lt, value)
+        return self._result(scan, indexed=False)
+
+    def _fn_select_le(self, table_name: str, attr: str, value: Value):
+        scan = self.table(table_name).select_cmp(attr, operator.le, value)
+        return self._result(scan, indexed=False)
+
+    def _fn_select_gt(self, table_name: str, attr: str, value: Value):
+        scan = self.table(table_name).select_cmp(attr, operator.gt, value)
+        return self._result(scan, indexed=False)
+
+    def _fn_select_ge(self, table_name: str, attr: str, value: Value):
+        scan = self.table(table_name).select_cmp(attr, operator.ge, value)
+        return self._result(scan, indexed=False)
+
+    def _fn_select_ne(self, table_name: str, attr: str, value: Value):
+        scan = self.table(table_name).select_cmp(attr, operator.ne, value)
+        return self._result(scan, indexed=False)
+
+    def _fn_select_range(self, table_name: str, attr: str, lo: Value, hi: Value):
+        def within(cell: Value, _unused: Value) -> bool:
+            try:
+                return lo <= cell <= hi  # type: ignore[operator]
+            except TypeError:
+                return False
+
+        scan = self.table(table_name).select_cmp(attr, within, None)
+        return self._result(scan, indexed=False)
+
+    def _fn_project(self, table_name: str, attr: str):
+        table = self.table(table_name)
+        values = table.project(attr)
+        t_all = self.base_cost_ms + self.row_cost_ms * max(len(table), 1)
+        t_first = self.base_cost_ms + self.row_cost_ms
+        return list(values), min(t_first, t_all), t_all
+
+    def _fn_count(self, table_name: str):
+        table = self.table(table_name)
+        t = self.base_cost_ms + self.row_cost_ms * max(len(table), 1)
+        return [len(table)], t, t

@@ -1,0 +1,174 @@
+"""Heap tables with per-column hash indexes.
+
+A :class:`Table` is an ordered bag of :class:`~repro.core.terms.Row`
+records sharing one :class:`Schema`.  Scans report how many rows they
+touched so the engine can charge simulated time proportional to work, and
+— important for time-to-first-answer realism — *where* the first match was
+found.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Optional, Sequence
+
+from repro.core.terms import Row, Value
+from repro.errors import SchemaError
+
+
+@dataclass(frozen=True)
+class Schema:
+    """Column names of a table (order matters; names must be unique)."""
+
+    columns: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(set(self.columns)) != len(self.columns):
+            raise SchemaError(f"duplicate column names in schema {self.columns}")
+        if not self.columns:
+            raise SchemaError("a table needs at least one column")
+
+    def index_of(self, column: str) -> int:
+        try:
+            return self.columns.index(column)
+        except ValueError:
+            raise SchemaError(
+                f"no column {column!r}; columns: {', '.join(self.columns)}"
+            ) from None
+
+    def row(self, values: Sequence[Value]) -> Row:
+        if len(values) != len(self.columns):
+            raise SchemaError(
+                f"row has {len(values)} values for {len(self.columns)} columns"
+            )
+        return Row(list(zip(self.columns, values)))
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+
+@dataclass(frozen=True, slots=True)
+class ScanResult:
+    """Rows selected by a scan plus the work the scan performed."""
+
+    rows: tuple[Row, ...]
+    rows_scanned: int
+    first_match_position: int  # rows scanned before the first match (or total)
+
+    @property
+    def cardinality(self) -> int:
+        return len(self.rows)
+
+
+class Table:
+    """An append-only heap table with optional per-column hash indexes."""
+
+    def __init__(self, name: str, schema: "Schema | Sequence[str]"):
+        if not isinstance(schema, Schema):
+            schema = Schema(tuple(schema))
+        self.name = name
+        self.schema = schema
+        self._rows: list[Row] = []
+        self._indexes: dict[str, dict[Value, list[int]]] = {}
+
+    # -- loading ---------------------------------------------------------------
+
+    def insert(self, values: "Sequence[Value] | Row | dict[str, Value]") -> Row:
+        if isinstance(values, Row):
+            if values.names != self.schema.columns:
+                raise SchemaError(
+                    f"row fields {values.names} do not match table "
+                    f"{self.name!r} columns {self.schema.columns}"
+                )
+            row = values
+        elif isinstance(values, dict):
+            try:
+                row = self.schema.row([values[c] for c in self.schema.columns])
+            except KeyError as exc:
+                raise SchemaError(f"missing column {exc} for table {self.name!r}")
+        else:
+            row = self.schema.row(values)
+        position = len(self._rows)
+        self._rows.append(row)
+        for column, index in self._indexes.items():
+            index.setdefault(row.project(column), []).append(position)
+        return row
+
+    def insert_many(self, rows: Iterable["Sequence[Value] | Row | dict[str, Value]"]) -> int:
+        count = 0
+        for values in rows:
+            self.insert(values)
+            count += 1
+        return count
+
+    def create_index(self, column: str) -> None:
+        """Build (or rebuild) a hash index on ``column``."""
+        position = self.schema.index_of(column)
+        index: dict[Value, list[int]] = {}
+        for i, row in enumerate(self._rows):
+            index.setdefault(row.values[position], []).append(i)
+        self._indexes[column] = index
+
+    def has_index(self, column: str) -> bool:
+        return column in self._indexes
+
+    # -- access ------------------------------------------------------------------
+
+    @property
+    def rows(self) -> tuple[Row, ...]:
+        return tuple(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    # -- scans -------------------------------------------------------------------
+
+    def scan(self, predicate: Optional[Callable[[Row], bool]] = None) -> ScanResult:
+        """Full scan, optionally filtered."""
+        if predicate is None:
+            return ScanResult(tuple(self._rows), len(self._rows), 0)
+        matched: list[Row] = []
+        first_at = len(self._rows)
+        for i, row in enumerate(self._rows):
+            if predicate(row):
+                if not matched:
+                    first_at = i
+                matched.append(row)
+        return ScanResult(tuple(matched), len(self._rows), first_at)
+
+    def select_eq(self, column: str, value: Value) -> ScanResult:
+        """Equality select; uses the hash index when one exists."""
+        if column in self._indexes:
+            positions = self._indexes[column].get(value, [])
+            rows = tuple(self._rows[i] for i in positions)
+            # an index probe touches only the matching rows
+            first_at = 0
+            return ScanResult(rows, len(rows), first_at)
+        position = self.schema.index_of(column)
+        return self.scan(lambda row: row.values[position] == value)
+
+    def select_cmp(self, column: str, op: Callable[[Value, Value], bool], value: Value) -> ScanResult:
+        """Comparison select (always a scan; no ordered indexes)."""
+        position = self.schema.index_of(column)
+
+        def predicate(row: Row) -> bool:
+            cell = row.values[position]
+            try:
+                return bool(op(cell, value))
+            except TypeError:
+                return False
+
+        return self.scan(predicate)
+
+    def project(self, column: str) -> tuple[Value, ...]:
+        position = self.schema.index_of(column)
+        return tuple(row.values[position] for row in self._rows)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Table {self.name!r} cols={self.schema.columns} "
+            f"rows={len(self._rows)}>"
+        )

@@ -1,0 +1,12 @@
+"""Spatial substrate: named 2-D point sets with grid-bucketed range queries.
+
+Drives the paper's §4 invariant example verbatim: all points of the file
+``'points'`` lie in a 100×100 square, so any range query with radius above
+the square's diagonal (≈142) can be shrunk to radius 142 by an equality
+invariant.
+"""
+
+from repro.domains.spatial.index import GridIndex, Point
+from repro.domains.spatial.domain import SpatialDomain
+
+__all__ = ["GridIndex", "Point", "SpatialDomain"]

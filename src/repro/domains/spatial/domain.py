@@ -1,0 +1,98 @@
+"""The spatial domain: range queries over named point files.
+
+Functions:
+
+* ``range(file, x, y, dist)`` — ``Row(name, x, y)`` for every point of the
+  named file within Euclidean ``dist`` of ``(x, y)``.  Cost grows with the
+  number of grid cells visited, so huge radii are genuinely expensive —
+  which is exactly what the paper's range-shrinking invariant saves.
+* ``files()`` — the point-file catalog.
+* ``extent(file)`` — singleton ``Row(min_x, min_y, max_x, max_y, diameter)``;
+  useful for writing shrink invariants against actual data bounds.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.terms import Row
+from repro.domains.base import Domain
+from repro.domains.spatial.index import GridIndex, Point
+from repro.errors import BadCallError
+
+
+class SpatialDomain(Domain):
+    """Named point sets with disk range queries."""
+
+    def __init__(
+        self,
+        name: str = "spatial",
+        cell_cost_ms: float = 0.4,
+        point_cost_ms: float = 0.05,
+        base_cost_ms: float = 2.0,
+    ):
+        super().__init__(name, base_cost_ms=base_cost_ms)
+        self.cell_cost_ms = cell_cost_ms
+        self.point_cost_ms = point_cost_ms
+        self._files: dict[str, GridIndex] = {}
+        self.register("range", self._fn_range, arity=4)
+        self.register("files", self._fn_files, arity=0)
+        self.register("extent", self._fn_extent, arity=1)
+
+    def add_file(self, name: str, points: Iterable[Point], cell_size: float = 10.0) -> GridIndex:
+        if name in self._files:
+            raise BadCallError(f"point file {name!r} already loaded")
+        index = GridIndex(points, cell_size=cell_size)
+        self._files[name] = index
+        return index
+
+    def file(self, name: str) -> GridIndex:
+        try:
+            return self._files[name]
+        except KeyError:
+            known = ", ".join(sorted(self._files)) or "(none)"
+            raise BadCallError(
+                f"spatial domain has no file {name!r}; files: {known}"
+            ) from None
+
+    # -- source functions ---------------------------------------------------
+
+    def _fn_range(self, file_name: str, x: float, y: float, dist: float):
+        index = self.file(file_name)
+        if not isinstance(x, (int, float)) or not isinstance(y, (int, float)):
+            raise BadCallError("range center coordinates must be numeric")
+        if not isinstance(dist, (int, float)):
+            raise BadCallError("range distance must be numeric")
+        result = index.range_query(float(x), float(y), float(dist))
+        answers = [
+            Row([("name", p.name), ("x", p.x), ("y", p.y)]) for p in result.points
+        ]
+        t_all = (
+            self.base_cost_ms
+            + self.cell_cost_ms * result.cells_visited
+            + self.point_cost_ms * result.points_tested
+        )
+        t_first = self.base_cost_ms + self.cell_cost_ms * min(result.cells_visited, 4)
+        return answers, min(t_first, t_all), t_all
+
+    def _fn_files(self):
+        answers = [
+            Row([("name", name), ("points", len(index))])
+            for name, index in sorted(self._files.items())
+        ]
+        return answers, self.base_cost_ms, self.base_cost_ms
+
+    def _fn_extent(self, file_name: str):
+        index = self.file(file_name)
+        min_x, min_y, max_x, max_y = index.bounds
+        row = Row(
+            [
+                ("min_x", min_x),
+                ("min_y", min_y),
+                ("max_x", max_x),
+                ("max_y", max_y),
+                ("diameter", index.diameter),
+            ]
+        )
+        t = self.base_cost_ms + self.point_cost_ms * len(index)
+        return [row], t, t

@@ -1,0 +1,13 @@
+"""Terrain substrate: a grid terrain graph with a Dijkstra route planner.
+
+Stand-in for the US Army path-planning package of the HERMES testbed
+(``terraindb:findrte`` in the paper's §2 example).  Route-finding cost is
+driven by nodes expanded during the search — expensive, input-dependent,
+and opaque to the mediator, exactly the "hard to model" source the DCSM
+exists for.
+"""
+
+from repro.domains.terrain.grid import TerrainGrid
+from repro.domains.terrain.domain import TerrainDomain
+
+__all__ = ["TerrainGrid", "TerrainDomain"]

@@ -1,0 +1,66 @@
+"""The terrain domain: route planning between named places.
+
+Functions:
+
+* ``findrte(from, to)`` — singleton route between two named places, as a
+  ``Row(route, cost, hops)`` where ``route`` is a tuple of ``(x, y)``
+  waypoints.  Returns no answers when the goal is unreachable.
+* ``places()`` — the named-place catalog.
+* ``distance(from, to)`` — singleton path cost (cheaper payload, same
+  search work).
+"""
+
+from __future__ import annotations
+
+from repro.core.terms import Row
+from repro.domains.base import Domain
+from repro.domains.terrain.grid import TerrainGrid
+
+
+class TerrainDomain(Domain):
+    """Stand-in for the US Army path-planning package."""
+
+    def __init__(
+        self,
+        name: str = "terraindb",
+        grid: "TerrainGrid | None" = None,
+        expand_cost_ms: float = 0.02,
+        base_cost_ms: float = 40.0,
+    ):
+        super().__init__(name, base_cost_ms=base_cost_ms)
+        self.grid = grid if grid is not None else TerrainGrid(32, 32)
+        self.expand_cost_ms = expand_cost_ms
+        self.register("findrte", self._fn_findrte, arity=2)
+        self.register("places", self._fn_places, arity=0)
+        self.register("distance", self._fn_distance, arity=2)
+
+    def _route(self, origin: str, destination: str):
+        start = self.grid.place(origin)
+        goal = self.grid.place(destination)
+        return self.grid.find_route(start, goal)
+
+    def _fn_findrte(self, origin: str, destination: str):
+        result = self._route(origin, destination)
+        t = self.base_cost_ms + self.expand_cost_ms * result.nodes_expanded
+        if result.waypoints is None:
+            return [], t, t
+        row = Row(
+            [
+                ("route", result.waypoints),
+                ("cost", result.cost),
+                ("hops", len(result.waypoints)),
+            ]
+        )
+        return [row], t, t
+
+    def _fn_places(self):
+        answers = list(self.grid.place_names())
+        t = self.base_cost_ms * 0.1 + 0.05 * len(answers)
+        return answers, t, t
+
+    def _fn_distance(self, origin: str, destination: str):
+        result = self._route(origin, destination)
+        t = self.base_cost_ms + self.expand_cost_ms * result.nodes_expanded
+        if result.waypoints is None:
+            return [], t, t
+        return [result.cost], t, t

@@ -1,0 +1,148 @@
+"""Text-retrieval substrate: keyword search over a document corpus.
+
+HERMES integrated "text databases (in particular a USA Today news-wire
+corpora)"; this substrate provides the same role: an inverted-index
+keyword search whose cost depends on posting-list lengths.
+
+Functions:
+
+* ``search(keyword)`` — document ids containing the keyword.
+* ``search_and(kw1, kw2)`` — documents containing both.
+* ``headline(doc_id)`` — singleton headline string.
+* ``doc_count()`` — singleton corpus size.
+
+Natural invariants (conjunction containment, case folding)::
+
+    text:search(K) >= text:search_and(K, K2).
+    text:search_and(K1, K2) = text:search_and(K2, K1).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.domains.base import Domain
+from repro.errors import BadCallError
+
+_WORD = re.compile(r"[a-z0-9][a-z0-9'-]*")
+
+
+def tokenize(text: str) -> list[str]:
+    """Lower-cased word tokens."""
+    return _WORD.findall(text.lower())
+
+
+@dataclass(frozen=True, slots=True)
+class Document:
+    doc_id: str
+    headline: str
+    body: str
+
+
+class TextDomain(Domain):
+    """Inverted-index keyword search over a small news corpus."""
+
+    def __init__(
+        self,
+        name: str = "text",
+        posting_cost_ms: float = 0.05,
+        base_cost_ms: float = 5.0,
+    ):
+        super().__init__(name, base_cost_ms=base_cost_ms)
+        self.posting_cost_ms = posting_cost_ms
+        self._documents: dict[str, Document] = {}
+        self._index: dict[str, list[str]] = {}
+        self.register("search", self._fn_search, arity=1)
+        self.register("search_and", self._fn_search_and, arity=2)
+        self.register("headline", self._fn_headline, arity=1)
+        self.register("doc_count", self._fn_doc_count, arity=0)
+
+    # -- loading ----------------------------------------------------------------
+
+    def add_document(self, doc_id: str, headline: str, body: str = "") -> None:
+        if doc_id in self._documents:
+            raise BadCallError(f"document {doc_id!r} already indexed")
+        document = Document(doc_id, headline, body)
+        self._documents[doc_id] = document
+        for token in sorted(set(tokenize(headline + " " + body))):
+            self._index.setdefault(token, []).append(doc_id)
+
+    def add_documents(self, documents: Iterable[tuple[str, str, str]]) -> int:
+        count = 0
+        for doc_id, headline, body in documents:
+            self.add_document(doc_id, headline, body)
+            count += 1
+        return count
+
+    def document(self, doc_id: str) -> Document:
+        try:
+            return self._documents[doc_id]
+        except KeyError:
+            raise BadCallError(f"no document {doc_id!r}") from None
+
+    def vocabulary_size(self) -> int:
+        return len(self._index)
+
+    # -- source functions -----------------------------------------------------------
+
+    def _postings(self, keyword: str) -> list[str]:
+        if not isinstance(keyword, str):
+            raise BadCallError("keywords must be strings")
+        return self._index.get(keyword.lower(), [])
+
+    def _fn_search(self, keyword: str):
+        postings = self._postings(keyword)
+        t_all = self.base_cost_ms + self.posting_cost_ms * max(len(postings), 1)
+        t_first = self.base_cost_ms + self.posting_cost_ms
+        return list(postings), min(t_first, t_all), t_all
+
+    def _fn_search_and(self, kw1: str, kw2: str):
+        postings1 = self._postings(kw1)
+        postings2 = set(self._postings(kw2))
+        answers = [doc for doc in postings1 if doc in postings2]
+        work = len(postings1) + len(postings2)
+        t_all = self.base_cost_ms + self.posting_cost_ms * max(work, 1)
+        t_first = self.base_cost_ms + self.posting_cost_ms * 2
+        return answers, min(t_first, t_all), t_all
+
+    def _fn_headline(self, doc_id: str):
+        document = self.document(doc_id)
+        t = self.base_cost_ms
+        return [document.headline], t, t
+
+    def _fn_doc_count(self):
+        t = self.base_cost_ms
+        return [len(self._documents)], t, t
+
+
+#: Ready-made invariants for a TextDomain named ``text``.
+TEXT_CONJUNCTION_INVARIANT = "text:search(K1) >= text:search_and(K1, K2)."
+TEXT_COMMUTE_INVARIANT = "text:search_and(K1, K2) = text:search_and(K2, K1)."
+
+
+def sample_newswire() -> list[tuple[str, str, str]]:
+    """A small deterministic news-wire corpus for tests and examples."""
+    return [
+        ("d001", "Army logistics convoy reaches northern depot",
+         "The convoy carrying h-22 fuel arrived at the depot after a two day drive."),
+        ("d002", "Video retrieval systems move beyond keywords",
+         "Researchers demo content-based video retrieval over movie archives."),
+        ("d003", "Hitchcock retrospective opens downtown",
+         "The festival screens Rope and Vertigo to packed houses."),
+        ("d004", "Database mediators promise unified queries",
+         "Heterogeneous databases and software packages behind one query interface."),
+        ("d005", "Fuel prices climb as convoys stretch supply lines",
+         "Logistics planners cite terrain and fuel costs."),
+        ("d006", "Face recognition pilots raise accuracy questions",
+         "A recognition system matched faces against a gallery of thousands."),
+        ("d007", "Campus network links Maryland and Italy labs",
+         "A transatlantic link slows queries but caching helps."),
+        ("d008", "Spatial indexes speed range queries",
+         "Grid files answer range queries over millions of points."),
+        ("d009", "Army tests terrain reasoning software",
+         "Path planning over rough terrain remains computationally hard."),
+        ("d010", "Movie archives digitize classic reels",
+         "Archivists digitize Rope among other classics for video retrieval."),
+    ]

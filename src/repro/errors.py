@@ -1,0 +1,85 @@
+"""Exception hierarchy for the mediator reproduction.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one type at the boundary.  Subsystems raise the most
+specific subclass that applies.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ParseError(ReproError):
+    """A rule, query, or invariant could not be parsed.
+
+    Carries the offending text position for error reporting.
+    """
+
+    def __init__(self, message: str, text: str = "", position: int = 0):
+        self.text = text
+        self.position = position
+        if text:
+            line = text.count("\n", 0, position) + 1
+            col = position - (text.rfind("\n", 0, position) + 1) + 1
+            message = f"{message} (line {line}, column {col})"
+        super().__init__(message)
+
+
+class UnificationError(ReproError):
+    """Two terms could not be unified where unification was required."""
+
+
+class NotGroundError(ReproError):
+    """A term expected to be ground still contains variables."""
+
+
+class UnknownDomainError(ReproError):
+    """A rule or call referenced a domain that is not registered."""
+
+
+class UnknownFunctionError(ReproError):
+    """A call referenced a function its domain does not export."""
+
+
+class BadCallError(ReproError):
+    """A source function was invoked with unusable arguments."""
+
+
+class SourceUnavailableError(ReproError):
+    """The (simulated) remote site hosting a domain is down."""
+
+    def __init__(self, domain: str, site: str = "", until_ms: float | None = None):
+        self.domain = domain
+        self.site = site
+        self.until_ms = until_ms
+        detail = f" at site '{site}'" if site else ""
+        eta = f" (back at t={until_ms:.0f}ms)" if until_ms is not None else ""
+        super().__init__(f"domain '{domain}'{detail} is unavailable{eta}")
+
+
+class PlanningError(ReproError):
+    """No executable plan exists for a query (e.g. unsatisfiable adornments)."""
+
+
+class RecursionNotSupportedError(PlanningError):
+    """The mediator program is recursive; this optimizer handles the
+    nonrecursive fragment (the paper defers recursion to its reference [33])."""
+
+
+class EstimationError(ReproError):
+    """DCSM could not produce a cost estimate (no statistics at all)."""
+
+
+class CacheError(ReproError):
+    """Internal cache invariant violated or bad cache configuration."""
+
+
+class InvariantError(ReproError):
+    """An invariant is malformed (unsafe variables, bad relation, ...)."""
+
+
+class SchemaError(ReproError):
+    """A relational table was created or loaded with an inconsistent schema."""

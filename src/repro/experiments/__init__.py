@@ -1,0 +1,39 @@
+"""Experiment harness reproducing the paper's evaluation (DESIGN.md §4).
+
+Each module exposes ``run(...)`` returning structured rows and a
+``main()`` that prints a paper-style table:
+
+* :mod:`repro.experiments.figure5` — remote calls with caching and/or
+  invariants (E1, E5),
+* :mod:`repro.experiments.figure6` — the utility of the DCSM: actual vs
+  lossless vs lossy predictions (E2),
+* :mod:`repro.experiments.observations` — plan-choice reliability (E3),
+* :mod:`repro.experiments.summarization` — lossy-vs-lossless statistics
+  cache tradeoffs (E4),
+* :mod:`repro.experiments.caching` — result caching under bounded
+  capacity and workload locality (E6),
+* :mod:`repro.experiments.join_order` — cost-based join ordering on
+  relational sources (E7).
+
+Run any of them as a script::
+
+    python -m repro.experiments.figure5
+"""
+
+from repro.experiments import (
+    caching,
+    figure5,
+    figure6,
+    join_order,
+    observations,
+    summarization,
+)
+
+__all__ = [
+    "caching",
+    "figure5",
+    "figure6",
+    "join_order",
+    "observations",
+    "summarization",
+]

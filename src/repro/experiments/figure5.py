@@ -1,0 +1,258 @@
+"""E1 — Figure 5: "Executing Remote Calls with Caching and/or Invariants".
+
+For each query group the paper reports time-to-first-answer and
+time-to-all-answers under: no cache, cache only, cache + equality
+invariant, cache + partial (containment) invariant — against USA sites
+and the (much slower) Italy site.
+
+Shape targets (DESIGN.md §4): cache ≪ USA no-cache ≪ Italy no-cache;
+equality-invariant hits slightly above exact hits; partial-invariant hits
+give cache-speed first answers with roughly real-call total times.
+
+E5 (``run_partial_sweep``) varies how much of the requested interval the
+cached partial answer covers — the paper's comment that "the size of the
+partial answer returned plays a significant role".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.model import GroundCall
+from repro.core.terms import value_bytes
+from repro.experiments.harness import fresh_rope_testbed
+from repro.experiments.reporting import fmt_ms, format_table
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One Figure-5 query group."""
+
+    label: str
+    query: str
+    expected_tuples: int
+    eq_warm: Optional[GroundCall] = None  # cache this → equality-invariant hit
+    partial_warm: Optional[GroundCall] = None  # cache this → containment hit
+
+
+def f2o(first: int, last: int) -> GroundCall:
+    return GroundCall("video", "frames_to_objects", ("rope", first, last))
+
+
+#: The four query groups, shaped after the paper's table.
+QUERY_SPECS: tuple[QuerySpec, ...] = (
+    QuerySpec(
+        label="Find all actors in 'The Rope'",
+        query="?- actors(A).",
+        expected_tuples=6,
+        eq_warm=f2o(1, 240),
+        partial_warm=f2o(4, 127),
+    ),
+    QuerySpec(
+        label="Find every object in 'The Rope' (frames 1-500, clipped)",
+        query="?- objects(1, 500, O).",
+        expected_tuples=28,
+        eq_warm=f2o(1, 240),
+        partial_warm=f2o(1, 100),
+    ),
+    QuerySpec(
+        label="Objects between frames 4 and 47",
+        query="?- objects(4, 47, O).",
+        expected_tuples=19,
+        partial_warm=f2o(4, 20),
+    ),
+    QuerySpec(
+        label="Objects between frames 4 and 127",
+        query="?- objects(4, 127, O).",
+        expected_tuples=24,
+        partial_warm=f2o(4, 47),
+    ),
+)
+
+
+@dataclass(frozen=True)
+class Fig5Row:
+    """One measured configuration of one query group."""
+
+    query_label: str
+    config: str
+    site: str
+    t_first_ms: Optional[float]
+    t_all_ms: float
+    tuples: int
+    result_bytes: int
+    partial_bytes: int  # bytes served out of the cache on partial hits
+
+
+def _measure(
+    spec: QuerySpec,
+    config: str,
+    site: str,
+    warm: Optional[GroundCall],
+    use_cim: bool,
+    seed: int,
+) -> Fig5Row:
+    mediator = fresh_rope_testbed(video_site=site, seed=seed)
+    if warm is not None:
+        mediator.cim.execute(warm)
+    before_partial_bytes = mediator.cim.stats.partial_answer_bytes
+    result = mediator.query(spec.query, use_cim=use_cim)
+    partial_bytes = mediator.cim.stats.partial_answer_bytes - before_partial_bytes
+    return Fig5Row(
+        query_label=spec.label,
+        config=config,
+        site=site,
+        t_first_ms=result.t_first_ms,
+        t_all_ms=result.t_all_ms,
+        tuples=result.cardinality,
+        result_bytes=sum(
+            value_bytes(value) for answer in result.answers for value in answer
+        ),
+        partial_bytes=partial_bytes,
+    )
+
+
+def run(
+    usa_site: str = "cornell",
+    italy_site: str = "italy",
+    seed: int = 0,
+) -> list[Fig5Row]:
+    """Measure every (query, configuration, site) cell of Figure 5."""
+    rows: list[Fig5Row] = []
+    for spec in QUERY_SPECS:
+        rows.append(_measure(spec, "no cache, no invar.", usa_site, None, False, seed))
+        rows.append(_measure(spec, "no cache, no invar.", italy_site, None, False, seed))
+        rows.append(
+            _measure_warm_exact(spec, usa_site, seed)
+        )
+        if spec.eq_warm is not None:
+            rows.append(
+                _measure(spec, "cache + equality inv.", usa_site, spec.eq_warm, True, seed)
+            )
+        if spec.partial_warm is not None:
+            rows.append(
+                _measure(spec, "cache + partial inv.", usa_site, spec.partial_warm, True, seed)
+            )
+            rows.append(
+                _measure(spec, "cache + partial inv.", italy_site, spec.partial_warm, True, seed)
+            )
+    return rows
+
+
+def _measure_warm_exact(spec: QuerySpec, site: str, seed: int) -> Fig5Row:
+    """'cache only': run the query once to warm, measure the re-ask."""
+    mediator = fresh_rope_testbed(video_site=site, seed=seed)
+    mediator.query(spec.query, use_cim=True)
+    result = mediator.query(spec.query, use_cim=True)
+    return Fig5Row(
+        query_label=spec.label,
+        config="cache, no inv.",
+        site=site,
+        t_first_ms=result.t_first_ms,
+        t_all_ms=result.t_all_ms,
+        tuples=result.cardinality,
+        result_bytes=sum(
+            value_bytes(value) for answer in result.answers for value in answer
+        ),
+        partial_bytes=0,
+    )
+
+
+# ---------------------------------------------------------------------------
+# E5: partial-answer size sweep
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PartialSweepRow:
+    cached_last_frame: int
+    coverage_fraction: float  # cached interval / requested interval
+    cached_tuples: int
+    t_first_ms: Optional[float]
+    t_all_ms: float
+
+
+def run_partial_sweep(
+    requested: tuple[int, int] = (4, 200),
+    cached_lasts: tuple[int, ...] = (10, 25, 47, 80, 120, 160, 199),
+    site: str = "cornell",
+    seed: int = 0,
+) -> list[PartialSweepRow]:
+    """Vary the cached interval's width; measure the partial-hit query."""
+    first, last = requested
+    rows = []
+    for cached_last in cached_lasts:
+        mediator = fresh_rope_testbed(video_site=site, seed=seed)
+        warm = f2o(first, cached_last)
+        warm_result = mediator.cim.execute(warm)
+        query = f"?- objects({first}, {last}, O)."
+        result = mediator.query(query, use_cim=True)
+        rows.append(
+            PartialSweepRow(
+                cached_last_frame=cached_last,
+                coverage_fraction=(cached_last - first + 1) / (last - first + 1),
+                cached_tuples=warm_result.cardinality,
+                t_first_ms=result.t_first_ms,
+                t_all_ms=result.t_all_ms,
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+def main() -> None:
+    rows = run()
+    table_rows = []
+    last_label = None
+    for row in rows:
+        label = row.query_label if row.query_label != last_label else ""
+        last_label = row.query_label
+        table_rows.append(
+            (
+                label,
+                row.config,
+                row.site,
+                fmt_ms(row.t_first_ms),
+                fmt_ms(row.t_all_ms),
+                f"{row.tuples} tuples ({row.result_bytes} bytes)"
+                + (
+                    f" ({row.partial_bytes} bytes from partial inv.)"
+                    if row.partial_bytes
+                    else ""
+                ),
+            )
+        )
+    print(
+        format_table(
+            ["Query", "Type", "Site", "First Ans. (ms)", "All Ans. (ms)", "Result"],
+            table_rows,
+            title="Figure 5 — Executing Remote Calls with Caching and/or Invariants",
+        )
+    )
+    print()
+    sweep = run_partial_sweep()
+    print(
+        format_table(
+            ["Cached up to frame", "Coverage", "Cached tuples", "T_first (ms)", "T_all (ms)"],
+            [
+                (
+                    row.cached_last_frame,
+                    f"{row.coverage_fraction:.0%}",
+                    row.cached_tuples,
+                    fmt_ms(row.t_first_ms),
+                    fmt_ms(row.t_all_ms),
+                )
+                for row in sweep
+            ],
+            title="E5 — Partial-answer size sweep (query: objects 4..200)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Shared experiment plumbing: testbed construction, DCSM training, and
+plan selection helpers."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.mediator import Mediator
+from repro.core.model import GroundCall
+from repro.core.plans import Plan
+from repro.workloads.datasets import build_rope_testbed
+from repro.workloads.generators import frame_interval_pool
+
+
+def fresh_rope_testbed(video_site: str = "cornell", seed: int = 0) -> Mediator:
+    """A cold mediator over 'The Rope' (empty caches, empty statistics)."""
+    return build_rope_testbed(video_site=video_site, seed=seed)
+
+
+def plan_starting_with(plans: Sequence[Plan], function: str) -> Plan:
+    """The plan whose first source call uses ``function`` — how the
+    Figure 6 experiment addresses the paper's primed query variants
+    (different subgoal orderings of the same rule)."""
+    for plan in plans:
+        calls = plan.call_steps()
+        if calls and calls[0].atom.call.function == function:
+            return plan
+    available = [
+        plan.call_steps()[0].atom.call.function if plan.call_steps() else "(none)"
+        for plan in plans
+    ]
+    raise LookupError(
+        f"no plan starts with {function!r}; first calls available: {available}"
+    )
+
+
+def train_rope_dcsm(
+    mediator: Mediator,
+    instantiations: int = 20,
+    record_via_cim: bool = False,
+) -> int:
+    """Populate the DCSM with ~``instantiations`` observations per domain
+    call, mirroring the paper's "about 20 different instantiations for the
+    arguments of a domain call".
+
+    Calls go straight through the registry (recording each result), so the
+    result cache stays cold unless ``record_via_cim`` is set.
+    """
+    avis = mediator.registry.get("video")
+    video = avis.domain.video("rope") if hasattr(avis, "domain") else avis.video("rope")
+
+    starts = [1, 4, 10, 25, 40, 60, 90, 120]
+    widths = [10, 43, 80, 123, 200]
+    intervals = frame_interval_pool(video.num_frames, starts, widths)[:instantiations]
+    calls: list[GroundCall] = [
+        GroundCall("video", "frames_to_objects", ("rope", first, last))
+        for first, last in intervals
+    ]
+    objects = list(video.objects())
+    calls += [
+        GroundCall("video", "object_to_frames", ("rope", obj))
+        for obj in objects[:instantiations]
+    ]
+    calls += [GroundCall("video", "video_size", ("rope",))] * 3
+    calls += [GroundCall("video", "actors_in", ("rope",))] * 3
+    calls += [
+        GroundCall("relation", "equal", ("cast", "role", obj))
+        for obj in objects[:instantiations]
+    ]
+    calls += [GroundCall("relation", "all", ("cast",))] * 3
+
+    recorded = 0
+    for call in calls:
+        if record_via_cim:
+            mediator.cim.execute(call)
+        else:
+            result = mediator.registry.execute(call)
+            mediator.dcsm.record(result)
+        recorded += 1
+    return recorded
+
+

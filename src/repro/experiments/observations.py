@@ -1,0 +1,204 @@
+"""E3 — Section 8's observations on optimizer reliability.
+
+The paper reports, for rewriting pairs (Q, Q′):
+
+1. *all answers*: when the DCSM predicts Q beats Q′, Q almost always runs
+   much faster, and predictions sit close to reality;
+2. *first answers*: predictions with a ≥50% margin are usually right;
+   small-margin predictions are unreliable.
+
+This experiment measures exactly that: for a family of rewriting pairs
+(different subgoal orderings, and the semantically-equivalent query3 vs
+query4 rules) across parameter settings, it compares the predicted winner
+against the measured winner for both objectives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.plans import Plan
+from repro.experiments.figure6 import _plan_with_call_order
+from repro.experiments.harness import (
+    fresh_rope_testbed,
+    plan_starting_with,
+    train_rope_dcsm,
+)
+from repro.experiments.reporting import format_table
+
+#: (First, Last) parameter settings swept per pair.
+PARAMS: tuple[tuple[int, int], ...] = ((4, 47), (4, 127), (1, 240), (10, 80), (40, 200))
+
+
+@dataclass(frozen=True)
+class PairOutcome:
+    pair: str
+    params: tuple[int, int]
+    predicted_all_margin: float  # |A-B| / max(A,B) over predicted T_all
+    correct_all: bool
+    predicted_first_margin: float
+    correct_first: Optional[bool]  # None when actual first times tie
+
+
+def _plan_pair(mediator, pair: str, first: int, last: int) -> tuple[Plan, Plan]:
+    if pair == "query1":
+        plans = mediator.plans(f"?- query1({first}, {last}, Object, Size).")
+        return (
+            plan_starting_with(plans, "video_size"),
+            plan_starting_with(plans, "frames_to_objects"),
+        )
+    if pair == "query2":
+        plans = mediator.plans(f"?- query2({first}, {last}, Object, Frames, Actor).")
+        return (
+            _plan_with_call_order(
+                plans, ("frames_to_objects", "object_to_frames", "equal")
+            ),
+            _plan_with_call_order(
+                plans, ("frames_to_objects", "equal", "object_to_frames")
+            ),
+        )
+    if pair == "query3-vs-query4":
+        plans3 = mediator.plans(f"?- query3({first}, {last}, Object, Actor).")
+        plans4 = mediator.plans(f"?- query4({first}, {last}, Object, Actor).")
+        return plans3[0], plan_starting_with(plans4, "all")
+    raise LookupError(f"unknown pair {pair!r}")
+
+
+def _measure_actual(
+    pair: str, first: int, last: int, which: int, video_site: str, seed: int
+) -> tuple[Optional[float], float]:
+    """Run one side of a pair on a fresh testbed; (t_first, t_all)."""
+    mediator = fresh_rope_testbed(video_site=video_site, seed=seed)
+    plan = _plan_pair(mediator, pair, first, last)[which]
+    queries = {
+        "query1": f"?- query1({first}, {last}, Object, Size).",
+        "query2": f"?- query2({first}, {last}, Object, Frames, Actor).",
+        "query3-vs-query4": (
+            f"?- query3({first}, {last}, Object, Actor).",
+            f"?- query4({first}, {last}, Object, Actor).",
+        ),
+    }[pair]
+    query = queries if isinstance(queries, str) else queries[which]
+    result = mediator.query(query, plan=plan)
+    return result.t_first_ms, result.t_all_ms
+
+
+def _margin(a: float, b: float) -> float:
+    top = max(a, b)
+    return abs(a - b) / top if top > 0 else 0.0
+
+
+def run(
+    video_site: str = "cornell", seed: int = 0, repetitions: int = 3
+) -> list[PairOutcome]:
+    """Each pair × parameter setting is predicted once (training seed) and
+    measured under ``repetitions`` different network-jitter seeds — the
+    live-Internet variance that made the paper's small-margin first-answer
+    predictions unreliable."""
+    outcomes: list[PairOutcome] = []
+    for pair in ("query1", "query2", "query3-vs-query4"):
+        for first, last in PARAMS:
+            # predictions from one trained testbed
+            mediator = fresh_rope_testbed(video_site=video_site, seed=seed)
+            train_rope_dcsm(mediator)
+            plan_a, plan_b = _plan_pair(mediator, pair, first, last)
+            est_a = mediator.cost_estimator.estimate(plan_a)
+            est_b = mediator.cost_estimator.estimate(plan_b)
+            predicted_all_winner = 0 if est_a.t_all_ms <= est_b.t_all_ms else 1
+            predicted_first_winner = 0 if est_a.t_first_ms <= est_b.t_first_ms else 1
+
+            for rep in range(repetitions):
+                run_seed = seed + 1000 * rep
+                actual_a = _measure_actual(pair, first, last, 0, video_site, run_seed)
+                actual_b = _measure_actual(pair, first, last, 1, video_site, run_seed)
+                actual_all_winner = 0 if actual_a[1] <= actual_b[1] else 1
+                first_a = actual_a[0] if actual_a[0] is not None else actual_a[1]
+                first_b = actual_b[0] if actual_b[0] is not None else actual_b[1]
+                if abs(first_a - first_b) < 1e-9:
+                    correct_first: Optional[bool] = None
+                else:
+                    actual_first_winner = 0 if first_a <= first_b else 1
+                    correct_first = predicted_first_winner == actual_first_winner
+                outcomes.append(
+                    PairOutcome(
+                        pair=pair,
+                        params=(first, last),
+                        predicted_all_margin=_margin(est_a.t_all_ms, est_b.t_all_ms),
+                        correct_all=predicted_all_winner == actual_all_winner,
+                        predicted_first_margin=_margin(
+                            est_a.t_first_ms, est_b.t_first_ms
+                        ),
+                        correct_first=correct_first,
+                    )
+                )
+    return outcomes
+
+
+@dataclass(frozen=True)
+class ObservationSummary:
+    accuracy_all: float
+    accuracy_first_large_margin: float  # predicted margin ≥ 50%
+    accuracy_first_small_margin: float
+    pairs_measured: int
+
+
+def summarize(outcomes: list[PairOutcome]) -> ObservationSummary:
+    def accuracy(flags: list[bool]) -> float:
+        return sum(flags) / len(flags) if flags else float("nan")
+
+    all_flags = [o.correct_all for o in outcomes]
+    first_large = [
+        o.correct_first
+        for o in outcomes
+        if o.correct_first is not None and o.predicted_first_margin >= 0.5
+    ]
+    first_small = [
+        o.correct_first
+        for o in outcomes
+        if o.correct_first is not None and o.predicted_first_margin < 0.5
+    ]
+    return ObservationSummary(
+        accuracy_all=accuracy(all_flags),
+        accuracy_first_large_margin=accuracy(first_large),
+        accuracy_first_small_margin=accuracy(first_small),
+        pairs_measured=len(outcomes),
+    )
+
+
+def main() -> None:
+    outcomes = run()
+    print(
+        format_table(
+            ["Pair", "Params", "All-ans margin", "All correct",
+             "First margin", "First correct"],
+            [
+                (
+                    o.pair,
+                    f"{o.params[0]}..{o.params[1]}",
+                    f"{o.predicted_all_margin:.0%}",
+                    "yes" if o.correct_all else "NO",
+                    f"{o.predicted_first_margin:.0%}",
+                    {True: "yes", False: "NO", None: "tie"}[o.correct_first],
+                )
+                for o in outcomes
+            ],
+            title="E3 — Plan-choice reliability (Section 8 observations)",
+        )
+    )
+    summary = summarize(outcomes)
+
+    def pct(value: float) -> str:
+        return "n/a (no such pairs)" if value != value else f"{value:.0%}"
+
+    print(
+        f"\nall-answers accuracy: {pct(summary.accuracy_all)}\n"
+        f"first-answer accuracy (margin >= 50%): "
+        f"{pct(summary.accuracy_first_large_margin)}\n"
+        f"first-answer accuracy (margin < 50%): "
+        f"{pct(summary.accuracy_first_small_margin)}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Monospace table rendering for experiment output.
+
+The experiments print tables shaped like the paper's figures; keeping the
+renderer dumb (strings in, aligned strings out) lets tests assert on the
+structured rows instead of parsing text.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+
+def fmt_ms(value: "float | None", width: int = 0) -> str:
+    """Milliseconds with no decimals above 10ms (paper style)."""
+    if value is None:
+        return "-"
+    text = f"{value:.0f}" if value >= 10 else f"{value:.2f}"
+    return text.rjust(width) if width else text
+
+
+def fmt_ratio(value: "float | None") -> str:
+    if value is None:
+        return "-"
+    return f"{value:.2f}x"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,216 @@
+"""E4 — lossy vs lossless summarization tradeoffs (paper §6.2, intro
+item 5).
+
+For growing statistics-cache sizes, compares four DCSM configurations:
+
+* ``raw`` — no summaries; every estimate aggregates the observation log,
+* ``lossless`` — all argument positions retained,
+* ``lossy-program`` — retain only the positions the §6.2.2 program
+  analysis marks instantiable,
+* ``lossy-global`` — drop every dimension (Figure 6's lossy variant),
+
+on three axes: storage footprint (cells), estimation error against the
+full-data ground truth, and lookup work (rows scanned per estimate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.model import GroundCall
+from repro.dcsm.module import DCSM, MODE_LOSSLESS, MODE_LOSSY, MODE_RAW
+from repro.dcsm.patterns import BOUND, CallPattern
+from repro.domains.base import CallResult
+from repro.experiments.reporting import format_table
+from repro.workloads.datasets import _rope_objects, build_rope_avis
+from repro.core.parser import parse_program
+
+#: The §6.2.2 scenario: ``Object`` is *hidden* — fed only by another
+#: source's output, never exposed in a queryable head — so the program
+#: analysis may drop object_to_frames' object dimension, while the
+#: frames_to_objects interval bounds stay instantiable (head variables).
+HIDDEN_PROGRAM = """
+appearances(First, Last, Frames) :-
+    in(Object, video:frames_to_objects('rope', First, Last)) &
+    in(Frames, video:object_to_frames('rope', Object)).
+"""
+from repro.workloads.generators import CallWorkload, frame_interval_pool
+
+#: Probe patterns whose estimates we grade (mix of masks and functions).
+def _probe_patterns() -> list[CallPattern]:
+    return [
+        CallPattern("video", "frames_to_objects", ("rope", 4, 47)),
+        CallPattern("video", "frames_to_objects", ("rope", 4, 127)),
+        CallPattern("video", "frames_to_objects", ("rope", 1, BOUND)),
+        CallPattern("video", "frames_to_objects", ("rope", 40, BOUND)),
+        CallPattern("video", "frames_to_objects", ("rope", BOUND, BOUND)),
+        CallPattern("video", "frames_to_objects", (BOUND, BOUND, BOUND)),
+        # object_to_frames' object argument is fed by another source's
+        # output in the rope program — the §6.2.2 analysis drops it
+        CallPattern("video", "object_to_frames", ("rope", "brandon")),
+        CallPattern("video", "object_to_frames", ("rope", "rope")),
+        CallPattern("video", "object_to_frames", ("rope", BOUND)),
+    ]
+
+
+def _training_calls(count: int, seed: int) -> list[GroundCall]:
+    intervals = frame_interval_pool(
+        240, starts=[1, 4, 10, 25, 40, 60, 90, 120, 150], widths=[10, 43, 80, 123, 200]
+    )
+    workload = CallWorkload(
+        "video",
+        "frames_to_objects",
+        (["rope"], [pair[0] for pair in intervals], [pair[1] for pair in intervals]),
+        seed=seed,
+    )
+    objects = [obj for obj, __ in _rope_objects()]
+    object_workload = CallWorkload(
+        "video", "object_to_frames", (["rope"], objects), skew=1.0, seed=seed + 1
+    )
+    calls = []
+    f2o_count = max(count * 2 // 3, 1)
+    for call in workload.draws(f2o_count):
+        video, first, last = call.args
+        if last < first:
+            first, last = last, first
+        calls.append(GroundCall("video", "frames_to_objects", (video, first, last)))
+    calls.extend(object_workload.draws(count - f2o_count))
+    return calls
+
+
+def _train(dcsm: DCSM, calls: list[GroundCall]) -> None:
+    avis = build_rope_avis()
+    for call in calls:
+        result = avis.execute(call)
+        dcsm.record(
+            CallResult(
+                call=call,
+                answers=result.answers,
+                t_first_ms=result.t_first_ms,
+                t_all_ms=result.t_all_ms,
+            )
+        )
+
+
+@dataclass(frozen=True)
+class SummRow:
+    observations: int
+    mode: str
+    storage_cells: int
+    mean_rel_error_t_all: float
+    mean_rel_error_card: float
+    rows_scanned_per_estimate: float
+    raw_obs_scanned_per_estimate: float
+
+
+def _configure(dcsm: DCSM, mode: str) -> None:
+    program = parse_program(HIDDEN_PROGRAM)
+    if mode == "raw":
+        dcsm.mode = MODE_RAW
+    elif mode == "lossless":
+        dcsm.mode = MODE_LOSSLESS
+    elif mode == "lossy-program":
+        dcsm.mode = MODE_LOSSY
+        dcsm.configure_lossy_from_program(program)
+    elif mode == "lossy-global":
+        dcsm.mode = MODE_LOSSY
+        dcsm.configure_lossy_drop_all()
+    else:
+        raise ValueError(f"unknown mode {mode!r}")
+    dcsm.summarize()
+
+
+MODES = ("raw", "lossless", "lossy-program", "lossy-global")
+
+
+def run(sizes: tuple[int, ...] = (10, 40, 160, 640), seed: int = 0) -> list[SummRow]:
+    rows: list[SummRow] = []
+    probes = _probe_patterns()
+    for size in sizes:
+        calls = _training_calls(size, seed)
+        # ground truth: raw aggregation over the same observations
+        truth_dcsm = DCSM(mode=MODE_RAW)
+        _train(truth_dcsm, calls)
+        truth = {}
+        for probe in probes:
+            vector, __ = truth_dcsm.database.estimate(probe)
+            truth[probe] = vector
+
+        for mode in MODES:
+            dcsm = DCSM(
+                mode=MODE_RAW, use_raw_fallback=(mode == "raw")
+            )
+            _train(dcsm, calls)
+            _configure(dcsm, mode)
+            errors_t_all = []
+            errors_card = []
+            before_rows = dcsm.estimator.stats.table_rows_scanned
+            before_raw = dcsm.estimator.stats.raw_observations_scanned
+            estimates = 0
+            for probe in probes:
+                expected = truth[probe]
+                if expected.is_empty():
+                    continue
+                got = dcsm.cost(probe)
+                estimates += 1
+                if expected.t_all_ms and got.t_all_ms is not None:
+                    errors_t_all.append(
+                        abs(got.t_all_ms - expected.t_all_ms) / expected.t_all_ms
+                    )
+                if expected.cardinality and got.cardinality is not None:
+                    errors_card.append(
+                        abs(got.cardinality - expected.cardinality)
+                        / expected.cardinality
+                    )
+            rows_scanned = dcsm.estimator.stats.table_rows_scanned - before_rows
+            raw_scanned = dcsm.estimator.stats.raw_observations_scanned - before_raw
+            rows.append(
+                SummRow(
+                    observations=size,
+                    mode=mode,
+                    storage_cells=dcsm.size_cells(),
+                    mean_rel_error_t_all=(
+                        sum(errors_t_all) / len(errors_t_all) if errors_t_all else 0.0
+                    ),
+                    mean_rel_error_card=(
+                        sum(errors_card) / len(errors_card) if errors_card else 0.0
+                    ),
+                    rows_scanned_per_estimate=rows_scanned / max(estimates, 1),
+                    raw_obs_scanned_per_estimate=raw_scanned / max(estimates, 1),
+                )
+            )
+    return rows
+
+
+def main() -> None:
+    rows = run()
+    print(
+        format_table(
+            [
+                "Obs",
+                "Mode",
+                "Cells",
+                "T_all err",
+                "Card err",
+                "Table rows/est",
+                "Raw obs/est",
+            ],
+            [
+                (
+                    row.observations,
+                    row.mode,
+                    row.storage_cells,
+                    f"{row.mean_rel_error_t_all:.1%}",
+                    f"{row.mean_rel_error_card:.1%}",
+                    f"{row.rows_scanned_per_estimate:.1f}",
+                    f"{row.raw_obs_scanned_per_estimate:.1f}",
+                )
+                for row in rows
+            ],
+            title="E4 — Summarization tradeoffs (storage / accuracy / lookup work)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""Simulated wide-area network: virtual clock, per-site latency models,
+outage schedules, and the :class:`RemoteDomain` wrapper that makes a local
+substrate behave like a source reached over the Internet.
+
+The paper's experiments ran against live sites (Maryland, Cornell,
+Bucknell, Italy); we reproduce their *relative* behaviour with a
+deterministic simulator — see DESIGN.md §2.
+"""
+
+from repro.net.clock import SimClock
+from repro.net.latency import LatencyModel, Outage
+from repro.net.remote import RemoteDomain
+from repro.net.sites import SITE_PROFILES, Site, make_site
+
+__all__ = [
+    "SimClock",
+    "LatencyModel",
+    "Outage",
+    "RemoteDomain",
+    "Site",
+    "SITE_PROFILES",
+    "make_site",
+]

@@ -1,0 +1,99 @@
+"""Latency and availability models for simulated remote sites.
+
+A :class:`LatencyModel` decomposes the cost of one remote call the way the
+paper's experiments describe ("high connection overhead, high computation
+time, financial charges, and temporary unavailability", §1):
+
+* ``connect_ms`` — per-call connection/setup overhead,
+* ``rtt_ms`` — request/acknowledge round trip,
+* ``bandwidth_bytes_per_ms`` — result transfer rate,
+* ``jitter`` — multiplicative noise drawn from a *seeded* RNG so runs are
+  reproducible,
+* ``fee_per_call`` — financial charge bookkeeping (does not affect time),
+* outages — half-open ``[start_ms, end_ms)`` windows during which calls
+  raise :class:`~repro.errors.SourceUnavailableError`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True, slots=True)
+class Outage:
+    """A scheduled unavailability window ``[start_ms, end_ms)``."""
+
+    start_ms: float
+    end_ms: float
+
+    def __post_init__(self) -> None:
+        if self.end_ms <= self.start_ms:
+            raise ReproError(
+                f"outage must end after it starts ({self.start_ms}..{self.end_ms})"
+            )
+
+    def covers(self, instant_ms: float) -> bool:
+        return self.start_ms <= instant_ms < self.end_ms
+
+
+@dataclass
+class LatencyModel:
+    """Deterministic (seeded) per-site network cost model."""
+
+    connect_ms: float = 50.0
+    rtt_ms: float = 20.0
+    bandwidth_bytes_per_ms: float = 100.0
+    jitter: float = 0.0  # e.g. 0.1 → each delay scaled by U[0.9, 1.1]
+    fee_per_call: float = 0.0
+    seed: int = 0
+    outages: tuple[Outage, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_ms <= 0:
+            raise ReproError("bandwidth must be positive")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ReproError("jitter must be in [0, 1)")
+        self._rng = random.Random(self.seed)
+
+    # -- noise ---------------------------------------------------------------
+
+    def _scale(self) -> float:
+        if self.jitter == 0.0:
+            return 1.0
+        return self._rng.uniform(1.0 - self.jitter, 1.0 + self.jitter)
+
+    # -- cost components -----------------------------------------------------
+
+    def setup_ms(self) -> float:
+        """Connection overhead + request round trip for one call."""
+        return (self.connect_ms + self.rtt_ms) * self._scale()
+
+    def transfer_ms(self, num_bytes: int) -> float:
+        """Time to ship ``num_bytes`` of answers back to the mediator."""
+        if num_bytes <= 0:
+            return 0.0
+        return (num_bytes / self.bandwidth_bytes_per_ms) * self._scale()
+
+    # -- availability ----------------------------------------------------------
+
+    def outage_at(self, instant_ms: float) -> Optional[Outage]:
+        for outage in self.outages:
+            if outage.covers(instant_ms):
+                return outage
+        return None
+
+    def with_outages(self, *outages: Outage) -> "LatencyModel":
+        """A copy of this model with extra outage windows."""
+        return LatencyModel(
+            connect_ms=self.connect_ms,
+            rtt_ms=self.rtt_ms,
+            bandwidth_bytes_per_ms=self.bandwidth_bytes_per_ms,
+            jitter=self.jitter,
+            fee_per_call=self.fee_per_call,
+            seed=self.seed,
+            outages=self.outages + tuple(outages),
+        )

@@ -1,0 +1,78 @@
+"""Wrap a local substrate so it behaves like a source across the Internet.
+
+``RemoteDomain`` satisfies the same endpoint protocol as a bare
+:class:`~repro.domains.base.Domain`: ``execute(GroundCall) -> CallResult``.
+It adds, per call:
+
+* connection + round-trip setup time,
+* the wrapped source's own compute time,
+* transfer time proportional to the answer bytes (first answer pays only
+  its own bytes — sources stream),
+* per-call fee bookkeeping,
+* outage checks against the site's schedule (raising
+  :class:`~repro.errors.SourceUnavailableError`), which is what lets the
+  CIM demonstrate serving cached results while a source is down.
+
+A ``SimClock`` may be attached so outage windows are evaluated at the
+current simulated instant; without a clock, outages are evaluated at t=0.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.model import GroundCall
+from repro.core.terms import value_bytes
+from repro.domains.base import CallResult, Domain
+from repro.errors import SourceUnavailableError
+from repro.net.clock import SimClock
+from repro.net.sites import Site
+
+
+class RemoteDomain:
+    """A domain reached through a simulated wide-area link."""
+
+    def __init__(self, domain: Domain, site: Site, clock: Optional[SimClock] = None):
+        self.domain = domain
+        self.site = site
+        self.clock = clock
+        self.fees_charged = 0.0
+        self.calls_made = 0
+
+    @property
+    def name(self) -> str:
+        return self.domain.name
+
+    @property
+    def cost_estimator(self):
+        return self.domain.cost_estimator
+
+    def execute(self, call: GroundCall) -> CallResult:
+        now = self.clock.now_ms if self.clock is not None else 0.0
+        outage = self.site.latency.outage_at(now)
+        if outage is not None:
+            raise SourceUnavailableError(
+                self.domain.name, site=self.site.name, until_ms=outage.end_ms
+            )
+        local = self.domain.execute(call)
+        latency = self.site.latency
+        setup = latency.setup_ms()
+        total_bytes = local.answer_bytes
+        first_bytes = value_bytes(local.answers[0]) if local.answers else 0
+        t_first = setup + local.t_first_ms + latency.transfer_ms(first_bytes)
+        t_all = setup + local.t_all_ms + latency.transfer_ms(total_bytes)
+        if t_all < t_first:
+            t_all = t_first
+        self.fees_charged += latency.fee_per_call
+        self.calls_made += 1
+        return CallResult(
+            call=call,
+            answers=local.answers,
+            t_first_ms=t_first,
+            t_all_ms=t_all,
+            provenance=local.provenance,
+            complete=local.complete,
+        )
+
+    def __repr__(self) -> str:
+        return f"<RemoteDomain {self.domain.name!r} @ {self.site.name}>"

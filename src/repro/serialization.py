@@ -1,0 +1,60 @@
+"""JSON-safe encoding of mediator values, calls, and observations.
+
+Answer values are scalars, tuples, or :class:`~repro.core.terms.Row`
+records; JSON has neither tuples nor Rows, so both get tagged wrappers:
+
+* tuple  → ``{"__tuple__": [...]}``,
+* Row    → ``{"__row__": [[name, value], ...]}``.
+
+Used by the DCSM statistics persistence and the CIM cache persistence.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.model import GroundCall
+from repro.core.terms import Row, Value
+from repro.errors import ReproError
+
+
+def encode_value(value: Value) -> Any:
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, tuple):
+        return {"__tuple__": [encode_value(v) for v in value]}
+    if isinstance(value, Row):
+        return {
+            "__row__": [[name, encode_value(v)] for name, v in zip(value.names, value.values)]
+        }
+    raise ReproError(f"cannot serialize value of type {type(value).__name__}")
+
+
+def decode_value(data: Any) -> Value:
+    if data is None or isinstance(data, (bool, int, float, str)):
+        return data
+    if isinstance(data, dict):
+        if "__tuple__" in data:
+            return tuple(decode_value(v) for v in data["__tuple__"])
+        if "__row__" in data:
+            return Row([(name, decode_value(v)) for name, v in data["__row__"]])
+    raise ReproError(f"cannot deserialize value {data!r}")
+
+
+def encode_call(call: GroundCall) -> dict:
+    return {
+        "domain": call.domain,
+        "function": call.function,
+        "args": [encode_value(arg) for arg in call.args],
+    }
+
+
+def decode_call(data: dict) -> GroundCall:
+    try:
+        return GroundCall(
+            domain=data["domain"],
+            function=data["function"],
+            args=tuple(decode_value(arg) for arg in data["args"]),
+        )
+    except KeyError as exc:
+        raise ReproError(f"malformed serialized call: missing {exc}") from None

@@ -1,0 +1,23 @@
+"""Synthetic datasets and workload generators for tests, examples, and
+the experiment harness."""
+
+from repro.workloads.datasets import (
+    build_cast_table,
+    build_inventory_engine,
+    build_logistics_terrain,
+    build_points_file,
+    build_rope_avis,
+    build_rope_testbed,
+)
+from repro.workloads.generators import CallWorkload, zipf_choice
+
+__all__ = [
+    "build_cast_table",
+    "build_inventory_engine",
+    "build_logistics_terrain",
+    "build_points_file",
+    "build_rope_avis",
+    "build_rope_testbed",
+    "CallWorkload",
+    "zipf_choice",
+]

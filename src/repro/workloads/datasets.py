@@ -1,0 +1,256 @@
+"""Deterministic synthetic datasets shaped after the paper's testbed.
+
+The star dataset is *The Rope* (the paper queries Hitchcock's "Rope" in
+AVIS).  Object appearance intervals are constructed so the paper's
+reported answer cardinalities hold exactly:
+
+* ``actors in 'The Rope'``                → 6 cast tuples (Figure 5, query 1),
+* ``objects between frames 4 and 47``     → 19 objects   (Figure 5, query 3),
+* ``objects between frames 4 and 127``    → 24 objects   (Figure 5, query 4).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.mediator import Mediator
+from repro.domains.avis.store import AvisDomain, build_video
+from repro.domains.relational.engine import RelationalEngine
+from repro.domains.spatial.domain import SpatialDomain
+from repro.domains.spatial.index import Point
+from repro.domains.terrain.domain import TerrainDomain
+from repro.domains.terrain.grid import TerrainGrid
+
+#: The six credited roles (cast rows) — Figure 5's "6 tuples".
+ROPE_CAST: tuple[tuple[str, str], ...] = (
+    ("stewart", "rupert"),
+    ("dall", "brandon"),
+    ("granger", "phillip"),
+    ("chandler", "janet"),
+    ("hogan", "kenneth"),
+    ("collier", "mrs_atwater"),
+)
+
+ROPE_FRAMES = 240
+
+
+def _rope_objects() -> list[tuple[str, list[tuple[int, int]]]]:
+    """Appearance intervals engineered for the paper's cardinalities.
+
+    Groups:
+
+    * 19 objects (6 roles + 13 props) intersect [4, 47];
+    * 5 more objects appear only within [48, 127]  → 24 in [4, 127];
+    * 4 late objects appear only after frame 128 (in neither interval).
+    """
+    objects: list[tuple[str, list[tuple[int, int]]]] = []
+    # the six roles: on screen early and long
+    role_spans = {
+        "rupert": [(30, 220)],
+        "brandon": [(1, 210)],
+        "phillip": [(1, 200)],
+        "janet": [(40, 150)],
+        "kenneth": [(42, 140)],
+        "mrs_atwater": [(45, 160)],
+    }
+    for role, spans in role_spans.items():
+        objects.append((role, spans))
+    early_props = [
+        "rope", "chest", "candlesticks", "books", "champagne",
+        "rope_drawer", "piano", "metronome", "first_edition",
+        "cigarette_case", "dining_table", "apartment_door", "skyline",
+    ]
+    for i, prop in enumerate(early_props):
+        # every early prop intersects [4, 47]
+        first = 4 + (i % 20)
+        last = min(60 + 9 * i, ROPE_FRAMES)
+        objects.append((prop, [(first, last)]))
+    middle_props = ["hat", "initialed_hatband", "gloves", "manuscript", "telephone"]
+    for i, prop in enumerate(middle_props):
+        # appear strictly inside (47, 127]
+        first = 50 + 12 * i
+        last = min(first + 15, 127)
+        objects.append((prop, [(first, last)]))
+    late_props = ["gun", "window", "siren_crowd", "confession"]
+    for i, prop in enumerate(late_props):
+        first = 130 + 20 * i
+        last = min(first + 30, ROPE_FRAMES)
+        objects.append((prop, [(first, last)]))
+    return objects
+
+
+def build_rope_avis(name: str = "video") -> AvisDomain:
+    """The AVIS domain loaded with 'The Rope'."""
+    avis = AvisDomain(name)
+    avis.add_video(build_video("rope", ROPE_FRAMES, _rope_objects()))
+    return avis
+
+
+def build_cast_table(engine: RelationalEngine, index: bool = True) -> None:
+    """Add the 6-row ``cast(name, role)`` relation to ``engine``."""
+    engine.create_table(
+        "cast",
+        ["name", "role"],
+        list(ROPE_CAST),
+        index_on=["role"] if index else (),
+    )
+
+
+#: The mediator program used by the Figure 5 / Figure 6 experiments.
+#: query1..query4 are the paper's appendix queries (the primed variants
+#: are alternative subgoal orderings = different plans of the same rule).
+ROPE_PROGRAM = """
+query1(First, Last, Object, Size) :-
+    in(Size, video:video_size('rope')) &
+    in(Object, video:frames_to_objects('rope', First, Last)).
+
+query2(First, Last, Object, Frames, Actor) :-
+    in(Object, video:frames_to_objects('rope', First, Last)) &
+    in(Frames, video:object_to_frames('rope', Object)) &
+    in(T, relation:equal('cast', 'role', Object)) &
+    =(T.name, Actor).
+
+query3(First, Last, Object, Actor) :-
+    in(Object, video:frames_to_objects('rope', First, Last)) &
+    in(T, relation:equal('cast', 'role', Object)) &
+    =(T.name, Actor).
+
+query4(First, Last, Object, Actor) :-
+    in(P, relation:all('cast')) &
+    =(P.name, Actor) &
+    =(P.role, Object) &
+    in(X, video:frames_to_objects('rope', First, Last)) &
+    =(X, Object).
+
+actors(Actor) :-
+    in(Object, video:actors_in('rope')) &
+    in(T, relation:equal('cast', 'role', Object)) &
+    =(T.name, Actor).
+
+objects(First, Last, Object) :-
+    in(Object, video:frames_to_objects('rope', First, Last)).
+"""
+
+#: Containment invariant over AVIS frame intervals: a wider interval's
+#: object set contains a narrower one's.
+ROPE_CONTAINMENT_INVARIANT = (
+    "F1 <= F2 & L2 <= L1 => "
+    "video:frames_to_objects(V, F1, L1) >= video:frames_to_objects(V, F2, L2)."
+)
+
+#: Equality invariant: intervals clipped at the video's end are the same
+#: query ('rope' has 240 frames).
+ROPE_CLIP_INVARIANT = (
+    "Last >= 240 => "
+    "video:frames_to_objects(V, First, Last) = "
+    "video:frames_to_objects(V, First, 240)."
+)
+
+#: Cross-function equality: every object of 'rope' appears somewhere in
+#: its 240 frames, so the full-interval scan IS the actor/object listing.
+ROPE_ACTORS_EQ_INVARIANT = (
+    "video:actors_in('rope') = video:frames_to_objects('rope', 1, 240)."
+)
+
+#: Cross-function containment: any interval's objects are a subset of the
+#: video's full object listing — lets a cached interval scan serve partial
+#: answers for the actor listing.
+ROPE_ACTORS_PARTIAL_INVARIANT = (
+    "video:actors_in('rope') >= video:frames_to_objects('rope', F, L)."
+)
+
+
+def build_rope_testbed(
+    video_site: str = "cornell",
+    relation_site: str = "maryland",
+    seed: int = 0,
+    with_invariants: bool = True,
+) -> Mediator:
+    """A fully wired mediator over 'The Rope': AVIS at ``video_site``,
+    the cast relation at ``relation_site`` (paper: AVIS remote, INGRES
+    nearer), program and invariants loaded."""
+    mediator = Mediator()
+    avis = build_rope_avis()
+    engine = RelationalEngine("relation")
+    build_cast_table(engine)
+    mediator.register_domain(avis, site=video_site, seed=seed)
+    mediator.register_domain(engine, site=relation_site, seed=seed)
+    mediator.load_program(ROPE_PROGRAM)
+    if with_invariants:
+        mediator.add_invariant(ROPE_CONTAINMENT_INVARIANT)
+        mediator.add_invariant(ROPE_CLIP_INVARIANT)
+        mediator.add_invariant(ROPE_ACTORS_EQ_INVARIANT)
+        mediator.add_invariant(ROPE_ACTORS_PARTIAL_INVARIANT)
+    return mediator
+
+
+# ---------------------------------------------------------------------------
+# Logistics (the paper's §2 routetosupplies example)
+# ---------------------------------------------------------------------------
+
+INVENTORY_ROWS: tuple[tuple[str, str, int], ...] = (
+    ("h-22 fuel", "depot_north", 120),
+    ("h-22 fuel", "camp_east", 40),
+    ("ammo", "depot_north", 500),
+    ("ammo", "fob_delta", 220),
+    ("rations", "camp_east", 800),
+    ("rations", "fob_delta", 650),
+    ("medkits", "field_hospital", 90),
+    ("h-22 fuel", "airstrip", 60),
+)
+
+
+def build_inventory_engine(name: str = "ingres") -> RelationalEngine:
+    """The INGRES-like engine holding the ``inventory(item, loc, qty)``
+    relation of the routetosupplies example."""
+    engine = RelationalEngine(name)
+    engine.create_table(
+        "inventory",
+        ["item", "loc", "qty"],
+        [list(row) for row in INVENTORY_ROWS],
+        index_on=["item"],
+    )
+    return engine
+
+
+def build_logistics_terrain(name: str = "terraindb") -> TerrainDomain:
+    """A 48×48 terrain with a ridge obstacle and the inventory places."""
+    grid = TerrainGrid(48, 48)
+    grid.add_obstacle_rect(20, 0, 22, 36)  # a ridge with a southern pass
+    for x in range(30, 40):
+        for y in range(10, 20):
+            grid.set_cost(x, y, 3.0)  # rough ground
+    places = {
+        "place1": (2, 2),
+        "depot_north": (40, 4),
+        "camp_east": (44, 30),
+        "fob_delta": (30, 44),
+        "field_hospital": (10, 40),
+        "airstrip": (4, 24),
+    }
+    for place, (x, y) in places.items():
+        grid.add_place(place, x, y)
+    return TerrainDomain(name, grid=grid)
+
+
+# ---------------------------------------------------------------------------
+# Spatial points (the paper's §4 range-shrinking invariant example)
+# ---------------------------------------------------------------------------
+
+
+def build_points_file(
+    domain: SpatialDomain,
+    name: str = "points",
+    count: int = 400,
+    side: float = 100.0,
+    seed: int = 7,
+) -> None:
+    """Scatter ``count`` named points over a ``side × side`` square — the
+    paper's "all the points in file 'points' lie within a 100x100 square",
+    making 142 (> side·√2) the radius beyond which range queries shrink."""
+    rng = random.Random(seed)
+    points = [
+        Point(f"pt{i:04d}", rng.uniform(0.0, side), rng.uniform(0.0, side))
+        for i in range(count)
+    ]
+    domain.add_file(name, points)

@@ -1,0 +1,86 @@
+"""Workload generators: seeded random ground calls and query batches.
+
+Used to *train* the DCSM (the paper trained with "about 20 different
+instantiations for the arguments of a domain call") and to stress the
+summarization experiments with skewed argument distributions.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.core.model import GroundCall
+from repro.core.terms import Value
+
+
+def zipf_choice(rng: random.Random, items: Sequence[Value], skew: float = 1.0) -> Value:
+    """Draw one item with a Zipf-like rank distribution (rank 1 hottest).
+
+    ``skew=0`` degenerates to uniform.
+    """
+    if not items:
+        raise ValueError("cannot choose from an empty sequence")
+    if skew <= 0:
+        return items[rng.randrange(len(items))]
+    weights = [1.0 / (rank ** skew) for rank in range(1, len(items) + 1)]
+    total = sum(weights)
+    target = rng.uniform(0.0, total)
+    acc = 0.0
+    for item, weight in zip(items, weights):
+        acc += weight
+        if target <= acc:
+            return item
+    return items[-1]
+
+
+@dataclass
+class CallWorkload:
+    """Generates ground calls for one source function.
+
+    ``arg_pools`` holds the candidate values per argument position; each
+    draw samples every position independently (uniform, or Zipf with
+    ``skew > 0``).
+    """
+
+    domain: str
+    function: str
+    arg_pools: tuple[Sequence[Value], ...]
+    skew: float = 0.0
+    seed: int = 0
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    def draw(self) -> GroundCall:
+        args = tuple(
+            zipf_choice(self._rng, pool, self.skew) for pool in self.arg_pools
+        )
+        return GroundCall(self.domain, self.function, args)
+
+    def draws(self, count: int) -> Iterator[GroundCall]:
+        for _ in range(count):
+            yield self.draw()
+
+    def distinct_space(self) -> int:
+        """Size of the full argument cross-product."""
+        size = 1
+        for pool in self.arg_pools:
+            size *= len(pool)
+        return size
+
+
+def frame_interval_pool(
+    num_frames: int, starts: Sequence[int], widths: Sequence[int]
+) -> list[tuple[int, int]]:
+    """(first, last) interval pairs clipped to a video's frame count —
+    handy for building frames_to_objects training workloads."""
+    intervals = []
+    for start in starts:
+        for width in widths:
+            last = min(start + width, num_frames)
+            if last >= start >= 1:
+                intervals.append((start, last))
+    return intervals

@@ -1,0 +1,95 @@
+"""Adornment and executability dataflow tests."""
+
+from repro.core.adornment import (
+    adornment_of,
+    call_adornment,
+    is_binding_assignment,
+    step,
+    term_is_bound,
+)
+from repro.core.model import Comparison, make_in
+from repro.core.terms import AttrPath, Constant, Variable
+
+X, Y, T = Variable("X"), Variable("Y"), Variable("T")
+NONE_BOUND = frozenset()
+
+
+class TestTermIsBound:
+    def test_constant_always(self):
+        assert term_is_bound(Constant(1), NONE_BOUND)
+
+    def test_variable_depends_on_set(self):
+        assert not term_is_bound(X, NONE_BOUND)
+        assert term_is_bound(X, frozenset({X}))
+
+    def test_attrpath_follows_base(self):
+        path = AttrPath(T, ("name",))
+        assert not term_is_bound(path, NONE_BOUND)
+        assert term_is_bound(path, frozenset({T}))
+
+
+class TestStep:
+    def test_call_needs_ground_args(self):
+        atom = make_in(X, "d", "f", Y)
+        assert step(atom, NONE_BOUND) is None
+        after = step(atom, frozenset({Y}))
+        assert after == frozenset({X, Y})
+
+    def test_call_constant_args_ok(self):
+        atom = make_in(X, "d", "f", 1, "a")
+        after = step(atom, NONE_BOUND)
+        assert after == frozenset({X})
+
+    def test_ground_output_binds_nothing(self):
+        atom = make_in(Constant(5), "d", "f")
+        assert step(atom, NONE_BOUND) == NONE_BOUND
+
+    def test_filter_needs_both_sides(self):
+        comparison = Comparison("<", X, Constant(5))
+        assert step(comparison, NONE_BOUND) is None
+        assert step(comparison, frozenset({X})) == frozenset({X})
+
+    def test_binding_equality(self):
+        comparison = Comparison("=", X, Constant(5))
+        assert step(comparison, NONE_BOUND) == frozenset({X})
+
+    def test_binding_equality_reversed(self):
+        comparison = Comparison("=", Constant(5), X)
+        assert step(comparison, NONE_BOUND) == frozenset({X})
+
+    def test_attrpath_binding(self):
+        comparison = Comparison("=", AttrPath(T, ("name",)), X)
+        assert step(comparison, NONE_BOUND) is None  # base unbound
+        assert step(comparison, frozenset({T})) == frozenset({T, X})
+
+    def test_non_eq_cannot_bind(self):
+        comparison = Comparison("<", X, Constant(5))
+        assert step(comparison, NONE_BOUND) is None
+
+    def test_attrpath_target_cannot_be_bound(self):
+        # =(bound, T.field) with T unbound: not executable (cannot invert)
+        comparison = Comparison("=", Constant(1), AttrPath(T, (1,)))
+        assert step(comparison, NONE_BOUND) is None
+
+
+class TestIsBindingAssignment:
+    def test_true_case(self):
+        assert is_binding_assignment(Comparison("=", X, Constant(1)), NONE_BOUND)
+
+    def test_filter_case(self):
+        comparison = Comparison("=", X, Constant(1))
+        assert not is_binding_assignment(comparison, frozenset({X}))
+
+    def test_non_eq(self):
+        assert not is_binding_assignment(Comparison("<", X, Constant(1)), NONE_BOUND)
+
+
+class TestAdornmentStrings:
+    def test_adornment_of(self):
+        args = (Constant(1), X, Y)
+        assert adornment_of(args, frozenset({X})) == "bbf"
+
+    def test_call_adornment_includes_output(self):
+        atom = make_in(X, "d", "f", Y)
+        assert call_adornment(atom, frozenset({Y})) == "bf"
+        assert call_adornment(atom, frozenset({X, Y})) == "bb"

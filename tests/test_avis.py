@@ -1,0 +1,117 @@
+"""AVIS substrate tests: interval model, source functions, cost shape."""
+
+import pytest
+
+from repro.core.model import GroundCall
+from repro.domains.avis.model import Appearance, Video
+from repro.domains.avis.store import AvisDomain, build_video
+from repro.errors import BadCallError
+
+
+class TestAppearance:
+    def test_valid_interval(self):
+        span = Appearance(4, 47)
+        assert span.length == 44
+
+    def test_bad_intervals(self):
+        with pytest.raises(BadCallError):
+            Appearance(0, 5)
+        with pytest.raises(BadCallError):
+            Appearance(10, 5)
+
+    def test_intersection(self):
+        span = Appearance(10, 20)
+        assert span.intersects(20, 30)
+        assert span.intersects(1, 10)
+        assert span.intersects(15, 16)
+        assert not span.intersects(21, 30)
+        assert not span.intersects(1, 9)
+
+
+class TestVideo:
+    def test_add_object_validates_bounds(self):
+        video = Video("v", num_frames=100)
+        with pytest.raises(BadCallError):
+            video.add_object("x", [(90, 120)])
+
+    def test_objects_between(self):
+        video = Video("v", num_frames=100)
+        video.add_object("early", [(1, 10)])
+        video.add_object("late", [(60, 90)])
+        video.add_object("both", [(5, 8), (70, 80)])
+        assert set(video.objects_between(1, 20)) == {"early", "both"}
+        assert set(video.objects_between(65, 75)) == {"late", "both"}
+
+    def test_multiple_intervals_accumulate(self):
+        video = Video("v", num_frames=100)
+        video.add_object("x", [(1, 5)])
+        video.add_object("x", [(50, 60)])
+        assert len(video.frames_of("x")) == 2
+
+    def test_size(self):
+        video = Video("v", num_frames=10, bytes_per_frame=100)
+        assert video.size_bytes == 1000
+
+
+class TestAvisDomain:
+    @pytest.fixture
+    def avis(self, small_avis: AvisDomain) -> AvisDomain:
+        return small_avis
+
+    def call(self, avis, fn, *args):
+        return avis.execute(GroundCall("video", fn, args))
+
+    def test_video_size(self, avis):
+        result = self.call(avis, "video_size", "rope")
+        assert result.answers == (240 * 4096,)
+
+    def test_frames_to_objects(self, avis):
+        result = self.call(avis, "frames_to_objects", "rope", 4, 47)
+        assert set(result.answers) == {"brandon", "phillip", "rupert", "rope"}
+
+    def test_cost_scales_with_interval_not_output(self, avis):
+        narrow = self.call(avis, "frames_to_objects", "rope", 4, 20)
+        wide = self.call(avis, "frames_to_objects", "rope", 4, 200)
+        # same order of answers but much more frame scanning
+        assert wide.t_all_ms > 3 * narrow.t_all_ms
+
+    def test_empty_interval(self, avis):
+        result = self.call(avis, "frames_to_objects", "rope", 50, 40)
+        assert result.answers == ()
+
+    def test_interval_clipped_to_video(self, avis):
+        clipped = self.call(avis, "frames_to_objects", "rope", 1, 240)
+        huge = self.call(avis, "frames_to_objects", "rope", 1, 100000)
+        assert set(clipped.answers) == set(huge.answers)
+        # clipping also bounds the cost
+        assert huge.t_all_ms == pytest.approx(clipped.t_all_ms, rel=0.01)
+
+    def test_non_integer_bounds_rejected(self, avis):
+        with pytest.raises(BadCallError):
+            self.call(avis, "frames_to_objects", "rope", "a", 47)
+
+    def test_object_to_frames(self, avis):
+        result = self.call(avis, "object_to_frames", "rope", "rope")
+        assert len(result.answers) == 1
+        row = result.answers[0]
+        assert (row.first, row.last) == (4, 60)
+
+    def test_object_to_frames_unknown_object(self, avis):
+        result = self.call(avis, "object_to_frames", "rope", "ghost")
+        assert result.answers == ()
+
+    def test_actors_in(self, avis):
+        result = self.call(avis, "actors_in", "rope")
+        assert set(result.answers) == {"brandon", "phillip", "rupert", "rope", "gun"}
+
+    def test_videos_catalog(self, avis):
+        result = self.call(avis, "videos", *())
+        assert result.answers[0].name == "rope"
+
+    def test_unknown_video(self, avis):
+        with pytest.raises(BadCallError):
+            self.call(avis, "video_size", "vertigo")
+
+    def test_duplicate_video_rejected(self, avis):
+        with pytest.raises(BadCallError):
+            avis.add_video(build_video("rope", 10, []))

@@ -1,0 +1,158 @@
+"""Result cache tests: lookup, eviction policies, TTL, byte accounting."""
+
+import pytest
+
+from repro.cim.cache import POLICY_LFU, ResultCache
+from repro.core.model import GroundCall
+from repro.errors import CacheError
+
+
+def call(i: int, fn: str = "f") -> GroundCall:
+    return GroundCall("d", fn, (i,))
+
+
+class TestBasics:
+    def test_put_get(self):
+        cache = ResultCache()
+        cache.put(call(1), (10, 20))
+        entry = cache.get(call(1))
+        assert entry is not None
+        assert entry.answers == (10, 20)
+        assert entry.complete
+
+    def test_miss(self):
+        cache = ResultCache()
+        assert cache.get(call(1)) is None
+        assert cache.stats.misses == 1
+
+    def test_replace(self):
+        cache = ResultCache()
+        cache.put(call(1), (1,))
+        cache.put(call(1), (1, 2))
+        assert cache.get(call(1)).answers == (1, 2)
+        assert len(cache) == 1
+
+    def test_complete_not_downgraded_by_incomplete(self):
+        cache = ResultCache()
+        cache.put(call(1), (1, 2, 3), complete=True)
+        cache.put(call(1), (1,), complete=False)
+        assert cache.get(call(1)).answers == (1, 2, 3)
+
+    def test_incomplete_upgraded_by_complete(self):
+        cache = ResultCache()
+        cache.put(call(1), (1,), complete=False)
+        cache.put(call(1), (1, 2, 3), complete=True)
+        entry = cache.get(call(1))
+        assert entry.complete and len(entry.answers) == 3
+
+    def test_invalidate(self):
+        cache = ResultCache()
+        cache.put(call(1), (1,))
+        assert cache.invalidate(call(1))
+        assert not cache.invalidate(call(1))
+        assert cache.get(call(1)) is None
+
+    def test_invalidate_function(self):
+        cache = ResultCache()
+        cache.put(call(1, "f"), (1,))
+        cache.put(call(2, "f"), (2,))
+        cache.put(call(1, "g"), (3,))
+        assert cache.invalidate_function("d", "f") == 2
+        assert cache.get(call(1, "g")) is not None
+
+    def test_clear_resets_stats(self):
+        cache = ResultCache()
+        cache.put(call(1), (1,))
+        cache.get(call(1))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.lookups == 0
+
+    def test_hit_rate(self):
+        cache = ResultCache()
+        cache.put(call(1), (1,))
+        cache.get(call(1))
+        cache.get(call(2))
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+
+class TestEviction:
+    def test_lru_evicts_oldest(self):
+        cache = ResultCache(max_entries=2)
+        cache.put(call(1), (1,))
+        cache.put(call(2), (2,))
+        cache.get(call(1))  # touch 1 → 2 is now LRU
+        cache.put(call(3), (3,))
+        assert cache.get(call(2)) is None
+        assert cache.get(call(1)) is not None
+        assert cache.stats.evictions == 1
+
+    def test_lfu_evicts_least_hit(self):
+        cache = ResultCache(max_entries=2, policy=POLICY_LFU)
+        cache.put(call(1), (1,))
+        cache.put(call(2), (2,))
+        cache.get(call(1))
+        cache.get(call(1))
+        cache.put(call(3), (3,))
+        assert cache.get(call(2)) is None
+        assert cache.get(call(1)) is not None
+
+    def test_byte_bound(self):
+        cache = ResultCache(max_bytes=100)
+        cache.put(call(1), ("x" * 60,))
+        cache.put(call(2), ("y" * 60,))
+        assert len(cache) == 1  # first evicted to fit
+
+    def test_new_entry_protected_from_own_eviction(self):
+        cache = ResultCache(max_bytes=10)
+        cache.put(call(1), ("z" * 100,))  # oversized but kept (only entry)
+        assert len(cache) == 1
+
+    def test_entries_scanning_by_function(self):
+        cache = ResultCache()
+        cache.put(call(1, "f"), (1,))
+        cache.put(call(2, "f"), (2,))
+        cache.put(call(1, "g"), (3,))
+        entries = list(cache.entries_for("d", "f"))
+        assert len(entries) == 2
+
+    def test_config_validation(self):
+        with pytest.raises(CacheError):
+            ResultCache(policy="random")
+        with pytest.raises(CacheError):
+            ResultCache(max_entries=0)
+
+
+class TestTtl:
+    def test_expiry(self):
+        cache = ResultCache(ttl_ms=100)
+        cache.put(call(1), (1,), now_ms=0)
+        assert cache.get(call(1), now_ms=50) is not None
+        assert cache.get(call(1), now_ms=150) is None
+        assert cache.stats.expirations == 1
+
+    def test_peek_honours_ttl_without_stats(self):
+        cache = ResultCache(ttl_ms=100)
+        cache.put(call(1), (1,), now_ms=0)
+        lookups_before = cache.stats.lookups
+        assert cache.peek(call(1), now_ms=50) is not None
+        assert cache.peek(call(1), now_ms=150) is None
+        assert cache.stats.lookups == lookups_before
+
+    def test_entries_for_skips_expired(self):
+        cache = ResultCache(ttl_ms=100)
+        cache.put(call(1), (1,), now_ms=0)
+        cache.put(call(2), (2,), now_ms=90)
+        live = list(cache.entries_for("d", "f", now_ms=120))
+        assert len(live) == 1
+
+
+class TestByteAccounting:
+    def test_total_bytes_tracks(self):
+        cache = ResultCache()
+        cache.put(call(1), ("abcd",))
+        assert cache.total_bytes == 4
+        cache.put(call(2), ("xy",))
+        assert cache.total_bytes == 6
+        cache.invalidate(call(1))
+        assert cache.total_bytes == 2

@@ -1,0 +1,200 @@
+"""Cache and Invariant Manager tests: the §4.1 lookup cascade, completion
+policies, encoded calls, outage behaviour."""
+
+import pytest
+
+from repro.cim.manager import CacheInvariantManager, CimPolicy
+from repro.core.model import GroundCall
+from repro.core.parser import parse_invariant
+from repro.domains.base import (
+    SOURCE_CACHE,
+    SOURCE_DOMAIN,
+    SOURCE_INVARIANT_EQ,
+    SOURCE_INVARIANT_PARTIAL,
+    simple_domain,
+)
+from repro.domains.registry import DomainRegistry
+from repro.errors import BadCallError, SourceUnavailableError
+from repro.net.clock import SimClock
+
+CONTAINMENT = parse_invariant(
+    "A1 <= A2 & B2 <= B1 => d:span(A1, B1) >= d:span(A2, B2)."
+)
+
+
+def span_impl(a, b):
+    """Answers = integers in [a, b] ∩ [0, 100]; expensive."""
+    values = [i for i in range(max(a, 0), min(b, 100) + 1)]
+    return values, 50.0, 50.0 + len(values)
+
+
+@pytest.fixture
+def cim():
+    domain = simple_domain("d", {"span": span_impl})
+    registry = DomainRegistry([domain])
+    clock = SimClock()
+    manager = CacheInvariantManager(registry, clock, invariants=[CONTAINMENT])
+    return manager
+
+
+def span(a, b) -> GroundCall:
+    return GroundCall("d", "span", (a, b))
+
+
+class TestCascade:
+    def test_miss_then_exact_hit(self, cim):
+        first = cim.lookup(span(1, 5))
+        assert first.provenance == SOURCE_DOMAIN
+        second = cim.lookup(span(1, 5))
+        assert second.provenance == SOURCE_CACHE
+        assert second.answers == first.answers
+        assert second.t_all_ms < first.t_all_ms / 10
+        assert cim.stats.exact_hits == 1
+
+    def test_equality_invariant_hit(self, cim):
+        clip = parse_invariant("B >= 100 => d:span(A, B) = d:span(A, 100).")
+        cim.add_invariant(clip)
+        cim.lookup(span(90, 100))
+        result = cim.lookup(span(90, 5000))
+        assert result.provenance == SOURCE_INVARIANT_EQ
+        assert result.complete
+
+    def test_partial_hit_serial_completes(self, cim):
+        partial_source = cim.lookup(span(10, 12))  # caches {10,11,12}
+        result = cim.lookup(span(10, 14))
+        assert result.provenance == SOURCE_INVARIANT_PARTIAL
+        assert result.complete
+        assert set(result.answers) == {10, 11, 12, 13, 14}
+        # cached answers come first
+        assert result.answers[:3] == partial_source.answers
+        # fast first answer, full total cost
+        assert result.t_first_ms < 2.0
+        assert result.t_all_ms > 50.0
+
+    def test_partial_hit_parallel_overlaps(self, cim):
+        cim.policy = CimPolicy.PARALLEL
+        cim.lookup(span(20, 22))
+        result = cim.lookup(span(20, 30))
+        serial_estimate = result.t_all_ms
+        # parallel total ≈ real call total, not cache + real
+        real_only = 50.0 + 11
+        assert serial_estimate == pytest.approx(real_only, rel=0.1)
+
+    def test_partial_only_returns_incomplete(self, cim):
+        cim.policy = CimPolicy.PARTIAL_ONLY
+        cim.lookup(span(30, 33))
+        result = cim.lookup(span(30, 40))
+        assert not result.complete
+        assert set(result.answers) == {30, 31, 32, 33}
+        assert result.t_all_ms < 2.0
+        assert cim.stats.real_calls == 1  # only the warmup
+
+    def test_partial_only_result_completed_later(self, cim):
+        cim.policy = CimPolicy.PARTIAL_ONLY
+        cim.lookup(span(40, 42))
+        cim.lookup(span(40, 50))  # incomplete, cached as such
+        cim.policy = CimPolicy.SERIAL
+        result = cim.lookup(span(40, 50))  # incomplete exact entry → complete now
+        assert result.complete
+        assert set(result.answers) == set(range(40, 51))
+
+    def test_miss_goes_to_source(self, cim):
+        result = cim.lookup(span(60, 61))
+        assert result.provenance == SOURCE_DOMAIN
+        assert cim.stats.misses == 1
+        assert cim.stats.real_calls == 1
+
+
+class TestEncoding:
+    def test_encoded_call_decoded(self, cim):
+        encoded = GroundCall("cim", "d&span", (1, 3))
+        result = cim.execute(encoded)
+        assert result.call == span(1, 3)
+        assert result.answers == (1, 2, 3)
+
+    def test_direct_call_accepted(self, cim):
+        result = cim.execute(span(1, 3))
+        assert result.answers == (1, 2, 3)
+
+    def test_bad_encoding_rejected(self, cim):
+        with pytest.raises(BadCallError):
+            cim.execute(GroundCall("cim", "nosep", ()))
+
+    def test_encode_round_trip(self):
+        call = span(2, 9)
+        encoded = CacheInvariantManager.encode(call)
+        assert encoded.domain == "cim"
+        domain = simple_domain("d", {"span": span_impl})
+        manager = CacheInvariantManager(DomainRegistry([domain]))
+        assert manager.decode(encoded) == call
+
+
+class TestOutages:
+    def make_flaky(self, available: list):
+        """A domain that raises unless available[0] is truthy."""
+
+        def impl(a, b):
+            if not available[0]:
+                raise SourceUnavailableError("d", site="testsite")
+            return span_impl(a, b)
+
+        domain = simple_domain("d", {"span": impl})
+        registry = DomainRegistry([domain])
+        return CacheInvariantManager(
+            registry, SimClock(), invariants=[CONTAINMENT]
+        )
+
+    def test_stale_partial_served_when_down(self):
+        available = [True]
+        cim = self.make_flaky(available)
+        cim.lookup(span(1, 3))
+        available[0] = False
+        result = cim.lookup(span(1, 10))
+        assert not result.complete
+        assert set(result.answers) == {1, 2, 3}
+        assert cim.stats.stale_served == 1
+
+    def test_exact_hit_does_not_touch_source(self):
+        available = [True]
+        cim = self.make_flaky(available)
+        cim.lookup(span(1, 3))
+        available[0] = False
+        result = cim.lookup(span(1, 3))
+        assert result.provenance == SOURCE_CACHE
+        assert result.complete
+
+    def test_uncached_miss_propagates_outage(self):
+        available = [False]
+        cim = self.make_flaky(available)
+        with pytest.raises(SourceUnavailableError):
+            cim.lookup(span(1, 3))
+
+    def test_stale_serving_disabled(self):
+        available = [True]
+        cim = self.make_flaky(available)
+        cim.serve_stale_on_outage = False
+        cim.lookup(span(1, 3))
+        available[0] = False
+        with pytest.raises(SourceUnavailableError):
+            cim.lookup(span(1, 10))
+
+
+class TestObserver:
+    def test_observer_sees_real_calls_only(self, cim):
+        observed = []
+        cim.observer = observed.append
+        cim.lookup(span(1, 5))  # real
+        cim.lookup(span(1, 5))  # cache hit
+        assert len(observed) == 1
+        assert observed[0].call == span(1, 5)
+
+
+class TestSoundness:
+    def test_partial_answers_subset_of_real(self, cim):
+        """Invariant-derived answers are always a subset of what the real
+        call would return (sound, maybe incomplete)."""
+        cim.policy = CimPolicy.PARTIAL_ONLY
+        cim.lookup(span(10, 13))
+        partial = cim.lookup(span(10, 20))
+        real, __, __ = span_impl(10, 20)
+        assert set(partial.answers) <= set(real)

@@ -1,0 +1,175 @@
+"""Rule cost estimator tests: the paper's §7 formulas against hand-fed
+statistics."""
+
+import pytest
+
+from repro.core.estimator import RuleCostEstimator
+from repro.core.model import Comparison, GroundCall, make_in
+from repro.core.plans import CallStep, CompareStep, Plan
+from repro.core.terms import Constant, Variable
+from repro.dcsm.module import DCSM
+from repro.dcsm.patterns import BOUND, CallPattern
+from repro.domains.base import CallResult
+from repro.errors import EstimationError
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+
+
+def feed(dcsm: DCSM, domain: str, function: str, args: tuple,
+         card: int, t_all: float, t_first: float = None):
+    """Record one synthetic observation."""
+    t_first = t_first if t_first is not None else t_all / 2
+    call = GroundCall(domain, function, args)
+    dcsm.record(
+        CallResult(
+            call=call,
+            answers=tuple(range(card)),
+            t_first_ms=t_first,
+            t_all_ms=t_all,
+        )
+    )
+
+
+@pytest.fixture
+def trained_dcsm() -> DCSM:
+    dcsm = DCSM()
+    # d1:p_bf('a') → card 2, T_all 10 ; d2:q_bf($b) → card 1, T_all 20
+    feed(dcsm, "d1", "p_bf", ("a",), card=2, t_all=10.0, t_first=4.0)
+    feed(dcsm, "d2", "q_bf", (1,), card=1, t_all=20.0, t_first=8.0)
+    feed(dcsm, "d2", "q_ff", (), card=3, t_all=30.0, t_first=5.0)
+    feed(dcsm, "d1", "p_bb", ("a", 1), card=1, t_all=6.0, t_first=6.0)
+    return dcsm
+
+
+class TestFormulas:
+    def test_single_call(self, trained_dcsm):
+        estimator = RuleCostEstimator(trained_dcsm)
+        plan = Plan((CallStep(make_in(X, "d1", "p_bf", "a")),), (X,))
+        estimate = estimator.estimate(plan)
+        assert estimate.t_all_ms == pytest.approx(10.0)
+        assert estimate.t_first_ms == pytest.approx(4.0)
+        assert estimate.cardinality == pytest.approx(2.0)
+
+    def test_nested_loop_formula(self, trained_dcsm):
+        """The paper's formula (1): Ta(p) + Card(p)·Ta(q)."""
+        estimator = RuleCostEstimator(trained_dcsm)
+        plan = Plan(
+            (
+                CallStep(make_in(X, "d1", "p_bf", "a")),
+                CallStep(make_in(Y, "d2", "q_bf", X)),
+            ),
+            (X, Y),
+        )
+        estimate = estimator.estimate(plan)
+        # T_all = 10 + 2 × 20 = 50 ; T_first = 4 + 8 = 12 ; Card = 2 × 1
+        assert estimate.t_all_ms == pytest.approx(50.0)
+        assert estimate.t_first_ms == pytest.approx(12.0)
+        assert estimate.cardinality == pytest.approx(2.0)
+
+    def test_membership_output_caps_fanout(self, trained_dcsm):
+        estimator = RuleCostEstimator(trained_dcsm)
+        # q_ff has card 3, but with a ground output it is a membership test
+        plan = Plan(
+            (
+                CallStep(make_in(Constant((1, "x")), "d2", "q_ff")),
+                CallStep(make_in(X, "d1", "p_bf", "a")),
+            ),
+            (X,),
+        )
+        estimate = estimator.estimate(plan)
+        # fanout of the first call capped at 1 → second call runs once
+        assert estimate.t_all_ms == pytest.approx(30.0 + 1 * 10.0)
+
+    def test_membership_cap_disabled(self, trained_dcsm):
+        estimator = RuleCostEstimator(trained_dcsm, membership_cap=False)
+        plan = Plan(
+            (
+                CallStep(make_in(Constant((1, "x")), "d2", "q_ff")),
+                CallStep(make_in(X, "d1", "p_bf", "a")),
+            ),
+            (X,),
+        )
+        estimate = estimator.estimate(plan)
+        assert estimate.t_all_ms == pytest.approx(30.0 + 3 * 10.0)
+
+    def test_comparison_selectivity(self, trained_dcsm):
+        estimator = RuleCostEstimator(trained_dcsm, comparison_selectivity=0.5)
+        plan = Plan(
+            (
+                CallStep(make_in(X, "d2", "q_ff")),
+                CompareStep(Comparison(">", X, Constant(0))),
+                CallStep(make_in(Y, "d1", "p_bf", "a")),
+            ),
+            (X, Y),
+        )
+        estimate = estimator.estimate(plan)
+        # q_ff card 3, filtered to 1.5, then p_bf per remaining answer
+        assert estimate.t_all_ms == pytest.approx(30.0 + 1.5 * 10.0)
+
+    def test_binding_assignment_costs_nothing(self, trained_dcsm):
+        estimator = RuleCostEstimator(trained_dcsm, comparison_selectivity=0.5)
+        plan = Plan(
+            (
+                CompareStep(Comparison("=", X, Constant("a"))),
+                CallStep(make_in(Y, "d1", "p_bf", X)),
+            ),
+            (Y,),
+        )
+        estimate = estimator.estimate(plan)
+        # the = binds (no selectivity); p_bf($b) averages to the only obs
+        assert estimate.t_all_ms == pytest.approx(10.0)
+        assert estimate.cardinality == pytest.approx(2.0)
+
+
+class TestPatterns:
+    def test_constant_args_stay_constants(self, trained_dcsm):
+        estimator = RuleCostEstimator(trained_dcsm)
+        step = CallStep(make_in(X, "d1", "p_bb", "a", Y))
+        pattern = estimator.pattern_for(step, frozenset({Y}))
+        assert pattern == CallPattern("d1", "p_bb", ("a", BOUND))
+
+    def test_variables_become_bound_markers(self, trained_dcsm):
+        estimator = RuleCostEstimator(trained_dcsm)
+        step = CallStep(make_in(X, "d2", "q_bf", Y))
+        pattern = estimator.pattern_for(step, frozenset({Y}))
+        assert pattern.args == (BOUND,)
+
+
+class TestChoice:
+    def test_picks_cheaper_plan_all_answers(self, trained_dcsm):
+        estimator = RuleCostEstimator(trained_dcsm)
+        cheap = Plan((CallStep(make_in(X, "d1", "p_bf", "a")),), (X,))
+        pricey = Plan((CallStep(make_in(X, "d2", "q_ff")),), (X,))
+        winner, estimates = estimator.choose([pricey, cheap], objective="all")
+        assert winner.plan is cheap
+        assert len(estimates) == 2
+
+    def test_objective_first_differs(self, trained_dcsm):
+        estimator = RuleCostEstimator(trained_dcsm)
+        # q_ff: T_first 5, T_all 30 ; p_bf: T_first 4, T_all 10
+        fast_first = Plan((CallStep(make_in(X, "d1", "p_bf", "a")),), (X,))
+        slow_first = Plan((CallStep(make_in(X, "d2", "q_ff")),), (X,))
+        winner_first, _ = estimator.choose(
+            [slow_first, fast_first], objective="first"
+        )
+        assert winner_first.plan is fast_first
+
+    def test_unpriceable_plan_skipped(self, trained_dcsm):
+        estimator = RuleCostEstimator(trained_dcsm)
+        unknown = Plan((CallStep(make_in(X, "nowhere", "f")),), (X,))
+        known = Plan((CallStep(make_in(X, "d1", "p_bf", "a")),), (X,))
+        winner, estimates = estimator.choose([unknown, known])
+        assert winner.plan is known
+        assert estimates[0] is None
+
+    def test_all_unpriceable_returns_none(self):
+        estimator = RuleCostEstimator(DCSM())
+        unknown = Plan((CallStep(make_in(X, "nowhere", "f")),), (X,))
+        winner, estimates = estimator.choose([unknown])
+        assert winner is None
+
+    def test_estimate_error_without_stats(self):
+        estimator = RuleCostEstimator(DCSM())
+        plan = Plan((CallStep(make_in(X, "d", "f")),), (X,))
+        with pytest.raises(EstimationError):
+            estimator.estimate(plan)

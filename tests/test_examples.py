@@ -1,0 +1,41 @@
+"""Every shipped example must run clean — they are the quickstart
+deliverable and double as end-to-end smoke tests."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_populated():
+    names = {path.name for path in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 5
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_clean(path: Path):
+    completed = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip(), "examples must print something"
+    assert "Traceback" not in completed.stderr
+
+
+def test_quickstart_shows_cache_win():
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    out = completed.stdout
+    assert "cold" in out and "warm" in out

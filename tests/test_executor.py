@@ -1,0 +1,255 @@
+"""Execution engine tests: streaming timing, membership, backtracking,
+modes, statistics recording."""
+
+import pytest
+
+from repro.cim.manager import CacheInvariantManager
+from repro.core.executor import Executor, MODE_INTERACTIVE
+from repro.core.model import Comparison, make_in
+from repro.core.plans import CallStep, CompareStep, Plan
+from repro.core.terms import AttrPath, Constant, Variable
+from repro.dcsm.module import DCSM
+from repro.domains.base import simple_domain
+from repro.domains.registry import DomainRegistry
+from repro.net.clock import SimClock
+
+X, Y, T = Variable("X"), Variable("Y"), Variable("T")
+
+
+def make_executor(functions, base_cost_ms=10.0, **kwargs):
+    domain = simple_domain("d", functions, base_cost_ms=base_cost_ms)
+    registry = DomainRegistry([domain])
+    clock = SimClock()
+    executor = Executor(registry, clock, init_overhead_ms=0.0,
+                        display_cost_ms=0.0, **kwargs)
+    return executor, clock, domain
+
+
+class TestBasicExecution:
+    def test_single_call_plan(self):
+        executor, _, _ = make_executor({"f": lambda: [1, 2, 3]})
+        plan = Plan((CallStep(make_in(X, "d", "f")),), (X,))
+        result = executor.run(plan)
+        assert result.answers == ((1,), (2,), (3,))
+        assert result.complete
+        assert result.calls == 1
+
+    def test_answers_keep_duplicates_across_branches(self):
+        # two outer answers each joining the same inner value
+        executor, _, _ = make_executor(
+            {"outer": lambda: ["a", "b"], "inner": lambda o: [1]}
+        )
+        plan = Plan(
+            (
+                CallStep(make_in(X, "d", "outer")),
+                CallStep(make_in(Y, "d", "inner", X)),
+            ),
+            (Y,),
+        )
+        result = executor.run(plan)
+        assert result.answers == ((1,), (1,))
+
+    def test_filter_comparison(self):
+        executor, _, _ = make_executor({"f": lambda: [1, 5, 9]})
+        plan = Plan(
+            (
+                CallStep(make_in(X, "d", "f")),
+                CompareStep(Comparison(">", X, Constant(4))),
+            ),
+            (X,),
+        )
+        result = executor.run(plan)
+        assert result.answers == ((5,), (9,))
+
+    def test_binding_comparison(self):
+        executor, _, _ = make_executor({"f": lambda y: [y * 2]})
+        plan = Plan(
+            (
+                CompareStep(Comparison("=", Y, Constant(21))),
+                CallStep(make_in(X, "d", "f", Y)),
+            ),
+            (X, Y),
+        )
+        result = executor.run(plan)
+        assert result.answers == ((42, 21),)
+
+    def test_attrpath_projection(self):
+        from repro.core.terms import Row
+
+        row = Row([("name", "stewart"), ("role", "rupert")])
+        executor, _, _ = make_executor({"f": lambda: [row]})
+        plan = Plan(
+            (
+                CallStep(make_in(T, "d", "f")),
+                CompareStep(Comparison("=", AttrPath(T, ("name",)), X)),
+            ),
+            (X,),
+        )
+        result = executor.run(plan)
+        assert result.answers == (("stewart",),)
+
+    def test_membership_test_success(self):
+        executor, _, _ = make_executor({"f": lambda: [1, 2, 3]})
+        plan = Plan((CallStep(make_in(Constant(2), "d", "f")),), ())
+        result = executor.run(plan)
+        assert result.cardinality == 1  # one (empty) answer: proof of membership
+
+    def test_membership_test_failure(self):
+        executor, _, _ = make_executor({"f": lambda: [1, 2, 3]})
+        plan = Plan((CallStep(make_in(Constant(9), "d", "f")),), ())
+        result = executor.run(plan)
+        assert result.cardinality == 0
+
+    def test_empty_answer_set_prunes_branch(self):
+        executor, _, _ = make_executor(
+            {"outer": lambda: [], "inner": lambda o: [1]}
+        )
+        plan = Plan(
+            (
+                CallStep(make_in(X, "d", "outer")),
+                CallStep(make_in(Y, "d", "inner", X)),
+            ),
+            (Y,),
+        )
+        result = executor.run(plan)
+        assert result.answers == ()
+        assert result.calls == 1  # inner never ran
+
+
+class TestTiming:
+    def test_time_charged_for_whole_stream(self):
+        executor, clock, _ = make_executor(
+            {"f": lambda: ([1, 2, 3], 10.0, 40.0)}
+        )
+        plan = Plan((CallStep(make_in(X, "d", "f")),), (X,))
+        result = executor.run(plan)
+        assert result.t_all_ms == pytest.approx(40.0)
+        assert result.t_first_ms == pytest.approx(10.0)
+
+    def test_empty_result_still_costs(self):
+        executor, clock, _ = make_executor({"f": lambda: ([], 5.0, 5.0)})
+        plan = Plan((CallStep(make_in(X, "d", "f")),), (X,))
+        result = executor.run(plan)
+        assert result.t_all_ms == pytest.approx(5.0)
+        assert result.t_first_ms is None
+
+    def test_first_answer_time_includes_backtracking(self):
+        """Outer answers that fail inner join delay the query's first
+        answer — the §8 backtracking effect."""
+        executor, _, _ = make_executor(
+            {
+                "outer": lambda: (["dead1", "dead2", "live"], 1.0, 3.0),
+                "inner": lambda o: ([1] if o == "live" else [], 50.0, 50.0),
+            }
+        )
+        plan = Plan(
+            (
+                CallStep(make_in(X, "d", "outer")),
+                CallStep(make_in(Y, "d", "inner", X)),
+            ),
+            (X, Y),
+        )
+        result = executor.run(plan)
+        # two dead inner calls (50ms each) happen before the first answer
+        assert result.t_first_ms > 100.0
+
+    def test_init_overhead_and_display_cost(self):
+        domain = simple_domain("d", {"f": lambda: ([1, 2], 1.0, 1.0)})
+        registry = DomainRegistry([domain])
+        clock = SimClock()
+        executor = Executor(
+            registry, clock, init_overhead_ms=100.0, display_cost_ms=10.0
+        )
+        plan = Plan((CallStep(make_in(X, "d", "f")),), (X,))
+        result = executor.run(plan)
+        assert result.t_all_ms >= 100.0 + 1.0 + 2 * 10.0
+
+    def test_single_answer_full_duration(self):
+        executor, _, _ = make_executor({"f": lambda: ([7], 2.0, 30.0)})
+        plan = Plan((CallStep(make_in(X, "d", "f")),), (X,))
+        result = executor.run(plan)
+        assert result.t_all_ms == pytest.approx(30.0)
+        assert result.t_first_ms == pytest.approx(2.0)
+
+
+class TestModes:
+    def test_max_answers_stops_early(self):
+        executor, _, _ = make_executor({"f": lambda: list(range(100))})
+        plan = Plan((CallStep(make_in(X, "d", "f")),), (X,))
+        result = executor.run(plan, max_answers=5)
+        assert result.cardinality == 5
+        assert not result.complete
+
+    def test_early_stop_saves_simulated_time(self):
+        executor, clock, _ = make_executor(
+            {"f": lambda: (list(range(100)), 1.0, 1000.0)}
+        )
+        plan = Plan((CallStep(make_in(X, "d", "f")),), (X,))
+        result = executor.run(plan, max_answers=2)
+        assert result.t_all_ms < 100.0  # nowhere near the 1000ms full cost
+
+    def test_interactive_callback_stops(self):
+        executor, _, _ = make_executor({"f": lambda: list(range(50))})
+        plan = Plan((CallStep(make_in(X, "d", "f")),), (X,))
+        seen_batches = []
+
+        def decide(batch, total):
+            seen_batches.append(list(batch))
+            return total < 20
+
+        result = executor.run(
+            plan, mode=MODE_INTERACTIVE, batch_size=10, continue_callback=decide
+        )
+        assert not result.complete
+        assert result.cardinality == 20
+        assert len(seen_batches) == 2
+
+    def test_interactive_without_callback_runs_to_end(self):
+        executor, _, _ = make_executor({"f": lambda: list(range(25))})
+        plan = Plan((CallStep(make_in(X, "d", "f")),), (X,))
+        result = executor.run(plan, mode=MODE_INTERACTIVE, batch_size=10)
+        assert result.complete
+        assert result.cardinality == 25
+
+    def test_unknown_mode_rejected(self):
+        executor, _, _ = make_executor({"f": lambda: [1]})
+        plan = Plan((CallStep(make_in(X, "d", "f")),), (X,))
+        with pytest.raises(Exception):
+            executor.run(plan, mode="bogus")
+
+
+class TestStatisticsRecording:
+    def test_dcsm_records_real_calls(self):
+        domain = simple_domain("d", {"f": lambda: [1, 2]})
+        registry = DomainRegistry([domain])
+        clock = SimClock()
+        dcsm = DCSM(clock=clock)
+        executor = Executor(registry, clock, dcsm=dcsm,
+                            init_overhead_ms=0.0, display_cost_ms=0.0)
+        plan = Plan((CallStep(make_in(X, "d", "f")),), (X,))
+        executor.run(plan)
+        assert dcsm.observation_count() == 1
+
+    def test_recording_disabled(self):
+        domain = simple_domain("d", {"f": lambda: [1]})
+        registry = DomainRegistry([domain])
+        clock = SimClock()
+        dcsm = DCSM(clock=clock)
+        executor = Executor(registry, clock, dcsm=dcsm, record_statistics=False,
+                            init_overhead_ms=0.0, display_cost_ms=0.0)
+        plan = Plan((CallStep(make_in(X, "d", "f")),), (X,))
+        executor.run(plan)
+        assert dcsm.observation_count() == 0
+
+    def test_cim_routed_calls_hit_cache_second_time(self):
+        domain = simple_domain("d", {"f": lambda: ([1, 2], 10.0, 100.0)})
+        registry = DomainRegistry([domain])
+        clock = SimClock()
+        cim = CacheInvariantManager(registry, clock)
+        executor = Executor(registry, clock, cim=cim,
+                            init_overhead_ms=0.0, display_cost_ms=0.0)
+        plan = Plan((CallStep(make_in(X, "d", "f"), via_cim=True),), (X,))
+        first = executor.run(plan)
+        second = executor.run(plan)
+        assert second.t_all_ms < first.t_all_ms / 10
+        assert second.provenance["cache"] == 1

@@ -1,0 +1,169 @@
+"""Fast unit tests for the experiment harness itself (the heavyweight
+shape-asserting runs live in benchmarks/)."""
+
+import pytest
+
+from repro.experiments import figure5, figure6, observations, summarization
+from repro.experiments.harness import (
+    fresh_rope_testbed,
+    plan_starting_with,
+    train_rope_dcsm,
+)
+from repro.experiments.reporting import fmt_ms, fmt_ratio, format_table
+
+
+class TestReporting:
+    def test_fmt_ms(self):
+        assert fmt_ms(None) == "-"
+        assert fmt_ms(1234.4) == "1234"
+        assert fmt_ms(3.14159) == "3.14"
+        assert fmt_ms(50, width=8) == "      50"
+
+    def test_fmt_ratio(self):
+        assert fmt_ratio(None) == "-"
+        assert fmt_ratio(2.0) == "2.00x"
+
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["col", "x"], [["a", 1], ["longer", 22]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1  # all rows same width
+
+    def test_format_table_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestHarness:
+    def test_fresh_testbed_is_cold(self):
+        mediator = fresh_rope_testbed()
+        assert mediator.dcsm.observation_count() == 0
+        assert len(mediator.cim.cache) == 0
+        assert mediator.clock.now_ms == 0.0
+
+    def test_training_populates_statistics_not_cache(self):
+        mediator = fresh_rope_testbed()
+        recorded = train_rope_dcsm(mediator, instantiations=5)
+        assert recorded > 10
+        assert mediator.dcsm.observation_count() == recorded
+        assert len(mediator.cim.cache) == 0
+
+    def test_training_via_cim_warms_cache(self):
+        mediator = fresh_rope_testbed()
+        train_rope_dcsm(mediator, instantiations=5, record_via_cim=True)
+        assert len(mediator.cim.cache) > 0
+
+    def test_plan_starting_with(self):
+        mediator = fresh_rope_testbed()
+        plans = mediator.plans("?- query1(4, 47, Object, Size).")
+        plan = plan_starting_with(plans, "video_size")
+        assert plan.call_steps()[0].atom.call.function == "video_size"
+        with pytest.raises(LookupError):
+            plan_starting_with(plans, "no_such_function")
+
+
+class TestFigure5Config:
+    def test_query_specs_cover_paper_groups(self):
+        labels = [spec.label for spec in figure5.QUERY_SPECS]
+        assert any("actors" in label for label in labels)
+        assert any("4 and 47" in label for label in labels)
+        assert any("4 and 127" in label for label in labels)
+
+    def test_warm_calls_reference_real_video(self):
+        for spec in figure5.QUERY_SPECS:
+            for warm in (spec.eq_warm, spec.partial_warm):
+                if warm is not None:
+                    assert warm.domain == "video"
+                    assert warm.args[0] == "rope"
+
+    def test_single_cell_measurement(self):
+        spec = figure5.QUERY_SPECS[2]  # objects 4..47
+        row = figure5._measure(
+            spec, "no cache, no invar.", "cornell", None, False, seed=0
+        )
+        assert row.tuples == spec.expected_tuples
+        assert row.t_all_ms > row.t_first_ms > 0
+
+
+class TestFigure6Config:
+    def test_variant_labels(self):
+        labels = [variant.label for variant in figure6.VARIANTS]
+        assert labels == ["query1", "query1'", "query2", "query2'", "query3", "query4"]
+
+    def test_plan_selection_distinguishes_primes(self):
+        mediator = fresh_rope_testbed()
+        plan_unprimed = figure6._select_plan(mediator, figure6.VARIANTS[0])
+        plan_primed = figure6._select_plan(mediator, figure6.VARIANTS[1])
+        assert plan_unprimed.signature() != plan_primed.signature()
+
+    def test_query2_orders(self):
+        mediator = fresh_rope_testbed()
+        q2 = figure6._select_plan(mediator, figure6.VARIANTS[2])
+        q2p = figure6._select_plan(mediator, figure6.VARIANTS[3])
+        order = tuple(s.atom.call.function for s in q2.call_steps())
+        order_p = tuple(s.atom.call.function for s in q2p.call_steps())
+        assert order == ("frames_to_objects", "object_to_frames", "equal")
+        assert order_p == ("frames_to_objects", "equal", "object_to_frames")
+
+    def test_prediction_errors_math(self):
+        rows = [
+            figure6.Fig6Row("q", 1.0, 1.0, 1.0, 100.0, 110.0, 200.0),
+            figure6.Fig6Row("r", 1.0, 1.0, 1.0, 100.0, 90.0, 50.0),
+        ]
+        errors = figure6.prediction_errors(rows)
+        assert errors["lossless"] == pytest.approx(0.1)
+        assert errors["lossy"] == pytest.approx(0.75)
+
+
+class TestObservationsHelpers:
+    def test_margin(self):
+        assert observations._margin(1.0, 2.0) == pytest.approx(0.5)
+        assert observations._margin(0.0, 0.0) == 0.0
+
+    def test_summarize_buckets(self):
+        outcomes = [
+            observations.PairOutcome("p", (1, 2), 0.8, True, 0.6, True),
+            observations.PairOutcome("p", (1, 2), 0.8, True, 0.1, False),
+            observations.PairOutcome("p", (1, 2), 0.8, False, 0.1, None),
+        ]
+        summary = observations.summarize(outcomes)
+        assert summary.accuracy_all == pytest.approx(2 / 3)
+        assert summary.accuracy_first_large_margin == 1.0
+        assert summary.accuracy_first_small_margin == 0.0
+        assert summary.pairs_measured == 3
+
+    def test_plan_pair_unknown(self):
+        mediator = fresh_rope_testbed()
+        with pytest.raises(LookupError):
+            observations._plan_pair(mediator, "nope", 1, 2)
+
+
+class TestSummarizationHelpers:
+    def test_training_calls_deterministic_and_valid(self):
+        calls_a = summarization._training_calls(30, seed=1)
+        calls_b = summarization._training_calls(30, seed=1)
+        assert calls_a == calls_b
+        assert len(calls_a) == 30
+        for call in calls_a:
+            if call.function == "frames_to_objects":
+                __, first, last = call.args
+                assert first <= last
+
+    def test_configure_rejects_unknown_mode(self):
+        from repro.dcsm.module import DCSM
+
+        with pytest.raises(ValueError):
+            summarization._configure(DCSM(), "quantum")
+
+    def test_hidden_program_analysis_drops_object_dim(self):
+        from repro.core.parser import parse_program
+        from repro.dcsm.summary import lossy_dims_from_program
+
+        program = parse_program(summarization.HIDDEN_PROGRAM)
+        dims = lossy_dims_from_program(program, "video", "object_to_frames", 2)
+        assert dims == (0,)  # the object argument is dropped
+        dims = lossy_dims_from_program(program, "video", "frames_to_objects", 3)
+        assert dims == (0, 1, 2)  # interval bounds stay

@@ -1,0 +1,232 @@
+"""Tests for the face-recognition and text-retrieval substrates,
+including their invariants through the CIM."""
+
+import pytest
+
+from repro.cim.manager import CacheInvariantManager, CimPolicy
+from repro.core.model import GroundCall
+from repro.core.parser import parse_invariant
+from repro.domains.faces import (
+    FACE_FLOOR_INVARIANT,
+    FACE_THRESHOLD_INVARIANT,
+    FaceDomain,
+    cosine,
+)
+from repro.domains.registry import DomainRegistry
+from repro.domains.text import (
+    TEXT_COMMUTE_INVARIANT,
+    TEXT_CONJUNCTION_INVARIANT,
+    TextDomain,
+    sample_newswire,
+    tokenize,
+)
+from repro.errors import BadCallError
+from repro.net.clock import SimClock
+
+
+# ---------------------------------------------------------------------------
+# Faces
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def faces() -> FaceDomain:
+    domain = FaceDomain(dimensions=8)
+    # generous spread: a smooth similarity distribution so thresholds
+    # between 0 and 1 separate faces
+    domain.enroll_random([f"face{i:02d}" for i in range(20)], seed=3, spread=0.8)
+    return domain
+
+
+class TestFaceDomain:
+    def test_vectors_normalized(self, faces):
+        for face_id in faces.face_ids():
+            vector = faces.features(face_id)
+            assert sum(x * x for x in vector) == pytest.approx(1.0)
+
+    def test_match_includes_self(self, faces):
+        result = faces.execute(GroundCall("faces", "match", ("face00", 0.99)))
+        assert any(row.name == "face00" for row in result.answers)
+
+    def test_match_threshold_monotone(self, faces):
+        loose = faces.execute(GroundCall("faces", "match", ("face00", 0.0)))
+        tight = faces.execute(GroundCall("faces", "match", ("face00", 0.9)))
+        loose_names = {row.name for row in loose.answers}
+        tight_names = {row.name for row in tight.answers}
+        assert tight_names <= loose_names
+        assert len(loose_names) > len(tight_names)
+
+    def test_match_floor_returns_whole_gallery(self, faces):
+        everything = faces.execute(GroundCall("faces", "match", ("face00", -1)))
+        assert len(everything.answers) == 20
+
+    def test_best_match_excludes_self(self, faces):
+        result = faces.execute(GroundCall("faces", "best_match", ("face00",)))
+        assert result.cardinality == 1
+        assert result.answers[0].name != "face00"
+        # best-match cannot stream
+        assert result.t_first_ms == result.t_all_ms
+
+    def test_similarity_symmetric(self, faces):
+        ab = faces.execute(GroundCall("faces", "similarity", ("face00", "face01")))
+        ba = faces.execute(GroundCall("faces", "similarity", ("face01", "face00")))
+        assert ab.answers == ba.answers
+
+    def test_clustered_enrollment_is_meaningful(self, faces):
+        # same-cluster faces (i % 4 equal) are closer than cross-cluster
+        same = cosine(faces.features("face00"), faces.features("face04"))
+        cross = cosine(faces.features("face00"), faces.features("face01"))
+        assert same > cross
+
+    def test_unknown_face(self, faces):
+        with pytest.raises(BadCallError):
+            faces.execute(GroundCall("faces", "match", ("nobody", 0.5)))
+
+    def test_bad_threshold(self, faces):
+        with pytest.raises(BadCallError):
+            faces.execute(GroundCall("faces", "match", ("face00", "high")))
+
+    def test_dimension_validation(self):
+        domain = FaceDomain(dimensions=4)
+        with pytest.raises(BadCallError):
+            domain.add_face("x", [1.0, 2.0])
+        with pytest.raises(BadCallError):
+            domain.add_face("x", [0.0, 0.0, 0.0, 0.0])
+
+    def test_duplicate_face(self, faces):
+        with pytest.raises(BadCallError):
+            faces.add_face("face00", [1.0] * 8)
+
+    def test_cost_grows_with_gallery(self):
+        small = FaceDomain(dimensions=4)
+        small.enroll_random(["a", "b"], seed=1)
+        big = FaceDomain(dimensions=4)
+        big.enroll_random([f"f{i}" for i in range(100)], seed=1)
+        small_t = small.execute(GroundCall("faces", "match", ("a", 0.0))).t_all_ms
+        big_t = big.execute(GroundCall("faces", "match", ("f0", 0.0))).t_all_ms
+        assert big_t > 5 * small_t
+
+
+class TestFaceInvariants:
+    def make_cim(self, faces):
+        registry = DomainRegistry([faces])
+        return CacheInvariantManager(
+            registry,
+            SimClock(),
+            invariants=[
+                parse_invariant(FACE_THRESHOLD_INVARIANT),
+                parse_invariant(FACE_FLOOR_INVARIANT),
+            ],
+        )
+
+    def test_threshold_containment_partial_hit(self, faces):
+        cim = self.make_cim(faces)
+        cim.lookup(GroundCall("faces", "match", ("face00", 0.8)))
+        result = cim.lookup(GroundCall("faces", "match", ("face00", 0.3)))
+        assert result.provenance == "invariant-partial"
+        assert result.complete
+
+    def test_partial_answers_sound(self, faces):
+        cim = self.make_cim(faces)
+        cim.lookup(GroundCall("faces", "match", ("face00", 0.8)))
+        cim.policy = CimPolicy.PARTIAL_ONLY
+        partial = cim.lookup(GroundCall("faces", "match", ("face00", 0.3)))
+        truth = faces.execute(GroundCall("faces", "match", ("face00", 0.3)))
+        assert set(partial.answers) <= set(truth.answers)
+
+    def test_floor_equality_hit(self, faces):
+        cim = self.make_cim(faces)
+        cim.lookup(GroundCall("faces", "match", ("face00", -1)))
+        result = cim.lookup(GroundCall("faces", "match", ("face00", -5)))
+        assert result.provenance == "invariant-eq"
+        assert result.cardinality == 20
+
+
+# ---------------------------------------------------------------------------
+# Text
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def corpus() -> TextDomain:
+    domain = TextDomain()
+    domain.add_documents(sample_newswire())
+    return domain
+
+
+class TestTokenizer:
+    def test_lowercase_and_punctuation(self):
+        assert tokenize("Hello, World!") == ["hello", "world"]
+
+    def test_hyphen_and_apostrophe_kept(self):
+        assert tokenize("h-22 fuel isn't") == ["h-22", "fuel", "isn't"]
+
+
+class TestTextDomain:
+    def test_search(self, corpus):
+        result = corpus.execute(GroundCall("text", "search", ("video",)))
+        assert set(result.answers) == {"d002", "d010"}
+
+    def test_search_case_insensitive(self, corpus):
+        upper = corpus.execute(GroundCall("text", "search", ("VIDEO",)))
+        lower = corpus.execute(GroundCall("text", "search", ("video",)))
+        assert upper.answers == lower.answers
+
+    def test_search_and_intersects(self, corpus):
+        result = corpus.execute(GroundCall("text", "search_and", ("video", "rope")))
+        assert set(result.answers) == {"d010"}
+
+    def test_search_no_hits(self, corpus):
+        result = corpus.execute(GroundCall("text", "search", ("xylophone",)))
+        assert result.answers == ()
+
+    def test_headline(self, corpus):
+        result = corpus.execute(GroundCall("text", "headline", ("d003",)))
+        assert "Hitchcock" in result.answers[0]
+
+    def test_doc_count(self, corpus):
+        result = corpus.execute(GroundCall("text", "doc_count", ()))
+        assert result.answers == (10,)
+
+    def test_unknown_document(self, corpus):
+        with pytest.raises(BadCallError):
+            corpus.execute(GroundCall("text", "headline", ("d999",)))
+
+    def test_duplicate_document(self, corpus):
+        with pytest.raises(BadCallError):
+            corpus.add_document("d001", "dup", "")
+
+    def test_non_string_keyword(self, corpus):
+        with pytest.raises(BadCallError):
+            corpus.execute(GroundCall("text", "search", (42,)))
+
+    def test_cost_scales_with_postings(self, corpus):
+        rare = corpus.execute(GroundCall("text", "search", ("hitchcock",)))
+        common = corpus.execute(GroundCall("text", "search", ("the",)))
+        assert common.t_all_ms >= rare.t_all_ms
+
+
+class TestTextInvariants:
+    def make_cim(self, corpus):
+        registry = DomainRegistry([corpus])
+        return CacheInvariantManager(
+            registry,
+            SimClock(),
+            invariants=[
+                parse_invariant(TEXT_CONJUNCTION_INVARIANT),
+                parse_invariant(TEXT_COMMUTE_INVARIANT),
+            ],
+        )
+
+    def test_conjunction_partial_hit(self, corpus):
+        cim = self.make_cim(corpus)
+        cim.lookup(GroundCall("text", "search_and", ("video", "rope")))
+        result = cim.lookup(GroundCall("text", "search", ("video",)))
+        assert result.provenance == "invariant-partial"
+        assert set(result.answers) == {"d010", "d002"}  # cached first, then rest
+
+    def test_commutativity_equality_hit(self, corpus):
+        cim = self.make_cim(corpus)
+        cim.lookup(GroundCall("text", "search_and", ("rope", "video")))
+        result = cim.lookup(GroundCall("text", "search_and", ("video", "rope")))
+        assert result.provenance == "invariant-eq"

@@ -1,0 +1,149 @@
+"""Failure-injection tests: outages mid-plan, flaky sources, bad data.
+
+The paper motivates caching with "temporary unavailability" — these
+tests pin down how failures surface and what state they leave behind."""
+
+import pytest
+
+from repro.cim.manager import CacheInvariantManager
+from repro.core.mediator import Mediator
+from repro.core.model import GroundCall
+from repro.domains.base import Domain, simple_domain
+from repro.domains.registry import DomainRegistry
+from repro.errors import (
+    BadCallError,
+    NotGroundError,
+    SourceUnavailableError,
+    UnknownDomainError,
+    UnknownFunctionError,
+)
+from repro.net.clock import SimClock
+from repro.net.latency import Outage
+from repro.net.sites import custom_site
+from repro.net.remote import RemoteDomain
+
+
+class TestOutagesMidPlan:
+    def make(self, outage: Outage) -> Mediator:
+        mediator = Mediator()
+        clock = mediator.clock
+        inner = simple_domain("remote", {"f": lambda x: ([x * 2], 100.0, 100.0)})
+        site = custom_site("flaky", 10, 10, 1000)
+        site = type(site)(site.name, site.region, site.latency.with_outages(outage))
+        mediator.registry.add(RemoteDomain(inner, site, clock))
+        mediator.register_domain(
+            simple_domain("local", {"g": lambda: ([1, 2, 3], 5.0, 15.0)})
+        )
+        mediator.load_program(
+            "p(X, Y) :- in(X, local:g()) & in(Y, remote:f(X))."
+        )
+        return mediator
+
+    def test_outage_mid_plan_propagates(self):
+        # outage begins after the first remote call completes
+        mediator = self.make(Outage(150.0, 1e9))
+        with pytest.raises(SourceUnavailableError) as excinfo:
+            mediator.query("?- p(X, Y).")
+        assert excinfo.value.domain == "remote"
+        assert excinfo.value.site == "flaky"
+
+    def test_clock_reflects_work_done_before_failure(self):
+        mediator = self.make(Outage(150.0, 1e9))
+        with pytest.raises(SourceUnavailableError):
+            mediator.query("?- p(X, Y).")
+        # the local call and the first remote call were charged
+        assert mediator.clock.now_ms > 100.0
+
+    def test_statistics_from_successful_prefix_kept(self):
+        mediator = self.make(Outage(150.0, 1e9))
+        with pytest.raises(SourceUnavailableError):
+            mediator.query("?- p(X, Y).")
+        assert mediator.dcsm.observation_count() >= 1
+
+    def test_recovery_after_outage(self):
+        mediator = self.make(Outage(150.0, 300.0))
+        with pytest.raises(SourceUnavailableError):
+            mediator.query("?- p(X, Y).")
+        mediator.clock.advance_to(400.0)
+        result = mediator.query("?- p(X, Y).")
+        assert result.cardinality == 3
+
+    def test_cached_prefix_survives_for_cim_queries(self):
+        mediator = self.make(Outage(1e8, 2e8))  # far future: warm first
+        mediator.query("?- p(X, Y).", use_cim=True)
+        mediator.clock.advance_to(1.5e8)  # inside the outage
+        result = mediator.query("?- p(X, Y).", use_cim=True)
+        assert result.cardinality == 3  # fully served from cache
+        assert result.execution.provenance["cache"] >= 3
+
+
+class TestBadSources:
+    def test_unknown_domain_at_execution(self):
+        mediator = Mediator()
+        mediator.register_domain(simple_domain("d", {"f": lambda: [1]}))
+        mediator.load_program("p(X) :- in(X, ghost:f()).")
+        with pytest.raises(UnknownDomainError):
+            mediator.query("?- p(X).")
+
+    def test_unknown_function(self):
+        mediator = Mediator()
+        mediator.register_domain(simple_domain("d", {"f": lambda: [1]}))
+        mediator.load_program("p(X) :- in(X, d:zap()).")
+        with pytest.raises(UnknownFunctionError):
+            mediator.query("?- p(X).")
+
+    def test_wrong_arity_raises_bad_call(self):
+        mediator = Mediator()
+        mediator.register_domain(simple_domain("d", {"f": lambda x: [x]}))
+        mediator.load_program("p(X) :- in(X, d:f(1, 2)).")
+        with pytest.raises(BadCallError):
+            mediator.query("?- p(X).")
+
+    def test_implementation_returning_garbage(self):
+        domain = Domain("d")
+        domain.register("bad", lambda: 42, arity=0)
+        with pytest.raises(BadCallError):
+            domain.execute(GroundCall("d", "bad", ()))
+
+    def test_source_exception_propagates_with_context(self):
+        def broken():
+            raise ValueError("disk on fire")
+
+        mediator = Mediator()
+        mediator.register_domain(simple_domain("d", {"f": broken}))
+        mediator.load_program("p(X) :- in(X, d:f()).")
+        with pytest.raises(ValueError, match="disk on fire"):
+            mediator.query("?- p(X).")
+
+    def test_inverted_timings_rejected(self):
+        domain = simple_domain("d", {"f": lambda: ([1], 10.0, 5.0)})
+        result = domain.execute(GroundCall("d", "f", ()))
+        # normalised rather than rejected: t_all floored to t_first
+        assert result.t_all_ms >= result.t_first_ms
+
+
+class TestCimUnderFailure:
+    def test_observer_exception_does_not_corrupt_cache(self):
+        calls = {"n": 0}
+
+        def observer(result):
+            calls["n"] += 1
+            raise RuntimeError("telemetry down")
+
+        domain = simple_domain("d", {"f": lambda: [1]})
+        cim = CacheInvariantManager(
+            DomainRegistry([domain]), SimClock(), observer=observer
+        )
+        with pytest.raises(RuntimeError):
+            cim.lookup(GroundCall("d", "f", ()))
+        # the result WAS cached before the observer blew up
+        hit = cim.lookup(GroundCall("d", "f", ()))
+        assert hit.provenance == "cache"
+
+    def test_nonground_call_rejected_before_dispatch(self):
+        from repro.core.model import DomainCall
+        from repro.core.terms import Variable
+
+        call = DomainCall("d", "f", (Variable("X"),))
+        with pytest.raises(NotGroundError):
+            call.ground({})

@@ -1,0 +1,133 @@
+"""Invariant matching tests (paper §4.1 semantics)."""
+
+import pytest
+
+from repro.cim.cache import ResultCache
+from repro.cim.invariants import InvariantIndex, match_invariants
+from repro.core.model import GroundCall, INVARIANT_EQ, INVARIANT_SUPSET
+from repro.core.parser import parse_invariant
+
+
+def f2o(first: int, last: int, video: str = "rope") -> GroundCall:
+    return GroundCall("video", "frames_to_objects", (video, first, last))
+
+
+CONTAINMENT = parse_invariant(
+    "F1 <= F2 & L2 <= L1 => "
+    "video:frames_to_objects(V, F1, L1) >= video:frames_to_objects(V, F2, L2)."
+)
+CLIP = parse_invariant(
+    "Last >= 240 => video:frames_to_objects(V, First, Last) = "
+    "video:frames_to_objects(V, First, 240)."
+)
+SHRINK = parse_invariant(
+    "Dist > 142 => spatial:range('points', X, Y, Dist) = "
+    "spatial:range('points', X, Y, 142)."
+)
+
+
+class TestIndex:
+    def test_indexed_by_left_function(self):
+        index = InvariantIndex([CONTAINMENT, SHRINK])
+        assert len(index.candidates_for(f2o(1, 2))) == 1
+        spatial_call = GroundCall("spatial", "range", ("points", 1.0, 2.0, 999.0))
+        assert len(index.candidates_for(spatial_call)) == 1
+
+    def test_iteration(self):
+        index = InvariantIndex([CONTAINMENT])
+        assert list(index) == [CONTAINMENT]
+
+
+class TestEqualityMatching:
+    def test_shrink_invariant(self):
+        cache = ResultCache()
+        cached = GroundCall("spatial", "range", ("points", 5.0, 5.0, 142))
+        cache.put(cached, ("p1", "p2"))
+        index = InvariantIndex([SHRINK])
+        request = GroundCall("spatial", "range", ("points", 5.0, 5.0, 500))
+        match = match_invariants(index, request, cache)
+        assert match is not None
+        assert match.is_equality
+        assert match.entry.answers == ("p1", "p2")
+
+    def test_condition_blocks_small_radius(self):
+        cache = ResultCache()
+        cache.put(GroundCall("spatial", "range", ("points", 5.0, 5.0, 142)), ("p1",))
+        index = InvariantIndex([SHRINK])
+        request = GroundCall("spatial", "range", ("points", 5.0, 5.0, 100))
+        assert match_invariants(index, request, cache) is None
+
+    def test_clip_invariant_with_shared_variable(self):
+        cache = ResultCache()
+        cache.put(f2o(4, 240), ("a", "b"))
+        index = InvariantIndex([CLIP])
+        match = match_invariants(index, f2o(4, 9999), cache)
+        assert match is not None and match.is_equality
+
+    def test_different_video_does_not_match(self):
+        cache = ResultCache()
+        cache.put(f2o(4, 240, video="vertigo"), ("x",))
+        index = InvariantIndex([CLIP])
+        assert match_invariants(index, f2o(4, 9999, video="rope"), cache) is None
+
+
+class TestContainmentMatching:
+    def test_narrower_cached_interval_matches(self):
+        cache = ResultCache()
+        cache.put(f2o(4, 47), ("a", "b", "c"))
+        index = InvariantIndex([CONTAINMENT])
+        match = match_invariants(index, f2o(4, 127), cache)
+        assert match is not None
+        assert match.relation == INVARIANT_SUPSET
+        assert match.entry.call == f2o(4, 47)
+
+    def test_wider_cached_interval_rejected(self):
+        """Serving a superset's answers would be unsound."""
+        cache = ResultCache()
+        cache.put(f2o(1, 200), ("a", "b", "c", "d"))
+        index = InvariantIndex([CONTAINMENT])
+        assert match_invariants(index, f2o(4, 47), cache) is None
+
+    def test_largest_partial_preferred(self):
+        cache = ResultCache()
+        cache.put(f2o(4, 20), ("a",))
+        cache.put(f2o(4, 60), ("a", "b", "c"))
+        index = InvariantIndex([CONTAINMENT])
+        match = match_invariants(index, f2o(4, 127), cache)
+        assert match.entry.call == f2o(4, 60)
+
+    def test_equality_beats_containment(self):
+        cache = ResultCache()
+        cache.put(f2o(4, 60), ("a", "b"))
+        cache.put(f2o(4, 240), ("a", "b", "c", "d"))
+        index = InvariantIndex([CONTAINMENT, CLIP])
+        match = match_invariants(index, f2o(4, 99999), cache)
+        assert match.is_equality
+
+    def test_incomplete_entries_ignored(self):
+        cache = ResultCache()
+        cache.put(f2o(4, 47), ("a",), complete=False)
+        index = InvariantIndex([CONTAINMENT])
+        assert match_invariants(index, f2o(4, 127), cache) is None
+
+    def test_relations_filter(self):
+        cache = ResultCache()
+        cache.put(f2o(4, 47), ("a",))
+        index = InvariantIndex([CONTAINMENT])
+        only_eq = match_invariants(
+            index, f2o(4, 127), cache, relations=(INVARIANT_EQ,)
+        )
+        assert only_eq is None
+
+    def test_empty_cache(self):
+        index = InvariantIndex([CONTAINMENT, CLIP])
+        assert match_invariants(index, f2o(1, 10), ResultCache()) is None
+
+    def test_identity_interval_matches_itself_via_invariant(self):
+        # F1<=F1 & L1<=L1 holds: the cached exact call is also a (trivial)
+        # containment candidate — the manager prefers exact hits anyway
+        cache = ResultCache()
+        cache.put(f2o(4, 47), ("a",))
+        index = InvariantIndex([CONTAINMENT])
+        match = match_invariants(index, f2o(4, 47), cache)
+        assert match is not None

@@ -1,0 +1,184 @@
+"""MACS substrate tests, plus the subpath_of/prefix_of language extension."""
+
+import pytest
+
+from repro.cim.manager import CacheInvariantManager, CimPolicy
+from repro.core.mediator import Mediator
+from repro.core.model import Comparison, GroundCall, evaluate_comparison
+from repro.core.parser import parse_invariant, parse_literal
+from repro.core.terms import Constant, Variable
+from repro.domains.macs import (
+    MACS_SUBTREE_INVARIANT,
+    MacsDomain,
+    MediaAsset,
+    sample_catalog,
+)
+from repro.domains.registry import DomainRegistry
+from repro.errors import BadCallError
+from repro.net.clock import SimClock
+
+
+# ---------------------------------------------------------------------------
+# The comparison-language extension
+# ---------------------------------------------------------------------------
+
+
+class TestPathComparisons:
+    def test_prefix_of_raw(self):
+        assert evaluate_comparison("prefix_of", "a.b", "a.bc")
+        assert evaluate_comparison("prefix_of", "a.b", "a.b.c")
+        assert not evaluate_comparison("prefix_of", "a.b", "a")
+
+    def test_subpath_of_component_aware(self):
+        assert evaluate_comparison("subpath_of", "a.b", "a.b")
+        assert evaluate_comparison("subpath_of", "a.b", "a.b.c")
+        assert not evaluate_comparison("subpath_of", "a.b", "a.bc")
+
+    def test_non_strings_never_match(self):
+        assert not evaluate_comparison("prefix_of", 1, "1x")
+        assert not evaluate_comparison("subpath_of", "a", 7)
+
+    def test_negations(self):
+        assert evaluate_comparison("not_prefix_of", "x", "y")
+        comparison = Comparison("subpath_of", Variable("A"), Variable("B"))
+        assert comparison.negated().op == "not_subpath_of"
+
+    def test_parser_prefix_form(self):
+        literal = parse_literal("prefix_of('media.video', P)")
+        assert isinstance(literal, Comparison)
+        assert literal.op == "prefix_of"
+        assert literal.left == Constant("media.video")
+
+    def test_str_round_trip(self):
+        literal = parse_literal("subpath_of(P1, P2)")
+        assert parse_literal(str(literal)) == literal
+
+    def test_named_op_in_rule_body_as_filter(self):
+        from repro.domains.base import simple_domain
+
+        mediator = Mediator()
+        mediator.register_domain(
+            simple_domain("d", {"paths": lambda: ["a.b", "a.b.c", "a.bc"]})
+        )
+        mediator.load_program(
+            "under(P) :- in(P, d:paths()) & subpath_of('a.b', P)."
+        )
+        result = mediator.query("?- under(P).")
+        assert sorted(result.column("P")) == ["a.b", "a.b.c"]
+
+
+# ---------------------------------------------------------------------------
+# The MACS domain
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def macs() -> MacsDomain:
+    domain = MacsDomain()
+    domain.add_assets(sample_catalog())
+    return domain
+
+
+class TestMacsDomain:
+    def test_in_category_subtree(self, macs):
+        result = macs.execute(GroundCall("macs", "in_category", ("media.video.film",)))
+        assert set(result.answers) == {"A001", "A002", "A003", "A007"}
+
+    def test_component_boundary_respected(self, macs):
+        result = macs.execute(GroundCall("macs", "in_category", ("media.video",)))
+        assert "A010" not in result.answers  # media.videoessay excluded
+        assert "A009" in result.answers
+
+    def test_exact_category(self, macs):
+        result = macs.execute(
+            GroundCall("macs", "in_category", ("media.video.documentary",))
+        )
+        assert result.answers == ("A004",)
+
+    def test_asset_lookup(self, macs):
+        result = macs.execute(GroundCall("macs", "asset", ("A001",)))
+        row = result.answers[0]
+        assert row.title == "Rope"
+        assert row.category == "media.video.film.thriller"
+
+    def test_tagged(self, macs):
+        result = macs.execute(GroundCall("macs", "tagged", ("hitchcock",)))
+        assert set(result.answers) == {"A001", "A002", "A007"}
+
+    def test_categories(self, macs):
+        result = macs.execute(GroundCall("macs", "categories", ()))
+        assert "media.video.film.thriller" in result.answers
+        assert len(result.answers) == len(set(result.answers))
+
+    def test_validation(self, macs):
+        with pytest.raises(BadCallError):
+            macs.execute(GroundCall("macs", "asset", ("A999",)))
+        with pytest.raises(BadCallError):
+            macs.execute(GroundCall("macs", "in_category", ("",)))
+        with pytest.raises(BadCallError):
+            macs.add_asset(MediaAsset("A001", "x", "dup"))
+        with pytest.raises(BadCallError):
+            macs.add_asset(MediaAsset("A011", ".bad", "t"))
+
+
+class TestMacsInvariant:
+    def make_cim(self, macs):
+        return CacheInvariantManager(
+            DomainRegistry([macs]),
+            SimClock(),
+            invariants=[parse_invariant(MACS_SUBTREE_INVARIANT)],
+        )
+
+    def test_narrow_cached_serves_broad_partial(self, macs):
+        cim = self.make_cim(macs)
+        cim.lookup(GroundCall("macs", "in_category", ("media.video.film",)))
+        result = cim.lookup(GroundCall("macs", "in_category", ("media.video",)))
+        assert result.provenance == "invariant-partial"
+        assert result.complete
+        truth = macs.execute(GroundCall("macs", "in_category", ("media.video",)))
+        assert set(result.answers) == set(truth.answers)
+
+    def test_boundary_case_is_not_matched(self, macs):
+        """The soundness trap: cached 'media.videoessay' must NOT serve
+        partial answers for 'media.video'... wait — it legitimately may
+        not, since A010 is outside that subtree."""
+        cim = self.make_cim(macs)
+        cim.lookup(GroundCall("macs", "in_category", ("media.videoessay",)))
+        cim.policy = CimPolicy.PARTIAL_ONLY
+        result = cim.lookup(GroundCall("macs", "in_category", ("media.video",)))
+        # no (unsound) partial hit: the only cached entry is out of subtree
+        truth = macs.execute(GroundCall("macs", "in_category", ("media.video",)))
+        assert set(result.answers) <= set(truth.answers)
+        assert "A010" not in result.answers
+
+    def test_partial_only_soundness_sweep(self, macs):
+        prefixes = [
+            "media", "media.video", "media.video.film",
+            "media.video.film.thriller", "media.audio", "media.videoessay",
+        ]
+        for warm in prefixes:
+            for ask in prefixes:
+                cim = self.make_cim(macs)
+                cim.lookup(GroundCall("macs", "in_category", (warm,)))
+                cim.policy = CimPolicy.PARTIAL_ONLY
+                got = cim.lookup(GroundCall("macs", "in_category", (ask,)))
+                truth = macs.execute(GroundCall("macs", "in_category", (ask,)))
+                assert set(got.answers) <= set(truth.answers), (warm, ask)
+
+
+class TestMacsMediation:
+    def test_cross_source_with_avis(self, macs):
+        from repro.workloads.datasets import build_rope_avis
+
+        mediator = Mediator()
+        mediator.register_domain(macs, site="cornell")
+        mediator.register_domain(build_rope_avis(), site="italy")
+        mediator.load_program(
+            """
+            thriller_titles(T) :-
+                in(A, macs:in_category('media.video.film.thriller')) &
+                in(R, macs:asset(A)) & =(R.title, T).
+            """
+        )
+        result = mediator.query("?- thriller_titles(T).")
+        assert sorted(result.column("T")) == ["Rope", "The 39 Steps", "Vertigo"]

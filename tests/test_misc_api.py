@@ -1,0 +1,281 @@
+"""Edge-case and small-API tests across modules (branches the big suites
+don't reach)."""
+
+import pytest
+
+from repro.core.answers import QueryResult
+from repro.core.mediator import Mediator
+from repro.core.model import Predicate, Program, Query, Rule
+from repro.core.parser import parse_program, parse_rule
+from repro.core.terms import Constant, Variable
+from repro.domains.base import Domain, simple_domain
+from repro.domains.registry import DomainRegistry
+from repro.errors import ReproError
+from repro.net.sites import custom_site, make_site
+
+
+class TestMediatorApiVariants:
+    def test_load_program_object(self):
+        mediator = Mediator()
+        mediator.register_domain(simple_domain("d", {"f": lambda: [1]}))
+        program = parse_program("p(X) :- in(X, d:f()).")
+        mediator.load_program(program)
+        assert mediator.query("?- p(X).").answers == ((1,),)
+
+    def test_add_rule_object(self):
+        mediator = Mediator()
+        mediator.register_domain(simple_domain("d", {"f": lambda: [2]}))
+        mediator.add_rule(parse_rule("p(X) :- in(X, d:f())."))
+        assert mediator.query("?- p(X).").answers == ((2,),)
+
+    def test_add_multiple_rules_in_one_string(self):
+        mediator = Mediator()
+        mediator.register_domain(simple_domain("d", {"f": lambda: [1]}))
+        mediator.add_rule("p(X) :- in(X, d:f()).  q(X) :- p(X).")
+        assert mediator.query("?- q(X).").cardinality == 1
+
+    def test_register_with_site_object(self):
+        mediator = Mediator()
+        site = custom_site("lab", 5, 5, 500)
+        mediator.register_domain(simple_domain("d", {"f": lambda: [1]}), site=site)
+        result = mediator.query("?- in(X, d:f()).")  # needs a program? direct query
+        assert result.answers == ((1,),)
+
+    def test_direct_source_query_without_rules(self):
+        mediator = Mediator()
+        mediator.register_domain(simple_domain("d", {"f": lambda: [5, 6]}))
+        result = mediator.query("?- in(X, d:f()) & X > 5.")
+        assert result.answers == ((6,),)
+
+    def test_rewriter_cache_invalidated_on_new_rules(self):
+        mediator = Mediator()
+        mediator.register_domain(simple_domain("d", {"f": lambda: [1]}))
+        mediator.load_program("p(X) :- in(X, d:f()).")
+        __ = mediator.rewriter  # build the cached rewriter
+        mediator.add_rule("q(X) :- p(X).")
+        assert mediator.query("?- q(X).").cardinality == 1
+
+
+class TestQueryResultApi:
+    def make_result(self) -> QueryResult:
+        mediator = Mediator()
+        mediator.register_domain(simple_domain("d", {"f": lambda: [1, 2]}))
+        mediator.load_program("p(X) :- in(X, d:f()).")
+        return mediator.query("?- p(X).")
+
+    def test_first(self):
+        result = self.make_result()
+        assert result.first() == (1,)
+
+    def test_first_empty(self):
+        mediator = Mediator()
+        mediator.register_domain(simple_domain("d", {"f": lambda: []}))
+        mediator.load_program("p(X) :- in(X, d:f()).")
+        result = mediator.query("?- p(X).")
+        assert result.first() is None
+        assert result.t_first_ms is None
+        assert "T_first=n/a" in str(result)
+
+    def test_variables(self):
+        assert self.make_result().variables == ("X",)
+
+    def test_predicted_without_estimate(self):
+        result = self.make_result()
+        if result.chosen_estimate is None:
+            predicted, actual = result.predicted_vs_actual()["t_all_ms"]
+            assert predicted is None and actual > 0
+
+
+class TestDomainRegistry:
+    def test_len_and_iter(self):
+        registry = DomainRegistry(
+            [simple_domain("a", {}), simple_domain("b", {})]
+        )
+        assert len(registry) == 2
+        assert {endpoint.name for endpoint in registry} == {"a", "b"}
+
+    def test_contains(self):
+        registry = DomainRegistry([simple_domain("a", {})])
+        assert "a" in registry
+        assert "z" not in registry
+
+
+class TestDomainBase:
+    def test_register_infers_arity(self):
+        domain = Domain("d")
+        fn = domain.register("two", lambda x, y: [x + y])
+        assert fn.arity == 2
+
+    def test_default_cost_zero_answers(self):
+        domain = Domain("d", base_cost_ms=2.0, per_answer_cost_ms=0.5)
+        t_first, t_all = domain.default_cost(0)
+        assert t_first == 2.0 and t_all == 2.0
+
+    def test_calls_made_counter(self):
+        domain = simple_domain("d", {"f": lambda: [1]})
+        from repro.core.model import GroundCall
+
+        domain.execute(GroundCall("d", "f", ()))
+        domain.execute(GroundCall("d", "f", ()))
+        assert domain.calls_made == 2
+
+    def test_repr(self):
+        domain = simple_domain("d", {"f": lambda: []})
+        assert "d" in repr(domain) and "f" in repr(domain)
+
+
+class TestProgramApi:
+    def test_str_renders_all_rules(self):
+        program = parse_program("p(X) :- in(X, d:f()).\nq(a).")
+        text = str(program)
+        assert "p(X)" in text and "q('a')" in text
+
+    def test_iteration(self):
+        program = parse_program("p(a).\np(b).")
+        assert len(list(program)) == 2
+
+    def test_manual_construction(self):
+        program = Program([Rule(Predicate("p", (Constant(1),)), ())])
+        assert program.defines("p", 1)
+
+
+class TestSites:
+    def test_seed_changes_jitter_stream(self):
+        a = make_site("italy", seed=1)
+        b = make_site("italy", seed=2)
+        values_a = [a.latency.setup_ms() for __ in range(5)]
+        values_b = [b.latency.setup_ms() for __ in range(5)]
+        assert values_a != values_b
+
+
+class TestExplainEdgeCases:
+    def test_explain_plan_without_calls(self):
+        from repro.core.explain import explain
+
+        mediator = Mediator()
+        mediator.register_domain(simple_domain("d", {"f": lambda: [1]}))
+        mediator.load_program("p(X) :- in(X, d:f()).")
+        report = explain(mediator, "?- p(X).")
+        assert "Plan 1" in report
+
+    def test_cursor_from_explicit_plan(self):
+        mediator = Mediator(init_overhead_ms=0.0, display_cost_ms=0.0)
+        mediator.register_domain(simple_domain("d", {"f": lambda: [1, 2, 3]}))
+        mediator.load_program("p(X) :- in(X, d:f()).")
+        plan = mediator.plans("?- p(X).")[0]
+        cursor = mediator.cursor("?- p(X).", plan=plan)
+        assert cursor.plan is plan
+        assert len(cursor.fetch_all()) == 3
+
+
+class TestQueryObjectConstruction:
+    def test_explicit_answer_vars_projection(self):
+        mediator = Mediator()
+        mediator.register_domain(
+            simple_domain("d", {"f": lambda: [(1, "x"), (2, "y")]})
+        )
+        mediator.load_program(
+            "p(A, B) :- in(T, d:f()) & =(T.1, A) & =(T.2, B)."
+        )
+        from repro.core.parser import parse_query
+
+        base = parse_query("?- p(A, B).")
+        projected = Query(goals=base.goals, answer_vars=(Variable("B"),))
+        result = mediator.query(projected)
+        assert sorted(result.answers) == [("x",), ("y",)]
+
+
+class TestNegativeCaching:
+    """Empty answer sets are answers too: the CIM must cache and serve
+    them (saving the repeat call that would find nothing again)."""
+
+    def test_empty_result_cached(self):
+        from repro.cim.manager import CacheInvariantManager
+        from repro.core.model import GroundCall
+        from repro.net.clock import SimClock
+
+        calls = {"n": 0}
+
+        def empty():
+            calls["n"] += 1
+            return ([], 40.0, 40.0)
+
+        domain = simple_domain("d", {"nothing": empty})
+        cim = CacheInvariantManager(DomainRegistry([domain]), SimClock())
+        first = cim.lookup(GroundCall("d", "nothing", ()))
+        second = cim.lookup(GroundCall("d", "nothing", ()))
+        assert first.answers == () == second.answers
+        assert calls["n"] == 1
+        assert second.provenance == "cache"
+        assert second.t_all_ms < 1.0
+
+
+class TestDcsmDescribe:
+    def test_describe_lists_functions_and_tables(self):
+        from repro.core.model import GroundCall
+        from repro.dcsm.module import DCSM
+        from repro.domains.base import CallResult
+
+        dcsm = DCSM(external_estimators={"x": lambda p: None})
+        dcsm.record(
+            CallResult(
+                call=GroundCall("d", "f", (1,)),
+                answers=(1,),
+                t_first_ms=1.0,
+                t_all_ms=2.0,
+            )
+        )
+        text = dcsm.describe()
+        assert "d:f: 1 obs" in text
+        assert "SummaryTable" in text
+        assert "external estimators: x" in text
+
+
+class TestCliValidate:
+    def test_validate_clean_and_broken(self):
+        import io
+
+        from repro.cli import MediatorShell
+
+        mediator = Mediator()
+        mediator.register_domain(simple_domain("d", {"f": lambda: [1]}))
+        mediator.load_program("p(X) :- in(X, d:f()).")
+        shell = MediatorShell(mediator, stdin=io.StringIO(), stdout=io.StringIO())
+        shell.handle(":validate")
+        assert "program OK" in shell.stdout.getvalue()
+        shell.handle("bad(X) :- in(X, ghost:f()).")
+        shell.handle(":validate")
+        assert "ghost" in shell.stdout.getvalue()
+
+
+class TestExecutionTrace:
+    def test_trace_records_every_call(self):
+        mediator = Mediator(init_overhead_ms=0.0, display_cost_ms=0.0)
+        mediator.register_domain(
+            simple_domain("d", {"f": lambda: [1, 2], "g": lambda x: [x * 2]})
+        )
+        mediator.load_program("p(X, Y) :- in(X, d:f()) & in(Y, d:g(X)).")
+        result = mediator.query("?- p(X, Y).", trace=True)
+        assert len(result.execution.trace) == 3  # one f + two g calls
+        first = result.execution.trace[0]
+        assert first.call.function == "f"
+        assert first.cardinality == 2
+        assert "d:f()" in str(first)
+        # events carry monotonically non-decreasing timestamps
+        at = [event.at_ms for event in result.execution.trace]
+        assert at == sorted(at)
+
+    def test_trace_off_by_default(self):
+        mediator = Mediator()
+        mediator.register_domain(simple_domain("d", {"f": lambda: [1]}))
+        mediator.load_program("p(X) :- in(X, d:f()).")
+        result = mediator.query("?- p(X).")
+        assert result.execution.trace == ()
+
+    def test_trace_includes_cache_provenance(self):
+        mediator = Mediator()
+        mediator.register_domain(simple_domain("d", {"f": lambda: [1]}))
+        mediator.load_program("p(X) :- in(X, d:f()).")
+        mediator.query("?- p(X).", use_cim=True)
+        result = mediator.query("?- p(X).", use_cim=True, trace=True)
+        assert result.execution.trace[0].provenance == "cache"

@@ -1,0 +1,177 @@
+"""AST model tests: comparisons, programs, ground calls, invariants."""
+
+import pytest
+
+from repro.core.model import (
+    Comparison,
+    DomainCall,
+    GroundCall,
+    InAtom,
+    Invariant,
+    INVARIANT_EQ,
+    Predicate,
+    Program,
+    Query,
+    Rule,
+    evaluate_comparison,
+    make_in,
+    make_rule,
+)
+from repro.core.parser import parse_program
+from repro.core.terms import Constant, Variable
+from repro.errors import InvariantError, NotGroundError, ReproError
+
+X, Y = Variable("X"), Variable("Y")
+
+
+class TestComparisons:
+    @pytest.mark.parametrize(
+        "op,left,right,expected",
+        [
+            ("=", 1, 1, True),
+            ("=", 1, 2, False),
+            ("!=", 1, 2, True),
+            ("<", 1, 2, True),
+            ("<=", 2, 2, True),
+            (">", 3, 2, True),
+            (">=", 1, 2, False),
+        ],
+    )
+    def test_evaluate(self, op, left, right, expected):
+        assert evaluate_comparison(op, left, right) is expected
+
+    def test_unknown_operator(self):
+        with pytest.raises(ReproError):
+            evaluate_comparison("~", 1, 2)
+
+    def test_mixed_types_ordered_is_total(self):
+        # must not raise; just needs to be deterministic
+        first = evaluate_comparison("<", 1, "a")
+        second = evaluate_comparison("<", 1, "a")
+        assert first == second
+        assert evaluate_comparison("<", 1, "a") != evaluate_comparison(">=", 1, "a")
+
+    def test_mixed_types_equality(self):
+        assert evaluate_comparison("=", 1, "1") is False
+
+    def test_comparison_evaluate_with_subst(self):
+        comparison = Comparison("<", X, Constant(5))
+        assert comparison.evaluate({X: Constant(3)}) is True
+        assert comparison.evaluate({X: Constant(7)}) is False
+
+    def test_comparison_unbound_raises(self):
+        comparison = Comparison("<", X, Constant(5))
+        with pytest.raises(NotGroundError):
+            comparison.evaluate({})
+
+    def test_negated(self):
+        assert Comparison("<", X, Y).negated() == Comparison(">=", X, Y)
+        assert Comparison("=", X, Y).negated() == Comparison("!=", X, Y)
+
+
+class TestGroundCall:
+    def test_hashable_and_equal(self):
+        c1 = GroundCall("d", "f", (1, "a"))
+        c2 = GroundCall("d", "f", (1, "a"))
+        assert c1 == c2
+        assert len({c1, c2}) == 1
+
+    def test_str(self):
+        call = GroundCall("d", "f", ("a", 3))
+        assert str(call) == "d:f('a', 3)"
+
+    def test_domain_call_ground(self):
+        call = DomainCall("d", "f", (X, Constant(2)))
+        ground = call.ground({X: Constant(1)})
+        assert ground == GroundCall("d", "f", (1, 2))
+
+    def test_domain_call_ground_raises_unbound(self):
+        call = DomainCall("d", "f", (X,))
+        with pytest.raises(NotGroundError):
+            call.ground({})
+
+    def test_as_call_round_trip(self):
+        ground = GroundCall("d", "f", (1, "a"))
+        assert ground.as_call().ground({}) == ground
+
+
+class TestProgram:
+    def test_rules_for(self):
+        program = parse_program("p(X) :- in(X, d:f()).\np(X, Y) :- in(X, d:g(Y)).")
+        assert len(program.rules_for("p", 1)) == 1
+        assert len(program.rules_for("p", 2)) == 1
+        assert program.rules_for("p", 3) == ()
+
+    def test_domain_calls_enumeration(self):
+        program = parse_program("p(X) :- in(X, d:f()) & in(Y, e:g(X)).")
+        calls = program.domain_calls()
+        assert {c.qualified_name for c in calls} == {"d:f", "e:g"}
+
+    def test_non_recursive(self):
+        program = parse_program("p(X) :- q(X).\nq(X) :- in(X, d:f()).")
+        assert not program.is_recursive()
+
+    def test_direct_recursion(self):
+        program = parse_program("p(X) :- p(X).")
+        assert program.is_recursive()
+
+    def test_mutual_recursion(self):
+        program = parse_program("p(X) :- q(X).\nq(X) :- p(X).")
+        assert program.is_recursive()
+
+    def test_diamond_is_not_recursion(self):
+        program = parse_program(
+            "a(X) :- b(X), c(X).\nb(X) :- d(X).\nc(X) :- d(X).\n"
+            "d(X) :- in(X, s:f())."
+        )
+        assert not program.is_recursive()
+
+
+class TestQueryDefaults:
+    def test_answer_vars_in_first_use_order(self):
+        query = Query(goals=(Predicate("p", (Y, X)),))
+        assert query.answer_vars == (X, Y) or query.answer_vars == (Y, X)
+        # deterministic across runs
+        assert Query(goals=(Predicate("p", (Y, X)),)).answer_vars == query.answer_vars
+
+    def test_explicit_answer_vars_respected(self):
+        query = Query(goals=(Predicate("p", (X, Y)),), answer_vars=(Y,))
+        assert query.answer_vars == (Y,)
+
+
+class TestInvariantValidation:
+    def test_valid(self):
+        inv = Invariant(
+            condition=(Comparison("<", X, Constant(5)),),
+            left=DomainCall("d", "f", (X,)),
+            relation=INVARIANT_EQ,
+            right=DomainCall("d", "g", (X,)),
+        )
+        inv.validate()  # no exception
+
+    def test_bad_relation(self):
+        inv = Invariant((), DomainCall("d", "f", ()), "~", DomainCall("d", "g", ()))
+        with pytest.raises(InvariantError):
+            inv.validate()
+
+    def test_unsafe_condition_variable(self):
+        inv = Invariant(
+            condition=(Comparison("<", Variable("Loose"), Constant(5)),),
+            left=DomainCall("d", "f", (X,)),
+            relation=INVARIANT_EQ,
+            right=DomainCall("d", "g", (X,)),
+        )
+        with pytest.raises(InvariantError):
+            inv.validate()
+
+
+class TestBuilders:
+    def test_make_in(self):
+        atom = make_in(X, "d", "f", 1, "a")
+        assert isinstance(atom, InAtom)
+        assert atom.call.args == (Constant(1), Constant("a"))
+
+    def test_make_rule(self):
+        rule = make_rule(Predicate("p", (X,)), make_in(X, "d", "f"))
+        assert isinstance(rule, Rule)
+        assert len(rule.body) == 1

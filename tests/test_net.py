@@ -1,0 +1,158 @@
+"""Simulated network tests: clock, latency models, sites, remote wrapper."""
+
+import pytest
+
+from repro.core.model import GroundCall
+from repro.domains.base import simple_domain
+from repro.errors import ReproError, SourceUnavailableError
+from repro.net.clock import SimClock, Stopwatch
+from repro.net.latency import LatencyModel, Outage
+from repro.net.remote import RemoteDomain
+from repro.net.sites import SITE_PROFILES, custom_site, make_site
+
+
+class TestClock:
+    def test_advance(self):
+        clock = SimClock()
+        clock.advance(10)
+        clock.advance(2.5)
+        assert clock.now_ms == pytest.approx(12.5)
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ReproError):
+            SimClock().advance(-1)
+
+    def test_advance_to(self):
+        clock = SimClock(100)
+        clock.advance_to(50)  # no going back
+        assert clock.now_ms == 100
+        clock.advance_to(200)
+        assert clock.now_ms == 200
+
+    def test_stopwatch(self):
+        clock = SimClock()
+        watch = Stopwatch(clock)
+        clock.advance(30)
+        assert watch.elapsed_ms == 30
+        watch.restart()
+        assert watch.elapsed_ms == 0
+
+
+class TestLatencyModel:
+    def test_setup_and_transfer_deterministic_without_jitter(self):
+        model = LatencyModel(connect_ms=10, rtt_ms=5, bandwidth_bytes_per_ms=100)
+        assert model.setup_ms() == 15
+        assert model.transfer_ms(1000) == 10
+
+    def test_jitter_bounded_and_reproducible(self):
+        m1 = LatencyModel(connect_ms=100, rtt_ms=0, jitter=0.2, seed=42)
+        m2 = LatencyModel(connect_ms=100, rtt_ms=0, jitter=0.2, seed=42)
+        values1 = [m1.setup_ms() for _ in range(20)]
+        values2 = [m2.setup_ms() for _ in range(20)]
+        assert values1 == values2
+        assert all(80 <= v <= 120 for v in values1)
+        assert len(set(values1)) > 1
+
+    def test_zero_transfer(self):
+        model = LatencyModel()
+        assert model.transfer_ms(0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            LatencyModel(bandwidth_bytes_per_ms=0)
+        with pytest.raises(ReproError):
+            LatencyModel(jitter=1.5)
+
+    def test_outage_windows(self):
+        model = LatencyModel(outages=(Outage(100, 200),))
+        assert model.outage_at(150) is not None
+        assert model.outage_at(99) is None
+        assert model.outage_at(200) is None  # half-open
+
+    def test_with_outages_copies(self):
+        base = LatencyModel()
+        extended = base.with_outages(Outage(0, 10))
+        assert base.outage_at(5) is None
+        assert extended.outage_at(5) is not None
+
+    def test_bad_outage(self):
+        with pytest.raises(ReproError):
+            Outage(10, 10)
+
+
+class TestSites:
+    def test_catalog_complete(self):
+        for name in SITE_PROFILES:
+            site = make_site(name)
+            assert site.name == name
+
+    def test_unknown_site(self):
+        with pytest.raises(KeyError):
+            make_site("atlantis")
+
+    def test_italy_slower_than_cornell(self):
+        italy = make_site("italy")
+        cornell = make_site("cornell")
+        assert italy.latency.connect_ms > cornell.latency.connect_ms
+        assert italy.latency.bandwidth_bytes_per_ms < cornell.latency.bandwidth_bytes_per_ms
+
+    def test_local_site(self):
+        assert make_site("maryland").is_local
+        assert not make_site("italy").is_local
+
+    def test_custom_site(self):
+        site = custom_site("lab", connect_ms=1, rtt_ms=1, bandwidth_bytes_per_ms=1000)
+        assert site.name == "lab"
+
+
+class TestRemoteDomain:
+    def make(self, site_name="cornell", payload=None, clock=None):
+        payload = payload if payload is not None else [f"item{i:03d}" * 10 for i in range(10)]
+        domain = simple_domain("d", {"f": lambda: list(payload)}, base_cost_ms=5.0)
+        remote = RemoteDomain(domain, make_site(site_name), clock)
+        return remote
+
+    def test_adds_network_cost(self):
+        remote = self.make()
+        local_result = remote.domain.execute(GroundCall("d", "f", ()))
+        remote_result = remote.execute(GroundCall("d", "f", ()))
+        assert remote_result.t_all_ms > local_result.t_all_ms
+        assert remote_result.answers == local_result.answers
+
+    def test_first_answer_cheaper_than_all(self):
+        remote = self.make()
+        result = remote.execute(GroundCall("d", "f", ()))
+        assert result.t_first_ms < result.t_all_ms
+
+    def test_italy_slower_than_usa(self):
+        usa = self.make("cornell").execute(GroundCall("d", "f", ()))
+        italy = self.make("italy").execute(GroundCall("d", "f", ()))
+        assert italy.t_all_ms > 3 * usa.t_all_ms
+
+    def test_outage_raises(self):
+        clock = SimClock()
+        domain = simple_domain("d", {"f": lambda: [1]})
+        site = make_site("cornell")
+        site = type(site)(site.name, site.region, site.latency.with_outages(Outage(0, 1000)))
+        remote = RemoteDomain(domain, site, clock)
+        with pytest.raises(SourceUnavailableError) as excinfo:
+            remote.execute(GroundCall("d", "f", ()))
+        assert excinfo.value.until_ms == 1000
+        clock.advance(1500)  # outage over
+        assert remote.execute(GroundCall("d", "f", ())).answers == (1,)
+
+    def test_fee_accounting(self):
+        domain = simple_domain("d", {"f": lambda: [1]})
+        site = custom_site("tollbooth", 1, 1, 100)
+        site.latency.fee_per_call = 0.25
+        remote = RemoteDomain(domain, site)
+        remote.execute(GroundCall("d", "f", ()))
+        remote.execute(GroundCall("d", "f", ()))
+        assert remote.fees_charged == pytest.approx(0.5)
+
+    def test_empty_answers_no_transfer(self):
+        domain = simple_domain("d", {"f": lambda: []})
+        remote = RemoteDomain(domain, make_site("cornell"))
+        result = remote.execute(GroundCall("d", "f", ()))
+        assert result.answers == ()
+        assert result.t_all_ms > 0  # still paid setup

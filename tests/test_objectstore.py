@@ -1,0 +1,144 @@
+"""Object-store substrate tests, including mediation over the object graph."""
+
+import pytest
+
+from repro.core.mediator import Mediator
+from repro.core.model import GroundCall
+from repro.domains.objectstore import ObjectStoreDomain
+from repro.errors import BadCallError, SchemaError
+
+
+@pytest.fixture
+def store() -> ObjectStoreDomain:
+    """directors —directed→ movies —features→ actors."""
+    store = ObjectStoreDomain()
+    store.define_class("director", ["name"], {"directed": "movie"})
+    store.define_class("movie", ["title", "year"], {"features": "actor"})
+    store.define_class("actor", ["name"])
+    store.create("director", "d1", name="hitchcock")
+    store.create("movie", "m1", title="rope", year=1948)
+    store.create("movie", "m2", title="vertigo", year=1958)
+    store.create("actor", "a1", name="stewart")
+    store.create("actor", "a2", name="dall")
+    store.link("director", "d1", "directed", "m1")
+    store.link("director", "d1", "directed", "m2")
+    store.link("movie", "m1", "features", "a1")
+    store.link("movie", "m1", "features", "a2")
+    store.link("movie", "m2", "features", "a1")
+    return store
+
+
+class TestSchema:
+    def test_duplicate_class(self, store):
+        with pytest.raises(SchemaError):
+            store.define_class("movie", ["x"])
+
+    def test_oid_attribute_reserved(self, store):
+        with pytest.raises(SchemaError):
+            store.define_class("bad", ["oid"])
+
+    def test_duplicate_attribute(self, store):
+        with pytest.raises(SchemaError):
+            store.define_class("bad", ["a", "a"])
+
+    def test_unknown_attribute_on_create(self, store):
+        with pytest.raises(SchemaError):
+            store.create("actor", "a9", wingspan=2)
+
+    def test_duplicate_object(self, store):
+        with pytest.raises(SchemaError):
+            store.create("actor", "a1", name="again")
+
+    def test_link_validation(self, store):
+        with pytest.raises(SchemaError):
+            store.link("actor", "a1", "directed", "m1")  # no such relationship
+        with pytest.raises(BadCallError):
+            store.link("director", "d1", "directed", "m999")  # missing target
+
+
+class TestFunctions:
+    def test_get(self, store):
+        result = store.execute(GroundCall("objects", "get", ("movie", "m1")))
+        row = result.answers[0]
+        assert row.oid == "m1" and row.title == "rope" and row.year == 1948
+
+    def test_get_missing_attribute_is_none(self, store):
+        store.create("movie", "m3", title="notorious")  # no year
+        result = store.execute(GroundCall("objects", "get", ("movie", "m3")))
+        assert result.answers[0].year is None
+
+    def test_instances(self, store):
+        result = store.execute(GroundCall("objects", "instances", ("movie",)))
+        assert set(result.answers) == {"m1", "m2"}
+
+    def test_attr_eq(self, store):
+        result = store.execute(
+            GroundCall("objects", "attr_eq", ("movie", "year", 1948))
+        )
+        assert result.answers == ("m1",)
+
+    def test_attr_eq_unknown_attribute(self, store):
+        with pytest.raises(BadCallError):
+            store.execute(GroundCall("objects", "attr_eq", ("movie", "gross", 1)))
+
+    def test_follow(self, store):
+        result = store.execute(
+            GroundCall("objects", "follow", ("director", "d1", "directed"))
+        )
+        assert set(result.answers) == {"m1", "m2"}
+
+    def test_follow_no_links(self, store):
+        store.create("director", "d2", name="welles")
+        result = store.execute(
+            GroundCall("objects", "follow", ("director", "d2", "directed"))
+        )
+        assert result.answers == ()
+
+    def test_path_two_hops_deduplicates(self, store):
+        result = store.execute(
+            GroundCall("objects", "path", ("director", "d1", "directed", "features"))
+        )
+        # a1 reachable via both movies, reported once
+        assert set(result.answers) == {"a1", "a2"}
+        assert len(result.answers) == 2
+
+    def test_unknown_class_and_object(self, store):
+        with pytest.raises(BadCallError):
+            store.execute(GroundCall("objects", "instances", ("spaceship",)))
+        with pytest.raises(BadCallError):
+            store.execute(GroundCall("objects", "get", ("movie", "m99")))
+
+
+class TestMediation:
+    def test_cross_source_join_over_object_graph(self, store):
+        mediator = Mediator()
+        mediator.register_domain(store, site="cornell")
+        mediator.load_program(
+            """
+            filmography(Director, Title) :-
+                in(D, objects:attr_eq('director', 'name', Director)) &
+                in(M, objects:follow('director', D, 'directed')) &
+                in(Row, objects:get('movie', M)) &
+                =(Row.title, Title).
+            costars(Director, Actor) :-
+                in(D, objects:attr_eq('director', 'name', Director)) &
+                in(A, objects:path('director', D, 'directed', 'features')) &
+                in(Row, objects:get('actor', A)) &
+                =(Row.name, Actor).
+            """
+        )
+        films = mediator.query("?- filmography(hitchcock, T).")
+        assert sorted(films.column("T")) == ["rope", "vertigo"]
+        actors = mediator.query("?- costars(hitchcock, A).")
+        assert sorted(actors.column("A")) == ["dall", "stewart"]
+
+    def test_caching_object_calls(self, store):
+        mediator = Mediator()
+        mediator.register_domain(store, site="italy")
+        mediator.load_program(
+            "movie_year(M, Y) :- in(R, objects:get('movie', M)) & =(R.year, Y)."
+        )
+        cold = mediator.query("?- movie_year(m1, Y).", use_cim=True)
+        warm = mediator.query("?- movie_year(m1, Y).", use_cim=True)
+        assert warm.t_all_ms < cold.t_all_ms / 10
+        assert warm.answers == cold.answers

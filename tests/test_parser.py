@@ -1,0 +1,253 @@
+"""Parser and lexer tests: the full grammar plus error reporting."""
+
+import pytest
+
+from repro.core.model import (
+    Comparison,
+    Constant,
+    InAtom,
+    INVARIANT_EQ,
+    INVARIANT_SUPSET,
+    Predicate,
+)
+from repro.core.parser import (
+    _tokenize_for_tests,
+    parse_invariant,
+    parse_invariants,
+    parse_literal,
+    parse_program,
+    parse_query,
+    parse_rule,
+    parse_term,
+)
+from repro.core.terms import AttrPath, Variable
+from repro.errors import InvariantError, ParseError
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        kinds = _tokenize_for_tests("p(X, 'lit', 4)")
+        assert kinds == [
+            ("ident", "p"),
+            ("punct", "("),
+            ("var", "X"),
+            ("punct", ","),
+            ("string", "'lit'"),
+            ("punct", ","),
+            ("number", "4"),
+            ("punct", ")"),
+        ]
+
+    def test_comments_skipped(self):
+        assert _tokenize_for_tests("% comment\np(a).") == _tokenize_for_tests("p(a).")
+        assert _tokenize_for_tests("// c\np(a).") == _tokenize_for_tests("p(a).")
+        assert _tokenize_for_tests("# c\np(a).") == _tokenize_for_tests("p(a).")
+
+    def test_dollar_variable_strips_marker(self):
+        tokens = _tokenize_for_tests("$Ans")
+        assert tokens == [("var", "Ans")]
+
+    def test_attr_path_token(self):
+        tokens = _tokenize_for_tests("T.loc")
+        assert tokens[0] == ("var", "T")
+
+    def test_float_vs_clause_dot(self):
+        tokens = _tokenize_for_tests("f(4.5).")
+        assert ("number", "4.5") in tokens
+        assert tokens[-1] == ("punct", ".")
+
+    def test_negative_number_in_args(self):
+        term = parse_term("-3")
+        assert term == Constant(-3)
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            _tokenize_for_tests("p('oops)")
+
+    def test_double_quoted_string(self):
+        assert parse_term('"hello world"') == Constant("hello world")
+
+    def test_escaped_quote(self):
+        assert parse_term(r"'don\'t'") == Constant("don't")
+
+
+class TestTerms:
+    def test_lower_ident_is_symbolic_constant(self):
+        assert parse_term("abc") == Constant("abc")
+
+    def test_upper_is_variable(self):
+        assert parse_term("Abc") == Variable("Abc")
+
+    def test_underscore_is_variable(self):
+        assert parse_term("_x") == Variable("_x")
+
+    def test_booleans(self):
+        assert parse_term("true") == Constant(True)
+        assert parse_term("false") == Constant(False)
+
+    def test_attr_path_named(self):
+        term = parse_term("T.name")
+        assert term == AttrPath(Variable("T"), ("name",))
+
+    def test_attr_path_positional(self):
+        term = parse_term("$Ans.2")
+        assert term == AttrPath(Variable("Ans"), (2,))
+
+    def test_attr_path_chain(self):
+        term = parse_term("X.address.city")
+        assert term == AttrPath(Variable("X"), ("address", "city"))
+
+
+class TestLiterals:
+    def test_in_atom(self):
+        literal = parse_literal("in(X, d:f(a, 4))")
+        assert isinstance(literal, InAtom)
+        assert literal.call.domain == "d"
+        assert literal.call.function == "f"
+        assert literal.call.args == (Constant("a"), Constant(4))
+
+    def test_prefix_comparison(self):
+        literal = parse_literal("=(T.name, A)")
+        assert isinstance(literal, Comparison)
+        assert literal.op == "="
+
+    def test_infix_comparison(self):
+        literal = parse_literal("X >= 4")
+        assert literal == Comparison(">=", Variable("X"), Constant(4))
+
+    def test_all_infix_ops(self):
+        for op in ("=", "!=", "<", "<=", ">", ">="):
+            literal = parse_literal(f"X {op} Y")
+            assert isinstance(literal, Comparison)
+            assert literal.op == op
+
+    def test_idb_predicate(self):
+        literal = parse_literal("p(X, a)")
+        assert isinstance(literal, Predicate)
+        assert literal.name == "p"
+
+    def test_nullary_predicate_call(self):
+        literal = parse_literal("in(X, d:f())")
+        assert isinstance(literal, InAtom)
+        assert literal.call.args == ()
+
+    def test_bare_term_without_op_fails(self):
+        with pytest.raises(ParseError):
+            parse_literal("X")
+
+
+class TestRulesAndPrograms:
+    def test_simple_rule(self):
+        rule = parse_rule("p(X) :- in(X, d:f()).")
+        assert rule.head == Predicate("p", (Variable("X"),))
+        assert len(rule.body) == 1
+
+    def test_fact(self):
+        rule = parse_rule("p(a).")
+        assert rule.body == ()
+
+    def test_arrow_synonym(self):
+        rule = parse_rule("p(X) <- in(X, d:f()).")
+        assert len(rule.body) == 1
+
+    def test_mixed_separators(self):
+        rule = parse_rule("p(X) :- in(X, d:f()), X > 2 & X < 9.")
+        assert len(rule.body) == 3
+
+    def test_program_indexing(self):
+        program = parse_program("p(X) :- in(X, d:f()).\np(X) :- in(X, d:g()).\nq(a).")
+        assert len(program) == 3
+        assert len(program.rules_for("p", 1)) == 2
+        assert program.defines("q", 1)
+        assert not program.defines("r", 1)
+
+    def test_missing_period(self):
+        with pytest.raises(ParseError):
+            parse_rule("p(X) :- in(X, d:f())")
+
+    def test_parse_error_carries_location(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_program("p(X) :- in(X d:f()).")
+        assert "line 1" in str(excinfo.value)
+
+
+class TestQueries:
+    def test_query_with_marker(self):
+        query = parse_query("?- m(a, C).")
+        assert len(query.goals) == 1
+        assert query.answer_vars == (Variable("C"),)
+
+    def test_query_without_marker(self):
+        query = parse_query("m(a, C)")
+        assert len(query.goals) == 1
+
+    def test_conjunctive_query(self):
+        query = parse_query("?- p(X, Y) & q(Y, Z).")
+        assert len(query.goals) == 2
+        assert query.answer_vars == (Variable("X"), Variable("Y"), Variable("Z"))
+
+    def test_query_with_domain_call(self):
+        query = parse_query("?- in(X, d:f(1)) & X > 2.")
+        assert len(query.goals) == 2
+
+
+class TestInvariants:
+    def test_equality_invariant(self):
+        inv = parse_invariant(
+            "Dist > 142 => spatial:range('map1', X, Y, Dist) = "
+            "spatial:range('points', X, Y, 142)."
+        )
+        assert inv.relation == INVARIANT_EQ
+        assert len(inv.condition) == 1
+
+    def test_containment_invariant(self):
+        inv = parse_invariant(
+            "V1 <= V2 => relation:select_lt(T, A, V2) >= relation:select_lt(T, A, V1)."
+        )
+        assert inv.relation == INVARIANT_SUPSET
+
+    def test_subset_normalised_by_swapping(self):
+        inv = parse_invariant(
+            "V1 <= V2 => relation:select_lt(T, A, V1) <= relation:select_lt(T, A, V2)."
+        )
+        assert inv.relation == INVARIANT_SUPSET
+        # the ⊇ side must now be the V2 call
+        assert str(inv.left.args[2]) == "V2"
+
+    def test_unconditional_invariant(self):
+        inv = parse_invariant("d:f(X) = d:g(X).")
+        assert inv.condition == ()
+
+    def test_true_keyword_condition(self):
+        inv = parse_invariant("true => d:f(X) = d:g(X).")
+        assert inv.condition == ()
+
+    def test_unsafe_invariant_rejected(self):
+        with pytest.raises(InvariantError):
+            parse_invariant("Z > 1 => d:f(X) = d:g(X).")
+
+    def test_multiple_invariants(self):
+        invariants = parse_invariants(
+            "d:f(X) = d:g(X).\nA <= B => d:h(B) >= d:h(A)."
+        )
+        assert len(invariants) == 2
+
+    def test_missing_relation(self):
+        with pytest.raises(ParseError):
+            parse_invariant("d:f(X) d:g(X).")
+
+
+class TestRoundTrip:
+    def test_rule_str_reparses(self):
+        source = "p(A, B) :- in(Ans, d1:p_ff()) & Ans.1 = A & Ans.2 = B."
+        rule = parse_rule(source)
+        again = parse_rule(str(rule))
+        assert again == rule
+
+    def test_invariant_str_reparses(self):
+        inv = parse_invariant(
+            "F1 <= F2 => video:frames_to_objects(V, F1, L) >= "
+            "video:frames_to_objects(V, F2, L)."
+        )
+        again = parse_invariant(str(inv))
+        assert again == inv

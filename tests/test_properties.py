@@ -1,0 +1,290 @@
+"""Cross-cutting property-based tests (hypothesis) on the system's core
+soundness invariants:
+
+1. CIM soundness — answers served via cache/invariants equal (equality
+   paths) or are a subset of (partial paths) the real call's answers.
+2. Lossless summarization — any pattern estimate from the lossless
+   summary equals the raw-database aggregate.
+3. Plan equivalence — every plan the rewriter emits computes the same
+   answer multiset.
+4. Cost-estimator monotonicity — more expensive sources never make a plan
+   look cheaper.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cim.manager import CacheInvariantManager, CimPolicy
+from repro.core.mediator import Mediator
+from repro.core.model import GroundCall
+from repro.core.parser import parse_invariant
+from repro.dcsm.database import CostVectorDatabase
+from repro.dcsm.patterns import BOUND, CallPattern
+from repro.dcsm.summary import SummaryTable
+from repro.dcsm.vectors import CostVector, Observation
+from repro.domains.base import simple_domain
+from repro.domains.registry import DomainRegistry
+from repro.net.clock import SimClock
+
+# ---------------------------------------------------------------------------
+# 1. CIM soundness
+# ---------------------------------------------------------------------------
+
+intervals = st.tuples(st.integers(0, 60), st.integers(0, 60)).map(
+    lambda pair: (min(pair), max(pair))
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(warm=st.lists(intervals, min_size=1, max_size=5), request=intervals)
+def test_cim_answers_always_sound(warm, request):
+    """Whatever mix of cached intervals exists, a SERIAL lookup returns
+    exactly the real answer set, and a PARTIAL_ONLY lookup returns a
+    subset of it."""
+
+    def span_impl(a, b):
+        return list(range(a, b + 1))
+
+    domain = simple_domain("d", {"span": span_impl})
+    registry = DomainRegistry([domain])
+    invariant = parse_invariant(
+        "A1 <= A2 & B2 <= B1 => d:span(A1, B1) >= d:span(A2, B2)."
+    )
+    cim = CacheInvariantManager(registry, SimClock(), invariants=[invariant])
+    for a, b in warm:
+        cim.lookup(GroundCall("d", "span", (a, b)))
+
+    truth = set(span_impl(*request))
+    call = GroundCall("d", "span", request)
+
+    serial = cim.lookup(call)
+    assert set(serial.answers) == truth
+    assert serial.complete
+
+    cim.policy = CimPolicy.PARTIAL_ONLY
+    partial = cim.lookup(call)
+    assert set(partial.answers) <= truth
+
+
+# ---------------------------------------------------------------------------
+# 2. Lossless summarization
+# ---------------------------------------------------------------------------
+
+observation_strategy = st.tuples(
+    st.sampled_from(["a", "b", "c", "d"]),
+    st.integers(1, 3),
+    st.floats(0.5, 100.0),
+    st.integers(0, 20),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    rows=st.lists(observation_strategy, min_size=1, max_size=30),
+    probe=st.sampled_from(["a", "b", "c", "d", BOUND]),
+)
+def test_lossless_summary_equals_raw_aggregate(rows, probe):
+    db = CostVectorDatabase()
+    observations = []
+    for arg1, arg2, t_all, card in rows:
+        obs = Observation(
+            call=GroundCall("d", "f", (arg1, arg2)),
+            vector=CostVector(t_all / 2, t_all, float(card)),
+        )
+        db.record(obs)
+        observations.append(obs)
+    table = SummaryTable.summarize(observations, "d", "f", 2)
+
+    pattern = CallPattern("d", "f", (probe, BOUND))
+    raw_vector, __ = db.estimate(pattern)
+    summary_vector, __ = table.aggregate(pattern)
+    if raw_vector.is_empty():
+        assert summary_vector is None or summary_vector.is_empty()
+    else:
+        assert summary_vector is not None
+        assert summary_vector.t_all_ms == pytest.approx(raw_vector.t_all_ms)
+        assert summary_vector.cardinality == pytest.approx(raw_vector.cardinality)
+        assert summary_vector.t_first_ms == pytest.approx(raw_vector.t_first_ms)
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows=st.lists(observation_strategy, min_size=1, max_size=30))
+def test_coarsening_preserves_global_average(rows):
+    """Dropping dimensions via count-weighted merge keeps the grand
+    average exact (lossy in resolution, not in totals)."""
+    observations = [
+        Observation(
+            call=GroundCall("d", "f", (arg1, arg2)),
+            vector=CostVector(t_all / 2, t_all, float(card)),
+        )
+        for arg1, arg2, t_all, card in rows
+    ]
+    lossless = SummaryTable.summarize(observations, "d", "f", 2)
+    for dims in ((0,), (1,), ()):
+        coarse = lossless.coarsen(dims)
+        pattern = CallPattern("d", "f", (BOUND, BOUND))
+        full, __ = lossless.aggregate(pattern)
+        reduced, __ = coarse.aggregate(pattern)
+        assert reduced.t_all_ms == pytest.approx(full.t_all_ms)
+        assert reduced.cardinality == pytest.approx(full.cardinality)
+
+
+# ---------------------------------------------------------------------------
+# 3. Plan equivalence
+# ---------------------------------------------------------------------------
+
+pair_lists = st.lists(
+    st.tuples(st.sampled_from("ab"), st.integers(1, 3)),
+    min_size=0,
+    max_size=6,
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(p_pairs=pair_lists, q_pairs=st.lists(
+    st.tuples(st.integers(1, 3), st.sampled_from("xyz")), max_size=6
+))
+def test_all_plans_compute_same_answers(p_pairs, q_pairs):
+    mediator = Mediator()
+    mediator.register_domain(
+        simple_domain(
+            "d1",
+            {
+                "p_ff": lambda: [tuple(pair) for pair in p_pairs],
+                "p_bb": lambda a, b: [True] if (a, b) in p_pairs else [],
+            },
+        )
+    )
+    mediator.register_domain(
+        simple_domain(
+            "d2",
+            {
+                "q_ff": lambda: [tuple(pair) for pair in q_pairs],
+                "q_bf": lambda b: [c for bb, c in q_pairs if bb == b],
+            },
+        )
+    )
+    mediator.load_program(
+        """
+        m(A, C) :- p(A, B) & q(B, C).
+        p(A, B) :- in(Ans, d1:p_ff()), =($Ans.1, A), =($Ans.2, B).
+        p(A, B) :- in(X, d1:p_bb(A, B)).
+        q(B, C) :- in(Ans, d2:q_ff()), =($Ans.1, B), =($Ans.2, C).
+        q(B, C) :- in(C, d2:q_bf(B)).
+        """
+    )
+    answer_sets = []
+    for plan in mediator.plans("?- m(a, C)."):
+        result = mediator.query("?- m(a, C).", plan=plan)
+        answer_sets.append(sorted(set(result.answers)))
+    assert len(answer_sets) >= 2
+    for answers in answer_sets[1:]:
+        assert answers == answer_sets[0]
+
+
+# ---------------------------------------------------------------------------
+# 4. Estimator monotonicity
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    base_cost=st.floats(1.0, 50.0),
+    extra=st.floats(0.1, 200.0),
+    card=st.integers(1, 10),
+)
+def test_estimator_monotone_in_source_cost(base_cost, extra, card):
+    from repro.core.estimator import RuleCostEstimator
+    from repro.core.model import make_in
+    from repro.core.plans import CallStep, Plan
+    from repro.core.terms import Variable
+    from repro.dcsm.module import DCSM
+    from repro.domains.base import CallResult
+
+    def trained(cost: float) -> DCSM:
+        dcsm = DCSM()
+        dcsm.record(
+            CallResult(
+                call=GroundCall("d", "f", ()),
+                answers=tuple(range(card)),
+                t_first_ms=cost / 2,
+                t_all_ms=cost,
+            )
+        )
+        return dcsm
+
+    X = Variable("X")
+    plan = Plan((CallStep(make_in(X, "d", "f")),), (X,))
+    cheap = RuleCostEstimator(trained(base_cost)).estimate(plan)
+    pricey = RuleCostEstimator(trained(base_cost + extra)).estimate(plan)
+    assert pricey.t_all_ms > cheap.t_all_ms
+    assert pricey.t_first_ms >= cheap.t_first_ms
+
+
+# ---------------------------------------------------------------------------
+# 5. Parser round trips on generated programs
+# ---------------------------------------------------------------------------
+
+from repro.core.parser import parse_program, parse_invariant
+
+
+_idents = st.sampled_from(["p", "q", "video", "fetch", "route_to"])
+_functions = st.sampled_from(["f", "select_eq", "frames_to_objects"])
+_variables = st.sampled_from(["X", "Y", "First", "Last", "Ans"])
+_constants = st.one_of(
+    st.integers(-99, 99),
+    st.sampled_from(["'quoted val'", "atom", "true", "4.5"]),
+)
+
+
+def _term_text(draw_variable: bool, value) -> str:
+    return value if isinstance(value, str) else str(value)
+
+
+_term_texts = st.one_of(_variables, _constants.map(_term_text.__get__(True)))
+
+
+@st.composite
+def rule_texts(draw):
+    head = draw(_idents)
+    head_vars = draw(st.lists(_variables, min_size=1, max_size=3, unique=True))
+    literals = []
+    for __ in range(draw(st.integers(1, 3))):
+        kind = draw(st.sampled_from(["in", "cmp"]))
+        if kind == "in":
+            out = draw(_variables)
+            fn = draw(_functions)
+            args = draw(st.lists(_term_texts, max_size=3))
+            literals.append(f"in({out}, d:{fn}({', '.join(args)}))")
+        else:
+            op = draw(st.sampled_from(["=", "<", "<=", ">", ">=", "!="]))
+            left = draw(_term_texts)
+            right = draw(_term_texts)
+            literals.append(f"{left} {op} {right}")
+    return f"{head}({', '.join(head_vars)}) :- {' & '.join(literals)}."
+
+
+@settings(max_examples=80, deadline=None)
+@given(text=rule_texts())
+def test_parser_round_trip_on_generated_rules(text):
+    program = parse_program(text)
+    assert len(program) == 1
+    again = parse_program(str(program.rules[0]))
+    assert again.rules == program.rules
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    lo=st.integers(0, 50),
+    hi=st.integers(51, 100),
+    relation=st.sampled_from([">=", "="]),
+)
+def test_invariant_round_trip_generated(lo, hi, relation):
+    text = (
+        f"V1 <= {hi} & V1 >= {lo} => "
+        f"d:f(T, V1) {relation} d:g(T, {lo})."
+    )
+    invariant = parse_invariant(text)
+    assert parse_invariant(str(invariant)) == invariant

@@ -1,0 +1,206 @@
+"""Relational substrate tests: schemas, tables, indexes, engine, CSV."""
+
+import io
+
+import pytest
+
+from repro.core.model import GroundCall
+from repro.core.terms import Row
+from repro.domains.relational.csvio import dump_table_csv, load_table_csv
+from repro.domains.relational.engine import RelationalEngine
+from repro.domains.relational.table import Schema, Table
+from repro.errors import BadCallError, SchemaError
+
+
+class TestSchema:
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(("a", "a"))
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(())
+
+    def test_index_of(self):
+        schema = Schema(("a", "b"))
+        assert schema.index_of("b") == 1
+        with pytest.raises(SchemaError):
+            schema.index_of("zzz")
+
+    def test_row_construction(self):
+        schema = Schema(("a", "b"))
+        row = schema.row([1, 2])
+        assert row.a == 1
+        with pytest.raises(SchemaError):
+            schema.row([1])
+
+
+class TestTable:
+    def make(self) -> Table:
+        table = Table("t", ["k", "v"])
+        table.insert_many([(1, "one"), (2, "two"), (3, "three"), (2, "dos")])
+        return table
+
+    def test_insert_sequence_and_dict_and_row(self):
+        table = Table("t", ["k", "v"])
+        table.insert((1, "a"))
+        table.insert({"k": 2, "v": "b"})
+        table.insert(Row([("k", 3), ("v", "c")]))
+        assert len(table) == 3
+
+    def test_insert_wrong_row_schema(self):
+        table = Table("t", ["k", "v"])
+        with pytest.raises(SchemaError):
+            table.insert(Row([("x", 1), ("v", "a")]))
+
+    def test_insert_dict_missing_column(self):
+        table = Table("t", ["k", "v"])
+        with pytest.raises(SchemaError):
+            table.insert({"k": 1})
+
+    def test_full_scan(self):
+        table = self.make()
+        scan = table.scan()
+        assert scan.cardinality == 4
+        assert scan.rows_scanned == 4
+
+    def test_select_eq_scan(self):
+        table = self.make()
+        scan = table.select_eq("k", 2)
+        assert scan.cardinality == 2
+        assert scan.first_match_position == 1
+
+    def test_select_eq_indexed(self):
+        table = self.make()
+        table.create_index("k")
+        scan = table.select_eq("k", 2)
+        assert scan.cardinality == 2
+        assert scan.rows_scanned == 2  # probe touches only matches
+
+    def test_index_maintained_on_insert(self):
+        table = self.make()
+        table.create_index("k")
+        table.insert((2, "zwei"))
+        assert table.select_eq("k", 2).cardinality == 3
+
+    def test_select_cmp(self):
+        import operator
+
+        table = self.make()
+        scan = table.select_cmp("k", operator.ge, 2)
+        assert scan.cardinality == 3
+
+    def test_select_cmp_type_error_rows_skipped(self):
+        import operator
+
+        table = Table("t", ["k"])
+        table.insert_many([(1,), ("x",), (3,)])
+        scan = table.select_cmp("k", operator.lt, 2)
+        assert scan.cardinality == 1
+
+    def test_project(self):
+        table = self.make()
+        assert table.project("v") == ("one", "two", "three", "dos")
+
+
+class TestEngine:
+    @pytest.fixture
+    def engine(self) -> RelationalEngine:
+        engine = RelationalEngine("rel")
+        engine.create_table(
+            "inventory",
+            ["item", "loc", "qty"],
+            [
+                ("fuel", "depot", 100),
+                ("ammo", "depot", 50),
+                ("fuel", "camp", 20),
+            ],
+            index_on=["item"],
+        )
+        return engine
+
+    def call(self, engine, fn, *args):
+        return engine.execute(GroundCall("rel", fn, args))
+
+    def test_all(self, engine):
+        result = self.call(engine, "all", "inventory")
+        assert result.cardinality == 3
+
+    def test_equal_uses_alias(self, engine):
+        r1 = self.call(engine, "equal", "inventory", "item", "fuel")
+        r2 = self.call(engine, "select_eq", "inventory", "item", "fuel")
+        assert r1.answers == r2.answers
+        assert r1.cardinality == 2
+
+    def test_indexed_select_is_cheaper(self, engine):
+        indexed = self.call(engine, "equal", "inventory", "item", "fuel")
+        scanned = self.call(engine, "equal", "inventory", "loc", "depot")
+        assert indexed.t_all_ms < scanned.t_all_ms + 1.0
+
+    def test_comparison_selects(self, engine):
+        assert self.call(engine, "select_lt", "inventory", "qty", 50).cardinality == 1
+        assert self.call(engine, "select_le", "inventory", "qty", 50).cardinality == 2
+        assert self.call(engine, "select_gt", "inventory", "qty", 50).cardinality == 1
+        assert self.call(engine, "select_ge", "inventory", "qty", 50).cardinality == 2
+        assert self.call(engine, "select_ne", "inventory", "loc", "depot").cardinality == 1
+
+    def test_select_range(self, engine):
+        result = self.call(engine, "select_range", "inventory", "qty", 20, 60)
+        assert result.cardinality == 2
+
+    def test_project_distinct(self, engine):
+        result = self.call(engine, "project", "inventory", "item")
+        assert set(result.answers) == {"fuel", "ammo"}
+        assert result.cardinality == 2  # deduplicated
+
+    def test_count(self, engine):
+        result = self.call(engine, "count", "inventory")
+        assert result.answers == (3,)
+
+    def test_unknown_table(self, engine):
+        with pytest.raises(BadCallError):
+            self.call(engine, "all", "nope")
+
+    def test_duplicate_table_rejected(self, engine):
+        with pytest.raises(SchemaError):
+            engine.create_table("inventory", ["a"])
+
+    def test_monotone_scan_cost(self, engine):
+        """Cost grows with rows scanned."""
+        small = self.call(engine, "select_lt", "inventory", "qty", 30)
+        engine.create_table(
+            "big", ["item", "loc", "qty"],
+            [("x", "y", i) for i in range(500)],
+        )
+        big = engine.execute(GroundCall("rel", "select_lt", ("big", "qty", 30)))
+        assert big.t_all_ms > small.t_all_ms
+
+
+class TestCsv:
+    def test_round_trip(self):
+        table = Table("t", ["name", "qty"])
+        table.insert_many([("fuel", 10), ("ammo", 20)])
+        buffer = io.StringIO()
+        dump_table_csv(table, buffer)
+        buffer.seek(0)
+        loaded = load_table_csv(buffer, "t2")
+        assert loaded.schema.columns == ("name", "qty")
+        assert loaded.rows[0].qty == 10  # int inferred
+
+    def test_type_inference(self):
+        buffer = io.StringIO("a,b,c\n1,2.5,xyz\n")
+        table = load_table_csv(buffer, "t")
+        row = table.rows[0]
+        assert row.a == 1 and row.b == 2.5 and row.c == "xyz"
+
+    def test_headerless_needs_columns(self):
+        buffer = io.StringIO("1,2\n")
+        with pytest.raises(SchemaError):
+            load_table_csv(buffer, "t", has_header=False)
+        buffer.seek(0)
+        table = load_table_csv(buffer, "t", has_header=False, columns=["a", "b"])
+        assert len(table) == 1
+
+    def test_empty_csv_with_header_flag(self):
+        with pytest.raises(SchemaError):
+            load_table_csv(io.StringIO(""), "t")

@@ -1,0 +1,192 @@
+"""Rule rewriter tests: unfolding, pushdown, reordering, CIM routing."""
+
+import pytest
+
+from repro.core.model import Comparison, Constant, InAtom
+from repro.core.parser import parse_program, parse_query
+from repro.core.plans import CallStep, CompareStep
+from repro.core.rewriter import Rewriter, RewriterConfig, _simplify
+from repro.core.terms import Variable
+from repro.errors import PlanningError, RecursionNotSupportedError
+
+M1 = parse_program(
+    """
+    m(A, C) :- p(A, B) & q(B, C).
+    p(A, B) :- in(Ans, d1:p_ff()), =($Ans.1, A), =($Ans.2, B).
+    p(A, B) :- in(A, d1:p_fb(B)).
+    p(A, B) :- in(X, d1:p_bb(A, B)).
+    q(B, C) :- in(Ans, d2:q_ff()), =($Ans.1, B), =($Ans.2, C).
+    q(B, C) :- in(C, d2:q_bf(B)).
+    """
+)
+
+
+class TestPaperExample:
+    """The paper's (M1)/(Q7) worked example from §5."""
+
+    def setup_method(self):
+        self.rewriter = Rewriter(M1)
+        self.plans = self.rewriter.plans(parse_query("?- m(a, C)."))
+
+    def test_multiple_plans_found(self):
+        assert len(self.plans) >= 4
+
+    def test_p8_like_plan_exists(self):
+        """d1 first (filtered to A=a), then d2:q_bf(B) — the paper's (P8)."""
+        assert any(
+            adorns == ("d1:p_ff^f", "d2:q_bf^bf")
+            for adorns in (plan.adornments() for plan in self.plans)
+        )
+
+    def test_p12_like_plan_exists(self):
+        """d2:q_ff first, then p with both args bound — the paper's (P12)."""
+        assert any(
+            adorns == ("d2:q_ff^f", "d1:p_bb^bbf")
+            for adorns in (plan.adornments() for plan in self.plans)
+        )
+
+    def test_unexecutable_order_excluded(self):
+        """q_bf(B) can never run before B is bound."""
+        for plan in self.plans:
+            first_call = plan.call_steps()[0]
+            assert first_call.atom.call.function in ("p_ff", "q_ff")
+
+    def test_selection_pushed_into_call(self):
+        """Plans using p_bb have the constant 'a' inside the call args."""
+        for plan in self.plans:
+            for call_step in plan.call_steps():
+                if call_step.atom.call.function == "p_bb":
+                    assert Constant("a") in call_step.atom.call.args
+
+    def test_plans_are_deduplicated(self):
+        signatures = [plan.signature() for plan in self.plans]
+        assert len(signatures) == len(set(signatures))
+
+    def test_answer_vars_preserved(self):
+        for plan in self.plans:
+            assert plan.answer_vars == (Variable("C"),)
+
+
+class TestBindingPropagation:
+    def test_answer_var_bound_to_constant_still_projected(self):
+        program = parse_program("p(X) :- in(Y, d:f()) & =(X, 1).")
+        plans = Rewriter(program).plans(parse_query("?- p(X)."))
+        assert plans
+        # X must be bound somewhere in every plan
+        for plan in plans:
+            comparisons = [
+                s.comparison for s in plan.steps if isinstance(s, CompareStep)
+            ]
+            assert any(Variable("X") in c.variables() for c in comparisons)
+
+    def test_query_constant_reaches_source(self):
+        program = parse_program("p(A, B) :- in(B, d:f(A)).")
+        plans = Rewriter(program).plans(parse_query("?- p(7, B)."))
+        call = plans[0].call_steps()[0].atom.call
+        assert call.args == (Constant(7),)
+
+
+class TestSimplification:
+    def test_true_comparison_dropped(self):
+        literals = (Comparison("=", Constant(1), Constant(1)),)
+        assert _simplify(literals) == ()
+
+    def test_false_comparison_kills_expansion(self):
+        literals = (Comparison("=", Constant(1), Constant(2)),)
+        assert _simplify(literals) is None
+
+    def test_dead_rule_branch_removed(self):
+        program = parse_program(
+            """
+            p(X) :- in(X, d:f()) & =(X, X).
+            top(X) :- p(X) & 1 = 2.
+            """
+        )
+        with pytest.raises(PlanningError):
+            Rewriter(program).plans(parse_query("?- top(X)."))
+
+    def test_constant_head_mismatch_prunes_rule(self):
+        program = parse_program(
+            """
+            p(a, X) :- in(X, d:f()).
+            p(b, X) :- in(X, d:g()).
+            """
+        )
+        plans = Rewriter(program).plans(parse_query("?- p(a, X)."))
+        functions = {
+            s.atom.call.function for plan in plans for s in plan.call_steps()
+        }
+        assert functions == {"f"}
+
+
+class TestErrors:
+    def test_recursive_program_rejected(self):
+        program = parse_program("p(X) :- p(X).")
+        with pytest.raises(RecursionNotSupportedError):
+            Rewriter(program)
+
+    def test_undefined_predicate(self):
+        program = parse_program("p(X) :- q(X).")
+        with pytest.raises(PlanningError):
+            Rewriter(program).plans(parse_query("?- p(X)."))
+
+    def test_no_executable_order(self):
+        # d:f needs X bound but nothing ever binds it
+        program = parse_program("p(Y) :- in(Y, d:f(X)).")
+        with pytest.raises(PlanningError):
+            Rewriter(program).plans(parse_query("?- p(Y)."))
+
+
+class TestConfigBounds:
+    def test_max_plans_respected(self):
+        config = RewriterConfig(max_plans=2)
+        plans = Rewriter(M1, config).plans(parse_query("?- m(a, C)."))
+        assert len(plans) <= 2
+
+    def test_deep_unfolding(self):
+        rules = ["top(X) :- l1(X)."]
+        for i in range(1, 6):
+            rules.append(f"l{i}(X) :- l{i + 1}(X).")
+        rules.append("l6(X) :- in(X, d:f()).")
+        program = parse_program("\n".join(rules))
+        plans = Rewriter(program).plans(parse_query("?- top(X)."))
+        assert len(plans) == 1
+
+    def test_depth_limit_blocks_very_deep(self):
+        rules = ["top(X) :- l1(X)."]
+        for i in range(1, 30):
+            rules.append(f"l{i}(X) :- l{i + 1}(X).")
+        rules.append("l30(X) :- in(X, d:f()).")
+        program = parse_program("\n".join(rules))
+        config = RewriterConfig(max_depth=5)
+        with pytest.raises(PlanningError):
+            Rewriter(program, config).plans(parse_query("?- top(X)."))
+
+
+class TestCimRouting:
+    def test_with_cim_all(self):
+        plans = Rewriter(M1).plans(parse_query("?- m(a, C)."))
+        routed = plans[0].with_cim(None)
+        assert all(s.via_cim for s in routed.call_steps())
+
+    def test_with_cim_subset(self):
+        plans = Rewriter(M1).plans(parse_query("?- m(a, C)."))
+        routed = plans[0].with_cim({"d1"})
+        for call_step in routed.call_steps():
+            expected = call_step.atom.call.domain == "d1"
+            assert call_step.via_cim is expected
+
+
+class TestDirectDomainCallQueries:
+    def test_query_of_bare_in_atom(self):
+        program = parse_program("dummy(X) :- in(X, d:f()).")
+        plans = Rewriter(program).plans(parse_query("?- in(X, d:f(1))."))
+        assert len(plans) == 1
+        assert plans[0].call_steps()[0].atom.call.args == (Constant(1),)
+
+    def test_conjunctive_direct_query(self):
+        program = parse_program("dummy(X) :- in(X, d:f()).")
+        query = parse_query("?- in(X, d:f()) & in(Y, e:g(X)) & Y < 9.")
+        plans = Rewriter(program).plans(query)
+        assert plans
+        assert plans[0].adornments()[0] == "d:f^f"

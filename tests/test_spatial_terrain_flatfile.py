@@ -1,0 +1,283 @@
+"""Tests for the spatial, terrain, and flat-file substrates."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.model import GroundCall
+from repro.domains.flatfile import FlatFileDomain
+from repro.domains.spatial.domain import SpatialDomain
+from repro.domains.spatial.index import GridIndex, Point
+from repro.domains.terrain.domain import TerrainDomain
+from repro.domains.terrain.grid import TerrainGrid
+from repro.errors import BadCallError
+
+
+# ---------------------------------------------------------------------------
+# Spatial
+# ---------------------------------------------------------------------------
+
+
+class TestGridIndex:
+    def test_range_query_exact(self):
+        points = [Point("a", 0, 0), Point("b", 3, 4), Point("c", 10, 10)]
+        index = GridIndex(points, cell_size=5)
+        result = index.range_query(0, 0, 5.0)
+        assert {p.name for p in result.points} == {"a", "b"}
+
+    def test_boundary_inclusive(self):
+        index = GridIndex([Point("edge", 3, 4)], cell_size=5)
+        assert index.range_query(0, 0, 5.0).points  # dist == 5 exactly
+
+    def test_zero_radius(self):
+        index = GridIndex([Point("origin", 1, 1)], cell_size=5)
+        assert index.range_query(1, 1, 0.0).points
+        assert not index.range_query(2, 1, 0.0).points
+
+    def test_negative_radius_rejected(self):
+        index = GridIndex([], cell_size=5)
+        with pytest.raises(BadCallError):
+            index.range_query(0, 0, -1)
+
+    def test_bounds_and_diameter(self):
+        index = GridIndex([Point("a", 0, 0), Point("b", 100, 100)])
+        assert index.bounds == (0, 0, 100, 100)
+        assert index.diameter == pytest.approx(math.hypot(100, 100))
+
+    def test_empty_index(self):
+        index = GridIndex([])
+        assert index.bounds == (0.0, 0.0, 0.0, 0.0)
+        assert len(index) == 0
+
+    def test_work_grows_with_radius(self):
+        rng = random.Random(1)
+        points = [
+            Point(f"p{i}", rng.uniform(0, 100), rng.uniform(0, 100))
+            for i in range(200)
+        ]
+        index = GridIndex(points, cell_size=10)
+        small = index.range_query(50, 50, 5)
+        large = index.range_query(50, 50, 60)
+        assert large.cells_visited > small.cells_visited
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    points=st.lists(
+        st.tuples(
+            st.floats(0, 100, allow_nan=False),
+            st.floats(0, 100, allow_nan=False),
+        ),
+        max_size=40,
+    ),
+    center=st.tuples(
+        st.floats(0, 100, allow_nan=False), st.floats(0, 100, allow_nan=False)
+    ),
+    radius=st.floats(0, 150, allow_nan=False),
+)
+def test_range_query_matches_brute_force(points, center, radius):
+    """Property: the grid index returns exactly the brute-force answer."""
+    named = [Point(f"p{i}", x, y) for i, (x, y) in enumerate(points)]
+    index = GridIndex(named, cell_size=7.0)
+    expected = {
+        p.name for p in named if p.distance_to(center[0], center[1]) <= radius
+    }
+    got = {p.name for p in index.range_query(center[0], center[1], radius).points}
+    assert got == expected
+
+
+class TestSpatialDomain:
+    def test_range_function(self):
+        domain = SpatialDomain()
+        domain.add_file("pts", [Point("a", 1, 1), Point("b", 50, 50)])
+        result = domain.execute(GroundCall("spatial", "range", ("pts", 0.0, 0.0, 10.0)))
+        assert [row.name for row in result.answers] == ["a"]
+
+    def test_extent_function(self):
+        domain = SpatialDomain()
+        domain.add_file("pts", [Point("a", 0, 0), Point("b", 30, 40)])
+        result = domain.execute(GroundCall("spatial", "extent", ("pts",)))
+        row = result.answers[0]
+        assert row.diameter == pytest.approx(50.0)
+
+    def test_unknown_file(self):
+        domain = SpatialDomain()
+        with pytest.raises(BadCallError):
+            domain.execute(GroundCall("spatial", "range", ("x", 0.0, 0.0, 1.0)))
+
+    def test_cost_grows_with_radius(self):
+        domain = SpatialDomain()
+        rng = random.Random(3)
+        domain.add_file(
+            "pts",
+            [Point(f"p{i}", rng.uniform(0, 100), rng.uniform(0, 100)) for i in range(300)],
+        )
+        small = domain.execute(GroundCall("spatial", "range", ("pts", 50.0, 50.0, 5.0)))
+        large = domain.execute(GroundCall("spatial", "range", ("pts", 50.0, 50.0, 200.0)))
+        assert large.t_all_ms > small.t_all_ms
+
+
+# ---------------------------------------------------------------------------
+# Terrain
+# ---------------------------------------------------------------------------
+
+
+class TestTerrainGrid:
+    def test_straight_route(self):
+        grid = TerrainGrid(10, 10)
+        result = grid.find_route((0, 0), (3, 0))
+        assert result.waypoints is not None
+        assert result.cost == pytest.approx(3.0)
+        assert result.waypoints[0] == (0, 0)
+        assert result.waypoints[-1] == (3, 0)
+
+    def test_route_respects_obstacles(self):
+        grid = TerrainGrid(10, 10)
+        grid.add_obstacle_rect(5, 0, 5, 8)  # wall with gap at y=9
+        result = grid.find_route((0, 0), (9, 0))
+        assert result.waypoints is not None
+        assert result.cost > 9.0  # forced detour
+        assert all(grid.cost_at(x, y) is not None for x, y in result.waypoints)
+
+    def test_unreachable(self):
+        grid = TerrainGrid(10, 10)
+        grid.add_obstacle_rect(5, 0, 5, 9)  # full wall
+        result = grid.find_route((0, 0), (9, 0))
+        assert result.waypoints is None
+
+    def test_weighted_cells_avoided(self):
+        grid = TerrainGrid(5, 5)
+        grid.set_cost(1, 0, 100.0)  # expensive direct cell
+        result = grid.find_route((0, 0), (2, 0))
+        assert result.cost < 100.0  # went around
+
+    def test_route_cost_is_optimal_on_small_grids(self):
+        """Cross-check Dijkstra against exhaustive path search."""
+        grid = TerrainGrid(4, 4)
+        grid.set_cost(1, 1, 5.0)
+        grid.set_cost(2, 2, None)
+        best = grid.find_route((0, 0), (3, 3))
+
+        # brute force with simple BFS over cost (uniform enumeration)
+        import itertools
+
+        def brute() -> float:
+            frontier = [((0, 0), 0.0, {(0, 0)})]
+            best_cost = float("inf")
+            while frontier:
+                node, cost, seen = frontier.pop()
+                if cost >= best_cost:
+                    continue
+                if node == (3, 3):
+                    best_cost = cost
+                    continue
+                for nx, ny, step_cost in grid.neighbors(*node):
+                    if (nx, ny) not in seen:
+                        frontier.append(((nx, ny), cost + step_cost, seen | {(nx, ny)}))
+            return best_cost
+
+        assert best.cost == pytest.approx(brute())
+
+    def test_place_management(self):
+        grid = TerrainGrid(5, 5)
+        grid.add_place("hq", 0, 0)
+        assert grid.place("hq") == (0, 0)
+        with pytest.raises(BadCallError):
+            grid.place("nowhere")
+
+    def test_place_on_obstacle_rejected(self):
+        grid = TerrainGrid(5, 5)
+        grid.set_cost(2, 2, None)
+        with pytest.raises(BadCallError):
+            grid.add_place("bad", 2, 2)
+
+
+class TestTerrainDomain:
+    @pytest.fixture
+    def domain(self) -> TerrainDomain:
+        grid = TerrainGrid(16, 16)
+        grid.add_place("alpha", 0, 0)
+        grid.add_place("omega", 15, 15)
+        return TerrainDomain(grid=grid)
+
+    def test_findrte(self, domain):
+        result = domain.execute(GroundCall("terraindb", "findrte", ("alpha", "omega")))
+        assert result.cardinality == 1
+        row = result.answers[0]
+        assert row.cost == pytest.approx(30.0)
+        assert row.hops == 31
+
+    def test_distance(self, domain):
+        result = domain.execute(GroundCall("terraindb", "distance", ("alpha", "omega")))
+        assert result.answers == (30.0,)
+
+    def test_places(self, domain):
+        result = domain.execute(GroundCall("terraindb", "places", ()))
+        assert set(result.answers) == {"alpha", "omega"}
+
+    def test_unreachable_returns_empty(self):
+        grid = TerrainGrid(8, 8)
+        grid.add_place("a", 0, 0)
+        grid.add_place("b", 7, 7)
+        grid.add_obstacle_rect(4, 0, 4, 7)
+        domain = TerrainDomain(grid=grid)
+        result = domain.execute(GroundCall("terraindb", "findrte", ("a", "b")))
+        assert result.answers == ()
+        assert result.t_all_ms > domain.base_cost_ms  # the search still cost
+
+
+# ---------------------------------------------------------------------------
+# Flat files
+# ---------------------------------------------------------------------------
+
+
+class TestFlatFile:
+    @pytest.fixture
+    def domain(self) -> FlatFileDomain:
+        domain = FlatFileDomain()
+        domain.add_file(
+            "inv",
+            ["depot|h-22 fuel|40", "fob|ammo|10", "camp|h-22 fuel|5", "hq|maps|1"],
+        )
+        return domain
+
+    def test_lines(self, domain):
+        result = domain.execute(GroundCall("flatfile", "lines", ("inv",)))
+        assert result.cardinality == 4
+
+    def test_grep(self, domain):
+        result = domain.execute(GroundCall("flatfile", "grep", ("inv", "fuel")))
+        assert result.cardinality == 2
+
+    def test_grep_no_match(self, domain):
+        result = domain.execute(GroundCall("flatfile", "grep", ("inv", "zzz")))
+        assert result.answers == ()
+
+    def test_field_eq(self, domain):
+        result = domain.execute(
+            GroundCall("flatfile", "field_eq", ("inv", 2, "h-22 fuel"))
+        )
+        assert result.cardinality == 2
+
+    def test_field_eq_position_validation(self, domain):
+        with pytest.raises(BadCallError):
+            domain.execute(GroundCall("flatfile", "field_eq", ("inv", 0, "x")))
+
+    def test_field_projection(self, domain):
+        result = domain.execute(GroundCall("flatfile", "field", ("inv", 1)))
+        assert result.answers == ("depot", "fob", "camp", "hq")
+
+    def test_first_match_position_affects_t_first(self, domain):
+        early = domain.execute(GroundCall("flatfile", "grep", ("inv", "depot")))
+        late = domain.execute(GroundCall("flatfile", "grep", ("inv", "maps")))
+        assert late.t_first_ms > early.t_first_ms
+
+    def test_unknown_file(self, domain):
+        with pytest.raises(BadCallError):
+            domain.execute(GroundCall("flatfile", "lines", ("none",)))
+
+    def test_duplicate_file_rejected(self, domain):
+        with pytest.raises(BadCallError):
+            domain.add_file("inv", [])

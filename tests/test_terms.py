@@ -1,0 +1,147 @@
+"""Unit tests for terms: Row records, attribute paths, value sizing."""
+
+import pytest
+
+from repro.core.terms import (
+    AttrPath,
+    Constant,
+    Row,
+    Variable,
+    format_value,
+    select_path,
+    term_from,
+    value_bytes,
+)
+from repro.errors import NotGroundError
+
+
+class TestRow:
+    def test_named_access(self):
+        row = Row([("name", "stewart"), ("role", "rupert")])
+        assert row.name == "stewart"
+        assert row.role == "rupert"
+
+    def test_positional_access_is_one_based(self):
+        row = Row([("a", 10), ("b", 20)])
+        assert row[1] == 10
+        assert row[2] == 20
+
+    def test_project_by_name_and_position(self):
+        row = Row([("x", 1.5), ("y", 2.5)])
+        assert row.project("y") == 2.5
+        assert row.project(1) == 1.5
+
+    def test_out_of_range_position(self):
+        row = Row([("a", 1)])
+        with pytest.raises(KeyError):
+            row.project(2)
+        with pytest.raises(KeyError):
+            row.project(0)
+
+    def test_unknown_field(self):
+        row = Row([("a", 1)])
+        with pytest.raises(KeyError):
+            row.project("b")
+        with pytest.raises(AttributeError):
+            _ = row.missing
+
+    def test_equality_and_hash(self):
+        r1 = Row([("a", 1), ("b", 2)])
+        r2 = Row([("a", 1), ("b", 2)])
+        r3 = Row([("a", 1), ("b", 3)])
+        assert r1 == r2
+        assert hash(r1) == hash(r2)
+        assert r1 != r3
+        assert len({r1, r2, r3}) == 2
+
+    def test_field_names_matter_for_equality(self):
+        assert Row([("a", 1)]) != Row([("b", 1)])
+
+    def test_from_dict(self):
+        row = Row({"k": "v"})
+        assert row.k == "v"
+
+    def test_iteration_and_len(self):
+        row = Row([("a", 1), ("b", 2)])
+        assert list(row) == [1, 2]
+        assert len(row) == 2
+
+    def test_as_dict_preserves_order(self):
+        row = Row([("z", 1), ("a", 2)])
+        assert list(row.as_dict()) == ["z", "a"]
+
+
+class TestTerms:
+    def test_constant_is_ground(self):
+        assert Constant(5).is_ground()
+        assert Constant(5).variables() == frozenset()
+
+    def test_variable_not_ground(self):
+        v = Variable("X")
+        assert not v.is_ground()
+        assert v.variables() == frozenset({v})
+
+    def test_attrpath_variables(self):
+        path = AttrPath(Variable("T"), ("name",))
+        assert path.variables() == frozenset({Variable("T")})
+        assert not path.is_ground()
+
+    def test_term_from_coerces_values(self):
+        assert term_from(3) == Constant(3)
+        assert term_from(Variable("X")) == Variable("X")
+
+    def test_str_rendering(self):
+        assert str(Constant("a")) == "'a'"
+        assert str(Constant(5)) == "5"
+        assert str(Variable("X")) == "X"
+        assert str(AttrPath(Variable("T"), ("loc",))) == "T.loc"
+
+
+class TestSelectPath:
+    def test_row_by_name(self):
+        row = Row([("loc", "depot")])
+        assert select_path(row, ("loc",)) == "depot"
+
+    def test_row_by_position(self):
+        row = Row([("a", 1), ("b", 2)])
+        assert select_path(row, (2,)) == 2
+
+    def test_tuple_by_position(self):
+        assert select_path(("x", "y"), (1,)) == "x"
+        assert select_path(("x", "y"), (2,)) == "y"
+
+    def test_nested_path(self):
+        inner = Row([("city", "rome")])
+        outer = Row([("address", inner)])
+        assert select_path(outer, ("address", "city")) == "rome"
+
+    def test_tuple_out_of_range(self):
+        with pytest.raises(KeyError):
+            select_path((1,), (2,))
+
+    def test_scalar_base_fails(self):
+        with pytest.raises(NotGroundError):
+            select_path(42, ("field",))
+
+
+class TestValueBytes:
+    def test_scalars(self):
+        assert value_bytes(True) == 1
+        assert value_bytes(7) == 8
+        assert value_bytes(1.5) == 8
+        assert value_bytes(None) == 1
+
+    def test_string_is_utf8_length(self):
+        assert value_bytes("abc") == 3
+
+    def test_row_sums_fields(self):
+        row = Row([("a", "xy"), ("b", 3)])
+        assert value_bytes(row) == 2 + 8 + 4  # fields + 2 per field overhead
+
+    def test_tuple_sums(self):
+        assert value_bytes(("ab", "c")) == 2 + 1 + 4
+
+
+def test_format_value():
+    assert format_value("s") == "'s'"
+    assert format_value(3) == "3"

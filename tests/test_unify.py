@@ -1,0 +1,162 @@
+"""Unit + property tests for substitutions and unification."""
+
+from hypothesis import given, strategies as st
+
+import pytest
+
+from repro.core.terms import AttrPath, Constant, Row, Variable
+from repro.core.unify import (
+    compose,
+    fresh_variable,
+    is_bound,
+    rename_apart,
+    resolve,
+    resolve_ground,
+    unify,
+    unify_sequences,
+    walk,
+)
+from repro.errors import NotGroundError
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+
+
+class TestWalkResolve:
+    def test_walk_chases_chains(self):
+        subst = {X: Y, Y: Constant(1)}
+        assert walk(X, subst) == Constant(1)
+
+    def test_walk_stops_at_unbound(self):
+        assert walk(X, {}) == X
+
+    def test_resolve_attrpath_over_row(self):
+        row = Row([("loc", "depot")])
+        subst = {X: Constant(row)}
+        path = AttrPath(X, ("loc",))
+        assert resolve(path, subst) == Constant("depot")
+
+    def test_resolve_attrpath_unbound_base_stays_symbolic(self):
+        path = AttrPath(X, ("loc",))
+        assert resolve(path, {}) == path
+
+    def test_resolve_attrpath_renamed_base(self):
+        path = AttrPath(X, (1,))
+        resolved = resolve(path, {X: Y})
+        assert resolved == AttrPath(Y, (1,))
+
+    def test_resolve_ground_raises_on_unbound(self):
+        with pytest.raises(NotGroundError):
+            resolve_ground(X, {})
+
+    def test_resolve_ground_value(self):
+        assert resolve_ground(X, {X: Constant(9)}) == 9
+
+    def test_is_bound(self):
+        assert is_bound(Constant(1), {})
+        assert is_bound(X, {X: Constant(1)})
+        assert not is_bound(X, {})
+
+
+class TestUnify:
+    def test_var_with_constant(self):
+        subst = unify(X, Constant(3), {})
+        assert subst is not None and subst[X] == Constant(3)
+
+    def test_constant_mismatch(self):
+        assert unify(Constant(1), Constant(2), {}) is None
+
+    def test_constant_match(self):
+        assert unify(Constant(1), Constant(1), {}) == {}
+
+    def test_var_with_var(self):
+        subst = unify(X, Y, {})
+        assert subst is not None
+        # both now resolve to the same representative
+        assert resolve(X, subst) == resolve(Y, subst)
+
+    def test_respects_existing_bindings(self):
+        subst = unify(X, Constant(1), {})
+        assert unify(X, Constant(2), subst) is None
+        assert unify(X, Constant(1), subst) is not None
+
+    def test_does_not_mutate_input(self):
+        base: dict = {}
+        unify(X, Constant(1), base)
+        assert base == {}
+
+    def test_sequences(self):
+        subst = unify_sequences([X, Y], [Constant(1), Constant(2)], {})
+        assert subst[X] == Constant(1)
+        assert subst[Y] == Constant(2)
+
+    def test_sequences_length_mismatch(self):
+        assert unify_sequences([X], [Constant(1), Constant(2)], {}) is None
+
+    def test_sequences_shared_variable(self):
+        assert unify_sequences([X, X], [Constant(1), Constant(2)], {}) is None
+        ok = unify_sequences([X, X], [Constant(1), Constant(1)], {})
+        assert ok is not None
+
+    def test_attrpath_resolvable_unifies(self):
+        row = Row([("a", 5)])
+        subst = {Y: Constant(row)}
+        path = AttrPath(Y, ("a",))
+        out = unify(path, X, subst)
+        assert out is not None
+        assert resolve(X, out) == Constant(5)
+
+
+class TestRenaming:
+    def test_fresh_variables_are_distinct(self):
+        a = fresh_variable("X")
+        b = fresh_variable("X")
+        assert a != b
+        assert "#" in a.name
+
+    def test_rename_apart_covers_all(self):
+        renaming = rename_apart([X, Y])
+        assert set(renaming) == {X, Y}
+        assert renaming[X] != renaming[Y]
+
+    def test_compose(self):
+        inner = {X: Y}
+        outer = {Y: Constant(1)}
+        combined = compose(outer, inner)
+        assert resolve(X, combined) == Constant(1)
+
+
+# -- property-based ---------------------------------------------------------
+
+values = st.one_of(st.integers(-50, 50), st.text(max_size=4), st.booleans())
+var_names = st.sampled_from(["A", "B", "C", "D"])
+terms = st.one_of(
+    values.map(Constant),
+    var_names.map(Variable),
+)
+
+
+@given(terms, terms)
+def test_unify_is_symmetric_in_success(t1, t2):
+    left = unify(t1, t2, {})
+    right = unify(t2, t1, {})
+    assert (left is None) == (right is None)
+
+
+@given(terms)
+def test_unify_with_self_is_identity(t):
+    assert unify(t, t, {}) == {}
+
+
+@given(terms, terms)
+def test_unifier_actually_unifies(t1, t2):
+    subst = unify(t1, t2, {})
+    if subst is not None:
+        assert resolve(t1, subst) == resolve(t2, subst)
+
+
+@given(st.lists(st.tuples(var_names.map(Variable), values.map(Constant)), max_size=4))
+def test_resolve_idempotent(bindings):
+    subst = dict(bindings)
+    for var in subst:
+        once = resolve(var, subst)
+        assert resolve(once, subst) == once

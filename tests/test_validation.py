@@ -1,0 +1,103 @@
+"""Program validation tests."""
+
+import pytest
+
+from repro.core.mediator import Mediator
+from repro.core.parser import parse_program
+from repro.core.validation import (
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    validate_program,
+)
+from repro.domains.base import simple_domain
+from repro.domains.registry import DomainRegistry
+
+
+@pytest.fixture
+def registry() -> DomainRegistry:
+    return DomainRegistry(
+        [simple_domain("d", {"f": lambda x: [x], "g": lambda: [1]})]
+    )
+
+
+def issues_for(text: str, registry) -> list:
+    return validate_program(parse_program(text), registry)
+
+
+class TestCallChecks:
+    def test_clean_program(self, registry):
+        assert issues_for("p(X) :- in(X, d:g()).", registry) == []
+
+    def test_unknown_domain(self, registry):
+        issues = issues_for("p(X) :- in(X, mystery:f(1)).", registry)
+        assert len(issues) == 1
+        assert issues[0].severity == SEVERITY_ERROR
+        assert "mystery" in issues[0].message
+
+    def test_unknown_function(self, registry):
+        issues = issues_for("p(X) :- in(X, d:zap(1)).", registry)
+        assert any("zap" in issue.message for issue in issues)
+        assert any("exports" in issue.message for issue in issues)
+
+    def test_arity_mismatch(self, registry):
+        issues = issues_for("p(X) :- in(X, d:f(1, 2)).", registry)
+        assert any("argument" in issue.message for issue in issues)
+
+    def test_remote_domains_unwrapped(self):
+        mediator = Mediator()
+        mediator.register_domain(
+            simple_domain("d", {"f": lambda x: [x]}), site="italy"
+        )
+        mediator.load_program("p(X) :- in(X, d:f(1)).")
+        assert mediator.validate_program() == []
+
+
+class TestStructuralChecks:
+    def test_undefined_predicate(self, registry):
+        issues = issues_for("p(X) :- q(X).", registry)
+        assert any("q/1" in issue.message for issue in issues)
+
+    def test_recursion_detected(self, registry):
+        issues = issues_for("p(X) :- p(X).", registry)
+        assert any("recursive" in issue.message for issue in issues)
+
+    def test_unorderable_body_warned(self, registry):
+        # Y is never bound: d:f(Y) can never execute
+        issues = issues_for("p(X) :- in(X, d:f(Y)).", registry)
+        warnings = [i for i in issues if i.severity == SEVERITY_WARNING]
+        assert warnings
+        assert "never bound" in warnings[0].message
+
+    def test_head_vars_assumed_bindable(self, registry):
+        # Y is a head variable: a query may bind it, so no warning
+        assert issues_for("p(X, Y) :- in(X, d:f(Y)).", registry) == []
+
+    def test_binding_equality_counts(self, registry):
+        text = "p(X) :- =(Y, 5) & in(X, d:f(Y))."
+        assert issues_for(text, registry) == []
+
+    def test_idb_outputs_assumed_bindable(self, registry):
+        text = "base(Y) :- in(Y, d:g()).\np(X) :- base(Y) & in(X, d:f(Y))."
+        assert issues_for(text, registry) == []
+
+    def test_errors_sorted_before_warnings(self, registry):
+        text = "p(X) :- in(X, mystery:f(Y)) & in(X, d:f(Z))."
+        issues = issues_for(text, registry)
+        severities = [issue.severity for issue in issues]
+        assert severities == sorted(
+            severities, key=lambda s: s != SEVERITY_ERROR
+        )
+
+    def test_issue_str(self, registry):
+        issues = issues_for("p(X) :- q(X).", registry)
+        assert "error" in str(issues[0])
+
+
+class TestMediatorIntegration:
+    def test_validate_via_mediator(self):
+        mediator = Mediator()
+        mediator.register_domain(simple_domain("d", {"g": lambda: [1]}))
+        mediator.load_program("p(X) :- in(X, d:g()).\nbad(X) :- in(X, nowhere:f()).")
+        issues = mediator.validate_program()
+        assert len(issues) == 1
+        assert "nowhere" in issues[0].message

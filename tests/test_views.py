@@ -1,0 +1,142 @@
+"""Materialized mediated view tests (paper §9)."""
+
+import pytest
+
+from repro.core.mediator import Mediator
+from repro.core.views import ViewManager
+from repro.domains.base import simple_domain
+from repro.errors import ReproError
+
+
+@pytest.fixture
+def mediator() -> Mediator:
+    state = {"rows": [("a", 1), ("a", 2), ("b", 3)]}
+    mediator = Mediator()
+    mediator.register_domain(
+        simple_domain(
+            "d",
+            {"p_ff": lambda: ([tuple(r) for r in state["rows"]], 20.0, 120.0)},
+        ),
+        site="italy",
+    )
+    mediator.load_program(
+        "pairs(A, B) :- in(Ans, d:p_ff()), =($Ans.1, A), =($Ans.2, B)."
+    )
+    mediator._test_state = state  # test hook to mutate the source
+    return mediator
+
+
+class TestMaterialize:
+    def test_view_answers_match_defining_query(self, mediator):
+        views = ViewManager(mediator)
+        view = views.materialize("cached_pairs", "?- pairs(A, B).")
+        assert view.cardinality == 3
+        result = mediator.query("?- cached_pairs(A, B).")
+        assert sorted(result.answers) == sorted(
+            mediator.query("?- pairs(A, B).").answers
+        )
+
+    def test_view_queries_are_local_fast(self, mediator):
+        views = ViewManager(mediator)
+        views.materialize("cached_pairs", "?- pairs(A, B).")
+        remote = mediator.query("?- pairs(A, B).")
+        local = mediator.query("?- cached_pairs(A, B).")
+        assert local.t_all_ms < remote.t_all_ms / 100
+
+    def test_view_joins_like_any_predicate(self, mediator):
+        views = ViewManager(mediator)
+        views.materialize("cached_pairs", "?- pairs(A, B).")
+        mediator.add_rule("big(A) :- cached_pairs(A, B) & B > 1.")
+        result = mediator.query("?- big(A).")
+        assert sorted(result.answers) == [("a",), ("b",)]
+
+    def test_view_projection_query(self, mediator):
+        views = ViewManager(mediator)
+        views.materialize("cached_pairs", "?- pairs(A, B).")
+        result = mediator.query("?- cached_pairs(a, B).")
+        assert sorted(result.column("B")) == [1, 2]
+
+    def test_bad_view_name_rejected(self, mediator):
+        views = ViewManager(mediator)
+        with pytest.raises(ReproError):
+            views.materialize("Bad-Name", "?- pairs(A, B).")
+
+    def test_view_over_view(self, mediator):
+        views = ViewManager(mediator)
+        views.materialize("cached_pairs", "?- pairs(A, B).")
+        # the defining query projects only B, so the view has one column
+        views.materialize("a_only", "?- cached_pairs(a, B).")
+        result = mediator.query("?- a_only(B).")
+        assert sorted(result.column("B")) == [1, 2]
+
+
+class TestStalenessAndRefresh:
+    def test_view_is_a_snapshot(self, mediator):
+        views = ViewManager(mediator)
+        views.materialize("cached_pairs", "?- pairs(A, B).")
+        mediator._test_state["rows"].append(("c", 4))
+        stale = mediator.query("?- cached_pairs(A, B).")
+        assert stale.cardinality == 3  # still the old extent
+
+    def test_refresh_picks_up_changes(self, mediator):
+        views = ViewManager(mediator)
+        views.materialize("cached_pairs", "?- pairs(A, B).")
+        mediator._test_state["rows"].append(("c", 4))
+        refreshed = views.refresh("cached_pairs")
+        assert refreshed.cardinality == 4
+        assert refreshed.refreshes == 1
+        assert mediator.query("?- cached_pairs(A, B).").cardinality == 4
+
+    def test_staleness_tracks_clock(self, mediator):
+        views = ViewManager(mediator)
+        views.materialize("cached_pairs", "?- pairs(A, B).")
+        mediator.clock.advance(500.0)
+        assert views.staleness_ms("cached_pairs") == pytest.approx(500.0)
+
+    def test_drop_removes_view_and_rule(self, mediator):
+        views = ViewManager(mediator)
+        views.materialize("cached_pairs", "?- pairs(A, B).")
+        views.drop("cached_pairs")
+        from repro.errors import PlanningError
+
+        with pytest.raises(PlanningError):
+            mediator.query("?- cached_pairs(A, B).")
+        with pytest.raises(ReproError):
+            views.refresh("cached_pairs")
+
+    def test_materialize_again_after_drop(self, mediator):
+        views = ViewManager(mediator)
+        views.materialize("cached_pairs", "?- pairs(A, B).")
+        views.drop("cached_pairs")
+        view = views.materialize("cached_pairs", "?- pairs(A, B).")
+        assert view.cardinality == 3
+        assert mediator.query("?- cached_pairs(A, B).").cardinality == 3
+
+    def test_rematerialize_same_name_replaces_extent(self, mediator):
+        views = ViewManager(mediator)
+        views.materialize("cached_pairs", "?- pairs(A, B).")
+        mediator._test_state["rows"].append(("c", 4))
+        views.materialize("cached_pairs", "?- pairs(A, B).")
+        # only one rule installed: planning still works and sees new rows
+        result = mediator.query("?- cached_pairs(A, B).")
+        assert result.cardinality == 4
+
+
+class TestOptimizerInteraction:
+    def test_optimizer_prefers_view_access_path(self, mediator):
+        """With both the remote rule and a view rule defining the same
+        predicate, the optimizer should pick the view branch."""
+        views = ViewManager(mediator)
+        views.materialize("cached_pairs", "?- pairs(A, B).")
+        # make the view an ALTERNATIVE access path for pairs itself
+        mediator.add_rule(
+            "pairs(A, B) :- cached_pairs(A, B)."
+        )
+        # train both branches
+        for plan in mediator.plans("?- pairs(A, B)."):
+            mediator.query("?- pairs(A, B).", plan=plan)
+        result = mediator.query("?- pairs(A, B).")
+        # chosen plan must route through the views domain
+        domains = {s.atom.call.domain for s in result.chosen.call_steps()}
+        assert domains == {"views"}
+        assert result.t_all_ms < 10.0

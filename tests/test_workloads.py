@@ -1,0 +1,115 @@
+"""Workload package tests: dataset fidelity and generators."""
+
+import pytest
+
+from repro.core.model import GroundCall
+from repro.domains.spatial.domain import SpatialDomain
+from repro.workloads.datasets import (
+    ROPE_CAST,
+    build_inventory_engine,
+    build_logistics_terrain,
+    build_points_file,
+    build_rope_avis,
+)
+from repro.workloads.generators import CallWorkload, frame_interval_pool, zipf_choice
+
+
+class TestRopeDataset:
+    def test_paper_cardinalities(self):
+        avis = build_rope_avis()
+        video = avis.video("rope")
+        assert len(video.objects_between(4, 47)) == 19
+        assert len(video.objects_between(4, 127)) == 24
+        assert len(ROPE_CAST) == 6
+        # every cast role is an AVIS object
+        roles = {role for __, role in ROPE_CAST}
+        assert roles <= set(video.objects())
+
+    def test_video_has_late_objects_outside_both_intervals(self):
+        video = build_rope_avis().video("rope")
+        all_objects = set(video.objects())
+        in_127 = set(video.objects_between(4, 127))
+        assert all_objects - in_127  # the late props exist
+
+
+class TestLogisticsDataset:
+    def test_inventory_queryable(self):
+        engine = build_inventory_engine()
+        result = engine.execute(
+            GroundCall("ingres", "equal", ("inventory", "item", "h-22 fuel"))
+        )
+        assert result.cardinality == 3
+
+    def test_terrain_routes_between_all_places(self):
+        terrain = build_logistics_terrain()
+        places = terrain.grid.place_names()
+        assert len(places) >= 5
+        for destination in places:
+            if destination == "place1":
+                continue
+            result = terrain.execute(
+                GroundCall("terraindb", "findrte", ("place1", destination))
+            )
+            assert result.cardinality == 1, f"no route to {destination}"
+
+
+class TestPointsDataset:
+    def test_points_within_square_and_diameter_under_142(self):
+        domain = SpatialDomain()
+        build_points_file(domain, count=200)
+        index = domain.file("points")
+        min_x, min_y, max_x, max_y = index.bounds
+        assert 0 <= min_x and max_x <= 100
+        assert 0 <= min_y and max_y <= 100
+        assert index.diameter <= 142
+
+    def test_radius_142_covers_everything(self):
+        domain = SpatialDomain()
+        build_points_file(domain, count=150)
+        index = domain.file("points")
+        everything = index.range_query(50, 50, 142)
+        assert len(everything.points) == len(index)
+
+
+class TestGenerators:
+    def test_zipf_uniform_degenerate(self):
+        import random
+
+        rng = random.Random(0)
+        items = [1, 2, 3]
+        draws = {zipf_choice(rng, items, skew=0) for _ in range(50)}
+        assert draws == {1, 2, 3}
+
+    def test_zipf_skew_prefers_head(self):
+        import random
+
+        rng = random.Random(0)
+        items = list(range(10))
+        draws = [zipf_choice(rng, items, skew=2.0) for _ in range(500)]
+        head = sum(1 for d in draws if d == 0)
+        tail = sum(1 for d in draws if d == 9)
+        assert head > 5 * max(tail, 1)
+
+    def test_zipf_empty_rejected(self):
+        import random
+
+        with pytest.raises(ValueError):
+            zipf_choice(random.Random(0), [])
+
+    def test_call_workload_deterministic(self):
+        w1 = CallWorkload("d", "f", (["a", "b"], [1, 2, 3]), seed=5)
+        w2 = CallWorkload("d", "f", (["a", "b"], [1, 2, 3]), seed=5)
+        assert list(w1.draws(10)) == list(w2.draws(10))
+
+    def test_call_workload_shape(self):
+        workload = CallWorkload("d", "f", (["a"], [1, 2]), seed=1)
+        call = workload.draw()
+        assert call.domain == "d"
+        assert call.args[0] == "a"
+        assert call.args[1] in (1, 2)
+        assert workload.distinct_space() == 2
+
+    def test_frame_interval_pool_clipped(self):
+        pool = frame_interval_pool(100, starts=[1, 90], widths=[5, 50])
+        assert (90, 100) in pool
+        assert all(1 <= first <= last <= 100 for first, last in pool)
