@@ -9,8 +9,6 @@ Each test toggles one mechanism and asserts the direction of the effect:
 * predicate-level first-answer statistics (the §8 remedy).
 """
 
-import pytest
-
 from repro.cim.cache import POLICY_LFU, POLICY_LRU, ResultCache
 from repro.cim.manager import CacheInvariantManager, CimPolicy
 from repro.core.model import GroundCall

@@ -8,7 +8,7 @@ rate rises.
 
 import pytest
 
-from repro.cim.cache import POLICY_LFU, POLICY_LRU
+from repro.cim.cache import POLICY_LRU
 from repro.experiments import caching
 
 

@@ -49,7 +49,15 @@ from repro.cim import CacheInvariantManager, CimPolicy, ResultCache
 from repro.dcsm import DCSM, BOUND, CallPattern, CostVector
 from repro.domains import Domain
 from repro.errors import ReproError
-from repro.net import RemoteDomain, SimClock, make_site
+from repro.metrics import MetricsRegistry
+from repro.net import (
+    FaultInjector,
+    FaultSpec,
+    RemoteDomain,
+    RetryPolicy,
+    SimClock,
+    make_site,
+)
 
 __version__ = "1.0.0"
 
@@ -73,6 +81,10 @@ __all__ = [
     "CostVector",
     "Domain",
     "ReproError",
+    "MetricsRegistry",
+    "FaultInjector",
+    "FaultSpec",
+    "RetryPolicy",
     "RemoteDomain",
     "SimClock",
     "make_site",

@@ -78,6 +78,11 @@ class ResultCache:
         self._entries: "OrderedDict[GroundCall, CacheEntry]" = OrderedDict()
         self._by_function: dict[str, dict[GroundCall, CacheEntry]] = {}
         self._total_bytes = 0
+        # TTL-expired entries parked for degraded serving (peek_stale): an
+        # expired answer set is still better than none when the source is
+        # unreachable.  Not counted in len()/total_bytes; purged on
+        # invalidation (the data is then known wrong, not merely old).
+        self._stale: "OrderedDict[GroundCall, CacheEntry]" = OrderedDict()
 
     # -- core operations ---------------------------------------------------
 
@@ -89,6 +94,7 @@ class ResultCache:
             self.stats.misses += 1
             return None
         if self._expired(entry, now_ms):
+            self._park_stale(call, entry)
             self._remove(call)
             self.stats.expirations += 1
             self.stats.misses += 1
@@ -107,6 +113,15 @@ class ResultCache:
             return None
         return entry
 
+    def peek_stale(self, call: GroundCall) -> Optional[CacheEntry]:
+        """Lookup ignoring TTL: degraded mode prefers an expired answer
+        set over no answers at all when the source is unreachable.
+        Checks live entries first, then the parked TTL-expired ones."""
+        entry = self._entries.get(call)
+        if entry is not None:
+            return entry
+        return self._stale.get(call)
+
     def put(
         self,
         call: GroundCall,
@@ -119,6 +134,7 @@ class ResultCache:
         A complete result always replaces an incomplete one; an incomplete
         result never downgrades a cached complete one.
         """
+        self._stale.pop(call, None)  # fresh data supersedes the parked copy
         existing = self._entries.get(call)
         if existing is not None:
             if existing.complete and not complete:
@@ -142,6 +158,7 @@ class ResultCache:
 
     def invalidate(self, call: GroundCall) -> bool:
         """Drop one entry; True if it existed."""
+        self._stale.pop(call, None)
         if call in self._entries:
             self._remove(call)
             return True
@@ -154,6 +171,8 @@ class ResultCache:
         calls = list(self._by_function.get(key, ()))
         for call in calls:
             self._remove(call)
+        for call in [c for c in self._stale if c.qualified_name == key]:
+            del self._stale[call]
         return len(calls)
 
     def invalidate_domain(self, domain: str) -> int:
@@ -165,11 +184,14 @@ class ResultCache:
             for call in list(self._by_function.get(key, ())):
                 self._remove(call)
                 removed += 1
+        for call in [c for c in self._stale if c.domain == domain]:
+            del self._stale[call]
         return removed
 
     def clear(self) -> None:
         self._entries.clear()
         self._by_function.clear()
+        self._stale.clear()
         self._total_bytes = 0
         self.stats = CacheStats()
 
@@ -202,6 +224,13 @@ class ResultCache:
 
     def _expired(self, entry: CacheEntry, now_ms: float) -> bool:
         return self.ttl_ms is not None and now_ms - entry.stored_at_ms >= self.ttl_ms
+
+    def _park_stale(self, call: GroundCall, entry: CacheEntry) -> None:
+        self._stale[call] = entry
+        self._stale.move_to_end(call)
+        limit = self.max_entries if self.max_entries is not None else 256
+        while len(self._stale) > limit:
+            self._stale.popitem(last=False)
 
     def _remove(self, call: GroundCall) -> None:
         entry = self._entries.pop(call)

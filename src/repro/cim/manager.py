@@ -38,11 +38,13 @@ from repro.core.terms import Value
 from repro.domains.base import (
     CallResult,
     SOURCE_CACHE,
+    SOURCE_DEGRADED,
     SOURCE_INVARIANT_EQ,
     SOURCE_INVARIANT_PARTIAL,
 )
 from repro.domains.registry import DomainRegistry
 from repro.errors import BadCallError, SourceUnavailableError
+from repro.metrics import MetricsRegistry
 from repro.net.clock import SimClock
 
 #: Separator of the paper's "CIM:domain&function" encoding.
@@ -68,7 +70,13 @@ class CimStats:
     misses: int = 0
     real_calls: int = 0
     stale_served: int = 0
+    degraded_served: int = 0  # degraded-lookup answers after source failure
     partial_answer_bytes: int = 0  # bytes served out of partial hits
+
+    @property
+    def hits(self) -> int:
+        """Every call the cache layer answered without completing a real call."""
+        return self.exact_hits + self.equality_hits + self.partial_hits
 
 
 class CacheInvariantManager:
@@ -89,6 +97,7 @@ class CacheInvariantManager:
         merge_cost_ms: float = 0.005,
         serve_stale_on_outage: bool = True,
         observer: Optional[Callable[[CallResult], None]] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.registry = registry
         self.clock = clock
@@ -107,7 +116,12 @@ class CacheInvariantManager:
         self.merge_cost_ms = merge_cost_ms
         self.serve_stale_on_outage = serve_stale_on_outage
         self.observer = observer
+        self.metrics = metrics
         self.stats = CimStats()
+
+    def _inc(self, name: str, amount: float = 1.0) -> None:
+        if self.metrics is not None:
+            self.metrics.inc(name, amount)
 
     # -- configuration ---------------------------------------------------------
 
@@ -174,12 +188,14 @@ class CacheInvariantManager:
 
     def lookup(self, call: GroundCall) -> CallResult:
         self.stats.calls += 1
+        self._inc("cim.calls")
         now = self._now
 
         # 1. exact hit
         entry = self.cache_for(call.domain).get(call, now)
         if entry is not None and entry.complete:
             self.stats.exact_hits += 1
+            self._inc("cim.hits.exact")
             return self._from_cache(call, entry.answers, SOURCE_CACHE,
                                      checked=0, scanned=0)
 
@@ -190,6 +206,7 @@ class CacheInvariantManager:
         match = match_invariants(self.invariants, call, self._cache_view, now)
         if match is not None and match.is_equality:
             self.stats.equality_hits += 1
+            self._inc("cim.hits.equality")
             return self._from_cache(
                 call,
                 match.entry.answers,
@@ -212,6 +229,7 @@ class CacheInvariantManager:
 
         if partial_answers is not None:
             self.stats.partial_hits += 1
+            self._inc("cim.hits.partial")
             self.stats.partial_answer_bytes += sum(
                 _safe_bytes(a) for a in partial_answers
             )
@@ -221,6 +239,7 @@ class CacheInvariantManager:
 
         # 4. miss → real call
         self.stats.misses += 1
+        self._inc("cim.misses")
         overhead = (
             self.lookup_cost_ms + self.invariant_check_cost_ms * overhead_checked
         )
@@ -295,6 +314,7 @@ class CacheInvariantManager:
         except SourceUnavailableError:
             if self.serve_stale_on_outage:
                 self.stats.stale_served += 1
+                self._inc("cim.stale_served")
                 return CallResult(
                     call=call,
                     answers=partial,
@@ -328,9 +348,46 @@ class CacheInvariantManager:
             complete=True,
         )
 
+    def lookup_degraded(self, call: GroundCall) -> Optional[CallResult]:
+        """Best-effort answers for a call whose source cannot be reached.
+
+        Consulted by the executor after the retry policy gave up on a
+        site: any cached entry for the exact call (complete, incomplete,
+        even expired) or any invariant-derived answer set is better than
+        failing the whole query.  Answers are flagged ``complete=False``
+        and provenance :data:`~repro.domains.base.SOURCE_DEGRADED` so the
+        caller can tell the result is stale-but-usable.  Returns ``None``
+        when the cache offers nothing at all.
+        """
+        now = self._now
+        cache = self.cache_for(call.domain)
+        checked = scanned = 0
+        entry = cache.peek_stale(call)
+        answers = entry.answers if entry is not None else None
+        if answers is None:
+            match = match_invariants(self.invariants, call, self._cache_view, now)
+            if match is not None:
+                answers = match.entry.answers
+                checked = match.invariants_checked
+                scanned = match.entries_scanned
+        if answers is None:
+            return None
+        self.stats.degraded_served += 1
+        self._inc("cim.degraded_served")
+        t_first, t_all = self._cache_path_cost(len(answers), checked, scanned)
+        return CallResult(
+            call=call,
+            answers=answers,
+            t_first_ms=t_first,
+            t_all_ms=t_all,
+            provenance=SOURCE_DEGRADED,
+            complete=False,
+        )
+
     def _real_call(self, call: GroundCall) -> CallResult:
         result = self.registry.execute(call)
         self.stats.real_calls += 1
+        self._inc("cim.real_calls")
         self.cache_for(call.domain).put(
             call, result.answers, self._now, complete=True
         )

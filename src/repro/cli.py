@@ -13,6 +13,7 @@ Commands (everything else is parsed as a rule or a query):
     :cim on|off               route queries through the cache manager
     :validate                 static checks of rules vs registered domains
     :stats                    DCSM / CIM counters
+    :metrics                  the shared metrics registry (counters/histograms)
     :save-stats FILE          persist DCSM statistics
     :load-stats FILE          restore DCSM statistics
     :domains                  registered domains and their functions
@@ -21,6 +22,17 @@ Commands (everything else is parsed as a rule or a query):
 
 Queries start with ``?-``; bare rules (``head :- body.``) extend the
 program.
+
+There is also a non-interactive subcommand::
+
+    python -m repro stats [--demo NAME] [--cim] [--flaky RATE] [QUERY ...]
+
+which loads a demo testbed, runs the given queries (``?- ...`` strings),
+and prints the end-to-end metrics report — clock, DCSM, CIM, and every
+counter/histogram the run recorded.  ``--flaky RATE`` injects transient
+faults at every remote site with the given per-attempt probability and
+enables the default retry policy, so the report shows the resilience
+counters (``executor.retries``, ``net.faults.*``) in action.
 """
 
 from __future__ import annotations
@@ -154,6 +166,8 @@ class MediatorShell:
             self.write(f"CIM:   {self.mediator.cim.stats}")
             self.write(f"cache: {len(self.mediator.cim.cache)} entries, "
                        f"{self.mediator.cim.cache.total_bytes} bytes")
+        elif command == ":metrics":
+            self.write(self.mediator.metrics.render())
         elif command == ":save-stats":
             from repro.dcsm.persistence import save_statistics
 
@@ -179,16 +193,101 @@ class MediatorShell:
         self.write(explain_last_execution(result))
 
 
-def main(argv: Optional[list[str]] = None) -> int:
-    """CLI entry point: ``python -m repro [--demo NAME] [program.med ...]``."""
-    argv = list(sys.argv[1:] if argv is None else argv)
-    shell = MediatorShell()
+def _make_flaky(mediator: Mediator, rate: float) -> None:
+    """Inject transient faults at every remote site and turn on retries."""
+    from repro.net.faults import FaultInjector, FaultSpec
+    from repro.net.policy import RetryPolicy
+    from repro.net.remote import RemoteDomain
+
+    for index, endpoint in enumerate(mediator.registry):
+        if isinstance(endpoint, RemoteDomain):
+            endpoint.faults = FaultInjector(
+                FaultSpec(failure_rate=rate, seed=index),
+                metrics=mediator.metrics,
+            )
+            if endpoint.metrics is None:
+                endpoint.metrics = mediator.metrics
+    mediator.executor.set_policy(RetryPolicy())
+
+
+def stats_main(argv: list[str], stdout: Optional[IO[str]] = None) -> int:
+    """``python -m repro stats`` — run queries, print the metrics report.
+
+    Options: ``--demo NAME`` picks the testbed (default ``rope``),
+    ``--cim`` routes the queries through the cache manager, ``--flaky
+    RATE`` injects transient faults (per-attempt probability) at every
+    site under the default retry policy, and the remaining arguments run
+    in order: ``?- ...`` strings execute as queries, anything else loads
+    as a program file.
+    """
+    out = stdout if stdout is not None else sys.stdout
+    demo = "rope"
+    use_cim = False
+    flaky: Optional[float] = None
+    queries: list[str] = []
+    argv = list(argv)
     while argv:
         arg = argv.pop(0)
-        if arg == "--demo":
-            shell.mediator = _build_demo(argv.pop(0))
+        if arg in ("--demo", "--flaky"):
+            if not argv:
+                raise ReproError(f"{arg} requires a value")
+            value = argv.pop(0)
+            if arg == "--demo":
+                demo = value
+            else:
+                try:
+                    flaky = float(value)
+                except ValueError:
+                    raise ReproError(
+                        f"--flaky requires a numeric rate, got {value!r}"
+                    ) from None
+                if not 0.0 <= flaky <= 1.0:
+                    raise ReproError(f"--flaky rate must be in [0, 1], got {flaky}")
+        elif arg == "--cim":
+            use_cim = True
         else:
-            with open(arg) as handle:
-                shell.mediator.load_program(handle.read())
+            queries.append(arg)  # query or program file, handled in order
+    mediator = _build_demo(demo)
+    if flaky is not None:
+        _make_flaky(mediator, flaky)
+    answers = 0
+    ran = 0
+    for item in queries:
+        if item.startswith("?-"):
+            result = mediator.query(item, use_cim=use_cim or None)
+            ran += 1
+            answers += result.cardinality
+        else:
+            with open(item) as handle:
+                mediator.load_program(handle.read())
+    out.write(f"== repro stats (demo {demo!r}) ==\n")
+    out.write(f"queries: {ran} run, {answers} answer(s)\n")
+    out.write(f"clock: {mediator.clock.now_ms:.1f} simulated ms\n")
+    out.write(f"DCSM:  {mediator.dcsm.observation_count()} observations\n")
+    out.write(f"CIM:   {mediator.cim.stats}\n")
+    out.write("metrics:\n")
+    out.write(mediator.metrics.render() + "\n")
+    return 0
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """CLI entry point: ``python -m repro [stats] [--demo NAME] [...]``."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    try:
+        if argv and argv[0] == "stats":
+            return stats_main(argv[1:])
+        shell = MediatorShell()
+        while argv:
+            arg = argv.pop(0)
+            if arg == "--demo":
+                if not argv:
+                    raise ReproError("--demo requires a value")
+                shell.mediator = _build_demo(argv.pop(0))
+            else:
+                with open(arg) as handle:
+                    shell.mediator.load_program(handle.read())
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     shell.run()
     return 0

@@ -52,6 +52,16 @@ class QueryResult:
     def complete(self) -> bool:
         return self.execution.complete
 
+    @property
+    def retries(self) -> int:
+        return self.execution.retries
+
+    @property
+    def degraded(self) -> bool:
+        """True when any answer came from stale cache state because the
+        source stayed unreachable through the retry policy."""
+        return self.execution.degraded
+
     def rows(self) -> list[dict[str, Value]]:
         return self.execution.rows()
 
@@ -92,6 +102,7 @@ class QueryResult:
             f"({self.cardinality} answers, T_first={t_first}ms, "
             f"T_all={self.t_all_ms:.1f}ms"
             + ("" if self.complete else ", INCOMPLETE")
+            + (", DEGRADED" if self.degraded else "")
             + ")"
         )
         return "\n".join(lines)

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.adornment import is_binding_assignment, step as adorn_step, term_is_bound
-from repro.core.model import Constant
+from repro.core.terms import Constant
 from repro.core.plans import CallStep, Plan, PlanStep
 from repro.core.terms import Variable
 from repro.dcsm.module import DCSM

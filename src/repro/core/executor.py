@@ -19,6 +19,7 @@ delivers answers in batches and asks a callback whether to continue.
 
 from __future__ import annotations
 
+import random
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, Optional
@@ -31,8 +32,17 @@ from repro.core.unify import Substitution, resolve, resolve_ground, unify
 from repro.dcsm.module import DCSM
 from repro.domains.base import CallResult
 from repro.domains.registry import DomainRegistry
-from repro.errors import NotGroundError, ReproError
+from repro.errors import (
+    DeadlineExceededError,
+    NotGroundError,
+    PermanentSourceError,
+    ReproError,
+    RetryExhaustedError,
+    SourceUnavailableError,
+)
+from repro.metrics import MetricsRegistry
 from repro.net.clock import SimClock
+from repro.net.policy import RetryPolicy, run_with_retry
 
 MODE_ALL = "all"
 MODE_INTERACTIVE = "interactive"
@@ -65,6 +75,8 @@ class _RunStats:
 
     calls: int = 0
     incomplete_results: int = 0
+    retries: int = 0
+    degraded: int = 0
     memo: dict = field(default_factory=dict)
     trace: "Optional[list[TraceEvent]]" = None
 
@@ -86,10 +98,18 @@ class ExecutionResult:
     calls: int
     provenance: Counter = field(default_factory=Counter)
     trace: tuple[TraceEvent, ...] = ()
+    retries: int = 0
+    degraded_calls: int = 0
 
     @property
     def cardinality(self) -> int:
         return len(self.answers)
+
+    @property
+    def degraded(self) -> bool:
+        """True when any call was answered from stale cache state because
+        its source stayed unreachable through the retry policy."""
+        return self.degraded_calls > 0
 
     def rows(self) -> list[dict[str, Value]]:
         """Answers as dicts keyed by variable name."""
@@ -111,6 +131,9 @@ class Executor:
         display_cost_ms: float = 0.05,
         memoize_calls: bool = False,
         memo_hit_cost_ms: float = 0.01,
+        policy: Optional[RetryPolicy] = None,
+        degrade_on_failure: bool = True,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.registry = registry
         self.clock = clock
@@ -119,6 +142,13 @@ class Executor:
         self.record_statistics = record_statistics
         self.init_overhead_ms = init_overhead_ms
         self.display_cost_ms = display_cost_ms
+        # resilience: with a policy, failing dispatches are retried with
+        # backoff; when the source stays down the CIM is consulted for
+        # degraded (stale-but-usable) answers before the error propagates
+        self.policy = policy
+        self.degrade_on_failure = degrade_on_failure
+        self.metrics = metrics
+        self._retry_rng = random.Random(policy.seed) if policy is not None else None
         # the paper (§7 footnote 2) executes nested loops with NO duplicate
         # elimination, so the same ground call may be issued repeatedly;
         # "caching gets around the disadvantages".  memoize_calls=True is
@@ -126,6 +156,11 @@ class Executor:
         # within ONE plan execution are answered from a per-run memo.
         self.memoize_calls = memoize_calls
         self.memo_hit_cost_ms = memo_hit_cost_ms
+
+    def set_policy(self, policy: Optional[RetryPolicy]) -> None:
+        """Swap the retry policy (and reseed its jitter stream)."""
+        self.policy = policy
+        self._retry_rng = random.Random(policy.seed) if policy is not None else None
 
     # -- public API -----------------------------------------------------------
 
@@ -200,6 +235,8 @@ class Executor:
             calls=stats.calls,
             provenance=provenance,
             trace=tuple(stats.trace) if stats.trace is not None else (),
+            retries=stats.retries,
+            degraded_calls=stats.degraded,
         )
 
     def stream(
@@ -253,7 +290,7 @@ class Executor:
                 complete=cached.complete,
             )
         else:
-            result = self._dispatch(ground, step.via_cim)
+            result = self._dispatch(ground, step.via_cim, stats)
             if self.memoize_calls:
                 stats.memo[memo_key] = result
         provenance[result.provenance] += 1
@@ -351,13 +388,59 @@ class Executor:
 
     # -- dispatch ------------------------------------------------------------------
 
-    def _dispatch(self, call: GroundCall, via_cim: bool) -> CallResult:
+    def _dispatch(
+        self, call: GroundCall, via_cim: bool, stats: Optional[_RunStats] = None
+    ) -> CallResult:
+        if self.metrics is not None:
+            self.metrics.inc("executor.dispatches")
+        if self.policy is None:
+            return self._dispatch_once(call, via_cim)
+
+        def on_retry(attempt: int, error: Exception, backoff_ms: float) -> None:
+            if stats is not None:
+                stats.retries += 1
+            if self.metrics is not None:
+                self.metrics.inc("executor.retries")
+                self.metrics.inc("executor.backoff_ms", backoff_ms)
+
+        try:
+            return run_with_retry(
+                lambda: self._dispatch_once(call, via_cim),
+                self.policy,
+                self.clock,
+                rng=self._retry_rng,
+                on_retry=on_retry,
+            )
+        except (
+            PermanentSourceError,
+            RetryExhaustedError,
+            DeadlineExceededError,
+            SourceUnavailableError,
+        ) as exc:
+            degraded = self._degraded_fallback(call)
+            if degraded is None:
+                if self.metrics is not None:
+                    self.metrics.inc("executor.failures")
+                raise exc
+            if stats is not None:
+                stats.degraded += 1
+            if self.metrics is not None:
+                self.metrics.inc("executor.degraded_calls")
+            return degraded
+
+    def _dispatch_once(self, call: GroundCall, via_cim: bool) -> CallResult:
         if via_cim and self.cim is not None:
             return self.cim.execute(call)
         result = self.registry.execute(call)
         if self.record_statistics and self.dcsm is not None:
             self.dcsm.record(result)
         return result
+
+    def _degraded_fallback(self, call: GroundCall) -> Optional[CallResult]:
+        """Stale-but-usable answers for a call whose source stayed down."""
+        if not self.degrade_on_failure or self.cim is None:
+            return None
+        return self.cim.lookup_degraded(call)
 
     @staticmethod
     def _project(

@@ -94,4 +94,8 @@ def explain_last_execution(result) -> str:
         + f"; {result.execution.calls} source call(s); "
         f"provenance {dict(result.execution.provenance) or '{}'}"
     )
+    lines.append(
+        f"resilience: {result.execution.retries} retries, "
+        f"{result.execution.degraded_calls} degraded call(s)"
+    )
     return "\n".join(lines)

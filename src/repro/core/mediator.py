@@ -41,8 +41,11 @@ from repro.core.rewriter import Rewriter, RewriterConfig
 from repro.dcsm.module import DCSM
 from repro.domains.base import Domain
 from repro.domains.registry import DomainRegistry
-from repro.errors import PlanningError
+from repro.errors import PlanningError, ReproError
+from repro.metrics import MetricsRegistry
 from repro.net.clock import SimClock
+from repro.net.faults import FaultInjector, FaultSpec
+from repro.net.policy import RetryPolicy
 from repro.net.remote import RemoteDomain
 from repro.net.sites import Site, make_site
 
@@ -66,10 +69,21 @@ class Mediator:
         display_cost_ms: float = 0.05,
         use_predicate_first_stats: bool = False,
         memoize_calls: bool = False,
+        retry_policy: Optional[RetryPolicy] = None,
+        degrade_on_failure: bool = True,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.clock = clock if clock is not None else SimClock()
         self.registry = DomainRegistry()
-        self.dcsm = dcsm if dcsm is not None else DCSM(clock=self.clock)
+        # one registry shared by every subsystem, so `repro stats` sees the
+        # whole picture; components passed in with their own registry keep it
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.retry_policy = retry_policy
+        self.dcsm = (
+            dcsm if dcsm is not None else DCSM(clock=self.clock, metrics=self.metrics)
+        )
+        if self.dcsm.metrics is None:
+            self.dcsm.metrics = self.metrics
         self.cim = (
             cim
             if cim is not None
@@ -78,8 +92,11 @@ class Mediator:
                 self.clock,
                 policy=cim_policy,
                 observer=self.dcsm.record if record_statistics else None,
+                metrics=self.metrics,
             )
         )
+        if self.cim.metrics is None:
+            self.cim.metrics = self.metrics
         self.program = Program()
         self.rewriter_config = (
             rewriter_config if rewriter_config is not None else RewriterConfig()
@@ -96,6 +113,9 @@ class Mediator:
             init_overhead_ms=init_overhead_ms,
             display_cost_ms=display_cost_ms,
             memoize_calls=memoize_calls,
+            policy=retry_policy,
+            degrade_on_failure=degrade_on_failure,
+            metrics=self.metrics,
         )
         self._rewriter: Optional[Rewriter] = None
         # paper §8's proposed remedy for first-answer underprediction:
@@ -114,15 +134,27 @@ class Mediator:
         domain: Domain,
         site: "str | Site | None" = None,
         seed: int = 0,
+        faults: "FaultInjector | FaultSpec | None" = None,
     ) -> None:
         """Register a source; with ``site`` it is reached through the
-        simulated network (by catalog name or an explicit ``Site``)."""
+        simulated network (by catalog name or an explicit ``Site``).
+        ``faults`` injects probabilistic transient/timeout/permanent
+        failures at that site (see :mod:`repro.net.faults`)."""
         if site is None:
+            if faults is not None:
+                raise ReproError(
+                    "fault injection applies to remote sources; "
+                    f"register {domain.name!r} with a site"
+                )
             self.registry.add(domain)
             return
         if isinstance(site, str):
             site = make_site(site, seed=seed)
-        self.registry.add(RemoteDomain(domain, site, self.clock))
+        self.registry.add(
+            RemoteDomain(
+                domain, site, self.clock, faults=faults, metrics=self.metrics
+            )
+        )
 
     def load_program(self, program: "str | Program") -> None:
         """Add rules (text or a parsed Program) to the mediator."""
@@ -300,6 +332,7 @@ class Mediator:
             trace=trace,
         )
         self._record_predicate_first(query, execution)
+        self._observe_query(execution, chosen_estimate)
         return QueryResult(
             query=query,
             execution=execution,
@@ -342,6 +375,18 @@ class Mediator:
                 plan, initial_subst=self._bindings_subst(bindings)
             )
         return cursor
+
+    def _observe_query(self, execution, chosen_estimate) -> None:
+        """Per-query metrics, including the DCSM's estimate-vs-actual error."""
+        self.metrics.inc("mediator.queries")
+        self.metrics.inc("mediator.answers", float(execution.cardinality))
+        self.metrics.observe("mediator.query_ms", execution.t_all_ms)
+        if execution.degraded_calls:
+            self.metrics.inc("mediator.degraded_queries")
+        if chosen_estimate is not None:
+            self.dcsm.record_estimate_error(
+                chosen_estimate.vector, execution.t_first_ms, execution.t_all_ms
+            )
 
     # -- predicate-level first-answer statistics (paper §8 remedy) -----------------
 
@@ -421,6 +466,8 @@ class Mediator:
         seen: set[tuple] = set()
         provenance: Counter = Counter()
         calls = 0
+        retries = 0
+        degraded_calls = 0
         t_first: Optional[float] = None
         start_ms = self.clock.now_ms
         complete = True
@@ -437,6 +484,8 @@ class Mediator:
             )
             provenance.update(execution.provenance)
             calls += execution.calls
+            retries += execution.retries
+            degraded_calls += execution.degraded_calls
             complete = complete and execution.complete
             elapsed_before_branch = (
                 self.clock.now_ms - start_ms - execution.t_all_ms
@@ -461,7 +510,11 @@ class Mediator:
             complete=complete,
             calls=calls,
             provenance=provenance,
+            retries=retries,
+            degraded_calls=degraded_calls,
         )
+        # no estimate-error sample here: branch estimates do not price the union
+        self._observe_query(merged, None)
         return QueryResult(
             query=query,
             execution=merged,

@@ -21,7 +21,6 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable, Union
 
 from repro.core.terms import (
-    Constant,
     Term,
     Value,
     Variable,

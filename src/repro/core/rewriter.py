@@ -29,7 +29,6 @@ from typing import Iterator, Optional
 from repro.core.adornment import is_binding_assignment, step as adorn_step
 from repro.core.model import (
     Comparison,
-    Constant,
     DomainCall,
     InAtom,
     Literal,
@@ -38,7 +37,7 @@ from repro.core.model import (
     Query,
 )
 from repro.core.plans import CallStep, CompareStep, Plan, PlanStep
-from repro.core.terms import Term, Variable
+from repro.core.terms import Constant, Term, Variable
 from repro.core.unify import (
     Substitution,
     rename_apart,

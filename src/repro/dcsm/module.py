@@ -33,6 +33,7 @@ from repro.dcsm.summary import SummaryTable, lossy_dims_from_program
 from repro.dcsm.vectors import CostVector, Observation
 from repro.domains.base import CallResult
 from repro.errors import EstimationError
+from repro.metrics import MetricsRegistry
 from repro.net.clock import SimClock
 
 MODE_RAW = "raw"
@@ -60,11 +61,13 @@ class DCSM:
             dict[str, Callable[[CallPattern], Optional[CostVector]]]
         ] = None,
         max_observations_per_function: Optional[int] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if mode not in (MODE_RAW, MODE_LOSSLESS, MODE_LOSSY):
             raise EstimationError(f"unknown DCSM mode {mode!r}")
         self.clock = clock
         self.mode = mode
+        self.metrics = metrics
         self.database = CostVectorDatabase(max_observations_per_function)
         self.estimator = CostEstimator(
             database=self.database,
@@ -100,12 +103,43 @@ class DCSM:
             complete=result.complete,
         )
         self.database.record(observation)
+        if self.metrics is not None:
+            self.metrics.inc("dcsm.observations")
         key = (result.call.domain, result.call.function)
         info = self._functions.get(key)
         if info is None:
             self._functions[key] = _FunctionInfo(arity=result.call.arity)
         self._summaries_stale = True
         return observation
+
+    def record_estimate_error(
+        self,
+        predicted: "CostVector",
+        actual_t_first_ms: Optional[float],
+        actual_t_all_ms: float,
+    ) -> None:
+        """Record how far an estimate landed from the measured outcome.
+
+        Feeds the ``dcsm.error.*`` histograms (relative error, so 0.5
+        means 50% off regardless of scale) — the observable the paper's
+        Figure 6 "utility of the DCSM" argument rests on.
+        """
+        if self.metrics is None:
+            return
+        if predicted.t_all_ms is not None and actual_t_all_ms > 0:
+            self.metrics.observe(
+                "dcsm.error.t_all_rel",
+                abs(predicted.t_all_ms - actual_t_all_ms) / actual_t_all_ms,
+            )
+        if (
+            predicted.t_first_ms is not None
+            and actual_t_first_ms is not None
+            and actual_t_first_ms > 0
+        ):
+            self.metrics.observe(
+                "dcsm.error.t_first_rel",
+                abs(predicted.t_first_ms - actual_t_first_ms) / actual_t_first_ms,
+            )
 
     def record_predicate_first(self, name: str, arity: int, t_first_ms: float) -> None:
         """Record an observed predicate-level time-to-first-answer."""
@@ -198,6 +232,18 @@ class DCSM:
         return self.estimate(request).vector
 
     def estimate(self, request: "CallPattern | GroundCall") -> Estimate:
+        try:
+            estimate = self._estimate(request)
+        except EstimationError:
+            if self.metrics is not None:
+                self.metrics.inc("dcsm.estimates.failed")
+            raise
+        if self.metrics is not None:
+            self.metrics.inc("dcsm.estimates")
+            self.metrics.inc(f"dcsm.estimates.{estimate.source}")
+        return estimate
+
+    def _estimate(self, request: "CallPattern | GroundCall") -> Estimate:
         if isinstance(request, GroundCall):
             pattern = CallPattern.from_call(request)
         else:

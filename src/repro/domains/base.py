@@ -30,6 +30,7 @@ SOURCE_DOMAIN = "domain"
 SOURCE_CACHE = "cache"
 SOURCE_INVARIANT_EQ = "invariant-eq"
 SOURCE_INVARIANT_PARTIAL = "invariant-partial"
+SOURCE_DEGRADED = "degraded"  # stale/partial answers served because the source failed
 
 
 @dataclass(frozen=True, slots=True)

@@ -60,6 +60,68 @@ class SourceUnavailableError(ReproError):
         super().__init__(f"domain '{domain}'{detail} is unavailable{eta}")
 
 
+class TransientSourceError(ReproError):
+    """A remote attempt failed transiently; retrying may succeed.
+
+    Raised by the fault-injection layer (:mod:`repro.net.faults`) and
+    retried by :class:`repro.net.policy.RetryPolicy`.
+    """
+
+    def __init__(self, domain: str, site: str = "", detail: str = "transient fault"):
+        self.domain = domain
+        self.site = site
+        where = f" at site '{site}'" if site else ""
+        super().__init__(f"domain '{domain}'{where}: {detail}")
+
+
+class SourceTimeoutError(TransientSourceError):
+    """A remote attempt exceeded its per-attempt timeout (retryable)."""
+
+    def __init__(self, domain: str, site: str = "", timeout_ms: float = 0.0):
+        self.timeout_ms = timeout_ms
+        super().__init__(
+            domain, site, detail=f"attempt timed out after {timeout_ms:.0f}ms"
+        )
+
+
+class PermanentSourceError(ReproError):
+    """The site failed in a way retries cannot fix (hard-down source)."""
+
+    def __init__(self, domain: str, site: str = ""):
+        self.domain = domain
+        self.site = site
+        where = f" at site '{site}'" if site else ""
+        super().__init__(f"domain '{domain}'{where} failed permanently")
+
+
+class RetryExhaustedError(ReproError):
+    """Every attempt allowed by the retry policy failed."""
+
+    def __init__(self, attempts: int, last: Exception | None = None):
+        self.attempts = attempts
+        self.last = last
+        detail = f": last error: {last}" if last is not None else ""
+        super().__init__(f"call failed after {attempts} attempt(s){detail}")
+
+
+class DeadlineExceededError(ReproError):
+    """The per-call deadline elapsed before any attempt succeeded."""
+
+    def __init__(
+        self,
+        deadline_ms: float,
+        elapsed_ms: float,
+        last: Exception | None = None,
+    ):
+        self.deadline_ms = deadline_ms
+        self.elapsed_ms = elapsed_ms
+        self.last = last
+        super().__init__(
+            f"call deadline of {deadline_ms:.0f}ms exceeded "
+            f"({elapsed_ms:.0f}ms elapsed)"
+        )
+
+
 class PlanningError(ReproError):
     """No executable plan exists for a query (e.g. unsatisfiable adornments)."""
 

@@ -1,0 +1,185 @@
+"""A lightweight in-process metrics registry.
+
+Every subsystem of the mediator — the executor, the network wrapper, the
+CIM, and the DCSM — records what it actually did into a shared
+:class:`MetricsRegistry`: counters for discrete events (call attempts,
+retries, timeouts, cache-hit kinds) and histograms for continuous ones
+(per-call latency, transfer bytes, estimate-vs-actual error).  The
+registry is what ``repro stats`` and the shell's ``:metrics`` command
+render, and what the resilience tests assert against.
+
+Design constraints, in order:
+
+* **zero dependencies** — plain dicts and floats, no client library;
+* **cheap when idle** — a counter increment is one dict lookup and one
+  float add; components hold ``metrics=None`` and skip recording
+  entirely when no registry is attached;
+* **deterministic** — values derive only from simulated execution, so a
+  seeded run produces byte-identical reports.
+
+The metric *names* form a stable catalog documented in
+``docs/RESILIENCE.md``; dotted lower-case names (``net.retries``,
+``cim.hits.exact``) keep related series adjacent in the rendered report.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.errors import ReproError
+
+
+class Counter:
+    """A monotonically increasing (float-valued) event counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> float:
+        if amount < 0:
+            raise ReproError(f"counter {self.name!r} cannot decrease (by {amount})")
+        self.value += amount
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self.value:g})"
+
+
+class Histogram:
+    """A streaming distribution: running moments plus retained samples.
+
+    Retains every observation (experiments are small and simulated), so
+    exact quantiles are available; running count/sum/min/max stay O(1).
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "_samples")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._samples: list[float] = []
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        self._samples.append(value)
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.total / self.count if self.count else None
+
+    def percentile(self, p: float) -> Optional[float]:
+        """Exact percentile ``p`` in [0, 100] (nearest-rank)."""
+        if not self._samples:
+            return None
+        if not 0.0 <= p <= 100.0:
+            raise ReproError(f"percentile must be in [0, 100], got {p}")
+        ordered = sorted(self._samples)
+        rank = max(0, min(len(ordered) - 1, round(p / 100.0 * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, n={self.count})"
+
+
+class MetricsRegistry:
+    """Name → counter/histogram table shared across subsystems."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- access ----------------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            if name in self._histograms:
+                raise ReproError(f"metric {name!r} is already a histogram")
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def histogram(self, name: str) -> Histogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            if name in self._counters:
+                raise ReproError(f"metric {name!r} is already a counter")
+            histogram = self._histograms[name] = Histogram(name)
+        return histogram
+
+    # -- recording conveniences ---------------------------------------------------
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        self.counter(name).inc(amount)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    # -- reading ----------------------------------------------------------------
+
+    def value(self, name: str) -> float:
+        """Current value of a counter (0.0 if never incremented)."""
+        counter = self._counters.get(name)
+        return counter.value if counter is not None else 0.0
+
+    def counters(self, prefix: str = "") -> Iterator[Counter]:
+        for name in sorted(self._counters):
+            if name.startswith(prefix):
+                yield self._counters[name]
+
+    def histograms(self, prefix: str = "") -> Iterator[Histogram]:
+        for name in sorted(self._histograms):
+            if name.startswith(prefix):
+                yield self._histograms[name]
+
+    def snapshot(self) -> dict[str, float]:
+        """Flat name → value dict (histograms contribute summary stats)."""
+        out: dict[str, float] = {
+            name: counter.value for name, counter in self._counters.items()
+        }
+        for name, histogram in self._histograms.items():
+            out[f"{name}.count"] = float(histogram.count)
+            out[f"{name}.sum"] = histogram.total
+            if histogram.count:
+                out[f"{name}.mean"] = histogram.total / histogram.count
+                out[f"{name}.min"] = histogram.min  # type: ignore[assignment]
+                out[f"{name}.max"] = histogram.max  # type: ignore[assignment]
+        return out
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._histograms.clear()
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._histograms)
+
+    def render(self) -> str:
+        """The human-readable report behind ``repro stats``."""
+        if not self._counters and not self._histograms:
+            return "(no metrics recorded)"
+        lines: list[str] = []
+        width = max(
+            (len(name) for name in (*self._counters, *self._histograms)),
+            default=0,
+        )
+        for counter in self.counters():
+            lines.append(f"{counter.name:<{width}}  {counter.value:g}")
+        for histogram in self.histograms():
+            if histogram.count:
+                lines.append(
+                    f"{histogram.name:<{width}}  n={histogram.count} "
+                    f"mean={histogram.mean:.2f} min={histogram.min:.2f} "
+                    f"max={histogram.max:.2f} p95={histogram.percentile(95):.2f}"
+                )
+            else:
+                lines.append(f"{histogram.name:<{width}}  n=0")
+        return "\n".join(lines)

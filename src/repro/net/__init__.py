@@ -8,14 +8,20 @@ deterministic simulator — see DESIGN.md §2.
 """
 
 from repro.net.clock import SimClock
+from repro.net.faults import FaultInjector, FaultSpec
 from repro.net.latency import LatencyModel, Outage
+from repro.net.policy import RetryPolicy, run_with_retry
 from repro.net.remote import RemoteDomain
 from repro.net.sites import SITE_PROFILES, Site, make_site
 
 __all__ = [
     "SimClock",
+    "FaultInjector",
+    "FaultSpec",
     "LatencyModel",
     "Outage",
+    "RetryPolicy",
+    "run_with_retry",
     "RemoteDomain",
     "Site",
     "SITE_PROFILES",

@@ -1,0 +1,128 @@
+"""Deterministic fault injection for simulated remote sites.
+
+The HERMES design assumes sources "may be temporarily unavailable"; the
+scheduled :class:`~repro.net.latency.Outage` windows model *planned*
+downtime, but real wide-area sources also fail probabilistically —
+dropped connections, hung requests, hard crashes.  A
+:class:`FaultInjector` attached to a :class:`~repro.net.remote.RemoteDomain`
+rolls a **seeded** RNG before every attempt and raises one of the typed
+errors from :mod:`repro.errors`:
+
+* :class:`~repro.errors.TransientSourceError` — the attempt failed but a
+  retry may succeed (the retry policy's bread and butter);
+* :class:`~repro.errors.SourceTimeoutError` — the attempt hung for
+  ``timeout_ms`` simulated milliseconds before failing (also retryable);
+* :class:`~repro.errors.PermanentSourceError` — the site is hard-down
+  (``down=True``) or the spec marks its failures permanent; retries are
+  pointless and the executor falls back to degraded CIM answers.
+
+Failed attempts *charge the simulated clock* — a timeout burns its full
+timeout budget, a dropped connection burns ``failure_latency_ms`` — so
+resilience has a measurable time cost, exactly like the latency model
+makes distance measurable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.model import GroundCall
+from repro.errors import (
+    PermanentSourceError,
+    ReproError,
+    SourceTimeoutError,
+    TransientSourceError,
+)
+from repro.metrics import MetricsRegistry
+from repro.net.clock import SimClock
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Per-site fault configuration (all probabilities per *attempt*)."""
+
+    failure_rate: float = 0.0  # P(attempt drops with a connection fault)
+    timeout_rate: float = 0.0  # P(attempt hangs until the timeout fires)
+    permanent: bool = False  # failures are permanent, not transient
+    down: bool = False  # the site is hard-down: every attempt fails
+    timeout_ms: float = 1_000.0  # simulated time burned by one timeout
+    failure_latency_ms: float = 25.0  # simulated time burned by one failure
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for label, rate in (
+            ("failure_rate", self.failure_rate),
+            ("timeout_rate", self.timeout_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise ReproError(f"{label} must be in [0, 1], got {rate}")
+        if self.failure_rate + self.timeout_rate > 1.0:
+            raise ReproError(
+                "failure_rate + timeout_rate must not exceed 1.0 "
+                f"(got {self.failure_rate} + {self.timeout_rate})"
+            )
+        if self.timeout_ms < 0 or self.failure_latency_ms < 0:
+            raise ReproError("fault latencies must be non-negative")
+
+
+class FaultInjector:
+    """Rolls the (seeded) dice before each attempt at one site."""
+
+    def __init__(self, spec: FaultSpec, metrics: Optional[MetricsRegistry] = None):
+        self.spec = spec
+        self.metrics = metrics
+        self._rng = random.Random(spec.seed)
+        # observability even without a registry attached
+        self.injected_transient = 0
+        self.injected_timeouts = 0
+        self.injected_permanent = 0
+
+    @property
+    def injected_total(self) -> int:
+        return self.injected_transient + self.injected_timeouts + self.injected_permanent
+
+    def _inc(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.inc(name)
+
+    def on_attempt(
+        self,
+        call: GroundCall,
+        site: str = "",
+        clock: Optional[SimClock] = None,
+    ) -> None:
+        """Charge and raise if this attempt is chosen to fail; else no-op."""
+        spec = self.spec
+        if spec.down:
+            self.injected_permanent += 1
+            self._inc("net.faults.permanent")
+            raise PermanentSourceError(call.domain, site=site)
+        if spec.failure_rate == 0.0 and spec.timeout_rate == 0.0:
+            return
+        roll = self._rng.random()
+        if roll < spec.timeout_rate:
+            self.injected_timeouts += 1
+            self._inc("net.faults.timeout")
+            if clock is not None:
+                clock.advance(spec.timeout_ms)
+            raise SourceTimeoutError(call.domain, site=site, timeout_ms=spec.timeout_ms)
+        if roll < spec.timeout_rate + spec.failure_rate:
+            if clock is not None:
+                clock.advance(spec.failure_latency_ms)
+            if spec.permanent:
+                self.injected_permanent += 1
+                self._inc("net.faults.permanent")
+                raise PermanentSourceError(call.domain, site=site)
+            self.injected_transient += 1
+            self._inc("net.faults.transient")
+            raise TransientSourceError(call.domain, site=site)
+
+    def __repr__(self) -> str:
+        return (
+            f"<FaultInjector fail={self.spec.failure_rate:g} "
+            f"timeout={self.spec.timeout_rate:g} "
+            f"{'permanent' if self.spec.permanent or self.spec.down else 'transient'} "
+            f"injected={self.injected_total}>"
+        )

@@ -1,0 +1,136 @@
+"""Retry, backoff, and deadline policy for remote calls.
+
+One :class:`RetryPolicy` describes how the executor treats a failing
+source call:
+
+* up to ``max_attempts`` tries;
+* exponential backoff between tries (``base_backoff_ms`` ×
+  ``backoff_multiplier``^(attempt-1), capped at ``max_backoff_ms``),
+  with seeded multiplicative jitter so colliding retries de-synchronise
+  reproducibly;
+* an optional per-call ``deadline_ms`` of *simulated* time — once the
+  call (attempts + backoffs) has burned its budget,
+  :class:`~repro.errors.DeadlineExceededError` is raised rather than
+  waiting further.
+
+Backoff waits are charged to the :class:`~repro.net.clock.SimClock`, so
+a retried query is measurably slower than a clean one — resilience is
+never free.
+
+What is retryable: :class:`~repro.errors.TransientSourceError` (which
+includes timeouts) always; scheduled outages
+(:class:`~repro.errors.SourceUnavailableError`) only when
+``retry_outages=True`` — backoff can genuinely wait a short outage
+window out, because waiting advances the same clock the window is
+defined on.  :class:`~repro.errors.PermanentSourceError` and every
+non-network error propagate immediately.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Optional, TypeVar
+
+from repro.errors import (
+    DeadlineExceededError,
+    ReproError,
+    RetryExhaustedError,
+    SourceUnavailableError,
+    TransientSourceError,
+)
+from repro.net.clock import SimClock
+
+T = TypeVar("T")
+
+#: Called after each failed attempt: (attempt_number, error, backoff_ms).
+RetryObserver = Callable[[int, Exception, float], None]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard to try before giving up on a source call."""
+
+    max_attempts: int = 4
+    base_backoff_ms: float = 50.0
+    backoff_multiplier: float = 2.0
+    max_backoff_ms: float = 10_000.0
+    jitter: float = 0.1
+    deadline_ms: Optional[float] = None
+    retry_outages: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ReproError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_backoff_ms < 0 or self.max_backoff_ms < 0:
+            raise ReproError("backoff durations must be non-negative")
+        if self.backoff_multiplier < 1.0:
+            raise ReproError(
+                f"backoff_multiplier must be >= 1, got {self.backoff_multiplier}"
+            )
+        if not 0.0 <= self.jitter < 1.0:
+            raise ReproError(f"jitter must be in [0, 1), got {self.jitter}")
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ReproError(f"deadline_ms must be positive, got {self.deadline_ms}")
+
+    def backoff_ms(self, attempt: int, rng: Optional[random.Random] = None) -> float:
+        """The wait after failed attempt number ``attempt`` (1-based)."""
+        delay = min(
+            self.base_backoff_ms * self.backoff_multiplier ** (attempt - 1),
+            self.max_backoff_ms,
+        )
+        if self.jitter and rng is not None:
+            delay *= rng.uniform(1.0 - self.jitter, 1.0 + self.jitter)
+        return delay
+
+    def is_retryable(self, error: Exception) -> bool:
+        if isinstance(error, TransientSourceError):
+            return True
+        if isinstance(error, SourceUnavailableError):
+            return self.retry_outages
+        return False
+
+
+def run_with_retry(
+    fn: Callable[[], T],
+    policy: RetryPolicy,
+    clock: SimClock,
+    rng: Optional[random.Random] = None,
+    on_retry: Optional[RetryObserver] = None,
+) -> T:
+    """Run ``fn`` under ``policy``, charging backoff waits to ``clock``.
+
+    Raises :class:`~repro.errors.RetryExhaustedError` when every allowed
+    attempt failed retryably, :class:`~repro.errors.DeadlineExceededError`
+    when the simulated deadline ran out first, and re-raises the original
+    error unchanged when it is not retryable.
+    """
+    rng = rng if rng is not None else random.Random(policy.seed)
+    start_ms = clock.now_ms
+    last: Optional[Exception] = None
+    for attempt in range(1, policy.max_attempts + 1):
+        elapsed = clock.now_ms - start_ms
+        if policy.deadline_ms is not None and elapsed >= policy.deadline_ms:
+            raise DeadlineExceededError(policy.deadline_ms, elapsed, last=last)
+        try:
+            return fn()
+        except ReproError as exc:
+            if not policy.is_retryable(exc):
+                raise
+            last = exc
+        if attempt >= policy.max_attempts:
+            raise RetryExhaustedError(attempt, last)
+        delay = policy.backoff_ms(attempt, rng)
+        elapsed = clock.now_ms - start_ms
+        if policy.deadline_ms is not None and elapsed + delay >= policy.deadline_ms:
+            # waiting the full backoff would blow the budget: burn what is
+            # left of the budget, then fail with the typed deadline error
+            clock.advance(max(0.0, policy.deadline_ms - elapsed))
+            raise DeadlineExceededError(
+                policy.deadline_ms, clock.now_ms - start_ms, last=last
+            )
+        clock.advance(delay)
+        if on_retry is not None:
+            on_retry(attempt, last, delay)
+    raise RetryExhaustedError(policy.max_attempts, last)  # pragma: no cover

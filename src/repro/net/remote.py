@@ -6,12 +6,17 @@ It adds, per call:
 
 * connection + round-trip setup time,
 * the wrapped source's own compute time,
-* transfer time proportional to the answer bytes (first answer pays only
-  its own bytes — sources stream),
+* transfer time charged **per result batch**: each answer ships in its
+  own (independently jittered) transfer burst, so the first answer pays
+  only its own bytes — sources stream — and a noisy link perturbs every
+  batch, not the call as a whole,
 * per-call fee bookkeeping,
 * outage checks against the site's schedule (raising
   :class:`~repro.errors.SourceUnavailableError`), which is what lets the
-  CIM demonstrate serving cached results while a source is down.
+  CIM demonstrate serving cached results while a source is down,
+* optional probabilistic fault injection
+  (:class:`~repro.net.faults.FaultInjector`) raising the typed
+  transient/timeout/permanent errors the retry policy understands.
 
 A ``SimClock`` may be attached so outage windows are evaluated at the
 current simulated instant; without a clock, outages are evaluated at t=0.
@@ -25,17 +30,30 @@ from repro.core.model import GroundCall
 from repro.core.terms import value_bytes
 from repro.domains.base import CallResult, Domain
 from repro.errors import SourceUnavailableError
+from repro.metrics import MetricsRegistry
 from repro.net.clock import SimClock
+from repro.net.faults import FaultInjector, FaultSpec
 from repro.net.sites import Site
 
 
 class RemoteDomain:
     """A domain reached through a simulated wide-area link."""
 
-    def __init__(self, domain: Domain, site: Site, clock: Optional[SimClock] = None):
+    def __init__(
+        self,
+        domain: Domain,
+        site: Site,
+        clock: Optional[SimClock] = None,
+        faults: "FaultInjector | FaultSpec | None" = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
         self.domain = domain
         self.site = site
         self.clock = clock
+        if isinstance(faults, FaultSpec):
+            faults = FaultInjector(faults, metrics=metrics)
+        self.faults = faults
+        self.metrics = metrics
         self.fees_charged = 0.0
         self.calls_made = 0
 
@@ -47,24 +65,41 @@ class RemoteDomain:
     def cost_estimator(self):
         return self.domain.cost_estimator
 
+    def _inc(self, name: str, amount: float = 1.0) -> None:
+        if self.metrics is not None:
+            self.metrics.inc(name, amount)
+
     def execute(self, call: GroundCall) -> CallResult:
+        self._inc("net.attempts")
         now = self.clock.now_ms if self.clock is not None else 0.0
         outage = self.site.latency.outage_at(now)
         if outage is not None:
+            self._inc("net.outage_refusals")
             raise SourceUnavailableError(
                 self.domain.name, site=self.site.name, until_ms=outage.end_ms
             )
+        if self.faults is not None:
+            self.faults.on_attempt(call, site=self.site.name, clock=self.clock)
         local = self.domain.execute(call)
         latency = self.site.latency
         setup = latency.setup_ms()
-        total_bytes = local.answer_bytes
-        first_bytes = value_bytes(local.answers[0]) if local.answers else 0
-        t_first = setup + local.t_first_ms + latency.transfer_ms(first_bytes)
-        t_all = setup + local.t_all_ms + latency.transfer_ms(total_bytes)
+        # per-batch transfer: every answer pays its own (jittered) burst;
+        # summing the bursts equals one bulk transfer on a noiseless link
+        # but models per-batch noise on a jittery one
+        batch_bytes = [value_bytes(answer) for answer in local.answers]
+        transfers = [latency.transfer_ms(nbytes) for nbytes in batch_bytes]
+        t_first = setup + local.t_first_ms + (transfers[0] if transfers else 0.0)
+        t_all = setup + local.t_all_ms + sum(transfers)
         if t_all < t_first:
             t_all = t_first
         self.fees_charged += latency.fee_per_call
         self.calls_made += 1
+        if self.metrics is not None:
+            self.metrics.inc("net.calls")
+            self.metrics.inc("net.bytes", float(local.answer_bytes))
+            if latency.fee_per_call:
+                self.metrics.inc("net.fees", latency.fee_per_call)
+            self.metrics.observe("net.call_ms", t_all)
         return CallResult(
             call=call,
             answers=local.answers,

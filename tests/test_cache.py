@@ -146,6 +146,31 @@ class TestTtl:
         live = list(cache.entries_for("d", "f", now_ms=120))
         assert len(live) == 1
 
+    def test_peek_stale_survives_expiry(self):
+        cache = ResultCache(ttl_ms=100)
+        cache.put(call(1), (1,), now_ms=0)
+        assert cache.get(call(1), now_ms=150) is None  # expired and parked
+        stale = cache.peek_stale(call(1))
+        assert stale is not None and stale.answers == (1,)
+
+    def test_peek_stale_prefers_live_entry(self):
+        cache = ResultCache(ttl_ms=100)
+        cache.put(call(1), (1,), now_ms=0)
+        cache.get(call(1), now_ms=150)  # park the old copy
+        cache.put(call(1), (2,), now_ms=160)  # fresh data supersedes it
+        assert cache.peek_stale(call(1)).answers == (2,)
+
+    def test_invalidation_purges_parked_stale(self):
+        cache = ResultCache(ttl_ms=100)
+        cache.put(call(1), (1,), now_ms=0)
+        cache.get(call(1), now_ms=150)
+        cache.invalidate(call(1))
+        assert cache.peek_stale(call(1)) is None
+        cache.put(call(2), (2,), now_ms=0)
+        cache.get(call(2), now_ms=150)
+        cache.invalidate_domain("d")
+        assert cache.peek_stale(call(2)) is None
+
 
 class TestByteAccounting:
     def test_total_bytes_tracks(self):

@@ -6,8 +6,6 @@ import pytest
 
 from repro.cli import MediatorShell, _build_demo, main
 from repro.core.explain import explain, explain_last_execution
-from repro.core.mediator import Mediator
-from repro.domains.base import simple_domain
 from repro.errors import ReproError
 
 

@@ -1,8 +1,6 @@
 """End-to-end lifecycle integration tests: several features interacting
 over multi-source scenarios, the way a downstream user would drive them."""
 
-import pytest
-
 from repro.cim.manager import CimPolicy
 from repro.core.mediator import Mediator
 from repro.core.views import ViewManager

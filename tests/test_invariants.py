@@ -1,7 +1,5 @@
 """Invariant matching tests (paper §4.1 semantics)."""
 
-import pytest
-
 from repro.cim.cache import ResultCache
 from repro.cim.invariants import InvariantIndex, match_invariants
 from repro.core.model import GroundCall, INVARIANT_EQ, INVARIANT_SUPSET

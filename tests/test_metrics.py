@@ -1,0 +1,96 @@
+"""Metrics registry tests: counters, histograms, snapshot, render."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.metrics import Counter, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter("c")
+        assert counter.inc() == 1.0
+        assert counter.inc(2.5) == 3.5
+        assert counter.value == 3.5
+
+    def test_rejects_decrease(self):
+        with pytest.raises(ReproError):
+            Counter("c").inc(-1)
+
+
+class TestHistogram:
+    def test_moments(self):
+        hist = Histogram("h")
+        for value in (10, 20, 30):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.total == 60
+        assert hist.mean == pytest.approx(20.0)
+        assert hist.min == 10
+        assert hist.max == 30
+
+    def test_percentile_nearest_rank(self):
+        hist = Histogram("h")
+        for value in range(1, 101):
+            hist.observe(value)
+        assert hist.percentile(0) == 1
+        assert hist.percentile(50) == pytest.approx(50, abs=1)
+        assert hist.percentile(100) == 100
+
+    def test_percentile_empty_and_bounds(self):
+        hist = Histogram("h")
+        assert hist.percentile(50) is None
+        hist.observe(1)
+        with pytest.raises(ReproError):
+            hist.percentile(101)
+
+    def test_mean_empty(self):
+        assert Histogram("h").mean is None
+
+
+class TestRegistry:
+    def test_inc_and_value(self):
+        registry = MetricsRegistry()
+        registry.inc("net.calls")
+        registry.inc("net.calls", 2)
+        assert registry.value("net.calls") == 3.0
+        assert registry.value("never.touched") == 0.0
+
+    def test_counter_histogram_name_collision(self):
+        registry = MetricsRegistry()
+        registry.inc("x")
+        with pytest.raises(ReproError):
+            registry.observe("x", 1.0)
+        registry.observe("y", 1.0)
+        with pytest.raises(ReproError):
+            registry.inc("y")
+
+    def test_prefix_iteration_sorted(self):
+        registry = MetricsRegistry()
+        registry.inc("net.calls")
+        registry.inc("net.attempts")
+        registry.inc("cim.calls")
+        names = [c.name for c in registry.counters("net.")]
+        assert names == ["net.attempts", "net.calls"]
+
+    def test_snapshot(self):
+        registry = MetricsRegistry()
+        registry.inc("a", 2)
+        registry.observe("b", 10)
+        registry.observe("b", 20)
+        snap = registry.snapshot()
+        assert snap["a"] == 2.0
+        assert snap["b.count"] == 2.0
+        assert snap["b.sum"] == 30.0
+        assert snap["b.mean"] == pytest.approx(15.0)
+
+    def test_render_and_reset(self):
+        registry = MetricsRegistry()
+        assert registry.render() == "(no metrics recorded)"
+        registry.inc("a")
+        registry.observe("b", 1.5)
+        report = registry.render()
+        assert "a" in report and "n=1" in report
+        assert len(registry) == 2
+        registry.reset()
+        assert len(registry) == 0

@@ -1,8 +1,6 @@
 """Edge-case and small-API tests across modules (branches the big suites
 don't reach)."""
 
-import pytest
-
 from repro.core.answers import QueryResult
 from repro.core.mediator import Mediator
 from repro.core.model import Predicate, Program, Query, Rule
@@ -10,7 +8,6 @@ from repro.core.parser import parse_program, parse_rule
 from repro.core.terms import Constant, Variable
 from repro.domains.base import Domain, simple_domain
 from repro.domains.registry import DomainRegistry
-from repro.errors import ReproError
 from repro.net.sites import custom_site, make_site
 
 

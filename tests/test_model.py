@@ -10,7 +10,6 @@ from repro.core.model import (
     Invariant,
     INVARIANT_EQ,
     Predicate,
-    Program,
     Query,
     Rule,
     evaluate_comparison,

@@ -156,3 +156,43 @@ class TestRemoteDomain:
         result = remote.execute(GroundCall("d", "f", ()))
         assert result.answers == ()
         assert result.t_all_ms > 0  # still paid setup
+
+
+class TestPerBatchTransfer:
+    """Transfer time is charged once per answer batch, not once per call."""
+
+    def make(self, payload):
+        domain = simple_domain("d", {"f": lambda: list(payload)}, base_cost_ms=5.0)
+        site = custom_site("lab", connect_ms=10, rtt_ms=5, bandwidth_bytes_per_ms=10)
+        remote = RemoteDomain(domain, site)
+        return remote, domain, site
+
+    def test_one_transfer_per_answer(self):
+        remote, _, site = self.make(["aa", "bbbb", "cccccc"])
+        calls = []
+        original = site.latency.transfer_ms
+        site.latency.transfer_ms = lambda nbytes: calls.append(nbytes) or original(nbytes)
+        remote.execute(GroundCall("d", "f", ()))
+        assert calls == [2, 4, 6]  # each answer ships its own bytes
+
+    def test_timing_decomposition_without_jitter(self):
+        remote, domain, site = self.make(["aa", "bbbb", "cccccc"])
+        local = domain.execute(GroundCall("d", "f", ()))
+        result = remote.execute(GroundCall("d", "f", ()))
+        setup = 15.0  # connect + rtt, no jitter
+        per_batch = [2 / 10, 4 / 10, 6 / 10]  # bytes / bandwidth
+        assert result.t_first_ms == pytest.approx(
+            setup + local.t_first_ms + per_batch[0]
+        )
+        assert result.t_all_ms == pytest.approx(
+            setup + local.t_all_ms + sum(per_batch)
+        )
+
+    def test_first_answer_pays_only_its_own_bytes(self):
+        # a tiny first answer followed by a huge one: T_first must not be
+        # charged for the big batch
+        remote, domain, _ = self.make(["x", "y" * 10_000])
+        local = domain.execute(GroundCall("d", "f", ()))
+        result = remote.execute(GroundCall("d", "f", ()))
+        first_transfer = result.t_first_ms - 15.0 - local.t_first_ms
+        assert first_transfer == pytest.approx(1 / 10)

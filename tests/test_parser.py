@@ -2,9 +2,9 @@
 
 import pytest
 
+from repro.core.terms import Constant
 from repro.core.model import (
     Comparison,
-    Constant,
     InAtom,
     INVARIANT_EQ,
     INVARIANT_SUPSET,

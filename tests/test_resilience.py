@@ -1,0 +1,348 @@
+"""Fault injection, retry/backoff/deadline policy, and degraded answers.
+
+Covers the resilience layer end to end: the seeded fault injector, the
+retry loop charging backoff to the simulated clock, the typed error
+taxonomy, and the executor's fallback to stale CIM answers when a source
+stays down — including the acceptance scenario of a query surviving a
+site with 30% injected transient failures.
+"""
+
+import io
+import random
+
+import pytest
+
+from repro.core.explain import explain_last_execution
+from repro.core.mediator import Mediator
+from repro.core.model import GroundCall
+from repro.domains.base import simple_domain
+from repro.errors import (
+    DeadlineExceededError,
+    PermanentSourceError,
+    ReproError,
+    RetryExhaustedError,
+    SourceTimeoutError,
+    SourceUnavailableError,
+    TransientSourceError,
+)
+from repro.metrics import MetricsRegistry
+from repro.net.clock import SimClock
+from repro.net.faults import FaultInjector, FaultSpec
+from repro.net.policy import RetryPolicy, run_with_retry
+
+CALL = GroundCall("d", "f", ())
+
+
+class TestFaultSpec:
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            FaultSpec(failure_rate=1.5)
+        with pytest.raises(ReproError):
+            FaultSpec(timeout_rate=-0.1)
+        with pytest.raises(ReproError):
+            FaultSpec(failure_rate=0.6, timeout_rate=0.6)
+        with pytest.raises(ReproError):
+            FaultSpec(timeout_ms=-1)
+
+    def test_defaults_are_quiet(self):
+        injector = FaultInjector(FaultSpec())
+        for _ in range(50):
+            injector.on_attempt(CALL)
+        assert injector.injected_total == 0
+
+
+class TestFaultInjector:
+    def outcomes(self, injector, n=50):
+        out = []
+        for _ in range(n):
+            try:
+                injector.on_attempt(CALL)
+                out.append("ok")
+            except SourceTimeoutError:
+                out.append("timeout")
+            except TransientSourceError:
+                out.append("transient")
+            except PermanentSourceError:
+                out.append("permanent")
+        return out
+
+    def test_seed_determinism(self):
+        spec = FaultSpec(failure_rate=0.3, timeout_rate=0.2, seed=7)
+        first = self.outcomes(FaultInjector(spec))
+        second = self.outcomes(FaultInjector(spec))
+        assert first == second
+        assert set(first) >= {"ok", "transient"}
+
+    def test_down_always_permanent(self):
+        injector = FaultInjector(FaultSpec(down=True))
+        assert self.outcomes(injector, n=5) == ["permanent"] * 5
+        assert injector.injected_permanent == 5
+
+    def test_permanent_failures(self):
+        injector = FaultInjector(FaultSpec(failure_rate=1.0, permanent=True))
+        assert self.outcomes(injector, n=3) == ["permanent"] * 3
+
+    def test_timeout_charges_clock(self):
+        clock = SimClock()
+        injector = FaultInjector(FaultSpec(timeout_rate=1.0, timeout_ms=750))
+        with pytest.raises(SourceTimeoutError) as excinfo:
+            injector.on_attempt(CALL, site="italy", clock=clock)
+        assert clock.now_ms == 750
+        assert excinfo.value.timeout_ms == 750
+        assert excinfo.value.site == "italy"
+
+    def test_transient_charges_failure_latency(self):
+        clock = SimClock()
+        injector = FaultInjector(FaultSpec(failure_rate=1.0, failure_latency_ms=30))
+        with pytest.raises(TransientSourceError):
+            injector.on_attempt(CALL, clock=clock)
+        assert clock.now_ms == 30
+
+    def test_metrics_wired(self):
+        metrics = MetricsRegistry()
+        injector = FaultInjector(FaultSpec(failure_rate=1.0), metrics=metrics)
+        with pytest.raises(TransientSourceError):
+            injector.on_attempt(CALL)
+        assert metrics.value("net.faults.transient") == 1.0
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ReproError):
+            RetryPolicy(backoff_multiplier=0.5)
+        with pytest.raises(ReproError):
+            RetryPolicy(jitter=1.0)
+        with pytest.raises(ReproError):
+            RetryPolicy(deadline_ms=0)
+
+    def test_backoff_grows_then_caps(self):
+        policy = RetryPolicy(
+            base_backoff_ms=10, backoff_multiplier=2, max_backoff_ms=35, jitter=0.0
+        )
+        waits = [policy.backoff_ms(attempt) for attempt in (1, 2, 3, 4)]
+        assert waits == [10, 20, 35, 35]
+
+    def test_jitter_bounded_and_seeded(self):
+        policy = RetryPolicy(base_backoff_ms=100, jitter=0.2)
+        waits1 = [policy.backoff_ms(1, random.Random(5)) for _ in range(1)]
+        waits2 = [policy.backoff_ms(1, random.Random(5)) for _ in range(1)]
+        assert waits1 == waits2
+        assert all(80 <= w <= 120 for w in waits1)
+
+    def test_retryable_matrix(self):
+        policy = RetryPolicy()
+        assert policy.is_retryable(TransientSourceError("d"))
+        assert policy.is_retryable(SourceTimeoutError("d"))
+        assert not policy.is_retryable(PermanentSourceError("d"))
+        assert not policy.is_retryable(SourceUnavailableError("d"))
+        assert RetryPolicy(retry_outages=True).is_retryable(
+            SourceUnavailableError("d")
+        )
+
+
+class TestRunWithRetry:
+    def flaky_fn(self, failures):
+        state = {"left": failures, "calls": 0}
+
+        def fn():
+            state["calls"] += 1
+            if state["left"] > 0:
+                state["left"] -= 1
+                raise TransientSourceError("d")
+            return "answer"
+
+        return fn, state
+
+    def test_recovers_within_budget(self):
+        clock = SimClock()
+        fn, state = self.flaky_fn(failures=2)
+        observed = []
+        policy = RetryPolicy(max_attempts=4, base_backoff_ms=10, jitter=0.0)
+        result = run_with_retry(
+            fn, policy, clock, on_retry=lambda a, e, b: observed.append((a, b))
+        )
+        assert result == "answer"
+        assert state["calls"] == 3
+        assert observed == [(1, 10.0), (2, 20.0)]
+        assert clock.now_ms == pytest.approx(30.0)  # backoffs were charged
+
+    def test_exhaustion_raises_typed_error(self):
+        clock = SimClock()
+        fn, state = self.flaky_fn(failures=99)
+        policy = RetryPolicy(max_attempts=3, base_backoff_ms=1, jitter=0.0)
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            run_with_retry(fn, policy, clock)
+        assert excinfo.value.attempts == 3
+        assert isinstance(excinfo.value.last, TransientSourceError)
+        assert state["calls"] == 3
+
+    def test_deadline_raises_typed_error_and_burns_budget_only(self):
+        clock = SimClock()
+        fn, _ = self.flaky_fn(failures=99)
+        policy = RetryPolicy(
+            max_attempts=10, base_backoff_ms=40, jitter=0.0, deadline_ms=100
+        )
+        with pytest.raises(DeadlineExceededError) as excinfo:
+            run_with_retry(fn, policy, clock)
+        assert excinfo.value.deadline_ms == 100
+        assert clock.now_ms == pytest.approx(100.0)  # never waits past deadline
+
+    def test_non_retryable_passes_through(self):
+        clock = SimClock()
+        calls = []
+
+        def fn():
+            calls.append(1)
+            raise PermanentSourceError("d", site="italy")
+
+        with pytest.raises(PermanentSourceError):
+            run_with_retry(fn, RetryPolicy(), clock)
+        assert len(calls) == 1  # no second attempt
+
+    def test_backoff_can_wait_out_an_outage(self):
+        clock = SimClock()
+
+        def fn():
+            if clock.now_ms < 100:
+                raise SourceUnavailableError("d", until_ms=100)
+            return "back"
+
+        policy = RetryPolicy(
+            max_attempts=5, base_backoff_ms=60, jitter=0.0, retry_outages=True
+        )
+        assert run_with_retry(fn, policy, clock) == "back"
+        assert clock.now_ms >= 100
+
+
+def build_mediator(policy=None, faults=None, ttl_ms=None, **kwargs):
+    mediator = Mediator(retry_policy=policy, **kwargs)
+    if ttl_ms is not None:
+        mediator.cim.cache.ttl_ms = ttl_ms
+    domain = simple_domain("d", {"g": lambda: ["a", "b", "c"]})
+    mediator.register_domain(domain, site="cornell", faults=faults)
+    mediator.load_program("q(X) :- in(X, d:g()).")
+    return mediator
+
+
+class TestDegradedAnswers:
+    def test_permanent_failure_with_warm_cim_serves_degraded(self):
+        injector = FaultInjector(FaultSpec())
+        mediator = build_mediator(
+            policy=RetryPolicy(max_attempts=3, base_backoff_ms=10),
+            faults=injector,
+            ttl_ms=1_000,
+        )
+        warm = mediator.query("?- q(X).", use_cim=True)
+        assert warm.cardinality == 3 and not warm.degraded
+
+        mediator.clock.advance(5_000)  # cache entry is now TTL-expired
+        injector.spec = FaultSpec(down=True)  # site goes hard-down
+        result = mediator.query("?- q(X).", use_cim=True)
+
+        assert result.cardinality == 3
+        assert result.degraded and not result.complete
+        assert dict(result.execution.provenance) == {"degraded": 1}
+        assert "DEGRADED" in str(result)
+        assert mediator.metrics.value("executor.degraded_calls") == 1.0
+        assert mediator.metrics.value("cim.degraded_served") == 1.0
+        assert mediator.cim.stats.degraded_served == 1
+
+    def test_cold_cache_cannot_degrade(self):
+        mediator = build_mediator(
+            policy=RetryPolicy(max_attempts=2, base_backoff_ms=1),
+            faults=FaultSpec(down=True),
+        )
+        with pytest.raises(PermanentSourceError):
+            mediator.query("?- q(X).", use_cim=True)
+        assert mediator.metrics.value("executor.failures") == 1.0
+
+    def test_degradation_can_be_disabled(self):
+        injector = FaultInjector(FaultSpec())
+        mediator = build_mediator(
+            policy=RetryPolicy(max_attempts=2, base_backoff_ms=1),
+            faults=injector,
+            ttl_ms=1_000,
+            degrade_on_failure=False,
+        )
+        mediator.query("?- q(X).", use_cim=True)
+        mediator.clock.advance(5_000)
+        injector.spec = FaultSpec(down=True)
+        with pytest.raises(PermanentSourceError):
+            mediator.query("?- q(X).", use_cim=True)
+
+    def test_no_policy_keeps_legacy_behaviour(self):
+        mediator = build_mediator(faults=FaultSpec(down=True))
+        with pytest.raises(PermanentSourceError):
+            mediator.query("?- q(X).", use_cim=True)
+
+
+class TestAcceptance:
+    """A query against a 30%-flaky site completes under the retry policy,
+    with nonzero retry and CIM-hit counters in every report surface."""
+
+    def build(self):
+        mediator = Mediator(
+            retry_policy=RetryPolicy(max_attempts=6, base_backoff_ms=5, seed=1)
+        )
+        domain = simple_domain(
+            "d",
+            {
+                "items": lambda: list(range(8)),
+                "lookup": lambda x: [x * 10],
+            },
+        )
+        mediator.register_domain(
+            domain, site="cornell", faults=FaultSpec(failure_rate=0.3, seed=11)
+        )
+        mediator.load_program(
+            "pairs(X, Y) :- in(X, d:items()) & in(Y, d:lookup(X))."
+        )
+        return mediator
+
+    def test_flaky_site_query_completes_with_nonzero_counters(self):
+        mediator = self.build()
+        cold = mediator.query("?- pairs(X, Y).", use_cim=True)
+        assert cold.cardinality == 8 and cold.complete
+
+        # the retry policy absorbed injected transients on the way
+        assert cold.retries > 0
+        assert mediator.metrics.value("executor.retries") > 0
+        assert mediator.metrics.value("net.faults.transient") > 0
+
+        # a second run is served by the CIM without touching the source
+        warm = mediator.query("?- pairs(X, Y).", use_cim=True)
+        assert warm.cardinality == 8
+        assert mediator.metrics.value("cim.hits.exact") > 0
+        assert mediator.cim.stats.hits > 0
+
+    def test_explain_last_execution_reports_resilience(self):
+        mediator = self.build()
+        result = mediator.query("?- pairs(X, Y).", use_cim=True)
+        report = explain_last_execution(result)
+        assert f"resilience: {result.retries} retries" in report
+        assert result.retries > 0
+
+    def test_stats_cli_reports_resilience(self):
+        from repro.cli import stats_main
+
+        buffer = io.StringIO()
+        code = stats_main(
+            ["--demo", "rope", "--cim", "--flaky", "0.3",
+             "?- actors(A).", "?- actors(A)."],
+            stdout=buffer,
+        )
+        output = buffer.getvalue()
+        assert code == 0
+        assert "executor.retries" in output
+        assert "net.faults.transient" in output
+        assert "cim.hits.exact" in output
+        retries = float(
+            next(
+                line.split()[-1]
+                for line in output.splitlines()
+                if line.startswith("executor.retries")
+            )
+        )
+        assert retries > 0

@@ -2,9 +2,10 @@
 
 import pytest
 
-from repro.core.model import Comparison, Constant, InAtom
+from repro.core.model import Comparison
+from repro.core.terms import Constant
 from repro.core.parser import parse_program, parse_query
-from repro.core.plans import CallStep, CompareStep
+from repro.core.plans import CompareStep
 from repro.core.rewriter import Rewriter, RewriterConfig, _simplify
 from repro.core.terms import Variable
 from repro.errors import PlanningError, RecursionNotSupportedError

@@ -3,8 +3,6 @@ and the planner must stay bounded on wide rule bodies."""
 
 import time
 
-import pytest
-
 from repro.core.mediator import Mediator
 from repro.core.model import GroundCall
 from repro.core.parser import parse_program, parse_query

@@ -161,8 +161,6 @@ class TestTerrainGrid:
         best = grid.find_route((0, 0), (3, 3))
 
         # brute force with simple BFS over cost (uniform enumeration)
-        import itertools
-
         def brute() -> float:
             frontier = [((0, 0), 0.0, {(0, 0)})]
             best_cost = float("inf")
