@@ -1,0 +1,53 @@
+"""Lint microbenchmark: full static analysis over generated workload
+programs of increasing size.
+
+The analyzer is meant to run on every program load (and in CI over
+``examples/``), so it must stay cheap relative to plan search.  The
+benchmark pins the end-to-end cost of ``analyze_program`` — structure,
+feasibility (with memoized per-adornment recursion), dead-rule
+intervals, and reachability — over the largest generated workload.
+"""
+
+from repro.analysis import analyze_program
+from repro.core.parser import parse_program, parse_query
+from repro.domains.registry import DomainRegistry
+from repro.workloads.generators import generate_workload
+
+
+def build_case(layers: int, width: int):
+    workload = generate_workload(
+        layers=layers, width=width, calls_per_leaf=2, seed=42
+    )
+    program = parse_program(workload.program_text)
+    registry = DomainRegistry([workload.domain])
+    queries = tuple(parse_query(text) for text in workload.queries)
+    return program, registry, queries
+
+
+class TestAnalyzeBenchmark:
+    def test_analyze_small_workload(self, benchmark):
+        program, registry, queries = build_case(layers=3, width=2)
+        report = benchmark(
+            analyze_program, program, registry=registry, queries=queries
+        )
+        assert report.ok  # rng composition may leave unreachable-rule warnings
+
+    def test_analyze_largest_workload(self, benchmark):
+        """The headline number: 6 layers x 4 predicates per layer (24
+        rules, 8 source functions, 4 query roots)."""
+        program, registry, queries = build_case(layers=6, width=4)
+        assert len(program.rules) == 24
+        report = benchmark(
+            analyze_program, program, registry=registry, queries=queries
+        )
+        assert report.ok
+
+    def test_analyze_broken_workload(self, benchmark):
+        """Diagnostics present: the feasibility pass has to chase every
+        infeasible adornment instead of succeeding on the first rule."""
+        program, registry, queries = build_case(layers=4, width=3)
+        program.add(parse_program("px(X) :- in(X, gen:f0(Y)).").rules[0])
+        report = benchmark(
+            analyze_program, program, registry=registry, queries=queries
+        )
+        assert report.by_code("MED120")

@@ -1,0 +1,56 @@
+"""The static analyzer: catching broken programs before queries run.
+
+A mediator serving heavy traffic should reject or warn about programs
+whose calls can never be ground (paper §3/§5), dead rules, and
+invariants that can never fire (§4) *before* any remote source is hit.
+This demo loads a deliberately broken program and set of invariants over
+the rope testbed, runs ``Mediator.analyze()``, and prints the
+diagnostics — the same report ``python -m repro lint`` renders.
+
+Run:  python examples/lint_demo.py
+"""
+
+from pathlib import Path
+
+from repro.core.parser import parse_invariants
+from repro.workloads.datasets import build_rope_testbed
+
+PROGRAMS = Path(__file__).parent / "programs"
+
+
+def main() -> None:
+    mediator = build_rope_testbed()
+    # analyze the shipped demo program first: a clean bill of health
+    # (without explicit queries, every top-level predicate is a root)
+    report = mediator.analyze()
+    print("== rope program ==")
+    print(report.render_text())
+
+    # now a deliberately broken program + invariants
+    broken = build_rope_testbed(with_invariants=False)
+    broken.program = type(broken.program)()  # start from an empty program
+    broken.load_program((PROGRAMS / "broken.med").read_text())
+    for invariant in parse_invariants((PROGRAMS / "broken.inv").read_text()):
+        try:
+            broken.cim.invariants.add(invariant)
+        except Exception:
+            pass  # unsafe invariants are rejected on add; the linter
+            # reports them from the parsed form instead
+    print()
+    print("== broken program ==")
+    report = broken.analyze(
+        queries=[
+            "?- stuck(Object).",
+            "?- caller(Frames).",
+            "?- empty(Size).",
+        ]
+    )
+    print(report.render_text())
+    print()
+    print(f"exit code would be: {report.exit_code}")
+    codes = sorted({diagnostic.code for diagnostic in report.diagnostics})
+    print(f"distinct diagnostic codes: {', '.join(codes)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -46,6 +46,7 @@ from repro.core import (
     parse_query,
 )
 from repro.cim import CacheInvariantManager, CimPolicy, ResultCache
+from repro.analysis import AnalysisReport, Diagnostic, analyze_program
 from repro.dcsm import DCSM, BOUND, CallPattern, CostVector
 from repro.domains import Domain
 from repro.errors import ReproError
@@ -72,6 +73,9 @@ __all__ = [
     "parse_invariant",
     "parse_program",
     "parse_query",
+    "AnalysisReport",
+    "Diagnostic",
+    "analyze_program",
     "CacheInvariantManager",
     "CimPolicy",
     "ResultCache",

@@ -1,0 +1,81 @@
+"""The analyzer façade: run every pass, collate one report.
+
+``analyze_program`` is the library entry point behind both
+``Mediator.analyze()`` and the ``repro lint`` CLI subcommand.  It runs:
+
+1. the structure pass (registration, undefined predicates, recursion);
+2. the adornment-feasibility pass and, per explicit query, the reachable
+   adornment pass (skipped for recursive programs — the structure pass
+   already rejected those and the unfolding would not terminate);
+3. dead-rule detection (unsatisfiable comparison chains) and predicate
+   reachability from the query roots;
+4. the invariant linter.
+
+When a :class:`~repro.metrics.MetricsRegistry` is supplied, the run is
+counted under ``analysis.*`` (runs, errors, warnings, and one counter per
+diagnostic code) so lint outcomes show up in ``repro stats``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.analysis.diagnostics import (
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    AnalysisReport,
+    Diagnostic,
+    make_report,
+)
+from repro.analysis.invariant_lint import lint_invariants
+from repro.analysis.passes import (
+    dead_rule_pass,
+    feasibility_pass,
+    query_pass,
+    reachability_pass,
+    structure_pass,
+)
+from repro.core.model import Invariant, Program, Query
+from repro.domains.registry import DomainRegistry
+from repro.metrics import MetricsRegistry
+
+
+def analyze_program(
+    program: Program,
+    registry: Optional[DomainRegistry] = None,
+    invariants: Iterable[Invariant] = (),
+    queries: Iterable[Query] = (),
+    metrics: Optional[MetricsRegistry] = None,
+) -> AnalysisReport:
+    """Run every static-analysis pass and return the collated report.
+
+    ``registry=None`` skips the registration checks (linting a program
+    file without its domains); ``queries`` adds the per-root reachable
+    adornment and reachability analyses.
+    """
+    queries = tuple(queries)
+    diagnostics: list[Diagnostic] = list(structure_pass(program, registry))
+    if not program.is_recursive():
+        diagnostics.extend(feasibility_pass(program))
+        if queries:
+            diagnostics.extend(query_pass(program, queries))
+        diagnostics.extend(dead_rule_pass(program))
+        diagnostics.extend(reachability_pass(program, queries))
+    diagnostics.extend(lint_invariants(invariants, program, registry))
+    report = make_report(diagnostics)
+    _record_metrics(report, metrics)
+    return report
+
+
+def _record_metrics(
+    report: AnalysisReport, metrics: Optional[MetricsRegistry]
+) -> None:
+    if metrics is None:
+        return
+    metrics.inc("analysis.runs")
+    for diagnostic in report.diagnostics:
+        metrics.inc(f"analysis.code.{diagnostic.code}")
+        if diagnostic.severity == SEVERITY_ERROR:
+            metrics.inc("analysis.errors")
+        elif diagnostic.severity == SEVERITY_WARNING:
+            metrics.inc("analysis.warnings")

@@ -1,0 +1,174 @@
+"""Diagnostics core for the static analyzer.
+
+Every analysis pass reports :class:`Diagnostic` records with a *stable*
+``MEDxxx`` code, a severity, the offending rule/literal rendering, and a
+fix hint.  Codes never change meaning once published (docs/ANALYSIS.md is
+the catalog), so scripts can grep JSON output for a specific code.
+
+Code ranges:
+
+* ``MED10x`` — registration & structure (unknown domain/function, arity,
+  undefined predicate, recursion).  Errors.
+* ``MED12x`` — adornment feasibility (calls/subgoals/comparisons that can
+  never be ground under *any* subgoal ordering).  Warnings.
+* ``MED13x`` — dead rules (unsatisfiable comparison chains, IDB
+  predicates unreachable from the query roots).
+* ``MED14x`` — invariant lint (paper §4 safety, unknown endpoints,
+  self-referential/cyclic chains, unsatisfiable conditions, unmatched).
+* ``MED16x`` — plan verification (a plan step that is not executable, or
+  answer variables left unbound).  Errors.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+SEVERITY_INFO = "info"
+
+_SEVERITY_RANK = {SEVERITY_ERROR: 0, SEVERITY_WARNING: 1, SEVERITY_INFO: 2}
+
+#: Stable code → short title catalog (the full catalog with triggering
+#: examples lives in docs/ANALYSIS.md).
+CODES: dict[str, str] = {
+    "MED101": "unknown domain",
+    "MED102": "unknown function",
+    "MED103": "call arity mismatch",
+    "MED104": "undefined predicate",
+    "MED105": "recursive program",
+    "MED120": "infeasible domain call",
+    "MED121": "infeasible IDB subgoal",
+    "MED122": "infeasible comparison",
+    "MED125": "infeasible reachable adornment",
+    "MED130": "unsatisfiable rule body",
+    "MED131": "unreachable predicate",
+    "MED140": "invariant references unknown domain",
+    "MED141": "invariant references unknown function",
+    "MED142": "invariant call arity mismatch",
+    "MED143": "self-referential invariant",
+    "MED144": "cyclic invariant chain",
+    "MED145": "unsatisfiable invariant condition",
+    "MED146": "unmatched invariant",
+    "MED147": "unsafe invariant",
+    "MED160": "plan call not ground",
+    "MED161": "plan comparison not evaluable",
+    "MED162": "answer variable unbound",
+    "MED163": "plan call fails registry check",
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analysis finding, locatable and machine-readable."""
+
+    code: str
+    severity: str
+    message: str
+    rule: str = ""  # rendering of the offending rule/query/invariant
+    literal: str = ""  # rendering of the offending literal/step, if any
+    hint: str = ""  # one-line suggested fix
+
+    def __post_init__(self) -> None:
+        if self.code not in CODES:
+            raise ValueError(f"unknown diagnostic code {self.code!r}")
+        if self.severity not in _SEVERITY_RANK:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    @property
+    def title(self) -> str:
+        return CODES[self.code]
+
+    def to_dict(self) -> dict[str, str]:
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "title": self.title,
+            "message": self.message,
+            "rule": self.rule,
+            "literal": self.literal,
+            "hint": self.hint,
+        }
+
+    def __str__(self) -> str:
+        location = f" in `{self.rule}`" if self.rule else ""
+        hint = f" (hint: {self.hint})" if self.hint else ""
+        return f"{self.code} {self.severity}{location}: {self.message}{hint}"
+
+
+def sort_key(diagnostic: Diagnostic) -> tuple:
+    """Stable report order: errors first, then by code, then location."""
+    return (
+        _SEVERITY_RANK.get(diagnostic.severity, 99),
+        diagnostic.code,
+        diagnostic.rule,
+        diagnostic.literal,
+        diagnostic.message,
+    )
+
+
+@dataclass(frozen=True)
+class AnalysisReport:
+    """The outcome of one analyzer run over a program (+ invariants)."""
+
+    diagnostics: tuple[Diagnostic, ...] = field(default_factory=tuple)
+
+    @property
+    def errors(self) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity == SEVERITY_ERROR)
+
+    @property
+    def warnings(self) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity == SEVERITY_WARNING)
+
+    @property
+    def ok(self) -> bool:
+        """True when the program has no errors (warnings allowed)."""
+        return not self.errors
+
+    @property
+    def clean(self) -> bool:
+        """True when there are no diagnostics at all."""
+        return not self.diagnostics
+
+    @property
+    def exit_code(self) -> int:
+        """CLI convention: 0 clean, 1 warnings only, 2 any error."""
+        if self.errors:
+            return 2
+        if self.diagnostics:
+            return 1
+        return 0
+
+    def by_code(self, code: str) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.code == code)
+
+    def render_text(self) -> str:
+        lines = [str(d) for d in self.diagnostics]
+        lines.append(
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s)."
+            if self.diagnostics
+            else "no issues found."
+        )
+        return "\n".join(lines)
+
+    def render_json(self) -> str:
+        return json.dumps(
+            {
+                "diagnostics": [d.to_dict() for d in self.diagnostics],
+                "errors": len(self.errors),
+                "warnings": len(self.warnings),
+                "exit_code": self.exit_code,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+    def render(self, as_json: bool = False) -> str:
+        return self.render_json() if as_json else self.render_text()
+
+
+def make_report(diagnostics: "list[Diagnostic] | tuple[Diagnostic, ...]") -> AnalysisReport:
+    """Sort diagnostics into the stable report order and wrap them."""
+    return AnalysisReport(tuple(sorted(diagnostics, key=sort_key)))

@@ -1,0 +1,265 @@
+"""Interval/equality satisfiability analysis over comparison conjunctions.
+
+The dead-rule pass and the invariant linter both need to decide whether a
+conjunction of comparisons like ``X < 3 & X > 5`` or ``X = 1 & X = 2``
+can ever hold.  This module implements a small, *sound* decision
+procedure: when :func:`unsatisfiable_reason` returns a reason the
+conjunction is provably unsatisfiable over any ground assignment; when it
+returns ``None`` the analysis could not prove anything (the conjunction
+may or may not be satisfiable).
+
+The procedure:
+
+1. union-find over the non-constant terms connected by ``=``/``==``,
+   with one known constant value per equivalence class (two different
+   constants in a class is an immediate contradiction);
+2. per-class numeric/string interval bounds from comparisons against
+   constants, propagated across ``<``/``<=``/``>``/``>=`` edges between
+   classes (Bellman-Ford style, bodies are tiny);
+3. an empty interval (``low > high``, or ``low == high`` with a strict
+   end) is a contradiction, as is a ``<``-cycle containing a strict edge
+   (``X < Y & Y < X``) or a violated ``!=``.
+
+Mixed-type comparisons between a variable and a constant are ignored
+(the executor's type-name fallback makes them *satisfiable* orderings,
+never contradictions we could rely on); fully-ground comparisons are
+evaluated exactly the way the rewriter's constant folder does.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.core.model import Comparison, evaluate_comparison
+from repro.core.terms import Constant, Term, Value
+
+
+def _comparable(left: Value, right: Value) -> bool:
+    """Same comparable family: both numeric or both strings."""
+    if isinstance(left, bool) or isinstance(right, bool):
+        return isinstance(left, bool) and isinstance(right, bool)
+    if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+        return True
+    return isinstance(left, str) and isinstance(right, str)
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self._parent: dict[Term, Term] = {}
+
+    def find(self, term: Term) -> Term:
+        parent = self._parent.setdefault(term, term)
+        if parent is term or parent == term:
+            return term
+        root = self.find(parent)
+        self._parent[term] = root
+        return root
+
+    def union(self, left: Term, right: Term) -> Term:
+        root_left, root_right = self.find(left), self.find(right)
+        if root_left != root_right:
+            self._parent[root_right] = root_left
+        return root_left
+
+
+class _Bounds:
+    """One equivalence class's accumulated interval."""
+
+    __slots__ = ("low", "low_strict", "high", "high_strict", "value")
+
+    def __init__(self) -> None:
+        self.low: Optional[Value] = None
+        self.low_strict = False
+        self.high: Optional[Value] = None
+        self.high_strict = False
+        self.value: Optional[Value] = None  # pinned by an equality
+
+    def tighten_low(self, value: Value, strict: bool) -> None:
+        if self.low is None or not _comparable(self.low, value):
+            if self.low is None:
+                self.low, self.low_strict = value, strict
+            return
+        if value > self.low or (value == self.low and strict):
+            self.low, self.low_strict = value, strict
+
+    def tighten_high(self, value: Value, strict: bool) -> None:
+        if self.high is None or not _comparable(self.high, value):
+            if self.high is None:
+                self.high, self.high_strict = value, strict
+            return
+        if value < self.high or (value == self.high and strict):
+            self.high, self.high_strict = value, strict
+
+    def empty_reason(self, label: str) -> Optional[str]:
+        if self.value is not None:
+            if self.low is not None and _comparable(self.value, self.low):
+                if self.value < self.low or (self.value == self.low and self.low_strict):
+                    return f"{label} = {self.value!r} violates its lower bound {self.low!r}"
+            if self.high is not None and _comparable(self.value, self.high):
+                if self.value > self.high or (
+                    self.value == self.high and self.high_strict
+                ):
+                    return f"{label} = {self.value!r} violates its upper bound {self.high!r}"
+        if (
+            self.low is not None
+            and self.high is not None
+            and _comparable(self.low, self.high)
+        ):
+            if self.low > self.high:
+                return f"{label} > {self.low!r} contradicts {label} < {self.high!r}"
+            if self.low == self.high and (self.low_strict or self.high_strict):
+                return (
+                    f"{label} has empty range around {self.low!r} "
+                    f"(a strict bound excludes the only candidate)"
+                )
+        return None
+
+
+def unsatisfiable_reason(comparisons: Iterable[Comparison]) -> Optional[str]:
+    """A human-readable proof of unsatisfiability, or ``None`` if the
+    conjunction could not be proven unsatisfiable."""
+    comparisons = list(comparisons)
+    uf = _UnionFind()
+    ground: list[Comparison] = []
+    disequalities: list[tuple[Term, Term, Comparison]] = []
+    # normalized strict/non-strict "lesser <(=) greater" edges over terms
+    edges: list[tuple[Term, Term, bool, Comparison]] = []
+
+    # pass 1: ground folding + equality classes
+    for comparison in comparisons:
+        left, right = comparison.left, comparison.right
+        if isinstance(left, Constant) and isinstance(right, Constant):
+            ground.append(comparison)
+            continue
+        if comparison.op in ("=", "=="):
+            uf.union(left, right)
+        elif comparison.op == "!=":
+            disequalities.append((left, right, comparison))
+        elif comparison.op in ("<", "<="):
+            edges.append((left, right, comparison.op == "<", comparison))
+        elif comparison.op in (">", ">="):
+            edges.append((right, left, comparison.op == ">", comparison))
+        # prefix_of/subpath_of and friends: no interval semantics — skip
+
+    for comparison in ground:
+        try:
+            holds = evaluate_comparison(
+                comparison.op, comparison.left.value, comparison.right.value
+            )
+        except Exception:  # stay sound: an unevaluable ground comparison proves nothing
+            continue
+        if not holds:
+            return f"ground comparison {comparison} is false"
+
+    bounds: dict[Term, _Bounds] = {}
+
+    def bounds_of(term: Term) -> _Bounds:
+        root = uf.find(term)
+        entry = bounds.get(root)
+        if entry is None:
+            entry = bounds[root] = _Bounds()
+        return entry
+
+    # pin equality-class constants
+    for comparison in comparisons:
+        if comparison.op not in ("=", "=="):
+            continue
+        left, right = comparison.left, comparison.right
+        constant, other = (
+            (left, right) if isinstance(left, Constant) else (right, left)
+        )
+        if not isinstance(constant, Constant) or isinstance(other, Constant):
+            continue
+        entry = bounds_of(other)
+        if entry.value is not None and entry.value != constant.value:
+            return (
+                f"{other} is pinned to both {entry.value!r} and "
+                f"{constant.value!r} by equalities"
+            )
+        entry.value = constant.value
+
+    # seed interval bounds from constant sides of ordered comparisons
+    class_edges: list[tuple[Term, Term, bool, Comparison]] = []
+    for lesser, greater, strict, comparison in edges:
+        lesser_const = isinstance(lesser, Constant)
+        greater_const = isinstance(greater, Constant)
+        if lesser_const and not greater_const:
+            bounds_of(greater).tighten_low(lesser.value, strict)  # type: ignore[union-attr]
+        elif greater_const and not lesser_const:
+            bounds_of(lesser).tighten_high(greater.value, strict)  # type: ignore[union-attr]
+        elif not lesser_const and not greater_const:
+            class_edges.append((uf.find(lesser), uf.find(greater), strict, comparison))
+
+    # propagate bounds across term-term edges (bodies are tiny: |E| rounds)
+    for _ in range(len(class_edges) + 1):
+        changed = False
+        for lesser, greater, strict, _comparison in class_edges:
+            low_side, high_side = bounds_of(lesser), bounds_of(greater)
+            low = low_side.value if low_side.value is not None else low_side.low
+            if low is not None:
+                low_strict = strict or (
+                    low_side.value is None and low_side.low_strict
+                )
+                before = (high_side.low, high_side.low_strict)
+                high_side.tighten_low(low, low_strict)
+                changed = changed or before != (high_side.low, high_side.low_strict)
+            high = high_side.value if high_side.value is not None else high_side.high
+            if high is not None:
+                high_strict = strict or (
+                    high_side.value is None and high_side.high_strict
+                )
+                before = (low_side.high, low_side.high_strict)
+                low_side.tighten_high(high, high_strict)
+                changed = changed or before != (low_side.high, low_side.high_strict)
+        if not changed:
+            break
+
+    for root, entry in bounds.items():
+        reason = entry.empty_reason(str(root))
+        if reason is not None:
+            return reason
+
+    # strict cycles: X < Y & Y <= X (any cycle containing a strict edge)
+    adjacency: dict[Term, list[tuple[Term, bool]]] = {}
+    for lesser, greater, strict, _comparison in class_edges:
+        if lesser == greater:
+            if strict:
+                return f"{lesser} < {lesser} can never hold"
+            continue
+        adjacency.setdefault(lesser, []).append((greater, strict))
+    for lesser, greater, strict, comparison in class_edges:
+        if not strict or lesser == greater:
+            continue
+        # is `lesser` reachable from `greater` through <=/< edges?
+        seen = {greater}
+        frontier = [greater]
+        while frontier:
+            node = frontier.pop()
+            if node == lesser:
+                return f"comparison cycle through {comparison} can never hold"
+            for nxt, _s in adjacency.get(node, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+
+    # disequalities against pinned values / merged classes
+    for left, right, comparison in disequalities:
+        left_value: Optional[Value]
+        right_value: Optional[Value]
+        if isinstance(left, Constant):
+            left_value = left.value
+        else:
+            left_value = bounds_of(left).value
+        if isinstance(right, Constant):
+            right_value = right.value
+        else:
+            right_value = bounds_of(right).value
+        if (
+            not isinstance(left, Constant)
+            and not isinstance(right, Constant)
+            and uf.find(left) == uf.find(right)
+        ):
+            return f"{comparison} contradicts an equality chain joining both sides"
+        if left_value is not None and right_value is not None and left_value == right_value:
+            return f"{comparison} contradicts equalities pinning both sides to {left_value!r}"
+    return None

@@ -1,0 +1,183 @@
+"""Invariant lint (paper §4): can each invariant ever help, and can the
+CIM substitution loop on it?
+
+Checks, per invariant ``Condition ⇒ Left R Right``:
+
+* MED147 — the paper's safety condition (condition variables must appear
+  in one of the calls), via :meth:`Invariant.validate`;
+* MED140/141/142 — unknown domain/function or arity mismatch on either
+  side (when a registry is supplied; opaque endpoints are skipped);
+* MED143 — ``Left`` syntactically identical to ``Right``: the rewrite
+  replaces a call with itself.  The §4 *containment* pattern over the
+  same function with different argument patterns (wider interval ⊇
+  narrower interval) is legitimate and is **not** flagged;
+* MED144 — a cycle through *distinct* qualified call names in the
+  substitution graph (``d:f ⊇ d:g`` and ``d:g ⊇ d:f``): CIM candidate
+  chains could loop.  Self-edges are excluded for the same §4 reason;
+* MED145 — a provably unsatisfiable condition: the invariant can never
+  fire;
+* MED146 — no domain call in the program unifies with ``Left``: the CIM
+  indexes candidates by the incoming call, so this invariant can never
+  match (skipped when the program has no rules to match against).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.analysis.diagnostics import (
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    Diagnostic,
+)
+from repro.analysis.intervals import unsatisfiable_reason
+from repro.analysis.passes import registry_problem
+from repro.core.model import DomainCall, Invariant, Program
+from repro.core.unify import rename_apart, resolve, unify_sequences
+from repro.domains.registry import DomainRegistry
+from repro.errors import InvariantError
+
+_SIDE_CODES = {"domain": "MED140", "function": "MED141", "arity": "MED142"}
+
+
+def _matches_some_call(left: DomainCall, program: Program) -> bool:
+    renaming = rename_apart(left.variables())
+    pattern = tuple(resolve(arg, renaming) for arg in left.args)
+    for call in program.domain_calls():
+        if call.domain != left.domain or call.function != left.function:
+            continue
+        if len(call.args) != len(pattern):
+            continue
+        if unify_sequences(pattern, call.args, {}) is not None:
+            return True
+    return False
+
+
+def lint_invariants(
+    invariants: Iterable[Invariant],
+    program: Optional[Program] = None,
+    registry: Optional[DomainRegistry] = None,
+) -> list[Diagnostic]:
+    invariants = list(invariants)
+    diagnostics: list[Diagnostic] = []
+    for invariant in invariants:
+        rendered = str(invariant)
+        try:
+            invariant.validate()
+        except InvariantError as exc:
+            diagnostics.append(
+                Diagnostic(
+                    "MED147",
+                    SEVERITY_ERROR,
+                    str(exc),
+                    rule=rendered,
+                    hint="every condition variable must appear in one of "
+                    "the invariant's calls (paper §4 safety)",
+                )
+            )
+        if registry is not None:
+            for side, call in (("left", invariant.left), ("right", invariant.right)):
+                problem = registry_problem(
+                    call.domain, call.function, call.arity, registry
+                )
+                if problem is not None:
+                    kind, message = problem
+                    diagnostics.append(
+                        Diagnostic(
+                            _SIDE_CODES[kind],
+                            SEVERITY_ERROR,
+                            f"{side} call {call}: {message}",
+                            rule=rendered,
+                            literal=str(call),
+                            hint="an invariant over an unresolvable call "
+                            "can never fire soundly",
+                        )
+                    )
+        if invariant.left == invariant.right:
+            diagnostics.append(
+                Diagnostic(
+                    "MED143",
+                    SEVERITY_WARNING,
+                    f"invariant rewrites {invariant.left} to itself — the "
+                    f"substitution is a no-op the CIM could chase forever",
+                    rule=rendered,
+                    literal=str(invariant.left),
+                    hint="the two sides must differ (e.g. the §4 "
+                    "containment pattern uses distinct argument patterns)",
+                )
+            )
+        if invariant.condition:
+            reason = unsatisfiable_reason(invariant.condition)
+            if reason is not None:
+                diagnostics.append(
+                    Diagnostic(
+                        "MED145",
+                        SEVERITY_ERROR,
+                        f"invariant condition is unsatisfiable — it can "
+                        f"never fire: {reason}",
+                        rule=rendered,
+                        hint="fix the contradictory condition comparisons",
+                    )
+                )
+        if (
+            program is not None
+            and len(program)
+            and not _matches_some_call(invariant.left, program)
+        ):
+            diagnostics.append(
+                Diagnostic(
+                    "MED146",
+                    SEVERITY_WARNING,
+                    f"no domain call in the program unifies with the left "
+                    f"side {invariant.left} — the invariant can never match",
+                    rule=rendered,
+                    literal=str(invariant.left),
+                    hint="the CIM matches invariants against incoming "
+                    "calls by their left side; align it with a call the "
+                    "program actually makes",
+                )
+            )
+    diagnostics.extend(_cycle_diagnostics(invariants))
+    return diagnostics
+
+
+def _cycle_diagnostics(invariants: list[Invariant]) -> list[Diagnostic]:
+    """MED144: invariants whose left→right substitution edge sits on a
+    cycle through *distinct* qualified names."""
+    edges: dict[str, set[str]] = {}
+    for invariant in invariants:
+        left, right = invariant.left.qualified_name, invariant.right.qualified_name
+        if left != right:
+            edges.setdefault(left, set()).add(right)
+
+    def reaches(start: str, goal: str) -> bool:
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            if node == goal:
+                return True
+            for nxt in edges.get(node, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return False
+
+    diagnostics: list[Diagnostic] = []
+    for invariant in invariants:
+        left, right = invariant.left.qualified_name, invariant.right.qualified_name
+        if left == right:
+            continue
+        if reaches(right, left):
+            diagnostics.append(
+                Diagnostic(
+                    "MED144",
+                    SEVERITY_WARNING,
+                    f"invariant substitution chain loops: {left} → {right} "
+                    f"→ ... → {left}; CIM candidate chasing could cycle",
+                    rule=str(invariant),
+                    hint="break the cycle — containment chains must be "
+                    "acyclic across distinct calls",
+                )
+            )
+    return diagnostics

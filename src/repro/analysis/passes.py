@@ -1,0 +1,314 @@
+"""Program-level analysis passes.
+
+Each pass is a pure function ``(program, ...) -> list[Diagnostic]``:
+
+* :func:`structure_pass` — registration and structural errors (unknown
+  domain/function, arity, undefined predicates, recursion): MED101–105.
+* :func:`feasibility_pass` — per rule, the adornment-feasibility check
+  under the most generous assumption (every head variable bound by the
+  query); literals stuck at the fixpoint can never execute under *any*
+  subgoal ordering: MED120–122.
+* :func:`query_pass` — per query root, the binding patterns actually
+  reachable by unfolding, reporting predicates reached under adornments
+  with no executable ordering: MED125.
+* :func:`dead_rule_pass` — rules whose comparison chain is provably
+  unsatisfiable (interval/equality analysis): MED130.
+* :func:`reachability_pass` — defined predicates no query root can ever
+  reach: MED131.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.analysis.diagnostics import (
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    Diagnostic,
+)
+from repro.analysis.feasibility import FeasibilityAnalysis
+from repro.analysis.intervals import unsatisfiable_reason
+from repro.core.model import Comparison, InAtom, Literal, Predicate, Program, Query
+from repro.core.terms import Variable
+from repro.domains.registry import DomainRegistry
+
+# ---------------------------------------------------------------------------
+# Registration / structure (MED101-105)
+# ---------------------------------------------------------------------------
+
+
+def registry_problem(
+    domain: str,
+    function: str,
+    arity: int,
+    registry: DomainRegistry,
+) -> Optional[tuple[str, str]]:
+    """Check a call shape against the registry.
+
+    Returns ``(kind, message)`` with ``kind`` in ``{"domain", "function",
+    "arity"}``, or ``None`` when the call is resolvable.  Opaque endpoints
+    (e.g. the CIM, which exports no ``functions`` table) pass domain
+    resolution and skip the function/arity checks.
+    """
+    if domain not in registry:
+        return (
+            "domain",
+            f"domain '{domain}' is not registered "
+            f"(registered: {', '.join(registry.names()) or 'none'})",
+        )
+    endpoint = registry.get(domain)
+    target = getattr(endpoint, "domain", endpoint)
+    functions = getattr(target, "functions", None)
+    if functions is None:
+        return None  # opaque endpoint (e.g. the CIM): nothing to check
+    if function not in functions:
+        return (
+            "function",
+            f"domain '{domain}' exports no function '{function}' "
+            f"(exports: {', '.join(sorted(functions))})",
+        )
+    fn = functions[function]
+    if fn.arity != arity:
+        return (
+            "arity",
+            f"{domain}:{function} takes {fn.arity} argument(s), "
+            f"rule passes {arity}",
+        )
+    return None
+
+
+_CALL_CODES = {"domain": "MED101", "function": "MED102", "arity": "MED103"}
+_CALL_HINTS = {
+    "domain": "register the domain before loading the program",
+    "function": "check the function name against the domain's exports",
+    "arity": "match the call's argument count to the source function",
+}
+
+
+def structure_pass(
+    program: Program, registry: Optional[DomainRegistry] = None
+) -> list[Diagnostic]:
+    diagnostics: list[Diagnostic] = []
+    if program.is_recursive():
+        diagnostics.append(
+            Diagnostic(
+                "MED105",
+                SEVERITY_ERROR,
+                "program is recursive; this optimizer implements the "
+                "nonrecursive fragment",
+                hint="break the cycle in the predicate dependency graph",
+            )
+        )
+    for rule in program.rules:
+        rendered = str(rule)
+        for literal in rule.body:
+            if isinstance(literal, Predicate):
+                if not program.defines(literal.name, literal.arity):
+                    diagnostics.append(
+                        Diagnostic(
+                            "MED104",
+                            SEVERITY_ERROR,
+                            f"predicate {literal.name}/{literal.arity} has "
+                            f"no defining rules",
+                            rule=rendered,
+                            literal=str(literal),
+                            hint="define the predicate or fix the name/arity",
+                        )
+                    )
+            elif isinstance(literal, InAtom) and registry is not None:
+                call = literal.call
+                problem = registry_problem(
+                    call.domain, call.function, call.arity, registry
+                )
+                if problem is not None:
+                    kind, message = problem
+                    diagnostics.append(
+                        Diagnostic(
+                            _CALL_CODES[kind],
+                            SEVERITY_ERROR,
+                            message,
+                            rule=rendered,
+                            literal=str(literal),
+                            hint=_CALL_HINTS[kind],
+                        )
+                    )
+    return diagnostics
+
+
+# ---------------------------------------------------------------------------
+# Adornment feasibility (MED120-122, MED125)
+# ---------------------------------------------------------------------------
+
+
+def _stuck_diagnostic(
+    analysis: FeasibilityAnalysis,
+    literal: Literal,
+    bound: frozenset[Variable],
+    rendered: str,
+) -> Diagnostic:
+    never = analysis.never_bound(literal, bound)
+    names = ", ".join(never) if never else "(none)"
+    if isinstance(literal, InAtom):
+        return Diagnostic(
+            "MED120",
+            SEVERITY_WARNING,
+            f"domain call {literal.call} can never be ground under any "
+            f"subgoal ordering: variable(s) {names} never bound",
+            rule=rendered,
+            literal=str(literal),
+            hint="bind the variable(s) earlier (another call's output, a "
+            "head argument, or an `=` assignment)",
+        )
+    if isinstance(literal, Predicate):
+        return Diagnostic(
+            "MED121",
+            SEVERITY_WARNING,
+            f"IDB subgoal {literal} can never be evaluated: no defining "
+            f"rule has an executable ordering once variable(s) {names} "
+            f"are never bound",
+            rule=rendered,
+            literal=str(literal),
+            hint="check the subgoal's defining rules — they cannot bind "
+            "these argument positions",
+        )
+    return Diagnostic(
+        "MED122",
+        SEVERITY_WARNING,
+        f"comparison {literal} can never be evaluated: variable(s) "
+        f"{names} never bound",
+        rule=rendered,
+        literal=str(literal),
+        hint="a comparison needs both sides bound (or `=` with one side "
+        "bound) at some point in the ordering",
+    )
+
+
+def feasibility_pass(program: Program) -> list[Diagnostic]:
+    """Flag literals that are stuck even under the most generous query
+    (every head variable bound).  Replaces the old heuristic that also
+    assumed every IDB body variable bound — the recursion into the real
+    defining rules is what catches the old false negatives."""
+    diagnostics: list[Diagnostic] = []
+    analysis = FeasibilityAnalysis(program)
+    for rule in program.rules:
+        seed = rule.head.variables()
+        bound, stuck = analysis.saturate(rule.body, seed)
+        rendered = str(rule)
+        for literal in stuck:
+            diagnostics.append(
+                _stuck_diagnostic(analysis, literal, bound, rendered)
+            )
+    return diagnostics
+
+
+def query_pass(program: Program, queries: Iterable[Query]) -> list[Diagnostic]:
+    """Per explicit query root: saturate the query body (query variables
+    free, constants bound) and report every (predicate, adornment) pair
+    reached by unfolding that admits no executable ordering."""
+    diagnostics: list[Diagnostic] = []
+    analysis = FeasibilityAnalysis(program)
+    for query in queries:
+        rendered = str(query)
+        bound, stuck = analysis.saturate(tuple(query.goals), frozenset())
+        for literal in stuck:
+            diagnostic = _stuck_diagnostic(analysis, literal, bound, rendered)
+            diagnostics.append(diagnostic)
+    for (key, adornment), feasible in sorted(analysis.reached.items()):
+        if feasible or not program.defines(*key):
+            continue
+        name, arity = key
+        diagnostics.append(
+            Diagnostic(
+                "MED125",
+                SEVERITY_WARNING,
+                f"predicate {name}/{arity} is reachable with binding "
+                f"pattern '{adornment}' but no subgoal ordering can "
+                f"execute it under that pattern",
+                literal=f"{name}/{arity}^{adornment}",
+                hint="bind more arguments at the call site, or add a rule "
+                "executable under this pattern",
+            )
+        )
+    return diagnostics
+
+
+# ---------------------------------------------------------------------------
+# Dead rules (MED130) and reachability (MED131)
+# ---------------------------------------------------------------------------
+
+
+def dead_rule_pass(program: Program) -> list[Diagnostic]:
+    diagnostics: list[Diagnostic] = []
+    for rule in program.rules:
+        comparisons = [
+            literal for literal in rule.body if isinstance(literal, Comparison)
+        ]
+        if not comparisons:
+            continue
+        reason = unsatisfiable_reason(comparisons)
+        if reason is not None:
+            diagnostics.append(
+                Diagnostic(
+                    "MED130",
+                    SEVERITY_ERROR,
+                    f"rule body is unsatisfiable — it can never produce an "
+                    f"answer: {reason}",
+                    rule=str(rule),
+                    hint="delete the rule or fix the contradictory comparisons",
+                )
+            )
+    return diagnostics
+
+
+def reachability_pass(
+    program: Program, queries: Iterable[Query] = ()
+) -> list[Diagnostic]:
+    """Defined predicates that no root can reach through rule bodies.
+
+    Roots are the predicates named by the given queries; without queries,
+    every predicate never referenced by another rule's body counts as a
+    root (it is part of the program's exported surface).
+    """
+    queries = list(queries)
+    defined = set(program.predicates())
+    if not defined:
+        return []
+    referenced: set[tuple[str, int]] = set()
+    children: dict[tuple[str, int], set[tuple[str, int]]] = {}
+    for head, body_key in program.dependency_edges():
+        referenced.add(body_key)
+        children.setdefault(head, set()).add(body_key)
+    if queries:
+        roots = {
+            goal.key
+            for query in queries
+            for goal in query.goals
+            if isinstance(goal, Predicate)
+        }
+    else:
+        roots = defined - referenced
+    frontier = [key for key in roots if key in defined]
+    reachable: set[tuple[str, int]] = set(frontier)
+    while frontier:
+        node = frontier.pop()
+        for child in children.get(node, ()):
+            if child in defined and child not in reachable:
+                reachable.add(child)
+                frontier.append(child)
+    diagnostics: list[Diagnostic] = []
+    source = "the analyzed queries" if queries else "the program's root rules"
+    for key in sorted(defined - reachable):
+        name, arity = key
+        rules = program.rules_for(name, arity)
+        diagnostics.append(
+            Diagnostic(
+                "MED131",
+                SEVERITY_WARNING,
+                f"predicate {name}/{arity} is unreachable from {source} — "
+                f"its {len(rules)} rule(s) are dead code",
+                rule=str(rules[0]) if rules else "",
+                hint="query it directly, reference it from a reachable "
+                "rule, or delete it",
+            )
+        )
+    return diagnostics

@@ -1,0 +1,136 @@
+"""Independent plan verifier.
+
+Replays a :class:`~repro.core.plans.Plan` through the single-step
+dataflow function :func:`repro.core.adornment.step` — the same function
+the rewriter uses, but *outside* the rewriter's search — and asserts:
+
+* every :class:`CallStep` is ground when reached (MED160), and resolves
+  against the registry when one is supplied (MED163);
+* every :class:`CompareStep` is evaluable when reached (MED161);
+* every answer variable is bound once the plan completes (MED162).
+
+Used three ways: as a property-test oracle against the ``Rewriter``
+(every emitted plan must verify), as an optional executor debug
+assertion (``Executor(verify_plans=True)``), and ad hoc on hand-built
+plans.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.diagnostics import SEVERITY_ERROR, Diagnostic
+from repro.analysis.passes import registry_problem
+from repro.core.adornment import step as adorn_step
+from repro.core.plans import CallStep, Plan
+from repro.core.terms import Variable
+from repro.domains.registry import DomainRegistry
+from repro.errors import PlanVerificationError
+
+
+def verify_plan(
+    plan: Plan,
+    bound_vars: frozenset[Variable] = frozenset(),
+    registry: Optional[DomainRegistry] = None,
+) -> tuple[Diagnostic, ...]:
+    """All verification failures for ``plan`` (empty tuple ⇒ verified).
+
+    ``bound_vars`` pre-binds variables the way parameterised queries do.
+    After a failing step, its variables are assumed bound so one mistake
+    does not cascade into a diagnostic per later step.
+    """
+    diagnostics: list[Diagnostic] = []
+    bound = frozenset(bound_vars)
+    rendered = str(plan)
+    for index, step in enumerate(plan.steps, start=1):
+        if isinstance(step, CallStep):
+            call = step.atom.call
+            if registry is not None:
+                problem = registry_problem(
+                    call.domain, call.function, call.arity, registry
+                )
+                if problem is not None:
+                    diagnostics.append(
+                        Diagnostic(
+                            "MED163",
+                            SEVERITY_ERROR,
+                            f"step {index}: {problem[1]}",
+                            rule=rendered,
+                            literal=str(step),
+                        )
+                    )
+            after = adorn_step(step.atom, bound)
+            if after is None:
+                unbound = sorted(
+                    variable.name
+                    for arg in call.args
+                    for variable in arg.variables()
+                    if variable not in bound
+                )
+                diagnostics.append(
+                    Diagnostic(
+                        "MED160",
+                        SEVERITY_ERROR,
+                        f"step {index}: call {call} is not ground when "
+                        f"reached — variable(s) {', '.join(unbound)} unbound",
+                        rule=rendered,
+                        literal=str(step),
+                        hint="an earlier step must bind the call's inputs",
+                    )
+                )
+                bound = bound | step.atom.variables()
+            else:
+                bound = after
+        else:
+            after = adorn_step(step.comparison, bound)
+            if after is None:
+                unbound = sorted(
+                    variable.name
+                    for variable in step.comparison.variables()
+                    if variable not in bound
+                )
+                diagnostics.append(
+                    Diagnostic(
+                        "MED161",
+                        SEVERITY_ERROR,
+                        f"step {index}: comparison {step.comparison} is not "
+                        f"evaluable when reached — variable(s) "
+                        f"{', '.join(unbound)} unbound",
+                        rule=rendered,
+                        literal=str(step),
+                        hint="a comparison needs both sides bound, or `=` "
+                        "with one side bound and the other a bare variable",
+                    )
+                )
+                bound = bound | step.comparison.variables()
+            else:
+                bound = after
+    unbound_answers = sorted(
+        variable.name for variable in plan.answer_vars if variable not in bound
+    )
+    if unbound_answers:
+        diagnostics.append(
+            Diagnostic(
+                "MED162",
+                SEVERITY_ERROR,
+                f"answer variable(s) {', '.join(unbound_answers)} are not "
+                f"bound at the end of the plan",
+                rule=rendered,
+                hint="every head variable must be bound by some step",
+            )
+        )
+    return tuple(diagnostics)
+
+
+def assert_plan_verified(
+    plan: Plan,
+    bound_vars: frozenset[Variable] = frozenset(),
+    registry: Optional[DomainRegistry] = None,
+) -> None:
+    """Raise :class:`PlanVerificationError` when the plan fails to verify."""
+    diagnostics = verify_plan(plan, bound_vars=bound_vars, registry=registry)
+    if diagnostics:
+        raise PlanVerificationError(
+            f"plan failed verification ({len(diagnostics)} problem(s)): "
+            + "; ".join(f"{d.code} {d.message}" for d in diagnostics)
+        )

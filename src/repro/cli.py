@@ -23,7 +23,7 @@ Commands (everything else is parsed as a rule or a query):
 Queries start with ``?-``; bare rules (``head :- body.``) extend the
 program.
 
-There is also a non-interactive subcommand::
+There are also non-interactive subcommands::
 
     python -m repro stats [--demo NAME] [--cim] [--flaky RATE] [QUERY ...]
 
@@ -33,6 +33,19 @@ counter/histogram the run recorded.  ``--flaky RATE`` injects transient
 faults at every remote site with the given per-attempt probability and
 enables the default retry policy, so the report shows the resilience
 counters (``executor.retries``, ``net.faults.*``) in action.
+
+::
+
+    python -m repro lint [--demo NAME] [--json] [--query "?- ..."]
+                         [--invariants FILE] [FILE ...]
+
+runs the static analyzer (see ``docs/ANALYSIS.md`` for the diagnostic
+catalog) over the given program files — or over the demo's own program
+when no files are given.  ``--demo`` supplies the domain registry and
+invariants (without it, registration checks are skipped); ``--query``
+(repeatable) adds analysis roots for the reachable-adornment and
+dead-code passes; ``--invariants FILE`` lints extra invariants.  Exit
+status: 0 clean, 1 warnings only, 2 errors.
 """
 
 from __future__ import annotations
@@ -88,14 +101,16 @@ class MediatorShell:
         self.stdout = stdout if stdout is not None else sys.stdout
         self.use_cim = False
         self.running = False
+        self.exit_status = 0
 
     # -- plumbing ---------------------------------------------------------
 
     def write(self, text: str = "") -> None:
         self.stdout.write(text + "\n")
 
-    def run(self) -> None:
-        """Read-eval-print until :quit or EOF."""
+    def run(self) -> int:
+        """Read-eval-print until :quit or EOF.  Returns the exit status
+        (nonzero when a ``:validate`` found errors)."""
         self.running = True
         self.write("repro mediator shell — :help for commands")
         while self.running:
@@ -105,6 +120,7 @@ class MediatorShell:
             if not line:
                 break
             self.handle(line.strip())
+        return self.exit_status
 
     def handle(self, line: str) -> None:
         """Process one input line (public so tests can drive it)."""
@@ -160,6 +176,17 @@ class MediatorShell:
                 self.write("program OK: no issues found.")
             for issue in issues:
                 self.write(str(issue))
+            if issues:
+                from repro.core.validation import SEVERITY_ERROR
+
+                errors = sum(
+                    1 for issue in issues if issue.severity == SEVERITY_ERROR
+                )
+                self.write(
+                    f"{errors} error(s), {len(issues) - errors} warning(s)."
+                )
+                if errors:
+                    self.exit_status = 1
         elif command == ":stats":
             self.write(f"clock: {self.mediator.clock.now_ms:.1f} simulated ms")
             self.write(f"DCSM:  {self.mediator.dcsm.observation_count()} observations")
@@ -270,12 +297,82 @@ def stats_main(argv: list[str], stdout: Optional[IO[str]] = None) -> int:
     return 0
 
 
+def lint_main(argv: list[str], stdout: Optional[IO[str]] = None) -> int:
+    """``python -m repro lint`` — static analysis, exit 0/1/2.
+
+    Options: ``--demo NAME`` supplies the domain registry and its
+    invariants (registration checks are skipped without it), ``--json``
+    renders the machine-readable report, ``--query "?- ..."``
+    (repeatable) adds analysis roots, ``--invariants FILE`` (repeatable)
+    lints extra invariants, and each remaining argument is a program
+    file.  With a demo and no files, the demo's own program is analyzed.
+    Exit status: 0 clean, 1 warnings only, 2 errors (or a load failure).
+    """
+    from repro.analysis import analyze_program
+    from repro.core.parser import parse_invariants, parse_program, parse_query
+
+    out = stdout if stdout is not None else sys.stdout
+    demo: Optional[str] = None
+    as_json = False
+    query_texts: list[str] = []
+    invariant_files: list[str] = []
+    files: list[str] = []
+    argv = list(argv)
+    while argv:
+        arg = argv.pop(0)
+        if arg in ("--demo", "--query", "--invariants"):
+            if not argv:
+                raise ReproError(f"{arg} requires a value")
+            value = argv.pop(0)
+            if arg == "--demo":
+                demo = value
+            elif arg == "--query":
+                query_texts.append(value)
+            else:
+                invariant_files.append(value)
+        elif arg == "--json":
+            as_json = True
+        elif arg.startswith("--"):
+            raise ReproError(f"unknown lint option {arg!r}")
+        else:
+            files.append(arg)
+
+    registry = None
+    invariants: list = []
+    program = None
+    if demo is not None:
+        mediator = _build_demo(demo)
+        registry = mediator.registry
+        invariants.extend(mediator.cim.invariants)
+        if not files:
+            program = mediator.program
+    if program is None:
+        from repro.core.model import Program
+
+        program = Program()
+    for path in files:
+        with open(path) as handle:
+            for rule in parse_program(handle.read()):
+                program.add(rule)
+    for path in invariant_files:
+        with open(path) as handle:
+            invariants.extend(parse_invariants(handle.read()))
+    queries = tuple(parse_query(text) for text in query_texts)
+    report = analyze_program(
+        program, registry=registry, invariants=invariants, queries=queries
+    )
+    out.write(report.render(as_json=as_json) + "\n")
+    return report.exit_code
+
+
 def main(argv: Optional[list[str]] = None) -> int:
-    """CLI entry point: ``python -m repro [stats] [--demo NAME] [...]``."""
+    """CLI entry point: ``python -m repro [stats|lint] [--demo NAME] [...]``."""
     argv = list(sys.argv[1:] if argv is None else argv)
     try:
         if argv and argv[0] == "stats":
             return stats_main(argv[1:])
+        if argv and argv[0] == "lint":
+            return lint_main(argv[1:])
         shell = MediatorShell()
         while argv:
             arg = argv.pop(0)
@@ -289,5 +386,4 @@ def main(argv: Optional[list[str]] = None) -> int:
     except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    shell.run()
-    return 0
+    return shell.run()

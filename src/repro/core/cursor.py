@@ -10,17 +10,21 @@ HERMES killing still-running external programs.
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from typing import TYPE_CHECKING, Iterator, Optional
 
 from repro.core.plans import Plan
 from repro.core.terms import Value
 from repro.errors import ReproError
 
+if TYPE_CHECKING:
+    from repro.core.executor import Executor
+    from repro.net.clock import SimClock
+
 
 class QueryCursor:
     """A lazy answer stream over one executing plan."""
 
-    def __init__(self, executor, plan: Plan, clock):
+    def __init__(self, executor: "Executor", plan: Plan, clock: "SimClock"):
         self._plan = plan
         self._clock = clock
         self._start_ms = clock.now_ms
@@ -67,7 +71,7 @@ class QueryCursor:
     def __enter__(self) -> "QueryCursor":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     def __iter__(self) -> Iterator[tuple[Value, ...]]:

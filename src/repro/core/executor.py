@@ -134,6 +134,7 @@ class Executor:
         policy: Optional[RetryPolicy] = None,
         degrade_on_failure: bool = True,
         metrics: Optional[MetricsRegistry] = None,
+        verify_plans: bool = False,
     ):
         self.registry = registry
         self.clock = clock
@@ -156,6 +157,9 @@ class Executor:
         # within ONE plan execution are answered from a per-run memo.
         self.memoize_calls = memoize_calls
         self.memo_hit_cost_ms = memo_hit_cost_ms
+        # debug assertion: replay every plan through the independent
+        # verifier (repro.analysis.verifier) before executing it
+        self.verify_plans = verify_plans
 
     def set_policy(self, policy: Optional[RetryPolicy]) -> None:
         """Swap the retry policy (and reseed its jitter stream)."""
@@ -187,6 +191,16 @@ class Executor:
         """
         if mode not in (MODE_ALL, MODE_INTERACTIVE):
             raise ReproError(f"unknown execution mode {mode!r}")
+        if self.verify_plans:
+            # imported lazily: the executor must not pull the analysis
+            # package in on the hot path when the assertion is off
+            from repro.analysis.verifier import assert_plan_verified
+
+            assert_plan_verified(
+                plan,
+                bound_vars=frozenset(initial_subst or {}),
+                registry=self.registry,
+            )
         provenance: Counter = Counter()
         stats = _RunStats(trace=[] if trace else None)
         start_ms = self.clock.now_ms

@@ -9,16 +9,20 @@ and which plan would run for each objective.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.core.estimator import PlanEstimate, RuleCostEstimator
 from repro.core.model import Query
 from repro.core.plans import Plan
 
+if TYPE_CHECKING:
+    from repro.core.answers import QueryResult
+    from repro.core.mediator import CimRouting, Mediator
+
 def explain(
-    mediator,
+    mediator: "Mediator",
     query: "str | Query",
-    use_cim=None,
+    use_cim: "CimRouting" = None,
     objective: str = "all",
 ) -> str:
     """A human-readable plan report for ``query``.
@@ -71,7 +75,7 @@ def _render_estimate(estimate: Optional[PlanEstimate]) -> str:
     return "\n  ".join(parts)
 
 
-def explain_last_execution(result) -> str:
+def explain_last_execution(result: "QueryResult") -> str:
     """Post-mortem of an executed QueryResult: predicted vs measured."""
     lines = [f"EXECUTED {result.query}"]
     lines.append(f"plan: {result.chosen}")

@@ -28,7 +28,7 @@ Typical use::
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Union
+from typing import TYPE_CHECKING, Any, Iterable, Optional, Union
 
 from repro.cim.manager import CacheInvariantManager, CimPolicy
 from repro.core.answers import QueryResult
@@ -48,6 +48,11 @@ from repro.net.faults import FaultInjector, FaultSpec
 from repro.net.policy import RetryPolicy
 from repro.net.remote import RemoteDomain
 from repro.net.sites import Site, make_site
+
+if TYPE_CHECKING:
+    from repro.analysis import AnalysisReport
+    from repro.core.cursor import QueryCursor
+    from repro.core.executor import ExecutionResult
 
 #: use_cim values: route nothing, everything, or a chosen set of domains.
 CimRouting = Union[bool, set, frozenset, None]
@@ -72,6 +77,7 @@ class Mediator:
         retry_policy: Optional[RetryPolicy] = None,
         degrade_on_failure: bool = True,
         metrics: Optional[MetricsRegistry] = None,
+        verify_plans: bool = False,
     ):
         self.clock = clock if clock is not None else SimClock()
         self.registry = DomainRegistry()
@@ -116,6 +122,7 @@ class Mediator:
             policy=retry_policy,
             degrade_on_failure=degrade_on_failure,
             metrics=self.metrics,
+            verify_plans=verify_plans,
         )
         self._rewriter: Optional[Rewriter] = None
         # paper §8's proposed remedy for first-answer underprediction:
@@ -188,10 +195,45 @@ class Mediator:
         """Static pre-flight checks of the loaded rules against the
         registered domains (unknown domains/functions, arity mismatches,
         undefined predicates, unorderable bodies, recursion).  Returns a
-        list of :class:`repro.core.validation.Issue`."""
+        list of :class:`repro.core.validation.Issue`.
+
+        :meth:`analyze` is the richer interface: stable diagnostic codes,
+        invariant lint, and per-query reachable-adornment analysis.
+        """
         from repro.core.validation import validate_program
 
         return validate_program(self.program, self.registry)
+
+    def analyze(
+        self,
+        queries: Iterable["str | Query"] = (),
+        include_invariants: bool = True,
+    ) -> "AnalysisReport":
+        """Run the full static analyzer over the loaded program.
+
+        ``queries`` (``?- ...`` strings or parsed :class:`Query` objects)
+        become the analysis roots: the analyzer computes the binding
+        patterns actually reachable from them and flags predicates both
+        unreachable and infeasible under those patterns.  Invariants
+        registered with the CIM are linted unless
+        ``include_invariants=False``.  Returns an
+        :class:`~repro.analysis.diagnostics.AnalysisReport`; outcomes are
+        counted in the metrics registry under ``analysis.*``.
+        """
+        from repro.analysis import analyze_program
+
+        parsed = tuple(
+            parse_query(query) if isinstance(query, str) else query
+            for query in queries
+        )
+        invariants = tuple(self.cim.invariants) if include_invariants else ()
+        return analyze_program(
+            self.program,
+            registry=self.registry,
+            invariants=invariants,
+            queries=parsed,
+            metrics=self.metrics,
+        )
 
     # -- planning -------------------------------------------------------------------
 
@@ -349,7 +391,7 @@ class Mediator:
         optimize: bool = True,
         plan: Optional[Plan] = None,
         bindings: Optional[dict] = None,
-    ):
+    ) -> "QueryCursor":
         """Open a lazy cursor over the query (paper §3's interactive
         mode as an API): ``fetch(n)`` pulls batches, ``close()`` abandons
         the remaining simulated work."""
@@ -376,7 +418,11 @@ class Mediator:
             )
         return cursor
 
-    def _observe_query(self, execution, chosen_estimate) -> None:
+    def _observe_query(
+        self,
+        execution: "ExecutionResult",
+        chosen_estimate: Optional[PlanEstimate],
+    ) -> None:
         """Per-query metrics, including the DCSM's estimate-vs-actual error."""
         self.metrics.inc("mediator.queries")
         self.metrics.inc("mediator.answers", float(execution.cardinality))
@@ -399,14 +445,18 @@ class Mediator:
             return (goal.name, goal.arity)
         return None
 
-    def _record_predicate_first(self, query: Query, execution) -> None:
+    def _record_predicate_first(
+        self, query: Query, execution: "ExecutionResult"
+    ) -> None:
         if not self.use_predicate_first_stats:
             return
         key = self._query_predicate_key(query)
         if key is not None and execution.t_first_ms is not None:
             self.dcsm.record_predicate_first(key[0], key[1], execution.t_first_ms)
 
-    def _apply_predicate_first(self, query: Query, estimate):
+    def _apply_predicate_first(
+        self, query: Query, estimate: Optional[PlanEstimate]
+    ) -> Optional[PlanEstimate]:
         """Floor the formula's T_first with the predicate's history."""
         if not self.use_predicate_first_stats or estimate is None:
             return estimate
@@ -526,7 +576,7 @@ class Mediator:
 
     # -- training helpers (experiments) ----------------------------------------------
 
-    def train(self, queries: Iterable["str | Query"], **kwargs) -> int:
+    def train(self, queries: Iterable["str | Query"], **kwargs: Any) -> int:
         """Run queries purely to populate the statistics cache; returns
         how many observations DCSM now holds."""
         for q in queries:

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import operator
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Union
+from typing import Callable, Iterable, Iterator, Union
 
 from repro.core.terms import (
     Term,
@@ -310,7 +310,7 @@ class Program:
     def __len__(self) -> int:
         return len(self._rules)
 
-    def __iter__(self):
+    def __iter__(self) -> "Iterator[Rule]":
         return iter(self._rules)
 
     def __str__(self) -> str:

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Iterable, Mapping, Optional
 
-from repro.core.terms import AttrPath, Constant, Term, Variable, select_path
+from repro.core.terms import AttrPath, Constant, Term, Value, Variable, select_path
 from repro.errors import NotGroundError
 
 #: A substitution: immutable by convention (treat as read-only).
@@ -51,7 +51,7 @@ def resolve(term: Term, subst: Substitution) -> Term:
     return term
 
 
-def resolve_ground(term: Term, subst: Substitution):
+def resolve_ground(term: Term, subst: Substitution) -> Value:
     """Resolve ``term`` and return its Python value; raise if not ground."""
     resolved = resolve(term, subst)
     if isinstance(resolved, Constant):

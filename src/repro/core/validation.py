@@ -1,26 +1,31 @@
 """Static validation of mediator programs against the domain registry.
 
+Compatibility shim over the real analyzer in :mod:`repro.analysis`:
+``validate_program`` runs the structure, adornment-feasibility,
+dead-rule, and reachability passes and converts the resulting
+:class:`~repro.analysis.diagnostics.Diagnostic` records to the original
+:class:`Issue` shape.  New code should call
+:func:`repro.analysis.analyze_program` (or ``Mediator.analyze()``)
+directly — it also lints invariants, analyzes explicit query roots, and
+carries stable ``MEDxxx`` codes.
+
 Catches, before any query runs:
 
-* calls to unregistered domains,
-* calls to functions a domain does not export,
-* arity mismatches,
+* calls to unregistered domains, unknown functions, arity mismatches,
 * IDB predicates used in bodies but never defined,
-* rules whose body can never be ordered executably (a call argument no
-  ordering can bind),
+* calls no subgoal ordering can ever ground (the real adornment
+  feasibility analysis — the old "assume every head and IDB variable
+  bound" heuristic is gone, so IDB subgoals that cannot bind their
+  outputs are now caught),
+* rules with provably unsatisfiable comparison chains,
 * recursion (unsupported by this optimizer).
-
-Returns structured :class:`Issue` records; ``Mediator.validate_program``
-wraps this for the common case.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.adornment import step as adorn_step
-from repro.core.model import Comparison, InAtom, Predicate, Program, Rule
-from repro.core.terms import Variable
+from repro.core.model import Program
 from repro.domains.registry import DomainRegistry
 
 SEVERITY_ERROR = "error"
@@ -42,114 +47,19 @@ class Issue:
 
 def validate_program(program: Program, registry: DomainRegistry) -> list[Issue]:
     """All issues found, errors first."""
-    issues: list[Issue] = []
+    # imported here: repro.analysis depends on repro.core, not vice versa
+    from repro.analysis import analyze_program
 
-    if program.is_recursive():
-        issues.append(
-            Issue(
-                SEVERITY_ERROR,
-                "",
-                "program is recursive; this optimizer implements the "
-                "nonrecursive fragment",
-            )
+    report = analyze_program(program, registry=registry)
+    issues = [
+        Issue(
+            diagnostic.severity
+            if diagnostic.severity in (SEVERITY_ERROR, SEVERITY_WARNING)
+            else SEVERITY_WARNING,
+            diagnostic.rule,
+            diagnostic.message,
         )
-
-    defined = set(program.predicates())
-    for rule in program.rules:
-        rendered = str(rule)
-        for literal in rule.body:
-            if isinstance(literal, Predicate):
-                if literal.key not in defined:
-                    issues.append(
-                        Issue(
-                            SEVERITY_ERROR,
-                            rendered,
-                            f"predicate {literal.name}/{literal.arity} has "
-                            f"no defining rules",
-                        )
-                    )
-            elif isinstance(literal, InAtom):
-                issues.extend(_check_call(literal, registry, rendered))
-        issues.extend(_check_orderability(rule, rendered))
-
+        for diagnostic in report.diagnostics
+    ]
     issues.sort(key=lambda issue: (issue.severity != SEVERITY_ERROR, issue.rule))
     return issues
-
-
-def _check_call(atom: InAtom, registry: DomainRegistry, rendered: str) -> list[Issue]:
-    call = atom.call
-    if call.domain not in registry:
-        return [
-            Issue(
-                SEVERITY_ERROR,
-                rendered,
-                f"domain '{call.domain}' is not registered "
-                f"(registered: {', '.join(registry.names()) or 'none'})",
-            )
-        ]
-    endpoint = registry.get(call.domain)
-    domain = getattr(endpoint, "domain", endpoint)
-    functions = getattr(domain, "functions", None)
-    if functions is None:
-        return []  # opaque endpoint (e.g. the CIM): nothing to check
-    if call.function not in functions:
-        return [
-            Issue(
-                SEVERITY_ERROR,
-                rendered,
-                f"domain '{call.domain}' exports no function "
-                f"'{call.function}' (exports: {', '.join(sorted(functions))})",
-            )
-        ]
-    fn = functions[call.function]
-    if fn.arity != call.arity:
-        return [
-            Issue(
-                SEVERITY_ERROR,
-                rendered,
-                f"{call.qualified_name} takes {fn.arity} argument(s), "
-                f"rule passes {call.arity}",
-            )
-        ]
-    return []
-
-
-def _check_orderability(rule: Rule, rendered: str) -> list[Issue]:
-    """Can the body be ordered so every literal eventually executes,
-    assuming every head variable may be bound?  (A necessary condition
-    for any query over the rule to be plannable.)"""
-    literals = [
-        literal
-        for literal in rule.body
-        if isinstance(literal, (InAtom, Comparison))
-    ]
-    if not literals:
-        return []
-    # the most generous starting point: all head variables bound, plus
-    # every variable produced by IDB body predicates (they may bind
-    # anything once unfolded)
-    bound: frozenset[Variable] = rule.head.variables()
-    for literal in rule.body:
-        if isinstance(literal, Predicate):
-            bound |= literal.variables()
-    remaining = list(literals)
-    progress = True
-    while remaining and progress:
-        progress = False
-        for literal in list(remaining):
-            after = adorn_step(literal, bound)
-            if after is not None:
-                bound = after
-                remaining.remove(literal)
-                progress = True
-    if remaining:
-        stuck = "; ".join(str(lit) for lit in remaining)
-        return [
-            Issue(
-                SEVERITY_WARNING,
-                rendered,
-                f"no subgoal ordering can execute: {stuck} "
-                f"(some call argument is never bound)",
-            )
-        ]
-    return []

@@ -17,11 +17,16 @@ defining rules if they still exist).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
 
 from repro.core.model import Comparison, InAtom, DomainCall, Predicate, Query, Rule
 from repro.core.terms import AttrPath, Row, Variable
 from repro.domains.base import Domain
 from repro.errors import ReproError
+
+if TYPE_CHECKING:
+    from repro.core.mediator import CimRouting, Mediator
+    from repro.core.terms import Value
 
 
 @dataclass
@@ -75,8 +80,8 @@ class ViewDomain(Domain):
     def view_names(self) -> tuple[str, ...]:
         return tuple(sorted(self._views))
 
-    def _make_reader(self, name: str):
-        def reader():
+    def _make_reader(self, name: str) -> "Callable[[], list[tuple[Value, ...]]]":
+        def reader() -> "list[tuple[Value, ...]]":
             view = self._views.get(name)
             if view is None:
                 raise ReproError(f"view {name!r} has been dropped")
@@ -88,7 +93,7 @@ class ViewDomain(Domain):
 class ViewManager:
     """Materializes queries and wires the view into the mediator."""
 
-    def __init__(self, mediator, domain_name: str = "views"):
+    def __init__(self, mediator: "Mediator", domain_name: str = "views"):
         self.mediator = mediator
         self.domain = ViewDomain(domain_name)
         mediator.registry.add(self.domain)
@@ -99,7 +104,7 @@ class ViewManager:
         self,
         name: str,
         query: "str | Query",
-        use_cim=None,
+        use_cim: "CimRouting" = None,
     ) -> MaterializedView:
         """Run ``query``, store its answers as view ``name``, and add the
         rule ``name(V1,…,Vn) :- in(Ans, views:name()) & =(Ans.i, Vi)…`` so

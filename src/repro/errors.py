@@ -131,6 +131,12 @@ class RecursionNotSupportedError(PlanningError):
     nonrecursive fragment (the paper defers recursion to its reference [33])."""
 
 
+class PlanVerificationError(PlanningError):
+    """A plan failed independent verification (see
+    :mod:`repro.analysis.verifier`): some step is not executable when
+    reached, or an answer variable is never bound."""
+
+
 class EstimationError(ReproError):
     """DCSM could not produce a cost estimate (no statistics at all)."""
 

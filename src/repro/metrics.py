@@ -131,6 +131,12 @@ class MetricsRegistry:
         counter = self._counters.get(name)
         return counter.value if counter is not None else 0.0
 
+    def total(self, prefix: str) -> float:
+        """Sum of every counter under a dotted prefix — e.g.
+        ``total("analysis.code")`` is the number of diagnostics the
+        analyzer has reported across all codes."""
+        return sum(counter.value for counter in self.counters(prefix))
+
     def counters(self, prefix: str = "") -> Iterator[Counter]:
         for name in sorted(self._counters):
             if name.startswith(prefix):

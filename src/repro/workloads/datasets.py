@@ -165,11 +165,12 @@ def build_rope_testbed(
     relation_site: str = "maryland",
     seed: int = 0,
     with_invariants: bool = True,
+    verify_plans: bool = False,
 ) -> Mediator:
     """A fully wired mediator over 'The Rope': AVIS at ``video_site``,
     the cast relation at ``relation_site`` (paper: AVIS remote, INGRES
     nearer), program and invariants loaded."""
-    mediator = Mediator()
+    mediator = Mediator(verify_plans=verify_plans)
     avis = build_rope_avis()
     engine = RelationalEngine("relation")
     build_cast_table(engine)

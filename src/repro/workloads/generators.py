@@ -1,8 +1,11 @@
-"""Workload generators: seeded random ground calls and query batches.
+"""Workload generators: seeded random ground calls, query batches, and
+whole mediator programs.
 
 Used to *train* the DCSM (the paper trained with "about 20 different
-instantiations for the arguments of a domain call") and to stress the
-summarization experiments with skewed argument distributions.
+instantiations for the arguments of a domain call"), to stress the
+summarization experiments with skewed argument distributions, and —
+via :func:`generate_workload` — to produce seeded layered programs for
+the analyzer benchmark and the plan-verifier property tests.
 """
 
 from __future__ import annotations
@@ -13,6 +16,7 @@ from typing import Iterator, Sequence
 
 from repro.core.model import GroundCall
 from repro.core.terms import Value
+from repro.domains.base import Domain, simple_domain
 
 
 def zipf_choice(rng: random.Random, items: Sequence[Value], skew: float = 1.0) -> Value:
@@ -70,6 +74,78 @@ class CallWorkload:
         for pool in self.arg_pools:
             size *= len(pool)
         return size
+
+
+@dataclass(frozen=True)
+class GeneratedWorkload:
+    """A seeded synthetic mediator program plus the domain serving it."""
+
+    program_text: str
+    domain: Domain
+    queries: tuple[str, ...]  # "?- top_0('s0', Out)." strings over the roots
+    num_rules: int
+
+
+def generate_workload(
+    layers: int = 3,
+    width: int = 2,
+    calls_per_leaf: int = 1,
+    fanout: int = 2,
+    domain_name: str = "gen",
+    seed: int = 0,
+) -> GeneratedWorkload:
+    """A layered chain program over one synthetic domain.
+
+    Layer 0 predicates wrap chains of ``calls_per_leaf`` domain calls
+    (each binds its output from the previous value); every higher layer
+    composes two predicates of the layer below, sharing the middle
+    variable (``p(A, B) :- q(A, M) & r(M, B)``).  Each source function
+    maps a string to ``fanout`` successor strings, so plan search, the
+    feasibility pass, and execution all have real work to do.  Fully
+    deterministic for a given ``seed``.
+    """
+    if layers < 1 or width < 1 or calls_per_leaf < 1 or fanout < 1:
+        raise ValueError("generate_workload sizes must all be >= 1")
+    rng = random.Random(seed)
+    rules: list[str] = []
+    functions: dict[str, object] = {}
+
+    def successor_fn(function_index: int):
+        def call(value):
+            return [f"{value}>{function_index}.{j}" for j in range(fanout)]
+
+        return call
+
+    function_count = 0
+    for leaf in range(width):
+        chain: list[str] = []
+        previous = "A"
+        for position in range(calls_per_leaf):
+            fn_name = f"f{function_count}"
+            functions[fn_name] = successor_fn(function_count)
+            function_count += 1
+            out = "B" if position == calls_per_leaf - 1 else f"M{position}"
+            chain.append(f"in({out}, {domain_name}:{fn_name}({previous}))")
+            previous = out
+        rules.append(f"p0_{leaf}(A, B) :- {' & '.join(chain)}.")
+    for layer in range(1, layers):
+        for slot in range(width):
+            left = rng.randrange(width)
+            right = rng.randrange(width)
+            rules.append(
+                f"p{layer}_{slot}(A, B) :- "
+                f"p{layer - 1}_{left}(A, M) & p{layer - 1}_{right}(M, B)."
+            )
+    top = layers - 1
+    queries = tuple(
+        f"?- p{top}_{slot}('s{slot}', Out)." for slot in range(width)
+    )
+    return GeneratedWorkload(
+        program_text="\n".join(rules),
+        domain=simple_domain(domain_name, functions),
+        queries=queries,
+        num_rules=len(rules),
+    )
 
 
 def frame_interval_pool(

@@ -1,0 +1,139 @@
+"""The ``repro lint`` subcommand and the shell's ``:validate`` counts."""
+
+import io
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import MediatorShell, lint_main, main
+from repro.core.mediator import Mediator
+from repro.domains.base import simple_domain
+from repro.errors import ReproError
+
+PROGRAMS = Path(__file__).parent.parent / "examples" / "programs"
+
+BROKEN_ARGS = [
+    "--demo",
+    "rope",
+    "--query",
+    "?- stuck(Object).",
+    "--query",
+    "?- caller(Frames).",
+    "--query",
+    "?- empty(Size).",
+    "--invariants",
+    str(PROGRAMS / "broken.inv"),
+    str(PROGRAMS / "broken.med"),
+]
+
+
+class TestLintMain:
+    def test_rope_program_file_is_clean(self):
+        out = io.StringIO()
+        code = lint_main(
+            ["--demo", "rope", str(PROGRAMS / "rope.med")], stdout=out
+        )
+        assert code == 0
+        assert "no issues found." in out.getvalue()
+
+    def test_demo_own_program_analyzed_without_files(self):
+        out = io.StringIO()
+        code = lint_main(["--demo", "rope"], stdout=out)
+        assert code == 0
+
+    def test_broken_program_exits_2(self):
+        out = io.StringIO()
+        code = lint_main(BROKEN_ARGS, stdout=out)
+        assert code == 2
+        text = out.getvalue()
+        # the acceptance-criteria quintet, one stable code each
+        assert "MED120" in text  # infeasible call adornment
+        assert "MED130" in text  # unsatisfiable comparison chain
+        assert "MED131" in text  # unreachable IDB predicate
+        assert "MED143" in text  # self-referential invariant
+        assert "MED144" in text  # cyclic invariant chain
+        assert "MED146" in text  # invariant no call can match
+
+    def test_json_report_is_parseable(self):
+        out = io.StringIO()
+        code = lint_main(BROKEN_ARGS + ["--json"], stdout=out)
+        payload = json.loads(out.getvalue())
+        assert payload["exit_code"] == code == 2
+        assert payload["errors"] >= 1
+        codes = {d["code"] for d in payload["diagnostics"]}
+        assert {"MED120", "MED130", "MED131", "MED143", "MED144"} <= codes
+
+    def test_warnings_only_exit_1(self, tmp_path):
+        path = tmp_path / "warn.med"
+        path.write_text("p(X) :- in(X, d:f(Y)).")
+        out = io.StringIO()
+        code = lint_main([str(path)], stdout=out)
+        assert code == 1
+        assert "MED120" in out.getvalue()
+
+    def test_no_registry_skips_registration_checks(self, tmp_path):
+        path = tmp_path / "prog.med"
+        path.write_text("p(X) :- in(X, ghost:f()).")
+        out = io.StringIO()
+        assert lint_main([str(path)], stdout=out) == 0
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(ReproError):
+            lint_main(["--bogus"], stdout=io.StringIO())
+
+    def test_option_missing_value_rejected(self):
+        with pytest.raises(ReproError):
+            lint_main(["--query"], stdout=io.StringIO())
+
+
+class TestMainDispatch:
+    def test_lint_subcommand_exit_code(self, capsys):
+        code = main(["lint", "--demo", "rope", str(PROGRAMS / "rope.med")])
+        assert code == 0
+        assert "no issues found." in capsys.readouterr().out
+
+    def test_lint_missing_file_exits_2(self, capsys):
+        code = main(["lint", "/nonexistent/never.med"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_lint_unknown_demo_exits_2(self, capsys):
+        code = main(["lint", "--demo", "ghost"])
+        assert code == 2
+
+
+def make_shell(program: str) -> MediatorShell:
+    mediator = Mediator()
+    mediator.register_domain(
+        simple_domain("d", {"f": lambda: [1], "g": lambda x: [x]})
+    )
+    mediator.load_program(program)
+    return MediatorShell(mediator, stdin=io.StringIO(), stdout=io.StringIO())
+
+
+class TestShellValidate:
+    def test_error_counts_and_exit_status(self):
+        shell = make_shell("p(X) :- in(X, ghost:f()).")
+        shell.handle(":validate")
+        text = shell.stdout.getvalue()
+        assert "1 error(s), 0 warning(s)." in text
+        assert shell.exit_status == 1
+
+    def test_warnings_do_not_fail_the_shell(self):
+        shell = make_shell("p(X) :- in(X, d:g(Y)).")
+        shell.handle(":validate")
+        text = shell.stdout.getvalue()
+        assert "0 error(s), 1 warning(s)." in text
+        assert shell.exit_status == 0
+
+    def test_clean_program_reports_ok(self):
+        shell = make_shell("p(X) :- in(X, d:f()).")
+        shell.handle(":validate")
+        assert "program OK" in shell.stdout.getvalue()
+        assert shell.exit_status == 0
+
+    def test_run_returns_exit_status(self):
+        shell = make_shell("p(X) :- in(X, ghost:f()).")
+        shell.stdin = io.StringIO(":validate\n:quit\n")
+        assert shell.run() == 1

@@ -1,0 +1,175 @@
+"""Independent plan verifier: property-test oracle against the Rewriter,
+hand-broken plans, and the executor's ``verify_plans`` debug assertion."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.verifier import assert_plan_verified, verify_plan
+from repro.core.mediator import Mediator
+from repro.core.model import DomainCall, InAtom
+from repro.core.parser import parse_program, parse_query
+from repro.core.plans import CallStep, Plan
+from repro.core.rewriter import Rewriter
+from repro.errors import PlanVerificationError
+from repro.workloads.datasets import ROPE_PROGRAM, build_rope_testbed
+from repro.workloads.generators import generate_workload
+
+M1 = parse_program(
+    """
+    m(A, C) :- p(A, B) & q(B, C).
+    p(A, B) :- in(Ans, d1:p_ff()), =($Ans.1, A), =($Ans.2, B).
+    p(A, B) :- in(A, d1:p_fb(B)).
+    p(A, B) :- in(X, d1:p_bb(A, B)).
+    q(B, C) :- in(Ans, d2:q_ff()), =($Ans.1, B), =($Ans.2, C).
+    q(B, C) :- in(C, d2:q_bf(B)).
+    """
+)
+
+ROPE_QUERIES = (
+    "?- query1(1, 240, Object, Size).",
+    "?- query2(1, 240, Object, Frames, Actor).",
+    "?- query3(1, 240, Object, Actor).",
+    "?- query4(1, 240, Object, Actor).",
+    "?- actors(Actor).",
+)
+
+
+def all_plans(program, query_text):
+    return Rewriter(program).plans(parse_query(query_text))
+
+
+class TestRewriterPlansVerify:
+    """Every plan the rewriter emits must replay cleanly — the verifier
+    is an independent oracle for the rewriter's ordering logic."""
+
+    @pytest.mark.parametrize(
+        "query", ["?- m(a, C).", "?- m(A, C).", "?- m(A, c)."]
+    )
+    def test_paper_example_plans(self, query):
+        plans = all_plans(M1, query)
+        assert plans
+        for plan in plans:
+            assert verify_plan(plan) == ()
+
+    @pytest.mark.parametrize("query", ROPE_QUERIES)
+    def test_rope_plans(self, query):
+        program = parse_program(ROPE_PROGRAM)
+        plans = all_plans(program, query)
+        assert plans
+        mediator = build_rope_testbed()
+        for plan in plans:
+            assert verify_plan(plan, registry=mediator.registry) == ()
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        layers=st.integers(1, 3),
+        width=st.integers(1, 3),
+        calls_per_leaf=st.integers(1, 3),
+        seed=st.integers(0, 10_000),
+    )
+    def test_generated_workload_plans(self, layers, width, calls_per_leaf, seed):
+        workload = generate_workload(
+            layers=layers,
+            width=width,
+            calls_per_leaf=calls_per_leaf,
+            seed=seed,
+        )
+        program = parse_program(workload.program_text)
+        rewriter = Rewriter(program)
+        for query_text in workload.queries:
+            for plan in rewriter.plans(parse_query(query_text)):
+                assert verify_plan(plan) == ()
+
+
+def rope_plan():
+    program = parse_program(ROPE_PROGRAM)
+    plans = all_plans(program, "?- query2(1, 240, Object, Frames, Actor).")
+    # pick a plan with at least two call steps so reordering breaks it
+    plan = next(p for p in plans if len(p.call_steps()) >= 2)
+    assert verify_plan(plan) == ()
+    return plan
+
+
+class TestBrokenPlans:
+    def test_reordered_steps_fail_ground_check(self):
+        plan = rope_plan()
+        broken = Plan(tuple(reversed(plan.steps)), plan.answer_vars)
+        diagnostics = verify_plan(broken)
+        assert diagnostics
+        assert any(d.code in ("MED160", "MED161") for d in diagnostics)
+
+    def test_dropped_step_leaves_answer_var_unbound(self):
+        plan = rope_plan()
+        broken = Plan(plan.steps[:1], plan.answer_vars)
+        diagnostics = verify_plan(broken)
+        assert any(d.code == "MED162" for d in diagnostics)
+        unbound_msg = next(d for d in diagnostics if d.code == "MED162")
+        assert "not bound at the end" in unbound_msg.message
+
+    def test_bogus_domain_flagged_against_registry(self):
+        plan = rope_plan()
+        mediator = build_rope_testbed()
+        first = plan.call_steps()[0]
+        bogus_atom = InAtom(
+            first.atom.output,
+            DomainCall("ghost", first.atom.call.function, first.atom.call.args),
+        )
+        steps = tuple(
+            CallStep(bogus_atom) if step is first else step
+            for step in plan.steps
+        )
+        broken = Plan(steps, plan.answer_vars)
+        diagnostics = verify_plan(broken, registry=mediator.registry)
+        assert any(d.code == "MED163" for d in diagnostics)
+
+    def test_prebound_vars_allow_parameterised_plans(self):
+        plan = rope_plan()
+        # stripping the first step normally breaks the chain; pre-binding
+        # its outputs (a parameterised execution) restores verifiability
+        first = plan.steps[0]
+        rest = Plan(plan.steps[1:], plan.answer_vars)
+        assert verify_plan(rest) != ()
+        prebound = frozenset(first.atom.output.variables()) | frozenset(
+            v for arg in first.atom.call.args for v in arg.variables()
+        )
+        assert verify_plan(rest, bound_vars=prebound) == ()
+
+    def test_assert_plan_verified_raises_with_all_messages(self):
+        plan = rope_plan()
+        broken = Plan(plan.steps[:1], plan.answer_vars)
+        with pytest.raises(PlanVerificationError) as excinfo:
+            assert_plan_verified(broken)
+        assert "MED162" in str(excinfo.value)
+
+
+class TestExecutorAssertion:
+    def test_mediator_queries_pass_with_verification_on(self):
+        mediator = build_rope_testbed(verify_plans=True)
+        answers = mediator.query("?- actors(Actor).").answers
+        assert answers  # normal execution is unaffected
+
+    def test_executor_rejects_broken_plan(self):
+        mediator = build_rope_testbed(verify_plans=True)
+        plan = rope_plan()
+        broken = Plan(plan.steps[:1], plan.answer_vars)
+        with pytest.raises(PlanVerificationError):
+            mediator.executor.run(broken)
+
+    def test_verification_off_by_default(self):
+        mediator = build_rope_testbed()
+        assert mediator.executor.verify_plans is False
+
+
+class TestGeneratedWorkloadEndToEnd:
+    def test_workload_executes_and_analyzes_clean(self):
+        workload = generate_workload(layers=3, width=2, seed=7)
+        mediator = Mediator(verify_plans=True)
+        mediator.register_domain(workload.domain)
+        mediator.load_program(workload.program_text)
+        assert mediator.analyze(queries=workload.queries).clean
+        for query_text in workload.queries:
+            assert mediator.query(query_text).answers
+
+    def test_workload_validates_sizes(self):
+        with pytest.raises(ValueError):
+            generate_workload(layers=0)
