@@ -1,0 +1,113 @@
+"""Planning microbenchmark: cost-guided branch-and-bound search vs the
+exhaustive enumerate-then-price baseline.
+
+Wide conjunctions (star workloads) are the planner's stress shape: once
+the root is bound every call is executable, so ``calls`` source calls
+admit ``calls!`` orderings.  The exhaustive path enumerates (up to the
+rewriter's ``max_plans`` cap) and prices every candidate separately; the
+guided search prices each distinct call pattern once per session and
+prunes whole prefix subtrees against the incumbent bound.
+
+Besides pinning the shape under pytest-benchmark, the run writes
+``BENCH_planner.json`` at the repo root — per-size estimator-lookup
+counts, winning costs, and wall times — which the benchmark-smoke CI job
+prints as its artifact.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.core.mediator import Mediator
+from repro.core.parser import parse_query
+from repro.workloads.generators import generate_star_workload
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_planner.json"
+
+
+def _trained_mediator(calls: int, seed: int = 3):
+    workload = generate_star_workload(calls=calls, seed=seed)
+    mediator = Mediator()
+    mediator.register_domain(workload.domain)
+    mediator.load_program(workload.program_text)
+    # one observation per source function; never run the full cross product
+    for index in range(calls):
+        mediator.query(f"?- in(O, star:g{index}('s0')).", optimize=False)
+    return mediator, parse_query(workload.queries[0])
+
+
+def _lookups(mediator: Mediator) -> float:
+    return mediator.metrics.value("dcsm.estimates") + mediator.metrics.value(
+        "dcsm.estimates.failed"
+    )
+
+
+def _measure(calls: int) -> dict:
+    mediator, query = _trained_mediator(calls)
+
+    start = time.perf_counter()
+    plans = mediator.rewriter.plans(query)
+    before = _lookups(mediator)
+    winner, _ = mediator.cost_estimator.choose(plans, objective="all")
+    exhaustive = {
+        "wall_ms": (time.perf_counter() - start) * 1e3,
+        "estimator_lookups": _lookups(mediator) - before,
+        "plans_priced": len(plans),
+        "t_all_ms": winner.t_all_ms if winner else None,
+    }
+
+    session = mediator.cost_estimator.session()
+    start = time.perf_counter()
+    result = mediator.rewriter.search(
+        query, mediator.cost_estimator, objective="all", session=session
+    )
+    guided = {
+        "wall_ms": (time.perf_counter() - start) * 1e3,
+        "estimator_lookups": session.lookups,
+        "states_expanded": result.stats.states_expanded,
+        "states_pruned": result.stats.states_pruned,
+        "memo_hits": result.stats.estimator_memo_hits,
+        "t_all_ms": result.vector.t_all_ms if result.vector else None,
+    }
+    return {"calls": calls, "exhaustive": exhaustive, "guided": guided}
+
+
+class TestPlannerBenchmark:
+    def test_star_scaling(self, once):
+        """The headline table: 4..10-call conjunctions, both planners."""
+        rows = once(lambda: [_measure(calls) for calls in (4, 6, 8, 10)])
+        RESULTS_PATH.write_text(json.dumps({"star_scaling": rows}, indent=2))
+        for row in rows:
+            guided, exhaustive = row["guided"], row["exhaustive"]
+            assert guided["t_all_ms"] is not None
+            # the guided winner is never costlier than the (possibly
+            # truncated) exhaustive baseline's
+            assert guided["t_all_ms"] <= exhaustive["t_all_ms"] + 1e-9
+            if row["calls"] >= 8:
+                # acceptance criterion: >= 5x fewer estimator lookups
+                assert guided["estimator_lookups"] * 5 <= (
+                    exhaustive["estimator_lookups"]
+                )
+
+    def test_guided_mediator_query(self, benchmark):
+        """End-to-end: a guided-planner mediator answering the 6-call
+        star query (plan search + execution, cache cold each round)."""
+        mediator, query = _trained_mediator(6)
+
+        def run():
+            mediator.plan_cache.clear()
+            return mediator.query(query)
+
+        result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=0)
+        assert result.cardinality > 0
+
+    def test_plan_cache_hit_path(self, benchmark):
+        """Steady state: the same query answered from the plan cache."""
+        mediator, query = _trained_mediator(6)
+        mediator.query(query)  # populate
+
+        result = benchmark.pedantic(
+            lambda: mediator.query(query), rounds=3, iterations=1, warmup_rounds=0
+        )
+        assert result.cardinality > 0
+        assert mediator.plan_cache.hits >= 1

@@ -76,7 +76,9 @@ class ResultCache:
         self.ttl_ms = ttl_ms
         self.stats = CacheStats()
         self._entries: "OrderedDict[GroundCall, CacheEntry]" = OrderedDict()
-        self._by_function: dict[str, dict[GroundCall, CacheEntry]] = {}
+        # secondary index keyed by (domain, function) tuples: lookup and
+        # invalidation touch only the bucket of the one source function
+        self._by_function: dict[tuple[str, str], dict[GroundCall, CacheEntry]] = {}
         self._total_bytes = 0
         # TTL-expired entries parked for degraded serving (peek_stale): an
         # expired answer set is still better than none when the source is
@@ -150,7 +152,7 @@ class ResultCache:
             last_used_ms=now_ms,
         )
         self._entries[call] = entry
-        self._by_function.setdefault(call.qualified_name, {})[call] = entry
+        self._by_function.setdefault((call.domain, call.function), {})[call] = entry
         self._total_bytes += answer_bytes
         self.stats.insertions += 1
         self._evict(now_ms, protect=call)
@@ -167,11 +169,13 @@ class ResultCache:
     def invalidate_function(self, domain: str, function: str) -> int:
         """Drop every entry of ``domain:function`` (e.g. after a source
         update notification); returns the number removed."""
-        key = f"{domain}:{function}"
+        key = (domain, function)
         calls = list(self._by_function.get(key, ()))
         for call in calls:
             self._remove(call)
-        for call in [c for c in self._stale if c.qualified_name == key]:
+        for call in [
+            c for c in self._stale if (c.domain, c.function) == key
+        ]:
             del self._stale[call]
         return len(calls)
 
@@ -179,8 +183,7 @@ class ResultCache:
         """Drop every entry of every function of ``domain``; returns the
         number removed."""
         removed = 0
-        prefix = f"{domain}:"
-        for key in [k for k in self._by_function if k.startswith(prefix)]:
+        for key in [k for k in self._by_function if k[0] == domain]:
             for call in list(self._by_function.get(key, ())):
                 self._remove(call)
                 removed += 1
@@ -199,7 +202,7 @@ class ResultCache:
 
     def entries_for(self, domain: str, function: str, now_ms: float = 0.0) -> Iterator[CacheEntry]:
         """All live entries of one source function."""
-        bucket = self._by_function.get(f"{domain}:{function}", {})
+        bucket = self._by_function.get((domain, function), {})
         for call in list(bucket):
             entry = bucket.get(call)
             if entry is not None and not self._expired(entry, now_ms):
@@ -235,11 +238,12 @@ class ResultCache:
     def _remove(self, call: GroundCall) -> None:
         entry = self._entries.pop(call)
         self._total_bytes -= entry.answer_bytes
-        bucket = self._by_function.get(call.qualified_name)
+        key = (call.domain, call.function)
+        bucket = self._by_function.get(key)
         if bucket is not None:
             bucket.pop(call, None)
             if not bucket:
-                del self._by_function[call.qualified_name]
+                del self._by_function[key]
 
     def _evict(self, now_ms: float, protect: Optional[GroundCall] = None) -> None:
         def over_capacity() -> bool:

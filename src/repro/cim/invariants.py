@@ -53,19 +53,21 @@ class InvariantIndex:
     """Invariants indexed by the source function of their *left* call."""
 
     def __init__(self, invariants: "tuple[Invariant, ...] | list[Invariant]" = ()):
-        self._by_left: dict[str, list[Invariant]] = {}
+        # keyed by (domain, function) tuples so candidate lookup never
+        # scans (or string-builds keys for) unrelated functions
+        self._by_left: dict[tuple[str, str], list[Invariant]] = {}
         self._all: list[Invariant] = []
         for invariant in invariants:
             self.add(invariant)
 
     def add(self, invariant: Invariant) -> None:
         invariant.validate()
-        key = invariant.left.qualified_name
+        key = (invariant.left.domain, invariant.left.function)
         self._by_left.setdefault(key, []).append(invariant)
         self._all.append(invariant)
 
     def candidates_for(self, call: GroundCall) -> tuple[Invariant, ...]:
-        return tuple(self._by_left.get(call.qualified_name, ()))
+        return tuple(self._by_left.get((call.domain, call.function), ()))
 
     def __len__(self) -> int:
         return len(self._all)

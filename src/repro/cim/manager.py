@@ -72,6 +72,8 @@ class CimStats:
     stale_served: int = 0
     degraded_served: int = 0  # degraded-lookup answers after source failure
     partial_answer_bytes: int = 0  # bytes served out of partial hits
+    invariants_checked: int = 0  # invariant candidates examined per lookup
+    entries_scanned: int = 0  # cache entries touched via the (d, f) index
 
     @property
     def hits(self) -> int:
@@ -122,6 +124,17 @@ class CacheInvariantManager:
     def _inc(self, name: str, amount: float = 1.0) -> None:
         if self.metrics is not None:
             self.metrics.inc(name, amount)
+
+    def _observe_scan(self, checked: int, scanned: int) -> None:
+        """Account the work the invariant matcher did for one lookup —
+        with the (domain, function)-keyed indexes this counts only the
+        narrowed buckets, not the whole cache."""
+        self.stats.invariants_checked += checked
+        self.stats.entries_scanned += scanned
+        if checked:
+            self._inc("cim.invariants_checked", float(checked))
+        if scanned:
+            self._inc("cim.entries_scanned", float(scanned))
 
     # -- configuration ---------------------------------------------------------
 
@@ -207,6 +220,7 @@ class CacheInvariantManager:
         if match is not None and match.is_equality:
             self.stats.equality_hits += 1
             self._inc("cim.hits.equality")
+            self._observe_scan(match.invariants_checked, match.entries_scanned)
             return self._from_cache(
                 call,
                 match.entry.answers,
@@ -220,6 +234,7 @@ class CacheInvariantManager:
             self.invariants.candidates_for(call)
         )
         overhead_scanned = match.entries_scanned if match else 0
+        self._observe_scan(overhead_checked, overhead_scanned)
         if match is not None:
             partial_answers = match.entry.answers
         if partial_from_exact is not None and (

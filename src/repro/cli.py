@@ -12,7 +12,7 @@ Commands (everything else is parsed as a rule or a query):
     :explain ?- q(...).       plans + cost estimates
     :cim on|off               route queries through the cache manager
     :validate                 static checks of rules vs registered domains
-    :stats                    DCSM / CIM counters
+    :stats                    DCSM / CIM / planner counters
     :metrics                  the shared metrics registry (counters/histograms)
     :save-stats FILE          persist DCSM statistics
     :load-stats FILE          restore DCSM statistics
@@ -193,6 +193,7 @@ class MediatorShell:
             self.write(f"CIM:   {self.mediator.cim.stats}")
             self.write(f"cache: {len(self.mediator.cim.cache)} entries, "
                        f"{self.mediator.cim.cache.total_bytes} bytes")
+            self.write(_planner_summary(self.mediator))
         elif command == ":metrics":
             self.write(self.mediator.metrics.render())
         elif command == ":save-stats":
@@ -218,6 +219,19 @@ class MediatorShell:
         result = self.mediator.query(line, use_cim=self.use_cim or None)
         self.write(str(result))
         self.write(explain_last_execution(result))
+
+
+def _planner_summary(mediator: Mediator) -> str:
+    """One-line planner report: searches, pruning, and plan-cache traffic."""
+    metrics = mediator.metrics
+    return (
+        f"planner: {metrics.value('planner.searches'):.0f} searches, "
+        f"{metrics.value('planner.states_pruned'):.0f} states pruned, "
+        f"{metrics.value('planner.estimator_memo_hits'):.0f} estimator memo hits; "
+        f"plan cache {metrics.value('planner.plan_cache_hits'):.0f} hits / "
+        f"{metrics.value('planner.plan_cache_misses'):.0f} misses "
+        f"({len(mediator.plan_cache)} entries)"
+    )
 
 
 def _make_flaky(mediator: Mediator, rate: float) -> None:
@@ -292,6 +306,7 @@ def stats_main(argv: list[str], stdout: Optional[IO[str]] = None) -> int:
     out.write(f"clock: {mediator.clock.now_ms:.1f} simulated ms\n")
     out.write(f"DCSM:  {mediator.dcsm.observation_count()} observations\n")
     out.write(f"CIM:   {mediator.cim.stats}\n")
+    out.write(_planner_summary(mediator) + "\n")
     out.write("metrics:\n")
     out.write(mediator.metrics.render() + "\n")
     return 0

@@ -26,6 +26,7 @@ from repro.core.adornment import is_binding_assignment, step as adorn_step, term
 from repro.core.terms import Constant
 from repro.core.plans import CallStep, Plan, PlanStep
 from repro.core.terms import Variable
+from repro.core.unify import Substitution, resolve
 from repro.dcsm.module import DCSM
 from repro.dcsm.patterns import BOUND, CallPattern
 from repro.dcsm.vectors import CostVector
@@ -63,6 +64,45 @@ class PlanEstimate:
         return self.vector.cardinality or 0.0
 
 
+class EstimatorSession:
+    """A per-planning-session memo of ``CallPattern → CostVector``.
+
+    During one plan search the same call pattern recurs across sibling
+    orderings (the pattern depends only on which arguments are constants,
+    not on the ordering prefix), so the DCSM lookup — summary-table walk,
+    relaxation lattice, metrics — is paid once per *distinct* pattern.  A
+    pattern the DCSM cannot price memoizes as ``None`` so the failure is
+    not retried either.
+    """
+
+    __slots__ = ("estimator", "_memo", "lookups", "memo_hits")
+
+    def __init__(self, estimator: "RuleCostEstimator"):
+        self.estimator = estimator
+        self._memo: dict[CallPattern, Optional[CostVector]] = {}
+        self.lookups = 0  # DCSM lookups actually issued (memo misses)
+        self.memo_hits = 0
+
+    def cost(self, pattern: CallPattern) -> Optional[CostVector]:
+        """The DCSM cost vector for ``pattern``, or ``None`` when the
+        statistics cache cannot price it (missing t_all or cardinality)."""
+        if pattern in self._memo:
+            self.memo_hits += 1
+            return self._memo[pattern]
+        self.lookups += 1
+        vector: Optional[CostVector]
+        try:
+            vector = self.estimator.dcsm.cost(pattern)
+        except EstimationError:
+            vector = None
+        if vector is not None and (
+            vector.t_all_ms is None or vector.cardinality is None
+        ):
+            vector = None
+        self._memo[pattern] = vector
+        return vector
+
+
 class RuleCostEstimator:
     """Combines DCSM call estimates bottom-up over a plan."""
 
@@ -76,13 +116,27 @@ class RuleCostEstimator:
         self.comparison_selectivity = comparison_selectivity
         self.membership_cap = membership_cap
 
+    def session(self) -> EstimatorSession:
+        """A fresh memoizing session for one planning episode."""
+        return EstimatorSession(self)
+
     def pattern_for(
-        self, step: CallStep, bound: frozenset[Variable]
+        self,
+        step: CallStep,
+        bound: frozenset[Variable],
+        subst: Optional[Substitution] = None,
     ) -> CallPattern:
         """The DCSM call pattern of a plan step: constants stay constants,
-        everything bound-but-unknown becomes ``$b``."""
+        everything bound-but-unknown becomes ``$b``.
+
+        ``subst`` resolves variables first — the plan cache plans over
+        parameter variables standing in for the query's constants, and
+        resolving them here keeps the pattern (and hence the price) as
+        sharp as planning the concrete query would be."""
         args = []
         for arg in step.atom.call.args:
+            if subst is not None:
+                arg = resolve(arg, subst)
             if isinstance(arg, Constant):
                 args.append(arg.value)
             else:
@@ -95,9 +149,12 @@ class RuleCostEstimator:
         self,
         plan: Plan,
         bound_vars: frozenset[Variable] = frozenset(),
+        session: Optional[EstimatorSession] = None,
     ) -> PlanEstimate:
         """Price ``plan``; raises EstimationError when DCSM has no usable
-        statistics for some call."""
+        statistics for some call.  ``session`` answers pattern lookups
+        from its memo (the cost-guided search shares its session so the
+        winner's step-by-step estimate costs no extra DCSM work)."""
         bound = bound_vars
         t_first_total = 0.0
         t_all_total = 0.0
@@ -106,7 +163,15 @@ class RuleCostEstimator:
         for step in plan.steps:
             if isinstance(step, CallStep):
                 pattern = self.pattern_for(step, bound)
-                vector = self.dcsm.cost(pattern)
+                if session is not None:
+                    maybe = session.cost(pattern)
+                    if maybe is None:
+                        raise EstimationError(
+                            f"DCSM has no usable statistics for {pattern}"
+                        )
+                    vector = maybe
+                else:
+                    vector = self.dcsm.cost(pattern)
                 if vector.t_all_ms is None or vector.cardinality is None:
                     raise EstimationError(
                         f"DCSM returned incomplete vector {vector} for {pattern}"

@@ -36,12 +36,13 @@ from repro.core.estimator import PlanEstimate, RuleCostEstimator
 from repro.core.executor import ContinueCallback, Executor, MODE_ALL, MODE_INTERACTIVE
 from repro.core.model import Invariant, Program, Query, Rule
 from repro.core.parser import parse_invariant, parse_program, parse_query
+from repro.core.plancache import CachedPlan, PlanCache, canonicalize, exact_key
 from repro.core.plans import Plan
 from repro.core.rewriter import Rewriter, RewriterConfig
 from repro.dcsm.module import DCSM
 from repro.domains.base import Domain
 from repro.domains.registry import DomainRegistry
-from repro.errors import PlanningError, ReproError
+from repro.errors import EstimationError, PlanningError, ReproError
 from repro.metrics import MetricsRegistry
 from repro.net.clock import SimClock
 from repro.net.faults import FaultInjector, FaultSpec
@@ -78,6 +79,9 @@ class Mediator:
         degrade_on_failure: bool = True,
         metrics: Optional[MetricsRegistry] = None,
         verify_plans: bool = False,
+        guided_search: bool = True,
+        use_plan_cache: bool = True,
+        plan_cache_entries: int = 256,
     ):
         self.clock = clock if clock is not None else SimClock()
         self.registry = DomainRegistry()
@@ -125,6 +129,15 @@ class Mediator:
             verify_plans=verify_plans,
         )
         self._rewriter: Optional[Rewriter] = None
+        # cost-guided branch-and-bound planning (Rewriter.search) instead
+        # of enumerate-then-price; the plan cache memoizes winning plans
+        # per constant-abstracted query shape
+        self.guided_search = guided_search
+        self.use_plan_cache = use_plan_cache
+        self.plan_cache = PlanCache(max_entries=plan_cache_entries)
+        # bumped whenever the planning inputs change (rules, invariants):
+        # plan-cache entries from an older epoch are invalid
+        self._plan_epoch = 0
         # paper §8's proposed remedy for first-answer underprediction:
         # "cache ... the time for the first answer of predicates in the
         # same way we cache statistics for domain calls".  When enabled,
@@ -170,6 +183,7 @@ class Mediator:
         for rule in program:
             self.program.add(rule)
         self._rewriter = None
+        self._plan_epoch += 1
 
     def add_rule(self, rule: "str | Rule") -> None:
         if isinstance(rule, str):
@@ -179,16 +193,21 @@ class Mediator:
         else:
             self.program.add(rule)
         self._rewriter = None
+        self._plan_epoch += 1
 
     def add_invariant(self, invariant: "str | Invariant") -> None:
         if isinstance(invariant, str):
             invariant = parse_invariant(invariant)
         self.cim.add_invariant(invariant)
+        # a new invariant changes what CIM routing can answer, so cached
+        # plan choices (made without it) are stale
+        self._plan_epoch += 1
 
     def notify_source_changed(self, domain: str, function: Optional[str] = None) -> int:
         """Tell the mediator a source's data changed; drops the affected
         cached results so stale answers are not served.  Returns the
         number of cache entries dropped."""
+        self.plan_cache.invalidate_source(domain, function)
         return self.cim.notify_source_changed(domain, function)
 
     def validate_program(self) -> list:
@@ -279,6 +298,144 @@ class Mediator:
             return plan.with_cim(set(use_cim))
         return plan
 
+    def _plan_guided(
+        self,
+        query: Query,
+        objective: str,
+        use_cim: CimRouting,
+        bindings: Optional[dict],
+    ) -> tuple[Plan, Optional[PlanEstimate]]:
+        """Plan via cost-guided search, consulting the plan cache first.
+
+        On a cache hit the stored template is instantiated with this
+        query's constants and returned without touching the rewriter or
+        the DCSM.  On a miss the branch-and-bound search runs over the
+        constant-abstracted query (so the resulting template is
+        reusable); queries whose unfolding specialises on a constant
+        value are replanned concretely and cached under an exact key.
+        """
+        user_bound = frozenset(self._bindings_subst(bindings))
+        prefix = (
+            f"{objective}|{','.join(sorted(v.name for v in user_bound))}|"
+        )
+        canonical = canonicalize(query)
+        abstract_key = prefix + canonical.key
+        epoch = self._plan_epoch
+
+        if self.use_plan_cache:
+            entry = self.plan_cache.get(abstract_key, epoch, self.dcsm.version)
+            if entry is not None and entry.value_dependent:
+                entry = self.plan_cache.get(
+                    prefix + exact_key(query), epoch, self.dcsm.version
+                )
+            if entry is not None and not entry.value_dependent:
+                self.metrics.inc("planner.plan_cache_hits")
+                plan = entry.instantiate(
+                    canonical.constants if entry.params else ()
+                )
+                routed = self._route(plan, use_cim)
+                estimate = (
+                    PlanEstimate(plan=routed, vector=entry.vector, steps=())
+                    if entry.vector is not None
+                    else None
+                )
+                return routed, estimate
+            self.metrics.inc("planner.plan_cache_misses")
+
+        session = self.cost_estimator.session()
+        value_dependent = False
+        if canonical.params:
+            const_subst = dict(zip(canonical.params, canonical.constants))
+            result = self.rewriter.search(
+                canonical.abstract,
+                self.cost_estimator,
+                objective=objective,
+                bound_vars=user_bound | frozenset(canonical.params),
+                track_vars=frozenset(canonical.params),
+                session=session,
+                const_subst=const_subst,
+            )
+            value_dependent = bool(result.unified_away)
+            if value_dependent:
+                # unfolding specialised on a parameter's value (a rule
+                # head carries a constant there): the abstract template
+                # is not reusable — plan the concrete query instead
+                result = self.rewriter.search(
+                    query,
+                    self.cost_estimator,
+                    objective=objective,
+                    bound_vars=user_bound,
+                    session=session,
+                )
+                concrete = result.plan
+            else:
+                concrete = result.plan.substitute(const_subst)
+        else:
+            result = self.rewriter.search(
+                query,
+                self.cost_estimator,
+                objective=objective,
+                bound_vars=user_bound,
+                session=session,
+            )
+            concrete = result.plan
+
+        self.metrics.inc("planner.searches")
+        self.metrics.inc("planner.states_expanded", result.stats.states_expanded)
+        self.metrics.inc("planner.states_pruned", result.stats.states_pruned)
+        self.metrics.inc("planner.estimator_lookups", session.lookups)
+        self.metrics.inc("planner.estimator_memo_hits", session.memo_hits)
+
+        routed = self._route(concrete, use_cim)
+        estimate: Optional[PlanEstimate] = None
+        if result.priced:
+            assert result.vector is not None
+            try:
+                estimate = self.cost_estimator.estimate(
+                    routed, bound_vars=user_bound, session=session
+                )
+            except EstimationError:
+                estimate = PlanEstimate(
+                    plan=routed, vector=result.vector, steps=()
+                )
+
+        if self.use_plan_cache:
+            # unpriced plans are not cached: a hit would keep serving the
+            # fallback ordering and never notice statistics arriving
+            version = self.dcsm.version
+            if value_dependent:
+                self.plan_cache.put(
+                    abstract_key,
+                    CachedPlan(
+                        template=None,
+                        vector=None,
+                        params=(),
+                        sources=frozenset(),
+                        epoch=epoch,
+                        dcsm_version=version,
+                        value_dependent=True,
+                    ),
+                )
+            if result.priced:
+                if value_dependent:
+                    key = prefix + exact_key(query)
+                    template, params = result.plan, ()
+                else:
+                    key = abstract_key
+                    template, params = result.plan, canonical.params
+                self.plan_cache.put(
+                    key,
+                    CachedPlan(
+                        template=template,
+                        vector=result.vector,
+                        params=params,
+                        sources=template.sources(),
+                        epoch=epoch,
+                        dcsm_version=version,
+                    ),
+                )
+        return routed, estimate
+
     # -- querying --------------------------------------------------------------------
 
     def query(
@@ -337,6 +494,13 @@ class Mediator:
                 estimates = (chosen_estimate,)
             except Exception:
                 pass
+        elif optimize and self.guided_search:
+            objective = "first" if mode == MODE_INTERACTIVE else "all"
+            chosen, chosen_estimate = self._plan_guided(
+                query, objective, use_cim, bindings
+            )
+            candidates = (chosen,)
+            estimates = (chosen_estimate,)
         else:
             candidates = self.plans(query, use_cim, bindings=bindings)
             if optimize and len(candidates) > 1:
@@ -400,16 +564,19 @@ class Mediator:
         if isinstance(query, str):
             query = parse_query(query)
         if plan is None:
-            candidates = self.plans(query, use_cim, bindings=bindings)
-            if optimize and len(candidates) > 1:
-                winner, __ = self.cost_estimator.choose(
-                    candidates,
-                    objective="first",
-                    bound_vars=frozenset(self._bindings_subst(bindings)),
-                )
-                plan = winner.plan if winner is not None else candidates[0]
+            if optimize and self.guided_search:
+                plan, __ = self._plan_guided(query, "first", use_cim, bindings)
             else:
-                plan = candidates[0]
+                candidates = self.plans(query, use_cim, bindings=bindings)
+                if optimize and len(candidates) > 1:
+                    winner, __ = self.cost_estimator.choose(
+                        candidates,
+                        objective="first",
+                        bound_vars=frozenset(self._bindings_subst(bindings)),
+                    )
+                    plan = winner.plan if winner is not None else candidates[0]
+                else:
+                    plan = candidates[0]
         cursor = QueryCursor(self.executor, plan, self.clock)
         if bindings:
             # rebuild the stream with the initial substitution applied

@@ -9,11 +9,12 @@ is ground when reached.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Union
+from typing import Iterator, Mapping, Union
 
 from repro.core.adornment import call_adornment, step as adorn_step
-from repro.core.model import Comparison, InAtom
-from repro.core.terms import Variable
+from repro.core.model import Comparison, DomainCall, InAtom
+from repro.core.terms import Term, Variable
+from repro.core.unify import resolve
 
 
 @dataclass(frozen=True, slots=True)
@@ -69,6 +70,55 @@ class Plan:
                 steps.append(CallStep(s.atom, via_cim=True))
             else:
                 steps.append(s)
+        return Plan(tuple(steps), self.answer_vars, self.origin)
+
+    def sources(self) -> frozenset[tuple[str, str]]:
+        """The ``(domain, function)`` pairs this plan calls — the plan
+        cache's invalidation footprint."""
+        return frozenset(
+            (s.atom.call.domain, s.atom.call.function)
+            for s in self.steps
+            if isinstance(s, CallStep)
+        )
+
+    def substitute(self, mapping: "Mapping[Variable, Term]") -> "Plan":
+        """A copy with ``mapping`` applied to every step — how a cached
+        plan template is instantiated with a new query's constants.
+
+        Answer variables are left untouched: the template's answer
+        variables are the query's own, only the abstracted parameters
+        (which never appear in ``answer_vars``) are replaced.
+        """
+        steps: list[PlanStep] = []
+        for s in self.steps:
+            if isinstance(s, CallStep):
+                call = s.atom.call
+                steps.append(
+                    CallStep(
+                        InAtom(
+                            resolve(s.atom.output, mapping),
+                            DomainCall(
+                                call.domain,
+                                call.function,
+                                tuple(
+                                    resolve(a, mapping) for a in call.args
+                                ),
+                            ),
+                        ),
+                        via_cim=s.via_cim,
+                    )
+                )
+            else:
+                c = s.comparison
+                steps.append(
+                    CompareStep(
+                        Comparison(
+                            c.op,
+                            resolve(c.left, mapping),
+                            resolve(c.right, mapping),
+                        )
+                    )
+                )
         return Plan(tuple(steps), self.answer_vars, self.origin)
 
     def adornments(self) -> tuple[str, ...]:

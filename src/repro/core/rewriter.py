@@ -23,10 +23,14 @@ recursion to its reference [33], and we raise
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterator, Optional
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator, Optional
 
-from repro.core.adornment import is_binding_assignment, step as adorn_step
+from repro.core.adornment import (
+    is_binding_assignment,
+    step as adorn_step,
+    term_is_bound,
+)
 from repro.core.model import (
     Comparison,
     DomainCall,
@@ -46,14 +50,20 @@ from repro.core.unify import (
 )
 from repro.errors import NotGroundError, PlanningError, RecursionNotSupportedError
 
+from repro.dcsm.vectors import CostVector
+
+if TYPE_CHECKING:
+    from repro.core.estimator import EstimatorSession, RuleCostEstimator
+
 
 @dataclass
 class RewriterConfig:
     """Knobs bounding the rewriting search."""
 
-    max_plans: int = 64  # orderings kept per query
+    max_plans: int = 64  # orderings kept per query (exhaustive enumeration)
     max_expansions: int = 256  # rule-choice combinations explored
     max_depth: int = 16  # unfolding depth
+    max_search_states: int = 200_000  # cost-guided search state budget
 
 
 # ---------------------------------------------------------------------------
@@ -97,10 +107,53 @@ def rename_literal(literal: Literal, renaming: Substitution) -> Literal:
 @dataclass(frozen=True)
 class Expansion:
     """A flattened conjunction (source calls + comparisons only) together
-    with the rule choices that produced it."""
+    with the rule choices that produced it.
+
+    ``unified_away`` reports which of the caller's *tracked* variables the
+    unfolding specialised on (unified with a rule-head constant or merged
+    with another variable) — the plan-cache's value-independence test.
+    """
 
     literals: tuple[Literal, ...]
     rules_used: tuple[str, ...]
+    unified_away: frozenset[Variable] = frozenset()
+
+
+@dataclass
+class SearchStats:
+    """What one cost-guided search actually did."""
+
+    states_expanded: int = 0
+    states_pruned_bound: int = 0  # partial cost already exceeded the best plan
+    states_pruned_dominated: int = 0  # Selinger-style dominated-state hits
+    estimator_lookups: int = 0  # DCSM cost() calls actually issued
+    estimator_memo_hits: int = 0  # pattern lookups answered by the session memo
+    expansions: int = 0
+    complete_plans: int = 0  # complete orderings reached (post-pruning)
+
+    @property
+    def states_pruned(self) -> int:
+        return self.states_pruned_bound + self.states_pruned_dominated
+
+
+@dataclass
+class SearchResult:
+    """Outcome of :meth:`Rewriter.search`.
+
+    ``vector`` is ``None`` when no complete ordering could be priced (the
+    DCSM had no statistics for some call on every ordering); ``plan`` is
+    then the first executable ordering, matching the enumerate-then-price
+    fallback of pricing nothing.
+    """
+
+    plan: Plan
+    vector: "Optional[CostVector]"
+    stats: SearchStats = field(default_factory=SearchStats)
+    unified_away: frozenset[Variable] = frozenset()
+
+    @property
+    def priced(self) -> bool:
+        return self.vector is not None
 
 
 class Rewriter:
@@ -151,9 +204,241 @@ class Rewriter:
             )
         return tuple(plans)
 
+    def search(
+        self,
+        query: Query,
+        estimator: "RuleCostEstimator",
+        objective: str = "all",
+        bound_vars: frozenset[Variable] = frozenset(),
+        track_vars: frozenset[Variable] = frozenset(),
+        session: "Optional[EstimatorSession]" = None,
+        const_subst: Optional[Substitution] = None,
+    ) -> SearchResult:
+        """Cost-guided branch-and-bound ordering search.
+
+        Instead of enumerating every permissible ordering and pricing the
+        complete plans afterwards (:meth:`plans` + estimator ``choose``),
+        the ordering recursion carries the running partial cost.  The
+        pipelined nested-loop formulas are monotone in the prefix — every
+        added step can only increase ``T_all`` and ``T_first`` — so the
+        partial cost is an admissible lower bound, and any prefix whose
+        bound already reaches the best complete plan is discarded.  States
+        that place the same call set with the same bound variables are
+        memoized Selinger-style: a state dominated on all of
+        ``(T_all, T_first, Card)`` by an earlier sibling cannot lead to a
+        strictly better completion.
+
+        ``track_vars`` are variables the caller wants value-independence
+        information for (the plan cache's abstracted constants); the union
+        of the expansions' ``unified_away`` sets is reported on the result.
+
+        Returns the cheapest priceable plan under ``objective`` (``"all"``
+        → lexicographic ``(T_all, T_first)``, ``"first"`` → the reverse).
+        When no complete ordering can be priced — the DCSM lacks
+        statistics for some call on every ordering — falls back to the
+        first executable ordering, unpriced, mirroring what
+        enumerate-then-price does when it prices nothing.  Raises
+        :class:`PlanningError` when no executable ordering exists at all.
+        """
+        expansions = self._expand(query, track_vars)
+        if not expansions:
+            raise PlanningError(
+                f"every rewriting of the query is unsatisfiable: {query}"
+            )
+        sess = session if session is not None else estimator.session()
+        stats = SearchStats(expansions=len(expansions))
+        unified: frozenset[Variable] = frozenset()
+
+        best_plan: Optional[Plan] = None
+        best_vector: Optional[CostVector] = None
+        best_key: Optional[tuple[float, float]] = None
+        exhausted = False
+
+        def make_key(t_all: float, t_first: float) -> tuple[float, float]:
+            if objective == "first":
+                return (t_first, t_all)
+            return (t_all, t_first)
+
+        for expansion in expansions:
+            unified |= expansion.unified_away
+            calls = [
+                lit for lit in expansion.literals if isinstance(lit, InAtom)
+            ]
+            binders0, filters0 = self._partition_comparisons(
+                [
+                    lit
+                    for lit in expansion.literals
+                    if isinstance(lit, Comparison)
+                ]
+            )
+            origin = "; ".join(expansion.rules_used)
+            # Selinger memo: (placed call set, bound vars) → Pareto frontier
+            # of (t_all, t_first, card) triples that reached the state.
+            frontier: dict[
+                tuple[frozenset[int], frozenset[Variable]],
+                list[tuple[float, float, float]],
+            ] = {}
+
+            def descend(
+                remaining: list[int],
+                placed: frozenset[int],
+                steps: list[PlanStep],
+                bound: frozenset[Variable],
+                binders: list[Comparison],
+                filters: list[Comparison],
+                t_first: float,
+                t_all: float,
+                card: float,
+                calls: list[InAtom] = calls,
+                origin: str = origin,
+                frontier: dict[
+                    tuple[frozenset[int], frozenset[Variable]],
+                    list[tuple[float, float, float]],
+                ] = frontier,
+            ) -> None:
+                nonlocal best_plan, best_vector, best_key, exhausted
+                if exhausted:
+                    return
+                stats.states_expanded += 1
+                if stats.states_expanded > self.config.max_search_states:
+                    exhausted = True
+                    return
+                placed_from = len(steps)
+                try:
+                    bound_after, binders, filters = self._place_comparisons(
+                        steps, bound, binders, filters
+                    )
+                    # replay the placed comparisons for selectivity
+                    # accounting, exactly as RuleCostEstimator.estimate does
+                    here = bound
+                    for step in steps[placed_from:]:
+                        assert isinstance(step, CompareStep)
+                        if not is_binding_assignment(step.comparison, here):
+                            card *= estimator.comparison_selectivity
+                        after_cmp = adorn_step(step.comparison, here)
+                        assert after_cmp is not None
+                        here = after_cmp
+                    bound = bound_after
+                    key = make_key(t_all, t_first)
+                    if best_key is not None and key >= best_key:
+                        stats.states_pruned_bound += 1
+                        return
+                    state = (placed, bound)
+                    triple = (t_all, t_first, card)
+                    known = frontier.get(state)
+                    if known is not None:
+                        if any(
+                            k[0] <= t_all and k[1] <= t_first and k[2] <= card
+                            for k in known
+                        ):
+                            stats.states_pruned_dominated += 1
+                            return
+                        frontier[state] = [
+                            k
+                            for k in known
+                            if not (
+                                t_all <= k[0]
+                                and t_first <= k[1]
+                                and card <= k[2]
+                            )
+                        ] + [triple]
+                    else:
+                        frontier[state] = [triple]
+                    if not remaining:
+                        if binders or filters:
+                            return  # a comparison never became evaluable
+                        stats.complete_plans += 1
+                        # strict <: ties keep the first-found plan,
+                        # matching min() over enumeration order
+                        if best_key is None or key < best_key:
+                            best_plan = Plan(
+                                steps=tuple(steps),
+                                answer_vars=query.answer_vars,
+                                origin=origin,
+                            )
+                            best_vector = CostVector(
+                                t_first_ms=t_first,
+                                t_all_ms=t_all,
+                                cardinality=card,
+                            )
+                            best_key = key
+                        return
+                    for i, index in enumerate(remaining):
+                        atom = calls[index]
+                        after = adorn_step(atom, bound)
+                        if after is None:
+                            continue
+                        call_step = CallStep(atom)
+                        pattern = estimator.pattern_for(
+                            call_step, bound, const_subst
+                        )
+                        vector = sess.cost(pattern)
+                        if vector is None:
+                            # unpriceable call: no ordering through it can
+                            # be priced — skip the branch
+                            continue
+                        step_t_all = vector.t_all_ms
+                        assert step_t_all is not None
+                        step_t_first = (
+                            vector.t_first_ms
+                            if vector.t_first_ms is not None
+                            else step_t_all
+                        )
+                        fanout = vector.cardinality
+                        assert fanout is not None
+                        if estimator.membership_cap and term_is_bound(
+                            atom.output, bound
+                        ):
+                            fanout = min(fanout, 1.0)
+                        steps.append(call_step)
+                        descend(
+                            remaining[:i] + remaining[i + 1 :],
+                            placed | {index},
+                            steps,
+                            after,
+                            binders,
+                            filters,
+                            t_first + step_t_first,
+                            t_all + card * step_t_all,
+                            card * fanout,
+                        )
+                        steps.pop()
+                finally:
+                    del steps[placed_from:]
+
+            descend(
+                list(range(len(calls))),
+                frozenset(),
+                [],
+                bound_vars,
+                binders0,
+                filters0,
+                0.0,
+                0.0,
+                1.0,
+            )
+            if exhausted:
+                break
+
+        stats.estimator_lookups = sess.lookups
+        stats.estimator_memo_hits = sess.memo_hits
+        if best_plan is not None:
+            return SearchResult(best_plan, best_vector, stats, unified)
+        # nothing priceable: first executable ordering, like the old
+        # enumerate-then-price path when the estimator prices no plan
+        for expansion in expansions:
+            for plan in self._orderings(expansion, query.answer_vars, bound_vars):
+                return SearchResult(plan, None, stats, unified)
+        raise PlanningError(
+            f"no executable subgoal ordering exists for: {query} "
+            f"(a domain call's inputs can never all be bound)"
+        )
+
     # -- unfolding --------------------------------------------------------------
 
-    def _expand(self, query: Query) -> list[Expansion]:
+    def _expand(
+        self, query: Query, track_vars: frozenset[Variable] = frozenset()
+    ) -> list[Expansion]:
         expansions: list[Expansion] = []
         budget = [self.config.max_expansions]
 
@@ -213,10 +498,65 @@ class Rewriter:
                     extras.append(Comparison("=", var, representative))
             simplified = _simplify(literals + tuple(extras))
             if simplified is not None:
-                expansions.append(Expansion(simplified, rules_used))
+                unified_away = frozenset(
+                    v for v in track_vars if resolve(v, subst) != v
+                )
+                expansions.append(
+                    Expansion(simplified, rules_used, unified_away)
+                )
 
         recurse(tuple(query.goals), {}, (), 0)
         return expansions
+
+    # -- comparison placement (shared by enumeration and guided search) --------
+
+    @staticmethod
+    def _partition_comparisons(
+        comparisons: list[Comparison],
+    ) -> tuple[list[Comparison], list[Comparison]]:
+        """Split comparisons into *potential binders* (an ``=``/``==`` with
+        a bare-variable side — the only shape that can ever bind) and pure
+        filters, **once per expansion** instead of re-sorting the pending
+        list on every fixpoint round."""
+        binders: list[Comparison] = []
+        filters: list[Comparison] = []
+        for comparison in comparisons:
+            if comparison.op in ("=", "==") and (
+                isinstance(comparison.left, Variable)
+                or isinstance(comparison.right, Variable)
+            ):
+                binders.append(comparison)
+            else:
+                filters.append(comparison)
+        return binders, filters
+
+    @staticmethod
+    def _place_comparisons(
+        steps: list[PlanStep],
+        bound: frozenset[Variable],
+        binders: list[Comparison],
+        filters: list[Comparison],
+    ) -> tuple[frozenset[Variable], list[Comparison], list[Comparison]]:
+        """Greedily append every comparison that can already execute.
+
+        Potential binders are tried before filters on each round so a
+        ``=`` that makes a filter evaluable runs first.  The two groups
+        arrive pre-partitioned; no per-round sorting.
+        """
+        binders = list(binders)
+        filters = list(filters)
+        progress = True
+        while progress:
+            progress = False
+            for group in (binders, filters):
+                for comparison in list(group):
+                    after = adorn_step(comparison, bound)
+                    if after is not None:
+                        steps.append(CompareStep(comparison))
+                        bound = after
+                        group.remove(comparison)
+                        progress = True
+        return bound, binders, filters
 
     # -- ordering enumeration ------------------------------------------------------
 
@@ -227,35 +567,9 @@ class Rewriter:
         bound_vars: frozenset[Variable],
     ) -> Iterator[Plan]:
         calls = [lit for lit in expansion.literals if isinstance(lit, InAtom)]
-        comparisons = [
-            lit for lit in expansion.literals if isinstance(lit, Comparison)
-        ]
-
-        def place_comparisons(
-            steps: list[PlanStep],
-            bound: frozenset[Variable],
-            pending: list[Comparison],
-        ) -> tuple[frozenset[Variable], list[Comparison]]:
-            """Greedily append every comparison that can already execute.
-
-            Binding assignments are placed before filters at each round so
-            a ``=`` that makes a filter evaluable runs first.
-            """
-            remaining = list(pending)
-            progress = True
-            while progress:
-                progress = False
-                remaining.sort(
-                    key=lambda c: 0 if is_binding_assignment(c, bound) else 1
-                )
-                for comparison in list(remaining):
-                    after = adorn_step(comparison, bound)
-                    if after is not None:
-                        steps.append(CompareStep(comparison))
-                        bound = after
-                        remaining.remove(comparison)
-                        progress = True
-            return bound, remaining
+        all_binders, all_filters = self._partition_comparisons(
+            [lit for lit in expansion.literals if isinstance(lit, Comparison)]
+        )
 
         emitted = 0
 
@@ -263,14 +577,17 @@ class Rewriter:
             remaining_calls: list[InAtom],
             steps: list[PlanStep],
             bound: frozenset[Variable],
-            pending: list[Comparison],
+            binders: list[Comparison],
+            filters: list[Comparison],
         ) -> Iterator[Plan]:
             nonlocal emitted
             if emitted >= self.config.max_plans:
                 return
-            bound, pending = place_comparisons(steps, bound, pending)
+            bound, binders, filters = self._place_comparisons(
+                steps, bound, binders, filters
+            )
             if not remaining_calls:
-                if pending:
+                if binders or filters:
                     return  # some comparison never became evaluable
                 yield Plan(
                     steps=tuple(steps),
@@ -285,9 +602,11 @@ class Rewriter:
                     continue
                 next_steps = steps + [CallStep(atom)]
                 rest = remaining_calls[:i] + remaining_calls[i + 1 :]
-                yield from recurse(rest, next_steps, after, list(pending))
+                yield from recurse(
+                    rest, next_steps, after, list(binders), list(filters)
+                )
 
-        yield from recurse(calls, [], bound_vars, comparisons)
+        yield from recurse(calls, [], bound_vars, all_binders, all_filters)
 
 
 def _simplify(literals: tuple[Literal, ...]) -> Optional[tuple[Literal, ...]]:

@@ -80,6 +80,10 @@ class DCSM:
         self._lossy_dims: dict[tuple[str, str], tuple[int, ...]] = {}
         self._multi_dims: dict[tuple[str, str], tuple[tuple[int, ...], ...]] = {}
         self._summaries_stale = True
+        # bumped by every summarize(): consumers holding estimates derived
+        # from the statistics cache (the mediator's plan cache) compare the
+        # version they saw against the current one to detect staleness
+        self.version = 0
         # predicate-level first-answer statistics (paper §8's proposed
         # remedy for backtracking underprediction)
         self._predicate_t_first: dict[tuple[str, int], list[float]] = {}
@@ -190,6 +194,7 @@ class DCSM:
 
     def summarize(self) -> None:
         """(Re)build summary tables for the current mode."""
+        self.version += 1
         self.estimator.clear_tables()
         if self.mode == MODE_RAW:
             self._summaries_stale = False

@@ -148,6 +148,54 @@ def generate_workload(
     )
 
 
+def generate_star_workload(
+    calls: int = 8,
+    max_fanout: int = 4,
+    domain_name: str = "star",
+    seed: int = 0,
+) -> GeneratedWorkload:
+    """A wide conjunction: one rule whose body is ``calls`` independent
+    domain calls, all taking the same (query-bound) input variable.
+
+    Chain workloads (:func:`generate_workload`) admit exactly one
+    executable ordering — each call feeds the next — so they exercise
+    feasibility, not choice.  A star body is the opposite: once the root
+    is bound every call is executable, giving ``calls!`` permissible
+    orderings, and the per-function fanouts are drawn from
+    ``1..max_fanout`` so the orderings genuinely differ in cost (cheap,
+    low-fanout calls belong up front).  This is the planner benchmark's
+    stress shape.
+    """
+    if calls < 1 or max_fanout < 1:
+        raise ValueError("generate_star_workload sizes must all be >= 1")
+    rng = random.Random(seed)
+    functions: dict[str, object] = {}
+    body: list[str] = []
+    outputs: list[str] = []
+    for index in range(calls):
+        fanout = 1 + rng.randrange(max_fanout)
+
+        def star_fn(function_index: int = index, width: int = fanout):
+            def call(value):
+                return [f"{value}|{function_index}.{j}" for j in range(width)]
+
+            return call
+
+        fn_name = f"g{index}"
+        functions[fn_name] = star_fn()
+        outputs.append(f"O{index}")
+        body.append(f"in(O{index}, {domain_name}:{fn_name}(A))")
+    head = f"wide(A, {', '.join(outputs)})"
+    rule = f"{head} :- {' & '.join(body)}."
+    query = f"?- wide('s0', {', '.join(outputs)})."
+    return GeneratedWorkload(
+        program_text=rule,
+        domain=simple_domain(domain_name, functions),
+        queries=(query,),
+        num_rules=1,
+    )
+
+
 def frame_interval_pool(
     num_frames: int, starts: Sequence[int], widths: Sequence[int]
 ) -> list[tuple[int, int]]:
