@@ -1,0 +1,127 @@
+"""Parallel-runtime benchmark: fan-out workloads on the DAG scheduler.
+
+The paper's execution engine is a *sequential* pipelined nested loop:
+independent remote calls pay their wide-area latency one after another.
+The parallel runtime (``repro.runtime``) overlaps them — a prefetch wave
+dispatches every independent root call concurrently and the plan suffix
+fans out across workers — so on a plan with N independent remote calls
+the simulated wall clock approaches max(latency) instead of
+sum(latency).
+
+The run writes ``BENCH_runtime.json`` at the repo root: per-shape
+sequential vs memoized vs parallel simulated times, speedups, and the
+scheduler's dedup/dispatch counters.  The acceptance gate asserted here
+is a >= 2x simulated speedup at 4 workers on a 4-root fan-out workload.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.core.mediator import Mediator
+from repro.net.sites import custom_site
+from repro.workloads.generators import (
+    generate_fanout_workload,
+    generate_star_workload,
+)
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_runtime.json"
+
+#: Deterministic wide-area profile: meaningful per-call latency and no
+#: jitter, so sequential-vs-parallel differences are pure scheduling.
+def _site(name="wan"):
+    return custom_site(
+        name, connect_ms=40.0, rtt_ms=30.0,
+        bandwidth_bytes_per_ms=500.0, jitter=0.0,
+    )
+
+
+def _run(workload, jobs, memoize=False):
+    mediator = Mediator(jobs=jobs, memoize_calls=memoize)
+    mediator.register_domain(workload.domain, site=_site())
+    mediator.load_program(workload.program_text)
+    start = time.perf_counter()
+    result = mediator.query(workload.queries[0])
+    real_ms = (time.perf_counter() - start) * 1e3
+    execution = result.execution
+    return {
+        "jobs": jobs,
+        "memoize": memoize,
+        "sim_t_all_ms": execution.t_all_ms,
+        "sim_t_first_ms": execution.t_first_ms,
+        "answers": execution.cardinality,
+        "calls": execution.calls,
+        "real_wall_ms": real_ms,
+        "dispatched": mediator.metrics.value("runtime.dispatched"),
+        "deduped": mediator.metrics.value("runtime.singleflight.deduped"),
+        "queue_high_watermark": mediator.metrics.value(
+            "runtime.queue.high_watermark"
+        ),
+    }
+
+
+def _measure_fanout(roots: int, fanout: int, jobs: int) -> dict:
+    make = lambda: generate_fanout_workload(roots=roots, fanout=fanout)
+    sequential = _run(make(), jobs=1)
+    memoized = _run(make(), jobs=1, memoize=True)
+    parallel = _run(make(), jobs=jobs)
+    assert parallel["answers"] == sequential["answers"]
+    return {
+        "shape": f"fanout(roots={roots}, fanout={fanout})",
+        "independent_remote_calls": roots,
+        "sequential": sequential,
+        "memoized_sequential": memoized,
+        "parallel": parallel,
+        "speedup_vs_sequential": (
+            sequential["sim_t_all_ms"] / parallel["sim_t_all_ms"]
+        ),
+        "speedup_vs_memoized": (
+            memoized["sim_t_all_ms"] / parallel["sim_t_all_ms"]
+        ),
+    }
+
+
+def _measure_star(calls: int, jobs: int) -> dict:
+    make = lambda: generate_star_workload(calls=calls, max_fanout=2, seed=1)
+    sequential = _run(make(), jobs=1)
+    parallel = _run(make(), jobs=jobs)
+    assert parallel["answers"] == sequential["answers"]
+    return {
+        "shape": f"star(calls={calls})",
+        "independent_remote_calls": calls,
+        "sequential": sequential,
+        "parallel": parallel,
+        "speedup_vs_sequential": (
+            sequential["sim_t_all_ms"] / parallel["sim_t_all_ms"]
+        ),
+    }
+
+
+class TestRuntimeBenchmark:
+    def test_fanout_speedup(self, once):
+        """The acceptance gate: 4 independent remote root calls, 4
+        workers, >= 2x simulated speedup over the sequential engine."""
+        rows = once(
+            lambda: {
+                "fanout": [
+                    _measure_fanout(roots, 3, jobs=4) for roots in (4, 6, 8)
+                ],
+                "star": [_measure_star(calls, jobs=4) for calls in (4, 8)],
+            }
+        )
+        RESULTS_PATH.write_text(json.dumps(rows, indent=2))
+        headline = rows["fanout"][0]
+        assert headline["independent_remote_calls"] >= 4
+        assert headline["speedup_vs_sequential"] >= 2.0, (
+            f"parallel engine only "
+            f"{headline['speedup_vs_sequential']:.2f}x faster"
+        )
+        # speedup must come from overlap, not from doing less work
+        assert (
+            headline["parallel"]["answers"]
+            == headline["sequential"]["answers"]
+        )
+        for row in rows["fanout"][1:]:
+            assert row["speedup_vs_sequential"] >= 2.0
+        for row in rows["star"]:
+            assert row["speedup_vs_sequential"] >= 1.5

@@ -59,6 +59,7 @@ from repro.net import (
     SimClock,
     make_site,
 )
+from repro.runtime import ParallelExecutor, build_dag
 
 __version__ = "1.0.0"
 
@@ -92,5 +93,7 @@ __all__ = [
     "RemoteDomain",
     "SimClock",
     "make_site",
+    "ParallelExecutor",
+    "build_dag",
     "__version__",
 ]

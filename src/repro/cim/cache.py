@@ -5,10 +5,15 @@ by ``domain:function`` (the invariant matcher scans only the entries that
 could possibly match a candidate call).  The cache supports bounded
 capacity in entries and/or bytes with LRU or LFU eviction, and optional
 TTL expiry against the simulated clock.
+
+All public operations take an internal re-entrant lock: the parallel
+runtime's workers hit one shared cache concurrently, and the two indexes
+plus the byte accounting must move together.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Iterator, Optional
@@ -85,44 +90,49 @@ class ResultCache:
         # unreachable.  Not counted in len()/total_bytes; purged on
         # invalidation (the data is then known wrong, not merely old).
         self._stale: "OrderedDict[GroundCall, CacheEntry]" = OrderedDict()
+        # re-entrant so internal helpers may call public methods
+        self._lock = threading.RLock()
 
     # -- core operations ---------------------------------------------------
 
     def get(self, call: GroundCall, now_ms: float = 0.0) -> Optional[CacheEntry]:
         """Exact lookup; honours TTL; updates recency/frequency."""
-        self.stats.lookups += 1
-        entry = self._entries.get(call)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        if self._expired(entry, now_ms):
-            self._park_stale(call, entry)
-            self._remove(call)
-            self.stats.expirations += 1
-            self.stats.misses += 1
-            return None
-        entry.hits += 1
-        entry.last_used_ms = now_ms
-        self._entries.move_to_end(call)
-        self.stats.exact_hits += 1
-        return entry
+        with self._lock:
+            self.stats.lookups += 1
+            entry = self._entries.get(call)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            if self._expired(entry, now_ms):
+                self._park_stale(call, entry)
+                self._remove(call)
+                self.stats.expirations += 1
+                self.stats.misses += 1
+                return None
+            entry.hits += 1
+            entry.last_used_ms = now_ms
+            self._entries.move_to_end(call)
+            self.stats.exact_hits += 1
+            return entry
 
     def peek(self, call: GroundCall, now_ms: float = 0.0) -> Optional[CacheEntry]:
         """Lookup without recency/stats side effects (used by the invariant
         matcher and by stale-serving, which has its own bookkeeping)."""
-        entry = self._entries.get(call)
-        if entry is None or self._expired(entry, now_ms):
-            return None
-        return entry
+        with self._lock:
+            entry = self._entries.get(call)
+            if entry is None or self._expired(entry, now_ms):
+                return None
+            return entry
 
     def peek_stale(self, call: GroundCall) -> Optional[CacheEntry]:
         """Lookup ignoring TTL: degraded mode prefers an expired answer
         set over no answers at all when the source is unreachable.
         Checks live entries first, then the parked TTL-expired ones."""
-        entry = self._entries.get(call)
-        if entry is not None:
-            return entry
-        return self._stale.get(call)
+        with self._lock:
+            entry = self._entries.get(call)
+            if entry is not None:
+                return entry
+            return self._stale.get(call)
 
     def put(
         self,
@@ -136,80 +146,89 @@ class ResultCache:
         A complete result always replaces an incomplete one; an incomplete
         result never downgrades a cached complete one.
         """
-        self._stale.pop(call, None)  # fresh data supersedes the parked copy
-        existing = self._entries.get(call)
-        if existing is not None:
-            if existing.complete and not complete:
-                return existing
-            self._remove(call)
-        answer_bytes = sum(value_bytes(a) for a in answers)
-        entry = CacheEntry(
-            call=call,
-            answers=tuple(answers),
-            complete=complete,
-            stored_at_ms=now_ms,
-            answer_bytes=answer_bytes,
-            last_used_ms=now_ms,
-        )
-        self._entries[call] = entry
-        self._by_function.setdefault((call.domain, call.function), {})[call] = entry
-        self._total_bytes += answer_bytes
-        self.stats.insertions += 1
-        self._evict(now_ms, protect=call)
-        return entry
+        with self._lock:
+            self._stale.pop(call, None)  # fresh data supersedes the parked copy
+            existing = self._entries.get(call)
+            if existing is not None:
+                if existing.complete and not complete:
+                    return existing
+                self._remove(call)
+            answer_bytes = sum(value_bytes(a) for a in answers)
+            entry = CacheEntry(
+                call=call,
+                answers=tuple(answers),
+                complete=complete,
+                stored_at_ms=now_ms,
+                answer_bytes=answer_bytes,
+                last_used_ms=now_ms,
+            )
+            self._entries[call] = entry
+            self._by_function.setdefault((call.domain, call.function), {})[call] = entry
+            self._total_bytes += answer_bytes
+            self.stats.insertions += 1
+            self._evict(now_ms, protect=call)
+            return entry
 
     def invalidate(self, call: GroundCall) -> bool:
         """Drop one entry; True if it existed."""
-        self._stale.pop(call, None)
-        if call in self._entries:
-            self._remove(call)
-            return True
-        return False
+        with self._lock:
+            self._stale.pop(call, None)
+            if call in self._entries:
+                self._remove(call)
+                return True
+            return False
 
     def invalidate_function(self, domain: str, function: str) -> int:
         """Drop every entry of ``domain:function`` (e.g. after a source
         update notification); returns the number removed."""
-        key = (domain, function)
-        calls = list(self._by_function.get(key, ()))
-        for call in calls:
-            self._remove(call)
-        for call in [
-            c for c in self._stale if (c.domain, c.function) == key
-        ]:
-            del self._stale[call]
-        return len(calls)
+        with self._lock:
+            key = (domain, function)
+            calls = list(self._by_function.get(key, ()))
+            for call in calls:
+                self._remove(call)
+            for call in [
+                c for c in self._stale if (c.domain, c.function) == key
+            ]:
+                del self._stale[call]
+            return len(calls)
 
     def invalidate_domain(self, domain: str) -> int:
         """Drop every entry of every function of ``domain``; returns the
         number removed."""
-        removed = 0
-        for key in [k for k in self._by_function if k[0] == domain]:
-            for call in list(self._by_function.get(key, ())):
-                self._remove(call)
-                removed += 1
-        for call in [c for c in self._stale if c.domain == domain]:
-            del self._stale[call]
-        return removed
+        with self._lock:
+            removed = 0
+            for key in [k for k in self._by_function if k[0] == domain]:
+                for call in list(self._by_function.get(key, ())):
+                    self._remove(call)
+                    removed += 1
+            for call in [c for c in self._stale if c.domain == domain]:
+                del self._stale[call]
+            return removed
 
     def clear(self) -> None:
-        self._entries.clear()
-        self._by_function.clear()
-        self._stale.clear()
-        self._total_bytes = 0
-        self.stats = CacheStats()
+        with self._lock:
+            self._entries.clear()
+            self._by_function.clear()
+            self._stale.clear()
+            self._total_bytes = 0
+            self.stats = CacheStats()
 
     # -- scanning (for invariants) ---------------------------------------------
 
     def entries_for(self, domain: str, function: str, now_ms: float = 0.0) -> Iterator[CacheEntry]:
-        """All live entries of one source function."""
-        bucket = self._by_function.get((domain, function), {})
-        for call in list(bucket):
-            entry = bucket.get(call)
-            if entry is not None and not self._expired(entry, now_ms):
-                yield entry
+        """All live entries of one source function (snapshot at call time)."""
+        with self._lock:
+            bucket = self._by_function.get((domain, function), {})
+            live = [
+                entry
+                for entry in bucket.values()
+                if not self._expired(entry, now_ms)
+            ]
+        yield from live
 
     def __iter__(self) -> Iterator[CacheEntry]:
-        return iter(list(self._entries.values()))
+        with self._lock:
+            return iter(list(self._entries.values()))
 
     # -- introspection ------------------------------------------------------------
 

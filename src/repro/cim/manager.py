@@ -27,6 +27,7 @@ readily available".
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from enum import Enum
 from typing import Callable, Optional
@@ -120,17 +121,26 @@ class CacheInvariantManager:
         self.observer = observer
         self.metrics = metrics
         self.stats = CimStats()
+        # guards only the CimStats counters: the lookup cascade itself must
+        # stay unlocked so concurrent real source calls can overlap (the
+        # ResultCache has its own internal lock)
+        self._stats_lock = threading.Lock()
 
     def _inc(self, name: str, amount: float = 1.0) -> None:
         if self.metrics is not None:
             self.metrics.inc(name, amount)
 
+    def _bump(self, counter: str, amount: int = 1) -> None:
+        with self._stats_lock:
+            setattr(self.stats, counter, getattr(self.stats, counter) + amount)
+
     def _observe_scan(self, checked: int, scanned: int) -> None:
         """Account the work the invariant matcher did for one lookup —
         with the (domain, function)-keyed indexes this counts only the
         narrowed buckets, not the whole cache."""
-        self.stats.invariants_checked += checked
-        self.stats.entries_scanned += scanned
+        with self._stats_lock:
+            self.stats.invariants_checked += checked
+            self.stats.entries_scanned += scanned
         if checked:
             self._inc("cim.invariants_checked", float(checked))
         if scanned:
@@ -200,14 +210,14 @@ class CacheInvariantManager:
     # -- the lookup cascade ----------------------------------------------------------
 
     def lookup(self, call: GroundCall) -> CallResult:
-        self.stats.calls += 1
+        self._bump("calls")
         self._inc("cim.calls")
         now = self._now
 
         # 1. exact hit
         entry = self.cache_for(call.domain).get(call, now)
         if entry is not None and entry.complete:
-            self.stats.exact_hits += 1
+            self._bump("exact_hits")
             self._inc("cim.hits.exact")
             return self._from_cache(call, entry.answers, SOURCE_CACHE,
                                      checked=0, scanned=0)
@@ -218,7 +228,7 @@ class CacheInvariantManager:
         # 2./3. invariants
         match = match_invariants(self.invariants, call, self._cache_view, now)
         if match is not None and match.is_equality:
-            self.stats.equality_hits += 1
+            self._bump("equality_hits")
             self._inc("cim.hits.equality")
             self._observe_scan(match.invariants_checked, match.entries_scanned)
             return self._from_cache(
@@ -243,17 +253,18 @@ class CacheInvariantManager:
             partial_answers = partial_from_exact
 
         if partial_answers is not None:
-            self.stats.partial_hits += 1
+            self._bump("partial_hits")
             self._inc("cim.hits.partial")
-            self.stats.partial_answer_bytes += sum(
-                _safe_bytes(a) for a in partial_answers
+            self._bump(
+                "partial_answer_bytes",
+                sum(_safe_bytes(a) for a in partial_answers),
             )
             return self._serve_partial(
                 call, partial_answers, overhead_checked, overhead_scanned
             )
 
         # 4. miss → real call
-        self.stats.misses += 1
+        self._bump("misses")
         self._inc("cim.misses")
         overhead = (
             self.lookup_cost_ms + self.invariant_check_cost_ms * overhead_checked
@@ -328,7 +339,7 @@ class CacheInvariantManager:
             real = self._real_call(call)
         except SourceUnavailableError:
             if self.serve_stale_on_outage:
-                self.stats.stale_served += 1
+                self._bump("stale_served")
                 self._inc("cim.stale_served")
                 return CallResult(
                     call=call,
@@ -387,7 +398,7 @@ class CacheInvariantManager:
                 scanned = match.entries_scanned
         if answers is None:
             return None
-        self.stats.degraded_served += 1
+        self._bump("degraded_served")
         self._inc("cim.degraded_served")
         t_first, t_all = self._cache_path_cost(len(answers), checked, scanned)
         return CallResult(
@@ -401,7 +412,7 @@ class CacheInvariantManager:
 
     def _real_call(self, call: GroundCall) -> CallResult:
         result = self.registry.execute(call)
-        self.stats.real_calls += 1
+        self._bump("real_calls")
         self._inc("cim.real_calls")
         self.cache_for(call.domain).put(
             call, result.answers, self._now, complete=True

@@ -11,8 +11,9 @@ Commands (everything else is parsed as a rule or a query):
     :plans ?- q(...).         list candidate plans
     :explain ?- q(...).       plans + cost estimates
     :cim on|off               route queries through the cache manager
+    :jobs N                   run queries with N parallel workers (1 = sequential)
     :validate                 static checks of rules vs registered domains
-    :stats                    DCSM / CIM / planner counters
+    :stats                    DCSM / CIM / planner / runtime counters
     :metrics                  the shared metrics registry (counters/histograms)
     :save-stats FILE          persist DCSM statistics
     :load-stats FILE          restore DCSM statistics
@@ -25,14 +26,18 @@ program.
 
 There are also non-interactive subcommands::
 
-    python -m repro stats [--demo NAME] [--cim] [--flaky RATE] [QUERY ...]
+    python -m repro stats [--demo NAME] [--cim] [--flaky RATE] [--jobs N]
+                          [QUERY ...]
 
 which loads a demo testbed, runs the given queries (``?- ...`` strings),
 and prints the end-to-end metrics report — clock, DCSM, CIM, and every
 counter/histogram the run recorded.  ``--flaky RATE`` injects transient
 faults at every remote site with the given per-attempt probability and
 enables the default retry policy, so the report shows the resilience
-counters (``executor.retries``, ``net.faults.*``) in action.
+counters (``executor.retries``, ``net.faults.*``) in action.  ``--jobs
+N`` runs the queries on the parallel execution engine with N workers
+(see ``docs/RUNTIME.md``), so the report includes the ``runtime.*``
+scheduler counters.
 
 ::
 
@@ -170,6 +175,18 @@ class MediatorShell:
         elif command == ":cim":
             self.use_cim = argument == "on"
             self.write(f"CIM routing {'on' if self.use_cim else 'off'}.")
+        elif command == ":jobs":
+            try:
+                jobs = int(argument)
+            except ValueError:
+                raise ReproError(
+                    f":jobs requires an integer worker count, got {argument!r}"
+                ) from None
+            if jobs < 1:
+                raise ReproError(f":jobs requires at least 1 worker, got {jobs}")
+            self.mediator.set_jobs(jobs)
+            engine = "parallel" if jobs > 1 else "sequential"
+            self.write(f"execution engine: {engine} ({jobs} worker(s)).")
         elif command == ":validate":
             issues = self.mediator.validate_program()
             if not issues:
@@ -194,6 +211,7 @@ class MediatorShell:
             self.write(f"cache: {len(self.mediator.cim.cache)} entries, "
                        f"{self.mediator.cim.cache.total_bytes} bytes")
             self.write(_planner_summary(self.mediator))
+            self.write(_runtime_summary(self.mediator))
         elif command == ":metrics":
             self.write(self.mediator.metrics.render())
         elif command == ":save-stats":
@@ -234,6 +252,18 @@ def _planner_summary(mediator: Mediator) -> str:
     )
 
 
+def _runtime_summary(mediator: Mediator) -> str:
+    """One-line parallel-runtime report: dispatch, dedup, cancellation."""
+    metrics = mediator.metrics
+    return (
+        f"runtime: {mediator.jobs} worker(s), "
+        f"{metrics.value('runtime.dispatched'):.0f} dispatched, "
+        f"{metrics.value('runtime.singleflight.deduped'):.0f} deduped, "
+        f"{metrics.value('runtime.cancelled'):.0f} cancelled, "
+        f"queue high-watermark {metrics.value('runtime.queue.high_watermark'):.0f}"
+    )
+
+
 def _make_flaky(mediator: Mediator, rate: float) -> None:
     """Inject transient faults at every remote site and turn on retries."""
     from repro.net.faults import FaultInjector, FaultSpec
@@ -257,24 +287,35 @@ def stats_main(argv: list[str], stdout: Optional[IO[str]] = None) -> int:
     Options: ``--demo NAME`` picks the testbed (default ``rope``),
     ``--cim`` routes the queries through the cache manager, ``--flaky
     RATE`` injects transient faults (per-attempt probability) at every
-    site under the default retry policy, and the remaining arguments run
-    in order: ``?- ...`` strings execute as queries, anything else loads
+    site under the default retry policy, ``--jobs N`` executes on the
+    parallel engine with N workers, and the remaining arguments run in
+    order: ``?- ...`` strings execute as queries, anything else loads
     as a program file.
     """
     out = stdout if stdout is not None else sys.stdout
     demo = "rope"
     use_cim = False
     flaky: Optional[float] = None
+    jobs: Optional[int] = None
     queries: list[str] = []
     argv = list(argv)
     while argv:
         arg = argv.pop(0)
-        if arg in ("--demo", "--flaky"):
+        if arg in ("--demo", "--flaky", "--jobs"):
             if not argv:
                 raise ReproError(f"{arg} requires a value")
             value = argv.pop(0)
             if arg == "--demo":
                 demo = value
+            elif arg == "--jobs":
+                try:
+                    jobs = int(value)
+                except ValueError:
+                    raise ReproError(
+                        f"--jobs requires an integer count, got {value!r}"
+                    ) from None
+                if jobs < 1:
+                    raise ReproError(f"--jobs must be at least 1, got {jobs}")
             else:
                 try:
                     flaky = float(value)
@@ -291,6 +332,9 @@ def stats_main(argv: list[str], stdout: Optional[IO[str]] = None) -> int:
     mediator = _build_demo(demo)
     if flaky is not None:
         _make_flaky(mediator, flaky)
+    if jobs is not None:
+        # after _make_flaky so the parallel engine inherits the retry policy
+        mediator.set_jobs(jobs)
     answers = 0
     ran = 0
     for item in queries:
@@ -307,6 +351,7 @@ def stats_main(argv: list[str], stdout: Optional[IO[str]] = None) -> int:
     out.write(f"DCSM:  {mediator.dcsm.observation_count()} observations\n")
     out.write(f"CIM:   {mediator.cim.stats}\n")
     out.write(_planner_summary(mediator) + "\n")
+    out.write(_runtime_summary(mediator) + "\n")
     out.write("metrics:\n")
     out.write(mediator.metrics.render() + "\n")
     return 0

@@ -79,6 +79,9 @@ class _RunStats:
     degraded: int = 0
     memo: dict = field(default_factory=dict)
     trace: "Optional[list[TraceEvent]]" = None
+    # per-run retry-jitter stream: seeded fresh for every run so parallel
+    # and sequential executions are reproducible and never share RNG state
+    rng: "Optional[random.Random]" = None
 
 
 @dataclass
@@ -149,7 +152,6 @@ class Executor:
         self.policy = policy
         self.degrade_on_failure = degrade_on_failure
         self.metrics = metrics
-        self._retry_rng = random.Random(policy.seed) if policy is not None else None
         # the paper (§7 footnote 2) executes nested loops with NO duplicate
         # elimination, so the same ground call may be issued repeatedly;
         # "caching gets around the disadvantages".  memoize_calls=True is
@@ -162,9 +164,14 @@ class Executor:
         self.verify_plans = verify_plans
 
     def set_policy(self, policy: Optional[RetryPolicy]) -> None:
-        """Swap the retry policy (and reseed its jitter stream)."""
+        """Swap the retry policy (each run seeds its own jitter stream)."""
         self.policy = policy
-        self._retry_rng = random.Random(policy.seed) if policy is not None else None
+
+    def _fresh_rng(self, salt: int = 0) -> Optional[random.Random]:
+        """A per-run (or per-worker, via ``salt``) retry-jitter stream."""
+        if self.policy is None:
+            return None
+        return random.Random(self.policy.seed * 2_654_435_761 + salt)
 
     # -- public API -----------------------------------------------------------
 
@@ -202,7 +209,7 @@ class Executor:
                 registry=self.registry,
             )
         provenance: Counter = Counter()
-        stats = _RunStats(trace=[] if trace else None)
+        stats = _RunStats(trace=[] if trace else None, rng=self._fresh_rng())
         start_ms = self.clock.now_ms
         self.clock.advance(self.init_overhead_ms)
         answers: list[tuple[Value, ...]] = []
@@ -262,7 +269,7 @@ class Executor:
         consumer pulls.  Abandoning the iterator abandons the remaining
         (uncharged) work — the cursor/interactive building block."""
         provenance: Counter = Counter()
-        stats = _RunStats()
+        stats = _RunStats(rng=self._fresh_rng())
         self.clock.advance(self.init_overhead_ms)
         for subst in self._solve(
             plan.steps, 0, dict(initial_subst or {}), provenance, stats
@@ -417,12 +424,17 @@ class Executor:
                 self.metrics.inc("executor.retries")
                 self.metrics.inc("executor.backoff_ms", backoff_ms)
 
+        rng = (
+            stats.rng
+            if stats is not None and stats.rng is not None
+            else self._fresh_rng()
+        )
         try:
             return run_with_retry(
                 lambda: self._dispatch_once(call, via_cim),
                 self.policy,
                 self.clock,
-                rng=self._retry_rng,
+                rng=rng,
                 on_retry=on_retry,
             )
         except (

@@ -82,6 +82,7 @@ class Mediator:
         guided_search: bool = True,
         use_plan_cache: bool = True,
         plan_cache_entries: int = 256,
+        jobs: Optional[int] = None,
     ):
         self.clock = clock if clock is not None else SimClock()
         self.registry = DomainRegistry()
@@ -128,6 +129,8 @@ class Mediator:
             metrics=self.metrics,
             verify_plans=verify_plans,
         )
+        if jobs is not None and jobs > 1:
+            self.set_jobs(jobs)
         self._rewriter: Optional[Rewriter] = None
         # cost-guided branch-and-bound planning (Rewriter.search) instead
         # of enumerate-then-price; the plan cache memoizes winning plans
@@ -146,6 +149,45 @@ class Mediator:
         # historical average (backtracking makes reality slower than the
         # Σ T_firstᵢ formula, never faster).
         self.use_predicate_first_stats = use_predicate_first_stats
+
+    # -- runtime configuration -----------------------------------------------------
+
+    @property
+    def jobs(self) -> int:
+        """Worker count of the current execution engine (1 = sequential)."""
+        return int(getattr(self.executor, "jobs", 1))
+
+    def set_jobs(self, jobs: int) -> None:
+        """Swap the execution engine between sequential and parallel.
+
+        ``jobs > 1`` installs a :class:`repro.runtime.ParallelExecutor`
+        with that many workers; ``jobs <= 1`` restores the sequential
+        :class:`~repro.core.executor.Executor`.  The new engine inherits
+        every knob of the old one (caches, clock, retry policy, ...), so
+        switching mid-session keeps all accumulated state.
+        """
+        old = self.executor
+        kwargs: dict[str, Any] = dict(
+            cim=old.cim,
+            dcsm=old.dcsm,
+            record_statistics=old.record_statistics,
+            init_overhead_ms=old.init_overhead_ms,
+            display_cost_ms=old.display_cost_ms,
+            memoize_calls=old.memoize_calls,
+            memo_hit_cost_ms=old.memo_hit_cost_ms,
+            policy=old.policy,
+            degrade_on_failure=old.degrade_on_failure,
+            metrics=old.metrics,
+            verify_plans=old.verify_plans,
+        )
+        if jobs is not None and jobs > 1:
+            from repro.runtime import ParallelExecutor
+
+            self.executor = ParallelExecutor(
+                old.registry, old.clock, jobs=jobs, **kwargs
+            )
+        else:
+            self.executor = Executor(old.registry, old.clock, **kwargs)
 
     # -- registration -------------------------------------------------------------
 

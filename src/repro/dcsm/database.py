@@ -12,6 +12,7 @@ tradeoff.
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
@@ -34,20 +35,24 @@ class CostVectorDatabase:
         self._buckets: dict[tuple[str, str], list[Observation]] = {}
         self.max_observations_per_function = max_observations_per_function
         self.total_recorded = 0
+        # concurrent runtime workers record into shared buckets
+        self._lock = threading.Lock()
 
     # -- recording ---------------------------------------------------------
 
     def record(self, observation: Observation) -> None:
         key = (observation.domain, observation.function)
-        bucket = self._buckets.setdefault(key, [])
-        bucket.append(observation)
-        self.total_recorded += 1
-        limit = self.max_observations_per_function
-        if limit is not None and len(bucket) > limit:
-            del bucket[: len(bucket) - limit]  # keep the most recent
+        with self._lock:
+            bucket = self._buckets.setdefault(key, [])
+            bucket.append(observation)
+            self.total_recorded += 1
+            limit = self.max_observations_per_function
+            if limit is not None and len(bucket) > limit:
+                del bucket[: len(bucket) - limit]  # keep the most recent
 
     def observations(self, domain: str, function: str) -> tuple[Observation, ...]:
-        return tuple(self._buckets.get((domain, function), ()))
+        with self._lock:
+            return tuple(self._buckets.get((domain, function), ()))
 
     def functions(self) -> tuple[tuple[str, str], ...]:
         return tuple(sorted(self._buckets))

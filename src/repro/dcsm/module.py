@@ -22,6 +22,7 @@ filled from the statistics cache.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -87,6 +88,11 @@ class DCSM:
         # predicate-level first-answer statistics (paper §8's proposed
         # remedy for backtracking underprediction)
         self._predicate_t_first: dict[tuple[str, int], list[float]] = {}
+        # re-entrant: summarize() may be entered from estimate() while a
+        # concurrent runtime worker records; guards _functions, the
+        # staleness flag, probe masks, and the predicate T_first samples
+        # (the raw database carries its own lock)
+        self._lock = threading.RLock()
 
     # -- recording -------------------------------------------------------------
 
@@ -110,10 +116,11 @@ class DCSM:
         if self.metrics is not None:
             self.metrics.inc("dcsm.observations")
         key = (result.call.domain, result.call.function)
-        info = self._functions.get(key)
-        if info is None:
-            self._functions[key] = _FunctionInfo(arity=result.call.arity)
-        self._summaries_stale = True
+        with self._lock:
+            info = self._functions.get(key)
+            if info is None:
+                self._functions[key] = _FunctionInfo(arity=result.call.arity)
+            self._summaries_stale = True
         return observation
 
     def record_estimate_error(
@@ -147,13 +154,15 @@ class DCSM:
 
     def record_predicate_first(self, name: str, arity: int, t_first_ms: float) -> None:
         """Record an observed predicate-level time-to-first-answer."""
-        self._predicate_t_first.setdefault((name, arity), []).append(t_first_ms)
+        with self._lock:
+            self._predicate_t_first.setdefault((name, arity), []).append(t_first_ms)
 
     def predicate_first_estimate(self, name: str, arity: int) -> Optional[float]:
-        samples = self._predicate_t_first.get((name, arity))
-        if not samples:
-            return None
-        return sum(samples) / len(samples)
+        with self._lock:
+            samples = self._predicate_t_first.get((name, arity))
+            if not samples:
+                return None
+            return sum(samples) / len(samples)
 
     # -- summarization (offline step) ------------------------------------------
 
@@ -194,12 +203,16 @@ class DCSM:
 
     def summarize(self) -> None:
         """(Re)build summary tables for the current mode."""
+        with self._lock:
+            self._summarize_locked()
+
+    def _summarize_locked(self) -> None:
         self.version += 1
         self.estimator.clear_tables()
         if self.mode == MODE_RAW:
             self._summaries_stale = False
             return
-        for (domain, function), info in self._functions.items():
+        for (domain, function), info in list(self._functions.items()):
             observations = self.database.observations(domain, function)
             if self.mode == MODE_LOSSLESS:
                 dims_list: tuple[tuple[int, ...], ...] = (tuple(range(info.arity)),)
@@ -253,7 +266,8 @@ class DCSM:
             pattern = CallPattern.from_call(request)
         else:
             pattern = request
-        self._note_probe(pattern)
+        with self._lock:
+            self._note_probe(pattern)
 
         external = self.external_estimators.get(pattern.domain)
         external_vector: Optional[CostVector] = None
@@ -269,8 +283,9 @@ class DCSM:
                     source="external",
                 )
 
-        if self._summaries_stale:
-            self.summarize()
+        with self._lock:
+            if self._summaries_stale:
+                self._summarize_locked()
         try:
             if self.estimator.decay_tau_ms is not None:
                 # recency weighting needs per-observation timestamps, which

@@ -18,6 +18,7 @@ Concrete substrates subclass :class:`Domain` and register functions with
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Callable, Iterable, Mapping, Optional, Sequence
 
@@ -120,6 +121,7 @@ class Domain:
         self.cost_estimator = cost_estimator
         self._functions: dict[str, SourceFunction] = {}
         self.calls_made = 0  # observability: number of real executions
+        self._calls_lock = threading.Lock()
 
     # -- function registry ---------------------------------------------------
 
@@ -175,7 +177,8 @@ class Domain:
             )
         raw = fn.implementation(*call.args)
         answers, t_first, t_all = self._interpret(raw)
-        self.calls_made += 1
+        with self._calls_lock:
+            self.calls_made += 1
         return CallResult(
             call=call,
             answers=answers,

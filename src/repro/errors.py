@@ -151,3 +151,11 @@ class InvariantError(ReproError):
 
 class SchemaError(ReproError):
     """A relational table was created or loaded with an inconsistent schema."""
+
+
+class ExecutionCancelledError(ReproError):
+    """Cooperative cancellation: a parallel runtime worker observed the
+    run's cancellation token (the consumer stopped early, a sibling
+    branch failed, or the time budget ran out) and abandoned its
+    remaining work — the runtime analogue of HERMES killing
+    still-running external programs (paper §3)."""

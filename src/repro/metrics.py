@@ -15,7 +15,10 @@ Design constraints, in order:
   float add; components hold ``metrics=None`` and skip recording
   entirely when no registry is attached;
 * **deterministic** — values derive only from simulated execution, so a
-  seeded run produces byte-identical reports.
+  seeded run produces byte-identical reports;
+* **thread-safe** — the parallel runtime's workers record concurrently,
+  so each counter/histogram guards its mutation with a per-instance
+  lock (registration is guarded by a registry-wide lock).
 
 The metric *names* form a stable catalog documented in
 ``docs/RESILIENCE.md``; dotted lower-case names (``net.retries``,
@@ -24,6 +27,7 @@ The metric *names* form a stable catalog documented in
 
 from __future__ import annotations
 
+import threading
 from typing import Iterator, Optional
 
 from repro.errors import ReproError
@@ -32,17 +36,19 @@ from repro.errors import ReproError
 class Counter:
     """A monotonically increasing (float-valued) event counter."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> float:
         if amount < 0:
             raise ReproError(f"counter {self.name!r} cannot decrease (by {amount})")
-        self.value += amount
-        return self.value
+        with self._lock:
+            self.value += amount
+            return self.value
 
     def __repr__(self) -> str:
         return f"Counter({self.name!r}, {self.value:g})"
@@ -55,7 +61,7 @@ class Histogram:
     exact quantiles are available; running count/sum/min/max stay O(1).
     """
 
-    __slots__ = ("name", "count", "total", "min", "max", "_samples")
+    __slots__ = ("name", "count", "total", "min", "max", "_samples", "_lock")
 
     def __init__(self, name: str):
         self.name = name
@@ -64,14 +70,16 @@ class Histogram:
         self.min: Optional[float] = None
         self.max: Optional[float] = None
         self._samples: list[float] = []
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         value = float(value)
-        self.count += 1
-        self.total += value
-        self.min = value if self.min is None else min(self.min, value)
-        self.max = value if self.max is None else max(self.max, value)
-        self._samples.append(value)
+        with self._lock:
+            self.count += 1
+            self.total += value
+            self.min = value if self.min is None else min(self.min, value)
+            self.max = value if self.max is None else max(self.max, value)
+            self._samples.append(value)
 
     @property
     def mean(self) -> Optional[float]:
@@ -97,23 +105,30 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._counters: dict[str, Counter] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._lock = threading.Lock()
 
     # -- access ----------------------------------------------------------------
 
     def counter(self, name: str) -> Counter:
         counter = self._counters.get(name)
         if counter is None:
-            if name in self._histograms:
-                raise ReproError(f"metric {name!r} is already a histogram")
-            counter = self._counters[name] = Counter(name)
+            with self._lock:
+                counter = self._counters.get(name)
+                if counter is None:
+                    if name in self._histograms:
+                        raise ReproError(f"metric {name!r} is already a histogram")
+                    counter = self._counters[name] = Counter(name)
         return counter
 
     def histogram(self, name: str) -> Histogram:
         histogram = self._histograms.get(name)
         if histogram is None:
-            if name in self._counters:
-                raise ReproError(f"metric {name!r} is already a counter")
-            histogram = self._histograms[name] = Histogram(name)
+            with self._lock:
+                histogram = self._histograms.get(name)
+                if histogram is None:
+                    if name in self._counters:
+                        raise ReproError(f"metric {name!r} is already a counter")
+                    histogram = self._histograms[name] = Histogram(name)
         return histogram
 
     # -- recording conveniences ---------------------------------------------------
@@ -162,8 +177,9 @@ class MetricsRegistry:
         return out
 
     def reset(self) -> None:
-        self._counters.clear()
-        self._histograms.clear()
+        with self._lock:
+            self._counters.clear()
+            self._histograms.clear()
 
     def __len__(self) -> int:
         return len(self._counters) + len(self._histograms)

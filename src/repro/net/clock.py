@@ -11,16 +11,25 @@ is.
 
 from __future__ import annotations
 
+import threading
+
 from repro.errors import ReproError
 
 
 class SimClock:
-    """Monotonic virtual clock measured in milliseconds."""
+    """Monotonic virtual clock measured in milliseconds.
 
-    __slots__ = ("_now_ms",)
+    Mutations are lock-guarded: the parallel runtime's workers may
+    charge a *shared* clock concurrently (fault-injection latencies land
+    on the site's clock even when a branch otherwise runs on a private
+    one), and a lost read-modify-write would silently drop charges.
+    """
+
+    __slots__ = ("_now_ms", "_lock")
 
     def __init__(self, start_ms: float = 0.0):
         self._now_ms = float(start_ms)
+        self._lock = threading.Lock()
 
     @property
     def now_ms(self) -> float:
@@ -30,17 +39,20 @@ class SimClock:
         """Charge ``delta_ms`` of simulated time; returns the new now."""
         if delta_ms < 0:
             raise ReproError(f"cannot advance the clock by {delta_ms}ms")
-        self._now_ms += delta_ms
-        return self._now_ms
+        with self._lock:
+            self._now_ms += delta_ms
+            return self._now_ms
 
     def advance_to(self, instant_ms: float) -> float:
         """Move the clock forward to an absolute instant (no-op if past)."""
-        if instant_ms > self._now_ms:
-            self._now_ms = instant_ms
-        return self._now_ms
+        with self._lock:
+            if instant_ms > self._now_ms:
+                self._now_ms = instant_ms
+            return self._now_ms
 
     def reset(self, start_ms: float = 0.0) -> None:
-        self._now_ms = float(start_ms)
+        with self._lock:
+            self._now_ms = float(start_ms)
 
     def __repr__(self) -> str:
         return f"SimClock(now={self._now_ms:.3f}ms)"

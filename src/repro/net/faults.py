@@ -25,6 +25,7 @@ makes distance measurable.
 from __future__ import annotations
 
 import random
+import threading
 from dataclasses import dataclass
 from typing import Optional
 
@@ -74,6 +75,9 @@ class FaultInjector:
         self.spec = spec
         self.metrics = metrics
         self._rng = random.Random(spec.seed)
+        # guards the dice roll and the counters: concurrent workers may
+        # attempt calls at the same site simultaneously
+        self._lock = threading.Lock()
         # observability even without a registry attached
         self.injected_transient = 0
         self.injected_timeouts = 0
@@ -96,14 +100,17 @@ class FaultInjector:
         """Charge and raise if this attempt is chosen to fail; else no-op."""
         spec = self.spec
         if spec.down:
-            self.injected_permanent += 1
+            with self._lock:
+                self.injected_permanent += 1
             self._inc("net.faults.permanent")
             raise PermanentSourceError(call.domain, site=site)
         if spec.failure_rate == 0.0 and spec.timeout_rate == 0.0:
             return
-        roll = self._rng.random()
+        with self._lock:
+            roll = self._rng.random()
         if roll < spec.timeout_rate:
-            self.injected_timeouts += 1
+            with self._lock:
+                self.injected_timeouts += 1
             self._inc("net.faults.timeout")
             if clock is not None:
                 clock.advance(spec.timeout_ms)
@@ -112,10 +119,12 @@ class FaultInjector:
             if clock is not None:
                 clock.advance(spec.failure_latency_ms)
             if spec.permanent:
-                self.injected_permanent += 1
+                with self._lock:
+                    self.injected_permanent += 1
                 self._inc("net.faults.permanent")
                 raise PermanentSourceError(call.domain, site=site)
-            self.injected_transient += 1
+            with self._lock:
+                self.injected_transient += 1
             self._inc("net.faults.transient")
             raise TransientSourceError(call.domain, site=site)
 

@@ -24,6 +24,7 @@ current simulated instant; without a clock, outages are evaluated at t=0.
 
 from __future__ import annotations
 
+import threading
 from typing import Optional
 
 from repro.core.model import GroundCall
@@ -56,6 +57,8 @@ class RemoteDomain:
         self.metrics = metrics
         self.fees_charged = 0.0
         self.calls_made = 0
+        # concurrent runtime workers call through the same wrapper
+        self._bookkeeping_lock = threading.Lock()
 
     @property
     def name(self) -> str:
@@ -92,8 +95,9 @@ class RemoteDomain:
         t_all = setup + local.t_all_ms + sum(transfers)
         if t_all < t_first:
             t_all = t_first
-        self.fees_charged += latency.fee_per_call
-        self.calls_made += 1
+        with self._bookkeeping_lock:
+            self.fees_charged += latency.fee_per_call
+            self.calls_made += 1
         if self.metrics is not None:
             self.metrics.inc("net.calls")
             self.metrics.inc("net.bytes", float(local.answer_bytes))

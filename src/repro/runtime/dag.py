@@ -1,0 +1,164 @@
+"""Dependency-DAG analysis of execution plans.
+
+A :class:`~repro.core.plans.Plan` is a *sequence*, but the sequence
+over-specifies: two call steps whose arguments draw on disjoint earlier
+outputs could run in either order — or at the same time.  This module
+recovers the underlying partial order by replaying the same dataflow the
+adornment machinery uses (:mod:`repro.core.adornment`): walk the steps
+in plan order, track which step first *binds* each variable, and make a
+step depend on the binders of every variable it *requires*.
+
+Per step kind:
+
+* ``CallStep`` — requires every variable of the call arguments (the
+  ground-call requirement), plus any output variable that is already
+  bound (a bound output turns the call into a membership test / join
+  filter against the binder's value); produces its not-yet-bound output
+  variables.
+* ``CompareStep`` — a binding ``=`` (one side bound, other a bare
+  variable) requires the bound side and produces the variable; anything
+  else is a filter requiring both sides.
+
+Steps that would consume a variable *no* earlier step binds (an
+unorderable plan — the sequential executor raises ``NotGroundError`` at
+runtime) are conservatively chained to their predecessor so the parallel
+runtime degrades to sequential order and surfaces the same error.
+
+The two questions the scheduler asks:
+
+* :attr:`PlanDag.root_calls` — call steps with no dependencies at all:
+  ground the moment execution starts, so they can be dispatched together
+  as one concurrent *wave*;
+* :meth:`PlanDag.first_dependent_call` — the earliest call step that
+  consumes another step's output: the partitioned-nested-loop fan-out
+  point, where outer bindings are spread across workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.plans import CallStep, CompareStep, Plan
+from repro.core.terms import Variable
+
+
+@dataclass(frozen=True, slots=True)
+class StepNode:
+    """One plan step with its dataflow edges."""
+
+    index: int
+    is_call: bool
+    requires: frozenset[Variable]
+    produces: frozenset[Variable]
+    deps: frozenset[int]  # indices of earlier steps this one waits on
+
+
+@dataclass(frozen=True)
+class PlanDag:
+    """The dependency DAG of one plan under an initial bound-variable set."""
+
+    plan: Plan
+    nodes: tuple[StepNode, ...]
+
+    @property
+    def root_calls(self) -> tuple[int, ...]:
+        """Call steps executable before anything else has run — mutually
+        independent by construction (none consumes another's output)."""
+        return tuple(
+            node.index for node in self.nodes if node.is_call and not node.deps
+        )
+
+    def first_dependent_call(self) -> Optional[int]:
+        """Index of the earliest call step that depends on some earlier
+        step's output — the fan-out point — or ``None`` when every call
+        is independent."""
+        for node in self.nodes:
+            if node.is_call and node.deps:
+                return node.index
+        return None
+
+    def layers(self) -> tuple[tuple[int, ...], ...]:
+        """Steps grouped by longest-path depth: layer 0 holds the roots,
+        layer *k* the steps whose deepest dependency sits in layer k-1.
+        Steps within one layer are mutually independent."""
+        depth: dict[int, int] = {}
+        for node in self.nodes:  # nodes are in index order; deps point backward
+            depth[node.index] = (
+                1 + max(depth[d] for d in node.deps) if node.deps else 0
+            )
+        if not self.nodes:
+            return ()
+        grouped: list[list[int]] = [[] for _ in range(max(depth.values()) + 1)]
+        for node in self.nodes:
+            grouped[depth[node.index]].append(node.index)
+        return tuple(tuple(layer) for layer in grouped)
+
+    def width(self) -> int:
+        """Maximum number of call steps in any one layer — the plan's
+        intrinsic dispatch parallelism."""
+        calls = {node.index for node in self.nodes if node.is_call}
+        widths = [
+            sum(1 for index in layer if index in calls)
+            for layer in self.layers()
+        ]
+        return max(widths, default=0)
+
+
+def build_dag(plan: Plan, bound: frozenset[Variable] = frozenset()) -> PlanDag:
+    """Analyze ``plan``'s binding flow under initially-``bound`` variables."""
+    binder: dict[Variable, int] = {var: -1 for var in bound}
+    nodes: list[StepNode] = []
+    for index, step in enumerate(plan.steps):
+        if isinstance(step, CallStep):
+            requires: set[Variable] = set()
+            for arg in step.atom.call.args:
+                requires |= arg.variables()
+            output_vars = step.atom.output.variables()
+            produces = {var for var in output_vars if var not in binder}
+            # an already-bound output variable makes the call a
+            # membership test against the binder's value
+            requires |= {var for var in output_vars if var in binder}
+        else:
+            assert isinstance(step, CompareStep)
+            comparison = step.comparison
+            left_vars = comparison.left.variables()
+            right_vars = comparison.right.variables()
+            left_bound = left_vars <= binder.keys()
+            right_bound = right_vars <= binder.keys()
+            produces = set()
+            if comparison.op in ("=", "==") and left_bound != right_bound:
+                free, free_vars = (
+                    (comparison.right, right_vars)
+                    if left_bound
+                    else (comparison.left, left_vars)
+                )
+                if isinstance(free, Variable):
+                    requires = left_vars if left_bound else right_vars
+                    produces = set(free_vars)
+                else:
+                    requires = left_vars | right_vars
+            else:
+                requires = left_vars | right_vars
+        deps = {
+            binder[var]
+            for var in requires
+            if var in binder and binder[var] >= 0
+        }
+        unbindable = {var for var in requires if var not in binder}
+        if unbindable and index > 0:
+            # unorderable plan: fall back to sequential chaining so the
+            # runtime reproduces the sequential executor's error behaviour
+            deps.add(index - 1)
+        for var in produces:
+            binder.setdefault(var, index)
+        nodes.append(
+            StepNode(
+                index=index,
+                is_call=isinstance(step, CallStep),
+                requires=frozenset(requires),
+                produces=frozenset(produces),
+                deps=frozenset(deps),
+            )
+        )
+    return PlanDag(plan=plan, nodes=tuple(nodes))

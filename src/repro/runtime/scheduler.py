@@ -1,0 +1,736 @@
+"""The thread-pool scheduler: overlap independent source calls.
+
+The sequential executor walks a plan's nested loops one call at a time,
+so a query over four independent wide-area sources pays the *sum* of
+their latencies.  The paper's cost model (§5–§8) makes those latencies
+the dominant term — which means the dominant speedup is overlapping
+them.  :class:`ParallelExecutor` does exactly that, in two phases:
+
+**Wave 0 — root prefetch.**  :func:`repro.runtime.dag.build_dag` finds
+the call steps that are ground the moment execution starts (no step
+feeds them).  All of them are dispatched together on the worker pool;
+their results are kept in a prefetch table and *replayed* at memo cost
+when the nested loops later consume them, so the loops only pay each
+root's latency once — and all roots pay it at the same time.
+
+**Phase B — partitioned nested loop.**  The first call step that
+*depends* on an earlier step's output is the fan-out point: the plan
+prefix up to it is enumerated (cheap — the roots replay from the
+prefetch table), and each outer binding becomes one branch task that
+runs the plan suffix on its own worker.  Branch answers are merged in
+the original binding order, so the answer *sequence* matches the
+sequential executor's — multiset equality is by construction, not luck.
+
+**Simulated time under real threads.**  All timing in this repository
+is virtual (:class:`~repro.net.clock.SimClock`).  Real threads do the
+work, but each worker task charges a *private* clock; when a phase's
+results are merged, the shared clock advances by the phase's **greedy
+list-scheduling makespan** over ``jobs`` virtual workers (task *i*
+starts on the earliest-free worker).  The model is deterministic given
+the task durations and never depends on actual thread interleaving.
+Two honest approximations: a branch that *shares* an in-flight call
+through the single-flight layer charges the full call duration (it
+really would have waited), and fault-injection latencies land on the
+shared clock directly.
+
+**Cancellation.**  ``max_answers``, interactive stop, ``max_time_ms``,
+or a failing branch set the run's :class:`CancellationToken` — the
+runtime analogue of HERMES killing still-running external programs
+(§3).  Workers check the token before starting a queued task and
+between answers; tasks that never ran count toward
+``runtime.cancelled``.  Branch submission is windowed (queue capacity +
+worker count) so a small ``max_answers`` never floods the queue with
+work it is about to abandon.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from collections import Counter
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.core.executor import (
+    MODE_ALL,
+    MODE_INTERACTIVE,
+    ContinueCallback,
+    ExecutionResult,
+    Executor,
+    TraceEvent,
+    _RunStats,
+)
+from repro.core.model import GroundCall
+from repro.core.plans import CallStep, Plan
+from repro.core.terms import Term, Value, Variable
+from repro.domains.base import CallResult
+from repro.errors import ExecutionCancelledError, ReproError
+from repro.metrics import MetricsRegistry
+from repro.net.clock import SimClock
+from repro.runtime.dag import build_dag
+from repro.runtime.singleflight import SingleFlight
+
+#: A prefetch/single-flight key: one ground call and its routing.
+CallKey = tuple[GroundCall, bool]
+
+
+class CancellationToken:
+    """Cooperative stop signal shared by one run's workers."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def cancel(self) -> None:
+        self._event.set()
+
+    def is_cancelled(self) -> bool:
+        return self._event.is_set()
+
+    def raise_if_cancelled(self, where: str = "") -> None:
+        if self._event.is_set():
+            detail = f" ({where})" if where else ""
+            raise ExecutionCancelledError(f"run cancelled{detail}")
+
+
+class WorkerPool:
+    """A fixed pool of daemon threads fed by a bounded queue.
+
+    The bounded queue is the backpressure mechanism: ``submit`` blocks
+    once ``queue_capacity`` tasks are waiting, so a producer can never
+    race arbitrarily far ahead of the workers.  The deepest the queue
+    ever got is exported as ``runtime.queue.high_watermark``.
+
+    A worker checks the pool's :class:`CancellationToken` before
+    *starting* a queued task; a task skipped that way fails its future
+    with :class:`~repro.errors.ExecutionCancelledError` without running.
+    """
+
+    def __init__(
+        self,
+        jobs: int,
+        queue_capacity: Optional[int] = None,
+        token: Optional[CancellationToken] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        if jobs < 1:
+            raise ReproError(f"worker pool needs at least 1 worker, got {jobs}")
+        self.jobs = jobs
+        self.capacity = queue_capacity if queue_capacity is not None else 2 * jobs
+        if self.capacity < 1:
+            raise ReproError(f"queue capacity must be >= 1, got {self.capacity}")
+        self.token = token
+        self.metrics = metrics
+        self._queue: "queue.Queue[Optional[tuple[Callable[[], Any], Future]]]" = (
+            queue.Queue(maxsize=self.capacity)
+        )
+        self._watermark = 0
+        self._watermark_lock = threading.Lock()
+        self._shutdown = False
+        self._threads = [
+            threading.Thread(target=self._worker, daemon=True, name=f"repro-worker-{i}")
+            for i in range(jobs)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    @property
+    def queue_high_watermark(self) -> int:
+        with self._watermark_lock:
+            return self._watermark
+
+    def submit(self, fn: Callable[[], Any]) -> "Future[Any]":
+        """Enqueue ``fn``; blocks (backpressure) while the queue is full."""
+        if self._shutdown:
+            raise ReproError("worker pool is shut down")
+        future: "Future[Any]" = Future()
+        self._queue.put((fn, future))
+        self._note_depth(self._queue.qsize())
+        if self.metrics is not None:
+            self.metrics.inc("runtime.tasks")
+        return future
+
+    def _note_depth(self, depth: int) -> None:
+        # the metric is a monotonic counter, so the gauge-like watermark
+        # is exported as increments of (new_max - old_max)
+        with self._watermark_lock:
+            if depth > self._watermark:
+                if self.metrics is not None:
+                    self.metrics.inc(
+                        "runtime.queue.high_watermark", float(depth - self._watermark)
+                    )
+                self._watermark = depth
+
+    def _worker(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            fn, future = item
+            if self.token is not None and self.token.is_cancelled():
+                future.set_exception(
+                    ExecutionCancelledError("task cancelled while queued")
+                )
+                continue
+            if not future.set_running_or_notify_cancel():
+                continue
+            if self.metrics is not None:
+                self.metrics.inc("runtime.dispatched")
+            try:
+                future.set_result(fn())
+            except BaseException as exc:  # delivered through the future
+                future.set_exception(exc)
+
+    def shutdown(self) -> None:
+        """Stop the workers once the queue drains; idempotent."""
+        if self._shutdown:
+            return
+        self._shutdown = True
+        for _ in self._threads:
+            self._queue.put(None)
+        for thread in self._threads:
+            thread.join(timeout=30.0)
+
+
+@dataclass
+class _BranchOutcome:
+    """What one branch task (one outer binding) produced."""
+
+    index: int
+    answers: list[tuple[Value, ...]]
+    duration_ms: float  # branch-private simulated elapsed
+    first_offset_ms: Optional[float]  # branch instant of its first answer
+    stats: _RunStats
+    provenance: Counter = field(default_factory=Counter)
+    trace: tuple[TraceEvent, ...] = ()
+
+
+class _BranchExecutor(Executor):
+    """A sequential executor bound to one task's private clock.
+
+    Differences from the base class, all in ``_dispatch``:
+
+    * checks the run's cancellation token first;
+    * answers from the run's prefetch table at memo cost (the wave
+      already paid the call's real latency);
+    * routes real dispatches through the run's single-flight group so
+      concurrent identical calls share one source round trip.
+    """
+
+    def __init__(
+        self,
+        source: Executor,
+        clock: SimClock,
+        prefetch: Optional[dict[CallKey, CallResult]] = None,
+        flight: Optional[SingleFlight] = None,
+        token: Optional[CancellationToken] = None,
+    ):
+        super().__init__(
+            source.registry,
+            clock,
+            cim=source.cim,
+            dcsm=source.dcsm,
+            record_statistics=source.record_statistics,
+            init_overhead_ms=0.0,
+            display_cost_ms=source.display_cost_ms,
+            memoize_calls=source.memoize_calls,
+            memo_hit_cost_ms=source.memo_hit_cost_ms,
+            policy=source.policy,
+            degrade_on_failure=source.degrade_on_failure,
+            metrics=source.metrics,
+            verify_plans=False,
+        )
+        self.prefetch = prefetch
+        self.flight = flight
+        self.token = token
+
+    def _replay(self, call: GroundCall, cached: CallResult) -> CallResult:
+        """A prefetched result at memo cost (latency was paid by the wave)."""
+        n = len(cached.answers)
+        return CallResult(
+            call=call,
+            answers=cached.answers,
+            t_first_ms=self.memo_hit_cost_ms,
+            t_all_ms=self.memo_hit_cost_ms + self.memo_hit_cost_ms * 0.1 * n,
+            provenance=cached.provenance,
+            complete=cached.complete,
+        )
+
+    def _dispatch(
+        self, call: GroundCall, via_cim: bool, stats: Optional[_RunStats] = None
+    ) -> CallResult:
+        if self.token is not None:
+            self.token.raise_if_cancelled(f"before dispatching {call}")
+        key: CallKey = (call, via_cim)
+        if self.prefetch is not None:
+            cached = self.prefetch.get(key)
+            if cached is not None:
+                if self.metrics is not None:
+                    self.metrics.inc("runtime.prefetch_hits")
+                return self._replay(call, cached)
+        if self.flight is None:
+            return super()._dispatch(call, via_cim, stats)
+        base_dispatch = super()._dispatch
+        cancelled = self.token.is_cancelled if self.token is not None else None
+        result, _shared = self.flight.do(
+            key, lambda: base_dispatch(call, via_cim, stats), cancelled=cancelled
+        )
+        return result
+
+
+class ParallelExecutor(Executor):
+    """Executes plans with overlapped independent calls.
+
+    Drop-in for :class:`~repro.core.executor.Executor`: ``run`` keeps
+    the full :class:`ExecutionResult` contract and returns the same
+    answer multiset (in fact the same answer *sequence*) as the
+    sequential executor.  ``jobs <= 1``, and plans with nothing to
+    overlap, delegate to the sequential implementation outright.
+    """
+
+    def __init__(
+        self,
+        *args: Any,
+        jobs: int = 4,
+        queue_capacity: Optional[int] = None,
+        **kwargs: Any,
+    ):
+        super().__init__(*args, **kwargs)
+        self.jobs = max(1, int(jobs))
+        self.queue_capacity = (
+            queue_capacity if queue_capacity is not None else 2 * self.jobs
+        )
+
+    # -- public API -----------------------------------------------------------
+
+    def run(
+        self,
+        plan: Plan,
+        mode: str = MODE_ALL,
+        max_answers: Optional[int] = None,
+        batch_size: int = 10,
+        continue_callback: Optional[ContinueCallback] = None,
+        initial_subst: Optional[dict[Variable, Term]] = None,
+        max_time_ms: Optional[float] = None,
+        trace: bool = False,
+    ) -> ExecutionResult:
+        base_subst: dict[Variable, Term] = dict(initial_subst or {})
+        dag = build_dag(plan, frozenset(base_subst))
+        roots = dag.root_calls
+        fanout = dag.first_dependent_call()
+        if self.jobs <= 1 or (len(roots) <= 1 and fanout is None):
+            # nothing to overlap: behave exactly like the sequential engine
+            return super().run(
+                plan,
+                mode=mode,
+                max_answers=max_answers,
+                batch_size=batch_size,
+                continue_callback=continue_callback,
+                initial_subst=initial_subst,
+                max_time_ms=max_time_ms,
+                trace=trace,
+            )
+        if mode not in (MODE_ALL, MODE_INTERACTIVE):
+            raise ReproError(f"unknown execution mode {mode!r}")
+        if self.verify_plans:
+            from repro.analysis.verifier import assert_plan_verified
+
+            assert_plan_verified(
+                plan, bound_vars=frozenset(base_subst), registry=self.registry
+            )
+        if self.metrics is not None:
+            self.metrics.inc("runtime.runs")
+
+        provenance: Counter = Counter()
+        stats = _RunStats(trace=[] if trace else None, rng=self._fresh_rng())
+        start_ms = self.clock.now_ms
+        self.clock.advance(self.init_overhead_ms)
+
+        token = CancellationToken()
+        flight = SingleFlight(self.metrics)
+        prefetch: dict[CallKey, CallResult] = {}
+        pool = WorkerPool(
+            self.jobs,
+            queue_capacity=self.queue_capacity,
+            token=token,
+            metrics=self.metrics,
+        )
+        cancelled_count = 0
+        try:
+            wave_keys = self._wave_keys(plan, roots, base_subst)
+            if len(wave_keys) > 1:
+                self._run_wave(wave_keys, pool, flight, token, prefetch, stats)
+            consumer = _BranchExecutor(
+                self, self.clock, prefetch=prefetch, flight=flight, token=token
+            )
+            if fanout is None:
+                answers, t_first, early = self._merge_inline(
+                    consumer,
+                    plan,
+                    base_subst,
+                    provenance,
+                    stats,
+                    mode,
+                    max_answers,
+                    batch_size,
+                    continue_callback,
+                    max_time_ms,
+                    start_ms,
+                )
+            else:
+                answers, t_first, early, cancelled_count = self._fan_out(
+                    consumer,
+                    plan,
+                    fanout,
+                    base_subst,
+                    provenance,
+                    stats,
+                    pool,
+                    prefetch,
+                    flight,
+                    token,
+                    mode,
+                    max_answers,
+                    batch_size,
+                    continue_callback,
+                    max_time_ms,
+                    start_ms,
+                    trace,
+                )
+        finally:
+            token.cancel()
+            pool.shutdown()
+            if cancelled_count and self.metrics is not None:
+                self.metrics.inc("runtime.cancelled", float(cancelled_count))
+
+        t_all = self.clock.now_ms - start_ms
+        return ExecutionResult(
+            answers=tuple(answers),
+            answer_vars=plan.answer_vars,
+            t_first_ms=t_first,
+            t_all_ms=t_all,
+            complete=(not early) and stats.incomplete_results == 0,
+            calls=stats.calls,
+            provenance=provenance,
+            trace=tuple(stats.trace) if stats.trace is not None else (),
+            retries=stats.retries,
+            degraded_calls=stats.degraded,
+        )
+
+    # -- wave 0: concurrent root prefetch -------------------------------------
+
+    def _wave_keys(
+        self,
+        plan: Plan,
+        roots: tuple[int, ...],
+        base_subst: dict[Variable, Term],
+    ) -> list[CallKey]:
+        """The distinct ground calls of the plan's independent root steps."""
+        keys: list[CallKey] = []
+        seen: set[CallKey] = set()
+        for index in roots:
+            step = plan.steps[index]
+            assert isinstance(step, CallStep)
+            ground = step.atom.call.ground(base_subst)
+            key: CallKey = (ground, step.via_cim)
+            if key not in seen:
+                seen.add(key)
+                keys.append(key)
+        return keys
+
+    def _run_wave(
+        self,
+        wave_keys: list[CallKey],
+        pool: WorkerPool,
+        flight: SingleFlight,
+        token: CancellationToken,
+        prefetch: dict[CallKey, CallResult],
+        stats: _RunStats,
+    ) -> None:
+        """Dispatch all independent roots concurrently; advance the shared
+        clock by the wave's makespan.  Each task eagerly charges the full
+        ``T_all`` of its call (honest work-ahead); consumption later
+        replays the result at memo cost."""
+        phase_start = self.clock.now_ms
+        if self.metrics is not None:
+            self.metrics.inc("runtime.wave_calls", float(len(wave_keys)))
+        futures = [
+            pool.submit(self._make_wave_task(key, salt, phase_start, flight, token))
+            for salt, key in enumerate(wave_keys)
+        ]
+        worker_free = [0.0] * self.jobs
+        error: Optional[BaseException] = None
+        for future, key in zip(futures, wave_keys):
+            if error is not None:
+                try:
+                    future.result()
+                except BaseException:
+                    pass
+                continue
+            try:
+                result, charged_ms, task_stats = future.result()
+            except BaseException as exc:
+                # fail like the sequential engine would on reaching this
+                # call: stop the remaining wave and propagate
+                error = exc
+                token.cancel()
+                continue
+            prefetch[key] = result
+            stats.retries += task_stats.retries
+            stats.degraded += task_stats.degraded
+            slot = min(range(self.jobs), key=worker_free.__getitem__)
+            worker_free[slot] += charged_ms + result.t_all_ms
+        if error is not None:
+            raise error
+        self.clock.advance(max(worker_free))
+
+    def _make_wave_task(
+        self,
+        key: CallKey,
+        salt: int,
+        phase_start_ms: float,
+        flight: SingleFlight,
+        token: CancellationToken,
+    ) -> Callable[[], tuple[CallResult, float, _RunStats]]:
+        call, via_cim = key
+
+        def task() -> tuple[CallResult, float, _RunStats]:
+            local_clock = SimClock(phase_start_ms)
+            helper = _BranchExecutor(
+                self, local_clock, prefetch=None, flight=flight, token=token
+            )
+            task_stats = _RunStats(rng=self._fresh_rng(salt + 1))
+            result = helper._dispatch(call, via_cim, task_stats)
+            # retry backoff / fault latency landed on the private clock
+            return result, local_clock.now_ms - phase_start_ms, task_stats
+
+        return task
+
+    # -- inline consumption (every call independent) ---------------------------
+
+    def _merge_inline(
+        self,
+        consumer: _BranchExecutor,
+        plan: Plan,
+        base_subst: dict[Variable, Term],
+        provenance: Counter,
+        stats: _RunStats,
+        mode: str,
+        max_answers: Optional[int],
+        batch_size: int,
+        continue_callback: Optional[ContinueCallback],
+        max_time_ms: Optional[float],
+        start_ms: float,
+    ) -> tuple[list[tuple[Value, ...]], Optional[float], bool]:
+        """All calls were prefetched: run the nested loops on the shared
+        clock (replays are memo-cheap) with the base answer-loop rules."""
+        answers: list[tuple[Value, ...]] = []
+        t_first: Optional[float] = None
+        early = False
+        batch: list[tuple[Value, ...]] = []
+        for subst in consumer._solve(plan.steps, 0, base_subst, provenance, stats):
+            answer = self._project(plan.answer_vars, subst)
+            self.clock.advance(self.display_cost_ms)
+            if t_first is None:
+                t_first = self.clock.now_ms - start_ms
+            answers.append(answer)
+            if max_answers is not None and len(answers) >= max_answers:
+                early = True
+                break
+            if max_time_ms is not None and self.clock.now_ms - start_ms >= max_time_ms:
+                early = True
+                break
+            if mode == MODE_INTERACTIVE:
+                batch.append(answer)
+                if len(batch) >= batch_size:
+                    keep_going = (
+                        continue_callback(batch, len(answers))
+                        if continue_callback is not None
+                        else True
+                    )
+                    batch = []
+                    if not keep_going:
+                        early = True
+                        break
+        return answers, t_first, early
+
+    # -- phase B: partitioned nested loop --------------------------------------
+
+    def _fan_out(
+        self,
+        consumer: _BranchExecutor,
+        plan: Plan,
+        fanout: int,
+        base_subst: dict[Variable, Term],
+        provenance: Counter,
+        stats: _RunStats,
+        pool: WorkerPool,
+        prefetch: dict[CallKey, CallResult],
+        flight: SingleFlight,
+        token: CancellationToken,
+        mode: str,
+        max_answers: Optional[int],
+        batch_size: int,
+        continue_callback: Optional[ContinueCallback],
+        max_time_ms: Optional[float],
+        start_ms: float,
+        trace: bool,
+    ) -> tuple[list[tuple[Value, ...]], Optional[float], bool, int]:
+        """Enumerate outer bindings up to the fan-out point, run one branch
+        task per binding across the pool, merge answers in binding order."""
+        outer = [
+            dict(subst)
+            for subst in consumer._solve(
+                plan.steps[:fanout], 0, base_subst, provenance, stats
+            )
+        ]
+        answers: list[tuple[Value, ...]] = []
+        t_first: Optional[float] = None
+        early = False
+        batch: list[tuple[Value, ...]] = []
+        if not outer:
+            return answers, t_first, early, 0
+
+        phase_start = self.clock.now_ms
+        total = len(outer)
+        window = pool.capacity + pool.jobs
+        futures: dict[int, "Future[_BranchOutcome]"] = {}
+        submitted = 0
+
+        def submit_next() -> None:
+            nonlocal submitted
+            index = submitted
+            futures[index] = pool.submit(
+                self._make_branch_task(
+                    plan, fanout, outer[index], index, phase_start,
+                    prefetch, flight, token, trace,
+                )
+            )
+            submitted += 1
+
+        while submitted < min(window, total):
+            submit_next()
+
+        worker_free = [0.0] * self.jobs
+        error: Optional[BaseException] = None
+        cancelled_count = 0
+        for index in range(total):
+            if early or error is not None:
+                break
+            while submitted < total and submitted < index + window:
+                submit_next()
+            try:
+                outcome = futures.pop(index).result()
+            except ExecutionCancelledError:
+                cancelled_count += 1
+                continue
+            except BaseException as exc:
+                # fail fast, like the sequential engine raising mid-loop
+                error = exc
+                token.cancel()
+                break
+            slot = min(range(self.jobs), key=worker_free.__getitem__)
+            virtual_start = worker_free[slot]
+            worker_free[slot] = virtual_start + outcome.duration_ms
+            self.clock.advance_to(phase_start + worker_free[slot])
+            stats.calls += outcome.stats.calls
+            stats.retries += outcome.stats.retries
+            stats.degraded += outcome.stats.degraded
+            stats.incomplete_results += outcome.stats.incomplete_results
+            provenance.update(outcome.provenance)
+            if stats.trace is not None and outcome.trace:
+                stats.trace.extend(outcome.trace)
+            for answer in outcome.answers:
+                self.clock.advance(self.display_cost_ms)
+                if t_first is None and outcome.first_offset_ms is not None:
+                    t_first = (
+                        phase_start
+                        + virtual_start
+                        + outcome.first_offset_ms
+                        + self.display_cost_ms
+                        - start_ms
+                    )
+                answers.append(answer)
+                if max_answers is not None and len(answers) >= max_answers:
+                    early = True
+                    break
+                if (
+                    max_time_ms is not None
+                    and self.clock.now_ms - start_ms >= max_time_ms
+                ):
+                    early = True
+                    break
+                if mode == MODE_INTERACTIVE:
+                    batch.append(answer)
+                    if len(batch) >= batch_size:
+                        keep_going = (
+                            continue_callback(batch, len(answers))
+                            if continue_callback is not None
+                            else True
+                        )
+                        batch = []
+                        if not keep_going:
+                            early = True
+                            break
+            if early:
+                token.cancel()
+
+        # drain: outstanding branches were cancelled (or are moot)
+        for future in futures.values():
+            try:
+                future.result()
+            except BaseException:
+                pass
+            cancelled_count += 1
+        cancelled_count += total - submitted
+        if error is not None:
+            raise error
+        return answers, t_first, early, cancelled_count
+
+    def _make_branch_task(
+        self,
+        plan: Plan,
+        fanout: int,
+        outer_subst: dict[Variable, Term],
+        index: int,
+        phase_start_ms: float,
+        prefetch: dict[CallKey, CallResult],
+        flight: SingleFlight,
+        token: CancellationToken,
+        trace: bool,
+    ) -> Callable[[], _BranchOutcome]:
+        def task() -> _BranchOutcome:
+            local_clock = SimClock(phase_start_ms)
+            branch = _BranchExecutor(
+                self, local_clock, prefetch=prefetch, flight=flight, token=token
+            )
+            branch_stats = _RunStats(
+                trace=[] if trace else None, rng=self._fresh_rng(index + 1)
+            )
+            branch_provenance: Counter = Counter()
+            answers: list[tuple[Value, ...]] = []
+            first_offset: Optional[float] = None
+            for subst in branch._solve(
+                plan.steps, fanout, dict(outer_subst), branch_provenance, branch_stats
+            ):
+                token.raise_if_cancelled(f"branch {index} abandoned mid-answer")
+                if first_offset is None:
+                    first_offset = local_clock.now_ms - phase_start_ms
+                answers.append(self._project(plan.answer_vars, subst))
+            return _BranchOutcome(
+                index=index,
+                answers=answers,
+                duration_ms=local_clock.now_ms - phase_start_ms,
+                first_offset_ms=first_offset,
+                stats=branch_stats,
+                provenance=branch_provenance,
+                trace=(
+                    tuple(branch_stats.trace)
+                    if branch_stats.trace is not None
+                    else ()
+                ),
+            )
+
+        return task

@@ -1,0 +1,109 @@
+"""Single-flight deduplication of identical in-flight ground calls.
+
+The paper's nested-loop executor issues the same ground call over and
+over (§7 footnote 2: no duplicate elimination, "caching gets around the
+disadvantages").  Under a *parallel* runtime the duplication gets worse:
+several workers reach the same ground call at the same instant, before
+any of them has populated the CIM.  A :class:`SingleFlight` group closes
+that window — the runtime analogue of "Don't Trash your Intermediate
+Results, Cache 'em": the first caller of a key becomes the **leader**
+and performs the real dispatch; every concurrent caller of the same key
+becomes a **follower**, blocks until the leader finishes, and shares the
+leader's result (or its exception).  The source sees one round trip, the
+CIM and DCSM record once.
+
+Keys are hashable — the scheduler uses ``(GroundCall, via_cim)``.  Once
+the leader completes, the key leaves the in-flight table: a *later*
+caller performs its own dispatch (and will typically hit the CIM).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Hashable, Optional, TypeVar
+
+from repro.errors import ExecutionCancelledError
+from repro.metrics import MetricsRegistry
+
+T = TypeVar("T")
+
+#: How long a follower sleeps between cancellation checks while waiting.
+_WAIT_SLICE_S = 0.05
+
+
+class _InFlight:
+    """One leader's pending execution, awaited by followers."""
+
+    __slots__ = ("done", "result", "error")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.result: object = None
+        self.error: Optional[BaseException] = None
+
+
+class SingleFlight:
+    """Duplicate-call suppression group shared by one run's workers."""
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None):
+        self._lock = threading.Lock()
+        self._inflight: dict[Hashable, _InFlight] = {}
+        self.metrics = metrics
+        # observability without a registry attached
+        self.leads = 0
+        self.deduped = 0
+
+    def do(
+        self,
+        key: Hashable,
+        fn: Callable[[], T],
+        cancelled: Optional[Callable[[], bool]] = None,
+    ) -> tuple[T, bool]:
+        """Run ``fn`` once per concurrently-requested ``key``.
+
+        Returns ``(result, shared)`` where ``shared`` is True when this
+        caller waited on another caller's execution instead of running
+        ``fn`` itself.  The leader's exception propagates to every
+        follower.  ``cancelled`` (polled while waiting) lets a follower
+        abandon the wait cooperatively with
+        :class:`~repro.errors.ExecutionCancelledError`.
+        """
+        with self._lock:
+            call = self._inflight.get(key)
+            if call is None:
+                call = _InFlight()
+                self._inflight[key] = call
+                leader = True
+            else:
+                leader = False
+
+        if leader:
+            self.leads += 1
+            if self.metrics is not None:
+                self.metrics.inc("runtime.singleflight.leads")
+            try:
+                call.result = fn()
+            except BaseException as exc:
+                call.error = exc
+                raise
+            finally:
+                with self._lock:
+                    self._inflight.pop(key, None)
+                call.done.set()
+            return call.result, False  # type: ignore[return-value]
+
+        self.deduped += 1
+        if self.metrics is not None:
+            self.metrics.inc("runtime.singleflight.deduped")
+        while not call.done.wait(_WAIT_SLICE_S):
+            if cancelled is not None and cancelled():
+                raise ExecutionCancelledError(
+                    f"cancelled while waiting on in-flight call {key!r}"
+                )
+        if call.error is not None:
+            raise call.error
+        return call.result, True  # type: ignore[return-value]
+
+    def inflight_count(self) -> int:
+        with self._lock:
+            return len(self._inflight)

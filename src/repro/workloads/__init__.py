@@ -9,7 +9,14 @@ from repro.workloads.datasets import (
     build_rope_avis,
     build_rope_testbed,
 )
-from repro.workloads.generators import CallWorkload, zipf_choice
+from repro.workloads.generators import (
+    CallWorkload,
+    GeneratedWorkload,
+    generate_fanout_workload,
+    generate_star_workload,
+    generate_workload,
+    zipf_choice,
+)
 
 __all__ = [
     "build_cast_table",
@@ -19,5 +26,9 @@ __all__ = [
     "build_rope_avis",
     "build_rope_testbed",
     "CallWorkload",
+    "GeneratedWorkload",
+    "generate_fanout_workload",
+    "generate_star_workload",
+    "generate_workload",
     "zipf_choice",
 ]

@@ -196,6 +196,58 @@ def generate_star_workload(
     )
 
 
+def generate_fanout_workload(
+    roots: int = 4,
+    fanout: int = 3,
+    domain_name: str = "fan",
+    seed: int = 0,
+) -> GeneratedWorkload:
+    """Independent root calls, each feeding its own dependent call.
+
+    The body is ``roots`` mutually-independent calls on the query-bound
+    variable — ``in(Mi, fan:ri(A))`` — each producing ``fanout`` middle
+    values, and each middle value feeding a private second-stage call
+    ``in(Oi, fan:wi(Mi))``.  This is the parallel runtime's benchmark
+    shape: the roots form an antichain in the dependency DAG (the wave
+    prefetch overlaps all of them), and the cross-product of middles
+    fans the plan suffix out across workers.  Deterministic per ``seed``.
+    """
+    if roots < 1 or fanout < 1:
+        raise ValueError("generate_fanout_workload sizes must all be >= 1")
+    functions: dict[str, object] = {}
+    body: list[str] = []
+    outputs: list[str] = []
+    for index in range(roots):
+        def root_fn(function_index: int = index, width: int = fanout):
+            def call(value):
+                return [f"{value}~{function_index}.{j}" for j in range(width)]
+
+            return call
+
+        def work_fn(function_index: int = index):
+            def call(value):
+                return [f"{value}!w{function_index}"]
+
+            return call
+
+        functions[f"r{index}"] = root_fn()
+        functions[f"w{index}"] = work_fn()
+        body.append(f"in(M{index}, {domain_name}:r{index}(A))")
+        outputs.append(f"O{index}")
+    # second stage after every root so the suffix has real work per branch
+    for index in range(roots):
+        body.append(f"in(O{index}, {domain_name}:w{index}(M{index}))")
+    head = f"fanq(A, {', '.join(outputs)})"
+    rule = f"{head} :- {' & '.join(body)}."
+    query = f"?- fanq('s{seed}', {', '.join(outputs)})."
+    return GeneratedWorkload(
+        program_text=rule,
+        domain=simple_domain(domain_name, functions),
+        queries=(query,),
+        num_rules=1,
+    )
+
+
 def frame_interval_pool(
     num_frames: int, starts: Sequence[int], widths: Sequence[int]
 ) -> list[tuple[int, int]]:

@@ -94,3 +94,65 @@ class TestRegistry:
         assert len(registry) == 2
         registry.reset()
         assert len(registry) == 0
+
+
+class TestThreadSafety:
+    """Regression: counters and histograms are hammered from the parallel
+    runtime's worker threads; unsynchronized += would drop increments."""
+
+    def test_counter_hammer_exact_total(self):
+        import threading
+
+        registry = MetricsRegistry()
+        threads_n, incs = 8, 5_000
+
+        def hammer():
+            for _ in range(incs):
+                registry.inc("hammered")
+
+        threads = [threading.Thread(target=hammer) for _ in range(threads_n)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert registry.value("hammered") == float(threads_n * incs)
+
+    def test_histogram_hammer_exact_count(self):
+        import threading
+
+        registry = MetricsRegistry()
+        threads_n, obs = 8, 2_000
+
+        def hammer(base):
+            for i in range(obs):
+                registry.observe("hist", base + i)
+
+        threads = [
+            threading.Thread(target=hammer, args=(t * obs,))
+            for t in range(threads_n)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        hist = registry.histogram("hist")
+        assert hist.count == threads_n * obs
+        assert hist.total == float(sum(range(threads_n * obs)))
+
+    def test_concurrent_registration_single_instance(self):
+        import threading
+
+        registry = MetricsRegistry()
+        seen = []
+        barrier = threading.Barrier(8)
+
+        def register():
+            barrier.wait()
+            seen.append(registry.counter("contested"))
+
+        threads = [threading.Thread(target=register) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert all(counter is seen[0] for counter in seen)
