@@ -52,14 +52,18 @@ from repro.domains import Domain
 from repro.errors import ReproError
 from repro.metrics import MetricsRegistry
 from repro.net import (
+    BreakerState,
     FaultInjector,
     FaultSpec,
+    HealthPolicy,
+    HealthRegistry,
+    HedgePolicy,
     RemoteDomain,
     RetryPolicy,
     SimClock,
     make_site,
 )
-from repro.runtime import ParallelExecutor, build_dag
+from repro.runtime import Completeness, ParallelExecutor, PlanRepairer, build_dag
 
 __version__ = "1.0.0"
 
@@ -87,8 +91,14 @@ __all__ = [
     "Domain",
     "ReproError",
     "MetricsRegistry",
+    "BreakerState",
+    "Completeness",
     "FaultInjector",
     "FaultSpec",
+    "HealthPolicy",
+    "HealthRegistry",
+    "HedgePolicy",
+    "PlanRepairer",
     "RetryPolicy",
     "RemoteDomain",
     "SimClock",

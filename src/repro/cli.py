@@ -13,7 +13,8 @@ Commands (everything else is parsed as a rule or a query):
     :cim on|off               route queries through the cache manager
     :jobs N                   run queries with N parallel workers (1 = sequential)
     :validate                 static checks of rules vs registered domains
-    :stats                    DCSM / CIM / planner / runtime counters
+    :stats                    DCSM / CIM / planner / runtime / health counters
+    :health                   per-source breaker state, error rate, latency quantiles
     :metrics                  the shared metrics registry (counters/histograms)
     :save-stats FILE          persist DCSM statistics
     :load-stats FILE          restore DCSM statistics
@@ -27,7 +28,7 @@ program.
 There are also non-interactive subcommands::
 
     python -m repro stats [--demo NAME] [--cim] [--flaky RATE] [--jobs N]
-                          [QUERY ...]
+                          [--health] [QUERY ...]
 
 which loads a demo testbed, runs the given queries (``?- ...`` strings),
 and prints the end-to-end metrics report — clock, DCSM, CIM, and every
@@ -37,7 +38,9 @@ enables the default retry policy, so the report shows the resilience
 counters (``executor.retries``, ``net.faults.*``) in action.  ``--jobs
 N`` runs the queries on the parallel execution engine with N workers
 (see ``docs/RUNTIME.md``), so the report includes the ``runtime.*``
-scheduler counters.
+scheduler counters.  ``--health`` turns on source-health tracking
+(circuit breakers + latency windows, ``docs/HEALTH.md``) and adds a
+per-source health table to the report.
 
 ::
 
@@ -212,6 +215,9 @@ class MediatorShell:
                        f"{self.mediator.cim.cache.total_bytes} bytes")
             self.write(_planner_summary(self.mediator))
             self.write(_runtime_summary(self.mediator))
+            self.write(_health_summary(self.mediator))
+        elif command == ":health":
+            self.write(_health_summary(self.mediator))
         elif command == ":metrics":
             self.write(self.mediator.metrics.render())
         elif command == ":save-stats":
@@ -264,6 +270,30 @@ def _runtime_summary(mediator: Mediator) -> str:
     )
 
 
+def _health_summary(mediator: Mediator) -> str:
+    """Per-source health table, or a hint when tracking is off."""
+    if mediator.health is None:
+        return ("health: not tracked — construct Mediator with "
+                "health_policy=HealthPolicy() or pass --health to stats")
+    return mediator.health.render()
+
+
+def _enable_health(mediator: Mediator) -> None:
+    """Retrofit source-health tracking onto an already-built mediator."""
+    from repro.net.health import HealthPolicy, HealthRegistry
+    from repro.net.remote import RemoteDomain
+
+    if mediator.health is not None:
+        return
+    registry = HealthRegistry(HealthPolicy(), metrics=mediator.metrics)
+    mediator.health = registry
+    mediator.executor.health = registry
+    for endpoint in mediator.registry:
+        if isinstance(endpoint, RemoteDomain):
+            endpoint.health = registry
+            registry.bind(endpoint.domain.name, endpoint.site.name)
+
+
 def _make_flaky(mediator: Mediator, rate: float) -> None:
     """Inject transient faults at every remote site and turn on retries."""
     from repro.net.faults import FaultInjector, FaultSpec
@@ -288,13 +318,15 @@ def stats_main(argv: list[str], stdout: Optional[IO[str]] = None) -> int:
     ``--cim`` routes the queries through the cache manager, ``--flaky
     RATE`` injects transient faults (per-attempt probability) at every
     site under the default retry policy, ``--jobs N`` executes on the
-    parallel engine with N workers, and the remaining arguments run in
-    order: ``?- ...`` strings execute as queries, anything else loads
-    as a program file.
+    parallel engine with N workers, ``--health`` enables source-health
+    tracking (breaker state, error rate, latency quantiles), and the
+    remaining arguments run in order: ``?- ...`` strings execute as
+    queries, anything else loads as a program file.
     """
     out = stdout if stdout is not None else sys.stdout
     demo = "rope"
     use_cim = False
+    health = False
     flaky: Optional[float] = None
     jobs: Optional[int] = None
     queries: list[str] = []
@@ -327,9 +359,13 @@ def stats_main(argv: list[str], stdout: Optional[IO[str]] = None) -> int:
                     raise ReproError(f"--flaky rate must be in [0, 1], got {flaky}")
         elif arg == "--cim":
             use_cim = True
+        elif arg == "--health":
+            health = True
         else:
             queries.append(arg)  # query or program file, handled in order
     mediator = _build_demo(demo)
+    if health:
+        _enable_health(mediator)
     if flaky is not None:
         _make_flaky(mediator, flaky)
     if jobs is not None:
@@ -352,6 +388,8 @@ def stats_main(argv: list[str], stdout: Optional[IO[str]] = None) -> int:
     out.write(f"CIM:   {mediator.cim.stats}\n")
     out.write(_planner_summary(mediator) + "\n")
     out.write(_runtime_summary(mediator) + "\n")
+    if health:
+        out.write(_health_summary(mediator) + "\n")
     out.write("metrics:\n")
     out.write(mediator.metrics.render() + "\n")
     return 0

@@ -3,13 +3,16 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.core.estimator import PlanEstimate
 from repro.core.executor import ExecutionResult
 from repro.core.model import Query
 from repro.core.plans import Plan
 from repro.core.terms import Value
+
+if TYPE_CHECKING:
+    from repro.runtime.repair import Completeness
 
 
 @dataclass
@@ -27,6 +30,8 @@ class QueryResult:
     chosen_estimate: Optional[PlanEstimate]
     candidate_plans: tuple[Plan, ...]
     estimates: tuple[Optional[PlanEstimate], ...]
+    # self-healing annotation: complete / repaired / partial(missing=[...])
+    completeness: "Optional[Completeness]" = None
 
     @property
     def answers(self) -> tuple[tuple[Value, ...], ...]:
@@ -61,6 +66,21 @@ class QueryResult:
         """True when any answer came from stale cache state because the
         source stayed unreachable through the retry policy."""
         return self.execution.degraded
+
+    @property
+    def missing_sources(self) -> frozenset:
+        """Domains whose call-steps failed terminally; answers needing
+        them are absent (partial-answer mode)."""
+        return self.execution.missing_sources
+
+    @property
+    def repaired(self) -> bool:
+        """True when the first execution lost sources but an alternate
+        plan or CIM re-route completed the answers."""
+        return (
+            self.completeness is not None
+            and self.completeness.status == "repaired"
+        )
 
     def rows(self) -> list[dict[str, Value]]:
         return self.execution.rows()
@@ -98,11 +118,15 @@ class QueryResult:
         for answer in self.answers:
             lines.append(" | ".join(str(v) for v in answer))
         t_first = f"{self.t_first_ms:.1f}" if self.t_first_ms is not None else "n/a"
+        annotation = ""
+        if self.completeness is not None and self.completeness.status != "complete":
+            annotation = f", {self.completeness}"
         lines.append(
             f"({self.cardinality} answers, T_first={t_first}ms, "
             f"T_all={self.t_all_ms:.1f}ms"
             + ("" if self.complete else ", INCOMPLETE")
             + (", DEGRADED" if self.degraded else "")
+            + annotation
             + ")"
         )
         return "\n".join(lines)

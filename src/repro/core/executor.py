@@ -30,18 +30,16 @@ from repro.core.plans import CallStep, CompareStep, Plan
 from repro.core.terms import Constant, Term, Value, Variable
 from repro.core.unify import Substitution, resolve, resolve_ground, unify
 from repro.dcsm.module import DCSM
-from repro.domains.base import CallResult
+from repro.domains.base import SOURCE_DOMAIN, SOURCE_MISSING, CallResult
 from repro.domains.registry import DomainRegistry
 from repro.errors import (
-    DeadlineExceededError,
     NotGroundError,
-    PermanentSourceError,
     ReproError,
-    RetryExhaustedError,
-    SourceUnavailableError,
+    is_terminal_source_error,
 )
 from repro.metrics import MetricsRegistry
 from repro.net.clock import SimClock
+from repro.net.health import HealthRegistry, HedgePolicy
 from repro.net.policy import RetryPolicy, run_with_retry
 
 MODE_ALL = "all"
@@ -77,6 +75,9 @@ class _RunStats:
     incomplete_results: int = 0
     retries: int = 0
     degraded: int = 0
+    hedges: int = 0
+    hedge_wins: int = 0
+    missing_sources: set = field(default_factory=set)
     memo: dict = field(default_factory=dict)
     trace: "Optional[list[TraceEvent]]" = None
     # per-run retry-jitter stream: seeded fresh for every run so parallel
@@ -103,6 +104,11 @@ class ExecutionResult:
     trace: tuple[TraceEvent, ...] = ()
     retries: int = 0
     degraded_calls: int = 0
+    hedged_calls: int = 0
+    # domains whose call-steps failed terminally and were replaced by an
+    # empty placeholder (partial-answer mode): answers that needed them
+    # are absent, and the Completeness annotation reports them by name
+    missing_sources: frozenset = frozenset()
 
     @property
     def cardinality(self) -> int:
@@ -138,6 +144,9 @@ class Executor:
         degrade_on_failure: bool = True,
         metrics: Optional[MetricsRegistry] = None,
         verify_plans: bool = False,
+        health: Optional[HealthRegistry] = None,
+        hedge_policy: Optional[HedgePolicy] = None,
+        partial_on_failure: bool = False,
     ):
         self.registry = registry
         self.clock = clock
@@ -162,6 +171,15 @@ class Executor:
         # debug assertion: replay every plan through the independent
         # verifier (repro.analysis.verifier) before executing it
         self.verify_plans = verify_plans
+        # self-healing: the health registry supplies per-source latency
+        # quantiles (hedging thresholds); with a hedge policy, a call
+        # running past its source's quantile dispatches a duplicate and
+        # the first finisher wins.  partial_on_failure turns terminal
+        # call-step failures into empty incomplete placeholders so the
+        # rest of the plan still produces (annotated) partial answers.
+        self.health = health
+        self.hedge_policy = hedge_policy
+        self.partial_on_failure = partial_on_failure
 
     def set_policy(self, policy: Optional[RetryPolicy]) -> None:
         """Swap the retry policy (each run seeds its own jitter stream)."""
@@ -258,6 +276,8 @@ class Executor:
             trace=tuple(stats.trace) if stats.trace is not None else (),
             retries=stats.retries,
             degraded_calls=stats.degraded,
+            hedged_calls=stats.hedges,
+            missing_sources=frozenset(stats.missing_sources),
         )
 
     def stream(
@@ -415,7 +435,15 @@ class Executor:
         if self.metrics is not None:
             self.metrics.inc("executor.dispatches")
         if self.policy is None:
-            return self._dispatch_once(call, via_cim)
+            # without a retry policy, failures historically propagate
+            # unchanged; only the opt-in partial mode intercepts them
+            try:
+                result = self._dispatch_once(call, via_cim)
+            except ReproError as exc:
+                if not self.partial_on_failure or not is_terminal_source_error(exc):
+                    raise
+                return self._terminal_fallback(call, exc, stats)
+            return self._maybe_hedge(call, via_cim, result, stats)
 
         def on_retry(attempt: int, error: Exception, backoff_ms: float) -> None:
             if stats is not None:
@@ -430,29 +458,106 @@ class Executor:
             else self._fresh_rng()
         )
         try:
-            return run_with_retry(
+            result = run_with_retry(
                 lambda: self._dispatch_once(call, via_cim),
                 self.policy,
                 self.clock,
                 rng=rng,
                 on_retry=on_retry,
             )
-        except (
-            PermanentSourceError,
-            RetryExhaustedError,
-            DeadlineExceededError,
-            SourceUnavailableError,
-        ) as exc:
-            degraded = self._degraded_fallback(call)
-            if degraded is None:
-                if self.metrics is not None:
-                    self.metrics.inc("executor.failures")
-                raise exc
+        except ReproError as exc:
+            # one taxonomy for "this call will not succeed this run":
+            # breaker open, scheduled outage, hard-down source, or the
+            # retry/deadline budget spent (see repro.errors.classify)
+            if not is_terminal_source_error(exc):
+                raise
+            return self._terminal_fallback(call, exc, stats)
+        return self._maybe_hedge(call, via_cim, result, stats)
+
+    def _terminal_fallback(
+        self, call: GroundCall, exc: ReproError, stats: Optional[_RunStats]
+    ) -> CallResult:
+        """Degraded answers, an empty partial placeholder, or re-raise."""
+        degraded = self._degraded_fallback(call)
+        if degraded is not None:
             if stats is not None:
                 stats.degraded += 1
             if self.metrics is not None:
                 self.metrics.inc("executor.degraded_calls")
             return degraded
+        if self.partial_on_failure:
+            if stats is not None:
+                stats.missing_sources.add(call.domain)
+            if self.metrics is not None:
+                self.metrics.inc("executor.missing_source_calls")
+            return CallResult(
+                call=call,
+                answers=(),
+                t_first_ms=0.0,
+                t_all_ms=0.0,
+                provenance=SOURCE_MISSING,
+                complete=False,
+            )
+        if self.metrics is not None:
+            self.metrics.inc("executor.failures")
+        raise exc
+
+    def _maybe_hedge(
+        self,
+        call: GroundCall,
+        via_cim: bool,
+        result: CallResult,
+        stats: Optional[_RunStats],
+    ) -> CallResult:
+        """Hedged requests: when the primary ran past this source's
+        latency quantile, model a duplicate dispatched at that threshold
+        and let the first finisher win.
+
+        Simulated-time semantics: the primary's ``t_all_ms`` is a
+        duration not yet charged to the clock (charging happens as
+        answers are consumed), so "the call exceeded the threshold" is
+        decided on the returned duration, and the winning timeline is
+        ``min(primary_t_all, threshold + hedge_t_all)``.
+        """
+        if (
+            self.hedge_policy is None
+            or self.health is None
+            or via_cim
+            or result.provenance != SOURCE_DOMAIN
+        ):
+            return result
+        threshold = self.health.hedge_threshold_ms(call.domain, self.hedge_policy)
+        if threshold is None or result.t_all_ms <= threshold:
+            return result
+        if stats is not None:
+            stats.hedges += 1
+        if self.metrics is not None:
+            self.metrics.inc("health.hedges")
+        try:
+            hedge = self._hedge_dispatch(call, via_cim)
+        except ReproError:
+            # the hedge lost by failing; keep the primary
+            return result
+        hedged_t_all = threshold + hedge.t_all_ms
+        if hedged_t_all >= result.t_all_ms:
+            return result
+        if stats is not None:
+            stats.hedge_wins += 1
+        if self.metrics is not None:
+            self.metrics.inc("health.hedge_wins")
+        return CallResult(
+            call=call,
+            answers=hedge.answers,
+            t_first_ms=min(result.t_all_ms, threshold + hedge.t_first_ms),
+            t_all_ms=hedged_t_all,
+            provenance=hedge.provenance,
+            complete=hedge.complete,
+        )
+
+    def _hedge_dispatch(self, call: GroundCall, via_cim: bool) -> CallResult:
+        """One duplicate dispatch; the parallel runtime's branch executor
+        overrides this to dedupe concurrent hedges through SingleFlight."""
+        return self._dispatch_once(call, via_cim)
 
     def _dispatch_once(self, call: GroundCall, via_cim: bool) -> CallResult:
         if via_cim and self.cim is not None:

@@ -100,6 +100,9 @@ def explain_last_execution(result: "QueryResult") -> str:
     )
     lines.append(
         f"resilience: {result.execution.retries} retries, "
-        f"{result.execution.degraded_calls} degraded call(s)"
+        f"{result.execution.degraded_calls} degraded call(s), "
+        f"{result.execution.hedged_calls} hedged call(s)"
     )
+    if result.completeness is not None and result.completeness.status != "complete":
+        lines.append(f"completeness: {result.completeness}")
     return "\n".join(lines)

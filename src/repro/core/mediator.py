@@ -46,9 +46,11 @@ from repro.errors import EstimationError, PlanningError, ReproError
 from repro.metrics import MetricsRegistry
 from repro.net.clock import SimClock
 from repro.net.faults import FaultInjector, FaultSpec
+from repro.net.health import HealthPolicy, HealthRegistry, HedgePolicy
 from repro.net.policy import RetryPolicy
 from repro.net.remote import RemoteDomain
 from repro.net.sites import Site, make_site
+from repro.runtime.repair import Completeness, PlanRepairer
 
 if TYPE_CHECKING:
     from repro.analysis import AnalysisReport
@@ -83,6 +85,10 @@ class Mediator:
         use_plan_cache: bool = True,
         plan_cache_entries: int = 256,
         jobs: Optional[int] = None,
+        health_policy: Optional[HealthPolicy] = None,
+        hedge_policy: Optional[HedgePolicy] = None,
+        repair: bool = False,
+        repair_max_attempts: int = 2,
     ):
         self.clock = clock if clock is not None else SimClock()
         self.registry = DomainRegistry()
@@ -90,6 +96,16 @@ class Mediator:
         # whole picture; components passed in with their own registry keep it
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.retry_policy = retry_policy
+        # self-healing: a health registry (breakers + latency windows) is
+        # created when either health tracking or hedging is requested;
+        # repair=True turns terminal call failures into partial answers
+        # and re-plans around the sources that caused them
+        self.health: Optional[HealthRegistry] = None
+        if health_policy is not None or hedge_policy is not None:
+            self.health = HealthRegistry(health_policy, metrics=self.metrics)
+        self.hedge_policy = hedge_policy
+        self.repair = repair
+        self.repair_max_attempts = repair_max_attempts
         self.dcsm = (
             dcsm if dcsm is not None else DCSM(clock=self.clock, metrics=self.metrics)
         )
@@ -128,6 +144,9 @@ class Mediator:
             degrade_on_failure=degrade_on_failure,
             metrics=self.metrics,
             verify_plans=verify_plans,
+            health=self.health,
+            hedge_policy=hedge_policy,
+            partial_on_failure=repair,
         )
         if jobs is not None and jobs > 1:
             self.set_jobs(jobs)
@@ -179,6 +198,9 @@ class Mediator:
             degrade_on_failure=old.degrade_on_failure,
             metrics=old.metrics,
             verify_plans=old.verify_plans,
+            health=old.health,
+            hedge_policy=old.hedge_policy,
+            partial_on_failure=old.partial_on_failure,
         )
         if jobs is not None and jobs > 1:
             from repro.runtime import ParallelExecutor
@@ -214,7 +236,12 @@ class Mediator:
             site = make_site(site, seed=seed)
         self.registry.add(
             RemoteDomain(
-                domain, site, self.clock, faults=faults, metrics=self.metrics
+                domain,
+                site,
+                self.clock,
+                faults=faults,
+                metrics=self.metrics,
+                health=self.health,
             )
         )
 
@@ -478,6 +505,35 @@ class Mediator:
                 )
         return routed, estimate
 
+    def plan_avoiding(
+        self,
+        query: "str | Query",
+        avoid_domains: frozenset,
+        objective: str = "all",
+        use_cim: CimRouting = None,
+        bindings: Optional[dict] = None,
+    ) -> Plan:
+        """Plan ``query`` without dialing any domain in ``avoid_domains``.
+
+        The repair path's planner entry point: rewritings that call an
+        avoided domain are dropped, so only alternate rules (union
+        branches, equality-invariant substitutes reaching the data
+        through a different source) survive.  The plan cache is bypassed
+        — avoid-sets describe a transient outage, not the program.
+        Raises :class:`PlanningError` when nothing avoids the set.
+        """
+        if isinstance(query, str):
+            query = parse_query(query)
+        user_bound = frozenset(self._bindings_subst(bindings))
+        result = self.rewriter.search(
+            query,
+            self.cost_estimator,
+            objective=objective,
+            bound_vars=user_bound,
+            avoid_domains=frozenset(avoid_domains),
+        )
+        return self._route(result.plan, use_cim)
+
     # -- querying --------------------------------------------------------------------
 
     def query(
@@ -569,8 +625,7 @@ class Mediator:
                     pass
 
         chosen_estimate = self._apply_predicate_first(query, chosen_estimate)
-        execution = self.executor.run(
-            chosen,
+        run_kwargs: dict[str, Any] = dict(
             mode=mode,
             max_answers=max_answers,
             batch_size=batch_size,
@@ -579,6 +634,23 @@ class Mediator:
             max_time_ms=max_time_ms,
             trace=trace,
         )
+        execution = self.executor.run(chosen, **run_kwargs)
+        if self.repair and execution.missing_sources:
+            # self-healing: re-plan around the sources that just failed,
+            # fall back to CIM/stale answers, or keep annotated partials
+            objective = "first" if mode == MODE_INTERACTIVE else "all"
+            repairer = PlanRepairer(self, max_attempts=self.repair_max_attempts)
+            chosen, execution, completeness = repairer.repair(
+                query,
+                chosen,
+                execution,
+                objective=objective,
+                use_cim=use_cim,
+                bindings=bindings,
+                run_kwargs=run_kwargs,
+            )
+        else:
+            completeness = Completeness.of(execution)
         self._record_predicate_first(query, execution)
         self._observe_query(execution, chosen_estimate)
         return QueryResult(
@@ -588,6 +660,7 @@ class Mediator:
             chosen_estimate=chosen_estimate,
             candidate_plans=candidates,
             estimates=estimates,
+            completeness=completeness,
         )
 
     def cursor(
@@ -638,6 +711,10 @@ class Mediator:
         self.metrics.observe("mediator.query_ms", execution.t_all_ms)
         if execution.degraded_calls:
             self.metrics.inc("mediator.degraded_queries")
+        if execution.missing_sources:
+            self.metrics.inc("mediator.partial_queries")
+        if execution.hedged_calls:
+            self.metrics.inc("mediator.hedged_queries")
         if chosen_estimate is not None:
             self.dcsm.record_estimate_error(
                 chosen_estimate.vector, execution.t_first_ms, execution.t_all_ms
@@ -727,6 +804,8 @@ class Mediator:
         calls = 0
         retries = 0
         degraded_calls = 0
+        hedged_calls = 0
+        missing_sources: set[str] = set()
         t_first: Optional[float] = None
         start_ms = self.clock.now_ms
         complete = True
@@ -745,6 +824,8 @@ class Mediator:
             calls += execution.calls
             retries += execution.retries
             degraded_calls += execution.degraded_calls
+            hedged_calls += execution.hedged_calls
+            missing_sources |= execution.missing_sources
             complete = complete and execution.complete
             elapsed_before_branch = (
                 self.clock.now_ms - start_ms - execution.t_all_ms
@@ -771,6 +852,8 @@ class Mediator:
             provenance=provenance,
             retries=retries,
             degraded_calls=degraded_calls,
+            hedged_calls=hedged_calls,
+            missing_sources=frozenset(missing_sources),
         )
         # no estimate-error sample here: branch estimates do not price the union
         self._observe_query(merged, None)
@@ -781,6 +864,7 @@ class Mediator:
             chosen_estimate=chosen_estimates[0] if chosen_estimates else None,
             candidate_plans=candidates,
             estimates=tuple(chosen_estimates),
+            completeness=Completeness.of(merged),
         )
 
     # -- training helpers (experiments) ----------------------------------------------

@@ -174,14 +174,19 @@ class Rewriter:
         self,
         query: Query,
         bound_vars: frozenset[Variable] = frozenset(),
+        avoid_domains: frozenset[str] = frozenset(),
     ) -> tuple[Plan, ...]:
         """All executable plans for ``query`` (deduplicated, bounded).
 
         ``bound_vars`` may pre-bind query variables (parameterised
-        queries).  Raises :class:`PlanningError` when no executable
-        ordering exists.
+        queries).  ``avoid_domains`` drops every rewriting that calls
+        into one of the named domains — the mid-query repair path's
+        "re-plan around the sick source" constraint; alternative rules
+        reachable without those domains survive.  Raises
+        :class:`PlanningError` when no executable ordering exists.
         """
         expansions = self._expand(query)
+        expansions = _without_avoided(expansions, avoid_domains, query)
         if not expansions:
             raise PlanningError(
                 f"every rewriting of the query is unsatisfiable: {query}"
@@ -213,6 +218,7 @@ class Rewriter:
         track_vars: frozenset[Variable] = frozenset(),
         session: "Optional[EstimatorSession]" = None,
         const_subst: Optional[Substitution] = None,
+        avoid_domains: frozenset[str] = frozenset(),
     ) -> SearchResult:
         """Cost-guided branch-and-bound ordering search.
 
@@ -241,6 +247,7 @@ class Rewriter:
         :class:`PlanningError` when no executable ordering exists at all.
         """
         expansions = self._expand(query, track_vars)
+        expansions = _without_avoided(expansions, avoid_domains, query)
         if not expansions:
             raise PlanningError(
                 f"every rewriting of the query is unsatisfiable: {query}"
@@ -607,6 +614,38 @@ class Rewriter:
                 )
 
         yield from recurse(calls, [], bound_vars, all_binders, all_filters)
+
+
+def _without_avoided(
+    expansions: list[Expansion],
+    avoid_domains: frozenset[str],
+    query: Query,
+) -> list[Expansion]:
+    """Drop rewritings that dial into an avoided domain.
+
+    The repair loop uses this to steer re-planning away from sources the
+    health subsystem just watched fail: a union branch or an
+    equality-invariant substitute rule that reaches the data through a
+    different domain survives; a rewriting with no alternative dies, and
+    if *every* rewriting dies the caller gets :class:`PlanningError` and
+    falls back to CIM/stale answers or an annotated partial result.
+    """
+    if not avoid_domains:
+        return expansions
+    kept = [
+        expansion
+        for expansion in expansions
+        if not any(
+            isinstance(lit, InAtom) and lit.call.domain in avoid_domains
+            for lit in expansion.literals
+        )
+    ]
+    if not kept and expansions:
+        raise PlanningError(
+            f"every rewriting of {query} requires an avoided domain "
+            f"({', '.join(sorted(avoid_domains))})"
+        )
+    return kept
 
 
 def _simplify(literals: tuple[Literal, ...]) -> Optional[tuple[Literal, ...]]:

@@ -32,6 +32,7 @@ SOURCE_CACHE = "cache"
 SOURCE_INVARIANT_EQ = "invariant-eq"
 SOURCE_INVARIANT_PARTIAL = "invariant-partial"
 SOURCE_DEGRADED = "degraded"  # stale/partial answers served because the source failed
+SOURCE_MISSING = "missing"  # empty placeholder: the source failed and no fallback existed
 
 
 @dataclass(frozen=True, slots=True)

@@ -3,9 +3,16 @@
 Every error raised by this library derives from :class:`ReproError`, so
 callers can catch one type at the boundary.  Subsystems raise the most
 specific subclass that applies.
+
+:func:`classify` maps any exception onto the small set of
+:class:`ErrorClass` labels the retry policy, the executor, and the
+parallel scheduler all agree on — one taxonomy instead of three
+hand-rolled ``isinstance`` ladders.
 """
 
 from __future__ import annotations
+
+import enum
 
 
 class ReproError(Exception):
@@ -58,6 +65,25 @@ class SourceUnavailableError(ReproError):
         detail = f" at site '{site}'" if site else ""
         eta = f" (back at t={until_ms:.0f}ms)" if until_ms is not None else ""
         super().__init__(f"domain '{domain}'{detail} is unavailable{eta}")
+
+
+class CircuitOpenError(SourceUnavailableError):
+    """The health subsystem's circuit breaker for this source is open.
+
+    Raised *before* dialing (see :mod:`repro.net.health`): the source
+    failed often enough recently that attempts are refused outright
+    until the cooldown elapses and a half-open probe succeeds.  Unlike a
+    scheduled outage this is never retryable — retrying would defeat the
+    point of failing fast — but it is still a terminal *source* error,
+    so the executor's degraded/partial fallbacks apply.
+    """
+
+    def __init__(self, domain: str, site: str = "", until_ms: float | None = None):
+        super().__init__(domain, site=site, until_ms=until_ms)
+        # SourceUnavailableError composed its own message; replace it.
+        detail = f" at site '{site}'" if site else ""
+        eta = f" (probe at t={until_ms:.0f}ms)" if until_ms is not None else ""
+        self.args = (f"circuit open for domain '{domain}'{detail}{eta}",)
 
 
 class TransientSourceError(ReproError):
@@ -159,3 +185,58 @@ class ExecutionCancelledError(ReproError):
     branch failed, or the time budget ran out) and abandoned its
     remaining work — the runtime analogue of HERMES killing
     still-running external programs (paper §3)."""
+
+
+class ErrorClass(enum.Enum):
+    """The failure classes the resilience stack distinguishes."""
+
+    TRANSIENT = "transient"  # retry may succeed (includes timeouts)
+    OUTAGE = "outage"  # scheduled site outage; retryable only if opted in
+    CIRCUIT_OPEN = "circuit_open"  # breaker refused the dial; never retry
+    PERMANENT = "permanent"  # hard-down source; never retry
+    EXHAUSTED = "exhausted"  # retry budget spent (attempts or deadline)
+    CANCELLED = "cancelled"  # cooperative cancellation, not a source fault
+    OTHER = "other"  # anything else (parse errors, bugs, ...)
+
+
+def classify(error: BaseException) -> ErrorClass:
+    """Map ``error`` onto one :class:`ErrorClass` label.
+
+    This is the single source of truth for "is this transient or
+    permanent?" — the retry policy, the sequential executor, and the
+    parallel scheduler all route their decisions through it.  Order
+    matters: :class:`CircuitOpenError` subclasses
+    :class:`SourceUnavailableError` and must be tested first.
+    """
+    if isinstance(error, CircuitOpenError):
+        return ErrorClass.CIRCUIT_OPEN
+    if isinstance(error, TransientSourceError):
+        return ErrorClass.TRANSIENT
+    if isinstance(error, SourceUnavailableError):
+        return ErrorClass.OUTAGE
+    if isinstance(error, PermanentSourceError):
+        return ErrorClass.PERMANENT
+    if isinstance(error, (RetryExhaustedError, DeadlineExceededError)):
+        return ErrorClass.EXHAUSTED
+    if isinstance(error, ExecutionCancelledError):
+        return ErrorClass.CANCELLED
+    return ErrorClass.OTHER
+
+
+#: Classes after which a call-step will not succeed this run — the
+#: executor's cue to fall back to degraded answers or a partial result.
+TERMINAL_SOURCE_CLASSES = frozenset(
+    {
+        ErrorClass.CIRCUIT_OPEN,
+        ErrorClass.OUTAGE,
+        ErrorClass.PERMANENT,
+        ErrorClass.EXHAUSTED,
+    }
+)
+
+
+def is_terminal_source_error(error: BaseException) -> bool:
+    """True when ``error`` means this source call is not going to
+    succeed this run (breaker open, outage, hard failure, or budget
+    spent) — as opposed to a bug or a cancellation."""
+    return classify(error) in TERMINAL_SOURCE_CLASSES

@@ -9,6 +9,13 @@ deterministic simulator — see DESIGN.md §2.
 
 from repro.net.clock import SimClock
 from repro.net.faults import FaultInjector, FaultSpec
+from repro.net.health import (
+    BreakerState,
+    HealthPolicy,
+    HealthRegistry,
+    HedgePolicy,
+    SourceHealth,
+)
 from repro.net.latency import LatencyModel, Outage
 from repro.net.policy import RetryPolicy, run_with_retry
 from repro.net.remote import RemoteDomain
@@ -16,14 +23,19 @@ from repro.net.sites import SITE_PROFILES, Site, make_site
 
 __all__ = [
     "SimClock",
+    "BreakerState",
     "FaultInjector",
     "FaultSpec",
+    "HealthPolicy",
+    "HealthRegistry",
+    "HedgePolicy",
     "LatencyModel",
     "Outage",
     "RetryPolicy",
     "run_with_retry",
     "RemoteDomain",
     "Site",
+    "SourceHealth",
     "SITE_PROFILES",
     "make_site",
 ]

@@ -1,0 +1,388 @@
+"""Source health tracking: rolling outcome windows, circuit breakers,
+and the hedging policy they feed.
+
+The paper's mediator assumes sources "may be down or unreachable" and
+leans on the CIM to keep answering; this module supplies the *memory*
+side of that resilience.  A :class:`HealthRegistry` keeps one
+:class:`SourceHealth` record per ``(domain, site)`` pair, each holding a
+rolling window of recent outcomes and latencies stamped in simulated
+time.  The window drives a per-source **circuit breaker**:
+
+::
+
+    CLOSED --(error rate / consecutive failures over threshold)--> OPEN
+    OPEN --(cooldown_ms of simulated time elapses)--> HALF_OPEN
+    HALF_OPEN --(single probe succeeds)--> CLOSED
+    HALF_OPEN --(probe fails)--> OPEN        (cooldown restarts)
+
+While OPEN, :meth:`SourceHealth.before_dial` raises
+:class:`~repro.errors.CircuitOpenError` *before* any network work, so a
+sick source costs one comparison instead of a full retry budget.  The
+error is classified non-retryable (see :func:`repro.errors.classify`),
+which is what makes it fast.
+
+The same latency window powers **hedged requests**: a
+:class:`HedgePolicy` says "when a call runs longer than this source's
+p-quantile, a duplicate dispatch would probably have finished already".
+The executor consults :meth:`SourceHealth.latency_quantile` for the
+threshold; the registry only keeps the books.
+
+Everything is wall-clock free: timestamps come from the caller's
+:class:`~repro.net.clock.SimClock`, so breaker trips, cooldowns, and
+half-open probes are deterministic and replayable.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional
+
+from repro.errors import CircuitOpenError, ReproError
+from repro.metrics import MetricsRegistry
+
+
+class BreakerState(enum.Enum):
+    """Circuit-breaker states (classic three-state machine)."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+@dataclass(frozen=True)
+class HealthPolicy:
+    """When a source's breaker trips and how long it stays tripped.
+
+    ``window_size`` recent outcomes are kept per source.  The breaker
+    opens when, with at least ``min_samples`` outcomes in the window,
+    the windowed error rate reaches ``error_rate_threshold`` — or
+    immediately after ``consecutive_failure_threshold`` failures in a
+    row regardless of the window (a burst of failures should not need to
+    outvote a long happy history).  After ``cooldown_ms`` of simulated
+    time the breaker admits one half-open probe.
+    """
+
+    window_size: int = 32
+    min_samples: int = 4
+    error_rate_threshold: float = 0.5
+    consecutive_failure_threshold: int = 3
+    cooldown_ms: float = 500.0
+
+    def __post_init__(self) -> None:
+        if self.window_size < 1:
+            raise ReproError(f"window_size must be >= 1, got {self.window_size}")
+        if self.min_samples < 1:
+            raise ReproError(f"min_samples must be >= 1, got {self.min_samples}")
+        if not 0.0 < self.error_rate_threshold <= 1.0:
+            raise ReproError(
+                f"error_rate_threshold must be in (0, 1], got "
+                f"{self.error_rate_threshold}"
+            )
+        if self.consecutive_failure_threshold < 1:
+            raise ReproError(
+                f"consecutive_failure_threshold must be >= 1, got "
+                f"{self.consecutive_failure_threshold}"
+            )
+        if self.cooldown_ms < 0:
+            raise ReproError(f"cooldown_ms must be >= 0, got {self.cooldown_ms}")
+
+
+@dataclass(frozen=True)
+class HedgePolicy:
+    """When to dispatch a duplicate (hedged) request.
+
+    A call that has run longer than this source's ``quantile`` of
+    recent latencies is probably stuck behind a latency storm; at that
+    instant a hedge is dispatched and the first finisher wins.  Hedging
+    needs at least ``min_samples`` latency observations — hedging on an
+    empty window would just double every call.
+    """
+
+    quantile: float = 0.95
+    min_samples: int = 8
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.quantile < 1.0:
+            raise ReproError(f"quantile must be in (0, 1), got {self.quantile}")
+        if self.min_samples < 1:
+            raise ReproError(f"min_samples must be >= 1, got {self.min_samples}")
+
+
+class SourceHealth:
+    """Rolling health record + circuit breaker for one (domain, site).
+
+    Not thread-safe on its own; the owning :class:`HealthRegistry`
+    serialises access (parallel runtime workers share the registry).
+    """
+
+    __slots__ = (
+        "domain",
+        "site",
+        "policy",
+        "state",
+        "_outcomes",
+        "_latencies",
+        "_consecutive_failures",
+        "_opened_at_ms",
+        "_probe_in_flight",
+        "opens",
+        "closes",
+        "fast_failures",
+    )
+
+    def __init__(self, domain: str, site: str, policy: HealthPolicy):
+        self.domain = domain
+        self.site = site
+        self.policy = policy
+        self.state = BreakerState.CLOSED
+        self._outcomes: Deque[bool] = deque(maxlen=policy.window_size)
+        self._latencies: Deque[float] = deque(maxlen=policy.window_size)
+        self._consecutive_failures = 0
+        self._opened_at_ms = 0.0
+        self._probe_in_flight = False
+        self.opens = 0
+        self.closes = 0
+        self.fast_failures = 0
+
+    # -- breaker -----------------------------------------------------------
+
+    def before_dial(self, now_ms: float) -> None:
+        """Gate a dial attempt at simulated instant ``now_ms``.
+
+        Raises :class:`~repro.errors.CircuitOpenError` when the breaker
+        refuses the dial.  An OPEN breaker whose cooldown has elapsed
+        moves to HALF_OPEN and admits exactly one probe; concurrent
+        dials during the probe are refused.
+        """
+        if self.state is BreakerState.CLOSED:
+            return
+        if self.state is BreakerState.OPEN:
+            if now_ms - self._opened_at_ms >= self.policy.cooldown_ms:
+                self.state = BreakerState.HALF_OPEN
+                self._probe_in_flight = True
+                return  # this dial is the probe
+            self.fast_failures += 1
+            raise CircuitOpenError(
+                self.domain,
+                site=self.site,
+                until_ms=self._opened_at_ms + self.policy.cooldown_ms,
+            )
+        # HALF_OPEN: one probe at a time
+        if self._probe_in_flight:
+            self.fast_failures += 1
+            raise CircuitOpenError(self.domain, site=self.site)
+        self._probe_in_flight = True
+
+    def record_success(self, now_ms: float, latency_ms: float) -> bool:
+        """Record a successful call; returns True if the breaker closed."""
+        self._outcomes.append(True)
+        self._latencies.append(latency_ms)
+        self._consecutive_failures = 0
+        if self.state is not BreakerState.CLOSED:
+            # a successful probe (or a success that raced the trip) heals
+            self.state = BreakerState.CLOSED
+            self._probe_in_flight = False
+            self._outcomes.clear()
+            self._outcomes.append(True)
+            self.closes += 1
+            return True
+        return False
+
+    def record_failure(self, now_ms: float) -> bool:
+        """Record a failed call; returns True if the breaker opened."""
+        self._outcomes.append(False)
+        self._consecutive_failures += 1
+        if self.state is BreakerState.HALF_OPEN:
+            # the probe failed: back to OPEN, cooldown restarts
+            self.state = BreakerState.OPEN
+            self._probe_in_flight = False
+            self._opened_at_ms = now_ms
+            self.opens += 1
+            return True
+        if self.state is BreakerState.OPEN:
+            return False
+        if self._should_trip():
+            self.state = BreakerState.OPEN
+            self._opened_at_ms = now_ms
+            self.opens += 1
+            return True
+        return False
+
+    def _should_trip(self) -> bool:
+        if self._consecutive_failures >= self.policy.consecutive_failure_threshold:
+            return True
+        if len(self._outcomes) < self.policy.min_samples:
+            return False
+        return self.error_rate() >= self.policy.error_rate_threshold
+
+    # -- window statistics -------------------------------------------------
+
+    def error_rate(self) -> float:
+        """Fraction of failures in the rolling window (0.0 when empty)."""
+        if not self._outcomes:
+            return 0.0
+        failures = sum(1 for ok in self._outcomes if not ok)
+        return failures / len(self._outcomes)
+
+    @property
+    def samples(self) -> int:
+        return len(self._outcomes)
+
+    @property
+    def latency_samples(self) -> int:
+        return len(self._latencies)
+
+    def latency_quantile(self, q: float) -> Optional[float]:
+        """The ``q``-quantile of recent successful-call latencies, or
+        None with an empty window.  Nearest-rank on the sorted window —
+        cheap and monotone, which is all hedging needs."""
+        if not self._latencies:
+            return None
+        ordered = sorted(self._latencies)
+        rank = min(len(ordered) - 1, max(0, int(q * len(ordered))))
+        return ordered[rank]
+
+    def snapshot(self, now_ms: float) -> dict:
+        """A stats-rendering view of this record."""
+        retry_at: Optional[float] = None
+        if self.state is BreakerState.OPEN:
+            retry_at = self._opened_at_ms + self.policy.cooldown_ms
+        return {
+            "domain": self.domain,
+            "site": self.site,
+            "state": self.state.value,
+            "error_rate": self.error_rate(),
+            "samples": self.samples,
+            "consecutive_failures": self._consecutive_failures,
+            "p50_ms": self.latency_quantile(0.50),
+            "p95_ms": self.latency_quantile(0.95),
+            "opens": self.opens,
+            "closes": self.closes,
+            "fast_failures": self.fast_failures,
+            "probe_at_ms": retry_at,
+        }
+
+
+class HealthRegistry:
+    """Thread-safe map of per-source health records.
+
+    One registry per mediator; the :class:`~repro.net.remote.RemoteDomain`
+    wrappers call :meth:`before_dial` / :meth:`record_success` /
+    :meth:`record_failure`, the executor asks :meth:`hedge_threshold_ms`,
+    and the CLI renders :meth:`snapshot`.
+    """
+
+    def __init__(
+        self,
+        policy: Optional[HealthPolicy] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        self.policy = policy if policy is not None else HealthPolicy()
+        self.metrics = metrics
+        self._sources: dict[str, SourceHealth] = {}
+        self._lock = threading.Lock()
+
+    def _inc(self, name: str, amount: float = 1.0) -> None:
+        if self.metrics is not None:
+            self.metrics.inc(name, amount)
+
+    def bind(self, domain: str, site: str = "") -> SourceHealth:
+        """Create (or fetch) the health record for ``domain``."""
+        with self._lock:
+            record = self._sources.get(domain)
+            if record is None:
+                record = SourceHealth(domain, site, self.policy)
+                self._sources[domain] = record
+            return record
+
+    def get(self, domain: str) -> Optional[SourceHealth]:
+        with self._lock:
+            return self._sources.get(domain)
+
+    def state_of(self, domain: str) -> BreakerState:
+        with self._lock:
+            record = self._sources.get(domain)
+            return record.state if record is not None else BreakerState.CLOSED
+
+    # -- dial lifecycle ----------------------------------------------------
+
+    def before_dial(self, domain: str, now_ms: float, site: str = "") -> None:
+        """Breaker gate; raises CircuitOpenError when the dial is refused."""
+        with self._lock:
+            record = self._sources.get(domain)
+            if record is None:
+                record = SourceHealth(domain, site, self.policy)
+                self._sources[domain] = record
+            try:
+                record.before_dial(now_ms)
+            except CircuitOpenError:
+                self._inc("health.fast_failures")
+                raise
+            if record.state is BreakerState.OPEN:
+                # defensive invariant counter: a dial must never proceed on
+                # an OPEN breaker; the chaos tests assert this stays 0
+                self._inc("health.dials_while_open")
+
+    def record_success(self, domain: str, now_ms: float, latency_ms: float) -> None:
+        with self._lock:
+            record = self._sources.get(domain)
+            if record is None:
+                return
+            if record.record_success(now_ms, latency_ms):
+                self._inc("health.breaker.closes")
+        if self.metrics is not None:
+            self.metrics.observe(f"health.latency_ms.{domain}", latency_ms)
+
+    def record_failure(self, domain: str, now_ms: float) -> None:
+        with self._lock:
+            record = self._sources.get(domain)
+            if record is None:
+                return
+            if record.record_failure(now_ms):
+                self._inc("health.breaker.opens")
+
+    # -- hedging -----------------------------------------------------------
+
+    def hedge_threshold_ms(
+        self, domain: str, policy: HedgePolicy
+    ) -> Optional[float]:
+        """The latency beyond which ``policy`` says to hedge a call to
+        ``domain`` — None when the window is too thin to trust."""
+        with self._lock:
+            record = self._sources.get(domain)
+            if record is None or record.latency_samples < policy.min_samples:
+                return None
+            return record.latency_quantile(policy.quantile)
+
+    # -- reporting ---------------------------------------------------------
+
+    def snapshot(self, now_ms: float = 0.0) -> list[dict]:
+        """Per-source health rows, sorted by domain name."""
+        with self._lock:
+            records = sorted(self._sources.values(), key=lambda r: r.domain)
+            return [record.snapshot(now_ms) for record in records]
+
+    def render(self, now_ms: float = 0.0) -> str:
+        """Human-readable health table for ``repro stats`` / ``:health``."""
+        rows = self.snapshot(now_ms)
+        if not rows:
+            return "health: no sources tracked"
+        lines = ["health:"]
+        for row in rows:
+            p50 = row["p50_ms"]
+            p95 = row["p95_ms"]
+            lat = (
+                f"p50 {p50:.1f}ms p95 {p95:.1f}ms"
+                if p50 is not None and p95 is not None
+                else "no latency samples"
+            )
+            site = f" @ {row['site']}" if row["site"] else ""
+            lines.append(
+                f"  {row['domain']}{site}: {row['state']} "
+                f"(err {row['error_rate']:.0%} over {row['samples']} calls, "
+                f"{lat}, opens {row['opens']}, fast-fails {row['fast_failures']})"
+            )
+        return "\n".join(lines)

@@ -34,10 +34,10 @@ from typing import Callable, Optional, TypeVar
 
 from repro.errors import (
     DeadlineExceededError,
+    ErrorClass,
     ReproError,
     RetryExhaustedError,
-    SourceUnavailableError,
-    TransientSourceError,
+    classify,
 )
 from repro.net.clock import SimClock
 
@@ -85,10 +85,13 @@ class RetryPolicy:
         return delay
 
     def is_retryable(self, error: Exception) -> bool:
-        if isinstance(error, TransientSourceError):
+        label = classify(error)
+        if label is ErrorClass.TRANSIENT:
             return True
-        if isinstance(error, SourceUnavailableError):
+        if label is ErrorClass.OUTAGE:
             return self.retry_outages
+        # CIRCUIT_OPEN is deliberately non-retryable: the breaker exists
+        # to stop attempts, so retrying it would burn budget for nothing.
         return False
 
 
@@ -123,13 +126,17 @@ def run_with_retry(
             raise RetryExhaustedError(attempt, last)
         delay = policy.backoff_ms(attempt, rng)
         elapsed = clock.now_ms - start_ms
-        if policy.deadline_ms is not None and elapsed + delay >= policy.deadline_ms:
-            # waiting the full backoff would blow the budget: burn what is
-            # left of the budget, then fail with the typed deadline error
-            clock.advance(max(0.0, policy.deadline_ms - elapsed))
-            raise DeadlineExceededError(
-                policy.deadline_ms, clock.now_ms - start_ms, last=last
-            )
+        if policy.deadline_ms is not None:
+            # Never charge the clock past the deadline: a backoff longer
+            # than the remaining budget (e.g. deadline_ms smaller than
+            # base_backoff_ms with retry_outages=True) burns exactly the
+            # remainder, then fails with the typed deadline error.
+            remaining = max(0.0, policy.deadline_ms - elapsed)
+            if delay >= remaining:
+                clock.advance(remaining)
+                raise DeadlineExceededError(
+                    policy.deadline_ms, clock.now_ms - start_ms, last=last
+                )
         clock.advance(delay)
         if on_retry is not None:
             on_retry(attempt, last, delay)

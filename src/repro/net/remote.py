@@ -30,10 +30,11 @@ from typing import Optional
 from repro.core.model import GroundCall
 from repro.core.terms import value_bytes
 from repro.domains.base import CallResult, Domain
-from repro.errors import SourceUnavailableError
+from repro.errors import ReproError, SourceUnavailableError
 from repro.metrics import MetricsRegistry
 from repro.net.clock import SimClock
 from repro.net.faults import FaultInjector, FaultSpec
+from repro.net.health import HealthRegistry
 from repro.net.sites import Site
 
 
@@ -47,6 +48,7 @@ class RemoteDomain:
         clock: Optional[SimClock] = None,
         faults: "FaultInjector | FaultSpec | None" = None,
         metrics: Optional[MetricsRegistry] = None,
+        health: Optional[HealthRegistry] = None,
     ):
         self.domain = domain
         self.site = site
@@ -55,6 +57,11 @@ class RemoteDomain:
             faults = FaultInjector(faults, metrics=metrics)
         self.faults = faults
         self.metrics = metrics
+        # when attached, every dial is gated by this source's circuit
+        # breaker and every outcome feeds its rolling health window
+        self.health = health
+        if health is not None:
+            health.bind(domain.name, site.name)
         self.fees_charged = 0.0
         self.calls_made = 0
         # concurrent runtime workers call through the same wrapper
@@ -73,8 +80,23 @@ class RemoteDomain:
             self.metrics.inc(name, amount)
 
     def execute(self, call: GroundCall) -> CallResult:
-        self._inc("net.attempts")
         now = self.clock.now_ms if self.clock is not None else 0.0
+        if self.health is not None:
+            # raises CircuitOpenError without touching the network — an
+            # open breaker must not count as a dial attempt
+            self.health.before_dial(self.domain.name, now, site=self.site.name)
+        self._inc("net.attempts")
+        try:
+            return self._execute_attempt(call, now)
+        except ReproError:
+            if self.health is not None:
+                self.health.record_failure(
+                    self.domain.name,
+                    self.clock.now_ms if self.clock is not None else now,
+                )
+            raise
+
+    def _execute_attempt(self, call: GroundCall, now: float) -> CallResult:
         outage = self.site.latency.outage_at(now)
         if outage is not None:
             self._inc("net.outage_refusals")
@@ -104,6 +126,12 @@ class RemoteDomain:
             if latency.fee_per_call:
                 self.metrics.inc("net.fees", latency.fee_per_call)
             self.metrics.observe("net.call_ms", t_all)
+        if self.health is not None:
+            self.health.record_success(
+                self.domain.name,
+                self.clock.now_ms if self.clock is not None else now,
+                latency_ms=t_all,
+            )
         return CallResult(
             call=call,
             answers=local.answers,

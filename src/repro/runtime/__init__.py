@@ -23,11 +23,17 @@ answer contract:
   early), and merges simulated time as the makespan over the configured
   worker count.
 
+* :mod:`repro.runtime.repair` — mid-query plan repair: when call steps
+  fail terminally, re-plan around the sick sources, re-route them
+  through the CIM, or return annotated partial answers
+  (:class:`Completeness`).
+
 See ``docs/RUNTIME.md`` for the scheduler model and the determinism
-guarantees.
+guarantees, and ``docs/HEALTH.md`` for the self-healing pipeline.
 """
 
 from repro.runtime.dag import PlanDag, StepNode, build_dag
+from repro.runtime.repair import Completeness, PlanRepairer
 from repro.runtime.scheduler import (
     CancellationToken,
     ParallelExecutor,
@@ -37,8 +43,10 @@ from repro.runtime.singleflight import SingleFlight
 
 __all__ = [
     "CancellationToken",
+    "Completeness",
     "ParallelExecutor",
     "PlanDag",
+    "PlanRepairer",
     "SingleFlight",
     "StepNode",
     "WorkerPool",

@@ -1,0 +1,177 @@
+"""Mid-query plan repair: re-plan around sources that just failed.
+
+The paper's motivation (§2) is blunt about it: sources "may be down or
+unreachable", and a mediator that answers *nothing* because one of five
+sources died is not mediating much.  PR 1 gave failing calls retries
+and stale-cache degradation; this module adds the planner to the
+recovery loop.  When a plan execution comes back with
+``missing_sources`` — call steps that failed terminally and were
+replaced by empty placeholders — the :class:`PlanRepairer`:
+
+1. asks the rewriter to **re-plan under an avoid-set**: every rewriting
+   that dials a sick source is dropped, so alternative rules (union
+   branches, equality-invariant substitutes over a different domain)
+   get their chance;
+2. if no avoiding rewriting exists, **re-routes the sick domains
+   through the CIM** so cached/stale answers stand in for the dead
+   source;
+3. failing both, returns the original **partial** answers, annotated.
+
+Every outcome carries a :class:`Completeness` annotation so callers —
+Mediator results, the CLI, the shell — can distinguish *complete*,
+*repaired* (complete answers obtained on an alternate route), and
+*partial* (``missing_sources=[...]``) without digging through
+provenance counters.
+
+Repair works at plan granularity: the failed run's surviving partial
+answers are discarded and the repaired plan re-runs from the top on the
+same simulated clock — re-execution time is charged honestly, so a
+repaired query is measurably slower than a healthy one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.plans import Plan
+from repro.errors import PlanningError, ReproError
+
+if TYPE_CHECKING:
+    from repro.core.executor import ExecutionResult
+    from repro.core.mediator import Mediator
+    from repro.core.model import Query
+
+#: Completeness.status values.
+STATUS_COMPLETE = "complete"
+STATUS_REPAIRED = "repaired"
+STATUS_PARTIAL = "partial"
+
+
+@dataclass(frozen=True)
+class Completeness:
+    """How complete a query's answers are, and what it took to get them.
+
+    ``complete`` — every call step succeeded on the originally chosen
+    plan.  ``repaired`` — the first attempt lost sources, but an
+    alternate plan (``repaired_via="replan"``) or a CIM re-route
+    (``repaired_via="cim"``) produced answers with nothing missing.
+    ``partial`` — sources in ``missing_sources`` stayed unreachable and
+    the answers that needed them are absent.
+    """
+
+    status: str = STATUS_COMPLETE
+    missing_sources: frozenset[str] = frozenset()
+    repair_attempts: int = 0
+    repaired_via: str = ""
+
+    @property
+    def is_partial(self) -> bool:
+        return self.status == STATUS_PARTIAL
+
+    def __str__(self) -> str:
+        if self.status == STATUS_COMPLETE:
+            return "complete"
+        if self.status == STATUS_REPAIRED:
+            via = f" via {self.repaired_via}" if self.repaired_via else ""
+            return (
+                f"repaired{via} after {self.repair_attempts} attempt(s)"
+            )
+        missing = ", ".join(sorted(self.missing_sources))
+        return f"partial (missing_sources=[{missing}])"
+
+    @staticmethod
+    def of(execution: "ExecutionResult") -> "Completeness":
+        """The annotation for an un-repaired execution."""
+        if execution.missing_sources:
+            return Completeness(
+                status=STATUS_PARTIAL,
+                missing_sources=frozenset(execution.missing_sources),
+            )
+        return Completeness()
+
+
+class PlanRepairer:
+    """Drives the re-plan / CIM-reroute / partial cascade for one query."""
+
+    def __init__(self, mediator: "Mediator", max_attempts: int = 2):
+        if max_attempts < 1:
+            raise ReproError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.mediator = mediator
+        self.max_attempts = max_attempts
+
+    def _inc(self, name: str) -> None:
+        self.mediator.metrics.inc(name)
+
+    def repair(
+        self,
+        query: "Query",
+        chosen: Plan,
+        execution: "ExecutionResult",
+        objective: str,
+        use_cim: object,
+        bindings: Optional[dict],
+        run_kwargs: dict,
+    ) -> tuple[Plan, "ExecutionResult", Completeness]:
+        """Recover from ``execution.missing_sources`` on plan ``chosen``.
+
+        Returns ``(plan, execution, completeness)`` for the best outcome
+        reached; the caller reports exactly what came back.
+        """
+        mediator = self.mediator
+        avoid: set[str] = set(execution.missing_sources)
+        attempts = 0
+        self._inc("health.repairs")
+
+        # 1. re-plan around the sick sources (alternate rules/orderings)
+        for _ in range(self.max_attempts):
+            attempts += 1
+            try:
+                plan = mediator.plan_avoiding(
+                    query,
+                    frozenset(avoid),
+                    objective=objective,
+                    use_cim=use_cim,
+                    bindings=bindings,
+                )
+            except PlanningError:
+                break  # nothing reaches the data without a sick source
+            self._inc("health.repair_replans")
+            retry = mediator.executor.run(plan, **run_kwargs)
+            if not retry.missing_sources:
+                self._inc("health.repair_successes")
+                return plan, retry, Completeness(
+                    status=STATUS_REPAIRED,
+                    repair_attempts=attempts,
+                    repaired_via="replan",
+                )
+            # the repaired plan lost different sources: extend the
+            # avoid-set and (maybe) go around again
+            chosen, execution = plan, retry
+            before = set(avoid)
+            avoid |= retry.missing_sources
+            if avoid == before:
+                break
+
+        # 2. serve the sick domains from the CIM (cached/stale answers)
+        attempts += 1
+        cim_plan = chosen.with_cim(set(avoid))
+        self._inc("health.repair_cim_reroutes")
+        retry = mediator.executor.run(cim_plan, **run_kwargs)
+        if not retry.missing_sources:
+            self._inc("health.repair_successes")
+            return cim_plan, retry, Completeness(
+                status=STATUS_REPAIRED,
+                repair_attempts=attempts,
+                repaired_via="cim",
+            )
+        if len(retry.missing_sources) < len(execution.missing_sources):
+            chosen, execution = cim_plan, retry
+
+        # 3. annotated partial answers
+        self._inc("health.partial_results")
+        return chosen, execution, Completeness(
+            status=STATUS_PARTIAL,
+            missing_sources=frozenset(execution.missing_sources),
+            repair_attempts=attempts,
+        )

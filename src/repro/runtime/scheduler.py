@@ -65,7 +65,7 @@ from repro.core.model import GroundCall
 from repro.core.plans import CallStep, Plan
 from repro.core.terms import Term, Value, Variable
 from repro.domains.base import CallResult
-from repro.errors import ExecutionCancelledError, ReproError
+from repro.errors import ErrorClass, ExecutionCancelledError, ReproError, classify
 from repro.metrics import MetricsRegistry
 from repro.net.clock import SimClock
 from repro.runtime.dag import build_dag
@@ -241,6 +241,9 @@ class _BranchExecutor(Executor):
             degrade_on_failure=source.degrade_on_failure,
             metrics=source.metrics,
             verify_plans=False,
+            health=source.health,
+            hedge_policy=source.hedge_policy,
+            partial_on_failure=source.partial_on_failure,
         )
         self.prefetch = prefetch
         self.flight = flight
@@ -276,6 +279,20 @@ class _BranchExecutor(Executor):
         cancelled = self.token.is_cancelled if self.token is not None else None
         result, _shared = self.flight.do(
             key, lambda: base_dispatch(call, via_cim, stats), cancelled=cancelled
+        )
+        return result
+
+    def _hedge_dispatch(self, call: GroundCall, via_cim: bool) -> CallResult:
+        # concurrent branches hedging the same slow call share one
+        # duplicate round trip; the salted key keeps the hedge distinct
+        # from the primary in-flight entry so it is a real second dial
+        if self.flight is None:
+            return super()._hedge_dispatch(call, via_cim)
+        cancelled = self.token.is_cancelled if self.token is not None else None
+        result, _shared = self.flight.do(
+            (call, via_cim, "hedge"),
+            lambda: self._dispatch_once(call, via_cim),
+            cancelled=cancelled,
         )
         return result
 
@@ -417,6 +434,8 @@ class ParallelExecutor(Executor):
             trace=tuple(stats.trace) if stats.trace is not None else (),
             retries=stats.retries,
             degraded_calls=stats.degraded,
+            hedged_calls=stats.hedges,
+            missing_sources=frozenset(stats.missing_sources),
         )
 
     # -- wave 0: concurrent root prefetch -------------------------------------
@@ -480,6 +499,9 @@ class ParallelExecutor(Executor):
             prefetch[key] = result
             stats.retries += task_stats.retries
             stats.degraded += task_stats.degraded
+            stats.hedges += task_stats.hedges
+            stats.hedge_wins += task_stats.hedge_wins
+            stats.missing_sources |= task_stats.missing_sources
             slot = min(range(self.jobs), key=worker_free.__getitem__)
             worker_free[slot] += charged_ms + result.t_all_ms
         if error is not None:
@@ -623,10 +645,10 @@ class ParallelExecutor(Executor):
                 submit_next()
             try:
                 outcome = futures.pop(index).result()
-            except ExecutionCancelledError:
-                cancelled_count += 1
-                continue
             except BaseException as exc:
+                if classify(exc) is ErrorClass.CANCELLED:
+                    cancelled_count += 1
+                    continue
                 # fail fast, like the sequential engine raising mid-loop
                 error = exc
                 token.cancel()
@@ -638,6 +660,9 @@ class ParallelExecutor(Executor):
             stats.calls += outcome.stats.calls
             stats.retries += outcome.stats.retries
             stats.degraded += outcome.stats.degraded
+            stats.hedges += outcome.stats.hedges
+            stats.hedge_wins += outcome.stats.hedge_wins
+            stats.missing_sources |= outcome.stats.missing_sources
             stats.incomplete_results += outcome.stats.incomplete_results
             provenance.update(outcome.provenance)
             if stats.trace is not None and outcome.trace:

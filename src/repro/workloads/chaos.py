@@ -1,0 +1,248 @@
+"""Chaos harness: seeded fault schedules over a redundant multi-site testbed.
+
+The self-healing pipeline (``docs/HEALTH.md``) makes a strong promise:
+under arbitrary source outages and latency storms, every query either
+completes, degrades to an *annotated* partial answer, or fails with a
+typed error — it never hangs, and a tripped breaker is never dialed.
+This module builds the worlds those properties are checked against
+(``tests/test_chaos.py``):
+
+* :func:`build_chaos_testbed` — ``relations`` source relations, each
+  served by a primary domain and (for the first ``backups`` relations)
+  a backup domain at a different site computing the *same* function, so
+  mid-query plan repair has genuine substitutes to reach for.
+* :class:`ChaosSource` — a controllable source: flip ``down`` to inject
+  a hard outage, set ``slow_ms`` to start a latency storm, arm
+  ``trip_after`` to make a healthy source start failing mid-wave.
+* :class:`ChaosSchedule` — a seeded per-wave draw of which sources are
+  down and which are storming, so chaos runs are reproducible.
+
+All chaos is injected at the *source function* layer (below the
+simulated network), so the breaker, hedging, and repair machinery see
+exactly what they would see from a real misbehaving site.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.core.mediator import Mediator
+from repro.domains.base import simple_domain
+from repro.errors import SourceUnavailableError
+from repro.net.health import HealthPolicy, HedgePolicy
+
+#: deterministic fanout of every chaos source function
+CHAOS_FANOUT = 2
+
+
+@dataclass
+class ChaosSource:
+    """One controllable source serving one relation.
+
+    The function is pure — ``value -> [value/rel.0, value/rel.1]`` — so
+    a primary and its backup return identical answers and repair parity
+    can be asserted as multiset equality.
+    """
+
+    name: str
+    relation: int
+    site: str
+    down: bool = False
+    slow_ms: float = 0.0
+    #: healthy for this many calls, then permanently down (mid-wave trip)
+    trip_after: Optional[int] = None
+    calls: int = 0
+
+    def __call__(self, value: object) -> object:
+        self.calls += 1
+        if self.trip_after is not None and self.calls > self.trip_after:
+            self.down = True
+        if self.down:
+            raise SourceUnavailableError(self.name, site=self.site)
+        answers = [
+            f"{value}/r{self.relation}.{j}" for j in range(CHAOS_FANOUT)
+        ]
+        if self.slow_ms > 0.0:
+            return answers, self.slow_ms, self.slow_ms
+        return answers
+
+
+@dataclass
+class ChaosTestbed:
+    """A wired mediator plus handles on every injectable source."""
+
+    mediator: Mediator
+    sources: dict[str, ChaosSource]
+    #: relation index -> names of the sources serving it (primary first)
+    serving: dict[int, tuple[str, ...]]
+    relations: int
+
+    def source_names(self) -> tuple[str, ...]:
+        return tuple(sorted(self.sources))
+
+    def set_down(self, down: frozenset[str]) -> None:
+        for name, source in self.sources.items():
+            source.down = name in down
+            source.trip_after = None
+
+    def set_storm(self, storming: frozenset[str], slow_ms: float) -> None:
+        for name, source in self.sources.items():
+            source.slow_ms = slow_ms if name in storming else 0.0
+
+    def heal(self) -> None:
+        """All sources up and calm.  Open breakers still need the clock
+        advanced past the cooldown before they will probe again."""
+        self.set_down(frozenset())
+        self.set_storm(frozenset(), 0.0)
+
+    def dead_relations(self, needed: tuple[int, ...]) -> frozenset[int]:
+        """Needed relations with *no* live serving source."""
+        return frozenset(
+            rel
+            for rel in needed
+            if all(self.sources[name].down for name in self.serving[rel])
+        )
+
+    def relation_of(self, source_name: str) -> int:
+        return self.sources[source_name].relation
+
+    def queries(self) -> tuple[tuple[str, tuple[int, ...]], ...]:
+        """Every (query text, needed relations) pair the program defines:
+        one single-relation query per relation plus all ordered chains."""
+        out: list[tuple[str, tuple[int, ...]]] = []
+        for i in range(self.relations):
+            out.append((f"?- q{i}('s', B).", (i,)))
+        for i in range(self.relations):
+            for j in range(self.relations):
+                out.append((f"?- top{i}_{j}('s', C).", (i, j)))
+        return tuple(out)
+
+    def expected_answers(self, needed: tuple[int, ...]) -> list[tuple[str]]:
+        """Ground truth for a healthy run of the query over ``needed``
+        (the source functions are pure, so this is just the chain)."""
+        values = ["s"]
+        for rel in needed:
+            values = [
+                f"{value}/r{rel}.{j}"
+                for value in values
+                for j in range(CHAOS_FANOUT)
+            ]
+        return [(value,) for value in values]
+
+
+_CHAOS_SITES = ("cornell", "bucknell", "maryland", "italy")
+
+
+def _wrap(source: ChaosSource):
+    # simple_domain reads arity off __code__.co_argcount, so the source
+    # object must be wrapped in a plain single-argument function
+    def call(value: object) -> object:
+        return source(value)
+
+    return call
+
+
+def build_chaos_testbed(
+    relations: int = 4,
+    backups: int = 2,
+    seed: int = 0,
+    jobs: int = 1,
+    health_policy: Optional[HealthPolicy] = None,
+    hedge_policy: Optional[HedgePolicy] = None,
+    repair: bool = True,
+) -> ChaosTestbed:
+    """Wire the chaos world: ``relations`` relations, primaries at
+    rotating sites, backups for the first ``backups`` relations, repair
+    and health tracking on by default."""
+    mediator = Mediator(
+        health_policy=(
+            health_policy if health_policy is not None else HealthPolicy()
+        ),
+        hedge_policy=hedge_policy,
+        repair=repair,
+    )
+    sources: dict[str, ChaosSource] = {}
+    serving: dict[int, tuple[str, ...]] = {}
+    rules: list[str] = []
+    for i in range(relations):
+        names: list[str] = []
+        copies = 2 if i < backups else 1
+        for copy in range(copies):
+            name = f"p{i}" if copy == 0 else f"b{i}"
+            site = _CHAOS_SITES[(i + copy) % len(_CHAOS_SITES)]
+            source = ChaosSource(name=name, relation=i, site=site)
+            sources[name] = source
+            names.append(name)
+            mediator.register_domain(
+                simple_domain(name, {f"r{i}": _wrap(source)}),
+                site=site,
+                seed=seed + i * 7 + copy,
+            )
+            rules.append(f"q{i}(A, B) :- in(B, {name}:r{i}(A)).")
+        serving[i] = tuple(names)
+    for i in range(relations):
+        for j in range(relations):
+            rules.append(f"top{i}_{j}(A, C) :- q{i}(A, M) & q{j}(M, C).")
+    mediator.load_program("\n".join(rules))
+    if jobs > 1:
+        mediator.set_jobs(jobs)
+    return ChaosTestbed(
+        mediator=mediator,
+        sources=sources,
+        serving=serving,
+        relations=relations,
+    )
+
+
+@dataclass(frozen=True)
+class ChaosWave:
+    """One wave of a chaos schedule: the injected world state."""
+
+    index: int
+    down: frozenset[str]
+    storming: frozenset[str]
+    slow_ms: float
+
+
+@dataclass
+class ChaosSchedule:
+    """A seeded stream of :class:`ChaosWave` draws.
+
+    Each wave independently downs up to ``max_down`` sources and puts up
+    to ``max_storm`` of the survivors into a latency storm.  Waves are
+    drawn from a private RNG, so a (seed, waves) pair names one exact
+    chaos run forever.
+    """
+
+    source_names: tuple[str, ...]
+    waves: int = 10
+    max_down: int = 2
+    max_storm: int = 1
+    slow_ms: float = 2000.0
+    seed: int = 0
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    def __iter__(self) -> Iterator[ChaosWave]:
+        for index in range(self.waves):
+            down = frozenset(
+                self._rng.sample(
+                    self.source_names,
+                    self._rng.randrange(self.max_down + 1),
+                )
+            )
+            calm = [name for name in self.source_names if name not in down]
+            storm_count = min(
+                self._rng.randrange(self.max_storm + 1), len(calm)
+            )
+            storming = frozenset(self._rng.sample(calm, storm_count))
+            yield ChaosWave(
+                index=index,
+                down=down,
+                storming=storming,
+                slow_ms=self.slow_ms,
+            )

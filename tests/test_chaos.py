@@ -1,0 +1,207 @@
+"""Chaos properties of the self-healing pipeline.
+
+The promise under test (docs/HEALTH.md): under arbitrary source outages
+and latency storms every query *terminates* — with full answers, with an
+annotated partial whose ``missing_sources`` names exactly the needed
+sources that were injected down, or with a typed ``ReproError`` — and a
+tripped breaker is never dialed while open.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+import pytest
+
+from repro.errors import ReproError
+from repro.net.health import BreakerState, HealthPolicy
+from repro.workloads.chaos import ChaosSchedule, build_chaos_testbed
+
+#: oversubscribe the hammer test via the environment (CI sets 16)
+STRESS_JOBS = int(os.environ.get("REPRO_STRESS_JOBS", "8"))
+
+
+def _relations_of(testbed, missing):
+    return frozenset(testbed.relation_of(name) for name in missing)
+
+
+def _first_dead(testbed, needed):
+    """The first needed relation (in dial order) with no live source —
+    partial-answer mode stops binding flow there, so that is the
+    relation the final execution's missing_sources must name."""
+    for rel in needed:
+        if rel in testbed.dead_relations(needed):
+            return rel
+    return None
+
+
+@pytest.mark.chaos
+def test_chaos_every_query_terminates_classified():
+    """>= 200 queries under a seeded outage/storm schedule: each one
+    completes, repairs, degrades to an exact annotated partial, or
+    raises a typed error — and open breakers get zero dials."""
+    testbed = build_chaos_testbed(relations=4, backups=2, seed=0)
+    mediator = testbed.mediator
+    policy = mediator.health.policy
+    schedule = ChaosSchedule(
+        source_names=testbed.source_names(),
+        waves=12,
+        max_down=2,
+        max_storm=1,
+        slow_ms=1500.0,
+        seed=7,
+    )
+    baseline_threads = threading.active_count()
+    ran = complete = repaired = partial = typed = 0
+    for wave in schedule:
+        testbed.set_down(wave.down)
+        testbed.set_storm(wave.storming, wave.slow_ms)
+        # let breakers opened in the previous wave reach their probe window
+        mediator.clock.advance(policy.cooldown_ms + 1.0)
+        for query_text, needed in testbed.queries():
+            dead = testbed.dead_relations(needed)
+            try:
+                result = mediator.query(query_text)
+            except ReproError:
+                typed += 1
+                ran += 1
+                continue
+            ran += 1
+            assert result.completeness is not None
+            status = result.completeness.status
+            if not dead:
+                # every needed relation had a live source: the run must
+                # end complete (possibly after repair) with the exact
+                # healthy answer multiset
+                assert status in ("complete", "repaired"), (
+                    f"{query_text} under down={sorted(wave.down)}: {status}"
+                )
+                assert sorted(result.answers) == sorted(
+                    testbed.expected_answers(needed)
+                )
+                complete += status == "complete"
+                repaired += status == "repaired"
+            else:
+                assert status == "partial"
+                partial += 1
+                missing = result.completeness.missing_sources
+                assert missing == result.missing_sources
+                # exactness: every missing source was injected down, and
+                # the relations they serve are exactly the dead prefix
+                assert all(testbed.sources[name].down for name in missing)
+                assert _relations_of(testbed, missing) == {
+                    _first_dead(testbed, needed)
+                }
+    assert ran >= 200
+    assert partial > 0 and (complete + repaired) > 0
+    # a breaker that is open must never be dialed
+    assert mediator.metrics.value("health.dials_while_open") == 0.0
+    # the run leaked no threads (sequential engine: none were created)
+    assert threading.active_count() == baseline_threads
+
+
+@pytest.mark.chaos
+def test_chaos_parallel_engine_matches_classification():
+    """The same chaos contract holds on the parallel engine."""
+    testbed = build_chaos_testbed(relations=3, backups=1, seed=3, jobs=4)
+    mediator = testbed.mediator
+    policy = mediator.health.policy
+    schedule = ChaosSchedule(
+        source_names=testbed.source_names(),
+        waves=6,
+        max_down=1,
+        max_storm=1,
+        slow_ms=800.0,
+        seed=11,
+    )
+    baseline_threads = threading.active_count()
+    for wave in schedule:
+        testbed.set_down(wave.down)
+        testbed.set_storm(wave.storming, wave.slow_ms)
+        mediator.clock.advance(policy.cooldown_ms + 1.0)
+        for query_text, needed in testbed.queries():
+            dead = testbed.dead_relations(needed)
+            result = mediator.query(query_text)
+            if not dead:
+                assert result.completeness.status in ("complete", "repaired")
+                assert sorted(result.answers) == sorted(
+                    testbed.expected_answers(needed)
+                )
+            else:
+                assert result.completeness.status == "partial"
+                assert all(
+                    testbed.sources[name].down
+                    for name in result.missing_sources
+                )
+    assert mediator.metrics.value("health.dials_while_open") == 0.0
+    # every per-run worker pool drained
+    assert threading.active_count() == baseline_threads
+
+
+@pytest.mark.chaos
+def test_open_breaker_gets_zero_dials():
+    """Once the breaker for a down source opens, further queries inside
+    the cooldown window never reach the source function at all."""
+    testbed = build_chaos_testbed(relations=3, backups=0, seed=5)
+    mediator = testbed.mediator
+    source = testbed.sources["p0"]
+    source.down = True
+    threshold = mediator.health.policy.consecutive_failure_threshold
+    # enough failing queries to trip CLOSED -> OPEN
+    for _ in range(threshold):
+        mediator.query("?- q0('s', B).")
+    assert mediator.health.state_of("p0") is BreakerState.OPEN
+    dials_when_open = source.calls
+    for _ in range(5):
+        result = mediator.query("?- q0('s', B).")
+        assert result.completeness.status == "partial"
+    assert source.calls == dials_when_open, "open breaker was dialed"
+    assert mediator.metrics.value("health.fast_failures") >= 5.0
+    assert mediator.metrics.value("health.dials_while_open") == 0.0
+    # after the cooldown the half-open probe readmits a healed source
+    source.down = False
+    mediator.clock.advance(mediator.health.policy.cooldown_ms + 1.0)
+    result = mediator.query("?- q0('s', B).")
+    assert result.completeness.status == "complete"
+    assert mediator.health.state_of("p0") is BreakerState.CLOSED
+
+
+@pytest.mark.chaos
+def test_hammer_site_trips_mid_wave_pool_drains():
+    """16-worker hammer: a healthy source starts failing mid-wave; the
+    breaker trips, no in-flight task dials it while open, cancellation
+    and the worker pool drain cleanly (thread count returns to
+    baseline), and every query still terminates classified."""
+    jobs = max(STRESS_JOBS, 16)
+    testbed = build_chaos_testbed(
+        relations=4,
+        backups=1,
+        seed=9,
+        jobs=jobs,
+        health_policy=HealthPolicy(
+            consecutive_failure_threshold=2, cooldown_ms=10_000.0
+        ),
+    )
+    mediator = testbed.mediator
+    victim = testbed.sources["p2"]
+    victim.trip_after = 2  # healthy twice, then hard down mid-wave
+    baseline_threads = threading.active_count()
+    statuses = []
+    for query_text, needed in testbed.queries():
+        if 2 not in needed:
+            continue  # hammer the victim's relation specifically
+        result = mediator.query(query_text)
+        assert result.completeness is not None
+        statuses.append(result.completeness.status)
+    # the victim tripped: later queries degrade to annotated partials
+    assert mediator.health.state_of("p2") is BreakerState.OPEN
+    assert statuses.count("partial") > 0
+    assert mediator.metrics.value("health.dials_while_open") == 0.0
+    # the victim was never dialed after its breaker opened: its call
+    # count stays put across the post-trip queries
+    calls_after = victim.calls
+    for _ in range(3):
+        mediator.query("?- q2('s', B).")
+    assert victim.calls == calls_after
+    assert threading.active_count() == baseline_threads

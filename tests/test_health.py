@@ -1,0 +1,346 @@
+"""Unit tests: breaker state machine, latency windows, error
+classification, avoid-set planning, hedging, and plan repair."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.mediator import Mediator
+from repro.core.parser import parse_query
+from repro.domains.base import simple_domain
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    ErrorClass,
+    ExecutionCancelledError,
+    PermanentSourceError,
+    PlanningError,
+    ReproError,
+    RetryExhaustedError,
+    SourceTimeoutError,
+    SourceUnavailableError,
+    TransientSourceError,
+    classify,
+    is_terminal_source_error,
+)
+from repro.net.health import (
+    BreakerState,
+    HealthPolicy,
+    HealthRegistry,
+    HedgePolicy,
+    SourceHealth,
+)
+
+POLICY = HealthPolicy(
+    window_size=8,
+    min_samples=4,
+    error_rate_threshold=0.5,
+    consecutive_failure_threshold=3,
+    cooldown_ms=100.0,
+)
+
+
+class TestHealthPolicy:
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            HealthPolicy(window_size=0)
+        with pytest.raises(ReproError):
+            HealthPolicy(min_samples=0)
+        with pytest.raises(ReproError):
+            HealthPolicy(error_rate_threshold=0.0)
+        with pytest.raises(ReproError):
+            HealthPolicy(error_rate_threshold=1.5)
+        with pytest.raises(ReproError):
+            HealthPolicy(consecutive_failure_threshold=0)
+        with pytest.raises(ReproError):
+            HealthPolicy(cooldown_ms=-1)
+        with pytest.raises(ReproError):
+            HedgePolicy(quantile=1.0)
+        with pytest.raises(ReproError):
+            HedgePolicy(min_samples=0)
+
+
+class TestBreaker:
+    def test_trips_on_consecutive_failures(self):
+        health = SourceHealth("d", "cornell", POLICY)
+        assert not health.record_failure(0.0)
+        assert not health.record_failure(1.0)
+        assert health.record_failure(2.0)  # third consecutive opens
+        assert health.state is BreakerState.OPEN
+
+    def test_trips_on_windowed_error_rate(self):
+        health = SourceHealth("d", "cornell", POLICY)
+        # alternate so consecutive never reaches 3, but the window is
+        # half errors once min_samples is met
+        health.record_success(0.0, 10.0)
+        health.record_failure(1.0)
+        health.record_success(2.0, 10.0)
+        opened = health.record_failure(3.0)
+        assert opened and health.state is BreakerState.OPEN
+        assert health.error_rate() == pytest.approx(0.5)
+
+    def test_open_refuses_dials_until_cooldown(self):
+        health = SourceHealth("d", "cornell", POLICY)
+        for i in range(3):
+            health.record_failure(float(i))
+        with pytest.raises(CircuitOpenError) as excinfo:
+            health.before_dial(50.0)
+        assert excinfo.value.until_ms == pytest.approx(102.0)
+        assert health.fast_failures == 1
+        # cooldown elapsed: the next dial is the half-open probe
+        health.before_dial(102.0)
+        assert health.state is BreakerState.HALF_OPEN
+
+    def test_half_open_admits_one_probe(self):
+        health = SourceHealth("d", "cornell", POLICY)
+        for i in range(3):
+            health.record_failure(float(i))
+        health.before_dial(200.0)  # the probe
+        with pytest.raises(CircuitOpenError):
+            health.before_dial(200.0)  # a second concurrent dial
+
+    def test_probe_success_closes(self):
+        health = SourceHealth("d", "cornell", POLICY)
+        for i in range(3):
+            health.record_failure(float(i))
+        health.before_dial(200.0)
+        assert health.record_success(210.0, 10.0)
+        assert health.state is BreakerState.CLOSED
+        assert health.closes == 1
+        # the poisoned window was cleared: one more failure won't trip
+        # via error rate
+        assert not health.record_failure(220.0)
+
+    def test_probe_failure_reopens_and_restarts_cooldown(self):
+        health = SourceHealth("d", "cornell", POLICY)
+        for i in range(3):
+            health.record_failure(float(i))
+        health.before_dial(200.0)
+        assert health.record_failure(210.0)
+        assert health.state is BreakerState.OPEN
+        assert health.opens == 2
+        with pytest.raises(CircuitOpenError) as excinfo:
+            health.before_dial(300.0)  # only 90ms into the new cooldown
+        assert excinfo.value.until_ms == pytest.approx(310.0)
+
+
+class TestWindows:
+    def test_latency_quantile_nearest_rank(self):
+        health = SourceHealth("d", "", HealthPolicy(window_size=16))
+        for latency in (10.0, 20.0, 30.0, 40.0):
+            health.record_success(0.0, latency)
+        assert health.latency_quantile(0.5) == 30.0
+        assert health.latency_quantile(0.95) == 40.0
+        empty = SourceHealth("e", "", POLICY)
+        assert empty.latency_quantile(0.5) is None
+
+    def test_window_evicts_old_outcomes(self):
+        health = SourceHealth("d", "", HealthPolicy(window_size=4))
+        for i in range(4):
+            health.record_failure(float(i))  # trips at 3
+        for i in range(8):
+            health.record_success(10.0 + i, 5.0)
+        assert health.error_rate() == 0.0
+        assert health.samples == 4
+
+    def test_registry_hedge_threshold_needs_samples(self):
+        registry = HealthRegistry(POLICY)
+        registry.bind("d", "cornell")
+        hedge = HedgePolicy(quantile=0.5, min_samples=3)
+        assert registry.hedge_threshold_ms("d", hedge) is None
+        for latency in (10.0, 20.0, 30.0):
+            registry.record_success("d", 0.0, latency)
+        assert registry.hedge_threshold_ms("d", hedge) == 20.0
+        assert registry.hedge_threshold_ms("unknown", hedge) is None
+
+    def test_registry_render_and_snapshot(self):
+        registry = HealthRegistry(POLICY)
+        registry.bind("d", "cornell")
+        registry.record_success("d", 0.0, 12.0)
+        [row] = registry.snapshot()
+        assert row["domain"] == "d" and row["state"] == "closed"
+        assert row["p50_ms"] == 12.0
+        text = registry.render()
+        assert "d @ cornell: closed" in text
+        assert HealthRegistry(POLICY).render() == "health: no sources tracked"
+
+
+class TestClassify:
+    """The single shared exception-classification ladder (repro.errors)."""
+
+    def test_ladder(self):
+        cases = [
+            (CircuitOpenError("d"), ErrorClass.CIRCUIT_OPEN),
+            (SourceUnavailableError("d"), ErrorClass.OUTAGE),
+            (TransientSourceError("d"), ErrorClass.TRANSIENT),
+            (SourceTimeoutError("d"), ErrorClass.TRANSIENT),
+            (PermanentSourceError("d"), ErrorClass.PERMANENT),
+            (RetryExhaustedError(3), ErrorClass.EXHAUSTED),
+            (DeadlineExceededError(100, 120), ErrorClass.EXHAUSTED),
+            (ExecutionCancelledError("stop"), ErrorClass.CANCELLED),
+            (ReproError("other"), ErrorClass.OTHER),
+            (ValueError("not ours"), ErrorClass.OTHER),
+        ]
+        for error, expected in cases:
+            assert classify(error) is expected, error
+
+    def test_terminal_source_errors(self):
+        assert is_terminal_source_error(CircuitOpenError("d"))
+        assert is_terminal_source_error(SourceUnavailableError("d"))
+        assert is_terminal_source_error(PermanentSourceError("d"))
+        assert is_terminal_source_error(RetryExhaustedError(2))
+        assert not is_terminal_source_error(TransientSourceError("d"))
+        assert not is_terminal_source_error(ExecutionCancelledError("x"))
+
+
+def _two_route_mediator(**kwargs) -> Mediator:
+    """r served by two domains (alpha, beta) with identical answers."""
+    mediator = Mediator(**kwargs)
+    mediator.register_domain(
+        simple_domain("alpha", {"r": lambda v: [f"{v}.a"]}), site="cornell"
+    )
+    mediator.register_domain(
+        simple_domain("beta", {"r": lambda v: [f"{v}.a"]}), site="bucknell"
+    )
+    mediator.load_program(
+        """
+        q(A, B) :- in(B, alpha:r(A)).
+        q(A, B) :- in(B, beta:r(A)).
+        """
+    )
+    return mediator
+
+
+class TestAvoidDomains:
+    def test_plans_filter_avoided_domain(self):
+        mediator = _two_route_mediator()
+        rewriter = mediator.rewriter
+        query = parse_query("?- q('s', B).")
+        all_plans = rewriter.plans(query)
+        assert len(all_plans) == 2
+        avoiding = rewriter.plans(query, avoid_domains=frozenset({"alpha"}))
+        assert len(avoiding) == 1
+        domains = {
+            step.call.domain
+            for plan in avoiding
+            for step in plan.steps
+            if hasattr(step, "call")
+        }
+        assert "alpha" not in domains
+
+    def test_all_routes_avoided_is_planning_error(self):
+        mediator = _two_route_mediator()
+        query = parse_query("?- q('s', B).")
+        with pytest.raises(PlanningError):
+            mediator.rewriter.plans(
+                query, avoid_domains=frozenset({"alpha", "beta"})
+            )
+
+    def test_mediator_plan_avoiding(self):
+        mediator = _two_route_mediator()
+        plan = mediator.plan_avoiding("?- q('s', B).", frozenset({"alpha"}))
+        assert "beta" in str(plan)
+
+
+class TestRepair:
+    def test_repair_via_cim_when_no_alternate_rule(self):
+        """Replan cannot avoid the only route; the CIM re-route serves
+        the cached answers and the result is repaired, not partial."""
+        calls = {"n": 0, "down": False}
+
+        def impl(v):
+            calls["n"] += 1
+            if calls["down"]:
+                raise SourceUnavailableError("solo", site="cornell")
+            return [f"{v}.x"]
+
+        mediator = Mediator(health_policy=HealthPolicy(), repair=True)
+        # stale-degradation (PR 1) would answer in place before repair
+        # ever runs; turn it off so the CIM re-route path is exercised
+        mediator.executor.degrade_on_failure = False
+        mediator.register_domain(
+            simple_domain("solo", {"r": impl}), site="cornell"
+        )
+        mediator.load_program("q(A, B) :- in(B, solo:r(A)).")
+        warm = mediator.query("?- q('s', B).", use_cim=True)  # populate CIM
+        calls["down"] = True
+        repaired = mediator.query("?- q('s', B).")
+        assert repaired.completeness.status == "repaired"
+        assert repaired.completeness.repaired_via == "cim"
+        assert sorted(repaired.answers) == sorted(warm.answers)
+        assert mediator.metrics.value("health.repair_cim_reroutes") == 1.0
+
+    def test_repair_metrics_and_annotation_on_partial(self):
+        mediator = Mediator(health_policy=HealthPolicy(), repair=True)
+
+        def impl(v):
+            raise SourceUnavailableError("solo", site="cornell")
+
+        mediator.register_domain(
+            simple_domain("solo", {"r": impl}), site="cornell"
+        )
+        mediator.load_program("q(A, B) :- in(B, solo:r(A)).")
+        result = mediator.query("?- q('s', B).")
+        assert result.completeness.is_partial
+        assert result.missing_sources == frozenset({"solo"})
+        assert "partial (missing_sources=[solo])" in str(result)
+        assert mediator.metrics.value("health.partial_results") == 1.0
+        assert mediator.metrics.value("mediator.partial_queries") == 1.0
+
+    def test_completeness_str(self):
+        from repro.runtime.repair import Completeness
+
+        assert str(Completeness()) == "complete"
+        assert (
+            str(Completeness(status="repaired", repair_attempts=2, repaired_via="cim"))
+            == "repaired via cim after 2 attempt(s)"
+        )
+        assert (
+            str(Completeness(status="partial", missing_sources=frozenset({"b", "a"})))
+            == "partial (missing_sources=[a, b])"
+        )
+
+
+class TestHedging:
+    def test_hedge_wins_against_latency_spike(self):
+        """A bimodal source: every 5th call stalls.  Once the latency
+        window is warm, the stalled primary is hedged and the fast
+        duplicate's timeline wins."""
+        calls = {"n": 0}
+
+        def impl(v):
+            calls["n"] += 1
+            slow = calls["n"] % 5 == 0
+            return ([f"{v}.x"], 2_000.0, 2_000.0) if slow else ([f"{v}.x"], 10.0, 10.0)
+
+        mediator = Mediator(
+            health_policy=HealthPolicy(),
+            hedge_policy=HedgePolicy(quantile=0.5, min_samples=4),
+        )
+        mediator.register_domain(
+            simple_domain("bi", {"r": impl}), site="maryland"
+        )
+        mediator.load_program("q(A, B) :- in(B, bi:r(A)).")
+        durations = []
+        for i in range(10):
+            result = mediator.query(f"?- q('s{i}', B).")
+            durations.append(result.t_all_ms)
+        assert mediator.metrics.value("health.hedges") >= 1.0
+        assert mediator.metrics.value("health.hedge_wins") >= 1.0
+        assert mediator.metrics.value("mediator.hedged_queries") >= 1.0
+        # the slow mode never reaches the user once hedging is warm
+        assert max(durations) < 2_000.0
+
+    def test_no_hedge_below_threshold(self):
+        mediator = Mediator(
+            health_policy=HealthPolicy(),
+            hedge_policy=HedgePolicy(quantile=0.5, min_samples=4),
+        )
+        mediator.register_domain(
+            simple_domain("flat", {"r": lambda v: ([f"{v}.x"], 10.0, 10.0)}),
+            site="maryland",
+        )
+        mediator.load_program("q(A, B) :- in(B, flat:r(A)).")
+        for i in range(8):
+            mediator.query(f"?- q('s{i}', B).")
+        assert mediator.metrics.value("health.hedges") == 0.0

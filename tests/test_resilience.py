@@ -189,6 +189,25 @@ class TestRunWithRetry:
         assert excinfo.value.deadline_ms == 100
         assert clock.now_ms == pytest.approx(100.0)  # never waits past deadline
 
+    def test_deadline_shorter_than_first_backoff_charges_deadline_exactly(self):
+        """Edge: deadline_ms < base_backoff_ms.  The first backoff would
+        overshoot the deadline, so the clock must be charged only up to
+        the deadline — never the full backoff — before the typed error."""
+        clock = SimClock()
+        fn, state = self.flaky_fn(failures=99)
+        policy = RetryPolicy(
+            max_attempts=10,
+            base_backoff_ms=500,
+            jitter=0.0,
+            deadline_ms=120,
+            retry_outages=True,
+        )
+        with pytest.raises(DeadlineExceededError) as excinfo:
+            run_with_retry(fn, policy, clock)
+        assert excinfo.value.deadline_ms == 120
+        assert state["calls"] == 1  # no second dial fits inside the deadline
+        assert clock.now_ms == pytest.approx(120.0)  # charged to the deadline, not 500ms
+
     def test_non_retryable_passes_through(self):
         clock = SimClock()
         calls = []
