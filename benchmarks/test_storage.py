@@ -1,0 +1,150 @@
+"""Storage benchmark: warm-restart payoff and cost-aware eviction.
+
+Two claims from docs/STORAGE.md are measured here and written to
+``BENCH_storage.json`` at the repo root:
+
+* **Warm restart pays.**  A mediator that reloads its persisted CIM
+  entries, DCSM statistics, and plan templates from a SQLite backend
+  answers a repeated workload at a strictly higher cache hit rate than
+  the cold run that populated it — with the same answers.
+* **Cost-aware eviction keeps the right entries.**  Under a byte budget,
+  the ``cost`` policy (recompute cost x hit frequency per byte) retains
+  the expensive, frequently-hit entries that plain LRU throws away.
+
+Simulated milliseconds throughout; real wall time is bookkeeping.
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+from repro.cim.cache import POLICY_COST, POLICY_LRU, ResultCache
+from repro.core.model import GroundCall
+from repro.core.terms import value_bytes
+from repro.storage.evictor import CostFrequencyEvictor
+from repro.workloads.datasets import build_rope_testbed
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_storage.json"
+
+#: the repeated rope workload (each shape runs twice per session, so a
+#: cold session still ends with some intra-session hits)
+WORKLOAD = (
+    "?- actors(A).",
+    "?- objects(4, 47, O).",
+    "?- objects(4, 127, O).",
+    "?- actors(A).",
+    "?- objects(4, 47, O).",
+    "?- objects(4, 127, O).",
+)
+
+
+def _run_session(storage: str, warm_start: bool) -> dict:
+    mediator = build_rope_testbed(storage=storage, warm_start=warm_start)
+    answers = []
+    for query in WORKLOAD:
+        answers.append(sorted(mediator.query(query, use_cim=True).execution.answers))
+    stats = mediator.cim.cache.stats
+    session = {
+        "warm_start": warm_start,
+        "queries": len(WORKLOAD),
+        "lookups": stats.lookups,
+        "exact_hits": stats.exact_hits,
+        "hit_rate": stats.hit_rate,
+        "real_calls": mediator.cim.stats.real_calls,
+        "simulated_ms": mediator.clock.now_ms,
+        "plan_cache_hits": mediator.metrics.value("planner.plan_cache_hits"),
+        "entries_loaded": mediator.metrics.value(
+            "storage.warm_start.entries_loaded"
+        ),
+        "answers": answers,
+    }
+    mediator.close()
+    return session
+
+
+def _run_warm_restart() -> dict:
+    with tempfile.TemporaryDirectory() as tmp:
+        storage = f"sqlite:{tmp}/bench.db"
+        cold = _run_session(storage, warm_start=False)
+        warm = _run_session(storage, warm_start=True)
+    return {"backend": "sqlite", "cold": cold, "warm": warm}
+
+
+def _run_eviction(policy: str) -> dict:
+    """A skewed workload over a byte-budgeted cache.
+
+    8 "dear" calls (recompute cost 500 simulated ms) are re-read at the
+    start of every round; each round then streams a *burst* of 24 cheap
+    one-shot calls (cost 1) through a budget that only holds 16 entries.
+    A recency policy forgets the hot set during every burst; the
+    cost-aware policy keeps it (recompute cost x hits dominates).
+    """
+    costs = {"dear": 500.0, "cheap": 1.0}
+    entry_bytes = value_bytes("x" * 32)
+    cache = ResultCache(
+        max_bytes=16 * entry_bytes,
+        policy=policy,
+        evictor=(
+            CostFrequencyEvictor(lambda call: costs[call.function])
+            if policy == POLICY_COST
+            else None
+        ),
+    )
+    dear = [GroundCall("d", "dear", (i,)) for i in range(8)]
+    now = 0.0
+    for call in dear:
+        cache.put(call, ("x" * 32,), now_ms=now)
+        now += 1.0
+    hot_hits = 0
+    for round_number in range(6):
+        for call in dear:  # the hot set earns its hits
+            if cache.get(call, now_ms=now) is not None:
+                hot_hits += 1
+            now += 1.0
+        for i in range(24):  # a burst wider than the whole budget
+            cheap = GroundCall("d", "cheap", (round_number * 24 + i,))
+            cache.put(cheap, ("x" * 32,), now_ms=now)
+            now += 1.0
+    retained_dear = sum(1 for call in dear if cache.peek(call, now_ms=now))
+    return {
+        "hot_hits": hot_hits,
+        "policy": policy,
+        "dear_entries": len(dear),
+        "retained_dear": retained_dear,
+        "evictions": cache.stats.evictions,
+        "entries": len(cache),
+    }
+
+
+class TestStorageBenchmark:
+    def test_warm_restart_beats_cold_and_eviction_keeps_value(self, once):
+        results = once(
+            lambda: {
+                "warm_restart": _run_warm_restart(),
+                "eviction": {
+                    "cost": _run_eviction(POLICY_COST),
+                    "lru": _run_eviction(POLICY_LRU),
+                },
+            }
+        )
+        restart = results["warm_restart"]
+        restart["hit_rate_gain"] = (
+            restart["warm"]["hit_rate"] - restart["cold"]["hit_rate"]
+        )
+        RESULTS_PATH.write_text(json.dumps(results, indent=2))
+        # acceptance gate: the warm session's hit rate is strictly higher
+        assert restart["warm"]["entries_loaded"] > 0
+        assert restart["warm"]["hit_rate"] > restart["cold"]["hit_rate"], (
+            f"warm hit rate {restart['warm']['hit_rate']:.2f} vs "
+            f"cold {restart['cold']['hit_rate']:.2f}"
+        )
+        # answer parity: the warm session serves the same answer sets
+        assert restart["warm"]["answers"] == restart["cold"]["answers"]
+        assert restart["warm"]["real_calls"] == 0
+        # acceptance gate: cost-aware eviction retains the high
+        # (cost x frequency) entries that LRU streams away
+        eviction = results["eviction"]
+        assert eviction["cost"]["retained_dear"] == eviction["cost"]["dear_entries"]
+        assert (
+            eviction["cost"]["retained_dear"] > eviction["lru"]["retained_dear"]
+        )

@@ -3,8 +3,16 @@
 Entries are indexed two ways: by the full ground call (exact lookup) and
 by ``domain:function`` (the invariant matcher scans only the entries that
 could possibly match a candidate call).  The cache supports bounded
-capacity in entries and/or bytes with LRU or LFU eviction, and optional
-TTL expiry against the simulated clock.
+capacity in entries and/or bytes with LRU, LFU, or cost-aware eviction
+(``"cost"``: score = DCSM-estimated recompute cost x hit frequency per
+byte, see :class:`repro.storage.evictor.CostFrequencyEvictor`), and
+optional TTL expiry against the simulated clock.
+
+With a :class:`~repro.storage.backend.StorageBackend` attached, every
+mutation writes through to the backend's ``"cim"`` store (memory stays
+the authoritative read path — lookups never touch the backend), and
+:meth:`load_from_backend` restores a previous session's entries for warm
+restart.
 
 All public operations take an internal re-entrant lock: the parallel
 runtime's workers hit one shared cache concurrently, and the two indexes
@@ -16,14 +24,20 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Iterator, Optional
+from typing import TYPE_CHECKING, Iterator, Optional
 
 from repro.core.model import GroundCall
 from repro.core.terms import Value, value_bytes
-from repro.errors import CacheError
+from repro.errors import CacheError, StorageError
+
+if TYPE_CHECKING:
+    from repro.metrics import MetricsRegistry
+    from repro.storage.backend import StorageBackend
+    from repro.storage.evictor import CostFrequencyEvictor
 
 POLICY_LRU = "lru"
 POLICY_LFU = "lfu"
+POLICY_COST = "cost"
 
 
 @dataclass
@@ -68,8 +82,12 @@ class ResultCache:
         max_bytes: Optional[int] = None,
         policy: str = POLICY_LRU,
         ttl_ms: Optional[float] = None,
+        evictor: "Optional[CostFrequencyEvictor]" = None,
+        backend: "Optional[StorageBackend]" = None,
+        store: str = "cim",
+        metrics: "Optional[MetricsRegistry]" = None,
     ):
-        if policy not in (POLICY_LRU, POLICY_LFU):
+        if policy not in (POLICY_LRU, POLICY_LFU, POLICY_COST):
             raise CacheError(f"unknown eviction policy {policy!r}")
         if max_entries is not None and max_entries < 1:
             raise CacheError("max_entries must be at least 1")
@@ -79,6 +97,16 @@ class ResultCache:
         self.max_bytes = max_bytes
         self.policy = policy
         self.ttl_ms = ttl_ms
+        if policy == POLICY_COST and evictor is None:
+            from repro.storage.evictor import CostFrequencyEvictor
+
+            evictor = CostFrequencyEvictor()
+        self.evictor = evictor
+        self.backend = backend
+        self.store = store
+        self.metrics = metrics
+        # suppressed while load_from_backend re-inserts restored entries
+        self._mirror = True
         self.stats = CacheStats()
         self._entries: "OrderedDict[GroundCall, CacheEntry]" = OrderedDict()
         # secondary index keyed by (domain, function) tuples: lookup and
@@ -166,6 +194,7 @@ class ResultCache:
             self._by_function.setdefault((call.domain, call.function), {})[call] = entry
             self._total_bytes += answer_bytes
             self.stats.insertions += 1
+            self._backend_put(entry)
             self._evict(now_ms, protect=call)
             return entry
 
@@ -207,6 +236,9 @@ class ResultCache:
 
     def clear(self) -> None:
         with self._lock:
+            if self.backend is not None and self._mirror:
+                for key, __ in list(self.backend.scan_prefix(self.store, "")):
+                    self.backend.delete(self.store, key)
             self._entries.clear()
             self._by_function.clear()
             self._stale.clear()
@@ -242,6 +274,93 @@ class ResultCache:
     def total_bytes(self) -> int:
         return self._total_bytes
 
+    # -- storage backend (persistence) ---------------------------------------------
+
+    def attach_backend(
+        self,
+        backend: "StorageBackend",
+        store: str = "cim",
+        metrics: "Optional[MetricsRegistry]" = None,
+    ) -> None:
+        """Start mirroring mutations into ``backend`` (from now on)."""
+        with self._lock:
+            self.backend = backend
+            self.store = store
+            if metrics is not None:
+                self.metrics = metrics
+
+    def load_from_backend(self, now_ms: float = 0.0) -> int:
+        """Warm restart: re-insert every entry persisted in the backend.
+
+        Entries go through the normal ``put`` path (capacity limits and
+        eviction apply) with backend mirroring suspended, so a load never
+        rewrites what it reads.  Records that fail to decode are dropped
+        from the backend rather than replayed.  Returns the number of
+        entries restored.
+        """
+        if self.backend is None:
+            raise StorageError("no storage backend attached")
+        from repro.cim.codec import decode_entry
+
+        records = list(self.backend.scan_prefix(self.store, ""))
+        count = 0
+        with self._lock:
+            self._mirror = False
+            try:
+                for key, data in records:
+                    try:
+                        fields = decode_entry(data)
+                    except Exception:
+                        self.backend.delete(self.store, key)
+                        continue
+                    entry = self.put(
+                        fields["call"],
+                        fields["answers"],
+                        now_ms=fields["stored_at_ms"],
+                        complete=fields["complete"],
+                    )
+                    entry.hits = fields["hits"]
+                    count += 1
+            finally:
+                self._mirror = True
+        return count
+
+    def sync_backend(self) -> int:
+        """Re-write every live entry to the backend (captures hit counts
+        accumulated since the entries were first mirrored); returns the
+        number written.  Call before :meth:`StorageBackend.flush`."""
+        if self.backend is None:
+            return 0
+        with self._lock:
+            entries = list(self._entries.values())
+            for entry in entries:
+                self._backend_put(entry)
+        return len(entries)
+
+    def _backend_put(self, entry: CacheEntry) -> None:
+        if self.backend is None or not self._mirror:
+            return
+        from repro.cim.codec import call_key, encode_entry
+
+        self.backend.put(
+            self.store,
+            call_key(entry.call),
+            encode_entry(
+                entry.call,
+                entry.answers,
+                entry.complete,
+                entry.stored_at_ms,
+                entry.hits,
+            ),
+        )
+
+    def _backend_delete(self, call: GroundCall) -> None:
+        if self.backend is None or not self._mirror:
+            return
+        from repro.cim.codec import call_key
+
+        self.backend.delete(self.store, call_key(call))
+
     # -- internals -----------------------------------------------------------------
 
     def _expired(self, entry: CacheEntry, now_ms: float) -> bool:
@@ -263,6 +382,7 @@ class ResultCache:
             bucket.pop(call, None)
             if not bucket:
                 del self._by_function[key]
+        self._backend_delete(call)
 
     def _evict(self, now_ms: float, protect: Optional[GroundCall] = None) -> None:
         def over_capacity() -> bool:
@@ -278,6 +398,8 @@ class ResultCache:
                 break
             self._remove(victim)
             self.stats.evictions += 1
+            if self.metrics is not None:
+                self.metrics.inc("storage.evictions")
 
     def _pick_victim(self, protect: Optional[GroundCall]) -> Optional[GroundCall]:
         if self.policy == POLICY_LRU:
@@ -285,8 +407,23 @@ class ResultCache:
                 if call != protect:
                     return call
             return None
+        if self.policy == POLICY_COST:
+            # cost-aware: discard the entry with the lowest benefit
+            # density (recompute cost x hit frequency per byte); ties
+            # break by age via iteration order
+            assert self.evictor is not None
+            victim: Optional[GroundCall] = None
+            lowest: Optional[float] = None
+            for call, entry in self._entries.items():
+                if call == protect:
+                    continue
+                score = self.evictor.score(entry)
+                if lowest is None or score < lowest:
+                    lowest = score
+                    victim = call
+            return victim
         # LFU: fewest hits, ties broken by age (iteration order)
-        victim: Optional[GroundCall] = None
+        victim = None
         fewest = None
         for call, entry in self._entries.items():
             if call == protect:

@@ -1,0 +1,70 @@
+"""Byte-level codec for CIM cache entries stored in a backend.
+
+One cache entry becomes one backend record under the key
+``"{domain}:{function}:{json(args)}"`` — the ``domain:function`` lead
+is the sharding prefix (:func:`repro.storage.backend.shard_prefix`), the
+JSON-encoded argument vector makes the key exact and stable.  Values are
+versioned JSON so a format change is detected, not mis-read.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.model import GroundCall
+from repro.core.terms import Value
+from repro.errors import StorageError
+from repro.serialization import decode_value, encode_value
+
+ENTRY_VERSION = 1
+
+
+def call_key(call: GroundCall) -> str:
+    """The backend key of one ground call (deterministic, exact)."""
+    args = json.dumps(
+        [encode_value(arg) for arg in call.args],
+        separators=(",", ":"),
+        ensure_ascii=False,
+    )
+    return f"{call.domain}:{call.function}:{args}"
+
+
+def encode_entry(
+    call: GroundCall,
+    answers: tuple[Value, ...],
+    complete: bool,
+    stored_at_ms: float,
+    hits: int,
+) -> bytes:
+    payload = {
+        "version": ENTRY_VERSION,
+        "domain": call.domain,
+        "function": call.function,
+        "args": [encode_value(arg) for arg in call.args],
+        "answers": [encode_value(answer) for answer in answers],
+        "complete": complete,
+        "stored_at_ms": stored_at_ms,
+        "hits": hits,
+    }
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8")
+
+
+def decode_entry(data: bytes) -> dict[str, Any]:
+    """Inverse of :func:`encode_entry`; raises on unknown versions."""
+    payload = json.loads(data)
+    if payload.get("version") != ENTRY_VERSION:
+        raise StorageError(
+            f"unsupported CIM entry version {payload.get('version')!r}"
+        )
+    return {
+        "call": GroundCall(
+            payload["domain"],
+            payload["function"],
+            tuple(decode_value(arg) for arg in payload["args"]),
+        ),
+        "answers": tuple(decode_value(answer) for answer in payload["answers"]),
+        "complete": bool(payload["complete"]),
+        "stored_at_ms": float(payload["stored_at_ms"]),
+        "hits": int(payload["hits"]),
+    }

@@ -4,6 +4,13 @@ A warm cache is valuable across mediator sessions (the paper's whole
 point is that source calls are expensive); this module snapshots cache
 entries to versioned JSON and restores them.  Eviction configuration is
 not persisted — it belongs to the cache you load into.
+
+Snapshots are written with the temp-file + ``os.replace`` discipline
+(:func:`repro.storage.backend.atomic_write_bytes`): a crash mid-write
+leaves the previous snapshot intact instead of a torn file.
+
+For continuous (per-mutation) persistence and warm restart, attach a
+storage backend to the cache instead — see :mod:`repro.storage`.
 """
 
 from __future__ import annotations
@@ -15,12 +22,13 @@ from typing import Union
 from repro.cim.cache import ResultCache
 from repro.errors import ReproError
 from repro.serialization import decode_call, decode_value, encode_call, encode_value
+from repro.storage.backend import atomic_write_bytes
 
 FORMAT_VERSION = 1
 
 
 def save_cache(cache: ResultCache, path: Union[str, Path]) -> int:
-    """Snapshot every live entry; returns the count written."""
+    """Snapshot every live entry (atomically); returns the count written."""
     entries = []
     for entry in cache:
         entries.append(
@@ -33,8 +41,7 @@ def save_cache(cache: ResultCache, path: Union[str, Path]) -> int:
             }
         )
     payload = {"version": FORMAT_VERSION, "entries": entries}
-    with open(path, "w") as handle:
-        json.dump(payload, handle)
+    atomic_write_bytes(path, json.dumps(payload).encode("utf-8"))
     return len(entries)
 
 

@@ -12,6 +12,7 @@ Commands (everything else is parsed as a rule or a query):
     :explain ?- q(...).       plans + cost estimates
     :cim on|off               route queries through the cache manager
     :jobs N                   run queries with N parallel workers (1 = sequential)
+    :storage [flush]          cache storage backend summary; 'flush' persists now
     :validate                 static checks of rules vs registered domains
     :stats                    DCSM / CIM / planner / runtime / health counters
     :health                   per-source breaker state, error rate, latency quantiles
@@ -28,7 +29,8 @@ program.
 There are also non-interactive subcommands::
 
     python -m repro stats [--demo NAME] [--cim] [--flaky RATE] [--jobs N]
-                          [--health] [QUERY ...]
+                          [--health] [--storage SPEC] [--warm-start]
+                          [QUERY ...]
 
 which loads a demo testbed, runs the given queries (``?- ...`` strings),
 and prints the end-to-end metrics report — clock, DCSM, CIM, and every
@@ -40,7 +42,11 @@ N`` runs the queries on the parallel execution engine with N workers
 (see ``docs/RUNTIME.md``), so the report includes the ``runtime.*``
 scheduler counters.  ``--health`` turns on source-health tracking
 (circuit breakers + latency windows, ``docs/HEALTH.md``) and adds a
-per-source health table to the report.
+per-source health table to the report.  ``--storage SPEC`` mirrors the
+caches through a persistent backend (``sqlite:PATH``, ``sharded:DIR``,
+see ``docs/STORAGE.md``) and flushes it before the report; with
+``--warm-start`` the previous run's cached results, statistics, and plan
+templates are reloaded first.
 
 ::
 
@@ -68,18 +74,18 @@ from repro.errors import ReproError
 _HELP = __doc__.split("Commands", 1)[1]
 
 
-def _build_demo(name: str) -> Mediator:
+def _build_demo(name: str, **mediator_kwargs: object) -> Mediator:
     if name == "rope":
         from repro.workloads.datasets import build_rope_testbed
 
-        return build_rope_testbed()
+        return build_rope_testbed(**mediator_kwargs)
     if name == "logistics":
         from repro.workloads.datasets import (
             build_inventory_engine,
             build_logistics_terrain,
         )
 
-        mediator = Mediator()
+        mediator = Mediator(**mediator_kwargs)  # type: ignore[arg-type]
         mediator.register_domain(build_inventory_engine(), site="maryland")
         mediator.register_domain(build_logistics_terrain(), site="bucknell")
         mediator.load_program(
@@ -190,6 +196,15 @@ class MediatorShell:
             self.mediator.set_jobs(jobs)
             engine = "parallel" if jobs > 1 else "sequential"
             self.write(f"execution engine: {engine} ({jobs} worker(s)).")
+        elif command == ":storage":
+            if argument == "flush":
+                self.mediator.flush_storage()
+                self.write("storage flushed.")
+            elif argument:
+                raise ReproError(
+                    f":storage takes no argument or 'flush', got {argument!r}"
+                )
+            self.write(_storage_summary(self.mediator))
         elif command == ":validate":
             issues = self.mediator.validate_program()
             if not issues:
@@ -270,6 +285,19 @@ def _runtime_summary(mediator: Mediator) -> str:
     )
 
 
+def _storage_summary(mediator: Mediator) -> str:
+    """One-line cache-storage report: backend kind, traffic, warm start."""
+    metrics = mediator.metrics
+    return (
+        f"storage: {mediator.storage.kind} backend, "
+        f"{metrics.value('storage.writes'):.0f} writes / "
+        f"{metrics.value('storage.reads'):.0f} reads, "
+        f"{metrics.value('storage.bytes_written'):.0f} bytes written, "
+        f"{metrics.value('storage.evictions'):.0f} evictions; "
+        f"warm start loaded {metrics.value('storage.warm_start.entries_loaded'):.0f}"
+    )
+
+
 def _health_summary(mediator: Mediator) -> str:
     """Per-source health table, or a hint when tracking is off."""
     if mediator.health is None:
@@ -319,9 +347,12 @@ def stats_main(argv: list[str], stdout: Optional[IO[str]] = None) -> int:
     RATE`` injects transient faults (per-attempt probability) at every
     site under the default retry policy, ``--jobs N`` executes on the
     parallel engine with N workers, ``--health`` enables source-health
-    tracking (breaker state, error rate, latency quantiles), and the
-    remaining arguments run in order: ``?- ...`` strings execute as
-    queries, anything else loads as a program file.
+    tracking (breaker state, error rate, latency quantiles), ``--storage
+    SPEC`` mirrors the caches through a persistent backend (flushed
+    before the report), ``--warm-start`` reloads the previous run's
+    persisted cache state first, and the remaining arguments run in
+    order: ``?- ...`` strings execute as queries, anything else loads as
+    a program file.
     """
     out = stdout if stdout is not None else sys.stdout
     demo = "rope"
@@ -329,16 +360,20 @@ def stats_main(argv: list[str], stdout: Optional[IO[str]] = None) -> int:
     health = False
     flaky: Optional[float] = None
     jobs: Optional[int] = None
+    storage: Optional[str] = None
+    warm_start = False
     queries: list[str] = []
     argv = list(argv)
     while argv:
         arg = argv.pop(0)
-        if arg in ("--demo", "--flaky", "--jobs"):
+        if arg in ("--demo", "--flaky", "--jobs", "--storage"):
             if not argv:
                 raise ReproError(f"{arg} requires a value")
             value = argv.pop(0)
             if arg == "--demo":
                 demo = value
+            elif arg == "--storage":
+                storage = value
             elif arg == "--jobs":
                 try:
                     jobs = int(value)
@@ -361,9 +396,16 @@ def stats_main(argv: list[str], stdout: Optional[IO[str]] = None) -> int:
             use_cim = True
         elif arg == "--health":
             health = True
+        elif arg == "--warm-start":
+            warm_start = True
         else:
             queries.append(arg)  # query or program file, handled in order
-    mediator = _build_demo(demo)
+    demo_kwargs: dict[str, object] = {}
+    if storage is not None:
+        demo_kwargs["storage"] = storage
+    if warm_start:
+        demo_kwargs["warm_start"] = True
+    mediator = _build_demo(demo, **demo_kwargs)
     if health:
         _enable_health(mediator)
     if flaky is not None:
@@ -381,6 +423,9 @@ def stats_main(argv: list[str], stdout: Optional[IO[str]] = None) -> int:
         else:
             with open(item) as handle:
                 mediator.load_program(handle.read())
+    # persist the session's cache state before reporting, so a later
+    # --warm-start run (and the CI warm-restart smoke test) can reload it
+    mediator.flush_storage()
     out.write(f"== repro stats (demo {demo!r}) ==\n")
     out.write(f"queries: {ran} run, {answers} answer(s)\n")
     out.write(f"clock: {mediator.clock.now_ms:.1f} simulated ms\n")
@@ -388,10 +433,12 @@ def stats_main(argv: list[str], stdout: Optional[IO[str]] = None) -> int:
     out.write(f"CIM:   {mediator.cim.stats}\n")
     out.write(_planner_summary(mediator) + "\n")
     out.write(_runtime_summary(mediator) + "\n")
+    out.write(_storage_summary(mediator) + "\n")
     if health:
         out.write(_health_summary(mediator) + "\n")
     out.write("metrics:\n")
     out.write(mediator.metrics.render() + "\n")
+    mediator.close()
     return 0
 
 

@@ -28,15 +28,29 @@ Typical use::
 
 from __future__ import annotations
 
+import hashlib
+import itertools
+import os
+import tempfile
 from typing import TYPE_CHECKING, Any, Iterable, Optional, Union
 
+from repro.cim.cache import POLICY_COST, ResultCache
 from repro.cim.manager import CacheInvariantManager, CimPolicy
 from repro.core.answers import QueryResult
 from repro.core.estimator import PlanEstimate, RuleCostEstimator
 from repro.core.executor import ContinueCallback, Executor, MODE_ALL, MODE_INTERACTIVE
-from repro.core.model import Invariant, Program, Query, Rule
+from repro.core.model import GroundCall, Invariant, Program, Query, Rule
 from repro.core.parser import parse_invariant, parse_program, parse_query
-from repro.core.plancache import CachedPlan, PlanCache, canonicalize, exact_key
+from repro.core.plancache import (
+    CachedPlan,
+    PersistedPlan,
+    PlanCache,
+    adopt_plan_records,
+    canonicalize,
+    exact_key,
+    load_plan_records,
+    save_plan_cache,
+)
 from repro.core.plans import Plan
 from repro.core.rewriter import Rewriter, RewriterConfig
 from repro.dcsm.module import DCSM
@@ -51,6 +65,7 @@ from repro.net.policy import RetryPolicy
 from repro.net.remote import RemoteDomain
 from repro.net.sites import Site, make_site
 from repro.runtime.repair import Completeness, PlanRepairer
+from repro.storage.backend import StorageBackend, make_backend
 
 if TYPE_CHECKING:
     from repro.analysis import AnalysisReport
@@ -59,6 +74,33 @@ if TYPE_CHECKING:
 
 #: use_cim values: route nothing, everything, or a chosen set of domains.
 CimRouting = Union[bool, set, frozenset, None]
+
+#: what ``storage=`` accepts: nothing (environment/default), a spec
+#: string for :func:`~repro.storage.backend.make_backend`, or a backend.
+StorageSpec = Union[None, str, StorageBackend]
+
+#: distinguishes the storage paths of mediators created in one process
+#: when a bare ``sqlite``/``sharded`` kind (no path) is requested.
+_storage_seq = itertools.count()
+
+
+def _expand_storage_spec(spec: str) -> str:
+    """Give a path-less ``sqlite``/``sharded`` spec a private location.
+
+    The CI backend matrix exports ``REPRO_STORAGE=sqlite`` for the whole
+    test suite; every mediator must then get its *own* file (shared state
+    across unrelated mediators would change observable behavior).  Files
+    land under ``$REPRO_STORAGE_PATH`` (the conftest points it at a pytest
+    temp dir) or the system temp dir.
+    """
+    kind = spec.strip().lower()
+    if kind not in ("sqlite", "sharded"):
+        return spec
+    root = os.environ.get("REPRO_STORAGE_PATH") or tempfile.gettempdir()
+    unique = f"repro-storage-{os.getpid()}-{next(_storage_seq)}"
+    if kind == "sqlite":
+        return f"sqlite:{os.path.join(root, unique + '.db')}"
+    return f"sharded:{os.path.join(root, unique)}"
 
 
 class Mediator:
@@ -89,6 +131,9 @@ class Mediator:
         hedge_policy: Optional[HedgePolicy] = None,
         repair: bool = False,
         repair_max_attempts: int = 2,
+        storage: StorageSpec = None,
+        warm_start: bool = False,
+        cache_max_bytes: Optional[int] = None,
     ):
         self.clock = clock if clock is not None else SimClock()
         self.registry = DomainRegistry()
@@ -96,6 +141,27 @@ class Mediator:
         # whole picture; components passed in with their own registry keep it
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.retry_policy = retry_policy
+        # persistent cache storage: every cache keeps memory authoritative
+        # and mirrors durable state through one backend (repro.storage).
+        # storage=None consults $REPRO_STORAGE (the CI backend matrix)
+        # before falling back to the in-process MemoryBackend.
+        if storage is None:
+            storage = os.environ.get("REPRO_STORAGE") or "memory"
+        if isinstance(storage, str):
+            self.storage: StorageBackend = make_backend(
+                _expand_storage_spec(storage), metrics=self.metrics
+            )
+        else:
+            self.storage = storage
+            if getattr(self.storage, "metrics", None) is None:
+                self.storage.metrics = self.metrics  # type: ignore[misc]
+        self.warm_start = warm_start
+        self.cache_max_bytes = cache_max_bytes
+        # plan templates read back from the backend, waiting for a
+        # load_program whose fingerprint matches the one they were
+        # planned under (see _adopt_persisted_plans)
+        self._pending_plans: list[PersistedPlan] = []
+        self._storage_closed = False
         # self-healing: a health registry (breakers + latency windows) is
         # created when either health tracking or hedging is requested;
         # repair=True turns terminal call failures into partial answers
@@ -111,19 +177,39 @@ class Mediator:
         )
         if self.dcsm.metrics is None:
             self.dcsm.metrics = self.metrics
-        self.cim = (
-            cim
-            if cim is not None
-            else CacheInvariantManager(
+        if self.dcsm.database.backend is None:
+            self.dcsm.attach_backend(self.storage)
+        if cim is not None:
+            self.cim = cim
+        else:
+            # a byte budget switches the default result cache to the
+            # cost-aware policy: victims are ranked by DCSM-estimated
+            # recompute cost x hit frequency per byte, so cheap,
+            # rarely-hit entries leave first
+            if cache_max_bytes is not None:
+                from repro.storage.evictor import CostFrequencyEvictor
+
+                result_cache = ResultCache(
+                    max_bytes=cache_max_bytes,
+                    policy=POLICY_COST,
+                    evictor=CostFrequencyEvictor(self._estimate_recompute_cost),
+                    backend=self.storage,
+                    metrics=self.metrics,
+                )
+            else:
+                result_cache = ResultCache(backend=self.storage, metrics=self.metrics)
+            self.cim = CacheInvariantManager(
                 self.registry,
                 self.clock,
+                cache=result_cache,
                 policy=cim_policy,
                 observer=self.dcsm.record if record_statistics else None,
                 metrics=self.metrics,
             )
-        )
         if self.cim.metrics is None:
             self.cim.metrics = self.metrics
+        if self.cim.cache.backend is None:
+            self.cim.cache.attach_backend(self.storage, metrics=self.metrics)
         self.program = Program()
         self.rewriter_config = (
             rewriter_config if rewriter_config is not None else RewriterConfig()
@@ -168,6 +254,113 @@ class Mediator:
         # historical average (backtracking makes reality slower than the
         # Σ T_firstᵢ formula, never faster).
         self.use_predicate_first_stats = use_predicate_first_stats
+        if warm_start:
+            self._load_warm_start()
+
+    # -- persistent storage (warm restart) -----------------------------------------
+
+    def _estimate_recompute_cost(self, call: GroundCall) -> Optional[float]:
+        """DCSM-estimated T_all of re-running ``call`` (the cost-aware
+        evictor's notion of an entry's replacement value)."""
+        try:
+            return self.dcsm.cost(call).t_all_ms
+        except ReproError:
+            return None
+
+    def _load_warm_start(self) -> None:
+        """Reload persisted cache state from the storage backend.
+
+        CIM entries and DCSM observations restore immediately (they are
+        valid regardless of what program gets loaded).  Plan templates
+        are only *staged*: a template is valid for exactly the program it
+        was planned under, so each one waits for a ``load_program`` /
+        ``add_invariant`` whose fingerprint matches (see
+        :meth:`_adopt_persisted_plans`); the rest are dropped at the next
+        :meth:`flush_storage`, never replayed.
+        """
+        cim_loaded = self.cim.cache.load_from_backend(now_ms=self.clock.now_ms)
+        dcsm_loaded = self.dcsm.load_from_backend()
+        self._pending_plans = load_plan_records(self.storage)
+        self.metrics.inc("storage.warm_start.cim_entries", float(cim_loaded))
+        self.metrics.inc(
+            "storage.warm_start.dcsm_observations", float(dcsm_loaded)
+        )
+        self.metrics.inc(
+            "storage.warm_start.entries_loaded", float(cim_loaded + dcsm_loaded)
+        )
+
+    def _program_fingerprint(self) -> str:
+        """Content hash of the planning inputs (rules + invariants) — the
+        cross-process equivalent of the in-process plan epoch."""
+        hasher = hashlib.sha256()
+        for text in sorted(str(rule) for rule in self.program):
+            hasher.update(text.encode("utf-8"))
+            hasher.update(b"\n")
+        hasher.update(b"--invariants--\n")
+        for text in sorted(str(inv) for inv in self.cim.invariants):
+            hasher.update(text.encode("utf-8"))
+            hasher.update(b"\n")
+        return hasher.hexdigest()
+
+    def _adopt_persisted_plans(self) -> None:
+        """Install staged plan templates if the program now matches them.
+
+        Adopted entries are re-stamped with the live plan epoch and DCSM
+        version; ``summarize()`` runs first so the version they carry is
+        the one the next lookup will compare against (otherwise the first
+        estimate would bump it and lazily drop every adopted plan).
+        """
+        if not self._pending_plans or not self.use_plan_cache:
+            return
+        fingerprint = self._program_fingerprint()
+        if not any(r.fingerprint == fingerprint for r in self._pending_plans):
+            return
+        self.dcsm.summarize()
+        adopted, self._pending_plans = adopt_plan_records(
+            self.plan_cache,
+            self._pending_plans,
+            fingerprint,
+            epoch=self._plan_epoch,
+            dcsm_version=self.dcsm.version,
+        )
+        if adopted:
+            self.metrics.inc("storage.warm_start.plans_adopted", float(adopted))
+            self.metrics.inc("storage.warm_start.entries_loaded", float(adopted))
+
+    def flush_storage(self) -> None:
+        """Make the mirrored cache state durable.
+
+        CIM entries re-sync (capturing hit counts accumulated since they
+        were first mirrored), the plan cache snapshots wholesale under
+        the current program fingerprint, and the backend flushes
+        crash-consistently.  Staged warm-start plans that no program
+        claimed are dropped here.
+        """
+        self.cim.cache.sync_backend()
+        if self.use_plan_cache:
+            save_plan_cache(self.plan_cache, self.storage, self._program_fingerprint())
+        if self._pending_plans:
+            self.metrics.inc(
+                "storage.warm_start.plans_dropped", float(len(self._pending_plans))
+            )
+            self._pending_plans = []
+        self.storage.flush()
+
+    def close(self) -> None:
+        """Flush and close the storage backend.
+
+        The mediator stays usable for queries afterwards — the caches
+        simply stop mirroring (memory remains authoritative).  Idempotent.
+        """
+        if self._storage_closed:
+            return
+        self._storage_closed = True
+        try:
+            self.flush_storage()
+        finally:
+            self.cim.cache.backend = None
+            self.dcsm.database.backend = None
+            self.storage.close()
 
     # -- runtime configuration -----------------------------------------------------
 
@@ -253,6 +446,7 @@ class Mediator:
             self.program.add(rule)
         self._rewriter = None
         self._plan_epoch += 1
+        self._adopt_persisted_plans()
 
     def add_rule(self, rule: "str | Rule") -> None:
         if isinstance(rule, str):
@@ -263,6 +457,7 @@ class Mediator:
             self.program.add(rule)
         self._rewriter = None
         self._plan_epoch += 1
+        self._adopt_persisted_plans()
 
     def add_invariant(self, invariant: "str | Invariant") -> None:
         if isinstance(invariant, str):
@@ -271,6 +466,7 @@ class Mediator:
         # a new invariant changes what CIM routing can answer, so cached
         # plan choices (made without it) are stale
         self._plan_epoch += 1
+        self._adopt_persisted_plans()
 
     def notify_source_changed(self, domain: str, function: Optional[str] = None) -> int:
         """Tell the mediator a source's data changed; drops the affected

@@ -35,9 +35,10 @@ rewriting — and that decision is exactly a dependence on the values.
 
 from __future__ import annotations
 
+import pickle
 from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Iterator, Optional
 
 from repro.core.model import (
     Comparison,
@@ -50,7 +51,10 @@ from repro.core.model import (
 from repro.core.plans import Plan
 from repro.core.terms import Constant, Term, Variable
 from repro.dcsm.vectors import CostVector
-from repro.errors import ReproError
+from repro.errors import ReproError, StorageError
+
+if TYPE_CHECKING:
+    from repro.storage.backend import StorageBackend
 
 #: parameter variables contain ``#`` so they can never collide with a
 #: parser-produced variable name (see :func:`repro.core.unify.fresh_variable`)
@@ -223,6 +227,10 @@ class PlanCache:
             self._entries.popitem(last=False)
             self.evictions += 1
 
+    def items(self) -> Iterator[tuple[str, CachedPlan]]:
+        """Snapshot of ``(key, entry)`` pairs (persistence walks this)."""
+        return iter(list(self._entries.items()))
+
     def invalidate_source(self, domain: str, function: Optional[str] = None) -> int:
         """Drop every entry whose plan calls the changed source."""
         dead = [
@@ -243,3 +251,108 @@ class PlanCache:
         self._entries.clear()
         self.evictions += dropped
         return dropped
+
+
+# -- persistence (warm restart) ------------------------------------------------
+#
+# Plan templates are pickled (they are graphs of frozen dataclasses; a
+# JSON codec would re-implement half the term language for no benefit)
+# together with the *program fingerprint* they were planned under.  A
+# restarted mediator's epoch counter starts from zero again, so raw
+# epochs cannot validate across processes — the fingerprint (a hash of
+# the rules and invariants) is the cross-process epoch.  At adoption
+# time entries whose fingerprint matches the current program are
+# re-stamped with the live epoch and DCSM version; anything else is a
+# stale plan and is dropped, not replayed.
+
+PLAN_RECORD_VERSION = 1
+
+
+@dataclass(frozen=True)
+class PersistedPlan:
+    """One plan-cache record as read back from a storage backend."""
+
+    key: str
+    fingerprint: str
+    entry: CachedPlan
+
+
+def save_plan_cache(
+    cache: PlanCache,
+    backend: "StorageBackend",
+    fingerprint: str,
+    store: str = "plancache",
+) -> int:
+    """Rewrite the backend's plan store with the cache's live entries.
+
+    The store is replaced wholesale: plans dropped since the last save
+    (evictions, invalidations) must not resurrect on the next warm
+    start.  Returns the number of entries written.
+    """
+    for key, __ in list(backend.scan_prefix(store, "")):
+        backend.delete(store, key)
+    count = 0
+    for key, entry in cache.items():
+        payload = pickle.dumps(
+            {
+                "version": PLAN_RECORD_VERSION,
+                "key": key,
+                "fingerprint": fingerprint,
+                "entry": entry,
+            }
+        )
+        backend.put(store, f"plan:{count:06d}", payload)
+        count += 1
+    return count
+
+
+def load_plan_records(
+    backend: "StorageBackend", store: str = "plancache"
+) -> list[PersistedPlan]:
+    """All decodable persisted plan records (undecodable ones are
+    deleted from the backend — a stale plan is dropped, not replayed)."""
+    records: list[PersistedPlan] = []
+    for key, data in list(backend.scan_prefix(store, "")):
+        try:
+            payload = pickle.loads(data)
+            if payload.get("version") != PLAN_RECORD_VERSION:
+                raise StorageError(
+                    f"unsupported plan record version {payload.get('version')!r}"
+                )
+            records.append(
+                PersistedPlan(
+                    key=payload["key"],
+                    fingerprint=payload["fingerprint"],
+                    entry=payload["entry"],
+                )
+            )
+        except Exception:
+            backend.delete(store, key)
+    return records
+
+
+def adopt_plan_records(
+    cache: PlanCache,
+    records: list[PersistedPlan],
+    fingerprint: str,
+    epoch: int,
+    dcsm_version: int,
+) -> tuple[int, list[PersistedPlan]]:
+    """Install the records matching ``fingerprint`` into ``cache``.
+
+    Matching entries are re-stamped with the live ``epoch`` and
+    ``dcsm_version`` (their prices were derived from the statistics the
+    warm start just reloaded).  Returns ``(adopted, remaining)`` where
+    ``remaining`` holds the records that did not match — a later
+    ``load_program`` may still claim them.
+    """
+    adopted = 0
+    remaining: list[PersistedPlan] = []
+    for record in records:
+        if record.fingerprint != fingerprint:
+            remaining.append(record)
+            continue
+        entry = replace(record.entry, epoch=epoch, dcsm_version=dcsm_version)
+        cache.put(record.key, entry)
+        adopted += 1
+    return adopted, remaining

@@ -1,0 +1,56 @@
+"""Byte-level codec for DCSM observations stored in a backend.
+
+One observation becomes one backend record under the key
+``"{domain}:{function}:{seq:010d}"`` — the ``domain:function`` lead is
+the sharding prefix, and the zero-padded per-function sequence number
+makes lexicographic key order reproduce recording order within a bucket
+(recency-weighted aggregation depends on it only through the stored
+``record_time_ms``, but deterministic replay keeps state byte-stable).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.model import GroundCall
+from repro.dcsm.vectors import CostVector, Observation
+from repro.errors import StorageError
+from repro.serialization import decode_call, encode_call
+
+OBSERVATION_VERSION = 1
+
+
+def observation_key(domain: str, function: str, seq: int) -> str:
+    return f"{domain}:{function}:{seq:010d}"
+
+
+def encode_observation(obs: Observation) -> bytes:
+    payload = {
+        "version": OBSERVATION_VERSION,
+        "call": encode_call(obs.call),
+        "t_first_ms": obs.vector.t_first_ms,
+        "t_all_ms": obs.vector.t_all_ms,
+        "cardinality": obs.vector.cardinality,
+        "record_time_ms": obs.record_time_ms,
+        "complete": obs.complete,
+    }
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8")
+
+
+def decode_observation(data: bytes) -> Observation:
+    payload = json.loads(data)
+    if payload.get("version") != OBSERVATION_VERSION:
+        raise StorageError(
+            f"unsupported DCSM observation version {payload.get('version')!r}"
+        )
+    call: GroundCall = decode_call(payload["call"])
+    return Observation(
+        call=call,
+        vector=CostVector(
+            t_first_ms=payload["t_first_ms"],
+            t_all_ms=payload["t_all_ms"],
+            cardinality=payload["cardinality"],
+        ),
+        record_time_ms=payload["record_time_ms"],
+        complete=payload["complete"],
+    )

@@ -4,6 +4,12 @@ The cost-vector database is the DCSM's source of truth (summary tables
 are derived), so persisting the observation log is enough to restore any
 mode.  The format is versioned JSON; unknown versions are rejected
 loudly rather than mis-read.
+
+Snapshots are written with the temp-file + ``os.replace`` discipline
+(:func:`repro.storage.backend.atomic_write_bytes`): a crash mid-write
+leaves the previous snapshot intact instead of a torn file.  For
+continuous (per-observation) persistence and warm restart, attach a
+storage backend to the database instead — see :mod:`repro.storage`.
 """
 
 from __future__ import annotations
@@ -16,12 +22,14 @@ from repro.dcsm.module import DCSM
 from repro.dcsm.vectors import CostVector, Observation
 from repro.errors import ReproError
 from repro.serialization import decode_call, encode_call
+from repro.storage.backend import atomic_write_bytes
 
 FORMAT_VERSION = 1
 
 
 def save_statistics(dcsm: DCSM, path: Union[str, Path]) -> int:
-    """Write every observation to ``path``; returns the count written."""
+    """Write every observation to ``path`` (atomically); returns the
+    count written."""
     observations = []
     for domain, function in dcsm.database.functions():
         for obs in dcsm.database.observations(domain, function):
@@ -36,8 +44,7 @@ def save_statistics(dcsm: DCSM, path: Union[str, Path]) -> int:
                 }
             )
     payload = {"version": FORMAT_VERSION, "observations": observations}
-    with open(path, "w") as handle:
-        json.dump(payload, handle)
+    atomic_write_bytes(path, json.dumps(payload).encode("utf-8"))
     return len(observations)
 
 

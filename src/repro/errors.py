@@ -171,6 +171,11 @@ class CacheError(ReproError):
     """Internal cache invariant violated or bad cache configuration."""
 
 
+class StorageError(ReproError):
+    """A cache storage backend failed or was misconfigured (unknown
+    backend spec, unreadable store file, use after close, ...)."""
+
+
 class InvariantError(ReproError):
     """An invariant is malformed (unsafe variables, bad relation, ...)."""
 

@@ -1,0 +1,60 @@
+"""Cost-aware cache eviction (Roy et al., *Don't Trash your Intermediate
+Results, Cache 'em*).
+
+Under a byte budget, the entries worth keeping are the ones that are
+expensive to recompute, actually get hit, and don't hog the budget —
+so each entry is scored by its **benefit density**::
+
+    score(entry) = recompute_cost_ms(call) x (1 + hits) / max(bytes, 1)
+
+and the evictor discards lowest-score first.  The recompute cost comes
+from the DCSM's estimate for the entry's call pattern (the statistics
+cache already knows what every source call costs); entries the DCSM
+cannot price fall back to a flat default, which reduces the formula to
+frequency-per-byte for them.
+
+``1 + hits`` keeps never-hit entries comparable instead of uniformly
+zero: among unhit entries, the expensive-to-recompute one still wins.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.core.model import GroundCall
+from repro.errors import CacheError
+
+if TYPE_CHECKING:
+    from repro.cim.cache import CacheEntry
+
+#: Estimated cost (simulated ms) of re-running a ground call.
+CostFn = Callable[[GroundCall], Optional[float]]
+
+
+class CostFrequencyEvictor:
+    """Score entries by recompute cost x hit frequency per byte."""
+
+    def __init__(
+        self,
+        cost_fn: Optional[CostFn] = None,
+        default_cost_ms: float = 1.0,
+    ):
+        if default_cost_ms <= 0:
+            raise CacheError("default_cost_ms must be positive")
+        self.cost_fn = cost_fn
+        self.default_cost_ms = default_cost_ms
+
+    def recompute_cost_ms(self, call: GroundCall) -> float:
+        """The DCSM-estimated cost of redoing ``call``, floored at a
+        small positive value so the score stays well-defined."""
+        cost: Optional[float] = None
+        if self.cost_fn is not None:
+            cost = self.cost_fn(call)
+        if cost is None or cost <= 0:
+            return self.default_cost_ms
+        return cost
+
+    def score(self, entry: "CacheEntry") -> float:
+        """Benefit density: higher scores are worth more budget."""
+        cost = self.recompute_cost_ms(entry.call)
+        return cost * (1.0 + entry.hits) / max(entry.answer_bytes, 1)

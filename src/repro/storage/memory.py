@@ -1,0 +1,72 @@
+"""The in-process dict backend — the default, and the old behavior.
+
+Nothing survives the process: ``flush`` is a no-op and ``close`` drops
+the table.  It exists so the rest of the system has exactly one write
+path (every cache mirrors through *a* backend) and so the backend matrix
+can run the whole test suite against the trivial implementation.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterator, Optional
+
+from repro.errors import StorageError
+from repro.metrics import MetricsRegistry
+from repro.storage.backend import BackendBase
+
+
+class MemoryBackend(BackendBase):
+    """Namespaced key/value store over plain dicts."""
+
+    kind = "memory"
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None):
+        super().__init__(metrics)
+        self._stores: dict[str, dict[str, bytes]] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def get(self, store: str, key: str) -> Optional[bytes]:
+        with self._lock:
+            self._check_open()
+            value = self._stores.get(store, {}).get(key)
+        self._note_read(value)
+        return value
+
+    def put(self, store: str, key: str, value: bytes) -> None:
+        with self._lock:
+            self._check_open()
+            self._stores.setdefault(store, {})[key] = bytes(value)
+        self._note_write(value)
+
+    def delete(self, store: str, key: str) -> bool:
+        with self._lock:
+            self._check_open()
+            existed = self._stores.get(store, {}).pop(key, None) is not None
+        if existed:
+            self._inc("storage.deletes")
+        return existed
+
+    def scan_prefix(self, store: str, prefix: str) -> Iterator[tuple[str, bytes]]:
+        with self._lock:
+            self._check_open()
+            snapshot = [
+                (key, value)
+                for key, value in self._stores.get(store, {}).items()
+                if key.startswith(prefix)
+            ]
+        self._inc("storage.scans")
+        yield from sorted(snapshot)
+
+    def flush(self) -> None:
+        self._inc("storage.flushes")
+
+    def close(self) -> None:
+        with self._lock:
+            self._stores.clear()
+            self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StorageError("memory backend is closed")

@@ -12,6 +12,7 @@ reported answer cardinalities hold exactly:
 from __future__ import annotations
 
 import random
+from typing import Any
 
 from repro.core.mediator import Mediator
 from repro.domains.avis.store import AvisDomain, build_video
@@ -166,11 +167,13 @@ def build_rope_testbed(
     seed: int = 0,
     with_invariants: bool = True,
     verify_plans: bool = False,
+    **mediator_kwargs: Any,
 ) -> Mediator:
     """A fully wired mediator over 'The Rope': AVIS at ``video_site``,
     the cast relation at ``relation_site`` (paper: AVIS remote, INGRES
-    nearer), program and invariants loaded."""
-    mediator = Mediator(verify_plans=verify_plans)
+    nearer), program and invariants loaded.  Extra keyword arguments pass
+    through to :class:`Mediator` (``storage=``, ``warm_start=``, ...)."""
+    mediator = Mediator(verify_plans=verify_plans, **mediator_kwargs)
     avis = build_rope_avis()
     engine = RelationalEngine("relation")
     build_cast_table(engine)

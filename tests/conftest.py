@@ -1,6 +1,17 @@
-"""Shared fixtures: small wired testbeds used across the suite."""
+"""Shared fixtures: small wired testbeds used across the suite.
+
+The whole suite can run against any cache storage backend: the CI
+backend matrix exports ``REPRO_STORAGE=memory|sqlite|sharded`` and every
+:class:`Mediator` built without an explicit ``storage=`` picks it up
+(path-less specs expand to per-mediator files under
+``$REPRO_STORAGE_PATH``, which the session fixture below points at a
+pytest-managed temp directory).  Memory stays the authoritative read
+path, so observable behavior must be identical across backends.
+"""
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
@@ -8,6 +19,21 @@ from repro.core.mediator import Mediator
 from repro.domains.avis.store import AvisDomain, build_video
 from repro.domains.base import simple_domain
 from repro.domains.relational.engine import RelationalEngine
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _storage_matrix_root(tmp_path_factory: pytest.TempPathFactory):
+    """Route env-selected disk backends into a pytest temp directory."""
+    backend = os.environ.get("REPRO_STORAGE", "memory")
+    if backend == "memory" or os.environ.get("REPRO_STORAGE_PATH"):
+        yield
+        return
+    root = tmp_path_factory.mktemp("repro-storage")
+    os.environ["REPRO_STORAGE_PATH"] = str(root)
+    try:
+        yield
+    finally:
+        os.environ.pop("REPRO_STORAGE_PATH", None)
 
 
 @pytest.fixture
