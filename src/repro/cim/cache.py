@@ -107,6 +107,10 @@ class ResultCache:
         self.metrics = metrics
         # suppressed while load_from_backend re-inserts restored entries
         self._mirror = True
+        # calls whose backend delete was suppressed by _mirror=False;
+        # load_from_backend settles these so capacity evictions during a
+        # load don't leave dead records accumulating in the backend
+        self._deferred_deletes: list[GroundCall] = []
         self.stats = CacheStats()
         self._entries: "OrderedDict[GroundCall, CacheEntry]" = OrderedDict()
         # secondary index keyed by (domain, function) tuples: lookup and
@@ -294,9 +298,15 @@ class ResultCache:
 
         Entries go through the normal ``put`` path (capacity limits and
         eviction apply) with backend mirroring suspended, so a load never
-        rewrites what it reads.  Records that fail to decode are dropped
-        from the backend rather than replayed.  Returns the number of
-        entries restored.
+        rewrites what it reads; entries *evicted* during the load are
+        deleted from the backend afterwards (their records would
+        otherwise be re-read, re-decoded, and re-evicted on every warm
+        start, growing the store without bound).  Stored timestamps are
+        clamped to ``now_ms`` — the restarted clock starts over, and a
+        ``stored_at_ms`` in the new clock's future would never satisfy
+        TTL expiry.  Records that fail to decode are dropped from the
+        backend rather than replayed.  Returns the number of entries
+        restored.
         """
         if self.backend is None:
             raise StorageError("no storage backend attached")
@@ -316,13 +326,17 @@ class ResultCache:
                     entry = self.put(
                         fields["call"],
                         fields["answers"],
-                        now_ms=fields["stored_at_ms"],
+                        now_ms=min(fields["stored_at_ms"], now_ms),
                         complete=fields["complete"],
                     )
                     entry.hits = fields["hits"]
                     count += 1
             finally:
                 self._mirror = True
+                deferred, self._deferred_deletes = self._deferred_deletes, []
+                for call in deferred:
+                    if call not in self._entries:
+                        self._backend_delete(call)
         return count
 
     def sync_backend(self) -> int:
@@ -355,7 +369,10 @@ class ResultCache:
         )
 
     def _backend_delete(self, call: GroundCall) -> None:
-        if self.backend is None or not self._mirror:
+        if self.backend is None:
+            return
+        if not self._mirror:
+            self._deferred_deletes.append(call)
             return
         from repro.cim.codec import call_key
 

@@ -84,6 +84,28 @@ StorageSpec = Union[None, str, StorageBackend]
 _storage_seq = itertools.count()
 
 
+def _default_storage_root() -> str:
+    """A private, user-owned directory for default storage files.
+
+    The stores are a trust boundary: plan-cache records are pickled, so
+    anyone who can write the storage directory can execute code in the
+    mediator process on warm start.  The default therefore must never be
+    the shared system temp dir itself — it is a per-user subdirectory
+    created with mode 0700 and verified to belong to this user, falling
+    back to a fresh ``mkdtemp`` (0700 by construction) if that fails.
+    """
+    uid = os.getuid() if hasattr(os, "getuid") else "user"
+    root = os.path.join(tempfile.gettempdir(), f"repro-storage-{uid}")
+    try:
+        os.makedirs(root, mode=0o700, exist_ok=True)
+        if hasattr(os, "getuid") and os.stat(root).st_uid != os.getuid():
+            raise OSError(f"{root} is not owned by the current user")
+        os.chmod(root, 0o700)
+    except OSError:
+        root = tempfile.mkdtemp(prefix="repro-storage-")
+    return root
+
+
 def _expand_storage_spec(spec: str) -> str:
     """Give a path-less ``sqlite``/``sharded`` spec a private location.
 
@@ -91,12 +113,13 @@ def _expand_storage_spec(spec: str) -> str:
     test suite; every mediator must then get its *own* file (shared state
     across unrelated mediators would change observable behavior).  Files
     land under ``$REPRO_STORAGE_PATH`` (the conftest points it at a pytest
-    temp dir) or the system temp dir.
+    temp dir) or a per-user 0700 directory (see
+    :func:`_default_storage_root` for why never the shared temp dir).
     """
     kind = spec.strip().lower()
     if kind not in ("sqlite", "sharded"):
         return spec
-    root = os.environ.get("REPRO_STORAGE_PATH") or tempfile.gettempdir()
+    root = os.environ.get("REPRO_STORAGE_PATH") or _default_storage_root()
     unique = f"repro-storage-{os.getpid()}-{next(_storage_seq)}"
     if kind == "sqlite":
         return f"sqlite:{os.path.join(root, unique + '.db')}"
@@ -332,13 +355,21 @@ class Mediator:
 
         CIM entries re-sync (capturing hit counts accumulated since they
         were first mirrored), the plan cache snapshots wholesale under
-        the current program fingerprint, and the backend flushes
-        crash-consistently.  Staged warm-start plans that no program
-        claimed are dropped here.
+        the current program fingerprint — skipping lazily-invalidated
+        entries whose epoch or DCSM version is stale, which must not
+        masquerade as current-program plans on the next warm start —
+        and the backend flushes crash-consistently.  Staged warm-start
+        plans that no program claimed are dropped here.
         """
         self.cim.cache.sync_backend()
         if self.use_plan_cache:
-            save_plan_cache(self.plan_cache, self.storage, self._program_fingerprint())
+            save_plan_cache(
+                self.plan_cache,
+                self.storage,
+                self._program_fingerprint(),
+                epoch=self._plan_epoch,
+                dcsm_version=self.dcsm.version,
+            )
         if self._pending_plans:
             self.metrics.inc(
                 "storage.warm_start.plans_dropped", float(len(self._pending_plans))

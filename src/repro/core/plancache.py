@@ -257,7 +257,16 @@ class PlanCache:
 #
 # Plan templates are pickled (they are graphs of frozen dataclasses; a
 # JSON codec would re-implement half the term language for no benefit)
-# together with the *program fingerprint* they were planned under.  A
+# together with the *program fingerprint* they were planned under.
+#
+# SECURITY — the storage location is a trust boundary.  ``pickle.loads``
+# executes code chosen by whoever can write the store, so a plan store
+# must live in a directory only the mediator's user can write (the
+# default path expansion creates a per-user 0700 directory; see
+# ``Mediator`` and docs/STORAGE.md).  Never point ``storage=`` /
+# ``$REPRO_STORAGE_PATH`` at a world-writable location.
+#
+# A
 # restarted mediator's epoch counter starts from zero again, so raw
 # epochs cannot validate across processes — the fingerprint (a hash of
 # the rules and invariants) is the cross-process epoch.  At adoption
@@ -281,18 +290,31 @@ def save_plan_cache(
     cache: PlanCache,
     backend: "StorageBackend",
     fingerprint: str,
+    epoch: int,
+    dcsm_version: int,
     store: str = "plancache",
 ) -> int:
-    """Rewrite the backend's plan store with the cache's live entries.
+    """Rewrite the backend's plan store with the cache's *valid* entries.
 
     The store is replaced wholesale: plans dropped since the last save
     (evictions, invalidations) must not resurrect on the next warm
-    start.  Returns the number of entries written.
+    start.  Invalidation is lazy — entries whose epoch predates an
+    ``add_rule``/``add_invariant``/``load_program`` bump, or whose DCSM
+    version is stale, linger in the cache until looked up — so the
+    snapshot applies the same validity check :meth:`PlanCache.get` does
+    against the live ``epoch`` and ``dcsm_version``.  Persisting a
+    stale entry under the current fingerprint would resurrect it on
+    warm restart as if it were planned under the current program.
+    Returns the number of entries written.
     """
     for key, __ in list(backend.scan_prefix(store, "")):
         backend.delete(store, key)
     count = 0
     for key, entry in cache.items():
+        if entry.epoch != epoch or (
+            not entry.value_dependent and entry.dcsm_version != dcsm_version
+        ):
+            continue
         payload = pickle.dumps(
             {
                 "version": PLAN_RECORD_VERSION,

@@ -78,10 +78,27 @@ class CostVectorDatabase:
     # -- storage backend (persistence) -------------------------------------
 
     def attach_backend(self, backend: "StorageBackend", store: str = "dcsm") -> None:
-        """Start mirroring recorded observations into ``backend``."""
+        """Start mirroring recorded observations into ``backend``.
+
+        Per-bucket sequence numbers resume *after* the highest key the
+        backend already holds: a cold session (no
+        :meth:`load_from_backend`) writing against a non-empty store
+        must append to the previous session's records, not overwrite
+        them from zero — overwriting would leave an interleaved mix of
+        stale and fresh observations for the next warm start to load.
+        """
         with self._lock:
             self.backend = backend
             self.store = store
+            for key, __ in backend.scan_prefix(store, ""):
+                head, _, seq_text = key.rpartition(":")
+                domain, _, function = head.rpartition(":")
+                if not domain or not seq_text.isdigit():
+                    continue
+                bucket_key = (domain, function)
+                self._seq[bucket_key] = max(
+                    self._seq.get(bucket_key, 0), int(seq_text) + 1
+                )
 
     def load_from_backend(self) -> int:
         """Warm restart: replay every persisted observation into the

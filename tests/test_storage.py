@@ -5,8 +5,10 @@ from __future__ import annotations
 
 import json
 import os
+import stat
 import subprocess
 import sys
+import tempfile
 import threading
 from pathlib import Path
 
@@ -16,10 +18,17 @@ from hypothesis import strategies as st
 
 from repro.cim.cache import POLICY_COST, ResultCache
 from repro.cim.codec import call_key, decode_entry, encode_entry
-from repro.core.mediator import Mediator
+from repro.core.mediator import Mediator, _default_storage_root
 from repro.core.model import GroundCall
+from repro.core.plancache import (
+    CachedPlan,
+    PlanCache,
+    load_plan_records,
+    save_plan_cache,
+)
 from repro.core.terms import value_bytes
 from repro.dcsm.codec import decode_observation, encode_observation, observation_key
+from repro.dcsm.database import CostVectorDatabase
 from repro.dcsm.vectors import CostVector, Observation
 from repro.errors import StorageError
 from repro.metrics import MetricsRegistry
@@ -547,3 +556,141 @@ def test_close_detaches_and_keeps_mediator_usable(m1_mediator):
     result = m1_mediator.query("?- m(A, C).")  # still answers after close
     assert len(result.execution.answers) == 3
     m1_mediator.close()  # idempotent
+
+
+# -- persistence staleness regressions -----------------------------------------
+
+
+def _plan_entry(epoch: int, version: int, value_dependent: bool = False) -> CachedPlan:
+    return CachedPlan(
+        template=None,
+        vector=None,
+        params=(),
+        sources=frozenset(),
+        epoch=epoch,
+        dcsm_version=version,
+        value_dependent=value_dependent,
+    )
+
+
+def test_save_plan_cache_skips_lazily_invalidated_entries():
+    """Plan-cache invalidation is lazy: entries from an older epoch (or
+    DCSM version) sit in memory until looked up.  The snapshot must not
+    persist them under the current fingerprint — that would resurrect a
+    stale plan on warm restart."""
+    backend = MemoryBackend()
+    cache = PlanCache()
+    cache.put("live", _plan_entry(2, 7))
+    cache.put("stale-epoch", _plan_entry(1, 7))
+    cache.put("stale-version", _plan_entry(2, 6))
+    # markers carry no prices: epoch applies, the DCSM version does not
+    cache.put("stale-marker", _plan_entry(1, 7, value_dependent=True))
+    cache.put("live-marker", _plan_entry(2, 3, value_dependent=True))
+    written = save_plan_cache(cache, backend, "fp", epoch=2, dcsm_version=7)
+    assert written == 2
+    records = load_plan_records(backend)
+    assert sorted(record.key for record in records) == ["live", "live-marker"]
+    assert all(record.fingerprint == "fp" for record in records)
+
+
+def test_flush_never_persists_plans_predating_a_program_change(tmp_path):
+    spec = f"sqlite:{tmp_path / 'stale.db'}"
+    cold = build_rope_testbed(storage=spec)
+    cold.query("?- actors(A).", use_cim=True)
+    cold.query("?- actors(A).", use_cim=True)  # second pass caches the plan
+    assert len(cold.plan_cache) >= 1
+    # bump the plan epoch *after* the plan was cached; lazy invalidation
+    # leaves the now-stale entry sitting in the cache
+    cold.add_rule("extra(X) :- actors(X).")
+    assert len(cold.plan_cache) >= 1
+    cold.close()
+
+    warm = build_rope_testbed(storage=spec, warm_start=True)
+    # reach the exact program the cold session flushed under: a plan
+    # planned without the extra rule must not have been persisted as if
+    # it had been planned with it
+    warm.add_rule("extra(X) :- actors(X).")
+    assert warm.metrics.value("storage.warm_start.plans_adopted") == 0
+    assert len(warm.plan_cache) == 0
+    warm.close()
+
+
+def _obs(i: int) -> Observation:
+    return Observation(
+        call=GroundCall("d", "f", (i,)),
+        vector=CostVector(t_first_ms=1.0, t_all_ms=5.0, cardinality=1.0),
+        record_time_ms=float(i),
+        complete=True,
+    )
+
+
+def test_cold_dcsm_session_appends_after_existing_records():
+    """A session mirroring into a non-empty store without a warm load
+    must continue the per-bucket sequence, not overwrite from zero —
+    otherwise a later warm start reads an interleaved mix of stale and
+    fresh observations."""
+    backend = MemoryBackend()
+    first = CostVectorDatabase()
+    first.attach_backend(backend)
+    for i in range(3):
+        first.record(_obs(i))
+    assert len(list(backend.scan_prefix("dcsm", ""))) == 3
+
+    second = CostVectorDatabase()  # cold: no load_from_backend
+    second.attach_backend(backend)
+    second.record(_obs(99))
+    keys = [key for key, __ in backend.scan_prefix("dcsm", "")]
+    assert len(keys) == 4  # appended, nothing overwritten
+    assert keys[-1] == observation_key("d", "f", 3)
+
+    third = CostVectorDatabase()
+    third.attach_backend(backend)
+    assert third.load_from_backend() == 4
+    recorded = third.observations("d", "f")
+    assert [obs.call.args[0] for obs in recorded] == [0, 1, 2, 99]
+
+
+def test_load_evictions_delete_backend_records():
+    """Entries evicted while restoring into a smaller cache must leave
+    the backend too, or dead records are re-read and re-evicted on every
+    warm start forever."""
+    backend = MemoryBackend()
+    seeder = ResultCache(backend=backend)
+    for i in range(6):
+        seeder.put(GroundCall("d", "f", (i,)), (f"v{i}",), now_ms=float(i))
+    assert len(list(backend.scan_prefix("cim", ""))) == 6
+
+    small = ResultCache(max_entries=2, backend=backend)
+    assert small.load_from_backend() == 6
+    assert len(small) == 2
+    survivors = {key for key, __ in backend.scan_prefix("cim", "")}
+    assert survivors == {call_key(entry.call) for entry in small}
+
+
+def test_restored_entries_expire_under_the_new_clock():
+    """The simulated clock restarts near zero: a restored stored_at_ms
+    from late in the previous session must be clamped, or TTL expiry
+    (now - stored_at >= ttl) never fires."""
+    backend = MemoryBackend()
+    old = ResultCache(ttl_ms=100.0, backend=backend)
+    call = GroundCall("d", "f", (1,))
+    old.put(call, ("x",), now_ms=5000.0)  # late in the previous session
+
+    fresh = ResultCache(ttl_ms=100.0, backend=backend)
+    assert fresh.load_from_backend(now_ms=0.0) == 1
+    assert fresh.get(call, now_ms=50.0) is not None  # young under the new clock
+    assert fresh.get(call, now_ms=150.0) is None  # expired under the new clock
+
+
+def test_default_storage_root_is_private_and_user_owned(monkeypatch, tmp_path):
+    """Plan records are pickled, so the default storage location is a
+    trust boundary: never the shared temp dir itself, always a 0700
+    directory owned by the current user."""
+    monkeypatch.delenv("REPRO_STORAGE_PATH", raising=False)
+    monkeypatch.setattr(tempfile, "gettempdir", lambda: str(tmp_path))
+    root = Path(_default_storage_root())
+    assert root != tmp_path  # a private subdirectory, not the shared dir
+    assert root.is_dir()
+    assert stat.S_IMODE(os.stat(root).st_mode) == 0o700
+    if hasattr(os, "getuid"):
+        assert os.stat(root).st_uid == os.getuid()
