@@ -67,6 +67,7 @@ def _measure(calls: int) -> dict:
         "states_expanded": result.stats.states_expanded,
         "states_pruned": result.stats.states_pruned,
         "memo_hits": result.stats.estimator_memo_hits,
+        "tail_completions": result.stats.tail_completions,
         "t_all_ms": result.vector.t_all_ms if result.vector else None,
     }
     return {"calls": calls, "exhaustive": exhaustive, "guided": guided}
@@ -88,6 +89,13 @@ class TestPlannerBenchmark:
                 assert guided["estimator_lookups"] * 5 <= (
                     exhaustive["estimator_lookups"]
                 )
+            if row["calls"] == 10:
+                # regression gate: the guided planner stays within 2x of
+                # the exhaustive baseline's wall time at the widest shape
+                assert guided["wall_ms"] <= 2.0 * exhaustive["wall_ms"]
+                # rank-tail completion collapses the independent tail:
+                # >= 5x fewer expansions than the pre-rank baseline
+                assert guided["states_expanded"] * 5 <= 23_493
 
     def test_guided_mediator_query(self, benchmark):
         """End-to-end: a guided-planner mediator answering the 6-call

@@ -9,17 +9,23 @@
    already rejected those and the unfolding would not terminate);
 3. dead-rule detection (unsatisfiable comparison chains) and predicate
    reachability from the query roots;
-4. the invariant linter.
+4. the whole-program binding-flow pass (MED150) and the relevance pass
+   (MED151–155) — the lint surface of the planner's static pre-rewrite
+   (:mod:`repro.analysis.bindingflow`, :mod:`repro.analysis.relevance`);
+5. the invariant linter.
 
 When a :class:`~repro.metrics.MetricsRegistry` is supplied, the run is
-counted under ``analysis.*`` (runs, errors, warnings, and one counter per
-diagnostic code) so lint outcomes show up in ``repro stats``.
+counted under ``analysis.*`` (runs, errors, warnings, one counter per
+diagnostic code, and an ``analysis.pass_ms.<pass>`` wall-time histogram
+per pass) so lint outcomes and pass costs show up in ``repro stats``.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+import time
+from typing import Callable, Iterable, Optional
 
+from repro.analysis.bindingflow import bindingflow_pass
 from repro.analysis.diagnostics import (
     SEVERITY_ERROR,
     SEVERITY_WARNING,
@@ -35,6 +41,7 @@ from repro.analysis.passes import (
     reachability_pass,
     structure_pass,
 )
+from repro.analysis.relevance import relevance_pass
 from repro.core.model import Invariant, Program, Query
 from repro.domains.registry import DomainRegistry
 from repro.metrics import MetricsRegistry
@@ -54,14 +61,25 @@ def analyze_program(
     adornment and reachability analyses.
     """
     queries = tuple(queries)
-    diagnostics: list[Diagnostic] = list(structure_pass(program, registry))
+    diagnostics: list[Diagnostic] = []
+
+    def run(name: str, pass_fn: Callable[[], list[Diagnostic]]) -> None:
+        started = time.perf_counter()
+        diagnostics.extend(pass_fn())
+        if metrics is not None:
+            elapsed_ms = (time.perf_counter() - started) * 1000.0
+            metrics.observe(f"analysis.pass_ms.{name}", elapsed_ms)
+
+    run("structure", lambda: structure_pass(program, registry))
     if not program.is_recursive():
-        diagnostics.extend(feasibility_pass(program))
+        run("feasibility", lambda: feasibility_pass(program))
         if queries:
-            diagnostics.extend(query_pass(program, queries))
-        diagnostics.extend(dead_rule_pass(program))
-        diagnostics.extend(reachability_pass(program, queries))
-    diagnostics.extend(lint_invariants(invariants, program, registry))
+            run("query", lambda: query_pass(program, queries))
+        run("dead_rule", lambda: dead_rule_pass(program))
+        run("reachability", lambda: reachability_pass(program, queries))
+        run("bindingflow", lambda: bindingflow_pass(program, queries))
+        run("relevance", lambda: relevance_pass(program, queries))
+    run("invariants", lambda: lint_invariants(invariants, program, registry))
     report = make_report(diagnostics)
     _record_metrics(report, metrics)
     return report

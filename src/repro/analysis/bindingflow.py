@@ -1,0 +1,173 @@
+"""Whole-program binding-flow dataflow analysis (paper §5–6).
+
+The paper's capability records say, per source function, which argument
+positions *must* arrive bound; the rewriter's adornment machinery pushes
+those demands through rule bodies one query at a time.  This module asks
+the whole-program version of the question: across every call site a
+predicate has (rule bodies and analyzed query roots alike), which
+argument positions can **ever** be bound at call time, which positions do
+its feasible defining rules bind, and which constants actually flow into
+each position?
+
+Three fact tables come out of one saturation sweep:
+
+* ``call_adornments`` — per defined predicate, every adornment the
+  dataflow reaches at some call site (the union of the cells
+  :class:`~repro.analysis.feasibility.FeasibilityAnalysis` visits while
+  saturating every rule body under the most generous seeding, plus the
+  query roots);
+* ``produced_positions`` — per defined predicate, the head positions
+  bound after evaluation under *some* feasible reached adornment;
+* ``constant_flow`` — per (predicate, position), the set of constants
+  call sites pass there, or ``TOP`` once any site passes a non-constant.
+
+:func:`bindingflow_pass` turns the tables into MED150 diagnostics
+(argument positions never bound at any call site and never bound by any
+feasible rule — dataflow dead ends no ordering can rescue);
+:mod:`repro.analysis.relevance` reads the same tables for the
+specialization and static-filtering facts (MED151–155).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.analysis.diagnostics import SEVERITY_WARNING, Diagnostic
+from repro.analysis.feasibility import FeasibilityAnalysis
+from repro.core.model import Predicate, Program, Query
+from repro.core.terms import Constant
+
+#: marker for a constant-flow cell that has seen a non-constant argument
+#: (a variable or attribute path): every specialization can be reached.
+TOP = None
+
+PredicateKey = tuple[str, int]
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One IDB predicate occurrence in a rule body or query."""
+
+    literal: Predicate
+    context: str  # rendering of the enclosing rule/query, for diagnostics
+
+
+@dataclass
+class BindingFlowFacts:
+    """The analysis' fact tables, keyed by defined predicate."""
+
+    call_adornments: dict[PredicateKey, set[str]] = field(default_factory=dict)
+    produced_positions: dict[PredicateKey, set[int]] = field(default_factory=dict)
+    #: (key, position) → set of constants, or ``TOP`` (``None``)
+    constant_flow: dict[tuple[PredicateKey, int], Optional[set[Constant]]] = field(
+        default_factory=dict
+    )
+    call_sites: dict[PredicateKey, list[CallSite]] = field(default_factory=dict)
+
+    def bound_at_call(self, key: PredicateKey) -> set[int]:
+        """Positions bound under *some* reached call-site adornment."""
+        out: set[int] = set()
+        for adornment in self.call_adornments.get(key, ()):
+            out |= {i for i, ch in enumerate(adornment) if ch == "b"}
+        return out
+
+    def never_bindable(self, key: PredicateKey) -> tuple[int, ...]:
+        """Positions no call site ever binds and no feasible rule produces."""
+        arity = key[1]
+        bindable = self.bound_at_call(key) | self.produced_positions.get(key, set())
+        return tuple(i for i in range(arity) if i not in bindable)
+
+
+def compute_bindingflow(
+    program: Program, queries: Iterable[Query] = ()
+) -> BindingFlowFacts:
+    """Run the binding-flow dataflow over every rule body and query root.
+
+    Rule bodies saturate under the most generous seeding (every head
+    variable bound — any caller can at best bind all of them), query
+    roots under the query's own constants; the adornment cells the
+    feasibility analysis visits along the way *are* the reachable
+    call-time binding patterns.
+    """
+    analysis = FeasibilityAnalysis(program)
+    facts = BindingFlowFacts()
+
+    for rule in program.rules:
+        analysis.saturate(rule.body, rule.head.variables())
+    queries = tuple(queries)
+    for query in queries:
+        analysis.saturate(tuple(query.goals), frozenset())
+
+    # reachable call-time adornments + produced positions, per predicate
+    # (snapshot: predicate_bindings may touch `reached` for fresh cells)
+    for (key, adornment), feasible in list(analysis.reached.items()):
+        if not program.defines(*key):
+            continue
+        facts.call_adornments.setdefault(key, set()).add(adornment)
+        if feasible:
+            produced = analysis.predicate_bindings(key, adornment)
+            if produced is not None:
+                facts.produced_positions.setdefault(key, set()).update(produced)
+
+    # syntactic call sites + the constants flowing into each position
+    def visit(literal: Predicate, context: str) -> None:
+        key = literal.key
+        if not program.defines(*key):
+            return
+        facts.call_sites.setdefault(key, []).append(CallSite(literal, context))
+        for position, arg in enumerate(literal.args):
+            cell = (key, position)
+            if facts.constant_flow.get(cell, set()) is TOP:
+                continue
+            if isinstance(arg, Constant):
+                flow = facts.constant_flow.setdefault(cell, set())
+                assert flow is not TOP
+                flow.add(arg)
+            else:
+                facts.constant_flow[cell] = TOP
+
+    for rule in program.rules:
+        rendered = str(rule)
+        for literal in rule.body:
+            if isinstance(literal, Predicate):
+                visit(literal, rendered)
+    for query in queries:
+        rendered = str(query)
+        for goal in query.goals:
+            if isinstance(goal, Predicate):
+                visit(goal, rendered)
+    return facts
+
+
+def bindingflow_pass(
+    program: Program, queries: Iterable[Query] = ()
+) -> list[Diagnostic]:
+    """MED150: argument positions of a called predicate that nothing can
+    ever bind — no reachable call site binds them and no feasible
+    defining rule produces them, so every rule that *needs* them bound
+    is unreachable dataflow."""
+    facts = compute_bindingflow(program, queries)
+    diagnostics: list[Diagnostic] = []
+    for key in sorted(facts.call_sites):
+        positions = facts.never_bindable(key)
+        if not positions:
+            continue
+        name, arity = key
+        rendered = ", ".join(str(p + 1) for p in positions)
+        site = facts.call_sites[key][0]
+        diagnostics.append(
+            Diagnostic(
+                "MED150",
+                SEVERITY_WARNING,
+                f"argument position(s) {rendered} of {name}/{arity} are "
+                f"never bound at any reachable call site and no feasible "
+                f"rule binds them — callers cannot supply the value and "
+                f"evaluation cannot compute it",
+                rule=site.context,
+                literal=str(site.literal),
+                hint="bind the position at a call site (a constant or an "
+                "already-bound variable) or add a rule that computes it",
+            )
+        )
+    return diagnostics

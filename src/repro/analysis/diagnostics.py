@@ -15,6 +15,10 @@ Code ranges:
   predicates unreachable from the query roots).
 * ``MED14x`` — invariant lint (paper §4 safety, unknown endpoints,
   self-referential/cyclic chains, unsatisfiable conditions, unmatched).
+* ``MED15x`` — binding-flow facts (the whole-program dataflow behind the
+  planner's static pre-rewrite: argument positions never bindable,
+  specializations no call site reaches, statically redundant literals,
+  rules the pre-rewrite filters out).  Warnings and infos.
 * ``MED16x`` — plan verification (a plan step that is not executable, or
   answer variables left unbound).  Errors.
 """
@@ -29,6 +33,12 @@ SEVERITY_WARNING = "warning"
 SEVERITY_INFO = "info"
 
 _SEVERITY_RANK = {SEVERITY_ERROR: 0, SEVERITY_WARNING: 1, SEVERITY_INFO: 2}
+
+#: version of the JSON report layout emitted by
+#: :meth:`AnalysisReport.render_json`.  Bumped whenever a field is
+#: added, removed, or changes meaning, so scripted consumers can detect
+#: incompatible reports instead of mis-parsing them.
+SCHEMA_VERSION = 2
 
 #: Stable code → short title catalog (the full catalog with triggering
 #: examples lives in docs/ANALYSIS.md).
@@ -52,6 +62,12 @@ CODES: dict[str, str] = {
     "MED145": "unsatisfiable invariant condition",
     "MED146": "unmatched invariant",
     "MED147": "unsafe invariant",
+    "MED150": "argument position never bindable",
+    "MED151": "rule specialization unreached",
+    "MED152": "statically redundant literal",
+    "MED153": "rule statically filtered",
+    "MED154": "domain-call output never used",
+    "MED155": "comparison statically true",
     "MED160": "plan call not ground",
     "MED161": "plan comparison not evaluable",
     "MED162": "answer variable unbound",
@@ -98,13 +114,20 @@ class Diagnostic:
 
 
 def sort_key(diagnostic: Diagnostic) -> tuple:
-    """Stable report order: errors first, then by code, then location."""
+    """Deterministic report order: by code, then location, then message.
+
+    Keying on the code first (instead of severity) makes reports stable
+    under severity reclassification and trivially diffable: the same
+    program always lints to the same byte sequence, and a consumer
+    scanning for one code reads a contiguous block.  Severity still
+    breaks exact location ties.
+    """
     return (
-        _SEVERITY_RANK.get(diagnostic.severity, 99),
         diagnostic.code,
         diagnostic.rule,
         diagnostic.literal,
         diagnostic.message,
+        _SEVERITY_RANK.get(diagnostic.severity, 99),
     )
 
 
@@ -156,6 +179,7 @@ class AnalysisReport:
     def render_json(self) -> str:
         return json.dumps(
             {
+                "schema_version": SCHEMA_VERSION,
                 "diagnostics": [d.to_dict() for d in self.diagnostics],
                 "errors": len(self.errors),
                 "warnings": len(self.warnings),

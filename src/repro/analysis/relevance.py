@@ -1,0 +1,299 @@
+"""Rule/literal relevance: the planner's static pre-rewrite (paper §5–6).
+
+Magic-set-style static filtering, specialized to the nonrecursive
+mediator fragment: before the rewriter enumerates orderings, drop the
+rules and literals that provably cannot contribute to *any* answer, so
+branch-and-bound starts from a smaller program.  Everything dropped here
+is data-independent — the decision holds for every query instance — so
+the filtered program is answer-equivalent to the original under multiset
+semantics.
+
+A rule is **irrelevant** when
+
+* its comparison chain is unsatisfiable (the MED130 interval analysis:
+  ``X < 3 & X > 5`` admits no ground assignment), or
+* its body is infeasible even under the most generous seeding (every
+  head variable bound): callers can at best bind all head positions, so
+  a body stuck under that seed is stuck under every real call
+  (monotonicity of the adornment dataflow).
+
+A body literal is **redundant** when it is a comparison that
+
+* is ground and evaluates to true (the rewriter's constant folder would
+  discharge it anyway, but dropping it up front shrinks every ordering
+  permutation), or
+* duplicates an earlier comparison in the same body (conjunction is
+  idempotent over *conditions* — duplicate ``in()`` atoms are NOT
+  redundant: membership re-execution multiplies answer multiplicities).
+
+Constant-flow specialization mismatches (a rule head expecting a
+constant no call site can supply) are deliberately **lint-only**
+(MED151): a direct query can still pass the matching constant, so the
+planner must keep the rule.
+
+:func:`static_filter` is the planner entry point (consumed lazily by
+``core/rewriter.py``); :func:`relevance_pass` reports the same facts —
+plus constant-flow specialization and unused domain-call outputs — as
+MED151–155 diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.analysis.bindingflow import TOP, compute_bindingflow
+from repro.analysis.diagnostics import (
+    SEVERITY_INFO,
+    SEVERITY_WARNING,
+    Diagnostic,
+)
+from repro.analysis.feasibility import FeasibilityAnalysis
+from repro.analysis.intervals import unsatisfiable_reason
+from repro.core.model import (
+    Comparison,
+    InAtom,
+    Program,
+    Query,
+    Rule,
+    evaluate_comparison,
+)
+from repro.core.terms import Constant, Variable
+
+
+def _is_ground_true(literal: Comparison) -> bool:
+    """Both sides constants and the comparison holds."""
+    if not (
+        isinstance(literal.left, Constant) and isinstance(literal.right, Constant)
+    ):
+        return False
+    try:
+        return evaluate_comparison(literal.op, literal.left.value, literal.right.value)
+    except Exception:
+        return False  # unevaluable ⇒ not provably true
+
+
+#: operators true whenever both sides denote the same value.
+_REFLEXIVE_OPS = frozenset({"=", "==", "<=", ">=", "prefix_of", "subpath_of"})
+
+
+def _is_trivially_true(literal: Comparison) -> bool:
+    """Statically true: ground-true, or identical sides under a reflexive
+    operator (``X <= X``).  The identical-sides form is *reported* but not
+    *dropped* by the planner: ``X = X`` with a never-bound ``X`` changes
+    which orderings are executable."""
+    if _is_ground_true(literal):
+        return True
+    return literal.op in _REFLEXIVE_OPS and literal.left == literal.right
+
+
+@dataclass(frozen=True)
+class RuleFacts:
+    """Why (if at all) the static filter touches one rule."""
+
+    rule: Rule
+    dead_reason: str = ""  # unsatisfiable comparison chain (≙ MED130)
+    infeasible: bool = False  # body stuck under the most generous seeding
+    #: body indices of droppable comparisons (ground-true or duplicate)
+    redundant: tuple[int, ...] = ()
+
+    @property
+    def dropped(self) -> bool:
+        return bool(self.dead_reason) or self.infeasible
+
+
+def rule_facts(program: Program) -> tuple[RuleFacts, ...]:
+    """Per-rule static-filter facts, in program order."""
+    analysis = FeasibilityAnalysis(program)
+    out: list[RuleFacts] = []
+    for rule in program.rules:
+        comparisons = [lit for lit in rule.body if isinstance(lit, Comparison)]
+        reason = unsatisfiable_reason(comparisons) if comparisons else None
+        __, stuck = analysis.saturate(rule.body, rule.head.variables())
+        redundant: list[int] = []
+        seen: set[str] = set()
+        for index, literal in enumerate(rule.body):
+            if not isinstance(literal, Comparison):
+                continue
+            rendered = str(literal)
+            if rendered in seen:
+                redundant.append(index)
+                continue
+            seen.add(rendered)
+            if _is_ground_true(literal):
+                redundant.append(index)
+        out.append(
+            RuleFacts(
+                rule=rule,
+                dead_reason=reason or "",
+                infeasible=bool(stuck),
+                redundant=tuple(redundant),
+            )
+        )
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class StaticFilterResult:
+    """A filtered program plus an audit trail of what was removed."""
+
+    program: Program
+    dropped_rules: tuple[str, ...]  # renderings, for stats/debugging
+    literals_filtered: int
+
+    @property
+    def rules_filtered(self) -> int:
+        return len(self.dropped_rules)
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.dropped_rules) or self.literals_filtered > 0
+
+
+def static_filter(program: Program) -> StaticFilterResult:
+    """The planner-facing pre-rewrite: drop irrelevant rules and
+    redundant comparisons.  Sound for every query — only
+    data-independent facts are used (see module docstring)."""
+    kept: list[Rule] = []
+    dropped: list[str] = []
+    literals_filtered = 0
+    for facts in rule_facts(program):
+        if facts.dropped:
+            dropped.append(str(facts.rule))
+            continue
+        if facts.redundant:
+            body = tuple(
+                literal
+                for index, literal in enumerate(facts.rule.body)
+                if index not in facts.redundant
+            )
+            literals_filtered += len(facts.rule.body) - len(body)
+            kept.append(Rule(facts.rule.head, body))
+        else:
+            kept.append(facts.rule)
+    return StaticFilterResult(
+        program=Program(kept),
+        dropped_rules=tuple(dropped),
+        literals_filtered=literals_filtered,
+    )
+
+
+def relevance_pass(
+    program: Program, queries: Iterable[Query] = ()
+) -> list[Diagnostic]:
+    """MED151–155: specialization and static-filter facts as diagnostics."""
+    diagnostics: list[Diagnostic] = []
+    facts_by_rule = rule_facts(program)
+    flow = compute_bindingflow(program, queries)
+
+    for facts in facts_by_rule:
+        rule = facts.rule
+        rendered = str(rule)
+
+        # MED153 — the static filter removes this rule from planning.
+        if facts.dropped:
+            why = (
+                f"unsatisfiable comparisons ({facts.dead_reason})"
+                if facts.dead_reason
+                else "no subgoal ordering can execute its body"
+            )
+            diagnostics.append(
+                Diagnostic(
+                    "MED153",
+                    SEVERITY_INFO,
+                    f"rule is statically filtered out of planning: {why}",
+                    rule=rendered,
+                    hint="the planner never considers this rule; fix or "
+                    "delete it",
+                )
+            )
+
+        # MED151 — head expects a constant no call site can supply.
+        key = rule.head.key
+        if flow.call_sites.get(key):
+            for position, arg in enumerate(rule.head.args):
+                if not isinstance(arg, Constant):
+                    continue
+                cell_flow = flow.constant_flow.get((key, position))
+                if cell_flow is TOP or cell_flow is None:
+                    continue
+                if arg in cell_flow:
+                    continue
+                supplied = ", ".join(sorted(str(c) for c in cell_flow)) or "none"
+                diagnostics.append(
+                    Diagnostic(
+                        "MED151",
+                        SEVERITY_WARNING,
+                        f"rule specializes {key[0]}/{key[1]} on {arg} at "
+                        f"argument {position + 1}, but call sites only pass "
+                        f"constant(s): {supplied} — the specialization is "
+                        f"unreached",
+                        rule=rendered,
+                        literal=str(rule.head),
+                        hint="call the predicate with this constant, or "
+                        "delete the unreached specialization",
+                    )
+                )
+
+        # MED152 / MED155 — redundant and statically true literals.
+        seen: set[str] = set()
+        for literal in rule.body:
+            if not isinstance(literal, Comparison):
+                continue
+            text = str(literal)
+            if text in seen:
+                diagnostics.append(
+                    Diagnostic(
+                        "MED152",
+                        SEVERITY_WARNING,
+                        f"comparison {text} duplicates an earlier body "
+                        f"literal — conjunction is idempotent over "
+                        f"conditions",
+                        rule=rendered,
+                        literal=text,
+                        hint="delete the duplicate",
+                    )
+                )
+                continue
+            seen.add(text)
+            if _is_trivially_true(literal):
+                diagnostics.append(
+                    Diagnostic(
+                        "MED155",
+                        SEVERITY_INFO,
+                        f"comparison {text} is statically true — it filters "
+                        f"nothing",
+                        rule=rendered,
+                        literal=text,
+                        hint="delete it, or fix it if it was meant to "
+                        "constrain something",
+                    )
+                )
+
+        # MED154 — domain-call output bound but never consumed.
+        for literal in rule.body:
+            if not isinstance(literal, InAtom):
+                continue
+            output = literal.output
+            if not isinstance(output, Variable):
+                continue
+            used_elsewhere = output in rule.head.variables() or any(
+                output in other.variables()
+                for other in rule.body
+                if other is not literal
+            ) or output in literal.call.variables()
+            if not used_elsewhere:
+                diagnostics.append(
+                    Diagnostic(
+                        "MED154",
+                        SEVERITY_INFO,
+                        f"output {output} of {literal.call} is never used — "
+                        f"the call only gates the rule on answer-set "
+                        f"non-emptiness",
+                        rule=rendered,
+                        literal=str(literal),
+                        hint="project the output into the head or a "
+                        "condition, or name it to match another literal",
+                    )
+                )
+    return diagnostics

@@ -206,21 +206,12 @@ class MediatorShell:
                 )
             self.write(_storage_summary(self.mediator))
         elif command == ":validate":
-            issues = self.mediator.validate_program()
-            if not issues:
+            report = self.mediator.analyze()
+            if report.clean:
                 self.write("program OK: no issues found.")
-            for issue in issues:
-                self.write(str(issue))
-            if issues:
-                from repro.core.validation import SEVERITY_ERROR
-
-                errors = sum(
-                    1 for issue in issues if issue.severity == SEVERITY_ERROR
-                )
-                self.write(
-                    f"{errors} error(s), {len(issues) - errors} warning(s)."
-                )
-                if errors:
+            else:
+                self.write(report.render_text())
+                if report.errors:
                     self.exit_status = 1
         elif command == ":stats":
             self.write(f"clock: {self.mediator.clock.now_ms:.1f} simulated ms")
@@ -230,6 +221,7 @@ class MediatorShell:
                        f"{self.mediator.cim.cache.total_bytes} bytes")
             self.write(_planner_summary(self.mediator))
             self.write(_runtime_summary(self.mediator))
+            self.write(_analysis_summary(self.mediator))
             self.write(_health_summary(self.mediator))
         elif command == ":health":
             self.write(_health_summary(self.mediator))
@@ -266,10 +258,25 @@ def _planner_summary(mediator: Mediator) -> str:
     return (
         f"planner: {metrics.value('planner.searches'):.0f} searches, "
         f"{metrics.value('planner.states_pruned'):.0f} states pruned, "
+        f"{metrics.value('planner.tail_completions'):.0f} tail completions, "
         f"{metrics.value('planner.estimator_memo_hits'):.0f} estimator memo hits; "
+        f"static filter dropped {metrics.value('planner.rules_filtered'):.0f} "
+        f"rule(s) / {metrics.value('planner.literals_filtered'):.0f} literal(s); "
         f"plan cache {metrics.value('planner.plan_cache_hits'):.0f} hits / "
         f"{metrics.value('planner.plan_cache_misses'):.0f} misses "
         f"({len(mediator.plan_cache)} entries)"
+    )
+
+
+def _analysis_summary(mediator: Mediator) -> str:
+    """One-line static-analysis report; running it also records the
+    per-pass ``analysis.pass_ms.*`` timings into the metrics registry."""
+    report = mediator.analyze()
+    return (
+        f"analysis: {len(report.diagnostics)} diagnostic(s) "
+        f"({len(report.errors)} error(s), {len(report.warnings)} warning(s)) "
+        f"over {mediator.metrics.value('analysis.runs'):.0f} run(s); "
+        f"per-pass wall time under analysis.pass_ms.* below"
     )
 
 
@@ -434,6 +441,7 @@ def stats_main(argv: list[str], stdout: Optional[IO[str]] = None) -> int:
     out.write(_planner_summary(mediator) + "\n")
     out.write(_runtime_summary(mediator) + "\n")
     out.write(_storage_summary(mediator) + "\n")
+    out.write(_analysis_summary(mediator) + "\n")
     if health:
         out.write(_health_summary(mediator) + "\n")
     out.write("metrics:\n")

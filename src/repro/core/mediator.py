@@ -313,8 +313,15 @@ class Mediator:
         )
 
     def _program_fingerprint(self) -> str:
-        """Content hash of the planning inputs (rules + invariants) — the
-        cross-process equivalent of the in-process plan epoch."""
+        """Content hash of the planning inputs (rules + invariants +
+        pre-rewrite configuration) — the cross-process equivalent of the
+        in-process plan epoch.  The static-filter knob is part of the
+        hash because it changes which program the rewriter actually
+        plans: a template planned with filtering on must not be adopted
+        by a mediator planning the unfiltered program (and vice versa).
+        Only the *configuration* is hashed — running the analysis here
+        would require building a Rewriter, which recursive programs
+        (rightly) refuse."""
         hasher = hashlib.sha256()
         for text in sorted(str(rule) for rule in self.program):
             hasher.update(text.encode("utf-8"))
@@ -323,6 +330,11 @@ class Mediator:
         for text in sorted(str(inv) for inv in self.cim.invariants):
             hasher.update(text.encode("utf-8"))
             hasher.update(b"\n")
+        hasher.update(b"--planner-config--\n")
+        hasher.update(
+            f"static_filter={'on' if self.rewriter_config.static_filter else 'off'}"
+            f":v1\n".encode("utf-8")
+        )
         return hasher.hexdigest()
 
     def _adopt_persisted_plans(self) -> None:
@@ -681,6 +693,13 @@ class Mediator:
         self.metrics.inc("planner.states_pruned", result.stats.states_pruned)
         self.metrics.inc("planner.estimator_lookups", session.lookups)
         self.metrics.inc("planner.estimator_memo_hits", session.memo_hits)
+        self.metrics.inc("planner.tail_completions", result.stats.tail_completions)
+        if result.stats.rules_filtered:
+            self.metrics.inc("planner.rules_filtered", result.stats.rules_filtered)
+        if result.stats.literals_filtered:
+            self.metrics.inc(
+                "planner.literals_filtered", result.stats.literals_filtered
+            )
 
         routed = self._route(concrete, use_cim)
         estimate: Optional[PlanEstimate] = None

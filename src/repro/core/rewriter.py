@@ -23,6 +23,7 @@ recursion to its reference [33], and we raise
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterator, Optional
 
@@ -64,6 +65,13 @@ class RewriterConfig:
     max_expansions: int = 256  # rule-choice combinations explored
     max_depth: int = 16  # unfolding depth
     max_search_states: int = 200_000  # cost-guided search state budget
+    #: magic-set-style static pre-rewrite: drop rules/literals the
+    #: binding-flow analysis proves irrelevant before unfolding starts
+    #: (see repro.analysis.relevance.static_filter)
+    static_filter: bool = True
+    #: closed-form completion of independent call tails in the guided
+    #: search (Smith's-rule ranking) instead of recursive branching
+    rank_tail: bool = True
 
 
 # ---------------------------------------------------------------------------
@@ -130,6 +138,9 @@ class SearchStats:
     estimator_memo_hits: int = 0  # pattern lookups answered by the session memo
     expansions: int = 0
     complete_plans: int = 0  # complete orderings reached (post-pruning)
+    tail_completions: int = 0  # independent tails completed in closed form
+    rules_filtered: int = 0  # rules dropped by the static pre-rewrite
+    literals_filtered: int = 0  # body literals dropped by the pre-rewrite
 
     @property
     def states_pruned(self) -> int:
@@ -167,6 +178,24 @@ class Rewriter:
             )
         self.program = program
         self.config = config if config is not None else RewriterConfig()
+        # Static pre-rewrite (paper §5–6 via magic-set-style filtering):
+        # unfold against a program stripped of provably irrelevant rules
+        # and redundant comparisons.  Only data-independent facts are
+        # used, so every query's answers are unchanged; the rules the
+        # MED130 dead-rule and feasibility analyses reject never enter
+        # branch-and-bound at all.
+        self.rules_filtered = 0
+        self.literals_filtered = 0
+        self._search_program = program
+        if self.config.static_filter:
+            # function-level import: repro.analysis depends on repro.core
+            from repro.analysis.relevance import static_filter
+
+            filtered = static_filter(program)
+            if filtered.changed:
+                self._search_program = filtered.program
+                self.rules_filtered = filtered.rules_filtered
+                self.literals_filtered = filtered.literals_filtered
 
     # -- public API ----------------------------------------------------------
 
@@ -253,7 +282,11 @@ class Rewriter:
                 f"every rewriting of the query is unsatisfiable: {query}"
             )
         sess = session if session is not None else estimator.session()
-        stats = SearchStats(expansions=len(expansions))
+        stats = SearchStats(
+            expansions=len(expansions),
+            rules_filtered=self.rules_filtered,
+            literals_filtered=self.literals_filtered,
+        )
         unified: frozenset[Variable] = frozenset()
 
         best_plan: Optional[Plan] = None
@@ -370,6 +403,79 @@ class Rewriter:
                             )
                             best_key = key
                         return
+                    # Rank-tail completion: once no comparisons are pending
+                    # and the remaining calls are pairwise independent
+                    # (each executable right now, no shared unbound
+                    # variables), every ordering of the tail has the same
+                    # T_first and the same final cardinality, and T_all is
+                    # minimized by ranking ascending on (fanout−1)/t_all
+                    # (adjacent-interchange / Smith's rule).  The whole
+                    # subtree — k! orderings — resolves in one closed-form
+                    # step.
+                    if self.config.rank_tail and not binders and not filters:
+                        tail: list[tuple[InAtom, float, float, float]] = []
+                        fresh_seen: set[Variable] = set()
+                        independent = True
+                        for index in remaining:
+                            atom = calls[index]
+                            if adorn_step(atom, bound) is None:
+                                independent = False
+                                break
+                            fresh = set(atom.variables()) - bound
+                            if fresh & fresh_seen:
+                                independent = False
+                                break
+                            fresh_seen |= fresh
+                        if independent:
+                            for index in remaining:
+                                atom = calls[index]
+                                pattern = estimator.pattern_for(
+                                    CallStep(atom), bound, const_subst
+                                )
+                                vector = sess.cost(pattern)
+                                if vector is None:
+                                    # every ordering of this subtree runs
+                                    # the unpriceable call: nothing here
+                                    # can be priced, prune the subtree
+                                    return
+                                step_t_all = vector.t_all_ms
+                                assert step_t_all is not None
+                                step_t_first = (
+                                    vector.t_first_ms
+                                    if vector.t_first_ms is not None
+                                    else step_t_all
+                                )
+                                fanout = vector.cardinality
+                                assert fanout is not None
+                                if estimator.membership_cap and term_is_bound(
+                                    atom.output, bound
+                                ):
+                                    fanout = min(fanout, 1.0)
+                                tail.append(
+                                    (atom, step_t_all, step_t_first, fanout)
+                                )
+                            tail.sort(key=lambda e: _rank_ratio(e[3], e[1]))
+                            for atom, step_t_all, step_t_first, fanout in tail:
+                                steps.append(CallStep(atom))
+                                t_first += step_t_first
+                                t_all += card * step_t_all
+                                card *= fanout
+                            stats.tail_completions += 1
+                            stats.complete_plans += 1
+                            key = make_key(t_all, t_first)
+                            if best_key is None or key < best_key:
+                                best_plan = Plan(
+                                    steps=tuple(steps),
+                                    answer_vars=query.answer_vars,
+                                    origin=origin,
+                                )
+                                best_vector = CostVector(
+                                    t_first_ms=t_first,
+                                    t_all_ms=t_all,
+                                    cardinality=card,
+                                )
+                                best_key = key
+                            return
                     for i, index in enumerate(remaining):
                         atom = calls[index]
                         after = adorn_step(atom, bound)
@@ -464,8 +570,14 @@ class Rewriter:
                 if isinstance(literal, Predicate):
                     resolved = substitute_literal(literal, subst)
                     assert isinstance(resolved, Predicate)
-                    rules = self.program.rules_for(resolved.name, resolved.arity)
+                    rules = self._search_program.rules_for(
+                        resolved.name, resolved.arity
+                    )
                     if not rules:
+                        if self.program.defines(resolved.name, resolved.arity):
+                            # every defining rule was statically filtered:
+                            # this branch of the rewriting is dead
+                            return
                         raise PlanningError(
                             f"predicate {resolved.name}/{resolved.arity} has no "
                             f"defining rules and is not a domain call"
@@ -646,6 +758,24 @@ def _without_avoided(
             f"({', '.join(sorted(avoid_domains))})"
         )
     return kept
+
+
+def _rank_ratio(fanout: float, t_all_ms: float) -> float:
+    """Smith's-rule rank of an independent tail call.
+
+    For calls whose executability and pattern do not depend on order,
+    placing A before B is no worse iff
+    ``t_A + f_A·t_B ≤ t_B + f_B·t_A`` ⟺ ``(f_A−1)/t_A ≤ (f_B−1)/t_B``,
+    so sorting ascending on this ratio minimizes the pipelined T_all.
+    Zero-cost calls sort by the sign of their fanout growth alone.
+    """
+    if t_all_ms > 0:
+        return (fanout - 1.0) / t_all_ms
+    if fanout > 1.0:
+        return math.inf
+    if fanout < 1.0:
+        return -math.inf
+    return 0.0
 
 
 def _simplify(literals: tuple[Literal, ...]) -> Optional[tuple[Literal, ...]]:

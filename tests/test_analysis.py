@@ -11,10 +11,15 @@ from repro.analysis import (
     SEVERITY_WARNING,
     Diagnostic,
     analyze_program,
+    bindingflow_pass,
+    compute_bindingflow,
     lint_invariants,
     make_report,
+    relevance_pass,
     unsatisfiable_reason,
 )
+from repro.analysis.bindingflow import TOP
+from repro.analysis.diagnostics import SCHEMA_VERSION
 from repro.analysis.passes import (
     dead_rule_pass,
     feasibility_pass,
@@ -26,7 +31,7 @@ from repro.core.adornment import adornment_of, call_adornment
 from repro.core.mediator import Mediator
 from repro.core.model import Comparison, InAtom
 from repro.core.parser import parse_invariant, parse_program, parse_query
-from repro.core.terms import AttrPath, Variable
+from repro.core.terms import AttrPath, Constant, Variable
 from repro.domains.base import simple_domain
 from repro.domains.registry import DomainRegistry
 from repro.workloads.datasets import build_rope_testbed
@@ -487,6 +492,131 @@ class TestAnalyzeProgram:
         assert [i.message for i in issues if i.severity == SEVERITY_ERROR] == [
             d.message for d in report.errors
         ]
+
+
+# ---------------------------------------------------------------------------
+# Binding flow (MED150) and relevance (MED151-155)
+# ---------------------------------------------------------------------------
+
+
+class TestBindingFlowPass:
+    def test_never_bindable_argument(self):
+        """helper's first argument is an input: no call site binds it and
+        no defining rule computes it, so nothing can ever supply it."""
+        program = parse_program(
+            """
+            helper(Obj, F) :- in(F, d:f(Obj)).
+            caller(F) :- helper(Obj, F).
+            """
+        )
+        diagnostics = bindingflow_pass(program)
+        meds = [d for d in diagnostics if d.code == "MED150"]
+        assert any("helper/2" in d.message for d in meds)
+
+    def test_bound_call_site_is_clean(self):
+        program = parse_program(
+            """
+            helper(Obj, F) :- in(F, d:f(Obj)).
+            caller(F) :- helper(1, F).
+            """
+        )
+        assert bindingflow_pass(program) == []
+
+    def test_query_goals_count_as_call_sites(self):
+        program = parse_program("p(X, Y) :- in(Y, d:f(X)).")
+        query = parse_query("?- p(1, Y).")
+        assert bindingflow_pass(program, [query]) == []
+
+    def test_constant_flow_and_produced_positions(self):
+        program = parse_program(
+            """
+            t('a', S) :- in(S, d:g()).
+            t('b', S) :- in(S, d:g()).
+            top(S) :- t('a', S).
+            """
+        )
+        facts = compute_bindingflow(program)
+        key = ("t", 2)
+        assert facts.constant_flow[(key, 0)] == {Constant("a")}
+        assert facts.constant_flow[(key, 1)] is TOP
+        assert 1 in facts.produced_positions[key]
+        assert len(facts.call_sites[key]) == 1
+
+
+class TestRelevancePass:
+    def test_unreached_specialization(self):
+        program = parse_program(
+            """
+            t('a', S) :- in(S, d:g()).
+            t('b', S) :- in(S, d:g()).
+            top(S) :- t('a', S).
+            """
+        )
+        meds = [d for d in relevance_pass(program) if d.code == "MED151"]
+        assert len(meds) == 1
+        assert "'b'" in meds[0].message
+
+    def test_duplicate_comparison(self):
+        program = parse_program("p(X) :- in(X, d:g()) & X > 1 & X > 1.")
+        codes = codes_of(relevance_pass(program))
+        assert "MED152" in codes
+
+    def test_statically_true_comparison(self):
+        program = parse_program("p(X) :- in(X, d:g()) & 1 < 2.")
+        codes = codes_of(relevance_pass(program))
+        assert "MED155" in codes
+
+    def test_filtered_dead_rule_reported(self):
+        program = parse_program("p(X) :- in(X, d:g()) & X < 1 & X > 2.")
+        meds = [d for d in relevance_pass(program) if d.code == "MED153"]
+        assert len(meds) == 1
+        assert "unsatisfiable" in meds[0].message
+
+    def test_filtered_infeasible_rule_reported(self):
+        program = parse_program("p(X) :- in(X, d:f(Y)).")
+        meds = [d for d in relevance_pass(program) if d.code == "MED153"]
+        assert len(meds) == 1
+        assert "no subgoal ordering" in meds[0].message
+
+    def test_unused_domain_call_output(self):
+        program = parse_program("p(X) :- in(X, d:g()) & in(Y, d:g()).")
+        meds = [d for d in relevance_pass(program) if d.code == "MED154"]
+        assert len(meds) == 1
+        assert "Y" in meds[0].message
+
+    def test_clean_program_has_no_relevance_diagnostics(self):
+        program = parse_program("p(X, Y) :- in(X, d:g()) & in(Y, d:f(X)).")
+        assert relevance_pass(program) == []
+
+
+class TestDeterministicReports:
+    def test_report_sorted_by_code_then_location(self):
+        a = Diagnostic("MED131", SEVERITY_WARNING, "m", rule="z")
+        b = Diagnostic("MED101", SEVERITY_ERROR, "m", rule="b")
+        c = Diagnostic("MED101", SEVERITY_ERROR, "m", rule="a")
+        report = make_report([a, b, c])
+        assert [d.rule for d in report.diagnostics] == ["a", "b", "z"]
+        assert [d.code for d in report.diagnostics] == [
+            "MED101",
+            "MED101",
+            "MED131",
+        ]
+
+    def test_schema_version_in_json(self):
+        report = make_report(
+            [Diagnostic("MED101", SEVERITY_ERROR, "boom")]
+        )
+        payload = json.loads(report.render_json())
+        assert payload["schema_version"] == SCHEMA_VERSION
+
+    def test_pass_timings_recorded(self):
+        mediator = Mediator()
+        mediator.register_domain(simple_domain("d", {"g": lambda: [1]}))
+        mediator.load_program("p(X) :- in(X, d:g()).")
+        mediator.analyze()
+        for name in ("bindingflow", "relevance", "structure"):
+            histogram = mediator.metrics.histogram(f"analysis.pass_ms.{name}")
+            assert histogram.count >= 1
 
 
 # ---------------------------------------------------------------------------

@@ -54,6 +54,13 @@ class TestLintMain:
         assert "MED143" in text  # self-referential invariant
         assert "MED144" in text  # cyclic invariant chain
         assert "MED146" in text  # invariant no call can match
+        # the binding-flow / relevance sextet (docs/ANALYSIS.md)
+        assert "MED150" in text  # argument position never bindable
+        assert "MED151" in text  # rule specialization unreached
+        assert "MED152" in text  # statically redundant literal
+        assert "MED153" in text  # rule statically filtered
+        assert "MED154" in text  # domain-call output never used
+        assert "MED155" in text  # comparison statically true
 
     def test_json_report_is_parseable(self):
         out = io.StringIO()
@@ -61,8 +68,20 @@ class TestLintMain:
         payload = json.loads(out.getvalue())
         assert payload["exit_code"] == code == 2
         assert payload["errors"] >= 1
+        assert payload["schema_version"] == 2
         codes = {d["code"] for d in payload["diagnostics"]}
         assert {"MED120", "MED130", "MED131", "MED143", "MED144"} <= codes
+        assert {
+            "MED150",
+            "MED151",
+            "MED152",
+            "MED153",
+            "MED154",
+            "MED155",
+        } <= codes
+        # deterministic output: diagnostics arrive sorted by (code, rule)
+        keys = [(d["code"], d["rule"], d["literal"]) for d in payload["diagnostics"]]
+        assert keys == sorted(keys)
 
     def test_warnings_only_exit_1(self, tmp_path):
         path = tmp_path / "warn.med"
