@@ -112,6 +112,11 @@ class ResultCache:
         # load don't leave dead records accumulating in the backend
         self._deferred_deletes: list[GroundCall] = []
         self.stats = CacheStats()
+        # entries dropped by source-change notifications, itemized for the
+        # per-tier cache summary (TTL drops are stats.expirations and
+        # capacity drops stats.evictions; plain attribute, not a
+        # CacheStats field, so existing stats consumers are unaffected)
+        self.source_invalidations = 0
         self._entries: "OrderedDict[GroundCall, CacheEntry]" = OrderedDict()
         # secondary index keyed by (domain, function) tuples: lookup and
         # invalidation touch only the bucket of the one source function
@@ -223,6 +228,7 @@ class ResultCache:
                 c for c in self._stale if (c.domain, c.function) == key
             ]:
                 del self._stale[call]
+            self.source_invalidations += len(calls)
             return len(calls)
 
     def invalidate_domain(self, domain: str) -> int:
@@ -236,6 +242,7 @@ class ResultCache:
                     removed += 1
             for call in [c for c in self._stale if c.domain == domain]:
                 del self._stale[call]
+            self.source_invalidations += removed
             return removed
 
     def clear(self) -> None:

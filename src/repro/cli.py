@@ -13,6 +13,7 @@ Commands (everything else is parsed as a rule or a query):
     :cim on|off               route queries through the cache manager
     :jobs N                   run queries with N parallel workers (1 = sequential)
     :storage [flush]          cache storage backend summary; 'flush' persists now
+    :cache                    per-tier cache summary (cim / plan / subplan)
     :validate                 static checks of rules vs registered domains
     :stats                    DCSM / CIM / planner / runtime / health counters
     :health                   per-source breaker state, error rate, latency quantiles
@@ -205,6 +206,8 @@ class MediatorShell:
                     f":storage takes no argument or 'flush', got {argument!r}"
                 )
             self.write(_storage_summary(self.mediator))
+        elif command == ":cache":
+            self.write(_cache_summary(self.mediator))
         elif command == ":validate":
             report = self.mediator.analyze()
             if report.clean:
@@ -219,6 +222,7 @@ class MediatorShell:
             self.write(f"CIM:   {self.mediator.cim.stats}")
             self.write(f"cache: {len(self.mediator.cim.cache)} entries, "
                        f"{self.mediator.cim.cache.total_bytes} bytes")
+            self.write(_cache_summary(self.mediator))
             self.write(_planner_summary(self.mediator))
             self.write(_runtime_summary(self.mediator))
             self.write(_analysis_summary(self.mediator))
@@ -290,6 +294,43 @@ def _runtime_summary(mediator: Mediator) -> str:
         f"{metrics.value('runtime.cancelled'):.0f} cancelled, "
         f"queue high-watermark {metrics.value('runtime.queue.high_watermark'):.0f}"
     )
+
+
+def _cache_summary(mediator: Mediator) -> str:
+    """Per-tier cache report: hit rate, occupancy, and invalidations by
+    reason for each of the three tiers (see ``docs/CACHING.md``)."""
+
+    def reasons(counts: dict[str, int]) -> str:
+        shown = " ".join(f"{k}={v}" for k, v in counts.items() if v)
+        return f" invalidated[{shown}]" if shown else ""
+
+    cim = mediator.cim.cache
+    cim_line = (
+        f"  cim     : hit_rate={cim.stats.hit_rate:.2f} "
+        f"entries={len(cim)} bytes={cim.total_bytes}"
+        + reasons(
+            {
+                "source": cim.source_invalidations,
+                "ttl": cim.stats.expirations,
+                "eviction": cim.stats.evictions,
+            }
+        )
+    )
+    plans = mediator.plan_cache
+    plan_lookups = plans.hits + plans.misses
+    plan_rate = plans.hits / plan_lookups if plan_lookups else 0.0
+    plan_line = (
+        f"  plan    : hit_rate={plan_rate:.2f} entries={len(plans)}"
+        + reasons(plans.invalidations)
+    )
+    sub = mediator.subplan_cache
+    sub_line = (
+        f"  subplan : hit_rate={sub.stats.hit_rate:.2f} "
+        f"entries={sub.entry_count} bytes={sub.total_bytes}"
+        + reasons(sub.stats.invalidations)
+        + ("" if mediator.use_subplan_cache else " (disabled)")
+    )
+    return "cache tiers:\n" + "\n".join((cim_line, plan_line, sub_line))
 
 
 def _storage_summary(mediator: Mediator) -> str:
@@ -438,6 +479,7 @@ def stats_main(argv: list[str], stdout: Optional[IO[str]] = None) -> int:
     out.write(f"clock: {mediator.clock.now_ms:.1f} simulated ms\n")
     out.write(f"DCSM:  {mediator.dcsm.observation_count()} observations\n")
     out.write(f"CIM:   {mediator.cim.stats}\n")
+    out.write(_cache_summary(mediator) + "\n")
     out.write(_planner_summary(mediator) + "\n")
     out.write(_runtime_summary(mediator) + "\n")
     out.write(_storage_summary(mediator) + "\n")

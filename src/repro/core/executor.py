@@ -26,7 +26,18 @@ from typing import Callable, Iterator, Optional
 
 from repro.cim.manager import CacheInvariantManager
 from repro.core.model import Comparison, GroundCall
-from repro.core.plans import CallStep, CompareStep, Plan
+from repro.core.plans import CallStep, CompareStep, Plan, PlanStep
+from repro.core.subplan import (
+    CanonicalPrefix,
+    SubplanEntry,
+    SubplanResultCache,
+    SubplanRow,
+    canonicalize_prefix,
+    project_row,
+    replay_cost_ms,
+    row_subst,
+    subplan_cuts,
+)
 from repro.core.terms import Constant, Term, Value, Variable
 from repro.core.unify import Substitution, resolve, resolve_ground, unify
 from repro.dcsm.module import DCSM
@@ -147,6 +158,7 @@ class Executor:
         health: Optional[HealthRegistry] = None,
         hedge_policy: Optional[HedgePolicy] = None,
         partial_on_failure: bool = False,
+        subplan: Optional[SubplanResultCache] = None,
     ):
         self.registry = registry
         self.clock = clock
@@ -180,6 +192,10 @@ class Executor:
         self.health = health
         self.hedge_policy = hedge_policy
         self.partial_on_failure = partial_on_failure
+        # the middle caching tier (docs/CACHING.md): materialized results
+        # of plan prefixes, replayed for any plan with the same canonical
+        # prefix — across queries, not just within one run like the memo
+        self.subplan = subplan
 
     def set_policy(self, policy: Optional[RetryPolicy]) -> None:
         """Swap the retry policy (each run seeds its own jitter stream)."""
@@ -234,7 +250,9 @@ class Executor:
         t_first: Optional[float] = None
         complete = True
         batch: list[tuple[Value, ...]] = []
-        stream = self._solve(plan.steps, 0, dict(initial_subst or {}), provenance, stats)
+        stream, subplan_finalize = self._subplan_stream(
+            plan.steps, dict(initial_subst or {}), provenance, stats
+        )
         for subst in stream:
             answer = self._project(plan.answer_vars, subst)
             self.clock.advance(self.display_cost_ms)
@@ -264,6 +282,16 @@ class Executor:
                         break
         else:
             complete = True
+            if (
+                subplan_finalize is not None
+                and stats.incomplete_results == 0
+                and stats.degraded == 0
+                and not stats.missing_sources
+            ):
+                # only fully-enumerated, non-degraded runs may populate the
+                # subplan tier: a partial prefix replayed later would
+                # silently drop answers
+                subplan_finalize()
         t_all = self.clock.now_ms - start_ms
         return ExecutionResult(
             answers=tuple(answers),
@@ -296,6 +324,100 @@ class Executor:
         ):
             self.clock.advance(self.display_cost_ms)
             yield self._project(plan.answer_vars, subst)
+
+    # -- subplan tier ---------------------------------------------------------
+
+    def _subplan_stream(
+        self,
+        steps: tuple[PlanStep, ...],
+        subst0: dict[Variable, Term],
+        provenance: Counter,
+        stats: _RunStats,
+    ) -> tuple[Iterator[dict[Variable, Term]], Optional[Callable[[], None]]]:
+        """``_solve`` wrapped with the subplan tier.
+
+        On a hit the longest cached prefix is replayed (its source calls
+        never dispatch); on a miss the stream is *teed* — every cut's
+        bindings are collected as they flow past, preserving streaming
+        order and timing exactly.  Returns ``(iterator, finalize)`` where
+        ``finalize`` (miss path only) must be called only after the
+        stream ran to full, clean exhaustion.
+        """
+        cache = self.subplan
+        if cache is None:
+            return self._solve(steps, 0, subst0, provenance, stats), None
+        cuts = subplan_cuts(steps)
+        if not cuts:
+            return self._solve(steps, 0, subst0, provenance, stats), None
+        canons = [canonicalize_prefix(steps[:cut], subst0) for cut in cuts]
+        hit = cache.match(
+            [canon.key for canon in reversed(canons)], now_ms=self.clock.now_ms
+        )
+        if hit is not None:
+            key, entry = hit
+            which = next(i for i, canon in enumerate(canons) if canon.key == key)
+            return (
+                self._subplan_replay(
+                    entry, canons[which], steps, cuts[which], subst0, provenance, stats
+                ),
+                None,
+            )
+        collectors: list[Optional[list[SubplanRow]]] = [[] for _ in cuts]
+        start_ms = self.clock.now_ms
+
+        def segment(
+            which: int, subst: dict[Variable, Term]
+        ) -> Iterator[dict[Variable, Term]]:
+            lo = cuts[which - 1] if which > 0 else 0
+            if which == len(cuts):
+                yield from self._solve(steps, lo, subst, provenance, stats)
+                return
+            hi = cuts[which]
+            for out in self._solve(steps[:hi], lo, subst, provenance, stats):
+                rows = collectors[which]
+                if rows is not None:
+                    row = project_row(canons[which].var_order, out)
+                    if row is None:
+                        # an unground prefix variable: replaying this cut
+                        # later could not reconstruct the substitution
+                        collectors[which] = None
+                    else:
+                        rows.append(row)
+                yield from segment(which + 1, out)
+
+        def finalize() -> None:
+            elapsed = self.clock.now_ms - start_ms
+            total_calls = sum(1 for step in steps if isinstance(step, CallStep))
+            for which, cut in enumerate(cuts):
+                rows = collectors[which]
+                if rows is None:
+                    continue
+                prefix_calls = sum(
+                    1 for step in steps[:cut] if isinstance(step, CallStep)
+                )
+                cost_ms = elapsed * prefix_calls / max(total_calls, 1)
+                cache.put(canons[which], rows, now_ms=self.clock.now_ms, cost_ms=cost_ms)
+
+        return segment(0, subst0), finalize
+
+    def _subplan_replay(
+        self,
+        entry: SubplanEntry,
+        canon: CanonicalPrefix,
+        steps: tuple[PlanStep, ...],
+        cut: int,
+        subst0: dict[Variable, Term],
+        provenance: Counter,
+        stats: _RunStats,
+    ) -> Iterator[dict[Variable, Term]]:
+        """Feed the cached rows into the plan's tail in materialization
+        order (answer-sequence parity with a cold run)."""
+        self.clock.advance(replay_cost_ms(len(entry.rows), self.memo_hit_cost_ms))
+        provenance["subplan"] += len(entry.rows)
+        for row in entry.rows:
+            yield from self._solve(
+                steps, cut, row_subst(canon.var_order, row, subst0), provenance, stats
+            )
 
     # -- evaluation core -----------------------------------------------------------
 

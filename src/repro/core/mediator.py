@@ -32,7 +32,7 @@ import hashlib
 import itertools
 import os
 import tempfile
-from typing import TYPE_CHECKING, Any, Iterable, Optional, Union
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional, Union
 
 from repro.cim.cache import POLICY_COST, ResultCache
 from repro.cim.manager import CacheInvariantManager, CimPolicy
@@ -51,8 +51,17 @@ from repro.core.plancache import (
     load_plan_records,
     save_plan_cache,
 )
-from repro.core.plans import Plan
+from repro.core.plans import Plan, PlanStep
 from repro.core.rewriter import Rewriter, RewriterConfig
+from repro.core.subplan import (
+    PersistedSubplan,
+    SubplanResultCache,
+    adopt_subplan_records,
+    canonicalize_prefix,
+    load_subplan_records,
+    replay_cost_ms,
+    save_subplan_cache,
+)
 from repro.dcsm.module import DCSM
 from repro.domains.base import Domain
 from repro.domains.registry import DomainRegistry
@@ -65,6 +74,7 @@ from repro.net.policy import RetryPolicy
 from repro.net.remote import RemoteDomain
 from repro.net.sites import Site, make_site
 from repro.runtime.repair import Completeness, PlanRepairer
+from repro.runtime.singleflight import SingleFlight
 from repro.storage.backend import StorageBackend, make_backend
 
 if TYPE_CHECKING:
@@ -157,6 +167,10 @@ class Mediator:
         storage: StorageSpec = None,
         warm_start: bool = False,
         cache_max_bytes: Optional[int] = None,
+        use_subplan_cache: bool = False,
+        subplan_cache_entries: int = 256,
+        subplan_max_bytes: Optional[int] = None,
+        subplan_ttl_ms: Optional[float] = None,
     ):
         self.clock = clock if clock is not None else SimClock()
         self.registry = DomainRegistry()
@@ -240,6 +254,30 @@ class Mediator:
         self.cost_estimator = RuleCostEstimator(
             self.dcsm, comparison_selectivity=comparison_selectivity
         )
+        # the middle caching tier (docs/CACHING.md): materialized plan-prefix
+        # results keyed by constant-abstracted canonical sub-patterns.  The
+        # budget is per-tier: the subplan tier gets its own pool (defaulting
+        # to cache_max_bytes) instead of competing with the CIM for one,
+        # so intermediate results can never starve ground-call entries.
+        self.use_subplan_cache = use_subplan_cache
+        if subplan_max_bytes is None:
+            subplan_max_bytes = cache_max_bytes
+        from repro.storage.evictor import CostFrequencyEvictor
+
+        self.subplan_cache = SubplanResultCache(
+            max_entries=subplan_cache_entries,
+            max_bytes=subplan_max_bytes,
+            ttl_ms=subplan_ttl_ms,
+            evictor=(
+                CostFrequencyEvictor() if subplan_max_bytes is not None else None
+            ),
+            metrics=self.metrics,
+            dcsm_version_fn=lambda: self.dcsm.version,
+        )
+        # single-flight over subplan keys, shared across queries: one
+        # concurrent query's prefix materialization feeds another's
+        self.subplan_flight = SingleFlight(self.metrics)
+        self._pending_subplans: list[PersistedSubplan] = []
         self.executor = Executor(
             self.registry,
             self.clock,
@@ -256,6 +294,7 @@ class Mediator:
             health=self.health,
             hedge_policy=hedge_policy,
             partial_on_failure=repair,
+            subplan=self.subplan_cache if use_subplan_cache else None,
         )
         if jobs is not None and jobs > 1:
             self.set_jobs(jobs)
@@ -304,6 +343,7 @@ class Mediator:
         cim_loaded = self.cim.cache.load_from_backend(now_ms=self.clock.now_ms)
         dcsm_loaded = self.dcsm.load_from_backend()
         self._pending_plans = load_plan_records(self.storage)
+        self._pending_subplans = load_subplan_records(self.storage)
         self.metrics.inc("storage.warm_start.cim_entries", float(cim_loaded))
         self.metrics.inc(
             "storage.warm_start.dcsm_observations", float(dcsm_loaded)
@@ -345,22 +385,48 @@ class Mediator:
         the one the next lookup will compare against (otherwise the first
         estimate would bump it and lazily drop every adopted plan).
         """
-        if not self._pending_plans or not self.use_plan_cache:
+        adopt_plans = bool(self._pending_plans) and self.use_plan_cache
+        adopt_subplans = bool(self._pending_subplans) and self.use_subplan_cache
+        if not (adopt_plans or adopt_subplans):
             return
         fingerprint = self._program_fingerprint()
-        if not any(r.fingerprint == fingerprint for r in self._pending_plans):
+        if adopt_plans:
+            adopt_plans = any(
+                r.fingerprint == fingerprint for r in self._pending_plans
+            )
+        if adopt_subplans:
+            adopt_subplans = any(
+                r.fingerprint == fingerprint for r in self._pending_subplans
+            )
+        if not (adopt_plans or adopt_subplans):
             return
+        # one summarize for both tiers: a second bump would immediately
+        # stale whichever tier was stamped first
         self.dcsm.summarize()
-        adopted, self._pending_plans = adopt_plan_records(
-            self.plan_cache,
-            self._pending_plans,
-            fingerprint,
-            epoch=self._plan_epoch,
-            dcsm_version=self.dcsm.version,
-        )
-        if adopted:
-            self.metrics.inc("storage.warm_start.plans_adopted", float(adopted))
-            self.metrics.inc("storage.warm_start.entries_loaded", float(adopted))
+        if adopt_plans:
+            adopted, self._pending_plans = adopt_plan_records(
+                self.plan_cache,
+                self._pending_plans,
+                fingerprint,
+                epoch=self._plan_epoch,
+                dcsm_version=self.dcsm.version,
+            )
+            if adopted:
+                self.metrics.inc("storage.warm_start.plans_adopted", float(adopted))
+                self.metrics.inc("storage.warm_start.entries_loaded", float(adopted))
+        if adopt_subplans:
+            adopted, self._pending_subplans = adopt_subplan_records(
+                self.subplan_cache,
+                self._pending_subplans,
+                fingerprint,
+                dcsm_version=self.dcsm.version,
+                now_ms=self.clock.now_ms,
+            )
+            if adopted:
+                self.metrics.inc(
+                    "storage.warm_start.subplans_adopted", float(adopted)
+                )
+                self.metrics.inc("storage.warm_start.entries_loaded", float(adopted))
 
     def flush_storage(self) -> None:
         """Make the mirrored cache state durable.
@@ -382,11 +448,24 @@ class Mediator:
                 epoch=self._plan_epoch,
                 dcsm_version=self.dcsm.version,
             )
+        if self.use_subplan_cache:
+            save_subplan_cache(
+                self.subplan_cache,
+                self.storage,
+                self._program_fingerprint(),
+                dcsm_version=self.dcsm.version,
+            )
         if self._pending_plans:
             self.metrics.inc(
                 "storage.warm_start.plans_dropped", float(len(self._pending_plans))
             )
             self._pending_plans = []
+        if self._pending_subplans:
+            self.metrics.inc(
+                "storage.warm_start.subplans_dropped",
+                float(len(self._pending_subplans)),
+            )
+            self._pending_subplans = []
         self.storage.flush()
 
     def close(self) -> None:
@@ -437,12 +516,17 @@ class Mediator:
             health=old.health,
             hedge_policy=old.hedge_policy,
             partial_on_failure=old.partial_on_failure,
+            subplan=old.subplan,
         )
         if jobs is not None and jobs > 1:
             from repro.runtime import ParallelExecutor
 
             self.executor = ParallelExecutor(
-                old.registry, old.clock, jobs=jobs, **kwargs
+                old.registry,
+                old.clock,
+                jobs=jobs,
+                subplan_flight=self.subplan_flight,
+                **kwargs,
             )
         else:
             self.executor = Executor(old.registry, old.clock, **kwargs)
@@ -489,6 +573,7 @@ class Mediator:
             self.program.add(rule)
         self._rewriter = None
         self._plan_epoch += 1
+        self.subplan_cache.bump_epoch()
         self._adopt_persisted_plans()
 
     def add_rule(self, rule: "str | Rule") -> None:
@@ -500,6 +585,7 @@ class Mediator:
             self.program.add(rule)
         self._rewriter = None
         self._plan_epoch += 1
+        self.subplan_cache.bump_epoch()
         self._adopt_persisted_plans()
 
     def add_invariant(self, invariant: "str | Invariant") -> None:
@@ -509,6 +595,7 @@ class Mediator:
         # a new invariant changes what CIM routing can answer, so cached
         # plan choices (made without it) are stale
         self._plan_epoch += 1
+        self.subplan_cache.bump_epoch()
         self._adopt_persisted_plans()
 
     def notify_source_changed(self, domain: str, function: Optional[str] = None) -> int:
@@ -516,6 +603,7 @@ class Mediator:
         cached results so stale answers are not served.  Returns the
         number of cache entries dropped."""
         self.plan_cache.invalidate_source(domain, function)
+        self.subplan_cache.invalidate_source(domain, function)
         return self.cim.notify_source_changed(domain, function)
 
     def validate_program(self) -> list:
@@ -606,6 +694,37 @@ class Mediator:
             return plan.with_cim(set(use_cim))
         return plan
 
+    def _make_subplan_probe(
+        self, initial_subst: Optional[dict] = None
+    ) -> Optional[Callable[[tuple[PlanStep, ...]], Optional[tuple[float, float]]]]:
+        """The planner's view of the subplan tier: price a candidate
+        prefix at replay cost when its materialization is cached.
+
+        Uses ``peek`` (no hit/miss accounting — pricing a prefix the
+        search may discard must not skew executor hit rates).  The search
+        applies the result as a discount only, so its cost bound stays
+        admissible; returning the cached cardinality also tightens the
+        downstream ``T_all`` products with the true prefix cardinality.
+        """
+        if not self.use_subplan_cache or self.subplan_cache.entry_count == 0:
+            return None
+        cache = self.subplan_cache
+        base_ms = self.executor.memo_hit_cost_ms
+        now_ms = self.clock.now_ms
+        subst = dict(initial_subst or {})
+
+        def probe(steps: tuple[PlanStep, ...]) -> Optional[tuple[float, float]]:
+            try:
+                canon = canonicalize_prefix(steps, subst)
+            except ReproError:
+                return None
+            entry = cache.peek(canon.key, now_ms=now_ms)
+            if entry is None:
+                return None
+            return replay_cost_ms(len(entry.rows), base_ms), float(len(entry.rows))
+
+        return probe
+
     def _plan_guided(
         self,
         query: Query,
@@ -651,6 +770,7 @@ class Mediator:
             self.metrics.inc("planner.plan_cache_misses")
 
         session = self.cost_estimator.session()
+        bindings_subst = self._bindings_subst(bindings)
         value_dependent = False
         if canonical.params:
             const_subst = dict(zip(canonical.params, canonical.constants))
@@ -662,6 +782,9 @@ class Mediator:
                 track_vars=frozenset(canonical.params),
                 session=session,
                 const_subst=const_subst,
+                subplan_probe=self._make_subplan_probe(
+                    {**bindings_subst, **const_subst}
+                ),
             )
             value_dependent = bool(result.unified_away)
             if value_dependent:
@@ -674,6 +797,7 @@ class Mediator:
                     objective=objective,
                     bound_vars=user_bound,
                     session=session,
+                    subplan_probe=self._make_subplan_probe(bindings_subst),
                 )
                 concrete = result.plan
             else:
@@ -685,6 +809,7 @@ class Mediator:
                 objective=objective,
                 bound_vars=user_bound,
                 session=session,
+                subplan_probe=self._make_subplan_probe(bindings_subst),
             )
             concrete = result.plan
 

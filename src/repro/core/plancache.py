@@ -194,6 +194,14 @@ class PlanCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        # drop reasons, itemized for the per-tier cache summary
+        # (``evictions`` above stays the total, for compatibility)
+        self.invalidations: dict[str, int] = {
+            "epoch": 0,
+            "dcsm_version": 0,
+            "source": 0,
+            "eviction": 0,
+        }
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -213,6 +221,9 @@ class PlanCache:
         ):
             del self._entries[key]
             self.evictions += 1
+            self.invalidations[
+                "epoch" if entry.epoch != epoch else "dcsm_version"
+            ] += 1
             self.misses += 1
             return None
         self._entries.move_to_end(key)
@@ -226,6 +237,7 @@ class PlanCache:
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
             self.evictions += 1
+            self.invalidations["eviction"] += 1
 
     def items(self) -> Iterator[tuple[str, CachedPlan]]:
         """Snapshot of ``(key, entry)`` pairs (persistence walks this)."""
@@ -244,12 +256,14 @@ class PlanCache:
         for key in dead:
             del self._entries[key]
         self.evictions += len(dead)
+        self.invalidations["source"] += len(dead)
         return len(dead)
 
     def clear(self) -> int:
         dropped = len(self._entries)
         self._entries.clear()
         self.evictions += dropped
+        self.invalidations["eviction"] += dropped
         return dropped
 
 

@@ -54,7 +54,17 @@ from repro.errors import NotGroundError, PlanningError, RecursionNotSupportedErr
 from repro.dcsm.vectors import CostVector
 
 if TYPE_CHECKING:
+    from typing import Callable
+
     from repro.core.estimator import EstimatorSession, RuleCostEstimator
+
+    #: ``search(..., subplan_probe=...)``: given a candidate prefix,
+    #: return ``(replay_cost_ms, cardinality)`` when a materialized
+    #: result for it is cached, else ``None``.  The mediator builds one
+    #: over its SubplanResultCache (docs/CACHING.md).
+    SubplanProbe = Callable[
+        [tuple[PlanStep, ...]], Optional[tuple[float, float]]
+    ]
 
 
 @dataclass
@@ -248,6 +258,7 @@ class Rewriter:
         session: "Optional[EstimatorSession]" = None,
         const_subst: Optional[Substitution] = None,
         avoid_domains: frozenset[str] = frozenset(),
+        subplan_probe: "Optional[SubplanProbe]" = None,
     ) -> SearchResult:
         """Cost-guided branch-and-bound ordering search.
 
@@ -359,6 +370,19 @@ class Rewriter:
                         assert after_cmp is not None
                         here = after_cmp
                     bound = bound_after
+                    if subplan_probe is not None and steps:
+                        # a cached materialization of this exact prefix
+                        # replays at memo cost: discount the partial cost
+                        # (never raise it), which keeps the running bound
+                        # admissible — the true cost of executing this
+                        # prefix is at most the discounted value
+                        probed = subplan_probe(tuple(steps))
+                        if probed is not None:
+                            replay_ms, cached_card = probed
+                            if replay_ms < t_all:
+                                t_all = replay_ms
+                                t_first = min(t_first, replay_ms)
+                                card = cached_card
                     key = make_key(t_all, t_first)
                     if best_key is not None and key >= best_key:
                         stats.states_pruned_bound += 1

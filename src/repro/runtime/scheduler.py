@@ -63,6 +63,15 @@ from repro.core.executor import (
 )
 from repro.core.model import GroundCall
 from repro.core.plans import CallStep, Plan
+from repro.core.subplan import (
+    CanonicalPrefix,
+    SubplanRow,
+    canonicalize_prefix,
+    project_row,
+    replay_cost_ms,
+    row_subst,
+    subplan_cuts,
+)
 from repro.core.terms import Term, Value, Variable
 from repro.domains.base import CallResult
 from repro.errors import ErrorClass, ExecutionCancelledError, ReproError, classify
@@ -312,6 +321,7 @@ class ParallelExecutor(Executor):
         *args: Any,
         jobs: int = 4,
         queue_capacity: Optional[int] = None,
+        subplan_flight: Optional[SingleFlight] = None,
         **kwargs: Any,
     ):
         super().__init__(*args, **kwargs)
@@ -319,6 +329,11 @@ class ParallelExecutor(Executor):
         self.queue_capacity = (
             queue_capacity if queue_capacity is not None else 2 * self.jobs
         )
+        # single-flight lifted from ground calls to subplan keys: unlike
+        # the per-run flight created in run(), this one is shared across
+        # runs (the mediator owns it) so one concurrent query's prefix
+        # materialization feeds another query's
+        self.subplan_flight = subplan_flight
 
     # -- public API -----------------------------------------------------------
 
@@ -578,6 +593,121 @@ class ParallelExecutor(Executor):
                         break
         return answers, t_first, early
 
+    # -- subplan tier at the fan-out boundary ----------------------------------
+
+    def _subplan_outer(
+        self,
+        consumer: _BranchExecutor,
+        plan: Plan,
+        fanout: int,
+        base_subst: dict[Variable, Term],
+        provenance: Counter,
+        stats: _RunStats,
+        token: CancellationToken,
+    ) -> list[dict[Variable, Term]]:
+        """Outer-loop enumeration with the subplan tier.
+
+        A cached prefix at (or before) the fan-out point replaces its
+        source calls with a replay; a miss materializes the fan-out cut
+        through the mediator-owned single-flight, so a concurrent query
+        with the same canonical prefix consumes this query's rows instead
+        of dialing the sources itself (``subplan.shared_flights``).  Rows
+        — not substitutions — cross the flight: they are canonical value
+        tuples, safe to rebind against another query's variables.
+        """
+        steps = plan.steps
+
+        def solve_span(lo: int, subst: dict[Variable, Term]) -> list[dict[Variable, Term]]:
+            return [
+                dict(out)
+                for out in consumer._solve(steps[:fanout], lo, subst, provenance, stats)
+            ]
+
+        cache = self.subplan
+        if cache is None:
+            return solve_span(0, base_subst)
+        cuts = [cut for cut in subplan_cuts(steps) if cut <= fanout]
+        if not cuts:
+            return solve_span(0, base_subst)
+        canons = {cut: canonicalize_prefix(steps[:cut], base_subst) for cut in cuts}
+        ordered = sorted(cuts, reverse=True)
+        hit = cache.match(
+            [canons[cut].key for cut in ordered], now_ms=self.clock.now_ms
+        )
+        if hit is not None:
+            key, entry = hit
+            cut = next(c for c in ordered if canons[c].key == key)
+            self.clock.advance(replay_cost_ms(len(entry.rows), self.memo_hit_cost_ms))
+            provenance["subplan"] += len(entry.rows)
+            var_order = canons[cut].var_order
+            if cut == fanout:
+                return [row_subst(var_order, row, base_subst) for row in entry.rows]
+            start_ms = self.clock.now_ms
+            outer: list[dict[Variable, Term]] = []
+            for row in entry.rows:
+                outer.extend(solve_span(cut, row_subst(var_order, row, base_subst)))
+            # deepen the cache: next run replays the full fan-out prefix
+            self._subplan_put(
+                canons[fanout], outer, entry.cost_ms + (self.clock.now_ms - start_ms)
+            )
+            return outer
+
+        canon = canons[fanout]
+
+        def materialize() -> tuple[Optional[tuple[SubplanRow, ...]], list[dict[Variable, Term]]]:
+            incomplete_before = stats.incomplete_results
+            degraded_before = stats.degraded
+            missing_before = len(stats.missing_sources)
+            start_ms = self.clock.now_ms
+            outer_local = solve_span(0, base_subst)
+            clean = (
+                stats.incomplete_results == incomplete_before
+                and stats.degraded == degraded_before
+                and len(stats.missing_sources) == missing_before
+            )
+            rows: Optional[tuple[SubplanRow, ...]] = None
+            if clean:
+                rows = self._subplan_put(
+                    canon, outer_local, self.clock.now_ms - start_ms
+                )
+            return rows, outer_local
+
+        flight = self.subplan_flight
+        if flight is None:
+            return materialize()[1]
+        (rows, outer_local), shared = flight.do(
+            canon.key, materialize, cancelled=token.is_cancelled
+        )
+        if not shared:
+            return outer_local
+        if rows is None:
+            # the leader's prefix was not cleanly materializable — redo
+            # the enumeration locally rather than trust a partial result
+            return solve_span(0, base_subst)
+        if self.metrics is not None:
+            self.metrics.inc("subplan.shared_flights")
+        self.clock.advance(replay_cost_ms(len(rows), self.memo_hit_cost_ms))
+        provenance["subplan"] += len(rows)
+        return [row_subst(canon.var_order, row, base_subst) for row in rows]
+
+    def _subplan_put(
+        self,
+        canon: CanonicalPrefix,
+        outer: list[dict[Variable, Term]],
+        cost_ms: float,
+    ) -> Optional[tuple[SubplanRow, ...]]:
+        """Project outer substitutions to canonical rows and store them;
+        ``None`` (nothing cached) when any binding is unground."""
+        rows: list[SubplanRow] = []
+        for subst in outer:
+            row = project_row(canon.var_order, subst)
+            if row is None:
+                return None
+            rows.append(row)
+        if self.subplan is not None:
+            self.subplan.put(canon, rows, now_ms=self.clock.now_ms, cost_ms=cost_ms)
+        return tuple(rows)
+
     # -- phase B: partitioned nested loop --------------------------------------
 
     def _fan_out(
@@ -602,12 +732,9 @@ class ParallelExecutor(Executor):
     ) -> tuple[list[tuple[Value, ...]], Optional[float], bool, int]:
         """Enumerate outer bindings up to the fan-out point, run one branch
         task per binding across the pool, merge answers in binding order."""
-        outer = [
-            dict(subst)
-            for subst in consumer._solve(
-                plan.steps[:fanout], 0, base_subst, provenance, stats
-            )
-        ]
+        outer = self._subplan_outer(
+            consumer, plan, fanout, base_subst, provenance, stats, token
+        )
         answers: list[tuple[Value, ...]] = []
         t_first: Optional[float] = None
         early = False

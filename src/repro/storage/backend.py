@@ -42,6 +42,7 @@ from repro.metrics import MetricsRegistry
 STORE_CIM = "cim"
 STORE_DCSM = "dcsm"
 STORE_PLANCACHE = "plancache"
+STORE_SUBPLAN = "subplan"
 
 #: Reserved key carrying a store's format-version metadata.
 META_KEY = "__meta__"

@@ -57,4 +57,14 @@ class CostFrequencyEvictor:
     def score(self, entry: "CacheEntry") -> float:
         """Benefit density: higher scores are worth more budget."""
         cost = self.recompute_cost_ms(entry.call)
-        return cost * (1.0 + entry.hits) / max(entry.answer_bytes, 1)
+        return self.score_parts(cost, entry.hits, entry.answer_bytes)
+
+    def score_parts(
+        self, cost_ms: Optional[float], hits: int, answer_bytes: int
+    ) -> float:
+        """The same benefit-density formula over raw components, for
+        entries that have no single ground call to price (a subplan
+        prefix carries its own measured recompute cost)."""
+        if cost_ms is None or cost_ms <= 0:
+            cost_ms = self.default_cost_ms
+        return cost_ms * (1.0 + hits) / max(answer_bytes, 1)

@@ -84,6 +84,10 @@ class GeneratedWorkload:
     domain: Domain
     queries: tuple[str, ...]  # "?- top_0('s0', Out)." strings over the roots
     num_rules: int
+    #: real source invocations per "domain:function", live-updated by the
+    #: domain's own callables — the cache-effectiveness ground truth
+    #: (generators that don't count leave this None)
+    call_counts: "dict[str, int] | None" = None
 
 
 def generate_workload(
@@ -245,6 +249,86 @@ def generate_fanout_workload(
         domain=simple_domain(domain_name, functions),
         queries=(query,),
         num_rules=1,
+    )
+
+
+def generate_shared_prefix_workload(
+    queries: int = 4,
+    prefix_depth: int = 5,
+    fanout: int = 2,
+    domain_name: str = "share",
+    seed: int = 0,
+    prefix_sleep_s: float = 0.0,
+) -> GeneratedWorkload:
+    """``queries`` query shapes sharing one expensive prefix chain.
+
+    A ``shared`` predicate walks a ``prefix_depth``-call dependent chain
+    (the first call fans out to ``fanout`` rows, the rest are 1→1), and
+    each query predicate ``q{i}`` extends it with a private tail call —
+    the repeated-subexpression shape of multi-query optimization: every
+    query redoes the whole chain unless the subplan tier replays it.
+
+    ``call_counts`` tracks real source invocations per function.
+    ``prefix_sleep_s`` adds *wall-clock* latency to the chain's first
+    call so two concurrent queries reliably overlap inside it (the
+    single-flight sharing benchmark).  Deterministic per ``seed``.
+    """
+    if queries < 1 or prefix_depth < 2 or fanout < 1:
+        raise ValueError(
+            "generate_shared_prefix_workload needs queries >= 1, "
+            "prefix_depth >= 2, fanout >= 1"
+        )
+    counts: dict[str, int] = {}
+
+    def counted(name: str, fn):  # type: ignore[no-untyped-def]
+        def call(value: Value) -> list[Value]:
+            counts[f"{domain_name}:{name}"] = counts.get(f"{domain_name}:{name}", 0) + 1
+            return fn(value)
+
+        return call
+
+    functions: dict[str, object] = {}
+
+    def chain_head(value: Value) -> list[Value]:
+        if prefix_sleep_s > 0:
+            import time
+
+            time.sleep(prefix_sleep_s)
+        return [f"{value}>0.{j}" for j in range(fanout)]
+
+    functions["s0"] = counted("s0", chain_head)
+    for index in range(1, prefix_depth):
+        def link(function_index: int = index):  # type: ignore[no-untyped-def]
+            def call(value: Value) -> list[Value]:
+                return [f"{value}>{function_index}"]
+
+            return call
+
+        functions[f"s{index}"] = counted(f"s{index}", link())
+    body = [f"in(M0, {domain_name}:s0(A))"]
+    for index in range(1, prefix_depth):
+        body.append(f"in(M{index}, {domain_name}:s{index}(M{index - 1}))")
+    last = f"M{prefix_depth - 1}"
+    rules = [f"shared(A, {last}) :- {' & '.join(body)}."]
+    query_texts = []
+    for index in range(queries):
+        def tail(function_index: int = index):  # type: ignore[no-untyped-def]
+            def call(value: Value) -> list[Value]:
+                return [f"{value}${function_index}"]
+
+            return call
+
+        functions[f"t{index}"] = counted(f"t{index}", tail())
+        rules.append(
+            f"q{index}(A, Out) :- shared(A, M) & in(Out, {domain_name}:t{index}(M))."
+        )
+        query_texts.append(f"?- q{index}('s{seed}', Out).")
+    return GeneratedWorkload(
+        program_text="\n".join(rules),
+        domain=simple_domain(domain_name, functions),
+        queries=tuple(query_texts),
+        num_rules=len(rules),
+        call_counts=counts,
     )
 
 

@@ -1,0 +1,324 @@
+"""Sub-plan result cache: canonicalization, the four invalidation paths,
+byte-budget eviction, warm restart over every storage backend, and
+property-based answer parity against the cache-off engine.
+
+Most tests construct the mediator with ``record_statistics=False``:
+with live statistics every search can re-summarize the DCSM, and the
+version stamp then (conservatively, by design) invalidates the subplan
+tier between queries — see docs/CACHING.md.
+"""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.mediator import Mediator
+from repro.core.model import DomainCall, InAtom
+from repro.core.plans import CallStep
+from repro.core.subplan import canonicalize_prefix, replay_cost_ms, subplan_cuts
+from repro.core.terms import Constant, Variable
+from repro.storage.memory import MemoryBackend
+from repro.workloads.generators import generate_shared_prefix_workload
+
+pytestmark = pytest.mark.subplan
+
+
+def build_mediator(**kwargs):
+    workload = generate_shared_prefix_workload()
+    options = dict(record_statistics=False, use_subplan_cache=True)
+    options.update(kwargs)
+    mediator = Mediator(**options)
+    mediator.register_domain(workload.domain)
+    mediator.load_program(workload.program_text)
+    return mediator, workload
+
+
+def call_step(domain, function, arg, out):
+    return CallStep(InAtom(out, DomainCall(domain, function, (arg,))))
+
+
+# -- canonicalization -----------------------------------------------------------
+
+
+def test_cuts_require_a_prior_call():
+    a, b, c = Variable("A"), Variable("B"), Variable("C")
+    steps = [
+        call_step("d", "f", Constant("x"), a),
+        call_step("d", "g", a, b),
+        call_step("d", "h", b, c),
+    ]
+    assert subplan_cuts(steps) == (1, 2)
+    assert subplan_cuts(steps[:1]) == ()
+    assert subplan_cuts([]) == ()
+
+
+def test_canonical_key_ignores_variable_spelling():
+    """Prefixes from different queries (different variable names, same
+    shape, same constants) must share a key — cross-query collision."""
+    first = [
+        call_step("d", "f", Constant("x"), Variable("M")),
+        call_step("d", "g", Variable("M"), Variable("Out")),
+    ]
+    second = [
+        call_step("d", "f", Constant("x"), Variable("P")),
+        call_step("d", "g", Variable("P"), Variable("Q")),
+    ]
+    lhs = canonicalize_prefix(first)
+    rhs = canonicalize_prefix(second)
+    assert lhs.key == rhs.key
+    assert lhs.sources == {("d", "f"), ("d", "g")}
+
+
+def test_canonical_key_keeps_constant_values():
+    """Same shape, different constant values: same pattern (a shared
+    template), different keys (different materialized results)."""
+    lhs = canonicalize_prefix([call_step("d", "f", Constant("x"), Variable("M"))])
+    rhs = canonicalize_prefix([call_step("d", "f", Constant("y"), Variable("M"))])
+    assert lhs.pattern == rhs.pattern
+    assert lhs.key != rhs.key
+    assert lhs.constants == ("x",)
+    assert rhs.constants == ("y",)
+
+
+def test_replay_cost_scales_with_rows():
+    assert replay_cost_ms(0, 2.0) == pytest.approx(2.0)
+    assert replay_cost_ms(10, 2.0) == pytest.approx(4.0)
+
+
+# -- cross-query sharing through the executor -----------------------------------
+
+
+def test_second_query_replays_the_shared_prefix():
+    mediator, workload = build_mediator()
+    mediator.query(workload.queries[0])
+    cold_calls = sum(workload.call_counts.values())
+    mediator.query(workload.queries[1])
+    tail_calls = sum(workload.call_counts.values()) - cold_calls
+    # the whole five-call chain is replayed from cache; only q1's private
+    # tail dials a source (once per chain row)
+    assert tail_calls == 2
+    assert mediator.subplan_cache.stats.hits >= 1
+    assert workload.call_counts["share:s0"] == 1
+    mediator.close()
+
+
+def test_different_root_constant_misses():
+    mediator, workload = build_mediator()
+    mediator.query(workload.queries[0])
+    hits_before = mediator.subplan_cache.stats.hits
+    s0_before = workload.call_counts["share:s0"]
+    mediator.query("?- q0('other', Out).")
+    assert mediator.subplan_cache.stats.hits == hits_before
+    assert workload.call_counts["share:s0"] == s0_before + 1
+    mediator.close()
+
+
+# -- the four invalidation paths ------------------------------------------------
+
+
+def warm_cache(mediator, workload):
+    for query in workload.queries:
+        mediator.query(query)
+    assert mediator.subplan_cache.entry_count > 0
+
+
+def test_epoch_invalidation_on_program_change():
+    mediator, workload = build_mediator()
+    warm_cache(mediator, workload)
+    mediator.load_program("extra(A, M) :- shared(A, M).")
+    s0_before = workload.call_counts["share:s0"]
+    mediator.query(workload.queries[0])
+    assert mediator.subplan_cache.stats.invalidations["epoch"] >= 1
+    # the prefix really was recomputed, then re-cached under the new epoch
+    assert workload.call_counts["share:s0"] == s0_before + 1
+    assert mediator.metrics.value("subplan.invalidations.epoch") >= 1
+    mediator.close()
+
+
+def test_source_invalidation_is_prefix_precise():
+    mediator, workload = build_mediator()
+    warm_cache(mediator, workload)
+    before = mediator.subplan_cache.entry_count
+    assert before == 5  # cuts before s1..s4 and the tail: [s0] .. [s0..s4]
+    mediator.notify_source_changed("share", "s2")
+    # the three prefixes containing s2 die; [s0] and [s0,s1] survive
+    assert mediator.subplan_cache.stats.invalidations["source"] == 3
+    assert mediator.subplan_cache.entry_count == before - 3
+    mediator.notify_source_changed("share")  # whole domain
+    assert mediator.subplan_cache.entry_count == 0
+    mediator.close()
+
+
+def test_dcsm_version_invalidation():
+    mediator, workload = build_mediator()
+    warm_cache(mediator, workload)
+    mediator.dcsm.summarize()  # unconditional version bump
+    s0_before = workload.call_counts["share:s0"]
+    mediator.query(workload.queries[0])
+    assert mediator.subplan_cache.stats.invalidations["dcsm_version"] >= 1
+    assert workload.call_counts["share:s0"] == s0_before + 1
+    mediator.close()
+
+
+def test_ttl_invalidation():
+    mediator, workload = build_mediator(subplan_ttl_ms=10_000.0)
+    warm_cache(mediator, workload)
+    s0_before = workload.call_counts["share:s0"]
+    mediator.query(workload.queries[0])  # well inside the TTL: replayed
+    assert workload.call_counts["share:s0"] == s0_before
+    mediator.clock.advance(20_000.0)
+    mediator.query(workload.queries[0])
+    assert mediator.subplan_cache.stats.invalidations["ttl"] >= 1
+    assert workload.call_counts["share:s0"] == s0_before + 1
+    mediator.close()
+
+
+# -- byte budget and eviction ---------------------------------------------------
+
+
+def test_byte_budget_evicts_and_bounds_occupancy():
+    mediator, workload = build_mediator(subplan_max_bytes=300)
+    warm_cache(mediator, workload)
+    cache = mediator.subplan_cache
+    assert cache.max_bytes == 300
+    assert cache.total_bytes <= 300
+    assert cache.stats.invalidations["eviction"] >= 1
+    # answers stay correct regardless of what got evicted
+    result = mediator.query(workload.queries[0])
+    assert result.cardinality == 2
+    mediator.close()
+
+
+def test_subplan_budget_defaults_to_cache_max_bytes():
+    mediator, _ = build_mediator(cache_max_bytes=4096)
+    assert mediator.subplan_cache.max_bytes == 4096
+    assert mediator.subplan_cache.evictor is not None
+    mediator.close()
+
+
+# -- warm restart across the backend matrix -------------------------------------
+
+
+def _storage_spec(kind, tmp_path):
+    if kind == "memory":
+        return MemoryBackend()
+    if kind == "sqlite":
+        return f"sqlite:{tmp_path / 'subplan.db'}"
+    return f"sharded:{tmp_path / 'subplan'}"
+
+
+@pytest.mark.parametrize("kind", ["memory", "sqlite", "sharded"])
+def test_warm_restart_adopts_subplans(kind, tmp_path):
+    spec = _storage_spec(kind, tmp_path)
+    cold, cold_workload = build_mediator(storage=spec)
+    warm_cache(cold, cold_workload)
+    persisted = cold.subplan_cache.entry_count
+    cold.flush_storage()
+    if kind != "memory":  # closing the memory backend drops the table
+        cold.close()
+
+    warm, warm_workload = build_mediator(storage=spec, warm_start=True)
+    assert warm.metrics.value("storage.warm_start.subplans_adopted") == persisted
+    assert warm.subplan_cache.entry_count == persisted
+    result = warm.query(warm_workload.queries[0])
+    # the adopted prefix serves the chain; only the tail dials sources
+    assert result.cardinality == 2
+    assert sum(
+        count
+        for name, count in warm_workload.call_counts.items()
+        if name.startswith("share:s")
+    ) == 0
+    assert warm_workload.call_counts["share:t0"] == 2
+    warm.close()
+
+
+@pytest.mark.parametrize("kind", ["memory", "sqlite", "sharded"])
+def test_warm_restart_drops_subplans_for_changed_program(kind, tmp_path):
+    spec = _storage_spec(kind, tmp_path)
+    cold, cold_workload = build_mediator(storage=spec)
+    warm_cache(cold, cold_workload)
+    cold.flush_storage()
+    if kind != "memory":
+        cold.close()
+
+    other = Mediator(
+        record_statistics=False, use_subplan_cache=True,
+        storage=spec, warm_start=True,
+    )
+    other.load_program("other(X, Y) :- in(Y, d:f(X)).")
+    assert other.metrics.value("storage.warm_start.subplans_adopted") == 0
+    assert other.subplan_cache.entry_count == 0
+    other.flush_storage()
+    assert other.metrics.value("storage.warm_start.subplans_dropped") >= 1
+    other.close()
+
+
+# -- property-based answer parity -----------------------------------------------
+
+
+workload_shapes = st.tuples(
+    st.integers(min_value=1, max_value=3),  # queries
+    st.integers(min_value=2, max_value=4),  # prefix_depth
+    st.integers(min_value=1, max_value=2),  # fanout
+    st.integers(min_value=0, max_value=5),  # seed
+)
+
+
+def _answer_multiset(mediator, queries, passes=2):
+    answers = Counter()
+    for _ in range(passes):
+        for query in queries:
+            answers.update(mediator.query(query).answers)
+    return answers
+
+
+@settings(max_examples=12, deadline=None)
+@given(shape=workload_shapes)
+def test_cached_answers_match_uncached(shape):
+    queries, depth, fanout, seed = shape
+    workload = generate_shared_prefix_workload(
+        queries=queries, prefix_depth=depth, fanout=fanout, seed=seed
+    )
+    baseline = Mediator(record_statistics=False, verify_plans=True)
+    cached = Mediator(
+        record_statistics=False, use_subplan_cache=True, verify_plans=True
+    )
+    for mediator in (baseline, cached):
+        mediator.register_domain(
+            generate_shared_prefix_workload(
+                queries=queries, prefix_depth=depth, fanout=fanout, seed=seed
+            ).domain
+        )
+        mediator.load_program(workload.program_text)
+    assert _answer_multiset(baseline, workload.queries) == _answer_multiset(
+        cached, workload.queries
+    )
+    baseline.close()
+    cached.close()
+
+
+@settings(max_examples=8, deadline=None)
+@given(shape=workload_shapes)
+def test_cached_answers_match_uncached_parallel(shape):
+    queries, depth, fanout, seed = shape
+    workload = generate_shared_prefix_workload(
+        queries=queries, prefix_depth=depth, fanout=fanout, seed=seed
+    )
+    baseline = Mediator(record_statistics=False, verify_plans=True)
+    cached = Mediator(
+        record_statistics=False, use_subplan_cache=True, verify_plans=True
+    )
+    cached.set_jobs(4)
+    for mediator in (baseline, cached):
+        mediator.register_domain(
+            generate_shared_prefix_workload(
+                queries=queries, prefix_depth=depth, fanout=fanout, seed=seed
+            ).domain
+        )
+        mediator.load_program(workload.program_text)
+    assert _answer_multiset(baseline, workload.queries) == _answer_multiset(
+        cached, workload.queries
+    )
+    baseline.close()
+    cached.close()
