@@ -710,7 +710,7 @@ class Mediator:
             return None
         cache = self.subplan_cache
         base_ms = self.executor.memo_hit_cost_ms
-        now_ms = self.clock.now_ms
+        clock = self.clock
         subst = dict(initial_subst or {})
 
         def probe(steps: tuple[PlanStep, ...]) -> Optional[tuple[float, float]]:
@@ -718,7 +718,9 @@ class Mediator:
                 canon = canonicalize_prefix(steps, subst)
             except ReproError:
                 return None
-            entry = cache.peek(canon.key, now_ms=now_ms)
+            # read the clock per probe: with subplan_ttl_ms a frozen
+            # timestamp would price a prefix that expires before execution
+            entry = cache.peek(canon.key, now_ms=clock.now_ms)
             if entry is None:
                 return None
             return replay_cost_ms(len(entry.rows), base_ms), float(len(entry.rows))

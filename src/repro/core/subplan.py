@@ -353,19 +353,22 @@ class SubplanResultCache:
         ) + len(canonical.key)
         if self.max_bytes is not None and nbytes > self.max_bytes:
             return None
-        entry = SubplanEntry(
-            key=canonical.key,
-            pattern=canonical.pattern,
-            rows=tuple(rows),
-            sources=canonical.sources,
-            epoch=self.epoch,
-            dcsm_version=self._dcsm_version_fn() if self._dcsm_version_fn else 0,
-            stored_at_ms=now_ms,
-            cost_ms=max(cost_ms, 0.0),
-            answer_bytes=nbytes,
-            last_used_ms=now_ms,
-        )
+        # Stamp epoch/dcsm under the lock: a concurrent bump_epoch between
+        # reading the stamps and inserting would tag rows computed under
+        # the old program with the new epoch, letting them pass validation.
         with self._lock:
+            entry = SubplanEntry(
+                key=canonical.key,
+                pattern=canonical.pattern,
+                rows=tuple(rows),
+                sources=canonical.sources,
+                epoch=self.epoch,
+                dcsm_version=self._dcsm_version_fn() if self._dcsm_version_fn else 0,
+                stored_at_ms=now_ms,
+                cost_ms=max(cost_ms, 0.0),
+                answer_bytes=nbytes,
+                last_used_ms=now_ms,
+            )
             self._insert(entry)
         return entry
 

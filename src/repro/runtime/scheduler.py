@@ -642,14 +642,25 @@ class ParallelExecutor(Executor):
             var_order = canons[cut].var_order
             if cut == fanout:
                 return [row_subst(var_order, row, base_subst) for row in entry.rows]
+            incomplete_before = stats.incomplete_results
+            degraded_before = stats.degraded
+            missing_before = len(stats.missing_sources)
             start_ms = self.clock.now_ms
             outer: list[dict[Variable, Term]] = []
             for row in entry.rows:
                 outer.extend(solve_span(cut, row_subst(var_order, row, base_subst)))
-            # deepen the cache: next run replays the full fan-out prefix
-            self._subplan_put(
-                canons[fanout], outer, entry.cost_ms + (self.clock.now_ms - start_ms)
+            clean = (
+                stats.incomplete_results == incomplete_before
+                and stats.degraded == degraded_before
+                and len(stats.missing_sources) == missing_before
             )
+            if clean:
+                # deepen the cache: next run replays the full fan-out prefix
+                self._subplan_put(
+                    canons[fanout],
+                    outer,
+                    entry.cost_ms + (self.clock.now_ms - start_ms),
+                )
             return outer
 
         canon = canons[fanout]

@@ -11,6 +11,7 @@ the analyzer benchmark and the plan-verifier property tests.
 from __future__ import annotations
 
 import random
+import threading
 from dataclasses import dataclass, field
 from typing import Iterator, Sequence
 
@@ -279,10 +280,16 @@ def generate_shared_prefix_workload(
             "prefix_depth >= 2, fanout >= 1"
         )
     counts: dict[str, int] = {}
+    # concurrent engines (jobs>1) invoke these callables from worker
+    # threads; the lock keeps the ground-truth call counts exact
+    counts_lock = threading.Lock()
 
     def counted(name: str, fn):  # type: ignore[no-untyped-def]
         def call(value: Value) -> list[Value]:
-            counts[f"{domain_name}:{name}"] = counts.get(f"{domain_name}:{name}", 0) + 1
+            with counts_lock:
+                counts[f"{domain_name}:{name}"] = (
+                    counts.get(f"{domain_name}:{name}", 0) + 1
+                )
             return fn(value)
 
         return call
