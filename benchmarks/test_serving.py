@@ -1,0 +1,224 @@
+"""Serving benchmark: multi-tenant throughput, latency, and backpressure.
+
+Three experiments over the shared-prefix workload (whose chain-head
+source call carries a real wall-clock cost, so cache hits translate into
+genuine QPS differences rather than simulated-clock artifacts):
+
+* **shared_vs_cold** — the same open-loop load against (a) one shared
+  mediator with all cache tiers on, (b) per-tenant isolated mediators
+  (each tenant warms its own caches), and (c) a cache-cold mediator
+  (CIM, plan and subplan tiers off).  The headline number is the
+  shared/cold QPS ratio — the value of cross-session cache sharing —
+  which CI gates at >= 1.5x.
+* **open_loop_latency** — a fixed-rate run below the admission limit:
+  sustained QPS, p50/p99 latency, zero rejections.
+* **backpressure** — a flood against a deliberately tiny queue: the
+  high-watermark must respect the configured bound, rejections must
+  carry retry hints, and a graceful drain must drop zero in-flight
+  requests.
+
+Writes ``BENCH_serving.json`` at the repo root; the CI serving job
+prints it and gates on the ratio and the backpressure invariants.
+"""
+
+import json
+from pathlib import Path
+
+from repro.core.mediator import Mediator
+from repro.serving import AdmissionPolicy, MediatorServer, ServingConfig, run_load
+from repro.workloads.generators import generate_shared_prefix_workload
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+
+TENANTS = ("acme", "globex", "initech")
+REQUESTS = 120
+PREFIX_SLEEP_S = 0.02  # real wall cost of the chain-head source call
+
+
+def _build_mediator(cached: bool) -> Mediator:
+    workload = generate_shared_prefix_workload(
+        queries=4, prefix_depth=3, fanout=2, seed=11,
+        prefix_sleep_s=PREFIX_SLEEP_S,
+    )
+    mediator = Mediator(
+        record_statistics=False,
+        use_subplan_cache=cached,
+        use_plan_cache=cached,
+    )
+    mediator.register_domain(workload.domain)
+    mediator.load_program(workload.program_text)
+    mediator._bench_queries = workload.queries  # type: ignore[attr-defined]
+    return mediator
+
+
+def _request_plan(queries) -> list[tuple[str, str]]:
+    return [
+        (TENANTS[i % len(TENANTS)], queries[i % len(queries)])
+        for i in range(REQUESTS)
+    ]
+
+
+def _throughput_run(label: str, *, cached: bool, isolate: bool) -> dict:
+    config = ServingConfig(
+        workers=4,
+        use_cim=cached,
+        isolate_tenants=isolate,
+        admission=AdmissionPolicy(max_queue_depth=256, max_tenant_depth=128),
+    )
+    if isolate:
+        server = MediatorServer(
+            mediator_factory=lambda: _build_mediator(cached), config=config
+        ).start()
+    else:
+        server = MediatorServer(_build_mediator(cached), config=config).start()
+    try:
+        host, port = server.address
+        queries = server.mediator_for(TENANTS[0])._bench_queries
+        report = run_load(
+            host, port, _request_plan(queries), connections=6, timeout_s=120.0
+        )
+        from repro.report import cache_tiers_data, cim_data
+
+        mediator = server.mediator_for(TENANTS[0])
+        section = {
+            "label": label,
+            "sent": report.sent,
+            "ok": report.ok,
+            "rejected": report.rejected,
+            "errors": report.errors,
+            "wall_s": round(report.wall_s, 4),
+            "qps": round(report.qps, 2),
+            "latency_ms": {
+                "p50": report.percentile(50),
+                "p99": report.percentile(99),
+            },
+            "cim": cim_data(mediator),
+            "cache": cache_tiers_data(mediator),
+        }
+        return section
+    finally:
+        server.drain(timeout=60.0)
+
+
+def _measure_shared_vs_cold() -> dict:
+    shared = _throughput_run("shared", cached=True, isolate=False)
+    isolated = _throughput_run("isolated", cached=True, isolate=True)
+    cold = _throughput_run("cold", cached=False, isolate=False)
+    return {
+        "tenants": len(TENANTS),
+        "requests": REQUESTS,
+        "prefix_sleep_s": PREFIX_SLEEP_S,
+        "shared": shared,
+        "isolated": isolated,
+        "cold": cold,
+        "shared_over_cold_qps": (
+            round(shared["qps"] / cold["qps"], 2) if cold["qps"] else None
+        ),
+        "shared_over_isolated_qps": (
+            round(shared["qps"] / isolated["qps"], 2) if isolated["qps"] else None
+        ),
+    }
+
+
+def _measure_open_loop_latency() -> dict:
+    config = ServingConfig(
+        workers=4,
+        warm_threshold=2,
+        admission=AdmissionPolicy(max_queue_depth=64, max_tenant_depth=32),
+    )
+    server = MediatorServer(_build_mediator(cached=True), config=config).start()
+    try:
+        host, port = server.address
+        queries = server.mediator_for(TENANTS[0])._bench_queries
+        rate = 60.0
+        report = run_load(
+            host, port, _request_plan(queries),
+            rate_qps=rate, connections=4, timeout_s=120.0,
+        )
+        summary = server.drain(timeout=60.0)
+        return {
+            "target_rate_qps": rate,
+            "sent": report.sent,
+            "ok": report.ok,
+            "rejected": report.rejected,
+            "errors": report.errors,
+            "achieved_qps": round(report.qps, 2),
+            "latency_ms": {
+                "p50": report.percentile(50),
+                "p99": report.percentile(99),
+            },
+            "warmed_templates": server.metrics.value("serving.warmer.warmed"),
+            "dropped_in_flight": summary["dropped_in_flight"],
+        }
+    finally:
+        server.drain(timeout=60.0)
+
+
+def _measure_backpressure() -> dict:
+    depth = 6
+    config = ServingConfig(
+        workers=2,
+        admission=AdmissionPolicy(
+            max_queue_depth=depth, max_tenant_depth=depth, retry_after_ms=25.0
+        ),
+    )
+    server = MediatorServer(_build_mediator(cached=True), config=config).start()
+    try:
+        host, port = server.address
+        queries = server.mediator_for(TENANTS[0])._bench_queries
+        # max-throughput flood: many more outstanding than the queue holds
+        report = run_load(
+            host, port, _request_plan(queries), connections=8, timeout_s=120.0
+        )
+        summary = server.drain(timeout=60.0)
+        return {
+            "queue_depth_limit": depth,
+            "sent": report.sent,
+            "ok": report.ok,
+            "rejected": report.rejected,
+            "rejected_reasons": dict(report.rejected_reasons),
+            "errors": report.errors,
+            "queue_high_watermark": summary["queue_high_watermark"],
+            "dropped_in_flight": summary["dropped_in_flight"],
+        }
+    finally:
+        server.drain(timeout=60.0)
+
+
+def _write(section_name: str, section: dict) -> None:
+    payload = {}
+    if RESULTS_PATH.exists():
+        payload = json.loads(RESULTS_PATH.read_text())
+    payload[section_name] = section
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2))
+
+
+class TestServingBenchmark:
+    def test_shared_cache_beats_cold(self, once):
+        """Cross-session cache sharing is worth >= 1.5x QPS over cold."""
+        section = once(_measure_shared_vs_cold)
+        _write("shared_vs_cold", section)
+        assert section["shared"]["errors"] == 0
+        assert section["cold"]["errors"] == 0
+        assert section["shared"]["rejected"] == 0
+        assert section["shared_over_cold_qps"] >= 1.5
+
+    def test_open_loop_latency_under_admission_limit(self, once):
+        """A fixed-rate load below the limit: zero rejections, sane tails."""
+        section = once(_measure_open_loop_latency)
+        _write("open_loop_latency", section)
+        assert section["errors"] == 0
+        assert section["rejected"] == 0
+        assert section["ok"] == section["sent"]
+        assert section["latency_ms"]["p99"] is not None
+        assert section["dropped_in_flight"] == 0.0
+
+    def test_backpressure_bounds_queue_and_drops_nothing(self, once):
+        """Flooding a tiny queue rejects loudly but never drops work."""
+        section = once(_measure_backpressure)
+        _write("backpressure", section)
+        assert section["errors"] == 0
+        assert section["rejected"] > 0
+        assert section["queue_high_watermark"] <= section["queue_depth_limit"]
+        assert section["dropped_in_flight"] == 0.0
+        assert section["ok"] + section["rejected"] == section["sent"]

@@ -61,6 +61,30 @@ invariants (without it, registration checks are skipped); ``--query``
 (repeatable) adds analysis roots for the reachable-adornment and
 dead-code passes; ``--invariants FILE`` lints extra invariants.  Exit
 status: 0 clean, 1 warnings only, 2 errors.
+
+::
+
+    python -m repro serve [--demo NAME] [--host H] [--port P] [--workers N]
+                          [--jobs N] [--queue-depth N] [--tenant-depth N]
+                          [--warm-threshold N] [--storage SPEC] [--warm-start]
+                          [--max-seconds S]
+
+boots the multi-tenant mediator service (``docs/SERVING.md``) over one
+shared mediator: newline-delimited JSON protocol, bounded admission
+queue with backpressure, weighted-fair per-tenant dequeueing, and an
+async cache-warming worker (``--warm-threshold N`` warms a query
+template once N sessions have sent its shape).  Runs until SIGINT
+(graceful drain) or ``--max-seconds``.
+
+::
+
+    python -m repro load [--host H] [--port P] [--tenant NAME ...]
+                         [--query "?- ..." ...] [--requests N] [--rate QPS]
+                         [--connections C] [--json]
+
+drives a running server with an open-loop load (requests are sent on
+schedule regardless of response latency, so admission backpressure is
+observable) and prints the throughput/latency report.
 """
 
 from __future__ import annotations
@@ -406,6 +430,7 @@ def stats_main(argv: list[str], stdout: Optional[IO[str]] = None) -> int:
     demo = "rope"
     use_cim = False
     health = False
+    as_json = False
     flaky: Optional[float] = None
     jobs: Optional[int] = None
     storage: Optional[str] = None
@@ -446,6 +471,8 @@ def stats_main(argv: list[str], stdout: Optional[IO[str]] = None) -> int:
             health = True
         elif arg == "--warm-start":
             warm_start = True
+        elif arg == "--json":
+            as_json = True
         else:
             queries.append(arg)  # query or program file, handled in order
     demo_kwargs: dict[str, object] = {}
@@ -474,6 +501,18 @@ def stats_main(argv: list[str], stdout: Optional[IO[str]] = None) -> int:
     # persist the session's cache state before reporting, so a later
     # --warm-start run (and the CI warm-restart smoke test) can reload it
     mediator.flush_storage()
+    if as_json:
+        import json
+
+        from repro.report import stats_snapshot
+
+        payload = {"demo": demo, "queries_run": ran, "answers": answers}
+        payload.update(stats_snapshot(mediator))
+        if health and mediator.health is not None:
+            payload["health"] = mediator.health.snapshot(mediator.clock.now_ms)
+        out.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        mediator.close()
+        return 0
     out.write(f"== repro stats (demo {demo!r}) ==\n")
     out.write(f"queries: {ran} run, {answers} answer(s)\n")
     out.write(f"clock: {mediator.clock.now_ms:.1f} simulated ms\n")
@@ -490,6 +529,201 @@ def stats_main(argv: list[str], stdout: Optional[IO[str]] = None) -> int:
     out.write(mediator.metrics.render() + "\n")
     mediator.close()
     return 0
+
+
+def serve_main(argv: list[str], stdout: Optional[IO[str]] = None) -> int:
+    """``python -m repro serve`` — boot the multi-tenant mediator service.
+
+    One shared mediator (demo testbed + optional persistent storage)
+    behind the serving stack of ``docs/SERVING.md``: bounded admission,
+    per-tenant weighted-fair dequeueing, async cache warming.  SIGINT or
+    ``--max-seconds`` triggers a graceful drain (in-flight queries
+    finish, storage flushes and closes).
+    """
+    import time as _time
+
+    from repro.serving import AdmissionPolicy, MediatorServer, ServingConfig
+
+    out = stdout if stdout is not None else sys.stdout
+    demo = "rope"
+    host = "127.0.0.1"
+    port = 0
+    workers = 4
+    jobs: Optional[int] = None
+    queue_depth = 64
+    tenant_depth = 16
+    warm_threshold = 0
+    storage: Optional[str] = None
+    warm_start = False
+    max_seconds: Optional[float] = None
+    argv = list(argv)
+    while argv:
+        arg = argv.pop(0)
+        if arg in (
+            "--demo", "--host", "--port", "--workers", "--jobs",
+            "--queue-depth", "--tenant-depth", "--warm-threshold",
+            "--storage", "--max-seconds",
+        ):
+            if not argv:
+                raise ReproError(f"{arg} requires a value")
+            value = argv.pop(0)
+            try:
+                if arg == "--demo":
+                    demo = value
+                elif arg == "--host":
+                    host = value
+                elif arg == "--port":
+                    port = int(value)
+                elif arg == "--workers":
+                    workers = int(value)
+                elif arg == "--jobs":
+                    jobs = int(value)
+                elif arg == "--queue-depth":
+                    queue_depth = int(value)
+                elif arg == "--tenant-depth":
+                    tenant_depth = int(value)
+                elif arg == "--warm-threshold":
+                    warm_threshold = int(value)
+                elif arg == "--storage":
+                    storage = value
+                else:
+                    max_seconds = float(value)
+            except ValueError:
+                raise ReproError(
+                    f"{arg} requires a numeric value, got {value!r}"
+                ) from None
+        elif arg == "--warm-start":
+            warm_start = True
+        else:
+            raise ReproError(f"unknown serve option {arg!r}")
+    demo_kwargs: dict[str, object] = {}
+    if storage is not None:
+        demo_kwargs["storage"] = storage
+    if warm_start:
+        demo_kwargs["warm_start"] = True
+    mediator = _build_demo(demo, **demo_kwargs)
+    if jobs is not None and jobs > 1:
+        mediator.set_jobs(jobs)
+    config = ServingConfig(
+        host=host,
+        port=port,
+        workers=workers,
+        warm_threshold=warm_threshold,
+        admission=AdmissionPolicy(
+            max_queue_depth=queue_depth, max_tenant_depth=tenant_depth
+        ),
+    )
+    server = MediatorServer(mediator, config=config).start()
+    bound_host, bound_port = server.address
+    out.write(f"serving demo {demo!r} on {bound_host}:{bound_port} "
+              f"({workers} worker(s), queue depth {queue_depth})\n")
+    out.flush()
+    try:
+        if max_seconds is not None:
+            _time.sleep(max_seconds)
+        else:
+            while True:
+                _time.sleep(3600.0)
+    except KeyboardInterrupt:
+        out.write("draining...\n")
+        out.flush()
+    summary = server.drain()
+    out.write(
+        "drained: "
+        f"{summary['completed']:.0f} completed, "
+        f"{summary['rejected']:.0f} rejected, "
+        f"{summary['errors']:.0f} errors, "
+        f"queue high-watermark {summary['queue_high_watermark']:.0f}, "
+        f"{summary['dropped_in_flight']:.0f} dropped in flight\n"
+    )
+    return 1 if summary["dropped_in_flight"] else 0
+
+
+def load_main(argv: list[str], stdout: Optional[IO[str]] = None) -> int:
+    """``python -m repro load`` — open-loop load against a running server.
+
+    ``--tenant`` (repeatable) names the tenants round-robined across the
+    requests; ``--query`` (repeatable) the query texts cycled through
+    (default: the rope demo's ``?- actors(A).``).  ``--rate`` sets the
+    aggregate open-loop send rate in QPS (omit for max throughput).
+    ``--json`` prints the full machine-readable report.
+    """
+    import json
+
+    from repro.serving import run_load
+
+    out = stdout if stdout is not None else sys.stdout
+    host = "127.0.0.1"
+    port: Optional[int] = None
+    tenants: list[str] = []
+    query_texts: list[str] = []
+    requests = 50
+    rate: Optional[float] = None
+    connections = 4
+    as_json = False
+    argv = list(argv)
+    while argv:
+        arg = argv.pop(0)
+        if arg in (
+            "--host", "--port", "--tenant", "--query", "--requests",
+            "--rate", "--connections",
+        ):
+            if not argv:
+                raise ReproError(f"{arg} requires a value")
+            value = argv.pop(0)
+            try:
+                if arg == "--host":
+                    host = value
+                elif arg == "--port":
+                    port = int(value)
+                elif arg == "--tenant":
+                    tenants.append(value)
+                elif arg == "--query":
+                    query_texts.append(value)
+                elif arg == "--requests":
+                    requests = int(value)
+                elif arg == "--rate":
+                    rate = float(value)
+                else:
+                    connections = int(value)
+            except ValueError:
+                raise ReproError(
+                    f"{arg} requires a numeric value, got {value!r}"
+                ) from None
+        elif arg == "--json":
+            as_json = True
+        else:
+            raise ReproError(f"unknown load option {arg!r}")
+    if port is None:
+        raise ReproError("--port is required (the server prints its port)")
+    if not tenants:
+        tenants = ["default"]
+    if not query_texts:
+        query_texts = ["?- actors(A)."]
+    plan = [
+        (tenants[i % len(tenants)], query_texts[i % len(query_texts)])
+        for i in range(requests)
+    ]
+    report = run_load(
+        host, port, plan, rate_qps=rate, connections=connections
+    )
+    if as_json:
+        out.write(json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n")
+    else:
+        p50 = report.percentile(50)
+        p99 = report.percentile(99)
+        out.write(
+            f"{report.sent} sent: {report.ok} ok, {report.rejected} rejected, "
+            f"{report.errors} errors in {report.wall_s:.2f}s "
+            f"({report.qps:.1f} QPS"
+            + (
+                f", p50 {p50:.1f}ms, p99 {p99:.1f}ms"
+                if p50 is not None and p99 is not None
+                else ""
+            )
+            + ")\n"
+        )
+    return 0 if report.errors == 0 else 1
 
 
 def lint_main(argv: list[str], stdout: Optional[IO[str]] = None) -> int:
@@ -568,6 +802,10 @@ def main(argv: Optional[list[str]] = None) -> int:
             return stats_main(argv[1:])
         if argv and argv[0] == "lint":
             return lint_main(argv[1:])
+        if argv and argv[0] == "serve":
+            return serve_main(argv[1:])
+        if argv and argv[0] == "load":
+            return load_main(argv[1:])
         shell = MediatorShell()
         while argv:
             arg = argv.pop(0)

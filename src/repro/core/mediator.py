@@ -32,6 +32,7 @@ import hashlib
 import itertools
 import os
 import tempfile
+import threading
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional, Union
 
 from repro.cim.cache import POLICY_COST, ResultCache
@@ -199,6 +200,7 @@ class Mediator:
         # planned under (see _adopt_persisted_plans)
         self._pending_plans: list[PersistedPlan] = []
         self._storage_closed = False
+        self._close_lock = threading.Lock()
         # self-healing: a health registry (breakers + latency windows) is
         # created when either health tracking or hedging is requested;
         # repair=True turns terminal call failures into partial answers
@@ -299,6 +301,9 @@ class Mediator:
         if jobs is not None and jobs > 1:
             self.set_jobs(jobs)
         self._rewriter: Optional[Rewriter] = None
+        # concurrent sessions may race the first query; without the lock
+        # two threads could each build a Rewriter and split its state
+        self._rewriter_lock = threading.Lock()
         # cost-guided branch-and-bound planning (Rewriter.search) instead
         # of enumerate-then-price; the plan cache memoizes winning plans
         # per constant-abstracted query shape
@@ -438,7 +443,16 @@ class Mediator:
         masquerade as current-program plans on the next warm start —
         and the backend flushes crash-consistently.  Staged warm-start
         plans that no program claimed are dropped here.
+
+        Raises :class:`~repro.errors.ReproError` after :meth:`close` —
+        the backend is gone, and silently "flushing" nowhere would let
+        callers believe their cache state was made durable.
         """
+        if self._storage_closed:
+            raise ReproError("storage is closed; nothing to flush")
+        self._flush_storage()
+
+    def _flush_storage(self) -> None:
         self.cim.cache.sync_backend()
         if self.use_plan_cache:
             save_plan_cache(
@@ -468,17 +482,25 @@ class Mediator:
             self._pending_subplans = []
         self.storage.flush()
 
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run (storage detached)."""
+        return self._storage_closed
+
     def close(self) -> None:
         """Flush and close the storage backend.
 
         The mediator stays usable for queries afterwards — the caches
-        simply stop mirroring (memory remains authoritative).  Idempotent.
+        simply stop mirroring (memory remains authoritative).  Idempotent:
+        the flag flips under a lock before the flush, so concurrent or
+        repeated ``close()`` calls flush exactly once.
         """
-        if self._storage_closed:
-            return
-        self._storage_closed = True
+        with self._close_lock:
+            if self._storage_closed:
+                return
+            self._storage_closed = True
         try:
-            self.flush_storage()
+            self._flush_storage()
         finally:
             self.cim.cache.backend = None
             self.dcsm.database.backend = None
@@ -655,7 +677,9 @@ class Mediator:
     @property
     def rewriter(self) -> Rewriter:
         if self._rewriter is None:
-            self._rewriter = Rewriter(self.program, self.rewriter_config)
+            with self._rewriter_lock:
+                if self._rewriter is None:
+                    self._rewriter = Rewriter(self.program, self.rewriter_config)
         return self._rewriter
 
     def plans(

@@ -36,6 +36,7 @@ rewriting — and that decision is exactly a dependence on the values.
 from __future__ import annotations
 
 import pickle
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Iterator, Optional
@@ -186,11 +187,18 @@ class CachedPlan:
 
 
 class PlanCache:
-    """LRU cache of plan templates with epoch/version validation."""
+    """LRU cache of plan templates with epoch/version validation.
+
+    Thread-safe: a shared mediator serves concurrent sessions, and an
+    unguarded ``get`` races ``invalidate_source`` (deleting under an
+    iterator) and its own stale-evict/``move_to_end`` bookkeeping.  One
+    re-entrant lock guards every entry access and the hit/miss counters.
+    """
 
     def __init__(self, max_entries: int = 256):
         self.max_entries = max_entries
         self._entries: OrderedDict[str, CachedPlan] = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -204,7 +212,8 @@ class PlanCache:
         }
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def get(self, key: str, epoch: int, dcsm_version: int) -> Optional[CachedPlan]:
         """The entry under ``key`` if it is still valid, else ``None``
@@ -212,59 +221,64 @@ class PlanCache:
         miss; a marker counts as neither — the caller retries with the
         exact key, and that lookup decides.
         """
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        if entry.epoch != epoch or (
-            not entry.value_dependent and entry.dcsm_version != dcsm_version
-        ):
-            del self._entries[key]
-            self.evictions += 1
-            self.invalidations[
-                "epoch" if entry.epoch != epoch else "dcsm_version"
-            ] += 1
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        if not entry.value_dependent:
-            self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            if entry.epoch != epoch or (
+                not entry.value_dependent and entry.dcsm_version != dcsm_version
+            ):
+                del self._entries[key]
+                self.evictions += 1
+                self.invalidations[
+                    "epoch" if entry.epoch != epoch else "dcsm_version"
+                ] += 1
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            if not entry.value_dependent:
+                self.hits += 1
+            return entry
 
     def put(self, key: str, entry: CachedPlan) -> None:
-        self._entries[key] = entry
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
-            self.evictions += 1
-            self.invalidations["eviction"] += 1
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                self.invalidations["eviction"] += 1
 
     def items(self) -> Iterator[tuple[str, CachedPlan]]:
         """Snapshot of ``(key, entry)`` pairs (persistence walks this)."""
-        return iter(list(self._entries.items()))
+        with self._lock:
+            return iter(list(self._entries.items()))
 
     def invalidate_source(self, domain: str, function: Optional[str] = None) -> int:
         """Drop every entry whose plan calls the changed source."""
-        dead = [
-            key
-            for key, entry in self._entries.items()
-            if any(
-                d == domain and (function is None or f == function)
-                for d, f in entry.sources
-            )
-        ]
-        for key in dead:
-            del self._entries[key]
-        self.evictions += len(dead)
-        self.invalidations["source"] += len(dead)
-        return len(dead)
+        with self._lock:
+            dead = [
+                key
+                for key, entry in self._entries.items()
+                if any(
+                    d == domain and (function is None or f == function)
+                    for d, f in entry.sources
+                )
+            ]
+            for key in dead:
+                del self._entries[key]
+            self.evictions += len(dead)
+            self.invalidations["source"] += len(dead)
+            return len(dead)
 
     def clear(self) -> int:
-        dropped = len(self._entries)
-        self._entries.clear()
-        self.evictions += dropped
-        self.invalidations["eviction"] += dropped
-        return dropped
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self.evictions += dropped
+            self.invalidations["eviction"] += dropped
+            return dropped
 
 
 # -- persistence (warm restart) ------------------------------------------------

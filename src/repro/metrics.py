@@ -153,21 +153,35 @@ class MetricsRegistry:
         return sum(counter.value for counter in self.counters(prefix))
 
     def counters(self, prefix: str = "") -> Iterator[Counter]:
-        for name in sorted(self._counters):
+        # copy the name list under the lock: concurrent sessions register
+        # metrics while stats readers iterate, and an unguarded dict walk
+        # raises "dictionary changed size during iteration"
+        with self._lock:
+            names = sorted(self._counters)
+        for name in names:
             if name.startswith(prefix):
-                yield self._counters[name]
+                counter = self._counters.get(name)
+                if counter is not None:
+                    yield counter
 
     def histograms(self, prefix: str = "") -> Iterator[Histogram]:
-        for name in sorted(self._histograms):
+        with self._lock:
+            names = sorted(self._histograms)
+        for name in names:
             if name.startswith(prefix):
-                yield self._histograms[name]
+                histogram = self._histograms.get(name)
+                if histogram is not None:
+                    yield histogram
 
     def snapshot(self) -> dict[str, float]:
         """Flat name → value dict (histograms contribute summary stats)."""
+        with self._lock:
+            counters = dict(self._counters)
+            histograms = dict(self._histograms)
         out: dict[str, float] = {
-            name: counter.value for name, counter in self._counters.items()
+            name: counter.value for name, counter in counters.items()
         }
-        for name, histogram in self._histograms.items():
+        for name, histogram in histograms.items():
             out[f"{name}.count"] = float(histogram.count)
             out[f"{name}.sum"] = histogram.total
             if histogram.count:
@@ -182,17 +196,17 @@ class MetricsRegistry:
             self._histograms.clear()
 
     def __len__(self) -> int:
-        return len(self._counters) + len(self._histograms)
+        with self._lock:
+            return len(self._counters) + len(self._histograms)
 
     def render(self) -> str:
         """The human-readable report behind ``repro stats``."""
-        if not self._counters and not self._histograms:
+        with self._lock:
+            names = (*self._counters, *self._histograms)
+        if not names:
             return "(no metrics recorded)"
         lines: list[str] = []
-        width = max(
-            (len(name) for name in (*self._counters, *self._histograms)),
-            default=0,
-        )
+        width = max((len(name) for name in names), default=0)
         for counter in self.counters():
             lines.append(f"{counter.name:<{width}}  {counter.value:g}")
         for histogram in self.histograms():

@@ -1,0 +1,46 @@
+"""The query-serving layer: a concurrent multi-tenant mediator service.
+
+The paper's mediator answers one interactive session; the caching
+economics (CIM entries, DCSM statistics, plan and subplan templates)
+only pay off when *many* sessions share them.  This package wraps one
+shared :class:`~repro.core.mediator.Mediator` in a long-running socket
+service (``docs/SERVING.md``):
+
+* :mod:`repro.serving.protocol` — the newline-delimited JSON wire form;
+* :mod:`repro.serving.admission` — bounded request queue with explicit
+  backpressure, per-tenant quotas, and weighted-fair dequeueing;
+* :mod:`repro.serving.warmer` — the async cache-population worker that
+  pre-dials hot query templates off the request path;
+* :mod:`repro.serving.server` — the accept/worker loops, per-tenant
+  cache isolation, and graceful drain;
+* :mod:`repro.serving.client` — a request client plus the open-loop
+  load generator behind ``python -m repro load`` and
+  ``BENCH_serving.json``.
+"""
+
+from repro.serving.admission import (
+    AdmissionController,
+    AdmissionPolicy,
+    AdmissionRejected,
+    Ticket,
+)
+from repro.serving.client import LoadReport, ServingClient, run_load
+from repro.serving.protocol import ProtocolError, decode_message, encode_message
+from repro.serving.server import MediatorServer, ServingConfig
+from repro.serving.warmer import CacheWarmer
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionPolicy",
+    "AdmissionRejected",
+    "CacheWarmer",
+    "LoadReport",
+    "MediatorServer",
+    "ProtocolError",
+    "ServingClient",
+    "ServingConfig",
+    "Ticket",
+    "decode_message",
+    "encode_message",
+    "run_load",
+]

@@ -1,0 +1,241 @@
+"""Admission control: a bounded request queue with weighted-fair dequeue.
+
+The server must never buffer without bound — a traffic spike should
+surface as explicit backpressure (a ``rejected`` response with a
+``retry_after_ms`` hint) rather than as silently growing memory and
+latency.  Three admission rules, checked in order at submit time:
+
+1. **draining** — the server is shutting down; nothing new is admitted
+   (in-flight and already-queued requests still complete);
+2. **tenant quota** — one tenant may hold at most
+   ``max_tenant_depth`` queued requests, so a single hot tenant fills
+   its own allowance, not the shared queue;
+3. **global bound** — the whole queue holds at most ``max_queue_depth``
+   requests across tenants.
+
+Dequeueing is *weighted fair* (stride scheduling): each tenant carries
+a virtual ``pass`` that advances by ``1 / weight`` per dequeued request,
+and the worker always serves the backlogged tenant with the smallest
+pass.  A tenant with weight 2 therefore drains twice as fast as a
+weight-1 tenant under contention, and an idle tenant's first request
+never waits behind a hot tenant's backlog (its pass is re-synced to the
+global pass on arrival, not left in the past where it would let the
+returning tenant burst).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.errors import ReproError
+from repro.metrics import MetricsRegistry
+
+REASON_QUEUE_FULL = "queue_full"
+REASON_TENANT_QUOTA = "tenant_quota"
+REASON_DRAINING = "draining"
+
+
+class AdmissionRejected(ReproError):
+    """The controller refused a request; carries the backpressure hint."""
+
+    def __init__(self, reason: str, retry_after_ms: float):
+        super().__init__(f"request rejected: {reason} (retry after {retry_after_ms:.0f}ms)")
+        self.reason = reason
+        self.retry_after_ms = retry_after_ms
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Queue bounds, quotas, and fairness weights."""
+
+    max_queue_depth: int = 64
+    max_tenant_depth: int = 16
+    retry_after_ms: float = 50.0
+    default_weight: float = 1.0
+    #: tenant name → relative dequeue share (missing tenants get the default)
+    weights: dict[str, float] = field(default_factory=dict)
+
+    def weight(self, tenant: str) -> float:
+        weight = self.weights.get(tenant, self.default_weight)
+        if weight <= 0:
+            raise ReproError(f"tenant {tenant!r} has non-positive weight {weight}")
+        return weight
+
+
+@dataclass
+class Ticket:
+    """One admitted request waiting for (or under) execution."""
+
+    tenant: str
+    payload: Any
+    seq: int
+    enqueued_at: float = field(default_factory=time.perf_counter)
+    dequeued_at: Optional[float] = None
+
+    @property
+    def queue_wait_ms(self) -> float:
+        end = self.dequeued_at if self.dequeued_at is not None else time.perf_counter()
+        return (end - self.enqueued_at) * 1000.0
+
+
+class AdmissionController:
+    """Thread-safe bounded queue with per-tenant weighted-fair dequeue."""
+
+    def __init__(
+        self,
+        policy: Optional[AdmissionPolicy] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        self.policy = policy if policy is not None else AdmissionPolicy()
+        if self.policy.max_queue_depth < 1 or self.policy.max_tenant_depth < 1:
+            raise ReproError("admission bounds must be at least 1")
+        self.metrics = metrics
+        self._lock = threading.Lock()
+        self._available = threading.Condition(self._lock)
+        self._drained = threading.Condition(self._lock)
+        self._queues: dict[str, deque[Ticket]] = {}
+        self._passes: dict[str, float] = {}
+        self._global_pass = 0.0
+        self._depth = 0
+        self._in_flight = 0
+        self._high_watermark = 0
+        self._draining = False
+        self._seq = 0
+
+    # -- observability -------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        with self._lock:
+            return self._depth
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return self._in_flight
+
+    @property
+    def high_watermark(self) -> int:
+        with self._lock:
+            return self._high_watermark
+
+    @property
+    def draining(self) -> bool:
+        with self._lock:
+            return self._draining
+
+    def tenant_depth(self, tenant: str) -> int:
+        with self._lock:
+            queue = self._queues.get(tenant)
+            return len(queue) if queue is not None else 0
+
+    # -- submit side ---------------------------------------------------------
+
+    def submit(self, tenant: str, payload: Any) -> Ticket:
+        """Admit a request or raise :class:`AdmissionRejected`."""
+        policy = self.policy
+        with self._lock:
+            if self._draining:
+                self._reject(tenant, REASON_DRAINING)
+            queue = self._queues.get(tenant)
+            if queue is not None and len(queue) >= policy.max_tenant_depth:
+                self._reject(tenant, REASON_TENANT_QUOTA)
+            if self._depth >= policy.max_queue_depth:
+                self._reject(tenant, REASON_QUEUE_FULL)
+            if queue is None:
+                queue = self._queues[tenant] = deque()
+            if not queue:
+                # a tenant going idle must not bank credit: re-sync its
+                # pass to the scheduler's current position so it gets its
+                # fair share from *now*, not a catch-up burst
+                self._passes[tenant] = max(
+                    self._passes.get(tenant, 0.0), self._global_pass
+                )
+            self._seq += 1
+            ticket = Ticket(tenant=tenant, payload=payload, seq=self._seq)
+            queue.append(ticket)
+            self._depth += 1
+            if self._depth > self._high_watermark:
+                if self.metrics is not None:
+                    self.metrics.inc(
+                        "serving.queue.high_watermark",
+                        float(self._depth - self._high_watermark),
+                    )
+                self._high_watermark = self._depth
+            if self.metrics is not None:
+                self.metrics.inc("serving.admitted")
+                self.metrics.inc(f"serving.tenant.{tenant}.admitted")
+            self._available.notify()
+            return ticket
+
+    def _reject(self, tenant: str, reason: str) -> None:
+        if self.metrics is not None:
+            self.metrics.inc(f"serving.rejected.{reason}")
+            self.metrics.inc(f"serving.tenant.{tenant}.rejected")
+        raise AdmissionRejected(reason, self.policy.retry_after_ms)
+
+    # -- worker side ---------------------------------------------------------
+
+    def next(self, timeout: Optional[float] = None) -> Optional[Ticket]:
+        """The next ticket under weighted-fair order, or ``None`` on
+        timeout.  Marks the ticket in-flight; the worker must call
+        :meth:`task_done` when finished (success or failure)."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            while self._depth == 0:
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._available.wait(remaining):
+                        if self._depth == 0:
+                            return None
+                else:
+                    self._available.wait()
+            tenant = min(
+                (t for t, queue in self._queues.items() if queue),
+                key=lambda t: (self._passes.get(t, 0.0), self._queues[t][0].seq),
+            )
+            queue = self._queues[tenant]
+            ticket = queue.popleft()
+            self._depth -= 1
+            tenant_pass = self._passes.get(tenant, 0.0)
+            self._global_pass = tenant_pass
+            self._passes[tenant] = tenant_pass + 1.0 / self.policy.weight(tenant)
+            self._in_flight += 1
+            ticket.dequeued_at = time.perf_counter()
+            if self.metrics is not None:
+                self.metrics.observe("serving.queue.wait_ms", ticket.queue_wait_ms)
+            return ticket
+
+    def task_done(self, ticket: Ticket) -> None:
+        with self._lock:
+            if self._in_flight <= 0:
+                raise ReproError("task_done called more times than next()")
+            self._in_flight -= 1
+            if self._depth == 0 and self._in_flight == 0:
+                self._drained.notify_all()
+
+    # -- drain ---------------------------------------------------------------
+
+    def begin_drain(self) -> None:
+        """Stop admitting; queued and in-flight requests still complete."""
+        with self._lock:
+            self._draining = True
+            # wake any blocked workers so drain-aware loops can re-check
+            self._available.notify_all()
+
+    def wait_drained(self, timeout: Optional[float] = None) -> bool:
+        """Block until the queue is empty and nothing is in flight."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            while self._depth > 0 or self._in_flight > 0:
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._drained.wait(remaining)
+            return True

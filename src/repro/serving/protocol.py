@@ -1,0 +1,195 @@
+"""The serving wire protocol: newline-delimited JSON messages.
+
+One request or response per line, UTF-8 JSON objects.  Requests carry::
+
+    {"op": "query", "id": "r1", "tenant": "acme",
+     "query": "?- actors(A).", "mode": "all", "max_answers": 10}
+
+``op`` is ``query`` (the default), ``ping``, or ``stats``.  Responses
+echo the request ``id`` and carry a ``status``:
+
+* ``ok`` — answers (values encoded per :mod:`repro.serialization`),
+  cardinality, completeness, and wall/simulated timings;
+* ``rejected`` — backpressure: the admission controller refused the
+  request; ``reason`` says why (``queue_full`` / ``tenant_quota`` /
+  ``draining``) and ``retry_after_ms`` hints when to retry;
+* ``error`` — the query failed (parse error, planning error, ...);
+  ``kind`` is the exception class name.
+
+The protocol is deliberately stateless per line: a client may pipeline
+requests on one connection, and responses may arrive out of submission
+order (the ``id`` is the correlation key).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.errors import ReproError
+from repro.serialization import encode_value
+
+PROTOCOL_VERSION = 1
+
+#: requests larger than this are refused outright (a malformed client
+#: must not make the reader buffer an unbounded line)
+MAX_LINE_BYTES = 1_000_000
+
+_OPS = ("query", "ping", "stats")
+_MODES = ("all", "interactive")
+
+
+class ProtocolError(ReproError):
+    """A message violated the wire form (bad JSON, missing fields...)."""
+
+
+def encode_message(message: dict[str, Any]) -> bytes:
+    """One compact JSON object plus the line terminator."""
+    return json.dumps(message, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_message(line: "str | bytes") -> dict[str, Any]:
+    """Parse one line into a message dict, or raise :class:`ProtocolError`."""
+    if isinstance(line, bytes):
+        if len(line) > MAX_LINE_BYTES:
+            raise ProtocolError(f"message exceeds {MAX_LINE_BYTES} bytes")
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"message is not UTF-8: {exc}") from None
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"message is not JSON: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"message must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+#: fallback ids for requests that did not carry one (responses must
+#: still be correlatable, so the server assigns a server-side id)
+_anon_ids = itertools.count()
+_anon_lock = threading.Lock()
+
+
+def _anon_id() -> str:
+    with _anon_lock:
+        return f"anon-{next(_anon_ids)}"
+
+
+@dataclass(frozen=True)
+class Request:
+    """A validated client request."""
+
+    op: str
+    id: str
+    tenant: str
+    query: Optional[str] = None
+    mode: str = "all"
+    max_answers: Optional[int] = None
+
+    @classmethod
+    def parse(cls, message: dict[str, Any]) -> "Request":
+        op = message.get("op", "query")
+        if op not in _OPS:
+            raise ProtocolError(f"unknown op {op!r} (expected one of {_OPS})")
+        req_id = message.get("id")
+        if req_id is None:
+            req_id = _anon_id()
+        if not isinstance(req_id, str):
+            raise ProtocolError(f"id must be a string, got {req_id!r}")
+        tenant = message.get("tenant", "default")
+        if not isinstance(tenant, str) or not tenant:
+            raise ProtocolError(f"tenant must be a non-empty string, got {tenant!r}")
+        query = message.get("query")
+        mode = message.get("mode", "all")
+        max_answers = message.get("max_answers")
+        if op == "query":
+            if not isinstance(query, str) or not query.strip():
+                raise ProtocolError("op 'query' requires a non-empty 'query' string")
+            if mode not in _MODES:
+                raise ProtocolError(
+                    f"unknown mode {mode!r} (expected one of {_MODES})"
+                )
+            if max_answers is not None and (
+                not isinstance(max_answers, int) or max_answers < 1
+            ):
+                raise ProtocolError(
+                    f"max_answers must be a positive integer, got {max_answers!r}"
+                )
+        return cls(
+            op=op,
+            id=req_id,
+            tenant=tenant,
+            query=query,
+            mode=mode,
+            max_answers=max_answers,
+        )
+
+
+# -- response builders -------------------------------------------------------
+
+
+def ok_response(
+    request: Request,
+    *,
+    answers: tuple,
+    variables: tuple,
+    cardinality: int,
+    complete: bool,
+    t_wall_ms: float,
+    t_sim_ms: float,
+    queue_wait_ms: float,
+) -> dict[str, Any]:
+    return {
+        "id": request.id,
+        "status": "ok",
+        "tenant": request.tenant,
+        "answers": [[encode_value(v) for v in answer] for answer in answers],
+        "variables": list(variables),
+        "cardinality": cardinality,
+        "complete": complete,
+        "t_wall_ms": t_wall_ms,
+        "t_sim_ms": t_sim_ms,
+        "queue_wait_ms": queue_wait_ms,
+    }
+
+
+def rejected_response(
+    request: Request, reason: str, retry_after_ms: float
+) -> dict[str, Any]:
+    return {
+        "id": request.id,
+        "status": "rejected",
+        "tenant": request.tenant,
+        "reason": reason,
+        "retry_after_ms": retry_after_ms,
+    }
+
+
+def error_response(
+    req_id: str, kind: str, message: str, tenant: Optional[str] = None
+) -> dict[str, Any]:
+    response: dict[str, Any] = {
+        "id": req_id,
+        "status": "error",
+        "kind": kind,
+        "error": message,
+    }
+    if tenant is not None:
+        response["tenant"] = tenant
+    return response
+
+
+def pong_response(request: Request) -> dict[str, Any]:
+    return {
+        "id": request.id,
+        "status": "ok",
+        "pong": True,
+        "version": PROTOCOL_VERSION,
+    }

@@ -1,0 +1,452 @@
+"""The long-running multi-tenant mediator service.
+
+One :class:`MediatorServer` serves many concurrent client sessions over
+a *shared* :class:`~repro.core.mediator.Mediator` — shared plan cache,
+CIM, subplan cache, DCSM, and health registry — which is the whole
+point: every query a tenant runs warms the caches every other tenant
+hits.  (``isolate_tenants=True`` flips this into the control
+configuration: each tenant gets its own mediator from a factory, so the
+benchmark can price exactly what sharing buys.)
+
+Threads, and what each does:
+
+* the **acceptor** blocks on ``accept()`` and hands each connection a
+  reader thread;
+* a **reader** per connection parses newline-delimited JSON requests,
+  answers ``ping``/``stats`` inline, and pushes ``query`` requests
+  through the admission controller — writing the ``rejected``
+  backpressure response itself when admission refuses;
+* ``workers`` **query workers** pull tickets in weighted-fair order and
+  execute them against the tenant's mediator;
+* the optional **cache warmer** (``warm_threshold > 0``) digests the
+  observation queue and pre-dials hot templates off the request path.
+
+Graceful drain (``drain()``): admission flips to rejecting with reason
+``draining``, queued and in-flight queries all complete and their
+responses are written, the warmer finishes, per-mediator storage is
+flushed and closed (when the server owns the mediators), and only then
+do the sockets close.  No admitted request is ever dropped.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.core.mediator import Mediator
+from repro.errors import ReproError
+from repro.metrics import MetricsRegistry
+from repro.serving.admission import (
+    AdmissionController,
+    AdmissionPolicy,
+    AdmissionRejected,
+    Ticket,
+)
+from repro.serving.protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    Request,
+    decode_message,
+    encode_message,
+    error_response,
+    ok_response,
+    pong_response,
+    rejected_response,
+)
+from repro.serving.warmer import CacheWarmer
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Everything a server needs beyond the mediator itself."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; read the bound port off server.address
+    workers: int = 4
+    use_cim: bool = True
+    admission: AdmissionPolicy = field(default_factory=AdmissionPolicy)
+    #: 0 disables the warmer; N warms a template once seen N times
+    warm_threshold: int = 0
+    warm_capacity: int = 256
+    #: per-tenant mediators (the isolated-cache control configuration)
+    isolate_tenants: bool = False
+    #: flush + close the mediators' storage on drain (the server owns
+    #: mediators it built from a factory; a caller-supplied mediator is
+    #: closed only when this is set)
+    close_mediators: bool = True
+    drain_timeout_s: float = 30.0
+
+
+@dataclass
+class _Connection:
+    """One client socket plus its serialized writer."""
+
+    sock: socket.socket
+    write_lock: threading.Lock = field(default_factory=threading.Lock)
+    closed: bool = False
+
+    def send(self, message: dict[str, Any]) -> bool:
+        payload = encode_message(message)
+        with self.write_lock:
+            if self.closed:
+                return False
+            try:
+                self.sock.sendall(payload)
+                return True
+            except OSError:
+                self.closed = True
+                return False
+
+    def close(self) -> None:
+        with self.write_lock:
+            self.closed = True
+            try:
+                self.sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                self.sock.close()
+            except OSError:
+                pass
+
+
+@dataclass
+class _QueryJob:
+    """The admission-queue payload for one query request."""
+
+    request: Request
+    connection: _Connection
+
+
+class MediatorServer:
+    """A concurrent multi-tenant query service over shared caches."""
+
+    def __init__(
+        self,
+        mediator: Optional[Mediator] = None,
+        *,
+        mediator_factory: Optional[Callable[[], Mediator]] = None,
+        config: Optional[ServingConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        self.config = config if config is not None else ServingConfig()
+        if self.config.workers < 1:
+            raise ReproError("the server needs at least 1 worker")
+        if mediator is None and mediator_factory is None:
+            raise ReproError("pass a mediator or a mediator_factory")
+        if self.config.isolate_tenants and mediator_factory is None:
+            raise ReproError("isolate_tenants requires a mediator_factory")
+        self._shared_mediator = mediator
+        self._mediator_factory = mediator_factory
+        if self._shared_mediator is None and not self.config.isolate_tenants:
+            assert mediator_factory is not None
+            self._shared_mediator = mediator_factory()
+        #: one registry for serving.* regardless of tenant isolation —
+        #: shared-mediator servers reuse the mediator's own registry so
+        #: ``repro stats`` shows serving and cache counters side by side
+        if metrics is not None:
+            self.metrics = metrics
+        elif self._shared_mediator is not None:
+            self.metrics = self._shared_mediator.metrics
+        else:
+            self.metrics = MetricsRegistry()
+        self.admission = AdmissionController(
+            self.config.admission, metrics=self.metrics
+        )
+        self.warmer: Optional[CacheWarmer] = None
+        if self.config.warm_threshold > 0:
+            self.warmer = CacheWarmer(
+                self._warm_one,
+                threshold=self.config.warm_threshold,
+                capacity=self.config.warm_capacity,
+                metrics=self.metrics,
+            )
+        self._tenant_mediators: dict[str, Mediator] = {}
+        self._tenant_lock = threading.Lock()
+        self._listener: Optional[socket.socket] = None
+        self._threads: list[threading.Thread] = []
+        self._connections: list[_Connection] = []
+        self._connections_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._draining = threading.Event()
+        self._drained = threading.Event()
+        self._started = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port); the port is real even for ``port=0``."""
+        if self._listener is None:
+            raise ReproError("server is not started")
+        addr = self._listener.getsockname()
+        return (addr[0], addr[1])
+
+    def start(self) -> "MediatorServer":
+        if self._started:
+            raise ReproError("server already started")
+        self._started = True
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.config.host, self.config.port))
+        listener.listen(128)
+        self._listener = listener
+        acceptor = threading.Thread(
+            target=self._accept_loop, name="repro-serve-accept", daemon=True
+        )
+        acceptor.start()
+        self._threads.append(acceptor)
+        for index in range(self.config.workers):
+            worker = threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-serve-worker-{index}",
+                daemon=True,
+            )
+            worker.start()
+            self._threads.append(worker)
+        if self.warmer is not None:
+            self.warmer.start()
+        return self
+
+    def __enter__(self) -> "MediatorServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.drain()
+
+    def drain(self, timeout: Optional[float] = None) -> dict[str, float]:
+        """Graceful shutdown: stop admission, finish in-flight work,
+        flush and close storage, then close the sockets.
+
+        Returns a summary with the drain outcome; ``dropped_in_flight``
+        is 0 unless the drain timed out with work still running."""
+        if self._drained.is_set():
+            return self._drain_summary(dropped=0)
+        timeout = self.config.drain_timeout_s if timeout is None else timeout
+        self._draining.set()
+        self.admission.begin_drain()
+        drained = self.admission.wait_drained(timeout=timeout)
+        dropped = 0 if drained else self.admission.depth + self.admission.in_flight
+        if self.warmer is not None:
+            self.warmer.stop(drain=False, timeout=5.0)
+        self._stop.set()
+        if self.config.close_mediators:
+            for mediator in self._all_mediators():
+                try:
+                    mediator.close()
+                except ReproError:
+                    pass
+        # closing the listener unblocks accept(); closing connections
+        # unblocks the readers
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        with self._connections_lock:
+            connections = list(self._connections)
+        for connection in connections:
+            connection.close()
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        self._drained.set()
+        if self.metrics is not None and dropped:
+            self.metrics.inc("serving.drain.dropped_in_flight", float(dropped))
+        return self._drain_summary(dropped=dropped)
+
+    def _drain_summary(self, dropped: int) -> dict[str, float]:
+        return {
+            "completed": self.metrics.value("serving.completed"),
+            "rejected": (
+                self.metrics.value("serving.rejected.queue_full")
+                + self.metrics.value("serving.rejected.tenant_quota")
+                + self.metrics.value("serving.rejected.draining")
+            ),
+            "errors": self.metrics.value("serving.errors"),
+            "queue_high_watermark": self.metrics.value(
+                "serving.queue.high_watermark"
+            ),
+            "dropped_in_flight": float(dropped),
+        }
+
+    # -- tenant → mediator ----------------------------------------------------
+
+    def mediator_for(self, tenant: str) -> Mediator:
+        """The mediator serving ``tenant`` (shared unless isolating)."""
+        if not self.config.isolate_tenants:
+            assert self._shared_mediator is not None
+            return self._shared_mediator
+        with self._tenant_lock:
+            mediator = self._tenant_mediators.get(tenant)
+            if mediator is None:
+                assert self._mediator_factory is not None
+                mediator = self._mediator_factory()
+                self._tenant_mediators[tenant] = mediator
+            return mediator
+
+    def _all_mediators(self) -> list[Mediator]:
+        with self._tenant_lock:
+            mediators = list(self._tenant_mediators.values())
+        if self._shared_mediator is not None:
+            mediators.append(self._shared_mediator)
+        return mediators
+
+    # -- accept / read -------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._stop.is_set():
+            try:
+                sock, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed during drain
+            connection = _Connection(sock=sock)
+            with self._connections_lock:
+                self._connections.append(connection)
+            reader = threading.Thread(
+                target=self._read_loop,
+                args=(connection,),
+                name="repro-serve-reader",
+                daemon=True,
+            )
+            reader.start()
+            self._threads.append(reader)
+
+    def _read_loop(self, connection: _Connection) -> None:
+        buffer = b""
+        sock = connection.sock
+        try:
+            while not self._stop.is_set():
+                try:
+                    chunk = sock.recv(65536)
+                except OSError:
+                    break
+                if not chunk:
+                    break
+                buffer += chunk
+                while b"\n" in buffer:
+                    line, buffer = buffer.split(b"\n", 1)
+                    if line.strip():
+                        self._handle_line(connection, line)
+                if len(buffer) > MAX_LINE_BYTES:
+                    connection.send(
+                        error_response(
+                            "", "ProtocolError",
+                            f"request line exceeds {MAX_LINE_BYTES} bytes",
+                        )
+                    )
+                    break
+        finally:
+            connection.close()
+
+    def _handle_line(self, connection: _Connection, line: bytes) -> None:
+        if self.metrics is not None:
+            self.metrics.inc("serving.requests")
+        try:
+            request = Request.parse(decode_message(line))
+        except ProtocolError as exc:
+            connection.send(error_response("", "ProtocolError", str(exc)))
+            return
+        if request.op == "ping":
+            connection.send(pong_response(request))
+            return
+        if request.op == "stats":
+            connection.send(self._stats_response(request))
+            return
+        # op == "query": through admission control
+        try:
+            job = _QueryJob(request=request, connection=connection)
+            self.admission.submit(request.tenant, job)
+        except AdmissionRejected as exc:
+            connection.send(
+                rejected_response(request, exc.reason, exc.retry_after_ms)
+            )
+            return
+        if self.warmer is not None:
+            scope = request.tenant if self.config.isolate_tenants else ""
+            assert request.query is not None
+            self.warmer.observe(scope, request.query)
+
+    def _stats_response(self, request: Request) -> dict[str, Any]:
+        from repro.report import stats_snapshot
+
+        mediator = self.mediator_for(request.tenant)
+        snapshot = stats_snapshot(mediator, include_metrics=False)
+        snapshot["queue_depth"] = self.admission.depth
+        snapshot["in_flight"] = self.admission.in_flight
+        snapshot["draining"] = self.admission.draining
+        return {"id": request.id, "status": "ok", "stats": snapshot}
+
+    # -- query workers -------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            ticket = self.admission.next(timeout=0.05)
+            if ticket is None:
+                if self._stop.is_set():
+                    return
+                if self._draining.is_set() and self.admission.depth == 0:
+                    # drain: nothing queued and nothing will be admitted
+                    return
+                continue
+            try:
+                self._execute(ticket)
+            finally:
+                self.admission.task_done(ticket)
+
+    def _execute(self, ticket: Ticket) -> None:
+        job: _QueryJob = ticket.payload
+        request = job.request
+        mediator = self.mediator_for(request.tenant)
+        started = time.perf_counter()
+        sim_start = mediator.clock.now_ms
+        try:
+            assert request.query is not None
+            result = mediator.query(
+                request.query,
+                mode=request.mode,
+                use_cim=True if self.config.use_cim else None,
+                max_answers=request.max_answers,
+            )
+        except Exception as exc:  # planning/parse/execution errors → response
+            if self.metrics is not None:
+                self.metrics.inc("serving.errors")
+                self.metrics.inc(f"serving.tenant.{request.tenant}.errors")
+            job.connection.send(
+                error_response(
+                    request.id, type(exc).__name__, str(exc), request.tenant
+                )
+            )
+            return
+        wall_ms = (time.perf_counter() - started) * 1000.0
+        if self.metrics is not None:
+            self.metrics.inc("serving.completed")
+            self.metrics.inc(f"serving.tenant.{request.tenant}.completed")
+            self.metrics.observe("serving.latency_ms", wall_ms)
+            self.metrics.observe(
+                "serving.total_latency_ms", wall_ms + ticket.queue_wait_ms
+            )
+        job.connection.send(
+            ok_response(
+                request,
+                answers=result.answers,
+                variables=result.variables,
+                cardinality=result.cardinality,
+                complete=result.complete,
+                t_wall_ms=wall_ms,
+                t_sim_ms=mediator.clock.now_ms - sim_start,
+                queue_wait_ms=ticket.queue_wait_ms,
+            )
+        )
+
+    # -- warm-up execution ----------------------------------------------------
+
+    def _warm_one(self, tenant_scope: str, query_text: str) -> None:
+        """Run one representative query to pre-dial the cache tiers."""
+        mediator = self.mediator_for(tenant_scope or "default")
+        mediator.query(
+            query_text, use_cim=True if self.config.use_cim else None
+        )

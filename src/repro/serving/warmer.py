@@ -1,0 +1,195 @@
+"""The async cache-population worker: warm hot templates off the hot path.
+
+PartitionCache's observer/queue pattern, adapted to the mediator's cache
+tiers: the request path only *appends* an observation (tenant + query
+text) to a bounded queue — a deque append, nothing more — and a single
+background thread does everything expensive: it canonicalizes the query
+into its constant-abstracted template (the plan cache's notion of a
+query shape), counts how often each template has been seen, and once a
+template crosses ``threshold`` occurrences executes one representative
+query through the owning mediator.  That execution populates every tier
+at once — the CIM's ground-call entries, the subplan tier's prefix
+materializations, the plan cache's priced template — so the *next*
+request with that shape is served from cache even if the earlier ones
+all missed.
+
+Both queues are bounded and drop-oldest on overflow (counted under
+``serving.warmer.dropped``): a warm-up backlog must never become the
+unbounded buffer the admission controller exists to prevent.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict, deque
+from typing import Callable, Optional
+
+from repro.metrics import MetricsRegistry
+
+
+class CacheWarmer:
+    """Background cache-population worker over a bounded warm-up queue.
+
+    ``execute`` runs one warm query (the server binds it to the right
+    tenant's mediator); exceptions are counted, never propagated — a
+    failing warm-up must not take the service down.
+    """
+
+    def __init__(
+        self,
+        execute: Callable[[str, str], None],
+        *,
+        threshold: int = 2,
+        capacity: int = 256,
+        max_templates: int = 1024,
+        metrics: Optional[MetricsRegistry] = None,
+        poll_interval_s: float = 0.02,
+    ):
+        if threshold < 1:
+            raise ValueError(f"warm threshold must be >= 1, got {threshold}")
+        if capacity < 1:
+            raise ValueError(f"warmer capacity must be >= 1, got {capacity}")
+        self.execute = execute
+        self.threshold = threshold
+        self.capacity = capacity
+        self.max_templates = max_templates
+        self.metrics = metrics
+        self.poll_interval_s = poll_interval_s
+        self._lock = threading.Lock()
+        self._wake = threading.Event()
+        self._stop = threading.Event()
+        #: raw observations from the request path (tenant scope, query text)
+        self._observations: deque[tuple[str, str]] = deque()
+        #: warm tasks the observer promoted (template key → representative)
+        self._pending: deque[tuple[str, str, str]] = deque()
+        #: template key → occurrences seen (LRU-bounded)
+        self._counts: OrderedDict[str, int] = OrderedDict()
+        self._warmed: set[str] = set()
+        self._queued: set[str] = set()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- the hot path --------------------------------------------------------
+
+    def observe(self, tenant_scope: str, query_text: str) -> None:
+        """Record one served query shape; O(1), called on the request path."""
+        with self._lock:
+            if len(self._observations) >= self.capacity:
+                self._observations.popleft()
+                if self.metrics is not None:
+                    self.metrics.inc("serving.warmer.dropped")
+            self._observations.append((tenant_scope, query_text))
+        if self.metrics is not None:
+            self.metrics.inc("serving.warmer.observed")
+        self._wake.set()
+
+    # -- the background worker -----------------------------------------------
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-cache-warmer", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, drain: bool = False, timeout: Optional[float] = None) -> None:
+        """Stop the worker; ``drain=True`` finishes queued warm-ups first."""
+        if self._thread is None:
+            return
+        if drain:
+            self.flush(timeout=timeout)
+        self._stop.set()
+        self._wake.set()
+        self._thread.join(timeout=timeout)
+        self._thread = None
+
+    def flush(self, timeout: Optional[float] = None) -> bool:
+        """Block until both queues are empty (test/drain helper)."""
+        import time
+
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            with self._lock:
+                empty = not self._observations and not self._pending
+            if empty:
+                return True
+            if deadline is not None and time.monotonic() >= deadline:
+                return False
+            time.sleep(0.005)
+
+    @property
+    def backlog(self) -> int:
+        with self._lock:
+            return len(self._observations) + len(self._pending)
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            progressed = self._step()
+            if not progressed:
+                self._wake.wait(self.poll_interval_s)
+                self._wake.clear()
+
+    def _step(self) -> bool:
+        """Process one observation or one warm task; True if any work ran."""
+        with self._lock:
+            observation = (
+                self._observations.popleft() if self._observations else None
+            )
+        if observation is not None:
+            self._digest(*observation)
+            return True
+        with self._lock:
+            task = self._pending.popleft() if self._pending else None
+        if task is None:
+            return False
+        key, tenant_scope, query_text = task
+        try:
+            self.execute(tenant_scope, query_text)
+            with self._lock:
+                self._warmed.add(key)
+                self._queued.discard(key)
+            if self.metrics is not None:
+                self.metrics.inc("serving.warmer.warmed")
+        except Exception:
+            with self._lock:
+                self._queued.discard(key)
+            if self.metrics is not None:
+                self.metrics.inc("serving.warmer.errors")
+        return True
+
+    def _digest(self, tenant_scope: str, query_text: str) -> None:
+        """Canonicalize + count one observation; promote at the threshold."""
+        key = self._template_key(tenant_scope, query_text)
+        if key is None:
+            return
+        with self._lock:
+            if key in self._warmed or key in self._queued:
+                return
+            count = self._counts.get(key, 0) + 1
+            self._counts[key] = count
+            self._counts.move_to_end(key)
+            while len(self._counts) > self.max_templates:
+                self._counts.popitem(last=False)
+            if count < self.threshold:
+                return
+            if len(self._pending) >= self.capacity:
+                self._pending.popleft()
+                if self.metrics is not None:
+                    self.metrics.inc("serving.warmer.dropped")
+            self._pending.append((key, tenant_scope, query_text))
+            self._queued.add(key)
+        if self.metrics is not None:
+            self.metrics.inc("serving.warmer.enqueued")
+
+    @staticmethod
+    def _template_key(tenant_scope: str, query_text: str) -> Optional[str]:
+        """The constant-abstracted query shape, scoped per tenant cache."""
+        from repro.core.parser import parse_query
+        from repro.core.plancache import canonicalize
+
+        try:
+            canonical = canonicalize(parse_query(query_text))
+        except Exception:
+            return None
+        return f"{tenant_scope}|{canonical.key}"

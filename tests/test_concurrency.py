@@ -1,0 +1,216 @@
+"""Thread-safety of one shared Mediator under concurrent sessions.
+
+The serving layer points many client threads at a single mediator, so
+the structures the sequential test-suite exercises one call at a time —
+the plan cache, the metrics registry, the lazy rewriter — here get
+hammered from every direction at once: mixed queries racing
+``notify_source_changed`` racing stats reads.  The assertions are
+(1) no exceptions anywhere, (2) answer parity with a quiet mediator,
+and (3) internally consistent cache/metric snapshots afterwards.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.mediator import Mediator
+from repro.core.plancache import PlanCache, CachedPlan
+from repro.errors import ReproError
+from repro.metrics import MetricsRegistry
+from repro.workloads.generators import generate_shared_prefix_workload
+
+
+def _build_workload_mediator(jobs: int = 1) -> tuple[Mediator, tuple[str, ...]]:
+    workload = generate_shared_prefix_workload(
+        queries=4, prefix_depth=3, fanout=2, seed=7
+    )
+    mediator = Mediator(use_subplan_cache=True, jobs=jobs)
+    mediator.register_domain(workload.domain)
+    mediator.load_program(workload.program_text)
+    return mediator, workload.queries
+
+
+def test_shared_mediator_hammer_mixed_queries_and_churn():
+    mediator, queries = _build_workload_mediator(jobs=4)
+    # ground truth from a quiet run on an identical mediator
+    reference, _ = _build_workload_mediator(jobs=1)
+    expected = {
+        q: {tuple(a) for a in reference.query(q, use_cim=True).answers}
+        for q in queries
+    }
+
+    errors: list[BaseException] = []
+    stop = threading.Event()
+
+    def session(index: int) -> None:
+        try:
+            for round_number in range(6):
+                query = queries[(index + round_number) % len(queries)]
+                result = mediator.query(query, use_cim=True)
+                got = {tuple(a) for a in result.answers}
+                assert got == expected[query], (
+                    f"parity lost for {query}: {got} != {expected[query]}"
+                )
+        except BaseException as exc:  # noqa: BLE001 - collected for assert
+            errors.append(exc)
+
+    def churn() -> None:
+        try:
+            domain_name = next(iter(mediator.registry.names()))
+            while not stop.is_set():
+                mediator.notify_source_changed(domain_name)
+                mediator.metrics.snapshot()
+                mediator.metrics.render()
+                len(mediator.plan_cache)
+        except BaseException as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    workers = [threading.Thread(target=session, args=(i,)) for i in range(8)]
+    churner = threading.Thread(target=churn)
+    churner.start()
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join(timeout=120.0)
+    stop.set()
+    churner.join(timeout=30.0)
+    assert not errors, f"concurrent session errors: {errors[:3]}"
+    # the metric totals must be coherent: every query was counted
+    assert mediator.metrics.value("mediator.queries") == 8 * 6
+
+
+def test_plan_cache_direct_thread_hammer():
+    cache = PlanCache(max_entries=32)
+    errors: list[BaseException] = []
+
+    def writer(index: int) -> None:
+        try:
+            for round_number in range(300):
+                key = f"k{(index * 300 + round_number) % 48}"
+                cache.put(
+                    key,
+                    CachedPlan(
+                        template=None,
+                        vector=None,
+                        params=(),
+                        sources=frozenset({("d", "f")}),
+                        epoch=0,
+                        dcsm_version=0,
+                        value_dependent=True,
+                    ),
+                )
+                cache.get(key, epoch=0, dcsm_version=0)
+                if round_number % 50 == 0:
+                    cache.invalidate_source("d")
+                list(cache.items())
+                len(cache)
+        except BaseException as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    threads = [threading.Thread(target=writer, args=(i,)) for i in range(6)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60.0)
+    assert not errors, f"plan cache races: {errors[:3]}"
+    # counters stayed coherent under the lock
+    assert cache.evictions == sum(cache.invalidations.values())
+
+
+def test_metrics_registry_iteration_during_registration():
+    registry = MetricsRegistry()
+    errors: list[BaseException] = []
+    stop = threading.Event()
+
+    def register() -> None:
+        try:
+            index = 0
+            while not stop.is_set() and index < 3000:
+                registry.inc(f"metric.{index}")
+                registry.observe(f"latency.{index}", float(index))
+                index += 1
+        except BaseException as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    def read() -> None:
+        try:
+            while not stop.is_set():
+                registry.snapshot()
+                registry.render()
+                list(registry.counters())
+                registry.total("metric.")
+                len(registry)
+        except BaseException as exc:  # noqa: BLE001
+            errors.append(exc)
+            stop.set()
+
+    writers = [threading.Thread(target=register) for _ in range(2)]
+    readers = [threading.Thread(target=read) for _ in range(2)]
+    for thread in (*writers, *readers):
+        thread.start()
+    for thread in writers:
+        thread.join(timeout=60.0)
+    stop.set()
+    for thread in readers:
+        thread.join(timeout=30.0)
+    assert not errors, f"registry races: {errors[:3]}"
+
+
+def test_lazy_rewriter_single_instance_under_races(m1_mediator):
+    seen = []
+
+    def touch() -> None:
+        seen.append(m1_mediator.rewriter)
+
+    threads = [threading.Thread(target=touch) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30.0)
+    assert len({id(rewriter) for rewriter in seen}) == 1
+
+
+# -- close() lifecycle --------------------------------------------------------
+
+
+def test_close_is_idempotent_and_flushes_once(m1_mediator):
+    m1_mediator.query("?- m(A, C).", use_cim=True)
+    assert not m1_mediator.closed
+    m1_mediator.close()
+    assert m1_mediator.closed
+    m1_mediator.close()  # second close: no error, no double flush
+    assert m1_mediator.closed
+
+
+def test_flush_after_close_raises_cleanly(m1_mediator):
+    m1_mediator.close()
+    with pytest.raises(ReproError, match="closed"):
+        m1_mediator.flush_storage()
+
+
+def test_queries_still_work_after_close(m1_mediator):
+    before = {tuple(a) for a in m1_mediator.query("?- m(A, C).").answers}
+    m1_mediator.close()
+    after = {tuple(a) for a in m1_mediator.query("?- m(A, C).").answers}
+    assert after == before
+
+
+def test_concurrent_close_flushes_exactly_once(m1_mediator):
+    m1_mediator.query("?- m(A, C).", use_cim=True)
+    errors: list[BaseException] = []
+
+    def closer() -> None:
+        try:
+            m1_mediator.close()
+        except BaseException as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    threads = [threading.Thread(target=closer) for _ in range(6)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30.0)
+    assert not errors
+    assert m1_mediator.closed
