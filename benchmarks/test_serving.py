@@ -16,16 +16,30 @@ genuine QPS differences rather than simulated-clock artifacts):
   high-watermark must respect the configured bound, rejections must
   carry retry hints, and a graceful drain must drop zero in-flight
   requests.
+* **cancellation_latency** — wire-level cancels against in-flight
+  queries over a wall-clock-slow source chain: cancel-to-stop p99 is
+  gated at <= 250ms, and every request lands in exactly one terminal
+  status (never both executed and rejected).
+* **shed_mode** — EWMA-triggered load shedding under a two-tier weight
+  table: the low-weight tenant sheds first while the high-weight
+  tenant's work keeps flowing.
 
 Writes ``BENCH_serving.json`` at the repo root; the CI serving job
 prints it and gates on the ratio and the backpressure invariants.
 """
 
 import json
+import time
 from pathlib import Path
 
 from repro.core.mediator import Mediator
-from repro.serving import AdmissionPolicy, MediatorServer, ServingConfig, run_load
+from repro.serving import (
+    AdmissionPolicy,
+    MediatorServer,
+    ServingClient,
+    ServingConfig,
+    run_load,
+)
 from repro.workloads.generators import generate_shared_prefix_workload
 
 RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
@@ -185,6 +199,109 @@ def _measure_backpressure() -> dict:
         server.drain(timeout=60.0)
 
 
+def _percentile(values: list, p: float):
+    if not values:
+        return None
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, int(round(p / 100.0 * len(ordered))) - 1))
+    return ordered[rank]
+
+
+def _measure_cancellation_latency() -> dict:
+    from repro.workloads.serving_chaos import build_serving_testbed
+
+    testbed = build_serving_testbed(relations=3, wall_ms=20.0)
+    server = MediatorServer(
+        testbed.mediator, config=ServingConfig(workers=4)
+    ).start()
+    attempts = 12
+    cancel_ms: list = []
+    statuses: dict = {}
+    try:
+        host, port = server.address
+        with ServingClient(host, port, timeout_s=60.0) as client:
+            for index in range(attempts):
+                target = client.send({
+                    "op": "query",
+                    "query": testbed.chain_query(key=f"bench{index}"),
+                })
+                time.sleep(0.03)  # let the run start dialing
+                begun = time.perf_counter()
+                client.cancel(target)
+                response = client.wait(target, timeout_s=30.0)
+                status = str(response["status"])
+                statuses[status] = statuses.get(status, 0) + 1
+                if status == "cancelled":
+                    cancel_ms.append((time.perf_counter() - begun) * 1000.0)
+        summary = server.drain(timeout=60.0)
+        terminal = (
+            summary["completed"] + summary["cancelled"] + summary["errors"]
+            + summary["deadline_exceeded"] + summary["rejected"]
+        )
+        return {
+            "attempts": attempts,
+            "statuses": statuses,
+            "cancelled": len(cancel_ms),
+            "cancel_to_stop_ms": {
+                "p50": _percentile(cancel_ms, 50),
+                "p99": _percentile(cancel_ms, 99),
+            },
+            "server_cancel_latency_p99_ms": next(
+                (
+                    h.percentile(99)
+                    for h in server.metrics.histograms(
+                        "serving.cancel.latency_ms"
+                    )
+                ),
+                None,
+            ),
+            "terminal_total": terminal,
+            "stuck_tickets": summary["stuck_tickets"],
+        }
+    finally:
+        server.drain(timeout=60.0)
+
+
+def _measure_shed_mode() -> dict:
+    config = ServingConfig(
+        workers=2,
+        admission=AdmissionPolicy(
+            max_queue_depth=256,
+            max_tenant_depth=256,
+            weights={"gold": 4.0, "bronze": 1.0},
+            shed_ewma_ms=5.0,
+        ),
+    )
+    # cache-cold: every query pays the wall-clock source cost, so the
+    # EWMA rises past the shed threshold almost immediately
+    server = MediatorServer(_build_mediator(cached=False), config=config).start()
+    try:
+        host, port = server.address
+        queries = server.mediator_for("gold")._bench_queries
+        plan = [
+            ("gold" if i % 2 == 0 else "bronze", queries[i % len(queries)])
+            for i in range(80)
+        ]
+        # paced (not a burst) so the EWMA warms from early completions
+        # while later submissions are still arriving
+        report = run_load(
+            host, port, plan, rate_qps=150.0, connections=6, timeout_s=120.0
+        )
+        summary = server.drain(timeout=60.0)
+        return {
+            "sent": report.sent,
+            "ok": report.ok,
+            "rejected": report.rejected,
+            "rejected_reasons": dict(report.rejected_reasons),
+            "errors": report.errors,
+            "per_tenant": report.per_tenant,
+            "shed_total": server.metrics.value("serving.rejected.shed"),
+            "stuck_tickets": summary["stuck_tickets"],
+        }
+    finally:
+        server.drain(timeout=60.0)
+
+
 def _write(section_name: str, section: dict) -> None:
     payload = {}
     if RESULTS_PATH.exists():
@@ -222,3 +339,30 @@ class TestServingBenchmark:
         assert section["queue_high_watermark"] <= section["queue_depth_limit"]
         assert section["dropped_in_flight"] == 0.0
         assert section["ok"] + section["rejected"] == section["sent"]
+
+    def test_cancellation_latency_p99_bounded(self, once):
+        """Cancel-to-stop p99 stays under 250ms, and every request ends
+        in exactly one terminal status."""
+        section = once(_measure_cancellation_latency)
+        _write("cancellation_latency", section)
+        assert section["cancelled"] >= section["attempts"] // 2
+        assert section["cancel_to_stop_ms"]["p99"] is not None
+        assert section["cancel_to_stop_ms"]["p99"] <= 250.0
+        # exactly-once accounting: never both executed and rejected
+        assert section["terminal_total"] == section["attempts"]
+        assert section["stuck_tickets"] == 0.0
+
+    def test_shed_mode_protects_high_weight_tenants(self, once):
+        """Under EWMA shedding the bronze tenant is rejected first while
+        gold work keeps completing."""
+        section = once(_measure_shed_mode)
+        _write("shed_mode", section)
+        assert section["errors"] == 0
+        assert section["shed_total"] > 0
+        bronze = section["per_tenant"].get("bronze", {})
+        gold = section["per_tenant"].get("gold", {})
+        assert bronze.get("rejected", 0) > 0
+        assert gold.get("ok", 0) > 0
+        # exactly-once accounting across every terminal status
+        assert section["ok"] + section["rejected"] == section["sent"]
+        assert section["stuck_tickets"] == 0.0

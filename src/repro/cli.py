@@ -538,7 +538,10 @@ def serve_main(argv: list[str], stdout: Optional[IO[str]] = None) -> int:
     behind the serving stack of ``docs/SERVING.md``: bounded admission,
     per-tenant weighted-fair dequeueing, async cache warming.  SIGINT or
     ``--max-seconds`` triggers a graceful drain (in-flight queries
-    finish, storage flushes and closes).
+    finish, storage flushes and closes).  ``--max-runtime-ms`` arms the
+    watchdog's server-side runtime cap, ``--shed-ewma-ms`` enables
+    EWMA-triggered load shedding, and ``--no-partial`` refuses partial
+    results for every tenant.
     """
     import time as _time
 
@@ -556,13 +559,17 @@ def serve_main(argv: list[str], stdout: Optional[IO[str]] = None) -> int:
     storage: Optional[str] = None
     warm_start = False
     max_seconds: Optional[float] = None
+    max_runtime_ms = 0.0
+    shed_ewma_ms = 0.0
+    no_partial = False
     argv = list(argv)
     while argv:
         arg = argv.pop(0)
         if arg in (
             "--demo", "--host", "--port", "--workers", "--jobs",
             "--queue-depth", "--tenant-depth", "--warm-threshold",
-            "--storage", "--max-seconds",
+            "--storage", "--max-seconds", "--max-runtime-ms",
+            "--shed-ewma-ms",
         ):
             if not argv:
                 raise ReproError(f"{arg} requires a value")
@@ -586,6 +593,10 @@ def serve_main(argv: list[str], stdout: Optional[IO[str]] = None) -> int:
                     warm_threshold = int(value)
                 elif arg == "--storage":
                     storage = value
+                elif arg == "--max-runtime-ms":
+                    max_runtime_ms = float(value)
+                elif arg == "--shed-ewma-ms":
+                    shed_ewma_ms = float(value)
                 else:
                     max_seconds = float(value)
             except ValueError:
@@ -594,6 +605,8 @@ def serve_main(argv: list[str], stdout: Optional[IO[str]] = None) -> int:
                 ) from None
         elif arg == "--warm-start":
             warm_start = True
+        elif arg == "--no-partial":
+            no_partial = True
         else:
             raise ReproError(f"unknown serve option {arg!r}")
     demo_kwargs: dict[str, object] = {}
@@ -609,8 +622,12 @@ def serve_main(argv: list[str], stdout: Optional[IO[str]] = None) -> int:
         port=port,
         workers=workers,
         warm_threshold=warm_threshold,
+        max_runtime_ms=max_runtime_ms,
+        allow_partial=not no_partial,
         admission=AdmissionPolicy(
-            max_queue_depth=queue_depth, max_tenant_depth=tenant_depth
+            max_queue_depth=queue_depth,
+            max_tenant_depth=tenant_depth,
+            shed_ewma_ms=shed_ewma_ms,
         ),
     )
     server = MediatorServer(mediator, config=config).start()
@@ -632,11 +649,14 @@ def serve_main(argv: list[str], stdout: Optional[IO[str]] = None) -> int:
         "drained: "
         f"{summary['completed']:.0f} completed, "
         f"{summary['rejected']:.0f} rejected, "
+        f"{summary['cancelled']:.0f} cancelled, "
+        f"{summary['deadline_exceeded']:.0f} deadline-exceeded, "
         f"{summary['errors']:.0f} errors, "
         f"queue high-watermark {summary['queue_high_watermark']:.0f}, "
-        f"{summary['dropped_in_flight']:.0f} dropped in flight\n"
+        f"{summary['dropped_in_flight']:.0f} dropped in flight, "
+        f"{summary['stuck_tickets']:.0f} stuck tickets\n"
     )
-    return 1 if summary["dropped_in_flight"] else 0
+    return 1 if summary["dropped_in_flight"] or summary["stuck_tickets"] else 0
 
 
 def load_main(argv: list[str], stdout: Optional[IO[str]] = None) -> int:
@@ -646,6 +666,7 @@ def load_main(argv: list[str], stdout: Optional[IO[str]] = None) -> int:
     requests; ``--query`` (repeatable) the query texts cycled through
     (default: the rope demo's ``?- actors(A).``).  ``--rate`` sets the
     aggregate open-loop send rate in QPS (omit for max throughput).
+    ``--deadline-ms`` stamps every request with an end-to-end deadline.
     ``--json`` prints the full machine-readable report.
     """
     import json
@@ -660,13 +681,14 @@ def load_main(argv: list[str], stdout: Optional[IO[str]] = None) -> int:
     requests = 50
     rate: Optional[float] = None
     connections = 4
+    deadline_ms: Optional[float] = None
     as_json = False
     argv = list(argv)
     while argv:
         arg = argv.pop(0)
         if arg in (
             "--host", "--port", "--tenant", "--query", "--requests",
-            "--rate", "--connections",
+            "--rate", "--connections", "--deadline-ms",
         ):
             if not argv:
                 raise ReproError(f"{arg} requires a value")
@@ -684,6 +706,8 @@ def load_main(argv: list[str], stdout: Optional[IO[str]] = None) -> int:
                     requests = int(value)
                 elif arg == "--rate":
                     rate = float(value)
+                elif arg == "--deadline-ms":
+                    deadline_ms = float(value)
                 else:
                     connections = int(value)
             except ValueError:
@@ -705,7 +729,8 @@ def load_main(argv: list[str], stdout: Optional[IO[str]] = None) -> int:
         for i in range(requests)
     ]
     report = run_load(
-        host, port, plan, rate_qps=rate, connections=connections
+        host, port, plan, rate_qps=rate, connections=connections,
+        deadline_ms=deadline_ms,
     )
     if as_json:
         out.write(json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n")
@@ -714,6 +739,8 @@ def load_main(argv: list[str], stdout: Optional[IO[str]] = None) -> int:
         p99 = report.percentile(99)
         out.write(
             f"{report.sent} sent: {report.ok} ok, {report.rejected} rejected, "
+            f"{report.cancelled} cancelled, "
+            f"{report.deadline_exceeded} deadline-exceeded, "
             f"{report.errors} errors in {report.wall_s:.2f}s "
             f"({report.qps:.1f} QPS"
             + (

@@ -24,6 +24,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, Optional
 
+from repro.cancellation import CancellationToken
 from repro.cim.manager import CacheInvariantManager
 from repro.core.model import Comparison, GroundCall
 from repro.core.plans import CallStep, CompareStep, Plan, PlanStep
@@ -94,6 +95,10 @@ class _RunStats:
     # per-run retry-jitter stream: seeded fresh for every run so parallel
     # and sequential executions are reproducible and never share RNG state
     rng: "Optional[random.Random]" = None
+    # the caller's stop signal, checked before every source dial so a
+    # cancelled query freezes its dial count mid-plan (paper §3: killing
+    # a running query must stop the external programs it spawned)
+    cancel_token: "Optional[CancellationToken]" = None
 
 
 @dataclass
@@ -219,6 +224,7 @@ class Executor:
         initial_subst: Optional[dict[Variable, Term]] = None,
         max_time_ms: Optional[float] = None,
         trace: bool = False,
+        cancel_token: Optional[CancellationToken] = None,
     ) -> ExecutionResult:
         """Execute ``plan`` and collect its answers with timing.
 
@@ -229,6 +235,11 @@ class Executor:
         ``max_time_ms`` is a simulated-time budget: execution stops (and
         the result is flagged incomplete) once the budget is exhausted,
         checked between answers — like a user abandoning a slow query.
+
+        ``cancel_token`` is the wire-level kill switch: it is checked
+        before every source dial and between answers, and a fired token
+        aborts the run with :class:`~repro.errors.ExecutionCancelledError`
+        rather than returning a truncated result.
         """
         if mode not in (MODE_ALL, MODE_INTERACTIVE):
             raise ReproError(f"unknown execution mode {mode!r}")
@@ -243,7 +254,11 @@ class Executor:
                 registry=self.registry,
             )
         provenance: Counter = Counter()
-        stats = _RunStats(trace=[] if trace else None, rng=self._fresh_rng())
+        stats = _RunStats(
+            trace=[] if trace else None,
+            rng=self._fresh_rng(),
+            cancel_token=cancel_token,
+        )
         start_ms = self.clock.now_ms
         self.clock.advance(self.init_overhead_ms)
         answers: list[tuple[Value, ...]] = []
@@ -254,6 +269,8 @@ class Executor:
             plan.steps, dict(initial_subst or {}), provenance, stats
         )
         for subst in stream:
+            if cancel_token is not None:
+                cancel_token.raise_if_cancelled("between answers")
             answer = self._project(plan.answer_vars, subst)
             self.clock.advance(self.display_cost_ms)
             if t_first is None:
@@ -554,6 +571,10 @@ class Executor:
     def _dispatch(
         self, call: GroundCall, via_cim: bool, stats: Optional[_RunStats] = None
     ) -> CallResult:
+        if stats is not None and stats.cancel_token is not None:
+            # checked before ANY network work so a cancelled/timed-out
+            # query stops dialing sources immediately, mid-plan
+            stats.cancel_token.raise_if_cancelled(f"before dispatching {call}")
         if self.metrics is not None:
             self.metrics.inc("executor.dispatches")
         if self.policy is None:

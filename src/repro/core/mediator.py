@@ -35,6 +35,7 @@ import tempfile
 import threading
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional, Union
 
+from repro.cancellation import CancellationToken
 from repro.cim.cache import POLICY_COST, ResultCache
 from repro.cim.manager import CacheInvariantManager, CimPolicy
 from repro.core.answers import QueryResult
@@ -948,6 +949,7 @@ class Mediator:
         bindings: Optional[dict] = None,
         max_time_ms: Optional[float] = None,
         trace: bool = False,
+        cancel_token: Optional["CancellationToken"] = None,
     ) -> QueryResult:
         """Plan, optimize, and execute a query.
 
@@ -1030,6 +1032,7 @@ class Mediator:
             initial_subst=initial_subst,
             max_time_ms=max_time_ms,
             trace=trace,
+            cancel_token=cancel_token,
         )
         execution = self.executor.run(chosen, **run_kwargs)
         if self.repair and execution.missing_sources:

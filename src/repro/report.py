@@ -16,7 +16,7 @@ The top-level entry point is :func:`stats_snapshot`, consumed by
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, Optional
 
 if TYPE_CHECKING:
     from repro.core.mediator import Mediator
@@ -121,9 +121,19 @@ def storage_data(mediator: "Mediator") -> dict[str, Any]:
     }
 
 
-def serving_data(mediator: "Mediator") -> dict[str, Any]:
-    """Admission/queue/warmer counters recorded by a mediator server."""
+def serving_data(
+    mediator: "Mediator", admission: Optional[Any] = None
+) -> dict[str, Any]:
+    """Admission/queue/warmer/lifecycle counters from a mediator server.
+
+    ``admission`` (an ``AdmissionController``, when the caller has a live
+    server) adds the live EWMA service time, the adaptive retry hint, and
+    the shed flag — state that lives on the controller, not the registry.
+    """
     metrics = mediator.metrics
+    cancel_latency = next(
+        iter(metrics.histograms("serving.cancel.latency_ms")), None
+    )
     data: dict[str, Any] = {
         "requests": metrics.value("serving.requests"),
         "admitted": metrics.value("serving.admitted"),
@@ -133,6 +143,31 @@ def serving_data(mediator: "Mediator") -> dict[str, Any]:
             "queue_full": metrics.value("serving.rejected.queue_full"),
             "tenant_quota": metrics.value("serving.rejected.tenant_quota"),
             "draining": metrics.value("serving.rejected.draining"),
+            "shed": metrics.value("serving.rejected.shed"),
+            "deadline_exceeded": metrics.value(
+                "serving.rejected.deadline_exceeded"
+            ),
+        },
+        "lifecycle": {
+            "completed": metrics.value("serving.completed"),
+            "cancelled": metrics.value("serving.cancelled"),
+            "deadline_exceeded": metrics.value("serving.deadline.exceeded"),
+            "queue_expired": metrics.value("serving.deadline.queue_expired"),
+            "partial_returned": metrics.value("serving.partial.returned"),
+            "partial_denied": metrics.value("serving.partial.denied"),
+            "cancel": {
+                "requests": metrics.value("serving.cancel.requests"),
+                "queued": metrics.value("serving.cancel.queued"),
+                "inflight": metrics.value("serving.cancel.inflight"),
+                "disconnect": metrics.value("serving.cancel.disconnect"),
+                "watchdog": metrics.value("serving.cancel.watchdog"),
+                "latency_ms_p50": (
+                    cancel_latency.percentile(50) if cancel_latency else None
+                ),
+                "latency_ms_p99": (
+                    cancel_latency.percentile(99) if cancel_latency else None
+                ),
+            },
         },
         "queue_high_watermark": metrics.value("serving.queue.high_watermark"),
         "warmer": {
@@ -151,11 +186,17 @@ def serving_data(mediator: "Mediator") -> dict[str, Any]:
         if tenant:
             tenants.setdefault(tenant, {})[field] = counter.value
     data["tenants"] = tenants
+    if admission is not None:
+        data["ewma_service_ms"] = admission.ewma_service_ms
+        data["retry_after_ms"] = admission.retry_after_hint()
+        data["shedding"] = admission.shedding
     return data
 
 
 def stats_snapshot(
-    mediator: "Mediator", include_metrics: bool = True
+    mediator: "Mediator",
+    include_metrics: bool = True,
+    admission: Optional[Any] = None,
 ) -> dict[str, Any]:
     """One JSON-safe dict with every summary the text report prints.
 
@@ -172,7 +213,7 @@ def stats_snapshot(
         "planner": planner_data(mediator),
         "runtime": runtime_data(mediator),
         "storage": storage_data(mediator),
-        "serving": serving_data(mediator),
+        "serving": serving_data(mediator, admission=admission),
     }
     if include_metrics:
         snapshot["metrics"] = mediator.metrics.snapshot()

@@ -72,6 +72,7 @@ from repro.core.subplan import (
     row_subst,
     subplan_cuts,
 )
+from repro.cancellation import CancellationToken
 from repro.core.terms import Term, Value, Variable
 from repro.domains.base import CallResult
 from repro.errors import ErrorClass, ExecutionCancelledError, ReproError, classify
@@ -84,24 +85,7 @@ from repro.runtime.singleflight import SingleFlight
 CallKey = tuple[GroundCall, bool]
 
 
-class CancellationToken:
-    """Cooperative stop signal shared by one run's workers."""
-
-    __slots__ = ("_event",)
-
-    def __init__(self) -> None:
-        self._event = threading.Event()
-
-    def cancel(self) -> None:
-        self._event.set()
-
-    def is_cancelled(self) -> bool:
-        return self._event.is_set()
-
-    def raise_if_cancelled(self, where: str = "") -> None:
-        if self._event.is_set():
-            detail = f" ({where})" if where else ""
-            raise ExecutionCancelledError(f"run cancelled{detail}")
+__all__ = ["CancellationToken", "ParallelExecutor", "WorkerPool"]
 
 
 class WorkerPool:
@@ -347,6 +331,7 @@ class ParallelExecutor(Executor):
         initial_subst: Optional[dict[Variable, Term]] = None,
         max_time_ms: Optional[float] = None,
         trace: bool = False,
+        cancel_token: Optional[CancellationToken] = None,
     ) -> ExecutionResult:
         base_subst: dict[Variable, Term] = dict(initial_subst or {})
         dag = build_dag(plan, frozenset(base_subst))
@@ -363,6 +348,7 @@ class ParallelExecutor(Executor):
                 initial_subst=initial_subst,
                 max_time_ms=max_time_ms,
                 trace=trace,
+                cancel_token=cancel_token,
             )
         if mode not in (MODE_ALL, MODE_INTERACTIVE):
             raise ReproError(f"unknown execution mode {mode!r}")
@@ -380,7 +366,11 @@ class ParallelExecutor(Executor):
         start_ms = self.clock.now_ms
         self.clock.advance(self.init_overhead_ms)
 
-        token = CancellationToken()
+        # the run's internal token is linked to the caller's request token
+        # (serving-tier cancel/deadline/disconnect): an external cancel
+        # stops every worker, while the normal-completion teardown in the
+        # finally block below never marks the caller's request cancelled
+        token = CancellationToken(parent=cancel_token)
         flight = SingleFlight(self.metrics)
         prefetch: dict[CallKey, CallResult] = {}
         pool = WorkerPool(
@@ -437,6 +427,12 @@ class ParallelExecutor(Executor):
             if cancelled_count and self.metrics is not None:
                 self.metrics.inc("runtime.cancelled", float(cancelled_count))
 
+        if cancel_token is not None and cancel_token.is_cancelled():
+            # an external cancel mid-merge is swallowed by the branch
+            # drain above (each branch reports ExecutionCancelledError);
+            # the run as a whole must still surface as cancelled, never
+            # as a silently truncated-but-"complete" result
+            cancel_token.raise_if_cancelled("run cancelled externally")
         t_all = self.clock.now_ms - start_ms
         return ExecutionResult(
             answers=tuple(answers),

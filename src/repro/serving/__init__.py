@@ -11,14 +11,16 @@ service (``docs/SERVING.md``):
   backpressure, per-tenant quotas, and weighted-fair dequeueing;
 * :mod:`repro.serving.warmer` — the async cache-population worker that
   pre-dials hot query templates off the request path;
-* :mod:`repro.serving.server` — the accept/worker loops, per-tenant
-  cache isolation, and graceful drain;
+* :mod:`repro.serving.server` — the accept/worker loops, the request
+  lifecycle registry (deadlines, wire-level cancellation, the watchdog),
+  per-tenant cache isolation, and graceful drain;
 * :mod:`repro.serving.client` — a request client plus the open-loop
   load generator behind ``python -m repro load`` and
   ``BENCH_serving.json``.
 """
 
 from repro.serving.admission import (
+    REASON_SHED,
     AdmissionController,
     AdmissionPolicy,
     AdmissionRejected,
@@ -37,6 +39,7 @@ __all__ = [
     "LoadReport",
     "MediatorServer",
     "ProtocolError",
+    "REASON_SHED",
     "ServingClient",
     "ServingConfig",
     "Ticket",

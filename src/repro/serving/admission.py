@@ -21,6 +21,27 @@ weight-1 tenant under contention, and an idle tenant's first request
 never waits behind a hot tenant's backlog (its pass is re-synced to the
 global pass on arrival, not left in the past where it would let the
 returning tenant burst).
+
+Two adaptive behaviours sit on top of the static bounds:
+
+* **adaptive retry hints** — the controller keeps an EWMA of observed
+  service times (fed by :meth:`AdmissionController.record_service_time`)
+  and derives ``retry_after_ms`` as ``queue_depth × ewma / workers``
+  clamped to ``[retry_after_ms, max_retry_after_ms]``, so the hint
+  tracks how long the backlog will actually take to drain;
+* **load shedding** — when the EWMA crosses ``shed_ewma_ms`` the
+  controller sheds load *by tenant weight*: a submission is rejected
+  (reason ``shed``) when its tenant's weight is no higher than every
+  other tenant currently queued, so the cheapest work is dropped first
+  and high-weight tenants keep their latency.
+
+Tickets may carry a wall-clock ``deadline_at`` (``time.monotonic``
+basis).  A ticket that expires while still queued is never executed: it
+is reaped — by :meth:`AdmissionController.next` popping past it, by the
+server watchdog calling :meth:`AdmissionController.reap_expired`, or by
+a waiting worker whose condition wait is bounded by the earliest queued
+deadline — and handed to the ``on_expired`` callback so the serving
+layer can complete it as ``rejected``/``deadline_exceeded``.
 """
 
 from __future__ import annotations
@@ -29,7 +50,7 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Callable, Optional
 
 from repro.errors import ReproError
 from repro.metrics import MetricsRegistry
@@ -37,6 +58,8 @@ from repro.metrics import MetricsRegistry
 REASON_QUEUE_FULL = "queue_full"
 REASON_TENANT_QUOTA = "tenant_quota"
 REASON_DRAINING = "draining"
+REASON_SHED = "shed"
+REASON_DEADLINE = "deadline_exceeded"
 
 
 class AdmissionRejected(ReproError):
@@ -54,7 +77,14 @@ class AdmissionPolicy:
 
     max_queue_depth: int = 64
     max_tenant_depth: int = 16
+    #: floor for the adaptive hint (and the hint itself until the EWMA warms)
     retry_after_ms: float = 50.0
+    #: ceiling for the adaptive hint
+    max_retry_after_ms: float = 5_000.0
+    #: smoothing factor for the service-time EWMA
+    ewma_alpha: float = 0.2
+    #: EWMA service time (ms) above which load shedding kicks in; 0 disables
+    shed_ewma_ms: float = 0.0
     default_weight: float = 1.0
     #: tenant name → relative dequeue share (missing tenants get the default)
     weights: dict[str, float] = field(default_factory=dict)
@@ -75,11 +105,24 @@ class Ticket:
     seq: int
     enqueued_at: float = field(default_factory=time.perf_counter)
     dequeued_at: Optional[float] = None
+    #: wire request id, for cancel-by-id and lifecycle accounting
+    request_id: Optional[str] = None
+    #: absolute expiry on the ``time.monotonic`` clock; None = no deadline
+    deadline_at: Optional[float] = None
+    #: set when the deadline passed while the ticket was still queued
+    expired: bool = False
+    #: set when the ticket was removed from the queue by a cancel
+    cancelled: bool = False
 
     @property
     def queue_wait_ms(self) -> float:
         end = self.dequeued_at if self.dequeued_at is not None else time.perf_counter()
         return (end - self.enqueued_at) * 1000.0
+
+    def expired_now(self, now: Optional[float] = None) -> bool:
+        if self.deadline_at is None:
+            return False
+        return (now if now is not None else time.monotonic()) >= self.deadline_at
 
 
 class AdmissionController:
@@ -89,11 +132,20 @@ class AdmissionController:
         self,
         policy: Optional[AdmissionPolicy] = None,
         metrics: Optional[MetricsRegistry] = None,
+        *,
+        workers: int = 1,
+        on_expired: Optional[Callable[[Ticket], None]] = None,
     ):
         self.policy = policy if policy is not None else AdmissionPolicy()
         if self.policy.max_queue_depth < 1 or self.policy.max_tenant_depth < 1:
             raise ReproError("admission bounds must be at least 1")
+        if workers < 1:
+            raise ReproError("admission controller needs at least 1 worker")
         self.metrics = metrics
+        self.workers = workers
+        #: called (outside the controller lock) for every ticket whose
+        #: deadline expired while it was still queued
+        self.on_expired = on_expired
         self._lock = threading.Lock()
         self._available = threading.Condition(self._lock)
         self._drained = threading.Condition(self._lock)
@@ -105,6 +157,7 @@ class AdmissionController:
         self._high_watermark = 0
         self._draining = False
         self._seq = 0
+        self._ewma_ms: Optional[float] = None
 
     # -- observability -------------------------------------------------------
 
@@ -133,9 +186,62 @@ class AdmissionController:
             queue = self._queues.get(tenant)
             return len(queue) if queue is not None else 0
 
+    @property
+    def ewma_service_ms(self) -> Optional[float]:
+        """The live service-time estimate (None until the first sample)."""
+        with self._lock:
+            return self._ewma_ms
+
+    @property
+    def shedding(self) -> bool:
+        """True while the EWMA sits above the shed threshold."""
+        with self._lock:
+            return self._shedding_locked()
+
+    def _shedding_locked(self) -> bool:
+        threshold = self.policy.shed_ewma_ms
+        return threshold > 0 and self._ewma_ms is not None and self._ewma_ms > threshold
+
+    def record_service_time(self, elapsed_ms: float) -> None:
+        """Feed one completed request's wall time into the EWMA."""
+        if elapsed_ms < 0:
+            return
+        alpha = self.policy.ewma_alpha
+        with self._lock:
+            if self._ewma_ms is None:
+                self._ewma_ms = elapsed_ms
+            else:
+                self._ewma_ms = alpha * elapsed_ms + (1.0 - alpha) * self._ewma_ms
+
+    def retry_after_hint(self) -> float:
+        """Expected drain time for the current backlog, clamped.
+
+        ``depth × ewma / workers`` estimates how long the queue takes to
+        empty; before the EWMA warms up the static floor is returned.
+        """
+        with self._lock:
+            return self._retry_hint_locked()
+
+    def _retry_hint_locked(self) -> float:
+        policy = self.policy
+        if self._ewma_ms is None:
+            return policy.retry_after_ms
+        backlog = self._depth + self._in_flight
+        estimate = backlog * self._ewma_ms / max(1, self.workers)
+        return min(
+            policy.max_retry_after_ms, max(policy.retry_after_ms, estimate)
+        )
+
     # -- submit side ---------------------------------------------------------
 
-    def submit(self, tenant: str, payload: Any) -> Ticket:
+    def submit(
+        self,
+        tenant: str,
+        payload: Any,
+        *,
+        request_id: Optional[str] = None,
+        deadline_at: Optional[float] = None,
+    ) -> Ticket:
         """Admit a request or raise :class:`AdmissionRejected`."""
         policy = self.policy
         with self._lock:
@@ -146,6 +252,8 @@ class AdmissionController:
                 self._reject(tenant, REASON_TENANT_QUOTA)
             if self._depth >= policy.max_queue_depth:
                 self._reject(tenant, REASON_QUEUE_FULL)
+            if self._shedding_locked() and self._should_shed_locked(tenant):
+                self._reject(tenant, REASON_SHED)
             if queue is None:
                 queue = self._queues[tenant] = deque()
             if not queue:
@@ -156,7 +264,13 @@ class AdmissionController:
                     self._passes.get(tenant, 0.0), self._global_pass
                 )
             self._seq += 1
-            ticket = Ticket(tenant=tenant, payload=payload, seq=self._seq)
+            ticket = Ticket(
+                tenant=tenant,
+                payload=payload,
+                seq=self._seq,
+                request_id=request_id,
+                deadline_at=deadline_at,
+            )
             queue.append(ticket)
             self._depth += 1
             if self._depth > self._high_watermark:
@@ -172,43 +286,151 @@ class AdmissionController:
             self._available.notify()
             return ticket
 
+    def _should_shed_locked(self, tenant: str) -> bool:
+        """Shed the cheapest work first: reject the submission when no
+        *other* queued tenant has a lower weight (high-weight tenants
+        keep flowing while the overloaded tail is trimmed)."""
+        weight = self.policy.weight(tenant)
+        others = [
+            self.policy.weight(t)
+            for t, queue in self._queues.items()
+            if queue and t != tenant
+        ]
+        if not others:
+            # nothing else competing: shed only the bottom of the weight
+            # table so an otherwise-idle server still takes work
+            table = dict(self.policy.weights)
+            table.setdefault(tenant, self.policy.default_weight)
+            return weight <= min(table.values()) and len(table) > 1
+        return weight <= min(others)
+
     def _reject(self, tenant: str, reason: str) -> None:
         if self.metrics is not None:
             self.metrics.inc(f"serving.rejected.{reason}")
             self.metrics.inc(f"serving.tenant.{tenant}.rejected")
-        raise AdmissionRejected(reason, self.policy.retry_after_ms)
+        raise AdmissionRejected(reason, self._retry_hint_locked())
 
     # -- worker side ---------------------------------------------------------
 
     def next(self, timeout: Optional[float] = None) -> Optional[Ticket]:
-        """The next ticket under weighted-fair order, or ``None`` on
-        timeout.  Marks the ticket in-flight; the worker must call
+        """The next live ticket under weighted-fair order, or ``None`` on
+        timeout.  Tickets whose deadline expired while queued are never
+        returned: they are reaped in passing and handed to
+        ``on_expired``.  The condition wait is additionally bounded by
+        the earliest queued-ticket deadline, so a waiting worker wakes
+        to reap an expiring ticket instead of sleeping past it.  Marks
+        the returned ticket in-flight; the worker must call
         :meth:`task_done` when finished (success or failure)."""
-        deadline = None if timeout is None else time.monotonic() + timeout
-        with self._lock:
-            while self._depth == 0:
-                if deadline is not None:
-                    remaining = deadline - time.monotonic()
-                    if remaining <= 0 or not self._available.wait(remaining):
-                        if self._depth == 0:
+        wait_until = None if timeout is None else time.monotonic() + timeout
+        expired: list[Ticket] = []
+        ticket: Optional[Ticket] = None
+        try:
+            with self._lock:
+                while True:
+                    self._reap_expired_locked(time.monotonic(), expired)
+                    if self._depth > 0:
+                        break
+                    now = time.monotonic()
+                    bounds = []
+                    if wait_until is not None:
+                        remaining = wait_until - now
+                        if remaining <= 0:
                             return None
-                else:
-                    self._available.wait()
-            tenant = min(
-                (t for t, queue in self._queues.items() if queue),
-                key=lambda t: (self._passes.get(t, 0.0), self._queues[t][0].seq),
+                        bounds.append(remaining)
+                    earliest = self._earliest_deadline_locked()
+                    if earliest is not None:
+                        bounds.append(max(0.0, earliest - now))
+                    self._available.wait(min(bounds) if bounds else None)
+                tenant = min(
+                    (t for t, queue in self._queues.items() if queue),
+                    key=lambda t: (self._passes.get(t, 0.0), self._queues[t][0].seq),
+                )
+                queue = self._queues[tenant]
+                ticket = queue.popleft()
+                self._depth -= 1
+                tenant_pass = self._passes.get(tenant, 0.0)
+                self._global_pass = tenant_pass
+                self._passes[tenant] = tenant_pass + 1.0 / self.policy.weight(tenant)
+                self._in_flight += 1
+                ticket.dequeued_at = time.perf_counter()
+                if self.metrics is not None:
+                    self.metrics.observe("serving.queue.wait_ms", ticket.queue_wait_ms)
+                return ticket
+        finally:
+            self._notify_expired(expired)
+
+    def _reap_expired_locked(self, now: float, out: list[Ticket]) -> None:
+        """Drop every queued ticket whose deadline has passed (lock held);
+        the caller must hand ``out`` to :meth:`_notify_expired` after
+        releasing the lock."""
+        for queue in self._queues.values():
+            if not queue:
+                continue
+            live = [t for t in queue if not t.expired_now(now)]
+            if len(live) == len(queue):
+                continue
+            for stale in queue:
+                if stale.expired_now(now):
+                    stale.expired = True
+                    out.append(stale)
+                    self._depth -= 1
+                    if self.metrics is not None:
+                        self.metrics.inc("serving.deadline.queue_expired")
+            queue.clear()
+            queue.extend(live)
+        if out and self._depth == 0 and self._in_flight == 0:
+            self._drained.notify_all()
+
+    def _notify_expired(self, expired: list[Ticket]) -> None:
+        """Run the ``on_expired`` callback outside the controller lock
+        (the callback writes to sockets and takes its own locks)."""
+        if not expired:
+            return
+        callback = self.on_expired
+        if callback is None:
+            return
+        for stale in expired:
+            callback(stale)
+
+    def _earliest_deadline_locked(self) -> Optional[float]:
+        deadlines = [
+            t.deadline_at
+            for queue in self._queues.values()
+            for t in queue
+            if t.deadline_at is not None
+        ]
+        return min(deadlines) if deadlines else None
+
+    def earliest_deadline(self) -> Optional[float]:
+        """The soonest queued-ticket expiry (``time.monotonic`` basis)."""
+        with self._lock:
+            return self._earliest_deadline_locked()
+
+    def reap_expired(self, now: Optional[float] = None) -> list[Ticket]:
+        """Expire queued past-deadline tickets right now (watchdog hook)."""
+        expired: list[Ticket] = []
+        with self._lock:
+            self._reap_expired_locked(
+                now if now is not None else time.monotonic(), expired
             )
-            queue = self._queues[tenant]
-            ticket = queue.popleft()
+        self._notify_expired(expired)
+        return expired
+
+    def remove(self, ticket: Ticket) -> bool:
+        """Pull a still-queued ticket out (wire-level cancel).  Returns
+        False when the ticket already left the queue (running or done)."""
+        with self._lock:
+            queue = self._queues.get(ticket.tenant)
+            if queue is None or ticket not in queue:
+                return False
+            queue.remove(ticket)
+            ticket.cancelled = True
             self._depth -= 1
-            tenant_pass = self._passes.get(tenant, 0.0)
-            self._global_pass = tenant_pass
-            self._passes[tenant] = tenant_pass + 1.0 / self.policy.weight(tenant)
-            self._in_flight += 1
-            ticket.dequeued_at = time.perf_counter()
             if self.metrics is not None:
-                self.metrics.observe("serving.queue.wait_ms", ticket.queue_wait_ms)
-            return ticket
+                self.metrics.inc("serving.cancel.queued")
+            if self._depth == 0 and self._in_flight == 0:
+                self._drained.notify_all()
+            return True
 
     def task_done(self, ticket: Ticket) -> None:
         with self._lock:

@@ -59,6 +59,9 @@ class ServingClient:
         self._pending: dict[str, _PendingResponse] = {}
         self._seq = 0
         self._closed = False
+        #: set by the reader on EOF/reset — requests after death fail
+        #: fast instead of waiting out their full timeout
+        self._dead = threading.Event()
         self._reader_error: Optional[str] = None
         self._reader = threading.Thread(
             target=self._read_loop, name="repro-serve-client-reader", daemon=True
@@ -88,12 +91,27 @@ class ServingClient:
 
     # -- request/response ----------------------------------------------------
 
+    @property
+    def dead(self) -> bool:
+        """True once the reader saw EOF/reset (the connection is gone)."""
+        return self._dead.is_set()
+
+    def _raise_if_dead(self) -> None:
+        if self._dead.is_set():
+            reason = self._reader_error or "connection closed by server"
+            raise ReproError(f"connection is dead: {reason}")
+
     def request(
         self, message: dict[str, Any], timeout_s: Optional[float] = None
     ) -> dict[str, Any]:
         """Send one message and block for its correlated response."""
+        return self.wait(self.send(message), timeout_s=timeout_s)
+
+    def send(self, message: dict[str, Any]) -> str:
+        """Fire a request without waiting; returns the id for :meth:`wait`."""
         if self._closed:
             raise ReproError("client is closed")
+        self._raise_if_dead()
         message = dict(message)
         message.setdefault("tenant", self.tenant)
         if "id" not in message:
@@ -102,6 +120,12 @@ class ServingClient:
                 message["id"] = f"{self.tenant}-{self._seq}"
         pending = _PendingResponse()
         with self._pending_lock:
+            # the reader may have died between the check above and here;
+            # registering against a dead connection would wait out the
+            # full timeout for a response that can never arrive
+            if self._dead.is_set():
+                reason = self._reader_error or "connection closed by server"
+                raise ReproError(f"connection is dead: {reason}")
             self._pending[message["id"]] = pending
         try:
             with self._write_lock:
@@ -110,13 +134,28 @@ class ServingClient:
             with self._pending_lock:
                 self._pending.pop(message["id"], None)
             raise ReproError(f"send failed: {exc}") from None
+        return str(message["id"])
+
+    def wait(
+        self, request_id: str, timeout_s: Optional[float] = None
+    ) -> dict[str, Any]:
+        """Block for the response to a :meth:`send`-issued request.
+
+        The pending entry stays registered until *this* call collects it
+        (the reader completes it in place), so a response that lands
+        between :meth:`send` and :meth:`wait` is never dropped."""
+        with self._pending_lock:
+            pending = self._pending.get(request_id)
+        if pending is None:
+            raise ReproError(f"no pending request {request_id!r}")
         timeout = self.timeout_s if timeout_s is None else timeout_s
-        if not pending.event.wait(timeout):
-            with self._pending_lock:
-                self._pending.pop(message["id"], None)
+        completed = pending.event.wait(timeout)
+        with self._pending_lock:
+            self._pending.pop(request_id, None)
+        if not completed:
             raise ReproError(
                 f"timed out after {timeout:.1f}s waiting for response "
-                f"to {message['id']}"
+                f"to {request_id}"
                 + (f" (reader: {self._reader_error})" if self._reader_error else "")
             )
         assert pending.response is not None
@@ -128,12 +167,19 @@ class ServingClient:
         *,
         mode: str = "all",
         max_answers: Optional[int] = None,
+        deadline_ms: Optional[float] = None,
         timeout_s: Optional[float] = None,
     ) -> dict[str, Any]:
         message: dict[str, Any] = {"op": "query", "query": query, "mode": mode}
         if max_answers is not None:
             message["max_answers"] = max_answers
+        if deadline_ms is not None:
+            message["deadline_ms"] = deadline_ms
         return self.request(message, timeout_s=timeout_s)
+
+    def cancel(self, target_id: str) -> dict[str, Any]:
+        """Cancel an in-flight request by id; returns the server's ack."""
+        return self.request({"op": "cancel", "target": target_id})
 
     def ping(self) -> dict[str, Any]:
         return self.request({"op": "ping"})
@@ -172,17 +218,27 @@ class ServingClient:
             return
         req_id = response.get("id")
         with self._pending_lock:
-            pending = self._pending.pop(req_id, None)
+            # complete in place — wait() collects (and removes) the entry
+            pending = self._pending.get(req_id)
         if pending is not None:
             pending.response = response
             pending.event.set()
 
     def _fail_pending(self, reason: str) -> None:
+        # mark the connection dead *before* draining the table: a racing
+        # send() either sees the flag and fails fast, or registers in
+        # time to be drained here — never a silent full-timeout wait
+        self._dead.set()
         with self._pending_lock:
             pending = list(self._pending.values())
-            self._pending.clear()
+        # complete in place (don't clear the table): a waiter that has
+        # sent but not yet called wait() must still find its entry and
+        # collect the Disconnected response instead of "no pending"
         for entry in pending:
-            entry.response = {"status": "error", "kind": "Disconnected", "error": reason}
+            if not entry.event.is_set():
+                entry.response = {
+                    "status": "error", "kind": "Disconnected", "error": reason
+                }
             entry.event.set()
 
 
@@ -197,6 +253,9 @@ class LoadReport:
     ok: int = 0
     rejected: int = 0
     errors: int = 0
+    cancelled: int = 0
+    deadline_exceeded: int = 0
+    partial: int = 0
     wall_s: float = 0.0
     latencies_ms: list[float] = field(default_factory=list)
     per_tenant: dict[str, dict[str, int]] = field(default_factory=dict)
@@ -219,6 +278,9 @@ class LoadReport:
             "ok": self.ok,
             "rejected": self.rejected,
             "errors": self.errors,
+            "cancelled": self.cancelled,
+            "deadline_exceeded": self.deadline_exceeded,
+            "partial": self.partial,
             "wall_s": round(self.wall_s, 4),
             "qps": round(self.qps, 2),
             "latency_ms": {
@@ -239,6 +301,7 @@ def run_load(
     rate_qps: Optional[float] = None,
     connections: int = 4,
     timeout_s: float = 60.0,
+    deadline_ms: Optional[float] = None,
 ) -> LoadReport:
     """Drive the server with ``requests`` (a list of (tenant, query)).
 
@@ -246,6 +309,7 @@ def run_load(
     (``None`` = as fast as the connections can issue).  Each request is
     dispatched to a connection pool worker; the report aggregates
     statuses, per-tenant counts, and end-to-end wall latencies.
+    ``deadline_ms`` stamps every request with that end-to-end budget.
     """
     if connections < 1:
         raise ReproError("need at least 1 connection")
@@ -260,10 +324,13 @@ def run_load(
 
         def _issue(client: ServingClient, tenant: str, query: str) -> None:
             begun = time.perf_counter()
+            message: dict[str, Any] = {
+                "op": "query", "query": query, "tenant": tenant
+            }
+            if deadline_ms is not None:
+                message["deadline_ms"] = deadline_ms
             try:
-                response = client.request(
-                    {"op": "query", "query": query, "tenant": tenant}
-                )
+                response = client.request(message)
             except ReproError:
                 response = {"status": "error", "kind": "ClientError"}
             elapsed_ms = (time.perf_counter() - begun) * 1000.0
@@ -272,10 +339,12 @@ def run_load(
                 tenant_bucket = report.per_tenant.setdefault(
                     tenant, {"ok": 0, "rejected": 0, "errors": 0}
                 )
-                if status == "ok":
+                if status in ("ok", "partial"):
                     report.ok += 1
                     tenant_bucket["ok"] += 1
                     report.latencies_ms.append(elapsed_ms)
+                    if status == "partial":
+                        report.partial += 1
                 elif status == "rejected":
                     report.rejected += 1
                     tenant_bucket["rejected"] += 1
@@ -283,6 +352,10 @@ def run_load(
                     report.rejected_reasons[reason] = (
                         report.rejected_reasons.get(reason, 0) + 1
                     )
+                elif status == "cancelled":
+                    report.cancelled += 1
+                elif status == "deadline_exceeded":
+                    report.deadline_exceeded += 1
                 else:
                     report.errors += 1
                     tenant_bucket["errors"] += 1

@@ -3,16 +3,33 @@
 One request or response per line, UTF-8 JSON objects.  Requests carry::
 
     {"op": "query", "id": "r1", "tenant": "acme",
-     "query": "?- actors(A).", "mode": "all", "max_answers": 10}
+     "query": "?- actors(A).", "mode": "all", "max_answers": 10,
+     "deadline_ms": 2000}
 
-``op`` is ``query`` (the default), ``ping``, or ``stats``.  Responses
-echo the request ``id`` and carry a ``status``:
+``op`` is ``query`` (the default), ``ping``, ``stats``, or ``cancel``
+(``{"op": "cancel", "target": "r1"}`` kills the in-flight or queued
+request with id ``r1`` on the same connection; cancelling an unknown or
+already-completed id is a harmless ack).  ``deadline_ms`` is the
+client's end-to-end patience: a request still queued when it expires is
+completed as ``rejected`` with reason ``deadline_exceeded`` (never
+executed), and a request caught running is cancelled mid-plan.
+
+Responses echo the request ``id`` and carry a ``status``:
 
 * ``ok`` — answers (values encoded per :mod:`repro.serialization`),
   cardinality, completeness, and wall/simulated timings;
+* ``partial`` — answers delivered, but mid-query repair left sources
+  unreachable; ``completeness``/``missing_sources`` say what is absent
+  (only when the tenant allows partials — see docs/SERVING.md);
 * ``rejected`` — backpressure: the admission controller refused the
   request; ``reason`` says why (``queue_full`` / ``tenant_quota`` /
-  ``draining``) and ``retry_after_ms`` hints when to retry;
+  ``draining`` / ``shed`` / ``deadline_exceeded``) and
+  ``retry_after_ms`` — derived from the live service-time EWMA and
+  queue depth, not a constant — hints when to retry;
+* ``cancelled`` — the request was killed (client ``cancel`` op or the
+  server watchdog); ``reason`` says which;
+* ``deadline_exceeded`` — the request's ``deadline_ms`` expired while
+  it was executing and the run was stopped mid-plan;
 * ``error`` — the query failed (parse error, planning error, ...);
   ``kind`` is the exception class name.
 
@@ -38,8 +55,11 @@ PROTOCOL_VERSION = 1
 #: must not make the reader buffer an unbounded line)
 MAX_LINE_BYTES = 1_000_000
 
-_OPS = ("query", "ping", "stats")
+_OPS = ("query", "ping", "stats", "cancel")
 _MODES = ("all", "interactive")
+
+#: backpressure reason for a deadline that expired while still queued
+REASON_DEADLINE_EXCEEDED = "deadline_exceeded"
 
 
 class ProtocolError(ReproError):
@@ -92,6 +112,10 @@ class Request:
     query: Optional[str] = None
     mode: str = "all"
     max_answers: Optional[int] = None
+    #: end-to-end budget in wall-clock ms; expires queued requests too
+    deadline_ms: Optional[float] = None
+    #: the request id a ``cancel`` op refers to
+    target: Optional[str] = None
 
     @classmethod
     def parse(cls, message: dict[str, Any]) -> "Request":
@@ -109,6 +133,8 @@ class Request:
         query = message.get("query")
         mode = message.get("mode", "all")
         max_answers = message.get("max_answers")
+        deadline_ms = message.get("deadline_ms")
+        target = message.get("target")
         if op == "query":
             if not isinstance(query, str) or not query.strip():
                 raise ProtocolError("op 'query' requires a non-empty 'query' string")
@@ -122,6 +148,19 @@ class Request:
                 raise ProtocolError(
                     f"max_answers must be a positive integer, got {max_answers!r}"
                 )
+            if deadline_ms is not None and (
+                isinstance(deadline_ms, bool)
+                or not isinstance(deadline_ms, (int, float))
+                or deadline_ms <= 0
+            ):
+                raise ProtocolError(
+                    f"deadline_ms must be a positive number, got {deadline_ms!r}"
+                )
+        if op == "cancel":
+            if not isinstance(target, str) or not target:
+                raise ProtocolError(
+                    "op 'cancel' requires a non-empty 'target' request id"
+                )
         return cls(
             op=op,
             id=req_id,
@@ -129,6 +168,8 @@ class Request:
             query=query,
             mode=mode,
             max_answers=max_answers,
+            deadline_ms=float(deadline_ms) if deadline_ms is not None else None,
+            target=target,
         )
 
 
@@ -145,19 +186,25 @@ def ok_response(
     t_wall_ms: float,
     t_sim_ms: float,
     queue_wait_ms: float,
+    completeness: str = "complete",
+    missing_sources: "tuple[str, ...]" = (),
 ) -> dict[str, Any]:
-    return {
+    response = {
         "id": request.id,
-        "status": "ok",
+        "status": "partial" if completeness == "partial" else "ok",
         "tenant": request.tenant,
         "answers": [[encode_value(v) for v in answer] for answer in answers],
         "variables": list(variables),
         "cardinality": cardinality,
         "complete": complete,
+        "completeness": completeness,
         "t_wall_ms": t_wall_ms,
         "t_sim_ms": t_sim_ms,
         "queue_wait_ms": queue_wait_ms,
     }
+    if missing_sources:
+        response["missing_sources"] = sorted(missing_sources)
+    return response
 
 
 def rejected_response(
@@ -184,6 +231,39 @@ def error_response(
     if tenant is not None:
         response["tenant"] = tenant
     return response
+
+
+def cancelled_response(request: Request, reason: str) -> dict[str, Any]:
+    """The request was stopped before it produced a result."""
+    return {
+        "id": request.id,
+        "status": "cancelled",
+        "tenant": request.tenant,
+        "reason": reason,
+    }
+
+
+def deadline_exceeded_response(
+    request: Request, t_wall_ms: float
+) -> dict[str, Any]:
+    """The request's ``deadline_ms`` expired while it was executing."""
+    return {
+        "id": request.id,
+        "status": "deadline_exceeded",
+        "tenant": request.tenant,
+        "deadline_ms": request.deadline_ms,
+        "t_wall_ms": t_wall_ms,
+    }
+
+
+def cancel_ack_response(request: Request, cancelled: bool) -> dict[str, Any]:
+    """Ack a ``cancel`` op; ``cancelled`` is False for unknown/done ids."""
+    return {
+        "id": request.id,
+        "status": "ok",
+        "cancelled": cancelled,
+        "target": request.target,
+    }
 
 
 def pong_response(request: Request) -> dict[str, Any]:

@@ -17,6 +17,13 @@ from repro.workloads.generators import (
     generate_workload,
     zipf_choice,
 )
+from repro.workloads.serving_chaos import (
+    ServingChaosReport,
+    ServingChaosTestbed,
+    WallSource,
+    build_serving_testbed,
+    run_serving_chaos,
+)
 
 __all__ = [
     "build_cast_table",
@@ -31,4 +38,9 @@ __all__ = [
     "generate_star_workload",
     "generate_workload",
     "zipf_choice",
+    "ServingChaosReport",
+    "ServingChaosTestbed",
+    "WallSource",
+    "build_serving_testbed",
+    "run_serving_chaos",
 ]

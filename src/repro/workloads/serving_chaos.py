@@ -1,0 +1,494 @@
+"""Serving-tier chaos harness: hostile clients against a live server.
+
+The request-lifecycle machinery (deadlines, wire-level cancellation,
+disconnect reaping, the watchdog, adaptive backpressure — see
+``docs/SERVING.md``) makes promises that only hold up under *hostile*
+traffic, so this module builds exactly that and checks the wreckage:
+
+* :class:`WallSource` — a source that sleeps **wall-clock** time per
+  dial and counts its dials, so a cancelled query's dial count can be
+  asserted frozen (the run really stopped dialing mid-wave, it did not
+  just stop being awaited);
+* slow-loris clients that trickle a valid request a few bytes at a time
+  and never finish the line;
+* clients that send a real query and drop the connection mid-request;
+* malformed/oversized/invalid-UTF-8 frame writers;
+* concurrent cancel storms against one in-flight request;
+* :class:`WallSource` outage flips mid-run (the serving layer must
+  surface partials or typed errors, never hangs).
+
+:func:`run_serving_chaos` drives all of it for a seeded number of
+rounds and returns a :class:`ServingChaosReport` whose invariants the
+chaos test (``tests/test_serving_chaos.py``) and the CI serving-chaos
+job assert: zero leaked worker threads, zero stuck tickets, bounded
+response accounting (every tracked request reaches exactly one terminal
+status), and accurate cancelled/deadline_exceeded/partial counters.
+
+Run it standalone::
+
+    PYTHONPATH=src python -m repro.workloads.serving_chaos --rounds 4
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.core.mediator import Mediator
+from repro.domains.base import simple_domain
+from repro.errors import ReproError, SourceUnavailableError
+from repro.serving.admission import AdmissionPolicy
+from repro.serving.client import ServingClient
+from repro.serving.protocol import MAX_LINE_BYTES, encode_message
+from repro.serving.server import MediatorServer, ServingConfig
+
+_SITES = ("cornell", "bucknell", "maryland")
+
+#: answers produced per dial (kept small: chain depth drives dial count)
+WALL_FANOUT = 2
+
+
+@dataclass
+class WallSource:
+    """One relation's source that burns real wall time per dial."""
+
+    name: str
+    relation: int
+    wall_ms: float = 0.0
+    down: bool = False
+    _calls: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    @property
+    def calls(self) -> int:
+        with self._lock:
+            return self._calls
+
+    def __call__(self, value: object) -> object:
+        with self._lock:
+            self._calls += 1
+        if self.down:
+            raise SourceUnavailableError(self.name, site=_SITES[self.relation % len(_SITES)])
+        if self.wall_ms > 0.0:
+            time.sleep(self.wall_ms / 1000.0)
+        return [f"{value}/r{self.relation}.{j}" for j in range(WALL_FANOUT)]
+
+
+@dataclass
+class ServingChaosTestbed:
+    """A wall-clock-slow mediator plus handles on every source."""
+
+    mediator: Mediator
+    sources: dict[str, WallSource]
+    relations: int
+
+    def total_dials(self) -> int:
+        return sum(source.calls for source in self.sources.values())
+
+    def set_wall_ms(self, wall_ms: float) -> None:
+        for source in self.sources.values():
+            source.wall_ms = wall_ms
+
+    def set_down(self, names: frozenset[str]) -> None:
+        for name, source in self.sources.items():
+            source.down = name in names
+
+    def heal(self) -> None:
+        self.set_down(frozenset())
+
+    def chain_query(
+        self, depth: Optional[int] = None, key: str = "s"
+    ) -> str:
+        """The depth-``n`` chain query (each hop multiplies dials).
+
+        Pass a fresh ``key`` per request to defeat the plan/sub-plan
+        caches — a cache hit completes instantly and leaves a cancel or
+        deadline nothing to interrupt."""
+        depth = self.relations if depth is None else depth
+        return f"?- chain{depth}('{key}', Z)."
+
+
+def _wrap(source: WallSource):
+    # simple_domain reads arity off __code__.co_argcount, so the source
+    # object must be wrapped in a plain single-argument function
+    def call(value: object) -> object:
+        return source(value)
+
+    return call
+
+
+def build_serving_testbed(
+    relations: int = 3,
+    wall_ms: float = 0.0,
+    jobs: int = 1,
+    repair: bool = True,
+) -> ServingChaosTestbed:
+    """Wire ``relations`` wall-clock sources and chain rules over them.
+
+    ``chainK`` joins the first K relations, so dial counts (and wall
+    time, at ``wall_ms`` per dial) grow geometrically with depth —
+    deep chains are what give a cancel something to interrupt.
+    """
+    mediator = Mediator(repair=repair)
+    sources: dict[str, WallSource] = {}
+    rules: list[str] = []
+    for i in range(relations):
+        name = f"w{i}"
+        source = WallSource(name=name, relation=i, wall_ms=wall_ms)
+        sources[name] = source
+        mediator.register_domain(
+            simple_domain(name, {f"r{i}": _wrap(source)}),
+            site=_SITES[i % len(_SITES)],
+            seed=11 + i,
+        )
+        rules.append(f"hop{i}(A, B) :- in(B, {name}:r{i}(A)).")
+    for depth in range(1, relations + 1):
+        body = " & ".join(
+            f"hop{i}(V{i}, V{i + 1})" for i in range(depth)
+        )
+        rules.append(f"chain{depth}(V0, V{depth}) :- {body}.")
+    mediator.load_program("\n".join(rules))
+    if jobs > 1:
+        mediator.set_jobs(jobs)
+    return ServingChaosTestbed(
+        mediator=mediator, sources=sources, relations=relations
+    )
+
+
+# -- hostile client behaviours ------------------------------------------------
+
+
+def slow_loris(
+    host: str, port: int, *, byte_delay_s: float = 0.01, max_bytes: int = 64
+) -> None:
+    """Trickle a valid-looking request a byte at a time, then vanish
+    without ever completing the line.  The server must neither block a
+    reader forever nor leak the connection."""
+    payload = encode_message(
+        {"op": "query", "query": "?- chain1('s', Z).", "tenant": "loris"}
+    )[:-1]  # withhold the newline: the request must never parse
+    try:
+        with socket.create_connection((host, port), timeout=5.0) as sock:
+            for byte in payload[:max_bytes]:
+                sock.sendall(bytes([byte]))
+                time.sleep(byte_delay_s)
+    except OSError:
+        pass  # the server hanging up on us is an acceptable outcome
+
+
+def disconnect_mid_request(
+    host: str, port: int, query: str, *, linger_s: float = 0.05
+) -> None:
+    """Send a real query, give the server a moment to start it, then
+    drop the connection.  The reaper must cancel the orphaned work."""
+    try:
+        with socket.create_connection((host, port), timeout=5.0) as sock:
+            sock.sendall(
+                encode_message(
+                    {"op": "query", "query": query, "tenant": "ghost"}
+                )
+            )
+            time.sleep(linger_s)
+    except OSError:
+        pass
+
+
+def send_malformed_frames(host: str, port: int) -> list[str]:
+    """Throw broken frames at the server; returns response statuses.
+
+    Each frame must come back as a typed ``error`` response (or a clean
+    hangup for the oversized line) — never a crash, never silence."""
+    frames = [
+        b"this is not json\n",
+        b'{"op": "query"\n',  # truncated JSON
+        b"\xff\xfe garbage \xff\n",  # invalid UTF-8
+        b'["array", "not", "object"]\n',
+        b'{"op": "query", "query": "' + b"x" * (MAX_LINE_BYTES + 16) + b'"}\n',
+    ]
+    statuses: list[str] = []
+    for frame in frames:
+        try:
+            with socket.create_connection((host, port), timeout=5.0) as sock:
+                sock.sendall(frame)
+                sock.settimeout(5.0)
+                data = b""
+                while b"\n" not in data:
+                    chunk = sock.recv(65536)
+                    if not chunk:
+                        break
+                    data += chunk
+                if data:
+                    response = json.loads(data.split(b"\n", 1)[0])
+                    statuses.append(str(response.get("status")))
+                else:
+                    statuses.append("closed")
+        except (OSError, ValueError):
+            statuses.append("closed")
+    return statuses
+
+
+def cancel_storm(
+    client: ServingClient, target_id: str, *, cancels: int = 8
+) -> int:
+    """Fire ``cancels`` concurrent cancel ops at one request; returns
+    how many acks arrived (all must, and the target must complete with
+    exactly one terminal response)."""
+    acks = [0]
+    lock = threading.Lock()
+
+    def _one() -> None:
+        try:
+            response = client.cancel(target_id)
+            if response.get("status") == "ok":
+                with lock:
+                    acks[0] += 1
+        except ReproError:
+            pass
+
+    threads = [
+        threading.Thread(target=_one, daemon=True) for _ in range(cancels)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=10.0)
+    return acks[0]
+
+
+# -- the orchestrated chaos run ----------------------------------------------
+
+
+@dataclass
+class ServingChaosReport:
+    """What one chaos run produced; the asserted invariants live here."""
+
+    rounds: int = 0
+    sent: int = 0
+    ok: int = 0
+    partial: int = 0
+    rejected: int = 0
+    cancelled: int = 0
+    deadline_exceeded: int = 0
+    errors: int = 0
+    cancel_acks: int = 0
+    malformed_statuses: list[str] = field(default_factory=list)
+    #: dials counted right at a cancel vs. after a settle grace — equal
+    #: modulo in-progress dials means the run really stopped mid-wave
+    dials_at_cancel: int = 0
+    dials_after_settle: int = 0
+    threads_before: int = 0
+    threads_after: int = 0
+    stuck_tickets: int = 0
+    queue_depth_after: int = 0
+    in_flight_after: int = 0
+    drain_summary: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def leaked_threads(self) -> int:
+        return max(0, self.threads_after - self.threads_before)
+
+    @property
+    def terminal_total(self) -> int:
+        return (
+            self.ok
+            + self.partial
+            + self.rejected
+            + self.cancelled
+            + self.deadline_exceeded
+            + self.errors
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rounds": self.rounds,
+            "sent": self.sent,
+            "ok": self.ok,
+            "partial": self.partial,
+            "rejected": self.rejected,
+            "cancelled": self.cancelled,
+            "deadline_exceeded": self.deadline_exceeded,
+            "errors": self.errors,
+            "cancel_acks": self.cancel_acks,
+            "malformed_statuses": self.malformed_statuses,
+            "dials_at_cancel": self.dials_at_cancel,
+            "dials_after_settle": self.dials_after_settle,
+            "leaked_threads": self.leaked_threads,
+            "stuck_tickets": self.stuck_tickets,
+            "queue_depth_after": self.queue_depth_after,
+            "in_flight_after": self.in_flight_after,
+            "drain_summary": self.drain_summary,
+        }
+
+
+def _classify(report: ServingChaosReport, response: dict[str, Any]) -> None:
+    status = response.get("status")
+    if status == "ok":
+        report.ok += 1
+    elif status == "partial":
+        report.partial += 1
+    elif status == "rejected":
+        report.rejected += 1
+    elif status == "cancelled":
+        report.cancelled += 1
+    elif status == "deadline_exceeded":
+        report.deadline_exceeded += 1
+    else:
+        report.errors += 1
+
+
+def run_serving_chaos(
+    rounds: int = 3,
+    *,
+    seed: int = 0,
+    jobs: int = 1,
+    wall_ms: float = 30.0,
+    workers: int = 4,
+) -> ServingChaosReport:
+    """Drive one full hostile run and return the audited report.
+
+    Each round mixes: normal queries (some with tight deadlines), one
+    explicit cancel against a slow in-flight chain (with a cancel
+    storm), a mid-request disconnect, a slow-loris client, malformed
+    frames, and a one-source outage window.
+    """
+    rng = random.Random(seed)
+    keys = iter(f"k{i}" for i in range(1_000_000))
+    testbed = build_serving_testbed(
+        relations=3, wall_ms=wall_ms, jobs=jobs
+    )
+    config = ServingConfig(
+        workers=workers,
+        admission=AdmissionPolicy(max_queue_depth=32, max_tenant_depth=16),
+        max_runtime_ms=20_000.0,
+    )
+    report = ServingChaosReport(rounds=rounds)
+    report.threads_before = threading.active_count()
+    server = MediatorServer(testbed.mediator, config=config).start()
+    host, port = server.address
+    try:
+        for round_index in range(rounds):
+            with ServingClient(host, port, tenant=f"t{round_index % 2}") as client:
+                # a) normal traffic, some with deadlines that can't be met
+                for _ in range(4):
+                    depth = rng.randrange(1, testbed.relations + 1)
+                    deadline = (
+                        rng.choice([None, None, 5.0, 50.0])
+                        if depth > 1
+                        else None
+                    )
+                    report.sent += 1
+                    try:
+                        response = client.query(
+                            testbed.chain_query(depth, key=next(keys)),
+                            deadline_ms=deadline,
+                            timeout_s=30.0,
+                        )
+                    except ReproError:
+                        response = {"status": "error"}
+                    _classify(report, response)
+                # b) cancel an in-flight slow chain, with a cancel storm
+                report.sent += 1
+                target = client.send(
+                    {
+                        "op": "query",
+                        "query": testbed.chain_query(key=next(keys)),
+                    }
+                )
+                time.sleep(wall_ms / 1000.0)  # let it start dialing
+                report.cancel_acks += cancel_storm(client, target)
+                try:
+                    _classify(report, client.wait(target, timeout_s=30.0))
+                except ReproError:
+                    report.errors += 1
+            # c) hostile connections (fresh sockets, outside the client)
+            disconnect_mid_request(
+                host,
+                port,
+                testbed.chain_query(key=next(keys)),
+                linger_s=wall_ms / 1000.0,
+            )
+            slow_loris(host, port, byte_delay_s=0.002, max_bytes=32)
+            report.malformed_statuses.extend(send_malformed_frames(host, port))
+            # d) a one-source outage window: queries surface partials or
+            # typed errors, never hangs
+            victim = rng.choice(sorted(testbed.sources))
+            testbed.set_down(frozenset({victim}))
+            with ServingClient(host, port, tenant="outage") as client:
+                report.sent += 1
+                try:
+                    response = client.query(
+                        testbed.chain_query(1, key=next(keys)),
+                        timeout_s=30.0,
+                    )
+                except ReproError:
+                    response = {"status": "error"}
+                _classify(report, response)
+            testbed.heal()
+        # dedicated dial-freeze probe: cancel one last slow chain, let
+        # any in-progress dial finish, then the count must never move
+        settle_s = max(0.2, 3.0 * wall_ms / 1000.0)
+        with ServingClient(host, port, tenant="freeze") as client:
+            report.sent += 1
+            target = client.send(
+                {"op": "query", "query": testbed.chain_query(key=next(keys))}
+            )
+            time.sleep(wall_ms / 1000.0)
+            report.cancel_acks += cancel_storm(client, target, cancels=4)
+            try:
+                _classify(report, client.wait(target, timeout_s=30.0))
+            except ReproError:
+                report.errors += 1
+        time.sleep(settle_s)
+        report.dials_at_cancel = testbed.total_dials()
+        time.sleep(settle_s)
+        report.dials_after_settle = testbed.total_dials()
+        report.queue_depth_after = server.admission.depth
+        report.in_flight_after = server.admission.in_flight
+    finally:
+        report.drain_summary = server.drain(timeout=30.0)
+    report.stuck_tickets = int(report.drain_summary.get("stuck_tickets", 0))
+    # give reaped reader/worker threads a beat to unwind before counting
+    deadline = time.monotonic() + 5.0
+    while (
+        threading.active_count() > report.threads_before
+        and time.monotonic() < deadline
+    ):
+        time.sleep(0.05)
+    report.threads_after = threading.active_count()
+    return report
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument("--wall-ms", type=float, default=30.0)
+    args = parser.parse_args(argv)
+    report = run_serving_chaos(
+        args.rounds, seed=args.seed, jobs=args.jobs, wall_ms=args.wall_ms
+    )
+    print(json.dumps(report.to_dict(), indent=2))
+    healthy = (
+        report.leaked_threads == 0
+        and report.stuck_tickets == 0
+        and report.queue_depth_after == 0
+        and report.in_flight_after == 0
+    )
+    print(
+        f"serving-chaos: leaked_threads={report.leaked_threads}"
+        f" stuck_tickets={report.stuck_tickets}"
+        f" result={'PASS' if healthy else 'FAIL'}"
+    )
+    return 0 if healthy else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

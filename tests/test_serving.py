@@ -74,6 +74,24 @@ def test_request_parse_assigns_anonymous_ids():
     assert first.id != second.id
 
 
+def test_request_parse_deadline_and_cancel_validation():
+    request = Request.parse(
+        {"op": "query", "query": "?- m(A, C).", "deadline_ms": 250}
+    )
+    assert request.deadline_ms == 250.0
+    for bad in (0, -5, "soon", True):
+        with pytest.raises(ProtocolError):
+            Request.parse(
+                {"op": "query", "query": "?- m(A, C).", "deadline_ms": bad}
+            )
+    cancel = Request.parse({"op": "cancel", "target": "r7"})
+    assert cancel.target == "r7"
+    with pytest.raises(ProtocolError):
+        Request.parse({"op": "cancel"})
+    with pytest.raises(ProtocolError):
+        Request.parse({"op": "cancel", "target": ""})
+
+
 # -- admission control --------------------------------------------------------
 
 
@@ -571,6 +589,363 @@ def test_run_load_reports_per_tenant_counts(m1_mediator):
         assert report.per_tenant["alpha"]["ok"] == 5
         assert report.per_tenant["beta"]["ok"] == 5
         assert report.qps > 0
+    finally:
+        server.drain(timeout=10.0)
+
+
+# -- adaptive admission -------------------------------------------------------
+
+
+def test_admission_ewma_feeds_adaptive_retry_hint():
+    controller = AdmissionController(
+        AdmissionPolicy(retry_after_ms=10.0, max_retry_after_ms=500.0),
+        workers=2,
+    )
+    # cold EWMA: the static floor
+    assert controller.retry_after_hint() == 10.0
+    controller.record_service_time(100.0)
+    assert controller.ewma_service_ms == 100.0
+    controller.record_service_time(200.0)  # alpha 0.2 -> 120
+    assert abs(controller.ewma_service_ms - 120.0) < 1e-9
+    # empty queue: still the floor
+    assert controller.retry_after_hint() == 10.0
+    for i in range(4):
+        controller.submit("t", i)
+    # backlog 4 x 120ms / 2 workers = 240ms expected drain
+    assert abs(controller.retry_after_hint() - 240.0) < 1e-6
+    # a pathological EWMA clamps to the ceiling
+    for _ in range(30):
+        controller.record_service_time(10_000.0)
+    assert controller.retry_after_hint() == 500.0
+
+
+def test_admission_shed_mode_drops_lowest_weight_first():
+    policy = AdmissionPolicy(
+        shed_ewma_ms=50.0, weights={"gold": 4.0, "bronze": 1.0}
+    )
+    controller = AdmissionController(policy)
+    controller.record_service_time(10.0)
+    controller.submit("bronze", 1)  # below threshold: admitted
+    for _ in range(30):
+        controller.record_service_time(500.0)
+    assert controller.shedding
+    controller.submit("gold", 2)  # high weight keeps flowing
+    with pytest.raises(AdmissionRejected) as rejection:
+        controller.submit("bronze", 3)
+    assert rejection.value.reason == "shed"
+    # drain, then bronze is still shed (bottom of the weight table)
+    for _ in range(2):
+        ticket = controller.next(timeout=1.0)
+        assert ticket is not None
+        controller.task_done(ticket)
+    with pytest.raises(AdmissionRejected):
+        controller.submit("bronze", 4)
+    controller.submit("gold", 5)
+
+
+def test_admission_queued_ticket_expires_without_executing():
+    expired = []
+    controller = AdmissionController(on_expired=expired.append)
+    doomed = controller.submit(
+        "t", "dead", deadline_at=time.monotonic() + 0.02
+    )
+    live = controller.submit("t", "live")
+    time.sleep(0.05)
+    ticket = controller.next(timeout=1.0)
+    assert ticket is live  # the expired ticket is reaped, never returned
+    assert expired == [doomed] and doomed.expired
+    controller.task_done(ticket)
+    assert controller.depth == 0
+    # reap_expired is the watchdog's direct hook
+    doomed2 = controller.submit(
+        "t", "dead2", deadline_at=time.monotonic() - 0.01
+    )
+    assert controller.reap_expired() == [doomed2]
+    assert controller.depth == 0
+
+
+def test_admission_remove_pulls_queued_only():
+    controller = AdmissionController()
+    ticket = controller.submit("t", 1)
+    assert controller.remove(ticket) is True and ticket.cancelled
+    assert controller.depth == 0
+    assert controller.remove(ticket) is False  # already gone
+    second = controller.submit("t", 2)
+    taken = controller.next(timeout=1.0)
+    assert taken is second
+    assert controller.remove(second) is False  # in flight, not queued
+    controller.task_done(second)
+
+
+# -- request lifecycle: deadlines, cancellation, partials ---------------------
+
+
+def _slow_server(wall_ms: float = 25.0, **config_kwargs):
+    from repro.workloads.serving_chaos import build_serving_testbed
+
+    testbed = build_serving_testbed(relations=3, wall_ms=wall_ms)
+    config = ServingConfig(**{"workers": 2, **config_kwargs})
+    server = MediatorServer(testbed.mediator, config=config).start()
+    return testbed, server
+
+
+def test_server_cancel_inflight_stops_dialing():
+    testbed, server = _slow_server()
+    try:
+        host, port = server.address
+        with ServingClient(host, port) as client:
+            target = client.send(
+                {"op": "query", "query": testbed.chain_query(key="c1")}
+            )
+            time.sleep(0.04)  # let it start dialing
+            ack = client.cancel(target)
+            assert ack["status"] == "ok" and ack["cancelled"] is True
+            response = client.wait(target, timeout_s=10.0)
+            assert response["status"] == "cancelled"
+            assert response["reason"] == "client_cancel"
+        time.sleep(0.1)  # any in-progress dial finishes...
+        frozen = testbed.total_dials()
+        time.sleep(0.1)
+        assert testbed.total_dials() == frozen  # ...then the count freezes
+        assert server.metrics.value("serving.cancelled") == 1.0
+    finally:
+        server.drain(timeout=10.0)
+
+
+def test_server_cancel_unknown_or_done_id_is_harmless():
+    testbed, server = _slow_server(wall_ms=0.0)
+    try:
+        host, port = server.address
+        with ServingClient(host, port) as client:
+            ack = client.cancel("never-existed")
+            assert ack["status"] == "ok" and ack["cancelled"] is False
+            done = client.query(testbed.chain_query(1, key="d1"))
+            assert done["status"] == "ok"
+            ack = client.cancel(done["id"])
+            assert ack["cancelled"] is False
+    finally:
+        server.drain(timeout=10.0)
+
+
+def test_server_cancel_queued_request_never_executes():
+    testbed, server = _slow_server(workers=1)
+    try:
+        host, port = server.address
+        with ServingClient(host, port) as client:
+            running = client.send(
+                {"op": "query", "query": testbed.chain_query(key="run")}
+            )
+            time.sleep(0.04)  # the single worker is now busy
+            queued = client.send(
+                {"op": "query", "query": testbed.chain_query(key="queued")}
+            )
+            ack = client.cancel(queued)
+            assert ack["cancelled"] is True
+            response = client.wait(queued, timeout_s=10.0)
+            assert response["status"] == "cancelled"
+            first = client.wait(running, timeout_s=30.0)
+            assert first["status"] == "ok"
+        # the queued chain's fresh key never dialed a source
+        assert server.metrics.value("serving.cancel.queued") == 1.0
+    finally:
+        server.drain(timeout=10.0)
+
+
+def test_server_deadline_exceeded_mid_flight():
+    testbed, server = _slow_server()
+    try:
+        host, port = server.address
+        with ServingClient(host, port) as client:
+            response = client.query(
+                testbed.chain_query(key="dl"),
+                deadline_ms=40.0,
+                timeout_s=30.0,
+            )
+        assert response["status"] == "deadline_exceeded"
+        assert server.metrics.value("serving.deadline.exceeded") >= 1.0
+    finally:
+        server.drain(timeout=10.0)
+
+
+def test_server_deadline_expires_in_queue_as_rejected():
+    testbed, server = _slow_server(workers=1)
+    try:
+        host, port = server.address
+        with ServingClient(host, port) as client:
+            running = client.send(
+                {"op": "query", "query": testbed.chain_query(key="busy")}
+            )
+            time.sleep(0.04)
+            doomed = client.send(
+                {
+                    "op": "query",
+                    "query": testbed.chain_query(key="doomed"),
+                    "deadline_ms": 20.0,
+                }
+            )
+            response = client.wait(doomed, timeout_s=10.0)
+            assert response["status"] == "rejected"
+            assert response["reason"] == "deadline_exceeded"
+            assert client.wait(running, timeout_s=30.0)["status"] == "ok"
+        assert server.metrics.value("serving.deadline.queue_expired") >= 1.0
+    finally:
+        server.drain(timeout=10.0)
+
+
+def test_server_watchdog_enforces_max_runtime():
+    testbed, server = _slow_server(max_runtime_ms=60.0)
+    try:
+        host, port = server.address
+        with ServingClient(host, port) as client:
+            response = client.query(
+                testbed.chain_query(key="forever"), timeout_s=30.0
+            )
+        assert response["status"] == "cancelled"
+        assert response["reason"] == "max_runtime"
+        assert server.metrics.value("serving.cancel.watchdog") >= 1.0
+    finally:
+        server.drain(timeout=10.0)
+
+
+def test_server_partial_results_respect_tenant_policy():
+    testbed, server = _slow_server(
+        wall_ms=0.0, partial_tenants={"strict": False}
+    )
+    testbed.set_down(frozenset({"w0"}))
+    try:
+        host, port = server.address
+        with ServingClient(host, port, tenant="lenient") as client:
+            response = client.query(testbed.chain_query(1, key="p1"))
+            assert response["status"] == "partial"
+            assert response["completeness"] == "partial"
+            assert response["missing_sources"] == ["w0"]
+        with ServingClient(host, port, tenant="strict") as client:
+            response = client.query(testbed.chain_query(1, key="p2"))
+            assert response["status"] == "error"
+            assert response["kind"] == "PartialResult"
+        assert server.metrics.value("serving.partial.returned") == 1.0
+        assert server.metrics.value("serving.partial.denied") == 1.0
+    finally:
+        server.drain(timeout=10.0)
+
+
+def test_server_duplicate_inflight_id_refused(m1_mediator):
+    import socket as socket_mod
+
+    server = MediatorServer(
+        m1_mediator, config=ServingConfig(workers=1)
+    ).start()
+    try:
+        host, port = server.address
+        with socket_mod.create_connection((host, port), timeout=10.0) as sock:
+            for _ in range(2):
+                sock.sendall(
+                    encode_message(
+                        {"op": "query", "id": "dup", "query": "?- m(A, C)."}
+                    )
+                )
+            sock.settimeout(10.0)
+            data = b""
+            while data.count(b"\n") < 2:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                data += chunk
+        responses = [
+            decode_message(line)
+            for line in data.split(b"\n")
+            if line.strip()
+        ]
+        statuses = sorted(r["status"] for r in responses)
+        assert statuses == ["error", "ok"]
+        error = next(r for r in responses if r["status"] == "error")
+        assert "already in flight" in error["error"]
+    finally:
+        server.drain(timeout=10.0)
+
+
+def test_server_survives_oversized_and_invalid_frames(m1_mediator):
+    import socket as socket_mod
+
+    from repro.serving.protocol import MAX_LINE_BYTES
+
+    server = MediatorServer(
+        m1_mediator, config=ServingConfig(workers=1)
+    ).start()
+    host, port = server.address
+
+    def one_frame(frame: bytes) -> str:
+        try:
+            with socket_mod.create_connection(
+                (host, port), timeout=10.0
+            ) as sock:
+                sock.sendall(frame)
+                sock.settimeout(10.0)
+                data = b""
+                while b"\n" not in data:
+                    chunk = sock.recv(65536)
+                    if not chunk:
+                        return "closed"
+                    data += chunk
+            return str(decode_message(data.split(b"\n", 1)[0])["status"])
+        except OSError:
+            return "closed"
+
+    try:
+        assert one_frame(b"\xff\xfe not utf8 \xff\n") == "error"
+        assert one_frame(b"{truncated\n") == "error"
+        oversized = (
+            b'{"op": "query", "query": "'
+            + b"x" * (MAX_LINE_BYTES + 64)
+            + b'"}\n'
+        )
+        assert one_frame(oversized) in ("error", "closed")
+        # the server is still healthy afterwards
+        with ServingClient(host, port) as client:
+            assert client.ping()["pong"] is True
+    finally:
+        server.drain(timeout=10.0)
+
+
+def test_client_fails_fast_after_connection_death():
+    import socket as socket_mod
+
+    listener = socket_mod.socket(socket_mod.AF_INET, socket_mod.SOCK_STREAM)
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    host, port = listener.getsockname()
+    client = ServingClient(host, port, timeout_s=30.0)
+    try:
+        conn, _ = listener.accept()
+        started = time.perf_counter()
+        # in-flight request: the reader fails it the moment the server dies
+        target = client.send({"op": "ping"})
+        conn.close()
+        response = client.wait(target, timeout_s=30.0)
+        assert response["kind"] == "Disconnected"
+        # new requests after death fail fast, not after the 30s timeout
+        with pytest.raises(ReproError, match="dead|closed|send failed"):
+            client.request({"op": "ping"})
+        assert time.perf_counter() - started < 5.0
+        assert client.dead
+    finally:
+        client.close()
+        listener.close()
+
+
+def test_server_stats_expose_lifecycle_and_ewma(m1_mediator):
+    server = MediatorServer(
+        m1_mediator, config=ServingConfig(workers=1)
+    ).start()
+    try:
+        host, port = server.address
+        with ServingClient(host, port) as client:
+            assert client.query("?- m(A, C).")["status"] == "ok"
+            stats = client.stats()["stats"]
+        assert stats["lifecycle"]["completed"] >= 1.0
+        assert stats["ewma_service_ms"] is not None
+        assert stats["retry_after_ms"] >= 0.0
+        assert stats["shedding"] is False
     finally:
         server.drain(timeout=10.0)
 

@@ -1,0 +1,107 @@
+"""Chaos properties of the serving-tier request lifecycle.
+
+The promise under test (docs/SERVING.md): under hostile traffic —
+slow-loris clients, mid-request disconnects, malformed and oversized
+frames, concurrent cancel storms, source outages — every admitted
+request reaches exactly one terminal status, cancelled runs stop
+dialing sources, no worker thread leaks past drain, and no ticket is
+left stuck in the admission queue.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.workloads.serving_chaos import (
+    build_serving_testbed,
+    run_serving_chaos,
+    send_malformed_frames,
+    slow_loris,
+)
+
+#: oversubscribe the chaos run via the environment (CI sets 16)
+STRESS_JOBS = int(os.environ.get("REPRO_STRESS_JOBS", "2"))
+
+
+@pytest.mark.chaos
+def test_serving_chaos_invariants_hold():
+    """A seeded hostile run: zero thread leaks, zero stuck tickets,
+    frozen dial counts after cancellation, and exact once-accounting
+    across terminal statuses."""
+    report = run_serving_chaos(rounds=2, seed=7, wall_ms=25.0)
+    # every tracked request reached exactly one terminal status — a
+    # request is never both executed and rejected, never double-counted
+    assert report.terminal_total == report.sent
+    # the serving tier survives hostile clients without leaking threads
+    assert report.leaked_threads == 0
+    # nothing left queued or in flight after drain
+    assert report.stuck_tickets == 0
+    assert report.queue_depth_after == 0
+    assert report.in_flight_after == 0
+    # a cancelled run really stops dialing: the dial count freezes once
+    # in-progress dials settle
+    assert report.dials_after_settle == report.dials_at_cancel
+    # the cancel storms actually cancelled work, and all acks arrived
+    assert report.cancelled >= 1
+    assert report.cancel_acks >= 1
+    # malformed frames die with a typed error or a clean hangup
+    assert report.malformed_statuses
+    assert set(report.malformed_statuses) <= {"error", "closed"}
+
+
+@pytest.mark.chaos
+def test_serving_chaos_parallel_executor():
+    """The same invariants with the parallel executor underneath — the
+    cancel token must propagate through worker fan-out."""
+    report = run_serving_chaos(
+        rounds=1, seed=3, wall_ms=25.0, jobs=max(2, STRESS_JOBS)
+    )
+    assert report.terminal_total == report.sent
+    assert report.leaked_threads == 0
+    assert report.stuck_tickets == 0
+    assert report.dials_after_settle == report.dials_at_cancel
+
+
+@pytest.mark.chaos
+def test_slow_loris_does_not_leak_or_block():
+    """Byte-trickling clients that never finish a line must not pin
+    reader threads or block real traffic."""
+    from repro.serving.client import ServingClient
+    from repro.serving.server import MediatorServer, ServingConfig
+
+    testbed = build_serving_testbed(relations=2, wall_ms=0.0)
+    before = threading.active_count()
+    server = MediatorServer(
+        testbed.mediator, config=ServingConfig(workers=2)
+    ).start()
+    host, port = server.address
+    try:
+        lorises = [
+            threading.Thread(
+                target=slow_loris,
+                args=(host, port),
+                kwargs={"byte_delay_s": 0.002, "max_bytes": 24},
+                daemon=True,
+            )
+            for _ in range(4)
+        ]
+        for thread in lorises:
+            thread.start()
+        # real traffic flows while the lorises trickle
+        with ServingClient(host, port) as client:
+            response = client.query(testbed.chain_query(1, key="real"))
+            assert response["status"] == "ok"
+        for thread in lorises:
+            thread.join(timeout=10.0)
+        statuses = send_malformed_frames(host, port)
+        assert set(statuses) <= {"error", "closed"}
+    finally:
+        server.drain(timeout=15.0)
+    deadline = time.monotonic() + 5.0
+    while threading.active_count() > before and time.monotonic() < deadline:
+        time.sleep(0.05)
+    assert threading.active_count() <= before
